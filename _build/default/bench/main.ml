@@ -1,0 +1,108 @@
+(* Benchmark harness.
+
+   Part 1 — Bechamel micro-benchmarks: one [Test.make] per paper
+   table/figure, each timing the measurement kernel of that experiment on
+   a small workload (wall-clock of the reproduction machinery itself).
+
+   Part 2 — the full reproduction: regenerates every table and figure of
+   the paper and prints them (this is the output recorded in
+   bench_output.txt and compared in EXPERIMENTS.md). *)
+
+open Bechamel
+open Toolkit
+module M = Harness.Measure
+
+let mtrt () = M.prepare (Workloads.Suite.find "mtrt")
+let javac () = M.prepare (Workloads.Suite.find "javac")
+
+let both = Harness.Common.both_specs
+
+let table_tests () =
+  (* warm the build caches so the staged bodies measure only the
+     experiment kernels *)
+  let b_mtrt = mtrt () and b_javac = javac () in
+  ignore (M.run_baseline b_mtrt);
+  ignore (M.run_baseline b_javac);
+  let t name body = Test.make ~name (Staged.stage body) in
+  Test.make_grouped ~name:"isf"
+    [
+      t "table1:exhaustive-instrumentation" (fun () ->
+          ignore
+            (M.run_transformed ~transform:(Core.Transform.exhaustive both)
+               b_mtrt));
+      t "table2:full-dup-framework" (fun () ->
+          ignore
+            (M.run_transformed ~transform:(Core.Transform.full_dup both) b_mtrt));
+      t "table3:no-dup-checking" (fun () ->
+          ignore
+            (M.run_transformed ~transform:(Core.Transform.no_dup both) b_mtrt));
+      t "table4:sampled-interval-1000" (fun () ->
+          ignore
+            (M.run_transformed
+               ~trigger:(Core.Sampler.Counter { interval = 1_000; jitter = 0 })
+               ~transform:(Core.Transform.full_dup both) b_mtrt));
+      t "table5:timer-trigger" (fun () ->
+          ignore
+            (M.run_transformed ~trigger:Core.Sampler.Timer_bit
+               ~transform:(Core.Transform.full_dup Core.Spec.field_access)
+               b_mtrt));
+      t "figure7:javac-call-edges" (fun () ->
+          ignore
+            (M.run_transformed
+               ~trigger:(Core.Sampler.Counter { interval = 100; jitter = 0 })
+               ~transform:(Core.Transform.full_dup both) b_javac));
+      t "figure8:yieldpoint-opt" (fun () ->
+          ignore
+            (M.run_transformed
+               ~trigger:(Core.Sampler.Counter { interval = 1_000; jitter = 0 })
+               ~transform:(Core.Transform.full_dup_yieldpoint_opt both) b_mtrt));
+      t "transform:full-dup-only" (fun () ->
+          List.iter
+            (fun f -> ignore (Core.Transform.full_dup both f))
+            b_javac.M.base_funcs);
+      t "transform:partial-dup-only" (fun () ->
+          List.iter
+            (fun f -> ignore (Core.Transform.partial_dup both f))
+            b_javac.M.base_funcs);
+    ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.8) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (table_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  print_endline "Bechamel micro-benchmarks (per-run wall time):";
+  List.iter
+    (fun (name, o) ->
+      let est =
+        match Analyze.OLS.estimates o with
+        | Some (e :: _) -> Printf.sprintf "%10.3f ms" (e /. 1e6)
+        | _ -> "n/a"
+      in
+      Printf.printf "  %-40s %s\n" name est)
+    (List.sort compare rows);
+  print_newline ()
+
+let () =
+  run_bechamel ();
+  print_endline
+    "================================================================";
+  print_endline
+    "Full reproduction of every table and figure (Arnold-Ryder 2001)";
+  print_endline
+    "================================================================";
+  print_newline ();
+  Harness.Experiments.run_all ();
+  print_newline ();
+  print_endline
+    "================================================================";
+  print_endline "Ablation studies (design choices discussed in the paper)";
+  print_endline
+    "================================================================";
+  print_newline ();
+  Harness.Ablation.run_all ()

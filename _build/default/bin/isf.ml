@@ -1,0 +1,269 @@
+(* isf — instrumentation-sampling-framework CLI.
+
+   Subcommands: list, run, profile, dump, table, figure, all. *)
+
+open Cmdliner
+
+module Measure = Harness.Measure
+
+let spec_of_names names =
+  let one = function
+    | "call-edge" -> Core.Spec.call_edge
+    | "field-access" -> Core.Spec.field_access
+    | "edge" -> Core.Spec.edge_profile
+    | "value" -> Core.Spec.value_profile
+    | "path" -> Profiles.Specs.path_profile
+    | "receiver" -> Profiles.Specs.receiver_profile
+    | "cct" -> Profiles.Specs.cct_profile
+    | s -> invalid_arg ("unknown instrumentation: " ^ s)
+  in
+  match names with
+  | [] -> Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
+  | l -> Core.Spec.combine (List.map one l)
+
+let transform_of_variant spec = function
+  | "full-dup" -> Core.Transform.full_dup spec
+  | "no-dup" -> Core.Transform.no_dup spec
+  | "partial-dup" -> Core.Transform.partial_dup spec
+  | "yp-opt" -> Core.Transform.full_dup_yieldpoint_opt spec
+  | "exhaustive" -> Core.Transform.exhaustive spec
+  | s -> invalid_arg ("unknown variant: " ^ s)
+
+(* ---- arguments ---- *)
+
+let bench_arg =
+  let doc = "Benchmark name (see $(b,isf list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCH" ~doc)
+
+let scale_arg =
+  let doc = "Workload scale factor (default: benchmark-specific)." in
+  Arg.(value & opt (some int) None & info [ "scale"; "s" ] ~docv:"N" ~doc)
+
+let variant_arg =
+  let doc =
+    "Transformation: full-dup, partial-dup, no-dup, yp-opt, exhaustive."
+  in
+  Arg.(value & opt string "full-dup" & info [ "variant"; "v" ] ~docv:"V" ~doc)
+
+let instr_arg =
+  let doc =
+    "Instrumentations (comma separated): call-edge, field-access, edge, value, path, receiver, cct."
+  in
+  Arg.(value & opt (list string) [] & info [ "instr"; "i" ] ~docv:"I,.." ~doc)
+
+let interval_arg =
+  let doc = "Counter-based sample interval." in
+  Arg.(value & opt int 1000 & info [ "interval"; "k" ] ~docv:"K" ~doc)
+
+let jitter_arg =
+  let doc = "Randomized interval span (0 = deterministic)." in
+  Arg.(value & opt int 0 & info [ "jitter"; "j" ] ~docv:"J" ~doc)
+
+let timer_arg =
+  let doc = "Use the (inaccurate) time-based trigger instead of the counter." in
+  Arg.(value & flag & info [ "timer" ] ~doc)
+
+let top_arg =
+  let doc = "How many profile entries to print." in
+  Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+
+let csv_arg =
+  let doc = "Directory to write one CSV per collected profile kind." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+(* ---- commands ---- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (b : Workloads.Suite.benchmark) ->
+        Printf.printf "%-14s %s\n" b.Workloads.Suite.bname
+          b.Workloads.Suite.description)
+      Workloads.Suite.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the benchmark suite")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run bench scale =
+    let b = Workloads.Suite.find bench in
+    let build = Measure.prepare ?scale b in
+    let m = Measure.run_baseline build in
+    Printf.printf "%s: %d cycles, %d instructions, code %d words\n" bench
+      m.Measure.cycles m.Measure.instructions m.Measure.code_words;
+    Printf.printf "entries %d, backedge yieldpoints %d\n" m.Measure.entries
+      m.Measure.backedge_yps;
+    print_string m.Measure.output
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a benchmark without instrumentation")
+    Term.(const run $ bench_arg $ scale_arg)
+
+let profile_cmd =
+  let run bench scale variant instr interval jitter timer top csv =
+    let b = Workloads.Suite.find bench in
+    let build = Measure.prepare ?scale b in
+    let base = Measure.run_baseline build in
+    let spec = spec_of_names instr in
+    let transform = transform_of_variant spec variant in
+    let trigger =
+      if timer then Core.Sampler.Timer_bit
+      else Core.Sampler.Counter { interval; jitter }
+    in
+    let m = Measure.run_transformed ~trigger ~transform build in
+    Measure.check_output ~base m;
+    Printf.printf
+      "%s under %s: overhead %.1f%%, %d checks, %d samples, %d ops\n\n" bench
+      variant
+      (Measure.overhead_pct ~base m)
+      m.Measure.checks m.Measure.samples m.Measure.instrument_ops;
+    let col = m.Measure.collector in
+    print_string (Profiles.Report.summary col);
+    print_newline ();
+    print_string (Profiles.Report.top ~n:top col);
+    match csv with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (kind, text) ->
+            let path = Filename.concat dir (kind ^ ".csv") in
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          (Profiles.Report.to_csv col)
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Run a benchmark under sampled instrumentation")
+    Term.(
+      const run $ bench_arg $ scale_arg $ variant_arg $ instr_arg
+      $ interval_arg $ jitter_arg $ timer_arg $ top_arg $ csv_arg)
+
+let dump_cmd =
+  let run bench variant instr meth =
+    let b = Workloads.Suite.find bench in
+    let build = Measure.prepare b in
+    let spec = spec_of_names instr in
+    let transform = transform_of_variant spec variant in
+    List.iter
+      (fun f ->
+        let name = Ir.Lir.string_of_method_ref f.Ir.Lir.fname in
+        if meth = None || meth = Some name then begin
+          let r = transform f in
+          Printf.printf "%s\n(static checks: %d, duplicated blocks: %d)\n\n"
+            (Ir.Pp.func_to_string r.Core.Transform.func)
+            r.Core.Transform.static_checks r.Core.Transform.duplicated_blocks
+        end)
+      build.Measure.base_funcs
+  in
+  let meth_arg =
+    let doc = "Only dump this method (e.g. Main.main)." in
+    Arg.(value & opt (some string) None & info [ "method"; "m" ] ~docv:"M" ~doc)
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Dump transformed LIR")
+    Term.(const run $ bench_arg $ variant_arg $ instr_arg $ meth_arg)
+
+(* run or profile a user-provided .jasm file *)
+let exec_cmd =
+  let run file args variant instr interval jitter top =
+    let src = In_channel.with_open_text file In_channel.input_all in
+    let classes = Jasm.Compile.compile_string ~file src in
+    let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+    let entry = { Ir.Lir.mclass = "Main"; mname = "main" } in
+    let baseline =
+      Vm.Interp.run ~use_icache:true
+        (Vm.Program.link classes ~funcs)
+        ~entry ~args Vm.Interp.null_hooks
+    in
+    print_string baseline.Vm.Interp.output;
+    Printf.printf "=> %s in %d cycles (%d instructions)\n"
+      (match baseline.Vm.Interp.return_value with
+      | Some v -> string_of_int v
+      | None -> "(no result)")
+      baseline.Vm.Interp.cycles baseline.Vm.Interp.instructions;
+    if instr <> [] then begin
+      let spec = spec_of_names instr in
+      let transform = transform_of_variant spec variant in
+      let transformed =
+        List.map (fun f -> (transform f).Core.Transform.func) funcs
+      in
+      let collector = Profiles.Collector.create () in
+      let sampler =
+        Core.Sampler.create (Core.Sampler.Counter { interval; jitter })
+      in
+      let res =
+        Vm.Interp.run ~use_icache:true
+          (Vm.Program.link classes ~funcs:transformed)
+          ~entry ~args
+          (Profiles.Collector.hooks collector sampler)
+      in
+      Printf.printf
+        "\nwith %s sampling (interval %d): %.1f%% overhead, %d samples\n\n"
+        variant interval
+        (100.0
+        *. float_of_int (res.Vm.Interp.cycles - baseline.Vm.Interp.cycles)
+        /. float_of_int baseline.Vm.Interp.cycles)
+        res.Vm.Interp.counters.Vm.Interp.samples;
+      print_string (Profiles.Report.top ~n:top collector)
+    end
+  in
+  let file_arg =
+    let doc = "A .jasm source file with a class Main and static fun main(n: int): int." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let args_arg =
+    let doc = "Arguments passed to Main.main." in
+    Arg.(value & opt (list int) [ 1 ] & info [ "args"; "a" ] ~docv:"N,.." ~doc)
+  in
+  Cmd.v
+    (Cmd.info "exec"
+       ~doc:
+         "Compile and run a jasm source file (optionally with sampled \
+          instrumentation)")
+    Term.(
+      const run $ file_arg $ args_arg $ variant_arg $ instr_arg $ interval_arg
+      $ jitter_arg $ top_arg)
+
+let table_cmd =
+  let run which scale = Harness.Experiments.run_one ?scale (Harness.Experiments.of_name which) in
+  let which_arg =
+    let doc = "Experiment: 1-5 (tables), 7 or 8 (figures), or tableN/figureN." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"WHICH" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Reproduce one of the paper's tables/figures")
+    Term.(const run $ which_arg $ scale_arg)
+
+let all_cmd =
+  let run scale = Harness.Experiments.run_all ?scale () in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Reproduce every table and figure of the paper")
+    Term.(const run $ scale_arg)
+
+let ablation_cmd =
+  let run scale = Harness.Ablation.run_all ?scale () in
+  Cmd.v
+    (Cmd.info "ablation"
+       ~doc:
+         "Run the ablation studies (trigger determinism, check cost, \
+          duplication strategy, per-thread counters)")
+    Term.(const run $ scale_arg)
+
+let main =
+  let doc =
+    "Instrumentation sampling framework (Arnold & Ryder, PLDI 2001) — \
+     reproduction CLI"
+  in
+  Cmd.group (Cmd.info "isf" ~doc)
+    [
+      list_cmd;
+      run_cmd;
+      exec_cmd;
+      profile_cmd;
+      dump_cmd;
+      table_cmd;
+      all_cmd;
+      ablation_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

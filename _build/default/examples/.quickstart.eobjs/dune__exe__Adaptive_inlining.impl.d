@@ -1,0 +1,1 @@
+examples/adaptive_inlining.ml: Array Bytecode Core Ir Jasm List Opt Printf Profiles String Vm

@@ -1,0 +1,1 @@
+examples/devirtualization.ml: Array Bytecode Core Harness Ir List Opt Option Printf Profiles String Vm Workloads

@@ -1,0 +1,1 @@
+examples/field_layout.ml: Bytecode Core Ir Jasm List Opt Printf Profiles String Vm

@@ -1,0 +1,1 @@
+examples/field_layout.mli:

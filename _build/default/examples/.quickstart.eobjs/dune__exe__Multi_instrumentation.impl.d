@@ -1,0 +1,1 @@
+examples/multi_instrumentation.ml: Core Harness List Printf Profiles Workloads

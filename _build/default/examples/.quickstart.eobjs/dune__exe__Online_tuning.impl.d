@@ -1,0 +1,1 @@
+examples/online_tuning.ml: Core Harness List Printf Profiles Vm Workloads

@@ -1,0 +1,1 @@
+examples/path_profiling.ml: Core Harness Hashtbl Ir List Printf Profiles String Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytecode Core Ir Jasm List Opt Printf Profiles String Vm

@@ -1,0 +1,1 @@
+examples/receiver_prediction.ml: Core Harness List Printf Profiles Workloads

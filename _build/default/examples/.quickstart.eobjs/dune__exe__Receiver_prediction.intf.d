@@ -1,0 +1,1 @@
+examples/receiver_prediction.mli:

@@ -1,0 +1,117 @@
+(* The full feedback-directed-optimization loop for virtual calls:
+
+   1. sample a receiver-class profile online (cheap, Full-Duplication);
+   2. pick the call sites with a dominant receiver class;
+   3. devirtualize them with a class-test guard and inline the predicted
+      implementation (Opt.Devirt);
+   4. re-run and measure the speedup.
+
+     dune exec examples/devirtualization.exe *)
+
+module Measure = Harness.Measure
+module Lir = Ir.Lir
+
+let entry = Workloads.Suite.entry
+
+let () =
+  let bench = Workloads.Suite.find "mtrt" in
+  let build = Measure.prepare bench in
+  let base = Measure.run_baseline build in
+
+  (* phase 1: sampled receiver profile *)
+  let m =
+    Measure.run_transformed
+      ~trigger:(Core.Sampler.Counter { interval = 100; jitter = 7 })
+      ~transform:(Core.Transform.full_dup Profiles.Specs.receiver_profile)
+      build
+  in
+  let receivers = m.Measure.collector.Profiles.Collector.receivers in
+  Printf.printf "profiling run: %.1f%% overhead, %d samples\n\n"
+    (Measure.overhead_pct ~base m)
+    m.Measure.samples;
+
+  (* phase 2+3: guard-and-inline sites with >= 55%% dominant receivers *)
+  let classes = build.Measure.classes in
+  let funcs = build.Measure.base_funcs in
+  let find_func name =
+    List.find_opt
+      (fun (f : Lir.func) ->
+        String.equal (Lir.string_of_method_ref f.Lir.fname) name)
+      funcs
+  in
+  let optimized =
+    List.map
+      (fun (f : Lir.func) ->
+        let meth = Lir.string_of_method_ref f.Lir.fname in
+        (* collect this function's predictable sites, then transform one at
+           a time (labels shift after each edit, so re-locate by site id) *)
+        let plans =
+          List.filter_map
+            (fun (m', site) ->
+              if m' <> meth then None
+              else
+                match
+                  Profiles.Receiver_profile.dominant receivers ~meth ~site
+                with
+                | Some (cls, frac) when frac >= 0.55 -> Some (site, cls, frac)
+                | _ -> None)
+            (Profiles.Receiver_profile.sites receivers)
+        in
+        List.fold_left
+          (fun f (site, cls, frac) ->
+            (* find the virtual call with this site id *)
+            let at = ref None in
+            for l = 0 to Lir.num_blocks f - 1 do
+              let b = Lir.block f l in
+              if b.Lir.role <> Lir.Dead then
+                Array.iteri
+                  (fun i instr ->
+                    match instr with
+                    | Lir.Call { kind = Lir.Virtual; site = s; target; _ }
+                      when s = site -> (
+                        (* resolve the implementation the predicted class
+                           dispatches to *)
+                        match
+                          Bytecode.Classfile.resolve_method classes ~cls
+                            ~name:target.Lir.mname
+                        with
+                        | Some _ -> at := Some (l, i, target.Lir.mname)
+                        | None -> ())
+                    | _ -> ())
+                  b.Lir.instrs
+            done;
+            match !at with
+            | None -> f
+            | Some (l, i, mname) ->
+                let owner, _ =
+                  Option.get
+                    (Bytecode.Classfile.resolve_method_owner classes ~cls
+                       ~name:mname)
+                in
+                let callee_name = owner ^ "." ^ mname in
+                (match find_func callee_name with
+                | Some callee ->
+                    Printf.printf
+                      "devirtualizing %s@%d -> %s (%.0f%% of receivers)\n" meth
+                      site callee_name (100.0 *. frac);
+                    Opt.Devirt.guarded_inline f ~at:(l, i) ~predicted:cls
+                      ~callee
+                | None -> f))
+          f plans)
+      funcs
+  in
+  let optimized = List.map (Opt.Pass.run_all Opt.Pipeline.front_passes) optimized in
+
+  (* phase 4: measure *)
+  let run fs =
+    Vm.Interp.run ~use_icache:true
+      (Vm.Program.link classes ~funcs:fs)
+      ~entry ~args:[ build.Measure.scale ] Vm.Interp.null_hooks
+  in
+  let before = run funcs and after = run optimized in
+  assert (String.equal before.Vm.Interp.output after.Vm.Interp.output);
+  Printf.printf "\nbaseline:       %d cycles\ndevirtualized:  %d cycles  (%.1f%% faster)\n"
+    before.Vm.Interp.cycles after.Vm.Interp.cycles
+    (100.0
+    *. float_of_int (before.Vm.Interp.cycles - after.Vm.Interp.cycles)
+    /. float_of_int before.Vm.Interp.cycles)

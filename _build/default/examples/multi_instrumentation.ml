@@ -1,0 +1,58 @@
+(* Several instrumentations at once, one duplication — one of the
+   framework's advertised advantages: "multiple types of instrumentation
+   can be used simultaneously, without the normal concern for overhead
+   ... while recompiling the method only once".
+
+   Runs javac with call-edge + field-access + edge-profile + value-profile
+   instrumentation in a single Full-Duplication transform and compares the
+   total overhead against the sum of the four exhaustive overheads.
+
+     dune exec examples/multi_instrumentation.exe *)
+
+module Measure = Harness.Measure
+
+let specs =
+  [
+    ("call-edge", Core.Spec.call_edge);
+    ("field-access", Core.Spec.field_access);
+    ("edge-profile", Core.Spec.edge_profile);
+    ("value-profile", Core.Spec.value_profile);
+  ]
+
+let () =
+  let bench = Workloads.Suite.find "javac" in
+  let build = Measure.prepare bench in
+  let base = Measure.run_baseline build in
+  Printf.printf "exhaustive, one instrumentation at a time:\n";
+  let sum =
+    List.fold_left
+      (fun acc (name, spec) ->
+        let m =
+          Measure.run_transformed ~transform:(Core.Transform.exhaustive spec)
+            build
+        in
+        let o = Measure.overhead_pct ~base m in
+        Printf.printf "  %-14s %6.1f%%\n" name o;
+        acc +. o)
+      0.0 specs
+  in
+  Printf.printf "  %-14s %6.1f%%\n\n" "(sum)" sum;
+  let all = Core.Spec.combine (List.map snd specs) in
+  let m =
+    Measure.run_transformed
+      ~trigger:(Core.Sampler.Counter { interval = 1_000; jitter = 0 })
+      ~transform:(Core.Transform.full_dup all)
+      build
+  in
+  Printf.printf
+    "all four sampled together under Full-Duplication (interval 1000):\n";
+  Printf.printf "  total overhead %.1f%%, %d samples\n"
+    (Measure.overhead_pct ~base m)
+    m.Measure.samples;
+  let c = m.Measure.collector in
+  Printf.printf
+    "  collected: %d call edges, %d fields, %d CFG edges, %d value sites\n"
+    (Profiles.Call_edge.distinct_edges c.Profiles.Collector.call_edges)
+    (Profiles.Field_access.distinct_fields c.Profiles.Collector.fields)
+    (List.length (Profiles.Edge_profile.to_alist c.Profiles.Collector.edges))
+    (Profiles.Value_profile.n_sites c.Profiles.Collector.values)

@@ -1,0 +1,64 @@
+(* Runtime tunability — "the tradeoff between overhead and accuracy to be
+   adjusted easily at runtime", and retiring instrumentation by setting
+   the sample condition permanently to false (paper, section 2).
+
+   The sampler starts aggressive (interval 50), backs off to interval
+   5000 after 1000 samples, and is disabled entirely after 1020 samples —
+   all while the program keeps running the same instrumented code.
+
+     dune exec examples/online_tuning.exe *)
+
+module Measure = Harness.Measure
+
+let () =
+  let bench = Workloads.Suite.find "jess" in
+  let build = Measure.prepare ~scale:2 bench in
+  let base = Measure.run_baseline build in
+
+  let funcs =
+    List.map
+      (fun f ->
+        (Core.Transform.full_dup Harness.Common.both_specs f).Core.Transform.func)
+      build.Measure.base_funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler =
+    Core.Sampler.create (Core.Sampler.Counter { interval = 50; jitter = 0 })
+  in
+  let phase = ref `Aggressive in
+  let hooks = Profiles.Collector.hooks collector sampler in
+  (* a controller wrapped around the sample condition: this is the "VM
+     service thread" that would adjust sampling in a real JVM *)
+  let controlled_hooks =
+    {
+      hooks with
+      Vm.Interp.fire =
+        (fun tid ->
+          let fired = hooks.Vm.Interp.fire tid in
+          (match (!phase, Core.Sampler.samples_fired sampler) with
+          | `Aggressive, n when n >= 1000 ->
+              phase := `Background;
+              Core.Sampler.set_interval sampler 5_000;
+              print_endline "controller: backing off to interval 5000"
+          | `Background, n when n >= 1020 ->
+              phase := `Done;
+              Core.Sampler.disable sampler;
+              print_endline "controller: profile converged, sampling disabled"
+          | _ -> ());
+          fired);
+    }
+  in
+  let prog = Vm.Program.link build.Measure.classes ~funcs in
+  let res =
+    Vm.Interp.run ~use_icache:true prog ~entry:Workloads.Suite.entry
+      ~args:[ build.Measure.scale ] controlled_hooks
+  in
+  Printf.printf "\nsamples taken: %d (cap was enforced at runtime)\n"
+    res.Vm.Interp.counters.Vm.Interp.samples;
+  Printf.printf "overhead: %.1f%% (checks keep running after disable)\n"
+    (100.0
+    *. float_of_int (res.Vm.Interp.cycles - base.Measure.cycles)
+    /. float_of_int base.Measure.cycles);
+  Printf.printf "call edges collected: %d\n"
+    (Profiles.Call_edge.distinct_edges
+       collector.Profiles.Collector.call_edges)

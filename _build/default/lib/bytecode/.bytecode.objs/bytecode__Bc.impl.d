@@ -1,0 +1,1 @@
+lib/bytecode/bc.ml: Ir List

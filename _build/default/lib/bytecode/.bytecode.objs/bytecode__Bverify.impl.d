@@ -1,0 +1,1 @@
+lib/bytecode/bverify.ml: Array Bc Classfile List Printf Queue

@@ -1,0 +1,1 @@
+lib/bytecode/bverify.mli: Classfile

@@ -1,0 +1,1 @@
+lib/bytecode/classfile.ml: Array Bc List Option String

@@ -1,0 +1,1 @@
+lib/bytecode/to_lir.ml: Array Bc Bverify Classfile Ir List Queue

@@ -1,0 +1,1 @@
+lib/bytecode/to_lir.mli: Classfile Ir

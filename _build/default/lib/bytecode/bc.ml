@@ -1,0 +1,90 @@
+(* JVM-like stack bytecode.
+
+   This plays the role of Java bytecode in the paper's pipeline: the jasm
+   frontend compiles to it, and [To_lir] translates it to register LIR the
+   way Jalapeno's compilers do (locals and stack slots map to fixed virtual
+   registers, so control-flow merges need no phis).
+
+   Jump targets are instruction indices.  A jump to an index less than or
+   equal to the current one is a backward branch — the paper's notion of
+   backedge, and the call-site id recorded by call-edge profiling is the
+   instruction index of the invoke (the paper's "bytecode offset"). *)
+
+type cmp = Ceq | Cne | Clt | Cle | Cgt | Cge
+
+type instr =
+  | Const of int
+  | Load of int  (* push local slot *)
+  | Store of int (* pop into local slot *)
+  | Dup
+  | Pop
+  | Swap
+  | Binop of Ir.Lir.binop
+  | Unop of Ir.Lir.unop
+  | Goto of int
+  | If_cmp of cmp * int (* pops b then a; branch when [a cmp b] *)
+  | If of cmp * int (* pops a; branch when [a cmp 0] *)
+  | Switch of (int * int) list * int (* cases, default *)
+  | Get_field of Ir.Lir.field_ref (* pops obj, pushes value *)
+  | Put_field of Ir.Lir.field_ref (* pops value then obj *)
+  | Get_static of Ir.Lir.field_ref
+  | Put_static of Ir.Lir.field_ref
+  | New of string
+  | New_array (* pops length *)
+  | Array_load (* pops index then array *)
+  | Array_store (* pops value, index, array *)
+  | Array_length
+  | Invoke_static of Ir.Lir.method_ref * int * bool (* argc, has result *)
+  | Invoke_virtual of Ir.Lir.method_ref * int * bool
+      (* argc excluding receiver; pops argc + 1 *)
+  | Intrinsic of string * int * bool (* name, argc, has result *)
+  | Return
+  | Return_value
+
+(* Stack effect: (pops, pushes). *)
+let stack_effect = function
+  | Const _ | Load _ -> (0, 1)
+  | Store _ | Pop -> (1, 0)
+  | Dup -> (1, 2)
+  | Swap -> (2, 2)
+  | Binop _ -> (2, 1)
+  | Unop _ -> (1, 1)
+  | Goto _ -> (0, 0)
+  | If_cmp _ -> (2, 0)
+  | If _ -> (1, 0)
+  | Switch _ -> (1, 0)
+  | Get_field _ -> (1, 1)
+  | Put_field _ -> (2, 0)
+  | Get_static _ -> (0, 1)
+  | Put_static _ -> (1, 0)
+  | New _ -> (0, 1)
+  | New_array -> (1, 1)
+  | Array_load -> (2, 1)
+  | Array_store -> (3, 0)
+  | Array_length -> (1, 1)
+  | Invoke_static (_, argc, res) -> (argc, if res then 1 else 0)
+  | Invoke_virtual (_, argc, res) -> (argc + 1, if res then 1 else 0)
+  | Intrinsic (_, argc, res) -> (argc, if res then 1 else 0)
+  | Return -> (0, 0)
+  | Return_value -> (1, 0)
+
+(* Branch targets; [None] elements never occur (kept simple on purpose). *)
+let branch_targets = function
+  | Goto t -> [ t ]
+  | If_cmp (_, t) | If (_, t) -> [ t ]
+  | Switch (cases, d) -> List.map snd cases @ [ d ]
+  | _ -> []
+
+let falls_through = function
+  | Goto _ | Switch _ | Return | Return_value -> false
+  | _ -> true
+
+let is_unconditional_exit i = not (falls_through i)
+
+let cmp_to_binop = function
+  | Ceq -> Ir.Lir.Eq
+  | Cne -> Ir.Lir.Ne
+  | Clt -> Ir.Lir.Lt
+  | Cle -> Ir.Lir.Le
+  | Cgt -> Ir.Lir.Gt
+  | Cge -> Ir.Lir.Ge

@@ -1,0 +1,64 @@
+type error = { at : int; msg : string }
+
+let check_method (m : Classfile.meth) =
+  let n = Array.length m.code in
+  let exception Err of error in
+  let fail at msg = raise (Err { at; msg }) in
+  try
+    if n = 0 then fail 0 "empty code";
+    (* last instruction must not fall through past the end *)
+    if Bc.falls_through m.code.(n - 1) then fail (n - 1) "falls off the end";
+    let depth = Array.make n (-1) in
+    let max_seen = ref 0 in
+    let worklist = Queue.create () in
+    let visit at d =
+      if at < 0 || at >= n then fail at "jump target out of range"
+      else if depth.(at) = -1 then begin
+        depth.(at) <- d;
+        Queue.add at worklist
+      end
+      else if depth.(at) <> d then
+        fail at
+          (Printf.sprintf "inconsistent stack depth at merge: %d vs %d"
+             depth.(at) d)
+    in
+    visit 0 0;
+    while not (Queue.is_empty worklist) do
+      let at = Queue.pop worklist in
+      let i = m.code.(at) in
+      let pops, pushes = Bc.stack_effect i in
+      let d = depth.(at) in
+      if d < pops then fail at "stack underflow";
+      let d' = d - pops + pushes in
+      if d' > !max_seen then max_seen := d';
+      (match i with
+      | Bc.Load s | Bc.Store s ->
+          if s < 0 || s >= m.max_locals then fail at "local slot out of range"
+      | Bc.Return ->
+          if m.returns then fail at "plain return in value-returning method"
+      | Bc.Return_value ->
+          if not m.returns then fail at "value return in void method"
+      | _ -> ());
+      List.iter (fun t -> visit t d') (Bc.branch_targets i);
+      if Bc.falls_through i then visit (at + 1) d'
+    done;
+    Ok !max_seen
+  with Err e -> Error e
+
+let check_program (p : Classfile.program) =
+  List.concat_map
+    (fun (c : Classfile.cls) ->
+      List.filter_map
+        (fun (m : Classfile.meth) ->
+          match check_method m with
+          | Ok _ -> None
+          | Error e -> Some (c.Classfile.cname ^ "." ^ m.Classfile.mname, e))
+        c.Classfile.methods)
+    p
+
+let max_stack m =
+  match check_method m with
+  | Ok d -> d
+  | Error e ->
+      failwith
+        (Printf.sprintf "Bverify: %s at %d: %s" m.Classfile.mname e.at e.msg)

@@ -1,0 +1,17 @@
+(** Bytecode verifier: stack discipline and jump-target sanity.
+
+    The translation to LIR maps each stack depth to a fixed register, which
+    is only sound when every control-flow merge agrees on the stack depth —
+    exactly what this verifier enforces (the same invariant the JVM
+    verifier establishes for Java bytecode). *)
+
+type error = { at : int; msg : string }
+
+val check_method : Classfile.meth -> (int, error) result
+(** Returns the maximum operand-stack depth on success. *)
+
+val check_program : Classfile.program -> (string * error) list
+(** All errors across the program, tagged ["Class.method"]. *)
+
+val max_stack : Classfile.meth -> int
+(** {!check_method}, raising [Failure] on error. *)

@@ -1,0 +1,66 @@
+(* Class-file analog: the unit the jasm frontend produces and the VM links.
+
+   Single inheritance, instance and static int-or-reference fields (the VM
+   is untyped at this level), static and virtual methods.  No interfaces,
+   no constructors (fields zero-initialise), no exceptions. *)
+
+type meth = {
+  mname : string;
+  static : bool;
+  n_args : int; (* not counting the receiver *)
+  returns : bool;
+  max_locals : int; (* includes argument slots; slot 0 = receiver if virtual *)
+  code : Bc.instr array;
+}
+
+type cls = {
+  cname : string;
+  super : string option;
+  fields : string list; (* instance fields declared by this class *)
+  static_fields : string list;
+  methods : meth list;
+}
+
+type program = cls list
+
+let find_class (p : program) name =
+  List.find_opt (fun c -> String.equal c.cname name) p
+
+let find_method (c : cls) name =
+  List.find_opt (fun m -> String.equal m.mname name) c.methods
+
+(* Walk the superclass chain, most-derived first. *)
+let rec ancestry (p : program) (c : cls) =
+  match c.super with
+  | None -> [ c ]
+  | Some s -> (
+      match find_class p s with
+      | None -> [ c ]
+      | Some sc -> c :: ancestry p sc)
+
+(* Method resolution for virtual dispatch: most-derived definition wins.
+   [resolve_method_owner] also reports which class declares it. *)
+let resolve_method_owner (p : program) ~cls ~name =
+  match find_class p cls with
+  | None -> None
+  | Some c ->
+      List.find_map
+        (fun c ->
+          Option.map (fun m -> (c.cname, m)) (find_method c name))
+        (ancestry p c)
+
+let resolve_method (p : program) ~cls ~name =
+  Option.map snd (resolve_method_owner p ~cls ~name)
+
+(* All instance fields of a class including inherited ones, base-first, which
+   fixes the field layout (index of each field in the object). *)
+let instance_layout (p : program) (c : cls) =
+  List.concat_map
+    (fun c -> List.map (fun f -> (c.cname, f)) c.fields)
+    (List.rev (ancestry p c))
+
+let total_code_size (p : program) =
+  List.fold_left
+    (fun acc c ->
+      List.fold_left (fun acc m -> acc + Array.length m.code) acc c.methods)
+    0 p

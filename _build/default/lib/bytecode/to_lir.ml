@@ -1,0 +1,164 @@
+module Lir = Ir.Lir
+
+let method_to_func ~cls (m : Classfile.meth) =
+  let code = m.Classfile.code in
+  let n = Array.length code in
+  let max_stack = Bverify.max_stack m in
+  (* Recompute per-instruction stack depths (the verifier established they
+     are consistent). *)
+  let depth = Array.make n (-1) in
+  let () =
+    let worklist = Queue.create () in
+    let visit at d =
+      if depth.(at) = -1 then begin
+        depth.(at) <- d;
+        Queue.add at worklist
+      end
+    in
+    visit 0 0;
+    while not (Queue.is_empty worklist) do
+      let at = Queue.pop worklist in
+      let pops, pushes = Bc.stack_effect code.(at) in
+      let d' = depth.(at) - pops + pushes in
+      List.iter (fun t -> visit t d') (Bc.branch_targets code.(at));
+      if Bc.falls_through code.(at) then visit (at + 1) d'
+    done
+  in
+  let reachable at = depth.(at) >= 0 in
+  (* Leaders: index 0, branch targets, instructions after a branch. *)
+  let leader = Array.make n false in
+  leader.(0) <- true;
+  Array.iteri
+    (fun at i ->
+      if reachable at then begin
+        List.iter (fun t -> leader.(t) <- true) (Bc.branch_targets i);
+        match i with
+        | Bc.Goto _ | Bc.If_cmp _ | Bc.If _ | Bc.Switch _ | Bc.Return
+        | Bc.Return_value ->
+            if at + 1 < n then leader.(at + 1) <- true
+        | _ -> ()
+      end)
+    code;
+  let n_params = m.Classfile.n_args + if m.Classfile.static then 0 else 1 in
+  let b =
+    Ir.Build.create
+      ~n_regs:(m.Classfile.max_locals + max_stack)
+      ~name:{ Lir.mclass = cls; mname = m.Classfile.mname }
+      ~n_params ()
+  in
+  let scratch = Ir.Build.fresh_reg b in
+  let stack_reg d = m.Classfile.max_locals + d in
+  (* Pre-create a block for every reachable leader. *)
+  let block_of = Array.make n (-1) in
+  for at = 0 to n - 1 do
+    if leader.(at) && reachable at then block_of.(at) <- Ir.Build.new_block b
+  done;
+  let label_of at =
+    assert (block_of.(at) >= 0);
+    block_of.(at)
+  in
+  (* Translate each block. *)
+  for start = 0 to n - 1 do
+    if leader.(start) && reachable start then begin
+      let l = label_of start in
+      let at = ref start in
+      let stop = ref false in
+      while not !stop do
+        let i = code.(!at) in
+        let d = depth.(!at) in
+        let s k = Lir.Reg (stack_reg k) in
+        let emit x = Ir.Build.emit b l x in
+        (match i with
+        | Bc.Const k -> emit (Lir.Move (stack_reg d, Lir.Imm k))
+        | Bc.Load slot -> emit (Lir.Move (stack_reg d, Lir.Reg slot))
+        | Bc.Store slot -> emit (Lir.Move (slot, s (d - 1)))
+        | Bc.Dup -> emit (Lir.Move (stack_reg d, s (d - 1)))
+        | Bc.Pop -> ()
+        | Bc.Swap ->
+            emit (Lir.Move (scratch, s (d - 1)));
+            emit (Lir.Move (stack_reg (d - 1), s (d - 2)));
+            emit (Lir.Move (stack_reg (d - 2), Lir.Reg scratch))
+        | Bc.Binop op ->
+            emit (Lir.Binop (stack_reg (d - 2), op, s (d - 2), s (d - 1)))
+        | Bc.Unop op -> emit (Lir.Unop (stack_reg (d - 1), op, s (d - 1)))
+        | Bc.Goto _ | Bc.If_cmp _ | Bc.If _ | Bc.Switch _ | Bc.Return
+        | Bc.Return_value ->
+            () (* handled as terminators below *)
+        | Bc.Get_field fr ->
+            emit (Lir.Get_field (stack_reg (d - 1), s (d - 1), fr))
+        | Bc.Put_field fr -> emit (Lir.Put_field (s (d - 2), fr, s (d - 1)))
+        | Bc.Get_static fr -> emit (Lir.Get_static (stack_reg d, fr))
+        | Bc.Put_static fr -> emit (Lir.Put_static (fr, s (d - 1)))
+        | Bc.New c -> emit (Lir.New_object (stack_reg d, c))
+        | Bc.New_array -> emit (Lir.New_array (stack_reg (d - 1), s (d - 1)))
+        | Bc.Array_load ->
+            emit (Lir.Array_load (stack_reg (d - 2), s (d - 2), s (d - 1)))
+        | Bc.Array_store ->
+            emit (Lir.Array_store (s (d - 3), s (d - 2), s (d - 1)))
+        | Bc.Array_length ->
+            emit (Lir.Array_length (stack_reg (d - 1), s (d - 1)))
+        | Bc.Invoke_static (target, argc, res) ->
+            let args = List.init argc (fun k -> s (d - argc + k)) in
+            let dst = if res then Some (stack_reg (d - argc)) else None in
+            emit (Lir.Call { dst; kind = Lir.Static; target; args; site = !at })
+        | Bc.Invoke_virtual (target, argc, res) ->
+            let args = List.init (argc + 1) (fun k -> s (d - argc - 1 + k)) in
+            let dst = if res then Some (stack_reg (d - argc - 1)) else None in
+            emit (Lir.Call { dst; kind = Lir.Virtual; target; args; site = !at })
+        | Bc.Intrinsic (name, argc, res) ->
+            let args = List.init argc (fun k -> s (d - argc + k)) in
+            let dst = if res then Some (stack_reg (d - argc)) else None in
+            emit (Lir.Intrinsic { dst; name; args }));
+        (* Terminate or continue the block. *)
+        (match i with
+        | Bc.Goto t -> Ir.Build.set_term b l (Lir.Goto (label_of t))
+        | Bc.If_cmp (c, t) ->
+            Ir.Build.emit b l
+              (Lir.Binop (scratch, Bc.cmp_to_binop c, s (d - 2), s (d - 1)));
+            Ir.Build.set_term b l
+              (Lir.If
+                 {
+                   cond = Lir.Reg scratch;
+                   if_true = label_of t;
+                   if_false = label_of (!at + 1);
+                 })
+        | Bc.If (c, t) ->
+            Ir.Build.emit b l
+              (Lir.Binop (scratch, Bc.cmp_to_binop c, s (d - 1), Lir.Imm 0));
+            Ir.Build.set_term b l
+              (Lir.If
+                 {
+                   cond = Lir.Reg scratch;
+                   if_true = label_of t;
+                   if_false = label_of (!at + 1);
+                 })
+        | Bc.Switch (cases, default) ->
+            Ir.Build.set_term b l
+              (Lir.Switch
+                 {
+                   scrut = s (d - 1);
+                   cases = List.map (fun (c, t) -> (c, label_of t)) cases;
+                   default = label_of default;
+                 })
+        | Bc.Return -> Ir.Build.set_term b l (Lir.Return None)
+        | Bc.Return_value -> Ir.Build.set_term b l (Lir.Return (Some (s (d - 1))))
+        | _ ->
+            if !at + 1 >= n then assert false (* verifier rejects fall-off *)
+            else if leader.(!at + 1) then
+              Ir.Build.set_term b l (Lir.Goto (label_of (!at + 1)))
+            else ());
+        if Ir.Build.has_term b l then stop := true else incr at
+      done
+    end
+  done;
+  let f = Ir.Build.finish b ~entry:(label_of 0) in
+  Ir.Verify.check_exn f;
+  f
+
+let program_to_funcs (p : Classfile.program) =
+  List.concat_map
+    (fun (c : Classfile.cls) ->
+      List.map
+        (fun m -> method_to_func ~cls:c.Classfile.cname m)
+        c.Classfile.methods)
+    p

@@ -1,0 +1,13 @@
+(** Bytecode-to-LIR translation.
+
+    Uses the classic baseline-compiler scheme (as Jalapeno's compilers do):
+    local slot [s] lives in register [s]; operand-stack depth [d] lives in
+    register [max_locals + d].  Because the verifier guarantees consistent
+    stack depths at merges, no phi functions are needed. *)
+
+val method_to_func :
+  cls:string -> Classfile.meth -> Ir.Lir.func
+(** Raises [Failure] when the method does not verify. *)
+
+val program_to_funcs : Classfile.program -> Ir.Lir.func list
+(** Every method of every class, verified and translated. *)

@@ -1,0 +1,1 @@
+lib/core/transform.ml: Array Fun Hashtbl Ir List Option Spec

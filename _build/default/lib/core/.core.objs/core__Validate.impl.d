@@ -1,0 +1,1 @@
+lib/core/validate.ml: Array Ir List Printf String

@@ -1,0 +1,102 @@
+type trigger =
+  | Counter of { interval : int; jitter : int }
+  | Counter_per_thread of { interval : int }
+  | Timer_bit
+  | Always
+  | Never
+
+type t = {
+  mutable trigger : trigger;
+  mutable counter : int;
+  thread_counters : (int, int ref) Hashtbl.t;
+  mutable bit : bool;
+  mutable enabled : bool;
+  mutable rng : int;
+  mutable fired : int;
+}
+
+let create trigger =
+  let counter =
+    match trigger with
+    | Counter { interval; _ } | Counter_per_thread { interval } -> interval
+    | _ -> 0
+  in
+  {
+    trigger;
+    counter;
+    thread_counters = Hashtbl.create 4;
+    bit = false;
+    enabled = true;
+    rng = 0x0BADCAFE;
+    fired = 0;
+  }
+
+let next_jitter t span =
+  t.rng <- ((t.rng * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.rng mod ((2 * span) + 1) - span
+
+let reset_value t =
+  match t.trigger with
+  | Counter { interval; jitter } ->
+      if jitter > 0 then max 1 (interval + next_jitter t jitter) else interval
+  | Counter_per_thread { interval } -> interval
+  | _ -> 0
+
+let fire t tid =
+  if not t.enabled then false
+  else
+    match t.trigger with
+    | Always ->
+        t.fired <- t.fired + 1;
+        true
+    | Never -> false
+    | Counter _ ->
+        if t.counter <= 0 then begin
+          t.fired <- t.fired + 1;
+          t.counter <- reset_value t;
+          t.counter <- t.counter - 1;
+          true
+        end
+        else begin
+          t.counter <- t.counter - 1;
+          false
+        end
+    | Counter_per_thread _ ->
+        let c =
+          match Hashtbl.find_opt t.thread_counters tid with
+          | Some c -> c
+          | None ->
+              let c = ref (reset_value t) in
+              Hashtbl.add t.thread_counters tid c;
+              c
+        in
+        if !c <= 0 then begin
+          t.fired <- t.fired + 1;
+          c := reset_value t - 1;
+          true
+        end
+        else begin
+          decr c;
+          false
+        end
+    | Timer_bit ->
+        if t.bit then begin
+          t.bit <- false;
+          t.fired <- t.fired + 1;
+          true
+        end
+        else false
+
+let on_timer_tick t =
+  match t.trigger with Timer_bit -> t.bit <- true | _ -> ()
+
+let set_interval t interval =
+  (match t.trigger with
+  | Counter { jitter; _ } -> t.trigger <- Counter { interval; jitter }
+  | Counter_per_thread _ -> t.trigger <- Counter_per_thread { interval }
+  | _ -> ());
+  t.counter <- min t.counter interval
+
+let disable t = t.enabled <- false
+let enable t = t.enabled <- true
+let samples_fired t = t.fired

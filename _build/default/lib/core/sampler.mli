@@ -1,0 +1,45 @@
+(** Trigger mechanisms and the runtime sampling state.
+
+    The default trigger is the paper's compiler-inserted counter-based
+    sampling (Figure 3):
+
+    {v
+      if (globalCounter <= 0) { takeSample(); globalCounter = resetValue; }
+      globalCounter--;
+    v}
+
+    [fire] implements exactly that; the VM calls it once per executed
+    check.  Alternatives reproduce section 2.1/4.6: a timer-set bit
+    (inaccurate attribution), per-thread counters (no contention), and a
+    randomized interval (the DCPI-style jitter discussed in section 4.4). *)
+
+type trigger =
+  | Counter of { interval : int; jitter : int }
+      (** global counter; when [jitter > 0] each reset draws the next
+          interval uniformly from [interval ± jitter] (deterministically) *)
+  | Counter_per_thread of { interval : int }
+  | Timer_bit  (** sample when the simulated timer has set the bit *)
+  | Always  (** sample interval 1 — the paper's "perfect profile" config *)
+  | Never  (** checks execute but never fire (framework-overhead configs) *)
+
+type t
+
+val create : trigger -> t
+
+val fire : t -> int -> bool
+(** [fire t tid] — the sample condition, with Figure 3's counter update. *)
+
+val on_timer_tick : t -> unit
+(** Wire to {!Vm.Interp.hooks.on_timer_tick}: sets the bit for
+    [Timer_bit] triggers, no-op otherwise. *)
+
+val set_interval : t -> int -> unit
+(** Runtime tunability ("the tradeoff between overhead and accuracy
+    [can] be adjusted easily at runtime"). *)
+
+val disable : t -> unit
+(** Sets the sample condition permanently false — the paper's way of
+    retiring instrumented code that never exits. *)
+
+val enable : t -> unit
+val samples_fired : t -> int

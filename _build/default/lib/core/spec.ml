@@ -1,0 +1,99 @@
+module Lir = Ir.Lir
+
+type site =
+  | At_entry
+  | Before_instr of Lir.label * int
+  | On_edge of Lir.label * Lir.label
+
+type insertion = { site : site; op : Lir.instrument_op }
+
+type t = { spec_name : string; plan : Lir.func -> insertion list }
+
+let call_edge =
+  {
+    spec_name = "call-edge";
+    plan =
+      (fun _f ->
+        [ { site = At_entry; op = { Lir.hook = "call_edge"; payload = Lir.P_unit } } ]);
+  }
+
+let field_access =
+  {
+    spec_name = "field-access";
+    plan =
+      (fun f ->
+        let acc = ref [] in
+        for l = 0 to Lir.num_blocks f - 1 do
+          let b = Lir.block f l in
+          if b.Lir.role <> Lir.Dead then
+            Array.iteri
+              (fun i instr ->
+                match instr with
+                | Lir.Get_field (_, _, fld) ->
+                    acc :=
+                      {
+                        site = Before_instr (l, i);
+                        op =
+                          { Lir.hook = "field_access"; payload = Lir.P_field (fld, false) };
+                      }
+                      :: !acc
+                | Lir.Put_field (_, fld, _) ->
+                    acc :=
+                      {
+                        site = Before_instr (l, i);
+                        op =
+                          { Lir.hook = "field_access"; payload = Lir.P_field (fld, true) };
+                      }
+                      :: !acc
+                | _ -> ())
+              b.Lir.instrs
+        done;
+        List.rev !acc);
+  }
+
+let edge_profile =
+  {
+    spec_name = "edge-profile";
+    plan =
+      (fun f ->
+        List.map
+          (fun (u, v) ->
+            {
+              site = On_edge (u, v);
+              op = { Lir.hook = "edge"; payload = Lir.P_edge (u, v) };
+            })
+          (Ir.Cfg.edges f));
+  }
+
+let value_profile =
+  {
+    spec_name = "value-profile";
+    plan =
+      (fun f ->
+        let acc = ref [] in
+        for l = 0 to Lir.num_blocks f - 1 do
+          let b = Lir.block f l in
+          if b.Lir.role <> Lir.Dead then
+            Array.iteri
+              (fun i instr ->
+                match instr with
+                | Lir.Call { args = a0 :: _; site = s; _ } ->
+                    acc :=
+                      {
+                        site = Before_instr (l, i);
+                        op = { Lir.hook = "value"; payload = Lir.P_value (a0, s) };
+                      }
+                      :: !acc
+                | _ -> ())
+              b.Lir.instrs
+        done;
+        List.rev !acc);
+  }
+
+let combine specs =
+  {
+    spec_name = String.concat "+" (List.map (fun s -> s.spec_name) specs);
+    plan = (fun f -> List.concat_map (fun s -> s.plan f) specs);
+  }
+
+let plan_for t f = t.plan f

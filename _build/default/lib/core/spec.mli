@@ -1,0 +1,45 @@
+(** Instrumentation specifications.
+
+    A spec describes *where* instrumentation operations attach in a method
+    and *what* operation runs there; it never concerns itself with
+    overhead — that is the framework's job (the paper's stated goal:
+    "implementors of instrumentation techniques ... can concentrate on
+    developing new techniques quickly and correctly"). *)
+
+type site =
+  | At_entry  (** once on method entry *)
+  | Before_instr of Ir.Lir.label * int
+      (** immediately before instruction [idx] of block [label] *)
+  | On_edge of Ir.Lir.label * Ir.Lir.label  (** on a CFG edge *)
+
+type insertion = { site : site; op : Ir.Lir.instrument_op }
+
+type t = {
+  spec_name : string;
+  plan : Ir.Lir.func -> insertion list;
+      (** compute the insertions for a method (labels/indices refer to the
+          un-duplicated code) *)
+}
+
+val call_edge : t
+(** The paper's first example: every method entry records the
+    (caller, call-site, callee) edge — payload [P_unit]; the runtime
+    collector walks the stack. *)
+
+val field_access : t
+(** The paper's second example: every [Get_field]/[Put_field] bumps a
+    per-field counter — payload [P_field]. *)
+
+val edge_profile : t
+(** Intraprocedural edge profiling (listed by the paper as working
+    unmodified in the framework): one op per CFG edge, [P_edge]. *)
+
+val value_profile : t
+(** Value profiling of call arguments (Calder et al. style TNV tables):
+    observes the first argument of each call — payload [P_value]. *)
+
+val combine : t list -> t
+(** Multiple instrumentations at once — the paper's "multiple types of
+    instrumentation ... while recompiling the method only once". *)
+
+val plan_for : t -> Ir.Lir.func -> insertion list

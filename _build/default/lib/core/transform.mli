@@ -1,0 +1,48 @@
+(** The instrumentation-sampling transformations (the paper's section 2
+    and 3, plus the section 4.5 yieldpoint optimization).
+
+    All transforms take the method *after* optimization and yieldpoint
+    insertion — the paper applies its framework "in the last phase of
+    Jalapeno's low-level IR" — and return a new function; the input is
+    never mutated. *)
+
+type result = {
+  func : Ir.Lir.func;
+  static_checks : int; (** check sites present in the emitted code *)
+  duplicated_blocks : int; (** blocks with role [Dup] *)
+}
+
+val exhaustive : Spec.t -> Ir.Lir.func -> result
+(** Insert every instrumentation operation unconditionally (no framework) —
+    the baseline of Table 1. *)
+
+val checks_only :
+  entries:bool -> backedges:bool -> Ir.Lir.func -> result
+(** Insert checks that never divert control (sample target = fall-through)
+    and duplicate nothing: the configuration the paper uses to break down
+    direct check overhead in Table 2 ("this configuration cannot be used
+    to sample instrumentation"). *)
+
+val full_dup : Spec.t -> Ir.Lir.func -> result
+(** Full-Duplication (section 2): duplicate all code, checks on method
+    entry and all backedges of the checking code, all instrumentation in
+    the duplicated code, duplicated-code backedges transfer back to the
+    checking code.  Guarantees Property 1. *)
+
+val full_dup_yieldpoint_opt : Spec.t -> Ir.Lir.func -> result
+(** Full-Duplication with the Jalapeno-specific optimization (section
+    4.5): yieldpoints are removed from the checking code and only survive
+    in the duplicated code, so the checks subsume their cost. *)
+
+val partial_dup : Spec.t -> Ir.Lir.func -> result
+(** Partial-Duplication (section 3.1): Full-Duplication, then removal of
+    top-nodes and bottom-nodes from the duplicated code with the check
+    adjustments of the paper, preserving Property 1. *)
+
+val no_dup : Spec.t -> Ir.Lir.func -> result
+(** No-Duplication (section 3.2): no code duplication; every
+    instrumentation operation is individually guarded by a check.
+    Property 1 may be violated. *)
+
+val count_checks : Ir.Lir.func -> int
+(** Static check sites ([Check] terminators + guarded ops) in a function. *)

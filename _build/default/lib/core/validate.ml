@@ -1,0 +1,107 @@
+module Lir = Ir.Lir
+
+type error = { where : string; what : string }
+
+(* instrumentation ops and yieldpoints are erased before comparing code:
+   they are the only legal differences between the two versions (the
+   yieldpoint optimization strips yieldpoints from the checking code) *)
+let erase instrs =
+  Array.to_list instrs
+  |> List.filter (function
+       | Lir.Instrument _ | Lir.Guarded_instrument _ | Lir.Yieldpoint _ ->
+           false
+       | _ -> true)
+
+(* terminator comparison that ignores target labels (they necessarily
+   differ between the versions) but not computed operands *)
+let term_shape = function
+  | Lir.Goto _ -> `Goto
+  | Lir.If { cond; _ } -> `If cond
+  | Lir.Switch { scrut; cases; default = _ } ->
+      `Switch (scrut, List.map fst cases)
+  | Lir.Return v -> `Return v
+  | Lir.Check _ -> `Check
+
+let check (f : Lir.func) =
+  let errs = ref [] in
+  let err where fmt =
+    Printf.ksprintf (fun what -> errs := { where; what } :: !errs) fmt
+  in
+  let n = Lir.num_blocks f in
+  let fname = Lir.string_of_method_ref f.Lir.fname in
+  (* collect the erased bodies of the checking code *)
+  let checking_bodies = ref [] in
+  for l = 0 to n - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role = Lir.Orig then
+      checking_bodies := (erase b.Lir.instrs, term_shape b.Lir.term) :: !checking_bodies
+  done;
+  for l = 0 to n - 1 do
+    let b = Lir.block f l in
+    let where = Printf.sprintf "%s L%d" fname l in
+    match b.Lir.role with
+    | Lir.Dead -> ()
+    | Lir.Orig | Lir.Check_block -> (
+        (* no unguarded instrumentation outside the duplicated code *)
+        Array.iter
+          (function
+            | Lir.Instrument _ ->
+                err where "unguarded instrumentation in checking code"
+            | _ -> ())
+          b.Lir.instrs;
+        match b.Lir.term with
+        | Lir.Check { on_sample; fall } ->
+            if on_sample <> fall then begin
+              (match (Lir.block f on_sample).Lir.role with
+              | Lir.Dup -> ()
+              | _ -> err where "check sample target is not duplicated code");
+              match (Lir.block f fall).Lir.role with
+              | Lir.Orig | Lir.Check_block -> ()
+              | _ -> err where "check fall-through leaves the checking code"
+            end
+        | _ -> ())
+    | Lir.Dup -> (
+        (* faithful-copy requirement, with synthetic transfer blocks
+           (instrumentation + goto only) exempt *)
+        let body = erase b.Lir.instrs in
+        let shape = term_shape b.Lir.term in
+        (match b.Lir.term with Lir.Check _ -> err where "check in duplicated code" | _ -> ());
+        match (body, shape) with
+        | [], `Goto -> ()
+        | _ ->
+            if
+              not
+                (List.exists
+                   (fun (ob, os) -> ob = body && os = shape)
+                   !checking_bodies)
+            then
+              err where
+                "duplicated block is not a copy of any checking-code block")
+  done;
+  (* the duplicated subgraph must be acyclic *)
+  let color = Array.make n 0 in
+  let rec dfs u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if (Lir.block f v).Lir.role = Lir.Dup then begin
+          if color.(v) = 1 then
+            err (Printf.sprintf "%s L%d" fname u) "cycle within duplicated code"
+          else if color.(v) = 0 then dfs v
+        end)
+      (Ir.Cfg.succs f u);
+    color.(u) <- 2
+  in
+  for l = 0 to n - 1 do
+    if (Lir.block f l).Lir.role = Lir.Dup && color.(l) = 0 then dfs l
+  done;
+  List.rev !errs
+
+let check_exn f =
+  match check f with
+  | [] -> ()
+  | errs ->
+      failwith
+        ("Core.Validate: "
+        ^ String.concat "; "
+            (List.map (fun e -> e.where ^ ": " ^ e.what) errs))

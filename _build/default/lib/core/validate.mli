@@ -1,0 +1,22 @@
+(** Static validation of transformed methods.
+
+    [Verify] (in the ir library) checks generic well-formedness; this
+    module checks the properties specific to the sampling transformation:
+
+    - the checking code contains no unguarded instrumentation;
+    - the duplicated subgraph is acyclic (bounded time per sample);
+    - every check's sample target lies in the duplicated code and its
+      fall-through in the checking code (or both coincide, for the
+      checks-only configuration);
+    - every duplicated block is a faithful copy of some checking-code
+      block: same instructions after erasing instrumentation ops and
+      same terminator shape (so running the duplicated code computes
+      exactly what the checking code would).
+
+    Running it after every transform in tests makes "the duplicated code
+    is the same program" a checked invariant rather than a comment. *)
+
+type error = { where : string; what : string }
+
+val check : Ir.Lir.func -> error list
+val check_exn : Ir.Lir.func -> unit

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Common Core Ir List Measure Printf Profiles Text_table Vm Workloads

@@ -1,0 +1,1 @@
+lib/harness/common.ml: Core Hashtbl List Measure Profiles Workloads

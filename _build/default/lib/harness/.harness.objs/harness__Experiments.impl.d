@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Figure7 Figure8 List Table1 Table2 Table3 Table4 Table5

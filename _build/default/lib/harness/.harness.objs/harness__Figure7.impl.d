@@ -1,0 +1,1 @@
+lib/harness/figure7.ml: Common Core List Measure Option Printf Profiles String Text_table Workloads

@@ -1,0 +1,1 @@
+lib/harness/figure8.ml: Common Core List Measure Text_table Workloads

@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Bytecode Core Fun Hashtbl Ir List Opt Printf Profiles String Vm Workloads

@@ -1,0 +1,1 @@
+lib/harness/measure.mli: Bytecode Core Ir Opt Profiles Workloads

@@ -1,0 +1,1 @@
+lib/harness/table1.ml: Common Core List Measure Text_table Workloads

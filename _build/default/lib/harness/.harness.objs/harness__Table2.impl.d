@@ -1,0 +1,1 @@
+lib/harness/table2.ml: Common Core List Measure Opt Text_table Workloads

@@ -1,0 +1,1 @@
+lib/harness/table3.ml: Common Core List Measure Text_table Workloads

@@ -1,0 +1,1 @@
+lib/harness/table4.ml: Common Core List Measure Printf Profiles Text_table

@@ -1,0 +1,1 @@
+lib/harness/table5.ml: Common Core List Measure Profiles Text_table Workloads

@@ -1,0 +1,1 @@
+lib/harness/text_table.ml: List Option Printf String

@@ -1,0 +1,1 @@
+lib/harness/text_table.mli:

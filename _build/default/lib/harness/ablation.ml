@@ -1,0 +1,258 @@
+(* Ablation studies for the design choices the paper discusses but does
+   not table:
+
+   A1 — deterministic vs randomized sample interval (section 4.4: "adding
+        a small random factor to the sample interval ... could possibly
+        even increase the accuracy in the expected case").  Our synthetic
+        loops are more periodic than SPECjvm98, so the aliasing worst
+        case is visible and the jitter repairs it.
+   A2 — naive 5-instruction check vs a PowerPC-style decrement-and-check
+        single instruction (section 2.2's hardware remark).
+   A3 — duplication strategy (Full / Partial / No) vs instrumentation
+        density: code size and overhead, the section 3 trade-off.
+   A4 — global vs per-thread sampling counter on the threaded benchmarks
+        (section 2.2's multiprocessor concern). *)
+
+module Lir = Ir.Lir
+
+let both = Common.both_specs
+
+(* ------------------------------------------------------------------ *)
+(* A1: trigger determinism                                             *)
+(* ------------------------------------------------------------------ *)
+
+type a1_row = {
+  a1_bench : string;
+  interval : int;
+  det_acc : float;
+  jit_acc : float;
+}
+
+let run_a1 ?scale () =
+  List.concat_map
+    (fun bname ->
+      let build = Measure.prepare ?scale (Workloads.Suite.find bname) in
+      let perfect_ce, _ = Common.perfect_profiles build in
+      List.map
+        (fun interval ->
+          let acc jitter =
+            let m =
+              Measure.run_transformed
+                ~trigger:(Core.Sampler.Counter { interval; jitter })
+                ~transform:(Core.Transform.full_dup both)
+                build
+            in
+            Profiles.Overlap.percent perfect_ce
+              (Profiles.Call_edge.to_keyed
+                 m.Measure.collector.Profiles.Collector.call_edges)
+          in
+          {
+            a1_bench = bname;
+            interval;
+            det_acc = acc 0;
+            jit_acc = acc (max 1 (interval / 4));
+          })
+        [ 10; 100; 1000 ])
+    [ "mpegaudio"; "compress"; "jess"; "javac" ]
+
+let a1_to_string rows =
+  "Ablation A1: deterministic vs randomized sample interval (call-edge \
+   accuracy)\n"
+  ^ Text_table.render
+      ~header:[ "Benchmark"; "Interval"; "Deterministic (%)"; "Jittered (%)" ]
+      (List.map
+         (fun r ->
+           [
+             r.a1_bench;
+             string_of_int r.interval;
+             Text_table.pct r.det_acc;
+             Text_table.pct r.jit_acc;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* A2: check implementation cost                                       *)
+(* ------------------------------------------------------------------ *)
+
+type a2_row = { a2_bench : string; naive : float; count_register : float }
+
+let framework_overhead_with costs build =
+  let transform f = (Core.Transform.full_dup both f).Core.Transform.func in
+  let funcs = List.map transform build.Measure.base_funcs in
+  let run fs =
+    Vm.Interp.run ~use_icache:true ~costs
+      (Vm.Program.link build.Measure.classes ~funcs:fs)
+      ~entry:Workloads.Suite.entry
+      ~args:[ build.Measure.scale ]
+      Vm.Interp.null_hooks
+  in
+  let base = run build.Measure.base_funcs in
+  let instr = run funcs in
+  100.0
+  *. float_of_int (instr.Vm.Interp.cycles - base.Vm.Interp.cycles)
+  /. float_of_int base.Vm.Interp.cycles
+
+let run_a2 ?scale () =
+  List.map
+    (fun bench ->
+      let build = Measure.prepare ?scale bench in
+      {
+        a2_bench = bench.Workloads.Suite.bname;
+        naive = framework_overhead_with Vm.Costs.default build;
+        count_register =
+          framework_overhead_with Vm.Costs.hardware_count_register build;
+      })
+    (Common.benchmarks ())
+
+let a2_to_string rows =
+  "Ablation A2: naive check vs hardware decrement-and-check (framework \
+   overhead)\n"
+  ^ Text_table.render
+      ~header:[ "Benchmark"; "Naive 5-op check (%)"; "Count register (%)" ]
+      (List.map
+         (fun r ->
+           [
+             r.a2_bench;
+             Text_table.pct r.naive;
+             Text_table.pct r.count_register;
+           ])
+         rows
+      @ [
+          [
+            "Average";
+            Text_table.pct (Common.mean (List.map (fun r -> r.naive) rows));
+            Text_table.pct
+              (Common.mean (List.map (fun r -> r.count_register) rows));
+          ];
+        ])
+
+(* ------------------------------------------------------------------ *)
+(* A3: duplication strategy vs instrumentation density                 *)
+(* ------------------------------------------------------------------ *)
+
+type a3_row = {
+  density : string;
+  variant : string;
+  space_ratio : float; (* code words vs baseline *)
+  framework : float; (* checking overhead, no samples *)
+  sampled_1000 : float; (* total overhead at interval 1000 *)
+}
+
+let run_a3 ?scale () =
+  let build = Measure.prepare ?scale (Workloads.Suite.find "javac") in
+  let base = Measure.run_baseline build in
+  List.concat_map
+    (fun (density, spec) ->
+      List.map
+        (fun (variant, transform) ->
+          let fw = Measure.run_transformed ~transform build in
+          let sampled =
+            Measure.run_transformed
+              ~trigger:(Core.Sampler.Counter { interval = 1_000; jitter = 0 })
+              ~transform build
+          in
+          {
+            density;
+            variant;
+            space_ratio =
+              float_of_int fw.Measure.code_words
+              /. float_of_int base.Measure.code_words;
+            framework = Measure.overhead_pct ~base fw;
+            sampled_1000 = Measure.overhead_pct ~base sampled;
+          })
+        [
+          ("full-dup", Core.Transform.full_dup spec);
+          ("partial-dup", Core.Transform.partial_dup spec);
+          ("no-dup", Core.Transform.no_dup spec);
+        ])
+    [
+      ("sparse (call-edge)", Core.Spec.call_edge);
+      ("dense (call-edge+field)", both);
+    ]
+
+let a3_to_string rows =
+  "Ablation A3: duplication strategy vs instrumentation density (javac)\n"
+  ^ Text_table.render
+      ~header:
+        [ "Density"; "Variant"; "Space ratio"; "Framework (%)"; "Sampled@1000 (%)" ]
+      (List.map
+         (fun r ->
+           [
+             r.density;
+             r.variant;
+             Printf.sprintf "%.2f" r.space_ratio;
+             Text_table.pct r.framework;
+             Text_table.pct r.sampled_1000;
+           ])
+         rows)
+
+(* ------------------------------------------------------------------ *)
+(* A4: global vs per-thread counter                                    *)
+(* ------------------------------------------------------------------ *)
+
+type a4_row = {
+  a4_bench : string;
+  global_acc : float;
+  per_thread_acc : float;
+  global_samples : int;
+  per_thread_samples : int;
+}
+
+let run_a4 ?scale () =
+  List.map
+    (fun bname ->
+      let build = Measure.prepare ?scale (Workloads.Suite.find bname) in
+      let perfect_ce, _ = Common.perfect_profiles build in
+      let run trigger =
+        let m =
+          Measure.run_transformed ~trigger
+            ~transform:(Core.Transform.full_dup both)
+            build
+        in
+        ( Profiles.Overlap.percent perfect_ce
+            (Profiles.Call_edge.to_keyed
+               m.Measure.collector.Profiles.Collector.call_edges),
+          m.Measure.samples )
+      in
+      let ga, gs = run (Core.Sampler.Counter { interval = 500; jitter = 0 }) in
+      let pa, ps = run (Core.Sampler.Counter_per_thread { interval = 500 }) in
+      {
+        a4_bench = bname;
+        global_acc = ga;
+        per_thread_acc = pa;
+        global_samples = gs;
+        per_thread_samples = ps;
+      })
+    [ "pbob"; "volano" ]
+
+let a4_to_string rows =
+  "Ablation A4: global vs per-thread sampling counter (threaded \
+   benchmarks, call-edge accuracy)\n"
+  ^ Text_table.render
+      ~header:
+        [
+          "Benchmark";
+          "Global acc (%)";
+          "Per-thread acc (%)";
+          "Global samples";
+          "Per-thread samples";
+        ]
+      (List.map
+         (fun r ->
+           [
+             r.a4_bench;
+             Text_table.pct r.global_acc;
+             Text_table.pct r.per_thread_acc;
+             string_of_int r.global_samples;
+             string_of_int r.per_thread_samples;
+           ])
+         rows)
+
+let run_all ?scale () =
+  print_string (a1_to_string (run_a1 ?scale ()));
+  print_newline ();
+  print_string (a2_to_string (run_a2 ?scale ()));
+  print_newline ();
+  print_string (a3_to_string (run_a3 ?scale ()));
+  print_newline ();
+  print_string (a4_to_string (run_a4 ?scale ()))

@@ -1,0 +1,33 @@
+(* Shared experiment configuration. *)
+
+let both_specs = Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
+
+let sample_intervals = [ 1; 10; 100; 1_000; 10_000; 100_000 ]
+
+let benchmarks () = Workloads.Suite.all
+
+(* Perfect profiles (sample interval 1 — all execution in duplicated code),
+   cached per benchmark. *)
+let perfect_cache : (string, (string * int) list * (string * int) list) Hashtbl.t
+    =
+  Hashtbl.create 16
+
+let perfect_profiles (build : Measure.build) =
+  let key = build.Measure.bench.Workloads.Suite.bname in
+  match Hashtbl.find_opt perfect_cache key with
+  | Some p -> p
+  | None ->
+      let m =
+        Measure.run_transformed ~trigger:Core.Sampler.Always
+          ~transform:(Core.Transform.full_dup both_specs)
+          build
+      in
+      let p =
+        ( Profiles.Call_edge.to_keyed m.Measure.collector.Profiles.Collector.call_edges,
+          Profiles.Field_access.to_keyed
+            m.Measure.collector.Profiles.Collector.fields )
+      in
+      Hashtbl.add perfect_cache key p;
+      p
+
+let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)

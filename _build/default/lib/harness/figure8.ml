@@ -1,0 +1,96 @@
+(* Figure 8: the Jalapeno-specific yieldpoint optimization (section 4.5).
+
+   (A) framework overhead per benchmark with yieldpoints moved into the
+       duplicated code — the checks absorb the yieldpoint cost, dropping
+       the paper's 4.9% average to 1.4%;
+   (B) total sampling overhead (both instrumentations) vs sample
+       interval, converging to ~1.5% instead of ~5%. *)
+
+type row_a = { bench : string; framework : float }
+
+type row_b = { interval : int; total : float }
+
+type data = { a : row_a list; b : row_b list }
+
+let paper_a =
+  [
+    ("compress", 1.4);
+    ("jess", -0.5);
+    ("db", 1.6);
+    ("javac", 2.2);
+    ("mpegaudio", -2.1);
+    ("mtrt", 1.9);
+    ("jack", 0.8);
+    ("opt_compiler", 4.8);
+    ("pbob", 1.4);
+    ("volano", 0.5);
+  ]
+
+let paper_b =
+  [
+    (1, 179.9);
+    (10, 27.6);
+    (100, 8.1);
+    (1_000, 3.0);
+    (10_000, 1.5);
+    (100_000, 1.5);
+  ]
+
+let transform = Core.Transform.full_dup_yieldpoint_opt Common.both_specs
+
+let run ?scale () =
+  let a =
+    List.map
+      (fun bench ->
+        let build = Measure.prepare ?scale bench in
+        let base = Measure.run_baseline build in
+        let fw = Measure.run_transformed ~transform build in
+        Measure.check_output ~base fw;
+        {
+          bench = bench.Workloads.Suite.bname;
+          framework = Measure.overhead_pct ~base fw;
+        })
+      (Common.benchmarks ())
+  in
+  let b =
+    List.map
+      (fun interval ->
+        let totals =
+          List.map
+            (fun bench ->
+              let build = Measure.prepare ?scale bench in
+              let base = Measure.run_baseline build in
+              let m =
+                Measure.run_transformed
+                  ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+                  ~transform build
+              in
+              Measure.overhead_pct ~base m)
+            (Common.benchmarks ())
+        in
+        { interval; total = Common.mean totals })
+      Common.sample_intervals
+  in
+  { a; b }
+
+let to_string d =
+  "Figure 8 (A): framework overhead with the yieldpoint optimization\n"
+  ^ Text_table.render
+      ~header:[ "Benchmark"; "Framework (%)" ]
+      (List.map (fun r -> [ r.bench; Text_table.pct r.framework ]) d.a
+      @ [
+          [
+            "Average";
+            Text_table.pct (Common.mean (List.map (fun r -> r.framework) d.a));
+          ];
+        ])
+  ^ "\nFigure 8 (B): total sampling overhead vs interval (avg over benchmarks)\n"
+  ^ Text_table.render
+      ~header:[ "Interval"; "Total (%)" ]
+      (List.map
+         (fun r -> [ string_of_int r.interval; Text_table.pct r.total ])
+         d.b)
+
+let print d =
+  print_string "Figure 8: Jalapeno-specific yieldpoint optimization\n";
+  print_string (to_string d)

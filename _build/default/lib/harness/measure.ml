@@ -1,0 +1,121 @@
+module Lir = Ir.Lir
+
+type build = {
+  bench : Workloads.Suite.benchmark;
+  scale : int;
+  classes : Bytecode.Classfile.program;
+  base_funcs : Lir.func list;
+}
+
+let build_cache : (string * int, build) Hashtbl.t = Hashtbl.create 16
+
+let prepare ?(scale = 0) (bench : Workloads.Suite.benchmark) =
+  let scale = if scale = 0 then bench.Workloads.Suite.default_scale else scale in
+  let key = (bench.Workloads.Suite.bname, scale) in
+  match Hashtbl.find_opt build_cache key with
+  | Some b -> b
+  | None ->
+      let classes = Workloads.Suite.compile bench in
+      let base_funcs =
+        Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes)
+      in
+      let b = { bench; scale; classes; base_funcs } in
+      Hashtbl.add build_cache key b;
+      b
+
+type metrics = {
+  cycles : int;
+  instructions : int;
+  checks : int;
+  samples : int;
+  entries : int;
+  backedge_yps : int;
+  instrument_ops : int;
+  output : string;
+  code_words : int;
+  collector : Profiles.Collector.t;
+}
+
+let metrics_of prog (res : Vm.Interp.result) collector =
+  {
+    cycles = res.Vm.Interp.cycles;
+    instructions = res.Vm.Interp.instructions;
+    checks = res.Vm.Interp.counters.Vm.Interp.checks;
+    samples = res.Vm.Interp.counters.Vm.Interp.samples;
+    entries = res.Vm.Interp.counters.Vm.Interp.entries;
+    backedge_yps = res.Vm.Interp.counters.Vm.Interp.backedge_yps;
+    instrument_ops = res.Vm.Interp.counters.Vm.Interp.instrument_ops;
+    output = res.Vm.Interp.output;
+    code_words = prog.Vm.Program.total_code_words;
+    collector;
+  }
+
+let execute ?timer_period build funcs hooks collector =
+  let prog = Vm.Program.link build.classes ~funcs in
+  let res =
+    Vm.Interp.run ~use_icache:true ?timer_period prog
+      ~entry:Workloads.Suite.entry ~args:[ build.scale ] hooks
+  in
+  metrics_of prog res collector
+
+let baseline_cache : (string * int, metrics) Hashtbl.t = Hashtbl.create 16
+
+let run_baseline build =
+  let key = (build.bench.Workloads.Suite.bname, build.scale) in
+  match Hashtbl.find_opt baseline_cache key with
+  | Some m -> m
+  | None ->
+      let collector = Profiles.Collector.create () in
+      let m =
+        execute build build.base_funcs Vm.Interp.null_hooks collector
+      in
+      Hashtbl.add baseline_cache key m;
+      m
+
+let run_transformed ?(trigger = Core.Sampler.Never) ?timer_period ~transform
+    build =
+  let funcs =
+    List.map
+      (fun f -> (transform f).Core.Transform.func)
+      build.base_funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler = Core.Sampler.create trigger in
+  let hooks = Profiles.Collector.hooks collector sampler in
+  execute ?timer_period build funcs hooks collector
+
+let overhead_pct ~base m =
+  100.0 *. float_of_int (m.cycles - base.cycles) /. float_of_int base.cycles
+
+let check_output ~base m =
+  if not (String.equal base.output m.output) then
+    failwith
+      (Printf.sprintf
+         "instrumented run changed program output (%S vs %S prefixes)"
+         (String.sub base.output 0 (min 40 (String.length base.output)))
+         (String.sub m.output 0 (min 40 (String.length m.output))))
+
+let median l =
+  let s = List.sort compare l in
+  List.nth s (List.length s / 2)
+
+let compile_stats ~transform build =
+  let raw_funcs = Bytecode.To_lir.program_to_funcs build.classes in
+  let time_pipeline tr =
+    let samples =
+      List.init 5 (fun _ ->
+          let _, stats = Opt.Pipeline.compile ~transform:tr raw_funcs in
+          stats)
+    in
+    let pick f = median (List.map f samples) in
+    {
+      Opt.Pipeline.seconds_front = pick (fun s -> s.Opt.Pipeline.seconds_front);
+      seconds_transform = pick (fun s -> s.Opt.Pipeline.seconds_transform);
+      seconds_back = pick (fun s -> s.Opt.Pipeline.seconds_back);
+    }
+  in
+  let base = time_pipeline Fun.id in
+  let instr =
+    time_pipeline (fun f -> (transform f).Core.Transform.func)
+  in
+  (base, instr)

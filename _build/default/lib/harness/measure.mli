@@ -1,0 +1,58 @@
+(** Measurement plumbing shared by every experiment driver.
+
+    A [build] is a benchmark compiled through the baseline pipeline
+    (optimizer + yieldpoints).  Experiment drivers re-transform its
+    post-frontend LIR and run the VM with the instruction cache model on,
+    comparing cycle counts against the baseline run of the same build —
+    the analog of the paper's "overhead relative to the original,
+    non-instrumented code". *)
+
+type build = {
+  bench : Workloads.Suite.benchmark;
+  scale : int;
+  classes : Bytecode.Classfile.program;
+  base_funcs : Ir.Lir.func list; (* optimized, yieldpoints inserted *)
+}
+
+val prepare : ?scale:int -> Workloads.Suite.benchmark -> build
+(** Memoized per (benchmark, scale). *)
+
+type metrics = {
+  cycles : int;
+  instructions : int;
+  checks : int;
+  samples : int;
+  entries : int;
+  backedge_yps : int;
+  instrument_ops : int;
+  output : string;
+  code_words : int; (* linked code size, in instruction words *)
+  collector : Profiles.Collector.t;
+}
+
+val run_baseline : build -> metrics
+(** Memoized; the denominator of every overhead figure. *)
+
+val run_transformed :
+  ?trigger:Core.Sampler.trigger ->
+  ?timer_period:int ->
+  transform:(Ir.Lir.func -> Core.Transform.result) ->
+  build ->
+  metrics
+(** Applies [transform] to every function of the build (backend passes
+    afterwards are not re-run: overhead measurement isolates the
+    framework), links, and runs with a fresh collector.  Default trigger
+    is [Never] (framework-overhead configurations). *)
+
+val overhead_pct : base:metrics -> metrics -> float
+(** Percent overhead in cycles relative to [base]. *)
+
+val check_output : base:metrics -> metrics -> unit
+(** Raises [Failure] when the transformed run printed something different —
+    every experiment doubles as a semantics test. *)
+
+val compile_stats :
+  transform:(Ir.Lir.func -> Core.Transform.result) ->
+  build ->
+  Opt.Pipeline.compile_stats * Opt.Pipeline.compile_stats
+(** (baseline, transformed) wall-clock pipeline timings, median of 5. *)

@@ -1,0 +1,66 @@
+(* Table 1: time overhead of exhaustive instrumentation (no framework),
+   call-edge and field-access, per benchmark.
+
+   Paper: call-edge averages 88.3%, field-access 60.4%; db is the lowest
+   row on both, compress the field-access-heaviest, opt-compiler the
+   call-heaviest.  "Clearly, these instrumentations as implemented here
+   are too expensive to execute unnoticed at runtime." *)
+
+type row = { bench : string; call_edge : float; field_access : float }
+
+let paper =
+  [
+    ("compress", 72.4, 204.8);
+    ("jess", 133.2, 60.9);
+    ("db", 8.3, 7.7);
+    ("javac", 75.7, 14.2);
+    ("mpegaudio", 129.6, 99.8);
+    ("mtrt", 122.2, 46.0);
+    ("jack", 34.3, 108.7);
+    ("opt_compiler", 189.0, 34.9);
+    ("pbob", 72.3, 20.2);
+    ("volano", 46.6, 7.6);
+  ]
+
+let run ?scale () =
+  List.map
+    (fun bench ->
+      let build = Measure.prepare ?scale bench in
+      let base = Measure.run_baseline build in
+      let ce =
+        Measure.run_transformed
+          ~transform:(Core.Transform.exhaustive Core.Spec.call_edge)
+          build
+      in
+      Measure.check_output ~base ce;
+      let fa =
+        Measure.run_transformed
+          ~transform:(Core.Transform.exhaustive Core.Spec.field_access)
+          build
+      in
+      Measure.check_output ~base fa;
+      {
+        bench = bench.Workloads.Suite.bname;
+        call_edge = Measure.overhead_pct ~base ce;
+        field_access = Measure.overhead_pct ~base fa;
+      })
+    (Common.benchmarks ())
+
+let average rows =
+  ( Common.mean (List.map (fun r -> r.call_edge) rows),
+    Common.mean (List.map (fun r -> r.field_access) rows) )
+
+let to_string rows =
+  let avg_ce, avg_fa = average rows in
+  Text_table.render
+    ~header:[ "Benchmark"; "Call-edge (%)"; "Field-access (%)" ]
+    (List.map
+       (fun r ->
+         [ r.bench; Text_table.pct r.call_edge; Text_table.pct r.field_access ])
+       rows
+    @ [ [ "Average"; Text_table.pct avg_ce; Text_table.pct avg_fa ] ])
+
+let print rows =
+  print_string
+    "Table 1: exhaustive instrumentation overhead (no framework)\n";
+  print_string (to_string rows)

@@ -1,0 +1,104 @@
+(* Table 5: counter-based vs time-based trigger accuracy, Full-Duplication
+   with field-access instrumentation.
+
+   Paper: time-based averaged 63% overlap vs 84% for counter-based at a
+   matched number of samples (counter interval 30,000), because the
+   timer-set bit is observed at the *next* check, mis-attributing samples
+   to whatever follows long instruction sequences (section 2.1). *)
+
+type row = {
+  bench : string;
+  time_based : float;
+  counter_based : float;
+  matched_interval : int; (* counter interval chosen to match sample counts *)
+}
+
+let paper =
+  [
+    ("compress", 88.0, 98.0);
+    ("jess", 91.0, 95.0);
+    ("db", 66.0, 95.0);
+    ("javac", 59.0, 73.0);
+    ("mpegaudio", 69.0, 95.0);
+    ("mtrt", 51.0, 67.0);
+    ("jack", 45.0, 94.0);
+    ("opt_compiler", 58.0, 65.0);
+    ("pbob", 75.0, 87.0);
+    ("volano", 27.0, 71.0);
+  ]
+
+let transform = Core.Transform.full_dup Core.Spec.field_access
+
+let run ?scale () =
+  List.map
+    (fun bench ->
+      let build = Measure.prepare ?scale bench in
+      let base = Measure.run_baseline build in
+      let perfect_fa =
+        let m =
+          Measure.run_transformed ~trigger:Core.Sampler.Always ~transform build
+        in
+        Profiles.Field_access.to_keyed
+          m.Measure.collector.Profiles.Collector.fields
+      in
+      (* the paper's 10 ms timer on 1-5 s runs yields hundreds of samples;
+         our runs are shorter, so the simulated timer period is scaled to
+         25k cycles ("2.5 ms") to keep the sample counts comparable *)
+      let timer =
+        Measure.run_transformed ~trigger:Core.Sampler.Timer_bit
+          ~timer_period:25_000 ~transform build
+      in
+      Measure.check_output ~base timer;
+      let timer_acc =
+        Profiles.Overlap.percent perfect_fa
+          (Profiles.Field_access.to_keyed
+             timer.Measure.collector.Profiles.Collector.fields)
+      in
+      (* match the counter's sample count to the timer's, as the paper
+         does ("a sample interval of 30,000 ... resulted in approximately
+         the same number of samples") *)
+      let interval =
+        max 1 (timer.Measure.checks / max 1 timer.Measure.samples)
+      in
+      let counter =
+        Measure.run_transformed
+          ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+          ~transform build
+      in
+      let counter_acc =
+        Profiles.Overlap.percent perfect_fa
+          (Profiles.Field_access.to_keyed
+             counter.Measure.collector.Profiles.Collector.fields)
+      in
+      {
+        bench = bench.Workloads.Suite.bname;
+        time_based = timer_acc;
+        counter_based = counter_acc;
+        matched_interval = interval;
+      })
+    (Common.benchmarks ())
+
+let average rows =
+  ( Common.mean (List.map (fun r -> r.time_based) rows),
+    Common.mean (List.map (fun r -> r.counter_based) rows) )
+
+let to_string rows =
+  let t, c = average rows in
+  Text_table.render
+    ~header:
+      [ "Benchmark"; "Time-based (%)"; "Counter-based (%)"; "Interval used" ]
+    (List.map
+       (fun r ->
+         [
+           r.bench;
+           Text_table.pct r.time_based;
+           Text_table.pct r.counter_based;
+           string_of_int r.matched_interval;
+         ])
+       rows
+    @ [ [ "Average"; Text_table.pct t; Text_table.pct c; "" ] ])
+
+let print rows =
+  print_string
+    "Table 5: trigger-mechanism accuracy, field-access profile overlap\n";
+  print_string (to_string rows)

@@ -1,0 +1,31 @@
+let pct f = Printf.sprintf "%.1f" f
+let pct1 = pct
+
+let render ~header rows =
+  let all = header :: rows in
+  let ncols =
+    List.fold_left (fun acc r -> max acc (List.length r)) 0 all
+  in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value ~default:"" (List.nth_opt row c) in
+           if c = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         widths)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+  ^ "\n"

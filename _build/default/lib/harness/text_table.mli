@@ -1,0 +1,10 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+val render : header:string list -> string list list -> string
+(** Columns are right-aligned except the first. *)
+
+val pct : float -> string
+(** "7.3" style percent formatting. *)
+
+val pct1 : float -> string
+(** One decimal, always signed width-stable. *)

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array Lir List Printf Vec

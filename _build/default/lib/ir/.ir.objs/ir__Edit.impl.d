@@ -1,0 +1,1 @@
+lib/ir/edit.ml: Array Lir List Printf

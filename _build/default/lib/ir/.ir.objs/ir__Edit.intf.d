@@ -1,0 +1,1 @@
+lib/ir/edit.mli: Lir

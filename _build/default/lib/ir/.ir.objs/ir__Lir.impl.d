@@ -1,0 +1,1 @@
+lib/ir/lir.ml: Array List String Vec

@@ -1,0 +1,57 @@
+type proto_block = {
+  mutable rev_instrs : Lir.instr list;
+  mutable term : Lir.terminator option;
+}
+
+type t = {
+  name : Lir.method_ref;
+  n_params : int;
+  blocks : proto_block Vec.t;
+  mutable next_reg : int;
+}
+
+let create ?n_regs ~name ~n_params () =
+  let n_regs = match n_regs with None -> n_params | Some n -> max n n_params in
+  { name; n_params; blocks = Vec.create (); next_reg = n_regs }
+
+let fresh_reg t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let new_block t = Vec.push t.blocks { rev_instrs = []; term = None }
+
+let emit t l i =
+  let b = Vec.get t.blocks l in
+  b.rev_instrs <- i :: b.rev_instrs
+
+let set_term t l term =
+  let b = Vec.get t.blocks l in
+  match b.term with
+  | Some _ -> failwith (Printf.sprintf "Ir.Build: L%d already terminated" l)
+  | None -> b.term <- Some term
+
+let has_term t l = (Vec.get t.blocks l).term <> None
+
+let finish t ~entry =
+  let blocks = Vec.create () in
+  Vec.iteri
+    (fun l pb ->
+      match pb.term with
+      | None -> failwith (Printf.sprintf "Ir.Build: L%d has no terminator" l)
+      | Some term ->
+          ignore
+            (Vec.push blocks
+               {
+                 Lir.instrs = Array.of_list (List.rev pb.rev_instrs);
+                 term;
+                 role = Lir.Orig;
+               }))
+    t.blocks;
+  {
+    Lir.fname = t.name;
+    params = List.init t.n_params (fun i -> i);
+    blocks;
+    entry;
+    next_reg = t.next_reg;
+  }

@@ -1,0 +1,27 @@
+(** Imperative builder for {!Lir.func} values.
+
+    Used by the bytecode-to-LIR translator and by tests that construct CFGs
+    directly. *)
+
+type t
+
+val create : ?n_regs:int -> name:Lir.method_ref -> n_params:int -> unit -> t
+(** Parameters arrive in registers [0 .. n_params - 1].  [n_regs] (default
+    [n_params]) preallocates a register range, so callers with a fixed
+    register layout (e.g. the bytecode translator's locals + stack slots)
+    can refer to those registers directly; {!fresh_reg} starts after it. *)
+
+val fresh_reg : t -> Lir.reg
+val new_block : t -> Lir.label
+(** Allocates an empty block (terminator must be set before {!finish}). *)
+
+val emit : t -> Lir.label -> Lir.instr -> unit
+(** Appends an instruction to the block. *)
+
+val set_term : t -> Lir.label -> Lir.terminator -> unit
+(** Sets the terminator; raises [Failure] if already set. *)
+
+val has_term : t -> Lir.label -> bool
+
+val finish : t -> entry:Lir.label -> Lir.func
+(** Raises [Failure] when some block lacks a terminator. *)

@@ -1,0 +1,81 @@
+let is_dead (b : Lir.block) = b.role = Lir.Dead
+
+let dedup labels =
+  let seen = Hashtbl.create 4 in
+  List.filter
+    (fun l ->
+      if Hashtbl.mem seen l then false
+      else (
+        Hashtbl.add seen l ();
+        true))
+    labels
+
+let succs f l =
+  let b = Lir.block f l in
+  if is_dead b then [] else dedup (Lir.succs_of_term b.term)
+
+let predecessors f =
+  let n = Lir.num_blocks f in
+  let preds = Array.make n [] in
+  for u = 0 to n - 1 do
+    List.iter (fun v -> preds.(v) <- u :: preds.(v)) (succs f u)
+  done;
+  Array.map (fun l -> List.sort_uniq compare l) preds
+
+let postorder f =
+  let n = Lir.num_blocks f in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec go l =
+    if not visited.(l) then (
+      visited.(l) <- true;
+      List.iter go (succs f l);
+      order := l :: !order)
+  in
+  if n > 0 && not (is_dead (Lir.block f f.entry)) then go f.entry;
+  (* [order] is built by prepending after children: it is reverse postorder *)
+  !order
+
+let reverse_postorder f = postorder f
+
+let reachable f =
+  let n = Lir.num_blocks f in
+  let seen = Array.make n false in
+  List.iter (fun l -> seen.(l) <- true) (reverse_postorder f);
+  seen
+
+let edges f =
+  let acc = ref [] in
+  let r = reachable f in
+  for u = Lir.num_blocks f - 1 downto 0 do
+    if r.(u) then List.iter (fun v -> acc := (u, v) :: !acc) (succs f u)
+  done;
+  !acc
+
+let flood next f seeds =
+  let n = Lir.num_blocks f in
+  let seen = Array.make n false in
+  let rec go l =
+    if (not seen.(l)) && not (is_dead (Lir.block f l)) then (
+      seen.(l) <- true;
+      List.iter go (next l))
+  in
+  List.iter go seeds;
+  seen
+
+let reachable_from f seeds = flood (succs f) f seeds
+
+let reaching_to f seeds =
+  let preds = predecessors f in
+  flood (fun l -> preds.(l)) f seeds
+
+let remove_unreachable f =
+  let r = reachable f in
+  let removed = ref 0 in
+  Array.iteri
+    (fun l live ->
+      if (not live) && not (is_dead (Lir.block f l)) then (
+        incr removed;
+        Lir.set_block f l Lir.dead_block))
+    r;
+  !removed

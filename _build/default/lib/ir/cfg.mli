@@ -1,0 +1,30 @@
+(** Control-flow-graph queries over a {!Lir.func}.
+
+    All functions treat [Dead] blocks as absent: they have no successors and
+    never appear in traversals. *)
+
+val succs : Lir.func -> Lir.label -> Lir.label list
+(** Successor labels, deduplicated, branch order preserved. *)
+
+val predecessors : Lir.func -> Lir.label list array
+(** [predecessors f] is an array mapping each label to its predecessor
+    labels (deduplicated, ascending). *)
+
+val reverse_postorder : Lir.func -> Lir.label list
+(** Reverse postorder of the blocks reachable from the entry. *)
+
+val reachable : Lir.func -> bool array
+(** [reachable f] marks labels reachable from the entry. *)
+
+val edges : Lir.func -> (Lir.label * Lir.label) list
+(** All CFG edges (u, v) among reachable blocks, deduplicated. *)
+
+val reachable_from : Lir.func -> Lir.label list -> bool array
+(** Forward reachability from a seed set (seeds included). *)
+
+val reaching_to : Lir.func -> Lir.label list -> bool array
+(** Backward reachability to a seed set (seeds included). *)
+
+val remove_unreachable : Lir.func -> int
+(** Replaces unreachable blocks with [Dead] placeholders (labels are kept
+    stable). Returns the number of blocks removed. *)

@@ -1,0 +1,66 @@
+type t = {
+  entry : Lir.label;
+  idoms : int array; (* -1 = unreachable / entry *)
+  rpo_index : int array; (* position in reverse postorder; -1 = unreachable *)
+}
+
+let compute f =
+  let n = Lir.num_blocks f in
+  let rpo = Array.of_list (Cfg.reverse_postorder f) in
+  let rpo_index = Array.make n (-1) in
+  Array.iteri (fun i l -> rpo_index.(l) <- i) rpo;
+  let preds = Cfg.predecessors f in
+  let idoms = Array.make n (-1) in
+  if Array.length rpo > 0 then begin
+    idoms.(f.Lir.entry) <- f.Lir.entry;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while rpo_index.(!a) > rpo_index.(!b) do
+          a := idoms.(!a)
+        done;
+        while rpo_index.(!b) > rpo_index.(!a) do
+          b := idoms.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          if b <> f.Lir.entry then begin
+            let processed =
+              List.filter
+                (fun p -> rpo_index.(p) >= 0 && idoms.(p) >= 0)
+                preds.(b)
+            in
+            match processed with
+            | [] -> ()
+            | first :: rest ->
+                let new_idom = List.fold_left intersect first rest in
+                if idoms.(b) <> new_idom then begin
+                  idoms.(b) <- new_idom;
+                  changed := true
+                end
+          end)
+        rpo
+    done;
+    idoms.(f.Lir.entry) <- -1
+  end;
+  { entry = f.Lir.entry; idoms; rpo_index }
+
+let idom t l =
+  if l = t.entry then None
+  else match t.idoms.(l) with -1 -> None | d -> Some d
+
+let dominates t a b =
+  if t.rpo_index.(a) < 0 || t.rpo_index.(b) < 0 then false
+  else begin
+    (* walk up the dominator tree from b *)
+    let rec go x = if x = a then true else if x = t.entry then false
+      else match t.idoms.(x) with -1 -> false | d -> go d
+    in
+    go b
+  end

@@ -1,0 +1,13 @@
+(** Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm). *)
+
+type t
+
+val compute : Lir.func -> t
+(** Immediate dominators of every block reachable from the entry. *)
+
+val idom : t -> Lir.label -> Lir.label option
+(** Immediate dominator; [None] for the entry and unreachable blocks. *)
+
+val dominates : t -> Lir.label -> Lir.label -> bool
+(** [dominates t a b] is true when [a] dominates [b] ([a = b] included).
+    False when either block is unreachable. *)

@@ -1,0 +1,55 @@
+let retarget_term t ~from_ ~to_ =
+  Lir.map_term_labels (fun l -> if l = from_ then to_ else l) t
+
+let split_edge f ~src ~dst ~role ~instrs =
+  let b = Lir.block f src in
+  if not (List.mem dst (Lir.succs_of_term b.Lir.term)) then
+    invalid_arg
+      (Printf.sprintf "Edit.split_edge: no edge %d -> %d" src dst);
+  let fresh =
+    Lir.add_block f
+      { Lir.instrs = Array.of_list instrs; term = Lir.Goto dst; role }
+  in
+  Lir.set_block f src
+    { b with Lir.term = retarget_term b.Lir.term ~from_:dst ~to_:fresh };
+  fresh
+
+let insert_before f l i is =
+  let b = Lir.block f l in
+  let n = Array.length b.Lir.instrs in
+  if i < 0 || i > n then invalid_arg "Edit.insert_before: bad index";
+  let extra = Array.of_list is in
+  let out = Array.make (n + Array.length extra) (Lir.Yieldpoint Lir.Yp_entry) in
+  Array.blit b.Lir.instrs 0 out 0 i;
+  Array.blit extra 0 out i (Array.length extra);
+  Array.blit b.Lir.instrs i out (i + Array.length extra) (n - i);
+  Lir.set_block f l { b with Lir.instrs = out }
+
+let prepend f l is = insert_before f l 0 is
+
+let clone_blocks f ~role keep =
+  let n = Lir.num_blocks f in
+  let mapping = ref [] in
+  for l = 0 to n - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead && keep l then begin
+      let clone = Lir.add_block f { b with Lir.role = role } in
+      mapping := (l, clone) :: !mapping
+    end
+  done;
+  let mapping = List.rev !mapping in
+  let redirect l =
+    match List.assoc_opt l mapping with Some c -> c | None -> l
+  in
+  List.iter
+    (fun (_, clone) ->
+      let b = Lir.block f clone in
+      Lir.set_block f clone
+        { b with Lir.term = Lir.map_term_labels redirect b.Lir.term })
+    mapping;
+  mapping
+
+let filter_instrs f l p =
+  let b = Lir.block f l in
+  Lir.set_block f l
+    { b with Lir.instrs = Array.of_list (List.filter p (Array.to_list b.Lir.instrs)) }

@@ -1,0 +1,33 @@
+(** Structural CFG editing used by the frontends, the optimizer and the
+    instrumentation transforms. *)
+
+val retarget_term : Lir.terminator -> from_:Lir.label -> to_:Lir.label -> Lir.terminator
+(** Replace every occurrence of [from_] among the successor labels. *)
+
+val split_edge :
+  Lir.func -> src:Lir.label -> dst:Lir.label -> role:Lir.role ->
+  instrs:Lir.instr list -> Lir.label
+(** Insert a fresh block [b] with the given instructions and [Goto dst] on
+    the edge [src -> dst]; [src]'s terminator is retargeted to [b].
+    Returns [b]'s label.  Raises [Invalid_argument] if the edge does not
+    exist. *)
+
+val insert_before : Lir.func -> Lir.label -> int -> Lir.instr list -> unit
+(** [insert_before f l i is] inserts [is] in block [l] so that they execute
+    immediately before the instruction currently at index [i]
+    ([i] may equal the instruction count: append at the end). *)
+
+val prepend : Lir.func -> Lir.label -> Lir.instr list -> unit
+(** Insert at the start of the block. *)
+
+val clone_blocks :
+  Lir.func -> role:Lir.role -> (Lir.label -> bool) ->
+  (Lir.label * Lir.label) list
+(** [clone_blocks f ~role keep] appends a copy of every non-[Dead] block [l]
+    with [keep l] true, returning the association original -> clone.
+    Terminator targets pointing to a cloned block are redirected to the
+    clone; targets outside the cloned set are preserved.  Instrumentation
+    payloads are left untouched: profiles stay keyed by original labels. *)
+
+val filter_instrs : Lir.func -> Lir.label -> (Lir.instr -> bool) -> unit
+(** Keep only the instructions satisfying the predicate. *)

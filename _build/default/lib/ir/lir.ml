@@ -1,0 +1,218 @@
+(* Low-level register IR (LIR).
+
+   This is the representation the sampling framework transforms, mirroring
+   the role of Jalapeno's LIR in the paper: methods arrive here after the
+   bytecode-to-LIR translation and most optimization, instrumentation and
+   code duplication are applied here, and the result is what the VM
+   "executes" (interprets under a cycle-cost model).
+
+   Virtual registers are unbounded ints.  Labels are dense ints indexing the
+   function's block vector.  Booleans are represented as ints 0/1. *)
+
+type reg = int
+type label = int
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Rem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+
+type unop = Neg | Not
+
+type operand = Reg of reg | Imm of int
+
+(* Symbolic references; resolved to dense ids when a [Vm.Program] is linked. *)
+type method_ref = { mclass : string; mname : string }
+type field_ref = { fclass : string; fname : string }
+
+type call_kind = Static | Virtual
+
+type yp_kind = Yp_entry | Yp_backedge
+
+(* Payload carried by an instrumentation operation.  The VM does not
+   interpret it; it hands it to the embedder's instrumentation hook
+   (see DESIGN.md section on layering: vm does not depend on core). *)
+type payload =
+  | P_unit
+  | P_field of field_ref * bool  (* field, is_write *)
+  | P_edge of label * label
+  | P_operand of operand (* value observed at runtime *)
+  | P_value of operand * int (* observed operand + profiling site id *)
+  | P_site of int
+
+type instrument_op = { hook : string; payload : payload }
+
+type instr =
+  | Move of reg * operand
+  | Unop of reg * unop * operand
+  | Binop of reg * binop * operand * operand
+  | Get_field of reg * operand * field_ref
+  | Put_field of operand * field_ref * operand
+  | Get_static of reg * field_ref
+  | Put_static of field_ref * operand
+  | New_object of reg * string
+  | New_array of reg * operand
+  | Array_load of reg * operand * operand
+  | Array_store of operand * operand * operand
+  | Array_length of reg * operand
+  | Call of {
+      dst : reg option;
+      kind : call_kind;
+      target : method_ref;
+      args : operand list;
+      site : int;  (* bytecode index of the call: the paper's call-site id *)
+    }
+  | Intrinsic of { dst : reg option; name : string; args : operand list }
+  | Instance_test of reg * operand * string
+      (* dst = 1 when the operand's runtime class is exactly the named
+         class, else 0 (null included).  Emitted by the devirtualization
+         pass as the guard of a predicted-receiver fast path. *)
+  | Yieldpoint of yp_kind
+  | Instrument of instrument_op
+  | Guarded_instrument of instrument_op
+      (* No-Duplication: a check guarding a single instrumentation op *)
+
+type terminator =
+  | Goto of label
+  | If of { cond : operand; if_true : label; if_false : label }
+  | Switch of { scrut : operand; cases : (int * label) list; default : label }
+  | Return of operand option
+  | Check of { on_sample : label; fall : label }
+      (* compiler-inserted counter-based check (paper Figure 3) *)
+
+(* Role of a block in the transformed method; used by code layout (duplicated
+   code is placed out of the common path) and by the experiment metrics. *)
+type role = Orig | Dup | Check_block | Dead
+
+type block = { instrs : instr array; term : terminator; role : role }
+
+type func = {
+  fname : method_ref;
+  params : reg list;  (* registers that receive the arguments, in order *)
+  blocks : block Vec.t;
+  entry : label;
+  mutable next_reg : int;
+}
+
+let dead_block = { instrs = [||]; term = Return None; role = Dead }
+
+let block f l = Vec.get f.blocks l
+let set_block f l b = Vec.set f.blocks l b
+let add_block f b = Vec.push f.blocks b
+let num_blocks f = Vec.length f.blocks
+
+let fresh_reg f =
+  let r = f.next_reg in
+  f.next_reg <- r + 1;
+  r
+
+let copy_func f =
+  { f with blocks = Vec.copy f.blocks }
+
+(* Successor labels of a terminator, in branch order (may contain
+   duplicates when several targets coincide). *)
+let succs_of_term = function
+  | Goto l -> [ l ]
+  | If { if_true; if_false; _ } -> [ if_true; if_false ]
+  | Switch { cases; default; _ } -> List.map snd cases @ [ default ]
+  | Return _ -> []
+  | Check { on_sample; fall } -> [ on_sample; fall ]
+
+(* Rewrite every successor label of a terminator. *)
+let map_term_labels g = function
+  | Goto l -> Goto (g l)
+  | If { cond; if_true; if_false } ->
+      If { cond; if_true = g if_true; if_false = g if_false }
+  | Switch { scrut; cases; default } ->
+      Switch
+        {
+          scrut;
+          cases = List.map (fun (c, l) -> (c, g l)) cases;
+          default = g default;
+        }
+  | Return x -> Return x
+  | Check { on_sample; fall } -> Check { on_sample = g on_sample; fall = g fall }
+
+(* Rewrite label payloads inside instrumentation ops (used when cloning). *)
+let map_instr_labels g = function
+  | Instrument { hook; payload = P_edge (a, b) } ->
+      Instrument { hook; payload = P_edge (g a, g b) }
+  | Guarded_instrument { hook; payload = P_edge (a, b) } ->
+      Guarded_instrument { hook; payload = P_edge (g a, g b) }
+  | i -> i
+
+let is_instrumented_block b =
+  Array.exists
+    (function Instrument _ | Guarded_instrument _ -> true | _ -> false)
+    b.instrs
+
+let defs_of_instr = function
+  | Move (r, _)
+  | Unop (r, _, _)
+  | Binop (r, _, _, _)
+  | Get_field (r, _, _)
+  | Get_static (r, _)
+  | New_object (r, _)
+  | New_array (r, _)
+  | Array_load (r, _, _)
+  | Array_length (r, _) ->
+      [ r ]
+  | Call { dst; _ } | Intrinsic { dst; _ } -> (
+      match dst with Some r -> [ r ] | None -> [])
+  | Instance_test (r, _, _) -> [ r ]
+  | Put_field _ | Put_static _ | Array_store _ | Yieldpoint _ | Instrument _
+  | Guarded_instrument _ ->
+      []
+
+let uses_of_operand = function Reg r -> [ r ] | Imm _ -> []
+
+let uses_of_payload = function
+  | P_operand op | P_value (op, _) -> uses_of_operand op
+  | P_unit | P_field _ | P_edge _ | P_site _ -> []
+
+let uses_of_instr = function
+  | Move (_, a) | Unop (_, _, a) -> uses_of_operand a
+  | Binop (_, _, a, b) -> uses_of_operand a @ uses_of_operand b
+  | Get_field (_, o, _) -> uses_of_operand o
+  | Put_field (o, _, v) -> uses_of_operand o @ uses_of_operand v
+  | Get_static (_, _) -> []
+  | Put_static (_, v) -> uses_of_operand v
+  | New_object (_, _) -> []
+  | New_array (_, n) -> uses_of_operand n
+  | Array_load (_, a, i) -> uses_of_operand a @ uses_of_operand i
+  | Array_store (a, i, v) ->
+      uses_of_operand a @ uses_of_operand i @ uses_of_operand v
+  | Array_length (_, a) -> uses_of_operand a
+  | Call { args; _ } -> List.concat_map uses_of_operand args
+  | Intrinsic { args; _ } -> List.concat_map uses_of_operand args
+  | Instance_test (_, o, _) -> uses_of_operand o
+  | Yieldpoint _ -> []
+  | Instrument op | Guarded_instrument op -> uses_of_payload op.payload
+
+let uses_of_term = function
+  | Goto _ | Return None | Check _ -> []
+  | If { cond; _ } -> uses_of_operand cond
+  | Switch { scrut; _ } -> uses_of_operand scrut
+  | Return (Some v) -> uses_of_operand v
+
+let method_ref_equal (a : method_ref) (b : method_ref) =
+  String.equal a.mclass b.mclass && String.equal a.mname b.mname
+
+let field_ref_equal (a : field_ref) (b : field_ref) =
+  String.equal a.fclass b.fclass && String.equal a.fname b.fname
+
+let string_of_method_ref m = m.mclass ^ "." ^ m.mname
+let string_of_field_ref f = f.fclass ^ "." ^ f.fname

@@ -1,0 +1,30 @@
+let retreating_edges f =
+  let n = Lir.num_blocks f in
+  if n = 0 then []
+  else begin
+    let color = Array.make n 0 in
+    (* 0 = white, 1 = on stack, 2 = done *)
+    let acc = ref [] in
+    let rec go u =
+      color.(u) <- 1;
+      List.iter
+        (fun v ->
+          if color.(v) = 1 then acc := (u, v) :: !acc
+          else if color.(v) = 0 then go v)
+        (Cfg.succs f u);
+      color.(u) <- 2
+    in
+    if (Lir.block f f.Lir.entry).Lir.role <> Lir.Dead then go f.Lir.entry;
+    List.rev !acc
+  end
+
+let natural_backedges f =
+  let dom = Dom.compute f in
+  List.filter (fun (u, v) -> Dom.dominates dom v u) (Cfg.edges f)
+
+let is_reducible f =
+  let nat = natural_backedges f in
+  List.for_all (fun e -> List.mem e nat) (retreating_edges f)
+
+let loop_headers f =
+  List.sort_uniq compare (List.map snd (retreating_edges f))

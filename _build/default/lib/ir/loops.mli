@@ -1,0 +1,22 @@
+(** Loop and backedge analysis.
+
+    The sampling framework places checks on method entries and backedges
+    (paper section 2).  For check placement we use {!retreating_edges}: every
+    cycle in the CFG contains at least one retreating edge, which is what
+    guarantees a bounded amount of execution between checks (the property
+    the paper relies on).  On reducible CFGs — and both of our frontends
+    only emit reducible CFGs — retreating edges coincide with
+    {!natural_backedges}; a property test checks this. *)
+
+val retreating_edges : Lir.func -> (Lir.label * Lir.label) list
+(** Edges (u, v) such that v is an ancestor of u in a DFS spanning tree
+    (self-loops included). *)
+
+val natural_backedges : Lir.func -> (Lir.label * Lir.label) list
+(** Edges (u, v) such that v dominates u. *)
+
+val is_reducible : Lir.func -> bool
+(** True when every retreating edge is a natural backedge. *)
+
+val loop_headers : Lir.func -> Lir.label list
+(** Targets of retreating edges, deduplicated. *)

@@ -1,0 +1,124 @@
+let binop_name : Lir.binop -> string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Rem -> "rem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Lt -> "lt"
+  | Le -> "le"
+  | Gt -> "gt"
+  | Ge -> "ge"
+  | Eq -> "eq"
+  | Ne -> "ne"
+
+let unop_name : Lir.unop -> string = function Neg -> "neg" | Not -> "not"
+
+let operand ppf = function
+  | Lir.Reg r -> Format.fprintf ppf "r%d" r
+  | Lir.Imm i -> Format.fprintf ppf "#%d" i
+
+let dst_opt ppf = function
+  | Some r -> Format.fprintf ppf "r%d = " r
+  | None -> ()
+
+let payload ppf = function
+  | Lir.P_unit -> ()
+  | Lir.P_field (f, w) ->
+      Format.fprintf ppf " %s%s" (Lir.string_of_field_ref f)
+        (if w then "!w" else "!r")
+  | Lir.P_edge (a, b) -> Format.fprintf ppf " L%d->L%d" a b
+  | Lir.P_operand op -> Format.fprintf ppf " %a" operand op
+  | Lir.P_value (op, s) -> Format.fprintf ppf " %a@%d" operand op s
+  | Lir.P_site s -> Format.fprintf ppf " @%d" s
+
+let instr ppf : Lir.instr -> unit = function
+  | Move (r, a) -> Format.fprintf ppf "r%d = %a" r operand a
+  | Unop (r, op, a) ->
+      Format.fprintf ppf "r%d = %s %a" r (unop_name op) operand a
+  | Binop (r, op, a, b) ->
+      Format.fprintf ppf "r%d = %s %a, %a" r (binop_name op) operand a operand b
+  | Get_field (r, o, fld) ->
+      Format.fprintf ppf "r%d = getfield %a.%s" r operand o
+        (Lir.string_of_field_ref fld)
+  | Put_field (o, fld, v) ->
+      Format.fprintf ppf "putfield %a.%s = %a" operand o
+        (Lir.string_of_field_ref fld) operand v
+  | Get_static (r, fld) ->
+      Format.fprintf ppf "r%d = getstatic %s" r (Lir.string_of_field_ref fld)
+  | Put_static (fld, v) ->
+      Format.fprintf ppf "putstatic %s = %a" (Lir.string_of_field_ref fld)
+        operand v
+  | New_object (r, c) -> Format.fprintf ppf "r%d = new %s" r c
+  | New_array (r, n) -> Format.fprintf ppf "r%d = newarray %a" r operand n
+  | Array_load (r, a, i) ->
+      Format.fprintf ppf "r%d = %a[%a]" r operand a operand i
+  | Array_store (a, i, v) ->
+      Format.fprintf ppf "%a[%a] = %a" operand a operand i operand v
+  | Array_length (r, a) -> Format.fprintf ppf "r%d = length %a" r operand a
+  | Call { dst; kind; target; args; site } ->
+      Format.fprintf ppf "%acall%s %s(%a) @%d" dst_opt dst
+        (match kind with Lir.Static -> "" | Lir.Virtual -> "v")
+        (Lir.string_of_method_ref target)
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           operand)
+        args site
+  | Intrinsic { dst; name; args } ->
+      Format.fprintf ppf "%aintrinsic %s(%a)" dst_opt dst name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           operand)
+        args
+  | Instance_test (r, o, c) ->
+      Format.fprintf ppf "r%d = %a instanceof %s" r operand o c
+  | Yieldpoint Yp_entry -> Format.fprintf ppf "yieldpoint(entry)"
+  | Yieldpoint Yp_backedge -> Format.fprintf ppf "yieldpoint(backedge)"
+  | Instrument op -> Format.fprintf ppf "instrument %s%a" op.hook payload op.payload
+  | Guarded_instrument op ->
+      Format.fprintf ppf "guarded-instrument %s%a" op.hook payload op.payload
+
+let terminator ppf : Lir.terminator -> unit = function
+  | Goto l -> Format.fprintf ppf "goto L%d" l
+  | If { cond; if_true; if_false } ->
+      Format.fprintf ppf "if %a then L%d else L%d" operand cond if_true if_false
+  | Switch { scrut; cases; default } ->
+      Format.fprintf ppf "switch %a [%a] default L%d" operand scrut
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           (fun ppf (c, l) -> Format.fprintf ppf "%d->L%d" c l))
+        cases default
+  | Return None -> Format.fprintf ppf "return"
+  | Return (Some v) -> Format.fprintf ppf "return %a" operand v
+  | Check { on_sample; fall } ->
+      Format.fprintf ppf "check sample:L%d fall:L%d" on_sample fall
+
+let role_name : Lir.role -> string = function
+  | Orig -> ""
+  | Dup -> " (dup)"
+  | Check_block -> " (check)"
+  | Dead -> " (dead)"
+
+let block ppf ((l, b) : Lir.label * Lir.block) =
+  Format.fprintf ppf "@[<v 2>L%d%s:" l (role_name b.Lir.role);
+  Array.iter (fun i -> Format.fprintf ppf "@,%a" instr i) b.Lir.instrs;
+  Format.fprintf ppf "@,%a@]" terminator b.Lir.term
+
+let func ppf (f : Lir.func) =
+  Format.fprintf ppf "@[<v>func %s(%a) entry L%d"
+    (Lir.string_of_method_ref f.Lir.fname)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf r -> Format.fprintf ppf "r%d" r))
+    f.Lir.params f.Lir.entry;
+  Vec.iteri
+    (fun l b ->
+      if b.Lir.role <> Lir.Dead then Format.fprintf ppf "@,%a" block (l, b))
+    f.Lir.blocks;
+  Format.fprintf ppf "@]"
+
+let func_to_string f = Format.asprintf "%a" func f

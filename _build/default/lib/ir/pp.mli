@@ -1,0 +1,9 @@
+(** Pretty-printing of LIR (for debugging, tests and the CLI). *)
+
+val operand : Format.formatter -> Lir.operand -> unit
+val instr : Format.formatter -> Lir.instr -> unit
+val terminator : Format.formatter -> Lir.terminator -> unit
+val block : Format.formatter -> Lir.label * Lir.block -> unit
+val func : Format.formatter -> Lir.func -> unit
+
+val func_to_string : Lir.func -> string

@@ -1,0 +1,68 @@
+type error = { where : string; what : string }
+
+let check (f : Lir.func) =
+  let errs = ref [] in
+  let err where what = errs := { where; what } :: !errs in
+  let n = Lir.num_blocks f in
+  let fname = Lir.string_of_method_ref f.Lir.fname in
+  if n = 0 then err fname "function has no blocks"
+  else begin
+    if f.Lir.entry < 0 || f.Lir.entry >= n then err fname "entry out of range"
+    else if (Lir.block f f.Lir.entry).Lir.role = Lir.Dead then
+      err fname "entry block is dead";
+    let check_reg where r =
+      if r < 0 || r >= f.Lir.next_reg then
+        err where (Printf.sprintf "register r%d out of range" r)
+    in
+    let check_operand where = function
+      | Lir.Reg r -> check_reg where r
+      | Lir.Imm _ -> ()
+    in
+    List.iter (check_reg (fname ^ " params")) f.Lir.params;
+    let sorted = List.sort compare f.Lir.params in
+    let rec dups = function
+      | a :: b :: _ when a = b -> true
+      | _ :: t -> dups t
+      | [] -> false
+    in
+    if dups sorted then err fname "duplicate parameter registers";
+    for l = 0 to n - 1 do
+      let b = Lir.block f l in
+      if b.Lir.role <> Lir.Dead then begin
+        let where = Printf.sprintf "%s L%d" fname l in
+        Array.iter
+          (fun i ->
+            List.iter (check_reg where) (Lir.defs_of_instr i);
+            List.iter (check_reg where) (Lir.uses_of_instr i);
+            match i with
+            | Lir.Call { site; _ } when site < 0 ->
+                err where "negative call site"
+            | _ -> ())
+          b.Lir.instrs;
+        List.iter (check_operand where)
+          (List.map (fun r -> Lir.Reg r) (Lir.uses_of_term b.Lir.term));
+        List.iter
+          (fun s ->
+            if s < 0 || s >= n then
+              err where (Printf.sprintf "successor L%d out of range" s)
+            else if (Lir.block f s).Lir.role = Lir.Dead then
+              err where (Printf.sprintf "successor L%d is dead" s))
+          (Lir.succs_of_term b.Lir.term);
+        match (b.Lir.term, b.Lir.role) with
+        | Lir.Check _, Lir.Dup ->
+            err where "check terminator inside duplicated code"
+        | _ -> ()
+      end
+    done
+  end;
+  List.rev !errs
+
+let check_exn f =
+  match check f with
+  | [] -> ()
+  | errs ->
+      let msg =
+        String.concat "; "
+          (List.map (fun e -> e.where ^ ": " ^ e.what) errs)
+      in
+      failwith ("Ir.Verify: " ^ msg)

@@ -1,0 +1,15 @@
+(** Well-formedness checks for LIR functions.
+
+    Run after every frontend translation, optimizer pass and instrumentation
+    transform in tests; cheap enough to keep on in the harness as well. *)
+
+type error = { where : string; what : string }
+
+val check : Lir.func -> error list
+(** Structural checks: entry exists and is live; every successor label is in
+    range and not [Dead]; registers are below [next_reg]; every parameter
+    register is distinct; [Check] terminators only appear in non-[Dup]
+    blocks; call sites are non-negative. *)
+
+val check_exn : Lir.func -> unit
+(** Raises [Failure] with a readable message when {!check} finds errors. *)

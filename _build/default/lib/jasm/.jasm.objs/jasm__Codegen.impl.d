@@ -1,0 +1,1 @@
+lib/jasm/codegen.ml: Array Ast Bytecode Hashtbl Ir List Printf Tast

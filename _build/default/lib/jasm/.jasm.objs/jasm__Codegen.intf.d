@@ -1,0 +1,1 @@
+lib/jasm/codegen.mli: Bytecode Tast

@@ -1,0 +1,1 @@
+lib/jasm/compile.ml: Bytecode Codegen Loc Parser Printf Sema

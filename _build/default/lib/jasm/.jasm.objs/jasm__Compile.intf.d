@@ -1,0 +1,1 @@
+lib/jasm/compile.mli: Bytecode Ir

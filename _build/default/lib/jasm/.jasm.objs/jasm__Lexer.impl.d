@@ -1,0 +1,1 @@
+lib/jasm/lexer.ml: List Loc String Token

@@ -1,0 +1,1 @@
+lib/jasm/lexer.mli: Loc Token

@@ -1,0 +1,1 @@
+lib/jasm/loc.ml: Printf

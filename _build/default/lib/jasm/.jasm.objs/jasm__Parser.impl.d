@@ -1,0 +1,1 @@
+lib/jasm/parser.ml: Ast Lexer List Loc Token

@@ -1,0 +1,1 @@
+lib/jasm/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/jasm/sema.ml: Ast Hashtbl Ir List Loc Option Tast

@@ -1,0 +1,1 @@
+lib/jasm/sema.mli: Ast Tast

@@ -1,0 +1,1 @@
+lib/jasm/tast.ml: Ast Ir

@@ -1,0 +1,1 @@
+lib/jasm/token.ml:

@@ -1,0 +1,94 @@
+(* Surface abstract syntax, as produced by the parser (before semantic
+   analysis resolves names and checks types). *)
+
+type ty = Tint | Tbool | Tname of string | Tarr of ty
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tbool -> "bool"
+  | Tname c -> c
+  | Tarr t -> ty_to_string t ^ "[]"
+
+type bin =
+  | Badd
+  | Bsub
+  | Bmul
+  | Bdiv
+  | Brem
+  | Band
+  | Bor
+  | Bxor
+  | Bshl
+  | Bshr
+  | Blt
+  | Ble
+  | Bgt
+  | Bge
+  | Beq
+  | Bne
+  | Bland (* short-circuit && *)
+  | Blor (* short-circuit || *)
+
+type un = Uneg | Unot
+
+type expr = { e : expr_desc; pos : Loc.pos }
+
+and expr_desc =
+  | Int of int
+  | Bool of bool
+  | Null
+  | This
+  | Ident of string
+  | Bin of bin * expr * expr
+  | Un of un * expr
+  | Dot of expr * string (* e.f — field access, or array .length *)
+  | Call of expr option * string * expr list
+      (* receiver.m(args); [None] receiver = bare call (current class or
+         builtin).  [Dot (Ident "C", f)] may denote a static field and
+         [Call (Some (Ident "C"), m, _)] a static call; the semantic
+         analyzer disambiguates, locals shadow class names. *)
+  | Index of expr * expr
+  | New_obj of string
+  | New_arr of ty * expr
+
+type stmt = { s : stmt_desc; spos : Loc.pos }
+
+and stmt_desc =
+  | Decl of string * ty * expr option
+  | Assign of expr * expr (* lvalue-ness checked by sema *)
+  | If of expr * block * block
+  | While of expr * block
+  | For of stmt * expr * stmt * block
+  | Switch of expr * (int * block) list * block
+  | Return of expr option
+  | Expr of expr
+  | Scope of block
+  | Spawn of string * string * expr list (* spawn Class.m(args); *)
+
+and block = stmt list
+
+type meth_decl = {
+  m_static : bool;
+  m_name : string;
+  m_params : (string * ty) list;
+  m_ret : ty option;
+  m_body : block;
+  m_pos : Loc.pos;
+}
+
+type field_decl = {
+  f_static : bool;
+  f_name : string;
+  f_ty : ty;
+  f_pos : Loc.pos;
+}
+
+type class_decl = {
+  c_name : string;
+  c_super : string option;
+  c_fields : field_decl list;
+  c_meths : meth_decl list;
+  c_pos : Loc.pos;
+}
+
+type program = class_decl list

@@ -1,0 +1,234 @@
+module Bc = Bytecode.Bc
+module Classfile = Bytecode.Classfile
+
+(* Bytecode emitter with backpatched labels: forward jump targets are
+   emitted as negative placeholders [-(label_id + 1)] and resolved at the
+   end, when every label's instruction index is known. *)
+
+type em = {
+  mutable rev_code : Bc.instr list;
+  mutable len : int;
+  label_at : (int, int) Hashtbl.t;
+  mutable next_label : int;
+}
+
+let make_em () =
+  { rev_code = []; len = 0; label_at = Hashtbl.create 16; next_label = 0 }
+
+let emit em i =
+  em.rev_code <- i :: em.rev_code;
+  em.len <- em.len + 1
+
+let new_label em =
+  let l = em.next_label in
+  em.next_label <- l + 1;
+  l
+
+let define em l = Hashtbl.replace em.label_at l em.len
+
+let enc l = -(l + 1)
+
+let finish em =
+  let resolve t =
+    if t >= 0 then t
+    else
+      match Hashtbl.find_opt em.label_at (-t - 1) with
+      | Some at -> at
+      | None -> failwith "Codegen: undefined label"
+  in
+  Array.map
+    (function
+      | Bc.Goto t -> Bc.Goto (resolve t)
+      | Bc.If_cmp (c, t) -> Bc.If_cmp (c, resolve t)
+      | Bc.If (c, t) -> Bc.If (c, resolve t)
+      | Bc.Switch (cases, d) ->
+          Bc.Switch (List.map (fun (k, t) -> (k, resolve t)) cases, resolve d)
+      | i -> i)
+    (Array.of_list (List.rev em.rev_code))
+
+let bin_to_bc : Ast.bin -> Ir.Lir.binop = function
+  | Ast.Badd -> Ir.Lir.Add
+  | Ast.Bsub -> Ir.Lir.Sub
+  | Ast.Bmul -> Ir.Lir.Mul
+  | Ast.Bdiv -> Ir.Lir.Div
+  | Ast.Brem -> Ir.Lir.Rem
+  | Ast.Band -> Ir.Lir.And
+  | Ast.Bor -> Ir.Lir.Or
+  | Ast.Bxor -> Ir.Lir.Xor
+  | Ast.Bshl -> Ir.Lir.Shl
+  | Ast.Bshr -> Ir.Lir.Shr
+  | Ast.Blt -> Ir.Lir.Lt
+  | Ast.Ble -> Ir.Lir.Le
+  | Ast.Bgt -> Ir.Lir.Gt
+  | Ast.Bge -> Ir.Lir.Ge
+  | Ast.Beq -> Ir.Lir.Eq
+  | Ast.Bne -> Ir.Lir.Ne
+  | Ast.Bland | Ast.Blor -> assert false (* lowered to control flow *)
+
+let rec gen_expr em (e : Tast.texpr) =
+  match e.Tast.d with
+  | Tast.Tint_lit n -> emit em (Bc.Const n)
+  | Tast.Tbool_lit b -> emit em (Bc.Const (if b then 1 else 0))
+  | Tast.Tnull -> emit em (Bc.Const 0)
+  | Tast.Tthis -> emit em (Bc.Load 0)
+  | Tast.Tvar s -> emit em (Bc.Load s)
+  | Tast.Tbin (Ast.Bland, a, b) ->
+      (* a && b: if a is false the result is 0 without evaluating b *)
+      let l_false = new_label em and l_end = new_label em in
+      gen_expr em a;
+      emit em (Bc.If (Bc.Ceq, enc l_false));
+      gen_expr em b;
+      emit em (Bc.Goto (enc l_end));
+      define em l_false;
+      emit em (Bc.Const 0);
+      define em l_end
+  | Tast.Tbin (Ast.Blor, a, b) ->
+      let l_true = new_label em and l_end = new_label em in
+      gen_expr em a;
+      emit em (Bc.If (Bc.Cne, enc l_true));
+      gen_expr em b;
+      emit em (Bc.Goto (enc l_end));
+      define em l_true;
+      emit em (Bc.Const 1);
+      define em l_end
+  | Tast.Tbin (op, a, b) ->
+      gen_expr em a;
+      gen_expr em b;
+      emit em (Bc.Binop (bin_to_bc op))
+  | Tast.Tun (Ast.Uneg, a) ->
+      gen_expr em a;
+      emit em (Bc.Unop Ir.Lir.Neg)
+  | Tast.Tun (Ast.Unot, a) ->
+      gen_expr em a;
+      emit em (Bc.Unop Ir.Lir.Not)
+  | Tast.Tfield (recv, fr) ->
+      gen_expr em recv;
+      emit em (Bc.Get_field fr)
+  | Tast.Tstatic_field fr -> emit em (Bc.Get_static fr)
+  | Tast.Tindex (a, i) ->
+      gen_expr em a;
+      gen_expr em i;
+      emit em Bc.Array_load
+  | Tast.Tlen a ->
+      gen_expr em a;
+      emit em Bc.Array_length
+  | Tast.Tnew c -> emit em (Bc.New c)
+  | Tast.Tnew_arr len ->
+      gen_expr em len;
+      emit em Bc.New_array
+  | Tast.Tcall_static (mref, args, res) ->
+      List.iter (gen_expr em) args;
+      emit em (Bc.Invoke_static (mref, List.length args, res))
+  | Tast.Tcall_virtual (recv, mref, args, res) ->
+      gen_expr em recv;
+      List.iter (gen_expr em) args;
+      emit em (Bc.Invoke_virtual (mref, List.length args, res))
+  | Tast.Tintrinsic (name, args, res) ->
+      List.iter (gen_expr em) args;
+      emit em (Bc.Intrinsic (name, List.length args, res))
+
+let has_result (e : Tast.texpr) =
+  match e.Tast.d with
+  | Tast.Tcall_static (_, _, res)
+  | Tast.Tcall_virtual (_, _, _, res)
+  | Tast.Tintrinsic (_, _, res) ->
+      res
+  | _ -> true
+
+let rec gen_stmt em (s : Tast.tstmt) =
+  match s with
+  | Tast.Sassign (Tast.Lvar slot, e) ->
+      gen_expr em e;
+      emit em (Bc.Store slot)
+  | Tast.Sassign (Tast.Lfield (recv, fr), e) ->
+      gen_expr em recv;
+      gen_expr em e;
+      emit em (Bc.Put_field fr)
+  | Tast.Sassign (Tast.Lstatic fr, e) ->
+      gen_expr em e;
+      emit em (Bc.Put_static fr)
+  | Tast.Sassign (Tast.Lindex (a, i), e) ->
+      gen_expr em a;
+      gen_expr em i;
+      gen_expr em e;
+      emit em Bc.Array_store
+  | Tast.Sif (cond, then_, else_) ->
+      let l_else = new_label em and l_end = new_label em in
+      gen_expr em cond;
+      emit em (Bc.If (Bc.Ceq, enc l_else));
+      List.iter (gen_stmt em) then_;
+      emit em (Bc.Goto (enc l_end));
+      define em l_else;
+      List.iter (gen_stmt em) else_;
+      define em l_end
+  | Tast.Swhile (cond, body) ->
+      let l_cond = new_label em and l_end = new_label em in
+      define em l_cond;
+      gen_expr em cond;
+      emit em (Bc.If (Bc.Ceq, enc l_end));
+      List.iter (gen_stmt em) body;
+      emit em (Bc.Goto (enc l_cond));
+      (* the goto above is the backward branch of the loop *)
+      define em l_end
+  | Tast.Sswitch (scrut, cases, default) ->
+      let l_end = new_label em in
+      let l_default = new_label em in
+      let labeled = List.map (fun (n, b) -> (n, new_label em, b)) cases in
+      gen_expr em scrut;
+      emit em
+        (Bc.Switch
+           (List.map (fun (n, l, _) -> (n, enc l)) labeled, enc l_default));
+      List.iter
+        (fun (_, l, b) ->
+          define em l;
+          List.iter (gen_stmt em) b;
+          emit em (Bc.Goto (enc l_end)))
+        labeled;
+      define em l_default;
+      List.iter (gen_stmt em) default;
+      define em l_end
+  | Tast.Sreturn None -> emit em Bc.Return
+  | Tast.Sreturn (Some e) ->
+      gen_expr em e;
+      emit em Bc.Return_value
+  | Tast.Sexpr e ->
+      gen_expr em e;
+      if has_result e then emit em Bc.Pop
+  | Tast.Sspawn (mref, args) ->
+      List.iter (gen_expr em) args;
+      emit em
+        (Bc.Intrinsic
+           ( Printf.sprintf "spawn:%s" (Ir.Lir.string_of_method_ref mref),
+             List.length args,
+             false ))
+
+let gen_method (m : Tast.tmeth) : Classfile.meth =
+  let em = make_em () in
+  List.iter (gen_stmt em) m.Tast.tm_body;
+  (* safety tail so no path can fall off the end; unreachable when the body
+     definitely returns (sema checked that for value methods) *)
+  if m.Tast.tm_returns then begin
+    emit em (Bc.Const 0);
+    emit em Bc.Return_value
+  end
+  else emit em Bc.Return;
+  {
+    Classfile.mname = m.Tast.tm_name;
+    static = m.Tast.tm_static;
+    n_args = m.Tast.tm_n_args;
+    returns = m.Tast.tm_returns;
+    max_locals = m.Tast.tm_max_locals;
+    code = finish em;
+  }
+
+let gen_program (p : Tast.tprogram) : Classfile.program =
+  List.map
+    (fun (c : Tast.tclass) ->
+      {
+        Classfile.cname = c.Tast.tc_name;
+        super = c.Tast.tc_super;
+        fields = c.Tast.tc_fields;
+        static_fields = c.Tast.tc_static_fields;
+        methods = List.map gen_method c.Tast.tc_meths;
+      })
+    p

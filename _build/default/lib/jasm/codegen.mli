@@ -1,0 +1,4 @@
+(** Bytecode generation from the typed AST. *)
+
+val gen_method : Tast.tmeth -> Bytecode.Classfile.meth
+val gen_program : Tast.tprogram -> Bytecode.Classfile.program

@@ -1,0 +1,19 @@
+module Bverify = Bytecode.Bverify
+module To_lir = Bytecode.To_lir
+
+let compile_string ?(file = "<jasm>") src =
+  let program =
+    try Sema.check_program (Parser.parse_program src)
+    with Loc.Error (pos, msg) -> failwith (Loc.pp_error ~file pos msg)
+  in
+  let classes = Codegen.gen_program program in
+  (match Bverify.check_program classes with
+  | [] -> ()
+  | (where, e) :: _ ->
+      failwith
+        (Printf.sprintf "%s: bytecode verification failed in %s at %d: %s" file
+           where e.Bverify.at e.Bverify.msg));
+  classes
+
+let compile_to_funcs ?file src =
+  To_lir.program_to_funcs (compile_string ?file src)

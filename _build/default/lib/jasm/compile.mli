@@ -1,0 +1,9 @@
+(** Frontend driver: jasm source text to verified bytecode classes. *)
+
+val compile_string : ?file:string -> string -> Bytecode.Classfile.program
+(** Parse, type-check, generate bytecode, and run the bytecode verifier on
+    every method.  Raises [Failure] with a located, human-readable message
+    on any error. *)
+
+val compile_to_funcs : ?file:string -> string -> Ir.Lir.func list
+(** {!compile_string} followed by translation of every method to LIR. *)

@@ -1,0 +1,130 @@
+type t = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable bol : int; (* offset of the beginning of the current line *)
+}
+
+let create src = { src; off = 0; line = 1; bol = 0 }
+
+let pos lx = { Loc.line = lx.line; col = lx.off - lx.bol + 1 }
+
+let peek_char lx =
+  if lx.off < String.length lx.src then Some lx.src.[lx.off] else None
+
+let advance lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.bol <- lx.off + 1
+  | _ -> ());
+  lx.off <- lx.off + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_trivia lx
+  | Some '/' when lx.off + 1 < String.length lx.src -> (
+      match lx.src.[lx.off + 1] with
+      | '/' ->
+          while peek_char lx <> None && peek_char lx <> Some '\n' do
+            advance lx
+          done;
+          skip_trivia lx
+      | '*' ->
+          let start = pos lx in
+          advance lx;
+          advance lx;
+          let rec eat () =
+            match peek_char lx with
+            | None -> Loc.error start "unterminated block comment"
+            | Some '*' when lx.off + 1 < String.length lx.src
+                            && lx.src.[lx.off + 1] = '/' ->
+                advance lx;
+                advance lx
+            | Some _ ->
+                advance lx;
+                eat ()
+          in
+          eat ();
+          skip_trivia lx
+      | _ -> ())
+  | _ -> ()
+
+let lex_number lx =
+  let start = lx.off in
+  while match peek_char lx with Some c -> is_digit c | None -> false do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.off - start) in
+  Token.INT (int_of_string s)
+
+let lex_ident lx =
+  let start = lx.off in
+  while match peek_char lx with Some c -> is_ident_char c | None -> false do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.off - start) in
+  match List.assoc_opt s Token.keyword_table with
+  | Some kw -> kw
+  | None -> Token.IDENT s
+
+let next lx =
+  skip_trivia lx;
+  let p = pos lx in
+  let two tok = advance lx; advance lx; tok in
+  let one tok = advance lx; tok in
+  let second () =
+    if lx.off + 1 < String.length lx.src then Some lx.src.[lx.off + 1]
+    else None
+  in
+  let tok =
+    match peek_char lx with
+    | None -> Token.EOF
+    | Some c when is_digit c -> lex_number lx
+    | Some c when is_ident_start c -> lex_ident lx
+    | Some '(' -> one Token.LPAREN
+    | Some ')' -> one Token.RPAREN
+    | Some '{' -> one Token.LBRACE
+    | Some '}' -> one Token.RBRACE
+    | Some '[' -> one Token.LBRACKET
+    | Some ']' -> one Token.RBRACKET
+    | Some ';' -> one Token.SEMI
+    | Some ',' -> one Token.COMMA
+    | Some ':' -> one Token.COLON
+    | Some '.' -> one Token.DOT
+    | Some '+' -> one Token.PLUS
+    | Some '-' -> one Token.MINUS
+    | Some '*' -> one Token.STAR
+    | Some '/' -> one Token.SLASH
+    | Some '%' -> one Token.PERCENT
+    | Some '^' -> one Token.CARET
+    | Some '&' -> if second () = Some '&' then two Token.AMPAMP else one Token.AMP
+    | Some '|' -> if second () = Some '|' then two Token.BARBAR else one Token.BAR
+    | Some '=' -> if second () = Some '=' then two Token.EQEQ else one Token.ASSIGN
+    | Some '!' -> if second () = Some '=' then two Token.BANGEQ else one Token.BANG
+    | Some '<' ->
+        if second () = Some '=' then two Token.LE
+        else if second () = Some '<' then two Token.SHL
+        else one Token.LT
+    | Some '>' ->
+        if second () = Some '=' then two Token.GE
+        else if second () = Some '>' then two Token.SHR
+        else one Token.GT
+    | Some c -> Loc.error p "unexpected character %C" c
+  in
+  (tok, p)
+
+let tokenize src =
+  let lx = create src in
+  let rec go acc =
+    let tok, p = next lx in
+    if tok = Token.EOF then List.rev ((tok, p) :: acc)
+    else go ((tok, p) :: acc)
+  in
+  go []

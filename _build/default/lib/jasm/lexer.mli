@@ -1,0 +1,14 @@
+(** Hand-written lexer for jasm ([menhir]/[ocamllex] are not available in
+    this environment; see DESIGN.md). *)
+
+type t
+
+val create : string -> t
+(** Lex the given source text. *)
+
+val next : t -> Token.t * Loc.pos
+(** Consume and return the next token.  Returns [EOF] forever at the end.
+    Raises [Loc.Error] on invalid input. *)
+
+val tokenize : string -> (Token.t * Loc.pos) list
+(** The whole token stream, [EOF] included (convenience for tests). *)

@@ -1,0 +1,14 @@
+(* Source positions and located errors for the jasm frontend. *)
+
+type pos = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+
+let to_string p = Printf.sprintf "%d:%d" p.line p.col
+
+exception Error of pos * string
+
+let error pos fmt = Printf.ksprintf (fun msg -> raise (Error (pos, msg))) fmt
+
+let pp_error ?(file = "<jasm>") pos msg =
+  Printf.sprintf "%s:%s: %s" file (to_string pos) msg

@@ -1,0 +1,573 @@
+type st = {
+  lx : Lexer.t;
+  mutable tok : Token.t;
+  mutable pos : Loc.pos;
+}
+
+let make src =
+  let lx = Lexer.create src in
+  let tok, pos = Lexer.next lx in
+  { lx; tok; pos }
+
+let advance st =
+  let tok, pos = Lexer.next st.lx in
+  st.tok <- tok;
+  st.pos <- pos
+
+let expect st tok =
+  if st.tok = tok then advance st
+  else
+    Loc.error st.pos "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string st.tok)
+
+let expect_ident st =
+  match st.tok with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> Loc.error st.pos "expected identifier but found '%s'" (Token.to_string t)
+
+let expect_int st =
+  match st.tok with
+  | Token.INT n ->
+      advance st;
+      n
+  | Token.MINUS ->
+      advance st;
+      (match st.tok with
+      | Token.INT n ->
+          advance st;
+          -n
+      | t ->
+          Loc.error st.pos "expected integer but found '%s'" (Token.to_string t))
+  | t -> Loc.error st.pos "expected integer but found '%s'" (Token.to_string t)
+
+(* type := ("int" | "bool" | IDENT) ("[" "]")* *)
+let parse_ty st =
+  let base =
+    match st.tok with
+    | Token.KW_int ->
+        advance st;
+        Ast.Tint
+    | Token.KW_bool ->
+        advance st;
+        Ast.Tbool
+    | Token.IDENT c ->
+        advance st;
+        Ast.Tname c
+    | t -> Loc.error st.pos "expected a type but found '%s'" (Token.to_string t)
+  in
+  let rec arrays t =
+    if st.tok = Token.LBRACKET then begin
+      advance st;
+      expect st Token.RBRACKET;
+      arrays (Ast.Tarr t)
+    end
+    else t
+  in
+  arrays base
+
+let mk pos e = { Ast.e; pos }
+
+let rec parse_expr_prec st = parse_lor st
+
+and parse_lor st =
+  let rec go lhs =
+    if st.tok = Token.BARBAR then begin
+      let pos = st.pos in
+      advance st;
+      let rhs = parse_land st in
+      go (mk pos (Ast.Bin (Ast.Blor, lhs, rhs)))
+    end
+    else lhs
+  in
+  go (parse_land st)
+
+and parse_land st =
+  let rec go lhs =
+    if st.tok = Token.AMPAMP then begin
+      let pos = st.pos in
+      advance st;
+      let rhs = parse_bitop st in
+      go (mk pos (Ast.Bin (Ast.Bland, lhs, rhs)))
+    end
+    else lhs
+  in
+  go (parse_bitop st)
+
+and parse_bitop st =
+  let op_of = function
+    | Token.AMP -> Some Ast.Band
+    | Token.BAR -> Some Ast.Bor
+    | Token.CARET -> Some Ast.Bxor
+    | _ -> None
+  in
+  let rec go lhs =
+    match op_of st.tok with
+    | Some op ->
+        let pos = st.pos in
+        advance st;
+        let rhs = parse_equality st in
+        go (mk pos (Ast.Bin (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let op_of = function
+    | Token.EQEQ -> Some Ast.Beq
+    | Token.BANGEQ -> Some Ast.Bne
+    | _ -> None
+  in
+  let rec go lhs =
+    match op_of st.tok with
+    | Some op ->
+        let pos = st.pos in
+        advance st;
+        let rhs = parse_relational st in
+        go (mk pos (Ast.Bin (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let op_of = function
+    | Token.LT -> Some Ast.Blt
+    | Token.LE -> Some Ast.Ble
+    | Token.GT -> Some Ast.Bgt
+    | Token.GE -> Some Ast.Bge
+    | _ -> None
+  in
+  let rec go lhs =
+    match op_of st.tok with
+    | Some op ->
+        let pos = st.pos in
+        advance st;
+        let rhs = parse_shift st in
+        go (mk pos (Ast.Bin (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let op_of = function
+    | Token.SHL -> Some Ast.Bshl
+    | Token.SHR -> Some Ast.Bshr
+    | _ -> None
+  in
+  let rec go lhs =
+    match op_of st.tok with
+    | Some op ->
+        let pos = st.pos in
+        advance st;
+        let rhs = parse_additive st in
+        go (mk pos (Ast.Bin (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let op_of = function
+    | Token.PLUS -> Some Ast.Badd
+    | Token.MINUS -> Some Ast.Bsub
+    | _ -> None
+  in
+  let rec go lhs =
+    match op_of st.tok with
+    | Some op ->
+        let pos = st.pos in
+        advance st;
+        let rhs = parse_multiplicative st in
+        go (mk pos (Ast.Bin (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let op_of = function
+    | Token.STAR -> Some Ast.Bmul
+    | Token.SLASH -> Some Ast.Bdiv
+    | Token.PERCENT -> Some Ast.Brem
+    | _ -> None
+  in
+  let rec go lhs =
+    match op_of st.tok with
+    | Some op ->
+        let pos = st.pos in
+        advance st;
+        let rhs = parse_unary st in
+        go (mk pos (Ast.Bin (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match st.tok with
+  | Token.MINUS ->
+      let pos = st.pos in
+      advance st;
+      mk pos (Ast.Un (Ast.Uneg, parse_unary st))
+  | Token.BANG ->
+      let pos = st.pos in
+      advance st;
+      mk pos (Ast.Un (Ast.Unot, parse_unary st))
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go e =
+    match st.tok with
+    | Token.DOT ->
+        advance st;
+        let name = expect_ident st in
+        if st.tok = Token.LPAREN then begin
+          let args = parse_args st in
+          go (mk e.Ast.pos (Ast.Call (Some e, name, args)))
+        end
+        else go (mk e.Ast.pos (Ast.Dot (e, name)))
+    | Token.LBRACKET ->
+        advance st;
+        let idx = parse_expr_prec st in
+        expect st Token.RBRACKET;
+        go (mk e.Ast.pos (Ast.Index (e, idx)))
+    | _ -> e
+  in
+  go (parse_primary st)
+
+and parse_args st =
+  expect st Token.LPAREN;
+  if st.tok = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let e = parse_expr_prec st in
+      if st.tok = Token.COMMA then begin
+        advance st;
+        go (e :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary st =
+  let pos = st.pos in
+  match st.tok with
+  | Token.INT n ->
+      advance st;
+      mk pos (Ast.Int n)
+  | Token.KW_true ->
+      advance st;
+      mk pos (Ast.Bool true)
+  | Token.KW_false ->
+      advance st;
+      mk pos (Ast.Bool false)
+  | Token.KW_null ->
+      advance st;
+      mk pos Ast.Null
+  | Token.KW_this ->
+      advance st;
+      mk pos Ast.This
+  | Token.KW_new -> begin
+      advance st;
+      let t = parse_new_ty st in
+      match t with
+      | `Obj c -> mk pos (Ast.New_obj c)
+      | `Arr (elt, len) -> mk pos (Ast.New_arr (elt, len))
+    end
+  | Token.IDENT name ->
+      advance st;
+      if st.tok = Token.LPAREN then
+        let args = parse_args st in
+        mk pos (Ast.Call (None, name, args))
+      else mk pos (Ast.Ident name)
+  | Token.LPAREN ->
+      advance st;
+      let e = parse_expr_prec st in
+      expect st Token.RPAREN;
+      e
+  | t -> Loc.error pos "expected an expression but found '%s'" (Token.to_string t)
+
+(* new C | new int[len] | new C[len] | new int[][]? (only 1-D allocation) *)
+and parse_new_ty st =
+  let base =
+    match st.tok with
+    | Token.KW_int ->
+        advance st;
+        Ast.Tint
+    | Token.KW_bool ->
+        advance st;
+        Ast.Tbool
+    | Token.IDENT c ->
+        advance st;
+        Ast.Tname c
+    | t -> Loc.error st.pos "expected a type after 'new' but found '%s'" (Token.to_string t)
+  in
+  if st.tok = Token.LBRACKET then begin
+    advance st;
+    let len = parse_expr_prec st in
+    expect st Token.RBRACKET;
+    (* further "[]" make it an array-of-arrays allocation of empty rows *)
+    let rec extra elt =
+      if st.tok = Token.LBRACKET then begin
+        advance st;
+        expect st Token.RBRACKET;
+        extra (Ast.Tarr elt)
+      end
+      else elt
+    in
+    `Arr (extra base, len)
+  end
+  else
+    match base with
+    | Ast.Tname c -> `Obj c
+    | t -> Loc.error st.pos "cannot 'new' a %s without a length" (Ast.ty_to_string t)
+
+let mk_s pos s = { Ast.s; spos = pos }
+
+let rec parse_block st =
+  expect st Token.LBRACE;
+  let rec go acc =
+    if st.tok = Token.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+and parse_stmt st =
+  let pos = st.pos in
+  match st.tok with
+  | Token.LBRACE -> mk_s pos (Ast.Scope (parse_block st))
+  | Token.KW_var ->
+      advance st;
+      let name = expect_ident st in
+      expect st Token.COLON;
+      let ty = parse_ty st in
+      let init =
+        if st.tok = Token.ASSIGN then begin
+          advance st;
+          Some (parse_expr_prec st)
+        end
+        else None
+      in
+      expect st Token.SEMI;
+      mk_s pos (Ast.Decl (name, ty, init))
+  | Token.KW_if ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr_prec st in
+      expect st Token.RPAREN;
+      let then_ = parse_block st in
+      let else_ =
+        if st.tok = Token.KW_else then begin
+          advance st;
+          if st.tok = Token.KW_if then [ parse_stmt st ] else parse_block st
+        end
+        else []
+      in
+      mk_s pos (Ast.If (cond, then_, else_))
+  | Token.KW_while ->
+      advance st;
+      expect st Token.LPAREN;
+      let cond = parse_expr_prec st in
+      expect st Token.RPAREN;
+      let body = parse_block st in
+      mk_s pos (Ast.While (cond, body))
+  | Token.KW_for ->
+      advance st;
+      expect st Token.LPAREN;
+      let init = parse_simple_stmt st in
+      expect st Token.SEMI;
+      let cond = parse_expr_prec st in
+      expect st Token.SEMI;
+      let step = parse_simple_stmt st in
+      expect st Token.RPAREN;
+      let body = parse_block st in
+      mk_s pos (Ast.For (init, cond, step, body))
+  | Token.KW_switch ->
+      advance st;
+      expect st Token.LPAREN;
+      let scrut = parse_expr_prec st in
+      expect st Token.RPAREN;
+      expect st Token.LBRACE;
+      let cases = ref [] in
+      let default = ref [] in
+      while st.tok <> Token.RBRACE do
+        match st.tok with
+        | Token.KW_case ->
+            advance st;
+            let n = expect_int st in
+            expect st Token.COLON;
+            cases := (n, parse_block st) :: !cases
+        | Token.KW_default ->
+            advance st;
+            expect st Token.COLON;
+            default := parse_block st
+        | t ->
+            Loc.error st.pos "expected 'case' or 'default' but found '%s'"
+              (Token.to_string t)
+      done;
+      advance st;
+      mk_s pos (Ast.Switch (scrut, List.rev !cases, !default))
+  | Token.KW_return ->
+      advance st;
+      if st.tok = Token.SEMI then begin
+        advance st;
+        mk_s pos (Ast.Return None)
+      end
+      else begin
+        let e = parse_expr_prec st in
+        expect st Token.SEMI;
+        mk_s pos (Ast.Return (Some e))
+      end
+  | Token.KW_spawn ->
+      advance st;
+      let cls = expect_ident st in
+      expect st Token.DOT;
+      let m = expect_ident st in
+      let args = parse_args st in
+      expect st Token.SEMI;
+      mk_s pos (Ast.Spawn (cls, m, args))
+  | _ ->
+      let stmt = parse_simple_stmt st in
+      expect st Token.SEMI;
+      stmt
+
+(* assignment or expression statement, with no trailing ';' (for headers) *)
+and parse_simple_stmt st =
+  let pos = st.pos in
+  if st.tok = Token.KW_var then begin
+    advance st;
+    let name = expect_ident st in
+    expect st Token.COLON;
+    let ty = parse_ty st in
+    let init =
+      if st.tok = Token.ASSIGN then begin
+        advance st;
+        Some (parse_expr_prec st)
+      end
+      else None
+    in
+    mk_s pos (Ast.Decl (name, ty, init))
+  end
+  else begin
+    let e = parse_expr_prec st in
+    if st.tok = Token.ASSIGN then begin
+      advance st;
+      let rhs = parse_expr_prec st in
+      mk_s pos (Ast.Assign (e, rhs))
+    end
+    else mk_s pos (Ast.Expr e)
+  end
+
+let parse_params st =
+  expect st Token.LPAREN;
+  if st.tok = Token.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let rec go acc =
+      let name = expect_ident st in
+      expect st Token.COLON;
+      let ty = parse_ty st in
+      if st.tok = Token.COMMA then begin
+        advance st;
+        go ((name, ty) :: acc)
+      end
+      else begin
+        expect st Token.RPAREN;
+        List.rev ((name, ty) :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_member st =
+  let pos = st.pos in
+  let static =
+    if st.tok = Token.KW_static then begin
+      advance st;
+      true
+    end
+    else false
+  in
+  match st.tok with
+  | Token.KW_var ->
+      advance st;
+      let name = expect_ident st in
+      expect st Token.COLON;
+      let ty = parse_ty st in
+      expect st Token.SEMI;
+      `Field { Ast.f_static = static; f_name = name; f_ty = ty; f_pos = pos }
+  | Token.KW_fun ->
+      advance st;
+      let name = expect_ident st in
+      let params = parse_params st in
+      let ret =
+        if st.tok = Token.COLON then begin
+          advance st;
+          Some (parse_ty st)
+        end
+        else None
+      in
+      let body = parse_block st in
+      `Meth
+        {
+          Ast.m_static = static;
+          m_name = name;
+          m_params = params;
+          m_ret = ret;
+          m_body = body;
+          m_pos = pos;
+        }
+  | t ->
+      Loc.error pos "expected 'var' or 'fun' in class body but found '%s'"
+        (Token.to_string t)
+
+let parse_class st =
+  let pos = st.pos in
+  expect st Token.KW_class;
+  let name = expect_ident st in
+  let super =
+    if st.tok = Token.KW_extends then begin
+      advance st;
+      Some (expect_ident st)
+    end
+    else None
+  in
+  expect st Token.LBRACE;
+  let fields = ref [] in
+  let meths = ref [] in
+  while st.tok <> Token.RBRACE do
+    match parse_member st with
+    | `Field f -> fields := f :: !fields
+    | `Meth m -> meths := m :: !meths
+  done;
+  advance st;
+  {
+    Ast.c_name = name;
+    c_super = super;
+    c_fields = List.rev !fields;
+    c_meths = List.rev !meths;
+    c_pos = pos;
+  }
+
+let parse_program src =
+  let st = make src in
+  let rec go acc =
+    if st.tok = Token.EOF then List.rev acc else go (parse_class st :: acc)
+  in
+  go []
+
+let parse_expr src =
+  let st = make src in
+  let e = parse_expr_prec st in
+  expect st Token.EOF;
+  e

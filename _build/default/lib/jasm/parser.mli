@@ -1,0 +1,7 @@
+(** Recursive-descent parser for jasm.
+
+    Raises [Loc.Error] with a located message on syntax errors. *)
+
+val parse_program : string -> Ast.program
+val parse_expr : string -> Ast.expr
+(** Parse a standalone expression (for tests). *)

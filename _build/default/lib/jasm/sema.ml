@@ -1,0 +1,581 @@
+module Lir = Ir.Lir
+
+(* Pseudo-type of the [null] literal; assignable to any reference type.
+   Never escapes into the typed AST as a declared type. *)
+let tnull = Ast.Tname "!null"
+
+let is_ref = function Ast.Tname _ | Ast.Tarr _ -> true | _ -> false
+
+type class_info = {
+  decl : Ast.class_decl;
+  mutable ancestry : string list; (* self first, root last *)
+}
+
+type ctx = {
+  classes : (string, class_info) Hashtbl.t;
+  (* current method context *)
+  cls : string;
+  static : bool;
+  ret : Ast.ty option;
+  mutable scopes : (string, int * Ast.ty) Hashtbl.t list;
+  mutable next_slot : int;
+  mutable max_slot : int;
+}
+
+let builtin_sigs =
+  [
+    ("print", ([ Ast.Tint ], None));
+    ("rand", ([ Ast.Tint ], Some Ast.Tint));
+    ("yield", ([], None)); (* cooperative thread yield *)
+  ]
+
+let class_info ctx pos name =
+  match Hashtbl.find_opt ctx.classes name with
+  | Some ci -> ci
+  | None -> Loc.error pos "unknown class '%s'" name
+
+let rec check_ty ctx pos = function
+  | Ast.Tint | Ast.Tbool -> ()
+  | Ast.Tname c -> ignore (class_info ctx pos c)
+  | Ast.Tarr t -> check_ty ctx pos t
+
+let subtype ctx a b =
+  match (a, b) with
+  | Ast.Tint, Ast.Tint | Ast.Tbool, Ast.Tbool -> true
+  | Ast.Tname c, Ast.Tname d -> (
+      c = d
+      ||
+      match Hashtbl.find_opt ctx.classes c with
+      | Some ci -> List.mem d ci.ancestry
+      | None -> false)
+  | Ast.Tarr x, Ast.Tarr y -> x = y
+  | _ -> false
+
+let assignable ctx ~src ~dst = subtype ctx src dst || (src = tnull && is_ref dst)
+
+(* Find the declaring class of instance field [f], starting at class [c]. *)
+let find_instance_field ctx pos c f =
+  let ci = class_info ctx pos c in
+  let declares name =
+    let ci = class_info ctx pos name in
+    List.find_opt
+      (fun (fd : Ast.field_decl) -> (not fd.Ast.f_static) && fd.Ast.f_name = f)
+      ci.decl.Ast.c_fields
+  in
+  List.find_map
+    (fun cname ->
+      match declares cname with
+      | Some fd -> Some ({ Lir.fclass = cname; fname = f }, fd.Ast.f_ty)
+      | None -> None)
+    ci.ancestry
+
+let find_static_field ctx pos c f =
+  let ci = class_info ctx pos c in
+  List.find_map
+    (fun cname ->
+      let ci = class_info ctx pos cname in
+      match
+        List.find_opt
+          (fun (fd : Ast.field_decl) -> fd.Ast.f_static && fd.Ast.f_name = f)
+          ci.decl.Ast.c_fields
+      with
+      | Some fd -> Some ({ Lir.fclass = cname; fname = f }, fd.Ast.f_ty)
+      | None -> None)
+    ci.ancestry
+
+(* Find a method named [m] reachable from class [c]; returns the declaring
+   class and the declaration. *)
+let find_method ctx pos c m =
+  let ci = class_info ctx pos c in
+  List.find_map
+    (fun cname ->
+      let ci = class_info ctx pos cname in
+      match
+        List.find_opt (fun (md : Ast.meth_decl) -> md.Ast.m_name = m)
+          ci.decl.Ast.c_meths
+      with
+      | Some md -> Some (cname, md)
+      | None -> None)
+    ci.ancestry
+
+let lookup_var ctx name =
+  List.find_map (fun scope -> Hashtbl.find_opt scope name) ctx.scopes
+
+let declare_var ctx pos name ty =
+  match ctx.scopes with
+  | [] -> assert false
+  | scope :: _ ->
+      if Hashtbl.mem scope name then
+        Loc.error pos "variable '%s' already declared in this scope" name;
+      let slot = ctx.next_slot in
+      ctx.next_slot <- slot + 1;
+      if ctx.next_slot > ctx.max_slot then ctx.max_slot <- ctx.next_slot;
+      Hashtbl.add scope name (slot, ty);
+      slot
+
+let push_scope ctx = ctx.scopes <- Hashtbl.create 8 :: ctx.scopes
+
+let pop_scope ctx =
+  match ctx.scopes with
+  | _ :: rest -> ctx.scopes <- rest
+  | [] -> assert false
+
+let te ty d = { Tast.ty; d }
+
+let ty_name = Ast.ty_to_string
+
+let check_int pos (e : Tast.texpr) what =
+  if e.Tast.ty <> Ast.Tint then
+    Loc.error pos "%s must be int, found %s" what (ty_name e.Tast.ty)
+
+let check_bool pos (e : Tast.texpr) what =
+  if e.Tast.ty <> Ast.Tbool then
+    Loc.error pos "%s must be bool, found %s" what (ty_name e.Tast.ty)
+
+let rec check_expr ctx (e : Ast.expr) : Tast.texpr =
+  let pos = e.Ast.pos in
+  match e.Ast.e with
+  | Ast.Int n -> te Ast.Tint (Tast.Tint_lit n)
+  | Ast.Bool b -> te Ast.Tbool (Tast.Tbool_lit b)
+  | Ast.Null -> te tnull Tast.Tnull
+  | Ast.This ->
+      if ctx.static then Loc.error pos "'this' used in a static method";
+      te (Ast.Tname ctx.cls) Tast.Tthis
+  | Ast.Ident name -> (
+      match lookup_var ctx name with
+      | Some (slot, ty) -> te ty (Tast.Tvar slot)
+      | None -> (
+          (* unqualified field access on the current class *)
+          match find_instance_field ctx pos ctx.cls name with
+          | Some (fr, ty) when not ctx.static ->
+              te ty (Tast.Tfield (te (Ast.Tname ctx.cls) Tast.Tthis, fr))
+          | _ -> (
+              match find_static_field ctx pos ctx.cls name with
+              | Some (fr, ty) -> te ty (Tast.Tstatic_field fr)
+              | None -> Loc.error pos "unbound variable '%s'" name)))
+  | Ast.Un (op, a) -> (
+      let ta = check_expr ctx a in
+      match op with
+      | Ast.Uneg ->
+          check_int pos ta "operand of unary '-'";
+          te Ast.Tint (Tast.Tun (op, ta))
+      | Ast.Unot ->
+          check_bool pos ta "operand of '!'";
+          te Ast.Tbool (Tast.Tun (op, ta)))
+  | Ast.Bin (op, a, b) -> (
+      let ta = check_expr ctx a in
+      let tb = check_expr ctx b in
+      match op with
+      | Ast.Badd | Ast.Bsub | Ast.Bmul | Ast.Bdiv | Ast.Brem | Ast.Band
+      | Ast.Bor | Ast.Bxor | Ast.Bshl | Ast.Bshr ->
+          check_int pos ta "left operand";
+          check_int pos tb "right operand";
+          te Ast.Tint (Tast.Tbin (op, ta, tb))
+      | Ast.Blt | Ast.Ble | Ast.Bgt | Ast.Bge ->
+          check_int pos ta "left operand";
+          check_int pos tb "right operand";
+          te Ast.Tbool (Tast.Tbin (op, ta, tb))
+      | Ast.Beq | Ast.Bne ->
+          let ok =
+            (ta.Tast.ty = Ast.Tint && tb.Tast.ty = Ast.Tint)
+            || (ta.Tast.ty = Ast.Tbool && tb.Tast.ty = Ast.Tbool)
+            || (is_ref ta.Tast.ty || ta.Tast.ty = tnull)
+               && (is_ref tb.Tast.ty || tb.Tast.ty = tnull)
+          in
+          if not ok then
+            Loc.error pos "cannot compare %s with %s" (ty_name ta.Tast.ty)
+              (ty_name tb.Tast.ty);
+          te Ast.Tbool (Tast.Tbin (op, ta, tb))
+      | Ast.Bland | Ast.Blor ->
+          check_bool pos ta "left operand";
+          check_bool pos tb "right operand";
+          te Ast.Tbool (Tast.Tbin (op, ta, tb)))
+  | Ast.Dot (recv, name) -> (
+      (* Class.static_field, array.length, or obj.field *)
+      match recv.Ast.e with
+      | Ast.Ident c when lookup_var ctx c = None && Hashtbl.mem ctx.classes c
+        -> (
+          match find_static_field ctx pos c name with
+          | Some (fr, ty) -> te ty (Tast.Tstatic_field fr)
+          | None -> Loc.error pos "class '%s' has no static field '%s'" c name)
+      | _ -> (
+          let trecv = check_expr ctx recv in
+          match trecv.Tast.ty with
+          | Ast.Tarr _ when name = "length" -> te Ast.Tint (Tast.Tlen trecv)
+          | Ast.Tname c -> (
+              match find_instance_field ctx pos c name with
+              | Some (fr, ty) -> te ty (Tast.Tfield (trecv, fr))
+              | None -> Loc.error pos "class '%s' has no field '%s'" c name)
+          | t ->
+              Loc.error pos "cannot access field '%s' on value of type %s" name
+                (ty_name t)))
+  | Ast.Index (arr, idx) -> (
+      let tarr = check_expr ctx arr in
+      let tidx = check_expr ctx idx in
+      check_int pos tidx "array index";
+      match tarr.Tast.ty with
+      | Ast.Tarr elt -> te elt (Tast.Tindex (tarr, tidx))
+      | t -> Loc.error pos "cannot index value of type %s" (ty_name t))
+  | Ast.New_obj c ->
+      ignore (class_info ctx pos c);
+      te (Ast.Tname c) (Tast.Tnew c)
+  | Ast.New_arr (elt, len) ->
+      check_ty ctx pos elt;
+      let tlen = check_expr ctx len in
+      check_int pos tlen "array length";
+      te (Ast.Tarr elt) (Tast.Tnew_arr tlen)
+  | Ast.Call (recv, name, args) -> check_call ctx pos recv name args
+
+and check_call ctx pos recv name args =
+  let targs () = List.map (check_expr ctx) args in
+  let check_args pos callee params (targs : Tast.texpr list) =
+    if List.length params <> List.length targs then
+      Loc.error pos "%s expects %d argument(s), got %d" callee
+        (List.length params) (List.length targs);
+    List.iter2
+      (fun (p : Ast.ty) (a : Tast.texpr) ->
+        if not (assignable ctx ~src:a.Tast.ty ~dst:p) then
+          Loc.error pos "%s: argument of type %s where %s expected" callee
+            (ty_name a.Tast.ty) (ty_name p))
+      params targs
+  in
+  let call_resolved ~virt ~recv_expr cls (md : Ast.meth_decl) targs =
+    let param_tys = List.map snd md.Ast.m_params in
+    check_args pos (cls ^ "." ^ name) param_tys targs;
+    let has_result = md.Ast.m_ret <> None in
+    let ret_ty = match md.Ast.m_ret with Some t -> t | None -> Ast.Tint in
+    let mref = { Lir.mclass = cls; mname = name } in
+    let d =
+      if virt then
+        Tast.Tcall_virtual (Option.get recv_expr, mref, targs, has_result)
+      else Tast.Tcall_static (mref, targs, has_result)
+    in
+    (* void calls are only legal in statement position; [check_stmt]
+       tolerates the dummy Tint type below because it discards it *)
+    { Tast.ty = (if has_result then ret_ty else Ast.Tint); d }
+  in
+  match recv with
+  | None -> (
+      match List.assoc_opt name builtin_sigs with
+      | Some (params, ret) ->
+          let targs = targs () in
+          check_args pos name params targs;
+          te
+            (match ret with Some t -> t | None -> Ast.Tint)
+            (Tast.Tintrinsic (name, targs, ret <> None))
+      | None -> (
+          match find_method ctx pos ctx.cls name with
+          | Some (cls, md) ->
+              let targs = targs () in
+              if md.Ast.m_static then
+                call_resolved ~virt:false ~recv_expr:None cls md targs
+              else begin
+                if ctx.static then
+                  Loc.error pos
+                    "cannot call instance method '%s' from a static method"
+                    name;
+                let this = te (Ast.Tname ctx.cls) Tast.Tthis in
+                call_resolved ~virt:true ~recv_expr:(Some this) ctx.cls md targs
+              end
+          | None -> Loc.error pos "unknown function '%s'" name))
+  | Some r -> (
+      match r.Ast.e with
+      | Ast.Ident c when lookup_var ctx c = None && Hashtbl.mem ctx.classes c
+        -> (
+          match find_method ctx pos c name with
+          | Some (cls, md) when md.Ast.m_static ->
+              call_resolved ~virt:false ~recv_expr:None cls md (targs ())
+          | Some _ ->
+              Loc.error pos "'%s.%s' is an instance method; call it on an object"
+                c name
+          | None -> Loc.error pos "class '%s' has no method '%s'" c name)
+      | _ -> (
+          let trecv = check_expr ctx r in
+          match trecv.Tast.ty with
+          | Ast.Tname c -> (
+              match find_method ctx pos c name with
+              | Some (_, md) when not md.Ast.m_static ->
+                  (* the symbolic target names the static receiver class;
+                     the VM dispatches on the runtime class *)
+                  call_resolved ~virt:true ~recv_expr:(Some trecv) c md
+                    (targs ())
+              | Some _ ->
+                  Loc.error pos "'%s.%s' is static; call it as %s.%s()" c name
+                    c name
+              | None -> Loc.error pos "class '%s' has no method '%s'" c name)
+          | t ->
+              Loc.error pos "cannot call method '%s' on value of type %s" name
+                (ty_name t)))
+
+let rec returns_block stmts = List.exists returns_stmt stmts
+
+and returns_stmt = function
+  | Tast.Sreturn _ -> true
+  | Tast.Sif (_, t, e) -> returns_block t && returns_block e
+  | Tast.Sswitch (_, cases, default) ->
+      default <> [] && returns_block default
+      && List.for_all (fun (_, b) -> returns_block b) cases
+  | _ -> false
+
+let rec check_stmt ctx (s : Ast.stmt) : Tast.tstmt list =
+  let pos = s.Ast.spos in
+  match s.Ast.s with
+  | Ast.Decl (name, ty, init) ->
+      check_ty ctx pos ty;
+      let tinit =
+        match init with
+        | None -> None
+        | Some e ->
+            let t = check_expr ctx e in
+            if not (assignable ctx ~src:t.Tast.ty ~dst:ty) then
+              Loc.error pos "cannot initialise %s variable with %s"
+                (ty_name ty) (ty_name t.Tast.ty);
+            Some t
+      in
+      let slot = declare_var ctx pos name ty in
+      (match tinit with
+      | Some t -> [ Tast.Sassign (Tast.Lvar slot, t) ]
+      | None -> [])
+  | Ast.Assign (lhs, rhs) ->
+      let trhs = check_expr ctx rhs in
+      let lval, lty = check_lvalue ctx lhs in
+      if not (assignable ctx ~src:trhs.Tast.ty ~dst:lty) then
+        Loc.error pos "cannot assign %s to %s" (ty_name trhs.Tast.ty)
+          (ty_name lty);
+      [ Tast.Sassign (lval, trhs) ]
+  | Ast.If (cond, then_, else_) ->
+      let tcond = check_expr ctx cond in
+      check_bool pos tcond "if condition";
+      [ Tast.Sif (tcond, check_block ctx then_, check_block ctx else_) ]
+  | Ast.While (cond, body) ->
+      let tcond = check_expr ctx cond in
+      check_bool pos tcond "while condition";
+      [ Tast.Swhile (tcond, check_block ctx body) ]
+  | Ast.For (init, cond, step, body) ->
+      push_scope ctx;
+      let tinit = check_stmt ctx init in
+      let tcond = check_expr ctx cond in
+      check_bool pos tcond "for condition";
+      let tbody = check_block ctx body in
+      let tstep = check_stmt ctx step in
+      pop_scope ctx;
+      tinit @ [ Tast.Swhile (tcond, tbody @ tstep) ]
+  | Ast.Switch (scrut, cases, default) ->
+      let tscrut = check_expr ctx scrut in
+      check_int pos tscrut "switch scrutinee";
+      let seen = Hashtbl.create 8 in
+      let tcases =
+        List.map
+          (fun (n, b) ->
+            if Hashtbl.mem seen n then Loc.error pos "duplicate case %d" n;
+            Hashtbl.add seen n ();
+            (n, check_block ctx b))
+          cases
+      in
+      [ Tast.Sswitch (tscrut, tcases, check_block ctx default) ]
+  | Ast.Return None ->
+      if ctx.ret <> None then Loc.error pos "missing return value";
+      [ Tast.Sreturn None ]
+  | Ast.Return (Some e) -> (
+      let t = check_expr ctx e in
+      match ctx.ret with
+      | None -> Loc.error pos "void method cannot return a value"
+      | Some rty ->
+          if not (assignable ctx ~src:t.Tast.ty ~dst:rty) then
+            Loc.error pos "return type mismatch: %s where %s expected"
+              (ty_name t.Tast.ty) (ty_name rty);
+          [ Tast.Sreturn (Some t) ])
+  | Ast.Expr e -> (
+      let t = check_expr ctx e in
+      match t.Tast.d with
+      | Tast.Tcall_static _ | Tast.Tcall_virtual _ | Tast.Tintrinsic _ ->
+          [ Tast.Sexpr t ]
+      | _ -> Loc.error pos "expression statement must be a call")
+  | Ast.Scope b ->
+      push_scope ctx;
+      let r = check_block_no_scope ctx b in
+      pop_scope ctx;
+      r
+  | Ast.Spawn (cls, m, args) -> (
+      match find_method ctx pos cls m with
+      | Some (dcls, md) when md.Ast.m_static ->
+          let targs = List.map (check_expr ctx) args in
+          let params = List.map snd md.Ast.m_params in
+          if List.length params <> List.length targs then
+            Loc.error pos "spawn %s.%s: arity mismatch" cls m;
+          List.iter2
+            (fun p (a : Tast.texpr) ->
+              if not (assignable ctx ~src:a.Tast.ty ~dst:p) then
+                Loc.error pos "spawn %s.%s: argument type mismatch" cls m)
+            params targs;
+          [ Tast.Sspawn ({ Lir.mclass = dcls; mname = m }, targs) ]
+      | Some _ -> Loc.error pos "spawn target %s.%s must be static" cls m
+      | None -> Loc.error pos "unknown method '%s.%s'" cls m)
+
+and check_lvalue ctx (e : Ast.expr) =
+  let pos = e.Ast.pos in
+  let t = check_expr ctx e in
+  match t.Tast.d with
+  | Tast.Tvar slot -> (Tast.Lvar slot, t.Tast.ty)
+  | Tast.Tfield (recv, fr) -> (Tast.Lfield (recv, fr), t.Tast.ty)
+  | Tast.Tstatic_field fr -> (Tast.Lstatic fr, t.Tast.ty)
+  | Tast.Tindex (arr, idx) -> (Tast.Lindex (arr, idx), t.Tast.ty)
+  | _ -> Loc.error pos "not assignable"
+
+and check_block ctx b =
+  push_scope ctx;
+  let r = check_block_no_scope ctx b in
+  pop_scope ctx;
+  r
+
+and check_block_no_scope ctx b = List.concat_map (check_stmt ctx) b
+
+(* ---- program-level checks ---- *)
+
+let build_class_table (p : Ast.program) =
+  let classes = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      if Hashtbl.mem classes c.Ast.c_name then
+        Loc.error c.Ast.c_pos "duplicate class '%s'" c.Ast.c_name;
+      Hashtbl.add classes c.Ast.c_name { decl = c; ancestry = [] })
+    p;
+  (* resolve ancestry, detecting unknown supers and cycles *)
+  let rec ancestry_of seen name pos =
+    if List.mem name seen then
+      Loc.error pos "inheritance cycle involving '%s'" name;
+    match Hashtbl.find_opt classes name with
+    | None -> Loc.error pos "unknown superclass '%s'" name
+    | Some ci -> (
+        match ci.decl.Ast.c_super with
+        | None -> [ name ]
+        | Some s -> name :: ancestry_of (name :: seen) s ci.decl.Ast.c_pos)
+  in
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let ci = Hashtbl.find classes c.Ast.c_name in
+      ci.ancestry <- ancestry_of [] c.Ast.c_name c.Ast.c_pos)
+    p;
+  (* duplicate members *)
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (f : Ast.field_decl) ->
+          if Hashtbl.mem seen f.Ast.f_name then
+            Loc.error f.Ast.f_pos "duplicate field '%s'" f.Ast.f_name;
+          Hashtbl.add seen f.Ast.f_name ())
+        c.Ast.c_fields;
+      let seen = Hashtbl.create 8 in
+      List.iter
+        (fun (m : Ast.meth_decl) ->
+          if Hashtbl.mem seen m.Ast.m_name then
+            Loc.error m.Ast.m_pos "duplicate method '%s'" m.Ast.m_name;
+          Hashtbl.add seen m.Ast.m_name ())
+        c.Ast.c_meths)
+    p;
+  classes
+
+(* An override must preserve the signature (the VM dispatches on name). *)
+let check_overrides classes (p : Ast.program) =
+  List.iter
+    (fun (c : Ast.class_decl) ->
+      match c.Ast.c_super with
+      | None -> ()
+      | Some super ->
+          List.iter
+            (fun (m : Ast.meth_decl) ->
+              let ci = Hashtbl.find classes super in
+              ignore ci;
+              let rec find name =
+                match Hashtbl.find_opt classes name with
+                | None -> None
+                | Some ci -> (
+                    match
+                      List.find_opt
+                        (fun (md : Ast.meth_decl) ->
+                          md.Ast.m_name = m.Ast.m_name)
+                        ci.decl.Ast.c_meths
+                    with
+                    | Some md -> Some md
+                    | None -> (
+                        match ci.decl.Ast.c_super with
+                        | Some s -> find s
+                        | None -> None))
+              in
+              match find super with
+              | None -> ()
+              | Some inherited ->
+                  let sig_of (md : Ast.meth_decl) =
+                    (md.Ast.m_static, List.map snd md.Ast.m_params, md.Ast.m_ret)
+                  in
+                  if sig_of inherited <> sig_of m then
+                    Loc.error m.Ast.m_pos
+                      "method '%s' overrides '%s.%s' with a different signature"
+                      m.Ast.m_name super m.Ast.m_name)
+            c.Ast.c_meths)
+    p
+
+let check_method classes cls_name (m : Ast.meth_decl) : Tast.tmeth =
+  let ctx =
+    {
+      classes;
+      cls = cls_name;
+      static = m.Ast.m_static;
+      ret = m.Ast.m_ret;
+      scopes = [];
+      next_slot = 0;
+      max_slot = 0;
+    }
+  in
+  push_scope ctx;
+  if not m.Ast.m_static then begin
+    (* slot 0 is the receiver *)
+    ctx.next_slot <- 1;
+    ctx.max_slot <- 1
+  end;
+  List.iter
+    (fun (name, ty) ->
+      check_ty ctx m.Ast.m_pos ty;
+      ignore (declare_var ctx m.Ast.m_pos name ty))
+    m.Ast.m_params;
+  (match m.Ast.m_ret with
+  | Some t -> check_ty ctx m.Ast.m_pos t
+  | None -> ());
+  let body = check_block_no_scope ctx m.Ast.m_body in
+  pop_scope ctx;
+  if m.Ast.m_ret <> None && not (returns_block body) then
+    Loc.error m.Ast.m_pos "method '%s' may not return a value on all paths"
+      m.Ast.m_name;
+  {
+    Tast.tm_class = cls_name;
+    tm_name = m.Ast.m_name;
+    tm_static = m.Ast.m_static;
+    tm_n_args = List.length m.Ast.m_params;
+    tm_returns = m.Ast.m_ret <> None;
+    tm_max_locals = ctx.max_slot;
+    tm_body = body;
+  }
+
+let check_program (p : Ast.program) : Tast.tprogram =
+  let classes = build_class_table p in
+  check_overrides classes p;
+  List.map
+    (fun (c : Ast.class_decl) ->
+      {
+        Tast.tc_name = c.Ast.c_name;
+        tc_super = c.Ast.c_super;
+        tc_fields =
+          List.filter_map
+            (fun (f : Ast.field_decl) ->
+              if f.Ast.f_static then None else Some f.Ast.f_name)
+            c.Ast.c_fields;
+        tc_static_fields =
+          List.filter_map
+            (fun (f : Ast.field_decl) ->
+              if f.Ast.f_static then Some f.Ast.f_name else None)
+            c.Ast.c_fields;
+        tc_meths =
+          List.map (fun m -> check_method classes c.Ast.c_name m) c.Ast.c_meths;
+      })
+    p

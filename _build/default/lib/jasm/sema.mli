@@ -1,0 +1,6 @@
+(** Semantic analysis: name resolution and type checking.
+
+    Produces the typed AST consumed by {!Codegen}.  Raises [Loc.Error] with
+    a located message on any semantic error. *)
+
+val check_program : Ast.program -> Tast.tprogram

@@ -1,0 +1,61 @@
+(* Typed abstract syntax: names resolved to slots / symbolic references,
+   every expression annotated with its type.  Produced by [Sema], consumed
+   by [Codegen].  [For] is desugared to [While]; blocks are flattened
+   (slot allocation is linear, no reuse). *)
+
+type ty = Ast.ty (* with the invariant that every [Tname] names a real class *)
+
+type texpr = { ty : ty; d : desc }
+
+and desc =
+  | Tint_lit of int
+  | Tbool_lit of bool
+  | Tnull
+  | Tthis
+  | Tvar of int (* local slot *)
+  | Tbin of Ast.bin * texpr * texpr
+  | Tun of Ast.un * texpr
+  | Tfield of texpr * Ir.Lir.field_ref
+  | Tstatic_field of Ir.Lir.field_ref
+  | Tindex of texpr * texpr
+  | Tlen of texpr
+  | Tnew of string
+  | Tnew_arr of texpr
+  | Tcall_static of Ir.Lir.method_ref * texpr list * bool (* has result *)
+  | Tcall_virtual of texpr * Ir.Lir.method_ref * texpr list * bool
+  | Tintrinsic of string * texpr list * bool
+
+type lval =
+  | Lvar of int
+  | Lfield of texpr * Ir.Lir.field_ref
+  | Lstatic of Ir.Lir.field_ref
+  | Lindex of texpr * texpr
+
+type tstmt =
+  | Sassign of lval * texpr
+  | Sif of texpr * tstmt list * tstmt list
+  | Swhile of texpr * tstmt list
+  | Sswitch of texpr * (int * tstmt list) list * tstmt list
+  | Sreturn of texpr option
+  | Sexpr of texpr
+  | Sspawn of Ir.Lir.method_ref * texpr list
+
+type tmeth = {
+  tm_class : string;
+  tm_name : string;
+  tm_static : bool;
+  tm_n_args : int;
+  tm_returns : bool;
+  tm_max_locals : int;
+  tm_body : tstmt list;
+}
+
+type tclass = {
+  tc_name : string;
+  tc_super : string option;
+  tc_fields : string list;
+  tc_static_fields : string list;
+  tc_meths : tmeth list;
+}
+
+type tprogram = tclass list

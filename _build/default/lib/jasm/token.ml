@@ -1,0 +1,138 @@
+(* Tokens of the jasm language. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_class
+  | KW_extends
+  | KW_var
+  | KW_fun
+  | KW_static
+  | KW_if
+  | KW_else
+  | KW_while
+  | KW_for
+  | KW_return
+  | KW_new
+  | KW_true
+  | KW_false
+  | KW_null
+  | KW_this
+  | KW_int
+  | KW_bool
+  | KW_switch
+  | KW_case
+  | KW_default
+  | KW_spawn
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | SEMI
+  | COMMA
+  | COLON
+  | DOT
+  | ASSIGN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | AMPAMP
+  | BARBAR
+  | AMP
+  | BAR
+  | CARET
+  | SHL
+  | SHR
+  | BANG
+  | EQEQ
+  | BANGEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+let keyword_table =
+  [
+    ("class", KW_class);
+    ("extends", KW_extends);
+    ("var", KW_var);
+    ("fun", KW_fun);
+    ("static", KW_static);
+    ("if", KW_if);
+    ("else", KW_else);
+    ("while", KW_while);
+    ("for", KW_for);
+    ("return", KW_return);
+    ("new", KW_new);
+    ("true", KW_true);
+    ("false", KW_false);
+    ("null", KW_null);
+    ("this", KW_this);
+    ("int", KW_int);
+    ("bool", KW_bool);
+    ("switch", KW_switch);
+    ("case", KW_case);
+    ("default", KW_default);
+    ("spawn", KW_spawn);
+  ]
+
+let to_string = function
+  | INT n -> string_of_int n
+  | IDENT s -> s
+  | KW_class -> "class"
+  | KW_extends -> "extends"
+  | KW_var -> "var"
+  | KW_fun -> "fun"
+  | KW_static -> "static"
+  | KW_if -> "if"
+  | KW_else -> "else"
+  | KW_while -> "while"
+  | KW_for -> "for"
+  | KW_return -> "return"
+  | KW_new -> "new"
+  | KW_true -> "true"
+  | KW_false -> "false"
+  | KW_null -> "null"
+  | KW_this -> "this"
+  | KW_int -> "int"
+  | KW_bool -> "bool"
+  | KW_switch -> "switch"
+  | KW_case -> "case"
+  | KW_default -> "default"
+  | KW_spawn -> "spawn"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | COLON -> ":"
+  | DOT -> "."
+  | ASSIGN -> "="
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMPAMP -> "&&"
+  | BARBAR -> "||"
+  | AMP -> "&"
+  | BAR -> "|"
+  | CARET -> "^"
+  | SHL -> "<<"
+  | SHR -> ">>"
+  | BANG -> "!"
+  | EQEQ -> "=="
+  | BANGEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Array Hashtbl Ir List Pass

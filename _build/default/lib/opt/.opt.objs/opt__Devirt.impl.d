@@ -1,0 +1,1 @@
+lib/opt/devirt.ml: Array Inline Ir

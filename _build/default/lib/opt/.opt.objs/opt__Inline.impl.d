@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Array Ir List Option

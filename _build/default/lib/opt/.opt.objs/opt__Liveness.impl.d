@@ -1,0 +1,1 @@
+lib/opt/liveness.ml: Array Hashtbl Int Ir List Set

@@ -1,0 +1,1 @@
+lib/opt/lower.ml: Array Ir Pass

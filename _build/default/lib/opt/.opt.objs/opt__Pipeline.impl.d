@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Constfold Copyprop Dce Inline List Lower Pass Regalloc Schedule Simplify_cfg Sys Yieldpoints

@@ -1,0 +1,1 @@
+lib/opt/regalloc.ml: Array Hashtbl Ir List Liveness Queue

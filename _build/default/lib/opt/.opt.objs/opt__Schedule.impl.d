@@ -1,0 +1,1 @@
+lib/opt/schedule.ml: Array Hashtbl Ir List Option Pass

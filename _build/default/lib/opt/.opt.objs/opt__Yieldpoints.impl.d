@@ -1,0 +1,1 @@
+lib/opt/yieldpoints.ml: Ir List Pass

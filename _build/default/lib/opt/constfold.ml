@@ -1,0 +1,108 @@
+(* Block-local constant propagation and folding.
+
+   Tracks registers holding known constants within a block, rewrites uses
+   to immediates, folds fully-constant ALU operations, and turns
+   constant-scrutinee branches into gotos.  Division and remainder by a
+   constant zero are left alone (they must trap at runtime). *)
+
+module Lir = Ir.Lir
+
+let fold_binop op a b =
+  match op with
+  | Lir.Add -> Some (a + b)
+  | Lir.Sub -> Some (a - b)
+  | Lir.Mul -> Some (a * b)
+  | Lir.Div -> if b = 0 then None else Some (a / b)
+  | Lir.Rem -> if b = 0 then None else Some (a mod b)
+  | Lir.And -> Some (a land b)
+  | Lir.Or -> Some (a lor b)
+  | Lir.Xor -> Some (a lxor b)
+  | Lir.Shl -> Some (a lsl (b land 31))
+  | Lir.Shr -> Some (a asr (b land 31))
+  | Lir.Lt -> Some (if a < b then 1 else 0)
+  | Lir.Le -> Some (if a <= b then 1 else 0)
+  | Lir.Gt -> Some (if a > b then 1 else 0)
+  | Lir.Ge -> Some (if a >= b then 1 else 0)
+  | Lir.Eq -> Some (if a = b then 1 else 0)
+  | Lir.Ne -> Some (if a <> b then 1 else 0)
+
+let run (f : Lir.func) =
+  let f = Lir.copy_func f in
+  for l = 0 to Lir.num_blocks f - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead then begin
+      let consts = Hashtbl.create 16 in
+      let subst = function
+        | Lir.Reg r as op -> (
+            match Hashtbl.find_opt consts r with
+            | Some k -> Lir.Imm k
+            | None -> op)
+        | op -> op
+      in
+      let kill r = Hashtbl.remove consts r in
+      let instrs =
+        Array.map
+          (fun i ->
+            let i =
+              match i with
+              | Lir.Move (r, a) -> Lir.Move (r, subst a)
+              | Lir.Unop (r, op, a) -> Lir.Unop (r, op, subst a)
+              | Lir.Binop (r, op, a, b) -> Lir.Binop (r, op, subst a, subst b)
+              | Lir.Get_field (r, o, fl) -> Lir.Get_field (r, subst o, fl)
+              | Lir.Put_field (o, fl, v) -> Lir.Put_field (subst o, fl, subst v)
+              | Lir.Put_static (fl, v) -> Lir.Put_static (fl, subst v)
+              | Lir.New_array (r, n) -> Lir.New_array (r, subst n)
+              | Lir.Array_load (r, a, i) -> Lir.Array_load (r, subst a, subst i)
+              | Lir.Array_store (a, i, v) ->
+                  Lir.Array_store (subst a, subst i, subst v)
+              | Lir.Array_length (r, a) -> Lir.Array_length (r, subst a)
+              | Lir.Call { dst; kind; target; args; site } ->
+                  Lir.Call { dst; kind; target; args = List.map subst args; site }
+              | Lir.Intrinsic { dst; name; args } ->
+                  Lir.Intrinsic { dst; name; args = List.map subst args }
+              | Lir.Instance_test (r, o, c) -> Lir.Instance_test (r, subst o, c)
+              | i -> i
+            in
+            let i =
+              match i with
+              | Lir.Unop (r, Lir.Neg, Lir.Imm k) -> Lir.Move (r, Lir.Imm (-k))
+              | Lir.Unop (r, Lir.Not, Lir.Imm k) ->
+                  Lir.Move (r, Lir.Imm (if k = 0 then 1 else 0))
+              | Lir.Binop (r, op, Lir.Imm a, Lir.Imm b) -> (
+                  match fold_binop op a b with
+                  | Some k -> Lir.Move (r, Lir.Imm k)
+                  | None -> i)
+              | i -> i
+            in
+            (* update the constant environment *)
+            (match i with
+            | Lir.Move (r, Lir.Imm k) ->
+                kill r;
+                Hashtbl.replace consts r k
+            | _ -> List.iter kill (Lir.defs_of_instr i));
+            i)
+          b.Lir.instrs
+      in
+      let term =
+        match b.Lir.term with
+        | Lir.If { cond; if_true; if_false } -> (
+            match subst cond with
+            | Lir.Imm k -> Lir.Goto (if k <> 0 then if_true else if_false)
+            | cond -> Lir.If { cond; if_true; if_false })
+        | Lir.Switch { scrut; cases; default } -> (
+            match subst scrut with
+            | Lir.Imm k -> (
+                match List.assoc_opt k cases with
+                | Some l -> Lir.Goto l
+                | None -> Lir.Goto default)
+            | scrut -> Lir.Switch { scrut; cases; default })
+        | Lir.Return (Some v) -> Lir.Return (Some (subst v))
+        | t -> t
+      in
+      Lir.set_block f l { b with Lir.instrs; term }
+    end
+  done;
+  ignore (Ir.Cfg.remove_unreachable f);
+  f
+
+let pass = Pass.make "constfold" run

@@ -1,0 +1,74 @@
+(* Block-local copy propagation: after [Move r, s] uses of [r] become uses
+   of [s] until either register is redefined.  This cleans up most of the
+   stack-shuffle moves the bytecode translator produces. *)
+
+module Lir = Ir.Lir
+
+let run (f : Lir.func) =
+  let f = Lir.copy_func f in
+  for l = 0 to Lir.num_blocks f - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead then begin
+      let copies = Hashtbl.create 16 in
+      (* copies: r -> s, meaning r currently equals register s *)
+      let subst = function
+        | Lir.Reg r as op -> (
+            match Hashtbl.find_opt copies r with
+            | Some s -> Lir.Reg s
+            | None -> op)
+        | op -> op
+      in
+      let kill r =
+        Hashtbl.remove copies r;
+        (* any copy whose source is r is invalidated *)
+        let stale =
+          Hashtbl.fold (fun k s acc -> if s = r then k :: acc else acc) copies []
+        in
+        List.iter (Hashtbl.remove copies) stale
+      in
+      let map_instr i =
+        match i with
+        | Lir.Move (r, a) -> Lir.Move (r, subst a)
+        | Lir.Unop (r, op, a) -> Lir.Unop (r, op, subst a)
+        | Lir.Binop (r, op, a, b) -> Lir.Binop (r, op, subst a, subst b)
+        | Lir.Get_field (r, o, fl) -> Lir.Get_field (r, subst o, fl)
+        | Lir.Put_field (o, fl, v) -> Lir.Put_field (subst o, fl, subst v)
+        | Lir.Put_static (fl, v) -> Lir.Put_static (fl, subst v)
+        | Lir.New_array (r, n) -> Lir.New_array (r, subst n)
+        | Lir.Array_load (r, a, i) -> Lir.Array_load (r, subst a, subst i)
+        | Lir.Array_store (a, i, v) -> Lir.Array_store (subst a, subst i, subst v)
+        | Lir.Array_length (r, a) -> Lir.Array_length (r, subst a)
+        | Lir.Call { dst; kind; target; args; site } ->
+            Lir.Call { dst; kind; target; args = List.map subst args; site }
+        | Lir.Intrinsic { dst; name; args } ->
+            Lir.Intrinsic { dst; name; args = List.map subst args }
+        | Lir.Instance_test (r, o, c) -> Lir.Instance_test (r, subst o, c)
+        | i -> i
+      in
+      let instrs =
+        Array.map
+          (fun i ->
+            let i = map_instr i in
+            (match i with
+            | Lir.Move (r, Lir.Reg s) when r <> s ->
+                kill r;
+                Hashtbl.replace copies r s
+            | _ -> List.iter kill (Lir.defs_of_instr i));
+            i)
+          b.Lir.instrs
+      in
+      let term =
+        match b.Lir.term with
+        | Lir.If { cond; if_true; if_false } ->
+            Lir.If { cond = subst cond; if_true; if_false }
+        | Lir.Switch { scrut; cases; default } ->
+            Lir.Switch { scrut = subst scrut; cases; default }
+        | Lir.Return (Some v) -> Lir.Return (Some (subst v))
+        | t -> t
+      in
+      Lir.set_block f l { b with Lir.instrs; term }
+    end
+  done;
+  f
+
+let pass = Pass.make "copyprop" run

@@ -1,0 +1,67 @@
+(* Dead-code elimination: removes side-effect-free instructions whose
+   result is never used.  Loads, stores, calls, allocations, division
+   (may trap), yieldpoints and instrumentation are never removed.
+
+   Within each block a precise backward scan maintains the live set
+   (seeded from the block's live-out), so stack-slot reuse — a register
+   redefined before its later use — does not keep dead definitions
+   alive. *)
+
+module Lir = Ir.Lir
+
+let removable = function
+  | Lir.Move _ | Lir.Unop _ -> true
+  | Lir.Binop (_, (Lir.Div | Lir.Rem), _, Lir.Imm k) -> k <> 0
+  | Lir.Binop (_, (Lir.Div | Lir.Rem), _, Lir.Reg _) -> false
+  | Lir.Binop _ -> true
+  | _ -> false
+
+let run (f : Lir.func) =
+  let f = Lir.copy_func f in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let live = Liveness.compute f in
+    for l = 0 to Lir.num_blocks f - 1 do
+      let b = Lir.block f l in
+      if b.Lir.role <> Lir.Dead then begin
+        let keep = Array.make (Array.length b.Lir.instrs) true in
+        let live_now = Hashtbl.create 16 in
+        List.iter (fun r -> Hashtbl.replace live_now r ()) (Liveness.live_out live l);
+        List.iter
+          (fun r -> Hashtbl.replace live_now r ())
+          (Lir.uses_of_term b.Lir.term);
+        for i = Array.length b.Lir.instrs - 1 downto 0 do
+          let instr = b.Lir.instrs.(i) in
+          let defs = Lir.defs_of_instr instr in
+          let needed =
+            (not (removable instr))
+            || List.exists (Hashtbl.mem live_now) defs
+          in
+          if needed then begin
+            (* a def ends the upward liveness of its register... *)
+            List.iter (Hashtbl.remove live_now) defs;
+            (* ...and its uses become live above *)
+            List.iter
+              (fun r -> Hashtbl.replace live_now r ())
+              (Lir.uses_of_instr instr)
+          end
+          else begin
+            keep.(i) <- false;
+            changed := true
+          end
+        done;
+        if Array.exists not keep then begin
+          let instrs =
+            b.Lir.instrs |> Array.to_list
+            |> List.filteri (fun i _ -> keep.(i))
+            |> Array.of_list
+          in
+          Lir.set_block f l { b with Lir.instrs }
+        end
+      end
+    done
+  done;
+  f
+
+let pass = Pass.make "dce" run

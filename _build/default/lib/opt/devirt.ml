@@ -1,0 +1,83 @@
+module Lir = Ir.Lir
+
+(* Returns the transformed function and the fast-path block label (whose
+   single instruction is the new static call). *)
+(* [impl] is the class *declaring* the method implementation that the
+   predicted class would dispatch to (they differ when the predicted
+   class inherits the method). *)
+let guard_call_block (f : Lir.func) ~at:(bl, idx) ~predicted ~impl =
+  let f = Lir.copy_func f in
+  let b = Lir.block f bl in
+  let dst, target, args, site =
+    match b.Lir.instrs.(idx) with
+    | Lir.Call { dst; kind = Lir.Virtual; target; args; site } ->
+        (dst, target, args, site)
+    | _ -> invalid_arg "Devirt: not a virtual call"
+  in
+  let recv =
+    match args with
+    | r :: _ -> r
+    | [] -> invalid_arg "Devirt: virtual call without a receiver"
+  in
+  let n = Array.length b.Lir.instrs in
+  (* continuation: everything after the call, original terminator *)
+  let cont =
+    Lir.add_block f
+      {
+        Lir.instrs = Array.sub b.Lir.instrs (idx + 1) (n - idx - 1);
+        term = b.Lir.term;
+        role = b.Lir.role;
+      }
+  in
+  let fast =
+    Lir.add_block f
+      {
+        Lir.instrs =
+          [|
+            Lir.Call
+              {
+                dst;
+                kind = Lir.Static;
+                target = { Lir.mclass = impl; mname = target.Lir.mname };
+                args;
+                site;
+              };
+          |];
+        term = Lir.Goto cont;
+        role = b.Lir.role;
+      }
+  in
+  let slow =
+    Lir.add_block f
+      {
+        Lir.instrs =
+          [| Lir.Call { dst; kind = Lir.Virtual; target; args; site } |];
+        term = Lir.Goto cont;
+        role = b.Lir.role;
+      }
+  in
+  let guard = Lir.fresh_reg f in
+  Lir.set_block f bl
+    {
+      b with
+      Lir.instrs =
+        Array.append
+          (Array.sub b.Lir.instrs 0 idx)
+          [| Lir.Instance_test (guard, recv, predicted) |];
+      term = Lir.If { cond = Lir.Reg guard; if_true = fast; if_false = slow };
+    };
+  (f, fast)
+
+let guard_call f ~at ~predicted ?(impl = "") () =
+  let impl = if impl = "" then predicted else impl in
+  let f, _ = guard_call_block f ~at ~predicted ~impl in
+  Ir.Verify.check_exn f;
+  f
+
+let guarded_inline f ~at ~predicted ~callee =
+  let f, fast =
+    guard_call_block f ~at ~predicted ~impl:callee.Lir.fname.Lir.mclass
+  in
+  let f = Inline.inline_static_call f ~callee ~at:(fast, 0) in
+  Ir.Verify.check_exn f;
+  f

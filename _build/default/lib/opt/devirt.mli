@@ -1,0 +1,38 @@
+(** Profile-guided devirtualization with a class-test guard.
+
+    Given a virtual call site and a predicted receiver class (e.g. from a
+    sampled {!Profiles.Receiver_profile}), the call
+
+    {v  dst = callv C.m(recv, args..) v}
+
+    becomes
+
+    {v
+      t = recv instanceof Predicted
+      if t then { dst = call Predicted.m(recv, args..)   (inlined) }
+           else { dst = callv C.m(recv, args..) }
+    v}
+
+    — the standard guarded inlining an adaptive JIT performs from exactly
+    the profiles this framework collects online. *)
+
+val guard_call :
+  Ir.Lir.func ->
+  at:Ir.Lir.label * int ->
+  predicted:string ->
+  ?impl:string ->
+  unit ->
+  Ir.Lir.func
+(** Insert the guard and the static fast path (not yet inlined).  [impl]
+    (default [predicted]) is the class declaring the implementation the
+    predicted class dispatches to.  Raises [Invalid_argument] when the
+    instruction is not a virtual call. *)
+
+val guarded_inline :
+  Ir.Lir.func ->
+  at:Ir.Lir.label * int ->
+  predicted:string ->
+  callee:Ir.Lir.func ->
+  Ir.Lir.func
+(** {!guard_call} followed by inlining the fast-path static call with
+    [callee] (the predicted class's implementation). *)

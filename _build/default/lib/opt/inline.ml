@@ -1,0 +1,190 @@
+module Lir = Ir.Lir
+
+(* Splice [callee]'s blocks into [f], renaming registers and labels.
+   The call instruction is replaced by parameter moves plus a jump to the
+   inlined entry; every [Return] becomes a move to the call's destination
+   plus a jump to the continuation block holding the rest of the caller
+   block. *)
+let inline_static_call (f : Lir.func) ~(callee : Lir.func) ~at:(bl, idx) =
+  let f = Lir.copy_func f in
+  let b = Lir.block f bl in
+  let dst, args, target =
+    match b.Lir.instrs.(idx) with
+    | Lir.Call { dst; kind = Lir.Static; target; args; _ } -> (dst, args, target)
+    | _ -> invalid_arg "Inline: not a static call"
+  in
+  if not (Lir.method_ref_equal target callee.Lir.fname) then
+    invalid_arg "Inline: callee mismatch";
+  let reg_base = f.Lir.next_reg in
+  f.Lir.next_reg <- f.Lir.next_reg + callee.Lir.next_reg;
+  let rename_reg r = reg_base + r in
+  let rename_op = function
+    | Lir.Reg r -> Lir.Reg (rename_reg r)
+    | Lir.Imm n -> Lir.Imm n
+  in
+  (* continuation block: instructions after the call + original terminator *)
+  let n = Array.length b.Lir.instrs in
+  let cont_instrs = Array.sub b.Lir.instrs (idx + 1) (n - idx - 1) in
+  let cont =
+    Lir.add_block f { Lir.instrs = cont_instrs; term = b.Lir.term; role = b.Lir.role }
+  in
+  (* clone callee blocks *)
+  let nblocks = Lir.num_blocks callee in
+  let label_map = Array.make nblocks (-1) in
+  for l = 0 to nblocks - 1 do
+    let cb = Lir.block callee l in
+    if cb.Lir.role <> Lir.Dead then
+      label_map.(l) <- Lir.add_block f { cb with Lir.role = b.Lir.role }
+  done;
+  let rename_label l =
+    assert (label_map.(l) >= 0);
+    label_map.(l)
+  in
+  let rename_instr i =
+    let mr r = rename_reg r in
+    let mo = rename_op in
+    match i with
+    | Lir.Move (r, a) -> Lir.Move (mr r, mo a)
+    | Lir.Unop (r, op, a) -> Lir.Unop (mr r, op, mo a)
+    | Lir.Binop (r, op, a, c) -> Lir.Binop (mr r, op, mo a, mo c)
+    | Lir.Get_field (r, o, fl) -> Lir.Get_field (mr r, mo o, fl)
+    | Lir.Put_field (o, fl, v) -> Lir.Put_field (mo o, fl, mo v)
+    | Lir.Get_static (r, fl) -> Lir.Get_static (mr r, fl)
+    | Lir.Put_static (fl, v) -> Lir.Put_static (fl, mo v)
+    | Lir.New_object (r, c) -> Lir.New_object (mr r, c)
+    | Lir.New_array (r, nn) -> Lir.New_array (mr r, mo nn)
+    | Lir.Array_load (r, a, ix) -> Lir.Array_load (mr r, mo a, mo ix)
+    | Lir.Array_store (a, ix, v) -> Lir.Array_store (mo a, mo ix, mo v)
+    | Lir.Array_length (r, a) -> Lir.Array_length (mr r, mo a)
+    | Lir.Call { dst; kind; target; args; site } ->
+        Lir.Call
+          { dst = Option.map mr dst; kind; target; args = List.map mo args; site }
+    | Lir.Intrinsic { dst; name; args } ->
+        Lir.Intrinsic
+          { dst = Option.map mr dst; name; args = List.map mo args }
+    | Lir.Instance_test (r, o, c) -> Lir.Instance_test (mr r, mo o, c)
+    | Lir.Yieldpoint k -> Lir.Yieldpoint k
+    | Lir.Instrument op -> Lir.Instrument op
+    | Lir.Guarded_instrument op -> Lir.Guarded_instrument op
+  in
+  for l = 0 to nblocks - 1 do
+    if label_map.(l) >= 0 then begin
+      let orig = Lir.block callee l in
+      let instrs = Array.map rename_instr orig.Lir.instrs in
+      match orig.Lir.term with
+      | Lir.Return v ->
+          (* result move (when the caller wants one), then fall into the
+             continuation *)
+          let extra =
+            match (v, dst) with
+            | Some v, Some d -> [| Lir.Move (d, rename_op v) |]
+            | _ -> [||]
+          in
+          Lir.set_block f label_map.(l)
+            {
+              Lir.instrs = Array.append instrs extra;
+              term = Lir.Goto cont;
+              role = b.Lir.role;
+            }
+      | t ->
+          (* rename both the successor labels and the operands read by the
+             terminator (branch conditions, switch scrutinees) *)
+          let t =
+            match t with
+            | Lir.If { cond; if_true; if_false } ->
+                Lir.If { cond = rename_op cond; if_true; if_false }
+            | Lir.Switch { scrut; cases; default } ->
+                Lir.Switch { scrut = rename_op scrut; cases; default }
+            | t -> t
+          in
+          Lir.set_block f label_map.(l)
+            {
+              Lir.instrs;
+              term = Lir.map_term_labels rename_label t;
+              role = b.Lir.role;
+            }
+    end
+  done;
+  (* rewrite the call site: prefix instructions + parameter moves + goto *)
+  let param_moves =
+    List.map2
+      (fun p a -> Lir.Move (rename_reg p, a))
+      callee.Lir.params args
+  in
+  let prefix = Array.sub b.Lir.instrs 0 idx in
+  Lir.set_block f bl
+    {
+      b with
+      Lir.instrs = Array.append prefix (Array.of_list param_moves);
+      term = Lir.Goto (rename_label callee.Lir.entry);
+    };
+  f
+
+let func_size (f : Lir.func) =
+  let n = ref 0 in
+  Ir.Vec.iter
+    (fun (b : Lir.block) ->
+      if b.Lir.role <> Lir.Dead then n := !n + Array.length b.Lir.instrs + 1)
+    f.Lir.blocks;
+  !n
+
+let is_recursive (f : Lir.func) =
+  let found = ref false in
+  Ir.Vec.iter
+    (fun (b : Lir.block) ->
+      Array.iter
+        (function
+          | Lir.Call { target; _ } when Lir.method_ref_equal target f.Lir.fname ->
+              found := true
+          | _ -> ())
+        b.Lir.instrs)
+    f.Lir.blocks;
+  !found
+
+let find_inlinable_site funcs (f : Lir.func) ~max_callee_size =
+  let result = ref None in
+  (try
+     for l = 0 to Lir.num_blocks f - 1 do
+       let b = Lir.block f l in
+       if b.Lir.role <> Lir.Dead then
+         Array.iteri
+           (fun i instr ->
+             match instr with
+             | Lir.Call { kind = Lir.Static; target; _ }
+               when not (Lir.method_ref_equal target f.Lir.fname) -> (
+                 match
+                   List.find_opt
+                     (fun (g : Lir.func) -> Lir.method_ref_equal g.Lir.fname target)
+                     funcs
+                 with
+                 | Some callee
+                   when func_size callee <= max_callee_size
+                        && not (is_recursive callee) ->
+                     result := Some (l, i, callee);
+                     raise Exit
+                 | _ -> ())
+             | _ -> ())
+           b.Lir.instrs
+     done
+   with Exit -> ());
+  !result
+
+let run_heuristic ?(max_callee_size = 12) funcs =
+  (* one pass over each function; inline sites found against the ORIGINAL
+     callee bodies so growth stays linear *)
+  List.map
+    (fun f ->
+      let budget = ref 8 in
+      let rec go f =
+        if !budget = 0 then f
+        else
+          match find_inlinable_site funcs f ~max_callee_size with
+          | None -> f
+          | Some (l, i, callee) ->
+              decr budget;
+              go (inline_static_call f ~callee ~at:(l, i))
+      in
+      let f' = go f in
+      Ir.Verify.check_exn f';
+      f')
+    funcs

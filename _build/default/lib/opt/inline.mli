@@ -1,0 +1,18 @@
+(** Static-call inlining.
+
+    Used both as a size-bounded heuristic pass (mirroring the paper's
+    remark that more aggressive inlining before instrumentation would
+    reduce the method-entry check overhead) and, with an explicit site
+    list, by the feedback-directed-optimization example where a sampled
+    call-edge profile chooses the sites. *)
+
+val inline_static_call :
+  Ir.Lir.func -> callee:Ir.Lir.func -> at:Ir.Lir.label * int -> Ir.Lir.func
+(** Inline the static call at instruction [at] = (block, index).  Raises
+    [Invalid_argument] when the instruction is not a static call of
+    [callee]. *)
+
+val run_heuristic :
+  ?max_callee_size:int -> Ir.Lir.func list -> Ir.Lir.func list
+(** Inline every static call whose callee is small and non-recursive.
+    One top-down pass — no exponential growth. *)

@@ -1,0 +1,77 @@
+module Lir = Ir.Lir
+module IntSet = Set.Make (Int)
+
+type t = {
+  func : Lir.func;
+  ins : IntSet.t array;
+  outs : IntSet.t array;
+}
+
+let block_use_def (b : Lir.block) =
+  (* use = registers read before any write in the block *)
+  let use = ref IntSet.empty and def = ref IntSet.empty in
+  let see_uses rs =
+    List.iter (fun r -> if not (IntSet.mem r !def) then use := IntSet.add r !use) rs
+  in
+  Array.iter
+    (fun i ->
+      see_uses (Lir.uses_of_instr i);
+      List.iter (fun r -> def := IntSet.add r !def) (Lir.defs_of_instr i))
+    b.Lir.instrs;
+  see_uses (Lir.uses_of_term b.Lir.term);
+  (!use, !def)
+
+let compute (f : Lir.func) =
+  let n = Lir.num_blocks f in
+  let ins = Array.make n IntSet.empty in
+  let outs = Array.make n IntSet.empty in
+  let use = Array.make n IntSet.empty in
+  let def = Array.make n IntSet.empty in
+  for l = 0 to n - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead then begin
+      let u, d = block_use_def b in
+      use.(l) <- u;
+      def.(l) <- d
+    end
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for l = n - 1 downto 0 do
+      if (Lir.block f l).Lir.role <> Lir.Dead then begin
+        let out =
+          List.fold_left
+            (fun acc s -> IntSet.union acc ins.(s))
+            IntSet.empty (Ir.Cfg.succs f l)
+        in
+        let inn = IntSet.union use.(l) (IntSet.diff out def.(l)) in
+        if not (IntSet.equal out outs.(l) && IntSet.equal inn ins.(l)) then begin
+          outs.(l) <- out;
+          ins.(l) <- inn;
+          changed := true
+        end
+      end
+    done
+  done;
+  { func = f; ins; outs }
+
+let live_out t l = IntSet.elements t.outs.(l)
+let live_in t l = IntSet.elements t.ins.(l)
+
+let dead_after t l =
+  let b = Lir.block t.func l in
+  let n = Array.length b.Lir.instrs in
+  (* last_use.(r) = highest index (instruction or terminator = n) using r *)
+  let last_use = Hashtbl.create 16 in
+  Array.iteri
+    (fun i instr ->
+      List.iter (fun r -> Hashtbl.replace last_use r i) (Lir.uses_of_instr instr))
+    b.Lir.instrs;
+  List.iter (fun r -> Hashtbl.replace last_use r n) (Lir.uses_of_term b.Lir.term);
+  fun r idx ->
+    (not (IntSet.mem r t.outs.(l)))
+    &&
+    match Hashtbl.find_opt last_use r with
+    | None -> true
+    | Some last -> last <= idx

@@ -1,0 +1,16 @@
+(** Backward register-liveness analysis over a {!Ir.Lir.func}. *)
+
+type t
+
+val compute : Ir.Lir.func -> t
+
+val live_out : t -> Ir.Lir.label -> Ir.Lir.reg list
+(** Registers live on exit from a block (sorted). *)
+
+val live_in : t -> Ir.Lir.label -> Ir.Lir.reg list
+
+val dead_after :
+  t -> Ir.Lir.label -> (Ir.Lir.reg -> int -> bool)
+(** [dead_after t l] is a predicate [p reg idx]: register [reg] is dead
+    immediately after the instruction at index [idx] of block [l] (i.e. no
+    later use in the block and not in live-out). *)

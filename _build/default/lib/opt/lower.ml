@@ -1,0 +1,49 @@
+(* "Instruction selection" stage: algebraic peepholes that a backend would
+   apply while selecting machine instructions.  Runs after instrumentation
+   / code duplication in the pipeline, like Jalapeno's BURS stage, so its
+   (real, measured) cost contributes to the compile-time increase the
+   paper reports in Table 2. *)
+
+module Lir = Ir.Lir
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k n = if n <= 1 then k else go (k + 1) (n lsr 1) in
+  go 0 n
+
+let rewrite = function
+  | Lir.Binop (r, Lir.Add, a, Lir.Imm 0) | Lir.Binop (r, Lir.Sub, a, Lir.Imm 0)
+  | Lir.Binop (r, Lir.Or, a, Lir.Imm 0) | Lir.Binop (r, Lir.Xor, a, Lir.Imm 0)
+    ->
+      Lir.Move (r, a)
+  | Lir.Binop (r, Lir.Add, Lir.Imm 0, a) -> Lir.Move (r, a)
+  | Lir.Binop (r, Lir.Mul, a, Lir.Imm 1) | Lir.Binop (r, Lir.Div, a, Lir.Imm 1)
+    ->
+      Lir.Move (r, a)
+  | Lir.Binop (r, Lir.Mul, Lir.Imm 1, a) -> Lir.Move (r, a)
+  | Lir.Binop (r, Lir.Mul, _, Lir.Imm 0) | Lir.Binop (r, Lir.Mul, Lir.Imm 0, _)
+  | Lir.Binop (r, Lir.And, _, Lir.Imm 0) | Lir.Binop (r, Lir.And, Lir.Imm 0, _)
+    ->
+      Lir.Move (r, Lir.Imm 0)
+  | Lir.Binop (r, Lir.Mul, a, Lir.Imm k) when is_pow2 k ->
+      Lir.Binop (r, Lir.Shl, a, Lir.Imm (log2 k))
+  | Lir.Binop (r, Lir.Mul, Lir.Imm k, a) when is_pow2 k ->
+      Lir.Binop (r, Lir.Shl, a, Lir.Imm (log2 k))
+  | Lir.Binop (r, Lir.Rem, a, Lir.Imm k) when is_pow2 k ->
+      (* sound only for non-negative dividends in general; jasm's generated
+         loop counters dominate this pattern, but to stay fully sound we
+         keep it only for [k = 1] *)
+      if k = 1 then Lir.Move (r, Lir.Imm 0) else Lir.Binop (r, Lir.Rem, a, Lir.Imm k)
+  | i -> i
+
+let run (f : Lir.func) =
+  let f = Lir.copy_func f in
+  for l = 0 to Lir.num_blocks f - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead then
+      Lir.set_block f l { b with Lir.instrs = Array.map rewrite b.Lir.instrs }
+  done;
+  f
+
+let pass = Pass.make "lower" run

@@ -1,0 +1,33 @@
+(* Pass manager for per-function LIR transformations.
+
+   Every pass verifies its output in debug runs; [timed] accumulates
+   wall-clock per stage for the compile-time experiments (Table 2's
+   "Compile Time Increase" column). *)
+
+type t = { pname : string; run : Ir.Lir.func -> Ir.Lir.func }
+
+let make pname run = { pname; run }
+
+let run_all ?(verify = true) passes f =
+  List.fold_left
+    (fun f p ->
+      let f' = p.run f in
+      if verify then Ir.Verify.check_exn f';
+      f')
+    f passes
+
+type timing = { stage : string; seconds : float }
+
+let timed passes f =
+  let timings = ref [] in
+  let f' =
+    List.fold_left
+      (fun f p ->
+        let t0 = Sys.time () in
+        let f' = p.run f in
+        let t1 = Sys.time () in
+        timings := { stage = p.pname; seconds = t1 -. t0 } :: !timings;
+        f')
+      f passes
+  in
+  (f', List.rev !timings)

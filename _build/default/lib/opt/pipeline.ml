@@ -1,0 +1,40 @@
+let front_passes =
+  [ Constfold.pass; Copyprop.pass; Dce.pass; Simplify_cfg.pass ]
+
+let regalloc_pass =
+  Pass.make "regalloc" (fun f ->
+      (* the assignment is computed for its (real) compile-time cost and
+         validated by tests; the VM executes virtual registers *)
+      ignore (Regalloc.allocate f);
+      f)
+
+let back_passes = [ Lower.pass; Schedule.pass; regalloc_pass ]
+
+let front ?(inline = false) ?(yieldpoints = true) funcs =
+  let funcs = List.map (Pass.run_all front_passes) funcs in
+  let funcs = if inline then Inline.run_heuristic funcs else funcs in
+  if yieldpoints then List.map (Pass.run_all [ Yieldpoints.pass ]) funcs
+  else funcs
+
+let back f = Pass.run_all back_passes f
+
+type compile_stats = {
+  seconds_front : float;
+  seconds_transform : float;
+  seconds_back : float;
+}
+
+let compile ?(inline = false) ?(yieldpoints = true) ~transform funcs =
+  let t0 = Sys.time () in
+  let funcs = front ~inline ~yieldpoints funcs in
+  let t1 = Sys.time () in
+  let funcs = List.map transform funcs in
+  let t2 = Sys.time () in
+  let funcs = List.map back funcs in
+  let t3 = Sys.time () in
+  ( funcs,
+    {
+      seconds_front = t1 -. t0;
+      seconds_transform = t2 -. t1;
+      seconds_back = t3 -. t2;
+    } )

@@ -1,0 +1,34 @@
+(** The full compilation pipeline, mirroring the paper's setup: most
+    optimization happens first, then instrumentation / code duplication is
+    applied "relatively late in the compilation process", and the
+    remaining backend stages (instruction selection, scheduling, register
+    allocation) run on the duplicated code — which is why duplication
+    increases compile time by a bounded fraction (Table 2). *)
+
+val front_passes : Pass.t list
+(** constfold, copyprop, dce, simplify-cfg. *)
+
+val back_passes : Pass.t list
+(** lower (selection), schedule, regalloc (timing only). *)
+
+val front : ?inline:bool -> ?yieldpoints:bool -> Ir.Lir.func list -> Ir.Lir.func list
+(** Frontend optimization (+ optional inlining heuristic), then yieldpoint
+    insertion (on by default). *)
+
+val back : Ir.Lir.func -> Ir.Lir.func
+
+type compile_stats = {
+  seconds_front : float;
+  seconds_transform : float;
+  seconds_back : float;
+}
+
+val compile :
+  ?inline:bool ->
+  ?yieldpoints:bool ->
+  transform:(Ir.Lir.func -> Ir.Lir.func) ->
+  Ir.Lir.func list ->
+  Ir.Lir.func list * compile_stats
+(** End-to-end: front, per-function transform, back; stage timings
+    aggregated over all functions.  Use [transform = Fun.id] for the
+    baseline compile. *)

@@ -1,0 +1,102 @@
+module Lir = Ir.Lir
+
+type assignment = { of_vreg : int array; n_phys : int; n_spills : int }
+
+(* Live intervals over a linearised block order: conservative whole-
+   function intervals [first_pos, last_pos] per vreg, where positions
+   number every instruction in reverse-postorder block order.  Classic
+   Poletto-Sarkar linear scan. *)
+
+let intervals (f : Lir.func) =
+  let order = Ir.Cfg.reverse_postorder f in
+  let live = Liveness.compute f in
+  let first = Hashtbl.create 64 and last = Hashtbl.create 64 in
+  let pos = ref 0 in
+  let touch r =
+    if not (Hashtbl.mem first r) then Hashtbl.replace first r !pos;
+    Hashtbl.replace last r !pos
+  in
+  List.iter
+    (fun l ->
+      let b = Lir.block f l in
+      (* registers live-in/live-out extend across the whole block *)
+      List.iter touch (Liveness.live_in live l);
+      Array.iter
+        (fun i ->
+          incr pos;
+          List.iter touch (Lir.uses_of_instr i);
+          List.iter touch (Lir.defs_of_instr i))
+        b.Lir.instrs;
+      incr pos;
+      List.iter touch (Lir.uses_of_term b.Lir.term);
+      List.iter touch (Liveness.live_out live l))
+    order;
+  (* parameters are live from position 0 (even when never used) *)
+  List.iter
+    (fun r ->
+      Hashtbl.replace first r 0;
+      if not (Hashtbl.mem last r) then Hashtbl.replace last r 0)
+    f.Lir.params;
+  Hashtbl.fold
+    (fun r fst acc -> (r, fst, Hashtbl.find last r) :: acc)
+    first []
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+
+let allocate ?(n_phys = 24) (f : Lir.func) =
+  let ivs = intervals f in
+  let of_vreg = Array.make (max f.Lir.next_reg 1) (-1) in
+  let free = Queue.create () in
+  for p = 0 to n_phys - 1 do
+    Queue.add p free
+  done;
+  let active = ref [] in
+  (* (end, vreg, phys) sorted by end *)
+  let n_spills = ref 0 in
+  List.iter
+    (fun (r, start, stop) ->
+      (* expire *)
+      let expired, still =
+        List.partition (fun (e, _, _) -> e < start) !active
+      in
+      List.iter (fun (_, _, p) -> Queue.add p free) expired;
+      active := still;
+      if Queue.is_empty free then begin
+        (* spill the interval that ends last (classic heuristic) *)
+        let sorted =
+          List.sort (fun (e1, _, _) (e2, _, _) -> compare e2 e1) !active
+        in
+        match sorted with
+        | (e_last, v_last, p_last) :: _ when e_last > stop ->
+            of_vreg.(r) <- p_last;
+            of_vreg.(v_last) <- n_phys + !n_spills;
+            incr n_spills;
+            active :=
+              (stop, r, p_last)
+              :: List.filter (fun (_, v, _) -> v <> v_last) !active
+        | _ ->
+            of_vreg.(r) <- n_phys + !n_spills;
+            incr n_spills
+      end
+      else begin
+        let p = Queue.pop free in
+        of_vreg.(r) <- p;
+        active := (stop, r, p) :: !active
+      end)
+    ivs;
+  { of_vreg; n_phys; n_spills = !n_spills }
+
+let interference_free (f : Lir.func) a =
+  let ivs = intervals f in
+  let phys = List.filter (fun (r, _, _) -> a.of_vreg.(r) < a.n_phys && a.of_vreg.(r) >= 0) ivs in
+  let overlap (_, s1, e1) (_, s2, e2) = not (e1 < s2 || e2 < s1) in
+  let rec check = function
+    | [] -> true
+    | x :: rest ->
+        List.for_all
+          (fun y ->
+            let (rx, _, _) = x and (ry, _, _) = y in
+            (not (overlap x y)) || a.of_vreg.(rx) <> a.of_vreg.(ry) || rx = ry)
+          rest
+        && check rest
+  in
+  check phys

@@ -1,0 +1,21 @@
+(** Linear-scan register allocation (the "register allocation" stage that
+    Jalapeno runs after code duplication; Table 2 attributes the compile
+    time increase mostly to these post-duplication stages).
+
+    The VM executes virtual registers directly, so the computed assignment
+    is returned for inspection (and interference-freedom is unit-tested)
+    but does not rewrite the code. *)
+
+type assignment = {
+  of_vreg : int array; (* virtual register -> physical register or spill *)
+  n_phys : int;
+  n_spills : int;
+}
+
+val allocate : ?n_phys:int -> Ir.Lir.func -> assignment
+(** Physical registers default to 24 (a PowerPC-ish allocatable set).
+    Spilled vregs get slots numbered [n_phys + k]. *)
+
+val interference_free : Ir.Lir.func -> assignment -> bool
+(** Checks that no two simultaneously-live virtual registers share a
+    physical register (used by tests). *)

@@ -1,0 +1,78 @@
+(* CFG cleanup: skip empty forwarding blocks, merge straight-line pairs,
+   drop unreachable blocks.  Keeps labels stable (dead placeholders). *)
+
+module Lir = Ir.Lir
+
+(* Redirect edges through empty [Goto] blocks (no instructions). *)
+let thread_gotos f =
+  let n = Lir.num_blocks f in
+  let forward = Array.make n (-1) in
+  for l = 0 to n - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead && Array.length b.Lir.instrs = 0 then
+      match b.Lir.term with
+      | Lir.Goto t when t <> l -> forward.(l) <- t
+      | _ -> ()
+  done;
+  (* resolve chains, guarding against cycles of empty blocks *)
+  let rec resolve seen l =
+    if forward.(l) >= 0 && not (List.mem l seen) then
+      resolve (l :: seen) forward.(l)
+    else l
+  in
+  let changed = ref false in
+  for l = 0 to n - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead then begin
+      let term =
+        Lir.map_term_labels
+          (fun t ->
+            let t' = resolve [] t in
+            if t' <> t then changed := true;
+            t')
+          b.Lir.term
+      in
+      Lir.set_block f l { b with Lir.term }
+    end
+  done;
+  !changed
+
+(* Merge [a -> b] when a's only successor is b, b's only predecessor is a,
+   and b is not the entry. *)
+let merge_pairs f =
+  let changed = ref false in
+  let preds = Ir.Cfg.predecessors f in
+  for a = 0 to Lir.num_blocks f - 1 do
+    let ba = Lir.block f a in
+    if ba.Lir.role <> Lir.Dead then
+      match ba.Lir.term with
+      | Lir.Goto btgt
+        when btgt <> a && btgt <> f.Lir.entry
+             && preds.(btgt) = [ a ]
+             && (Lir.block f btgt).Lir.role = ba.Lir.role ->
+          let bb = Lir.block f btgt in
+          Lir.set_block f a
+            {
+              ba with
+              Lir.instrs = Array.append ba.Lir.instrs bb.Lir.instrs;
+              term = bb.Lir.term;
+            };
+          Lir.set_block f btgt Lir.dead_block;
+          changed := true
+      | _ -> ()
+  done;
+  !changed
+
+let run (f : Lir.func) =
+  let f = Lir.copy_func f in
+  let continue_ = ref true in
+  while !continue_ do
+    let c1 = thread_gotos f in
+    ignore (Ir.Cfg.remove_unreachable f);
+    let c2 = merge_pairs f in
+    ignore (Ir.Cfg.remove_unreachable f);
+    continue_ := c1 || c2
+  done;
+  f
+
+let pass = Pass.make "simplify-cfg" run

@@ -1,0 +1,31 @@
+(* Yieldpoint insertion (baseline-compiler duty in Jalapeno).
+
+   "Jalapeno currently places yieldpoints on all method entries and
+   backedges to guarantee that there is a finite amount of time between
+   yieldpoints" (paper, section 4.5).  We do the same: an entry yieldpoint
+   at the start of the entry block, and one yieldpoint block split into
+   every retreating edge. *)
+
+module Lir = Ir.Lir
+
+let run (f : Lir.func) =
+  let f = Lir.copy_func f in
+  Ir.Edit.prepend f f.Lir.entry [ Lir.Yieldpoint Lir.Yp_entry ];
+  let backedges = Ir.Loops.retreating_edges f in
+  List.iter
+    (fun (src, dst) ->
+      ignore
+        (Ir.Edit.split_edge f ~src ~dst ~role:Lir.Orig
+           ~instrs:[ Lir.Yieldpoint Lir.Yp_backedge ]))
+    backedges;
+  f
+
+let pass = Pass.make "yieldpoints" run
+
+let strip (f : Lir.func) =
+  let f = Lir.copy_func f in
+  for l = 0 to Lir.num_blocks f - 1 do
+    if (Lir.block f l).Lir.role <> Lir.Dead then
+      Ir.Edit.filter_instrs f l (function Lir.Yieldpoint _ -> false | _ -> true)
+  done;
+  f

@@ -1,0 +1,1 @@
+lib/profiles/ball_larus.mli: Ir

@@ -1,0 +1,1 @@
+lib/profiles/call_edge.mli:

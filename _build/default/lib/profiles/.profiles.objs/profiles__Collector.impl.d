@@ -1,0 +1,1 @@
+lib/profiles/collector.ml: Call_edge Cct Core Edge_profile Field_access Ir List Path_profile Printf Receiver_profile Value_profile Vm

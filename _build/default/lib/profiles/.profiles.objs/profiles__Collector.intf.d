@@ -1,0 +1,1 @@
+lib/profiles/collector.mli: Call_edge Cct Core Edge_profile Field_access Ir Path_profile Receiver_profile Value_profile Vm

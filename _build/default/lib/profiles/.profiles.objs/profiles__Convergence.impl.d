@@ -1,0 +1,1 @@
+lib/profiles/convergence.ml: Core Overlap Vm

@@ -1,0 +1,1 @@
+lib/profiles/convergence.mli: Core Vm

@@ -1,0 +1,1 @@
+lib/profiles/edge_profile.ml: Hashtbl List Printf

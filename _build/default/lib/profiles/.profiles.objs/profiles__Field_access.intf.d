@@ -1,0 +1,1 @@
+lib/profiles/field_access.mli:

@@ -1,0 +1,1 @@
+lib/profiles/path_profile.mli:

@@ -1,0 +1,1 @@
+lib/profiles/receiver_profile.mli:

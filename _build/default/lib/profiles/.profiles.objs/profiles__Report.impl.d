@@ -1,0 +1,1 @@
+lib/profiles/report.ml: Buffer Call_edge Cct Collector Edge_profile Field_access List Path_profile Printf Receiver_profile String Value_profile

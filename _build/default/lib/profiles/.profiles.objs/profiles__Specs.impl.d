@@ -1,0 +1,1 @@
+lib/profiles/specs.ml: Array Ball_larus Core Ir List

@@ -1,0 +1,1 @@
+lib/profiles/value_profile.ml: Hashtbl List Printf

@@ -1,0 +1,113 @@
+module Lir = Ir.Lir
+
+type node_info = {
+  (* DAG successors in branch order, each with its increment *)
+  edges : (Lir.label * int) array;
+  finishes : int; (* returns + outgoing retreating edges end a path here *)
+  num_paths : int;
+}
+
+type t = {
+  nodes : node_info option array; (* indexed by label; None = unreachable *)
+  starts : Lir.label list;
+  incr_tbl : (Lir.label * Lir.label, int) Hashtbl.t;
+}
+
+let number (f : Lir.func) =
+  let n = Lir.num_blocks f in
+  let retreating = Ir.Loops.retreating_edges f in
+  let is_retreating u v = List.mem (u, v) retreating in
+  let reach = Ir.Cfg.reachable f in
+  let nodes = Array.make n None in
+  let incr_tbl = Hashtbl.create 32 in
+  (* memoized recursion over the DAG: successors are processed before the
+     increments of a node's out-edges are assigned *)
+  let rec process u =
+    match nodes.(u) with
+    | Some info -> info
+    | None ->
+        let b = Lir.block f u in
+        let finishes =
+          (match b.Lir.term with Lir.Return _ -> 1 | _ -> 0)
+          + List.length
+              (List.filter
+                 (fun v -> is_retreating u v)
+                 (Ir.Cfg.succs f u))
+        in
+        let acc = ref finishes in
+        let edges =
+          List.filter_map
+            (fun v ->
+              if is_retreating u v then None
+              else begin
+                let child = process v in
+                let inc = !acc in
+                acc := !acc + child.num_paths;
+                Hashtbl.replace incr_tbl (u, v) inc;
+                Some (v, inc)
+              end)
+            (Ir.Cfg.succs f u)
+        in
+        let info =
+          {
+            edges = Array.of_list edges;
+            finishes;
+            num_paths = max !acc 1 (* dead-end non-return nodes: degenerate *);
+          }
+        in
+        nodes.(u) <- Some info;
+        info
+  in
+  for u = 0 to n - 1 do
+    if reach.(u) then ignore (process u)
+  done;
+  let headers = Ir.Loops.loop_headers f in
+  let starts =
+    f.Lir.entry :: List.filter (fun h -> h <> f.Lir.entry) headers
+  in
+  { nodes; starts; incr_tbl }
+
+let increment t ~src ~dst =
+  Option.value ~default:0 (Hashtbl.find_opt t.incr_tbl (src, dst))
+
+let nonzero_increments t =
+  Hashtbl.fold
+    (fun e inc acc -> if inc > 0 then (e, inc) :: acc else acc)
+    t.incr_tbl []
+  |> List.sort compare
+
+let num_paths_from t l =
+  match t.nodes.(l) with Some i -> i.num_paths | None -> 0
+
+let start_points t = t.starts
+
+let decode t ~start sum =
+  let rec go u remaining acc =
+    match t.nodes.(u) with
+    | None -> invalid_arg "Ball_larus.decode: unreachable start"
+    | Some info ->
+        if remaining < info.finishes then List.rev (u :: acc)
+        else begin
+          (* choose the successor whose increment window contains the
+             remaining sum: the edge with the largest increment <= sum *)
+          let best = ref None in
+          Array.iter
+            (fun (v, inc) ->
+              if inc <= remaining then
+                match !best with
+                | Some (_, bi) when bi >= inc -> ()
+                | _ -> best := Some (v, inc))
+            info.edges;
+          match !best with
+          | Some (v, inc) -> go v (remaining - inc) (u :: acc)
+          | None ->
+              if remaining = 0 then List.rev (u :: acc)
+              else invalid_arg "Ball_larus.decode: sum out of range"
+        end
+  in
+  (match t.nodes.(start) with
+  | Some info when sum >= info.num_paths ->
+      invalid_arg "Ball_larus.decode: sum out of range"
+  | None -> invalid_arg "Ball_larus.decode: unreachable start"
+  | Some _ -> ());
+  go start sum []

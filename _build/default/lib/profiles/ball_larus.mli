@@ -1,0 +1,35 @@
+(** Ball–Larus path numbering (Efficient Path Profiling, MICRO '96) on the
+    acyclic skeleton of a method.
+
+    The paper lists intraprocedural path profiling among the techniques
+    that work unmodified inside the sampling framework; this module
+    supplies the compile-time half (edge increments such that the running
+    sum identifies the executed acyclic path uniquely), and
+    {!Path_profile} the runtime half.
+
+    Paths run from a {e start point} (the method entry or a loop header)
+    to a {e finish point} (a return, or a backedge about to re-enter a
+    header).  For every node the increments assign path sums so that
+    paths from that node map bijectively onto [0, num_paths(node)). *)
+
+type t
+
+val number : Ir.Lir.func -> t
+(** Numbering over the DAG of non-retreating edges of the (reachable part
+    of the) function. *)
+
+val increment : t -> src:Ir.Lir.label -> dst:Ir.Lir.label -> int
+(** Increment for a DAG edge (0 when the edge carries none). *)
+
+val nonzero_increments : t -> ((Ir.Lir.label * Ir.Lir.label) * int) list
+(** Edges that need a [path_add] instrumentation op. *)
+
+val num_paths_from : t -> Ir.Lir.label -> int
+(** Number of distinct acyclic paths beginning at the node. *)
+
+val start_points : t -> Ir.Lir.label list
+(** Method entry plus all loop headers. *)
+
+val decode : t -> start:Ir.Lir.label -> int -> Ir.Lir.label list
+(** The block sequence of the path with the given sum, starting at
+    [start].  Raises [Invalid_argument] if the sum is out of range. *)

@@ -1,0 +1,32 @@
+(* Call-edge profile (the paper's first example instrumentation).
+
+   "The caller method, the callee method, and the call-site within the
+   caller method (specified by a bytecode offset) are recorded as a call
+   edge.  A counter is maintained for each call edge." *)
+
+type edge = { caller : string; site : int; callee : string }
+
+type t = { table : (edge, int ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let record t ~caller ~site ~callee =
+  let e = { caller; site; callee } in
+  match Hashtbl.find_opt t.table e with
+  | Some c -> incr c
+  | None -> Hashtbl.add t.table e (ref 1)
+
+let count t e = match Hashtbl.find_opt t.table e with Some c -> !c | None -> 0
+
+let total t = Hashtbl.fold (fun _ c acc -> acc + !c) t.table 0
+
+let to_alist t =
+  Hashtbl.fold (fun e c acc -> (e, !c) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let edge_name e = Printf.sprintf "%s@%d->%s" e.caller e.site e.callee
+
+(* As keyed percentages, for the overlap metric. *)
+let to_keyed t = List.map (fun (e, c) -> (edge_name e, c)) (to_alist t)
+
+let distinct_edges t = Hashtbl.length t.table

@@ -1,0 +1,25 @@
+(** Call-edge profile — the paper's first example instrumentation.
+
+    "The caller method, the callee method, and the call-site within the
+    caller method (specified by a bytecode offset) are recorded as a call
+    edge.  A counter is maintained for each call edge." *)
+
+type edge = { caller : string; site : int; callee : string }
+
+type t
+
+val create : unit -> t
+val record : t -> caller:string -> site:int -> callee:string -> unit
+val count : t -> edge -> int
+val total : t -> int
+
+val to_alist : t -> (edge * int) list
+(** Hottest first. *)
+
+val edge_name : edge -> string
+(** ["Caller.m@site->Callee.n"]. *)
+
+val to_keyed : t -> (string * int) list
+(** Keyed by {!edge_name}, for the overlap metric. *)
+
+val distinct_edges : t -> int

@@ -1,0 +1,55 @@
+type node = {
+  mutable count : int; (* walks terminating at this node *)
+  children : (string * int, node) Hashtbl.t;
+}
+
+type t = { root : node; mutable walks : int }
+
+let mk_node () = { count = 0; children = Hashtbl.create 4 }
+
+let create () = { root = mk_node (); walks = 0 }
+
+let record t stack =
+  t.walks <- t.walks + 1;
+  let node =
+    List.fold_left
+      (fun node key ->
+        match Hashtbl.find_opt node.children key with
+        | Some child -> child
+        | None ->
+            let child = mk_node () in
+            Hashtbl.add node.children key child;
+            child)
+      t.root stack
+  in
+  node.count <- node.count + 1
+
+let total_walks t = t.walks
+
+let rec fold_nodes f acc path node =
+  let acc = f acc path node in
+  Hashtbl.fold
+    (fun (m, _site) child acc -> fold_nodes f acc (path @ [ m ]) child)
+    node.children acc
+
+let n_nodes t =
+  fold_nodes (fun acc _ _ -> acc + 1) (-1) [] t.root (* root not counted *)
+
+let max_depth t =
+  fold_nodes
+    (fun acc path node -> if node.count > 0 || Hashtbl.length node.children = 0 then max acc (List.length path) else max acc (List.length path))
+    0 [] t.root
+
+let hot_contexts ?(n = 10) t =
+  fold_nodes
+    (fun acc path node -> if node.count > 0 then (path, node.count) :: acc else acc)
+    [] [] t.root
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < n)
+
+let to_keyed t =
+  fold_nodes
+    (fun acc path node ->
+      if node.count > 0 then (String.concat ">" path, node.count) :: acc
+      else acc)
+    [] [] t.root

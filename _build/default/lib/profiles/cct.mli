@@ -1,0 +1,25 @@
+(** Calling-context-tree profile built from sampled stack walks — the
+    Arnold–Sweeney technique ("Approximating the calling context tree via
+    sampling", cited by the paper as an example of instrumentation that
+    needs adaptation to work under sampling: instead of observing every
+    entry/exit, each sampled method entry contributes one complete stack
+    walk, splicing a path into the tree). *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> (string * int) list -> unit
+(** One stack walk, outermost first: (method, call site in its caller). *)
+
+val total_walks : t -> int
+val n_nodes : t -> int
+val max_depth : t -> int
+
+val hot_contexts : ?n:int -> t -> (string list * int) list
+(** The [n] most frequently sampled full contexts (outermost first) with
+    their sample counts. *)
+
+val to_keyed : t -> (string * int) list
+(** One entry per tree node, keyed by its full path, counted by samples
+    that ended at that node (for the overlap metric). *)

@@ -1,0 +1,98 @@
+module Lir = Ir.Lir
+
+type t = {
+  call_edges : Call_edge.t;
+  fields : Field_access.t;
+  edges : Edge_profile.t;
+  values : Value_profile.t;
+  paths : Path_profile.t;
+  receivers : Receiver_profile.t;
+  cct : Cct.t;
+}
+
+let create () =
+  {
+    call_edges = Call_edge.create ();
+    fields = Field_access.create ();
+    edges = Edge_profile.create ();
+    values = Value_profile.create ();
+    paths = Path_profile.create ();
+    receivers = Receiver_profile.create ();
+    cct = Cct.create ();
+  }
+
+let op_cost (op : Lir.instrument_op) =
+  match op.Lir.hook with
+  | "call_edge" -> 55 (* stack walk + hash-table update *)
+  | "field_access" -> 6 (* two loads, increment, store: about one check *)
+  | "edge" -> 7
+  | "value" -> 25 (* TNV table probe *)
+  | "path_reset" -> 2 (* zero a register *)
+  | "path_add" -> 1 (* add-immediate *)
+  | "path_flush" -> 12 (* hash-table bump *)
+  | "receiver" -> 15 (* class load + histogram bump *)
+  | "cct" -> 80 (* full stack walk + tree splice: the expensive one *)
+  | _ -> 10
+
+let on_instrument t (ctx : Vm.Interp.ctx) (op : Lir.instrument_op) =
+  match (op.Lir.hook, op.Lir.payload) with
+  | "call_edge", Lir.P_unit ->
+      let caller, site =
+        match ctx.Vm.Interp.caller with
+        | Some (m, s) -> (Lir.string_of_method_ref m, s)
+        | None -> ("<thread-start>", -1)
+      in
+      Call_edge.record t.call_edges ~caller ~site
+        ~callee:(Lir.string_of_method_ref ctx.Vm.Interp.cur)
+  | "field_access", Lir.P_field (fld, is_write) ->
+      Field_access.record t.fields ~field:(Lir.string_of_field_ref fld) ~is_write
+  | "edge", Lir.P_edge (u, v) ->
+      Edge_profile.record t.edges
+        ~meth:(Lir.string_of_method_ref ctx.Vm.Interp.cur)
+        ~src:u ~dst:v
+  | "value", Lir.P_value (operand, site) ->
+      Value_profile.record t.values
+        ~meth:(Lir.string_of_method_ref ctx.Vm.Interp.cur)
+        ~site
+        ~value:(ctx.Vm.Interp.eval operand)
+  | "path_reset", Lir.P_site start ->
+      Path_profile.reset t.paths ~frame:ctx.Vm.Interp.frame_id
+        ~meth:(Lir.string_of_method_ref ctx.Vm.Interp.cur)
+        ~start
+  | "path_add", Lir.P_site inc ->
+      Path_profile.add t.paths ~frame:ctx.Vm.Interp.frame_id ~inc
+  | "path_flush", Lir.P_unit ->
+      Path_profile.flush t.paths ~frame:ctx.Vm.Interp.frame_id
+  | "cct", Lir.P_unit ->
+      (* the walk arrives innermost first; the tree wants outermost first *)
+      Cct.record t.cct
+        (List.rev_map
+           (fun (m, site) -> (Lir.string_of_method_ref m, site))
+           (ctx.Vm.Interp.stack ()))
+  | "receiver", Lir.P_value (operand, site) -> (
+      match ctx.Vm.Interp.class_of (ctx.Vm.Interp.eval operand) with
+      | Some cls ->
+          Receiver_profile.record t.receivers
+            ~meth:(Lir.string_of_method_ref ctx.Vm.Interp.cur)
+            ~site ~cls
+      | None -> ())
+  | hook, _ ->
+      raise
+        (Vm.Interp.Runtime_error
+           (Printf.sprintf "unknown instrumentation hook %s (or bad payload)" hook))
+
+let hooks t sampler =
+  {
+    Vm.Interp.fire = (fun tid -> Core.Sampler.fire sampler tid);
+    on_timer_tick = (fun () -> Core.Sampler.on_timer_tick sampler);
+    on_instrument = on_instrument t;
+    instr_cost = op_cost;
+  }
+
+let null_sampler_hooks t =
+  {
+    Vm.Interp.fire = (fun _ -> false);
+    on_timer_tick = ignore;
+    on_instrument = on_instrument t;
+    instr_cost = op_cost;
+  }

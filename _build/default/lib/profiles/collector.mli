@@ -1,0 +1,28 @@
+(** Wires a {!Core.Sampler.t} and a set of profile tables into the VM's
+    instrumentation hooks.
+
+    The cycle costs per instrumentation operation live here (DESIGN.md
+    section 5): call-edge ops walk the stack and update a hash table
+    (expensive, 55); field-access ops are two loads, an increment and a
+    store (6 — about the cost of a check, which is exactly why
+    No-Duplication buys nothing for them, Table 3). *)
+
+type t = {
+  call_edges : Call_edge.t;
+  fields : Field_access.t;
+  edges : Edge_profile.t;
+  values : Value_profile.t;
+  paths : Path_profile.t;
+  receivers : Receiver_profile.t;
+  cct : Cct.t;
+}
+
+val create : unit -> t
+
+val op_cost : Ir.Lir.instrument_op -> int
+
+val hooks : t -> Core.Sampler.t -> Vm.Interp.hooks
+(** Checks fire through the sampler; ops dispatch on their hook name. *)
+
+val null_sampler_hooks : t -> Vm.Interp.hooks
+(** Exhaustive instrumentation: no sampler involved (ops are unguarded). *)

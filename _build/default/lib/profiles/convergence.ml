@@ -1,0 +1,56 @@
+type t = {
+  window : int;
+  threshold : float;
+  patience : int;
+  snapshot : unit -> (string * int) list;
+  sampler : Core.Sampler.t;
+  mutable last : (string * int) list option;
+  mutable stable_windows : int;
+  mutable windows : int;
+  mutable next_at : int;
+  mutable done_ : bool;
+}
+
+let create ?(window = 500) ?(threshold = 98.0) ?(patience = 2) ~snapshot
+    sampler =
+  {
+    window;
+    threshold;
+    patience;
+    snapshot;
+    sampler;
+    last = None;
+    stable_windows = 0;
+    windows = 0;
+    next_at = window;
+    done_ = false;
+  }
+
+let consider t =
+  if (not t.done_) && Core.Sampler.samples_fired t.sampler >= t.next_at then begin
+    t.next_at <- t.next_at + t.window;
+    t.windows <- t.windows + 1;
+    let now = t.snapshot () in
+    (match t.last with
+    | Some prev when Overlap.percent prev now >= t.threshold ->
+        t.stable_windows <- t.stable_windows + 1
+    | _ -> t.stable_windows <- 0);
+    t.last <- Some now;
+    if t.stable_windows >= t.patience then begin
+      t.done_ <- true;
+      Core.Sampler.disable t.sampler
+    end
+  end
+
+let wrap t (hooks : Vm.Interp.hooks) =
+  {
+    hooks with
+    Vm.Interp.fire =
+      (fun tid ->
+        let fired = hooks.Vm.Interp.fire tid in
+        if fired then consider t;
+        fired);
+  }
+
+let converged t = t.done_
+let windows_seen t = t.windows

@@ -1,0 +1,25 @@
+(** Convergence-driven sampling control.
+
+    The paper retires instrumented code by "setting the sample condition
+    permanently to false"; Calder et al.'s convergent profiling (cited in
+    related work) decides *when* by watching the profile stabilize.  This
+    controller snapshots a keyed profile every [window] samples and
+    disables the sampler once the overlap between consecutive snapshots
+    exceeds [threshold] percent for [patience] windows in a row. *)
+
+type t
+
+val create :
+  ?window:int ->
+  ?threshold:float ->
+  ?patience:int ->
+  snapshot:(unit -> (string * int) list) ->
+  Core.Sampler.t ->
+  t
+(** Defaults: window 500 samples, threshold 98%, patience 2. *)
+
+val wrap : t -> Vm.Interp.hooks -> Vm.Interp.hooks
+(** Interpose on the sample condition; everything else passes through. *)
+
+val converged : t -> bool
+val windows_seen : t -> int

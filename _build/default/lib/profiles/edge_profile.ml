@@ -1,0 +1,29 @@
+(* Intraprocedural edge profile: execution counts of CFG edges, keyed by
+   the original (pre-duplication) labels.  One of the profile kinds the
+   paper lists as usable unmodified inside the framework. *)
+
+type t = { table : (string * int * int, int ref) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let record t ~meth ~src ~dst =
+  let key = (meth, src, dst) in
+  match Hashtbl.find_opt t.table key with
+  | Some c -> incr c
+  | None -> Hashtbl.add t.table key (ref 1)
+
+let count t ~meth ~src ~dst =
+  match Hashtbl.find_opt t.table (meth, src, dst) with
+  | Some c -> !c
+  | None -> 0
+
+let total t = Hashtbl.fold (fun _ c acc -> acc + !c) t.table 0
+
+let to_alist t =
+  Hashtbl.fold (fun k c acc -> (k, !c) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let to_keyed t =
+  List.map
+    (fun ((m, s, d), c) -> (Printf.sprintf "%s:L%d->L%d" m s d, c))
+    (to_alist t)

@@ -1,0 +1,12 @@
+(** Intraprocedural CFG-edge profile, keyed by the original
+    (pre-duplication) labels — one of the profile kinds the paper lists
+    as usable unmodified inside the framework. *)
+
+type t
+
+val create : unit -> t
+val record : t -> meth:string -> src:int -> dst:int -> unit
+val count : t -> meth:string -> src:int -> dst:int -> int
+val total : t -> int
+val to_alist : t -> ((string * int * int) * int) list
+val to_keyed : t -> (string * int) list

@@ -1,0 +1,31 @@
+(* Field-access profile (the paper's second example instrumentation):
+   one counter per field of every class, bumped on every get/put; useful
+   for data-layout optimizations. *)
+
+type t = {
+  table : (string, int ref) Hashtbl.t; (* "C.f" -> accesses *)
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create () = { table = Hashtbl.create 64; reads = 0; writes = 0 }
+
+let record t ~field ~is_write =
+  if is_write then t.writes <- t.writes + 1 else t.reads <- t.reads + 1;
+  match Hashtbl.find_opt t.table field with
+  | Some c -> incr c
+  | None -> Hashtbl.add t.table field (ref 1)
+
+let count t field =
+  match Hashtbl.find_opt t.table field with Some c -> !c | None -> 0
+
+let total t = t.reads + t.writes
+let reads t = t.reads
+let writes t = t.writes
+
+let to_alist t =
+  Hashtbl.fold (fun f c acc -> (f, !c) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let to_keyed = to_alist
+let distinct_fields t = Hashtbl.length t.table

@@ -1,0 +1,18 @@
+(** Field-access profile — the paper's second example instrumentation:
+    one counter per field of every class, bumped on every get/put; the
+    input to data-layout optimizations. *)
+
+type t
+
+val create : unit -> t
+val record : t -> field:string -> is_write:bool -> unit
+val count : t -> string -> int
+val total : t -> int
+val reads : t -> int
+val writes : t -> int
+
+val to_alist : t -> (string * int) list
+(** Hottest first; keys are ["Class.field"]. *)
+
+val to_keyed : t -> (string * int) list
+val distinct_fields : t -> int

@@ -1,0 +1,38 @@
+let totals l = List.fold_left (fun acc (_, c) -> acc + c) 0 l
+
+let sample_percentages l =
+  let t = totals l in
+  if t = 0 then []
+  else
+    List.map (fun (k, c) -> (k, 100.0 *. float_of_int c /. float_of_int t)) l
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let percent p1 p2 =
+  let t1 = totals p1 and t2 = totals p2 in
+  if t1 = 0 && t2 = 0 then 100.0
+  else if t1 = 0 || t2 = 0 then 0.0
+  else begin
+    let m1 = Hashtbl.create (List.length p1) in
+    List.iter
+      (fun (k, c) ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt m1 k) in
+        Hashtbl.replace m1 k (prev + c))
+      p1;
+    let seen = Hashtbl.create (List.length p2) in
+    List.iter
+      (fun (k, c) ->
+        let prev = Option.value ~default:0 (Hashtbl.find_opt seen k) in
+        Hashtbl.replace seen k (prev + c))
+      p2;
+    let acc = ref 0.0 in
+    Hashtbl.iter
+      (fun k c2 ->
+        match Hashtbl.find_opt m1 k with
+        | Some c1 ->
+            let pct1 = 100.0 *. float_of_int c1 /. float_of_int t1 in
+            let pct2 = 100.0 *. float_of_int c2 /. float_of_int t2 in
+            acc := !acc +. Float.min pct1 pct2
+        | None -> ())
+      seen;
+    !acc
+  end

@@ -1,0 +1,10 @@
+(** The paper's accuracy metric (section 4.4): the overlap percentage of
+    two profiles is the sum over all profiled items of the minimum of the
+    two sample-percentages — 100% iff the normalized profiles coincide. *)
+
+val percent : (string * int) list -> (string * int) list -> float
+(** [percent perfect sampled] in [0, 100].  Either profile being empty
+    yields 0 (100 when both are empty). *)
+
+val sample_percentages : (string * int) list -> (string * float) list
+(** Each item's share of the profile's total, in percent, descending. *)

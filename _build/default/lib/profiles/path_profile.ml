@@ -1,0 +1,62 @@
+(* Runtime half of Ball-Larus path profiling.
+
+   Per activation (frame) the collector keeps the running path sum; the
+   three instrumentation hooks are:
+
+     path_reset  (at the method entry and at every loop header)
+     path_add    (on DAG edges with a non-zero increment)
+     path_flush  (before returns; attached to backedges, which under
+                  Full-Duplication become the duplicated code's transfer
+                  edges back to the checking code)
+
+   Under sampling with Full-Duplication each sample captures exactly one
+   acyclic path: execution enters the duplicated code at a start point
+   and leaves it at a finish point.  (No-Duplication cannot produce
+   meaningful path profiles — paths need consecutive events, the paper's
+   section 2 discussion — so adds/flushes without an active region are
+   ignored.) *)
+
+type region = { meth : string; start : int; mutable sum : int }
+
+type t = {
+  table : (string * int * int, int ref) Hashtbl.t; (* meth, start, path id *)
+  active : (int, region) Hashtbl.t; (* frame id -> open region *)
+}
+
+let create () = { table = Hashtbl.create 64; active = Hashtbl.create 16 }
+
+let reset t ~frame ~meth ~start =
+  Hashtbl.replace t.active frame { meth; start; sum = 0 }
+
+let add t ~frame ~inc =
+  match Hashtbl.find_opt t.active frame with
+  | Some r -> r.sum <- r.sum + inc
+  | None -> ()
+
+let flush t ~frame =
+  match Hashtbl.find_opt t.active frame with
+  | Some r ->
+      let key = (r.meth, r.start, r.sum) in
+      (match Hashtbl.find_opt t.table key with
+      | Some c -> incr c
+      | None -> Hashtbl.add t.table key (ref 1));
+      Hashtbl.remove t.active frame
+  | None -> ()
+
+let count t ~meth ~start ~path =
+  match Hashtbl.find_opt t.table (meth, start, path) with
+  | Some c -> !c
+  | None -> 0
+
+let total t = Hashtbl.fold (fun _ c acc -> acc + !c) t.table 0
+
+let to_alist t =
+  Hashtbl.fold (fun k c acc -> (k, !c) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let to_keyed t =
+  List.map
+    (fun ((m, s, p), c) -> (Printf.sprintf "%s:L%d#%d" m s p, c))
+    (to_alist t)
+
+let distinct_paths t = Hashtbl.length t.table

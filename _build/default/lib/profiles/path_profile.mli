@@ -1,0 +1,22 @@
+(** Runtime half of Ball–Larus path profiling (see {!Ball_larus} for the
+    numbering).  Keeps one running path sum per activation; under
+    Full-Duplication sampling each sample records exactly one acyclic
+    path.  Adds/flushes without an open region (e.g. under
+    No-Duplication, which cannot observe consecutive events) are
+    ignored. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> frame:int -> meth:string -> start:int -> unit
+val add : t -> frame:int -> inc:int -> unit
+val flush : t -> frame:int -> unit
+
+val count : t -> meth:string -> start:int -> path:int -> int
+val total : t -> int
+
+val to_alist : t -> ((string * int * int) * int) list
+(** ((method, start label, path id), count), hottest first. *)
+
+val to_keyed : t -> (string * int) list
+val distinct_paths : t -> int

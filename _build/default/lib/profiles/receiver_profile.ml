@@ -1,0 +1,65 @@
+(* Receiver-class distribution per virtual call site — the profile behind
+   profile-guided receiver-class prediction (Grove et al., OOPSLA '95,
+   cited by the paper as a feedback-directed optimization this kind of
+   framework enables). *)
+
+type site_stats = {
+  mutable classes : (string * int) list; (* class name -> count, small *)
+  mutable site_total : int;
+}
+
+type t = { sites : (string * int, site_stats) Hashtbl.t }
+
+let create () = { sites = Hashtbl.create 32 }
+
+let record t ~meth ~site ~cls =
+  let st =
+    match Hashtbl.find_opt t.sites (meth, site) with
+    | Some st -> st
+    | None ->
+        let st = { classes = []; site_total = 0 } in
+        Hashtbl.add t.sites (meth, site) st;
+        st
+  in
+  st.site_total <- st.site_total + 1;
+  st.classes <-
+    (match List.assoc_opt cls st.classes with
+    | Some c -> (cls, c + 1) :: List.remove_assoc cls st.classes
+    | None -> (cls, 1) :: st.classes)
+
+let dominant t ~meth ~site =
+  match Hashtbl.find_opt t.sites (meth, site) with
+  | None -> None
+  | Some st ->
+      let best =
+        List.fold_left
+          (fun acc (c, n) ->
+            match acc with Some (_, bn) when bn >= n -> acc | _ -> Some (c, n))
+          None st.classes
+      in
+      Option.map
+        (fun (c, n) ->
+          (c, float_of_int n /. float_of_int (max st.site_total 1)))
+        best
+
+let monomorphic_sites ?(threshold = 0.999) t =
+  Hashtbl.fold
+    (fun (meth, site) _ acc ->
+      match dominant t ~meth ~site with
+      | Some (cls, frac) when frac >= threshold -> (meth, site, cls) :: acc
+      | _ -> acc)
+    t.sites []
+  |> List.sort compare
+
+let sites t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.sites [] |> List.sort compare
+
+let n_sites t = Hashtbl.length t.sites
+
+let to_keyed t =
+  Hashtbl.fold
+    (fun (m, s) st acc ->
+      List.fold_left
+        (fun acc (cls, c) -> ((Printf.sprintf "%s@%d:%s" m s cls), c) :: acc)
+        acc st.classes)
+    t.sites []

@@ -1,0 +1,20 @@
+(** Receiver-class distribution per virtual call site — the profile
+    behind receiver-class prediction (Grove et al., OOPSLA '95, one of
+    the feedback-directed optimizations the paper's framework enables
+    online). *)
+
+type t
+
+val create : unit -> t
+val record : t -> meth:string -> site:int -> cls:string -> unit
+
+val dominant : t -> meth:string -> site:int -> (string * float) option
+(** Most frequent receiver class and its fraction of the site's calls. *)
+
+val monomorphic_sites : ?threshold:float -> t -> (string * int * string) list
+(** Sites whose dominant class reaches [threshold] (default 0.999):
+    (method, site, class). *)
+
+val sites : t -> (string * int) list
+val n_sites : t -> int
+val to_keyed : t -> (string * int) list

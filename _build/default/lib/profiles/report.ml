@@ -1,0 +1,55 @@
+let kinds (c : Collector.t) =
+  [
+    ("call_edge", Call_edge.to_keyed c.Collector.call_edges);
+    ("field_access", Field_access.to_keyed c.Collector.fields);
+    ("cfg_edge", Edge_profile.to_keyed c.Collector.edges);
+    ("value", Value_profile.to_keyed c.Collector.values);
+    ("path", Path_profile.to_keyed c.Collector.paths);
+    ("receiver", Receiver_profile.to_keyed c.Collector.receivers);
+    ("cct", Cct.to_keyed c.Collector.cct);
+  ]
+  |> List.filter (fun (_, l) -> l <> [])
+
+let summary c =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (kind, entries) ->
+      let total = List.fold_left (fun a (_, n) -> a + n) 0 entries in
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %6d distinct, %9d events\n" kind
+           (List.length entries) total))
+    (kinds c);
+  if Buffer.length buf = 0 then "no profile data collected\n"
+  else Buffer.contents buf
+
+let top ?(n = 10) c =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (kind, entries) ->
+      Buffer.add_string buf (kind ^ ":\n");
+      let sorted = List.sort (fun (_, a) (_, b) -> compare b a) entries in
+      List.iteri
+        (fun i (k, count) ->
+          if i < n then
+            Buffer.add_string buf (Printf.sprintf "  %8d  %s\n" count k))
+        sorted)
+    (kinds c);
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv c =
+  List.map
+    (fun (kind, entries) ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf "key,count\n";
+      List.iter
+        (fun (k, count) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s,%d\n" (csv_escape k) count))
+        (List.sort (fun (_, a) (_, b) -> compare b a) entries);
+      (kind, Buffer.contents buf))
+    (kinds c)

@@ -1,0 +1,14 @@
+(** Rendering of collected profiles as text and CSV (for the CLI and for
+    offline consumption of online profiles — the paper notes the
+    technique "could be useful for collecting offline profiles as
+    well"). *)
+
+val summary : Collector.t -> string
+(** One paragraph per non-empty profile kind. *)
+
+val top : ?n:int -> Collector.t -> string
+(** The [n] (default 10) hottest entries of each non-empty profile. *)
+
+val to_csv : Collector.t -> (string * string) list
+(** (profile kind, CSV text with a header row) for each non-empty
+    profile. *)

@@ -1,0 +1,102 @@
+module Lir = Ir.Lir
+
+let path_profile =
+  {
+    Core.Spec.spec_name = "path-profile";
+    plan =
+      (fun f ->
+        let bl = Ball_larus.number f in
+        let resets =
+          List.map
+            (fun start ->
+              {
+                Core.Spec.site =
+                  (if start = f.Lir.entry then Core.Spec.At_entry
+                   else Core.Spec.Before_instr (start, 0));
+                op = { Lir.hook = "path_reset"; payload = Lir.P_site start };
+              })
+            (Ball_larus.start_points bl)
+        in
+        let adds =
+          List.map
+            (fun ((u, v), inc) ->
+              {
+                Core.Spec.site = Core.Spec.On_edge (u, v);
+                op = { Lir.hook = "path_add"; payload = Lir.P_site inc };
+              })
+            (Ball_larus.nonzero_increments bl)
+        in
+        let flushes =
+          let acc = ref [] in
+          (* before every return *)
+          for l = 0 to Lir.num_blocks f - 1 do
+            let b = Lir.block f l in
+            if b.Lir.role <> Lir.Dead then
+              match b.Lir.term with
+              | Lir.Return _ ->
+                  acc :=
+                    {
+                      Core.Spec.site =
+                        Core.Spec.Before_instr (l, Array.length b.Lir.instrs);
+                      op = { Lir.hook = "path_flush"; payload = Lir.P_unit };
+                    }
+                    :: !acc
+              | _ -> ()
+          done;
+          (* on every backedge (under Full-Duplication these attach to the
+             transfer edge out of the duplicated code) *)
+          List.iter
+            (fun (u, v) ->
+              acc :=
+                {
+                  Core.Spec.site = Core.Spec.On_edge (u, v);
+                  op = { Lir.hook = "path_flush"; payload = Lir.P_unit };
+                }
+                :: !acc)
+            (Ir.Loops.retreating_edges f);
+          List.rev !acc
+        in
+        resets @ adds @ flushes);
+  }
+
+let cct_profile =
+  {
+    Core.Spec.spec_name = "cct";
+    plan =
+      (fun _f ->
+        [
+          {
+            Core.Spec.site = Core.Spec.At_entry;
+            op = { Lir.hook = "cct"; payload = Lir.P_unit };
+          };
+        ]);
+  }
+
+let receiver_profile =
+  {
+    Core.Spec.spec_name = "receiver-profile";
+    plan =
+      (fun f ->
+        let acc = ref [] in
+        for l = 0 to Lir.num_blocks f - 1 do
+          let b = Lir.block f l in
+          if b.Lir.role <> Lir.Dead then
+            Array.iteri
+              (fun i instr ->
+                match instr with
+                | Lir.Call { kind = Lir.Virtual; args = recv :: _; site; _ } ->
+                    acc :=
+                      {
+                        Core.Spec.site = Core.Spec.Before_instr (l, i);
+                        op =
+                          {
+                            Lir.hook = "receiver";
+                            payload = Lir.P_value (recv, site);
+                          };
+                      }
+                      :: !acc
+                | _ -> ())
+              b.Lir.instrs
+        done;
+        List.rev !acc);
+  }

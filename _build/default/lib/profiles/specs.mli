@@ -1,0 +1,18 @@
+(** Additional instrumentation specs built on the profile machinery of
+    this library (they cannot live in [core], which must not depend on
+    the profile data structures). *)
+
+val path_profile : Core.Spec.t
+(** Ball–Larus path profiling: [path_reset] at the entry and at every
+    loop header, [path_add] on DAG edges with non-zero increments,
+    [path_flush] before returns and on backedges.  Meaningful under
+    Full-Duplication (each sample records one acyclic path) and under
+    exhaustive instrumentation (complete path histogram). *)
+
+val cct_profile : Core.Spec.t
+(** Calling-context-tree profiling via sampled stack walks
+    (Arnold–Sweeney): one full stack walk per sampled method entry. *)
+
+val receiver_profile : Core.Spec.t
+(** Receiver-class profiling of virtual call sites (the input to
+    receiver-class prediction). *)

@@ -1,0 +1,69 @@
+(* Value profile: per call-site top-value tables in the style of Calder,
+   Feller and Eustace's TNV tables.  Each site keeps a bounded table
+   maintained with the Misra-Gries heavy-hitters update, so values seen a
+   large fraction of the time are guaranteed to survive streams of cold
+   values. *)
+
+let table_capacity = 8
+
+type site_table = {
+  mutable entries : (int * int) list; (* value, count — small, bounded *)
+  mutable site_total : int;
+}
+
+type t = { sites : (string * int, site_table) Hashtbl.t }
+
+let create () = { sites = Hashtbl.create 64 }
+
+let record t ~meth ~site ~value =
+  let key = (meth, site) in
+  let st =
+    match Hashtbl.find_opt t.sites key with
+    | Some st -> st
+    | None ->
+        let st = { entries = []; site_total = 0 } in
+        Hashtbl.add t.sites key st;
+        st
+  in
+  st.site_total <- st.site_total + 1;
+  match List.assoc_opt value st.entries with
+  | Some c -> st.entries <- (value, c + 1) :: List.remove_assoc value st.entries
+  | None ->
+      if List.length st.entries < table_capacity then
+        st.entries <- (value, 1) :: st.entries
+      else
+        (* Misra-Gries update: decrement every counter, drop the zeros;
+           heavy hitters lose at most one count per cold value seen *)
+        st.entries <-
+          List.filter_map
+            (fun (v, c) -> if c > 1 then Some (v, c - 1) else None)
+            st.entries
+
+let top_value t ~meth ~site =
+  match Hashtbl.find_opt t.sites (meth, site) with
+  | None -> None
+  | Some st ->
+      List.fold_left
+        (fun acc (v, c) ->
+          match acc with
+          | Some (_, bc) when bc >= c -> acc
+          | _ -> Some (v, c))
+        None st.entries
+
+(* Fraction of a site's observations attributed to its top value. *)
+let invariance t ~meth ~site =
+  match (top_value t ~meth ~site, Hashtbl.find_opt t.sites (meth, site)) with
+  | Some (_, c), Some st when st.site_total > 0 ->
+      Some (float_of_int c /. float_of_int st.site_total)
+  | _ -> None
+
+let sites t = Hashtbl.fold (fun k _ acc -> k :: acc) t.sites []
+let n_sites t = Hashtbl.length t.sites
+
+let to_keyed t =
+  Hashtbl.fold
+    (fun (m, s) st acc ->
+      List.fold_left
+        (fun acc (v, c) -> ((Printf.sprintf "%s@%d=%d" m s v), c) :: acc)
+        acc st.entries)
+    t.sites []

@@ -1,0 +1,20 @@
+(** Value profile: per-site top-value tables in the style of Calder,
+    Feller and Eustace's TNV tables, maintained with the Misra–Gries
+    heavy-hitters update so frequent values survive streams of cold
+    ones. *)
+
+type t
+
+val create : unit -> t
+val record : t -> meth:string -> site:int -> value:int -> unit
+
+val top_value : t -> meth:string -> site:int -> (int * int) option
+(** Most frequent value and its (approximate) count. *)
+
+val invariance : t -> meth:string -> site:int -> float option
+(** Fraction of the site's observations attributed to its top value —
+    the "invariance" that value-specialization decisions key on. *)
+
+val sites : t -> (string * int) list
+val n_sites : t -> int
+val to_keyed : t -> (string * int) list

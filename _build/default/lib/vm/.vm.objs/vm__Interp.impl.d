@@ -1,0 +1,1 @@
+lib/vm/interp.ml: Array Buffer Costs Hashtbl Icache Ir List Option Printf Program String

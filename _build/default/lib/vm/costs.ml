@@ -1,0 +1,54 @@
+(* Cycle-cost model.
+
+   This is the substitution for wall-clock measurement on the paper's
+   PowerPC testbed (DESIGN.md section 5): overhead percentages are ratios
+   of cycle counts, so what matters is the *relative* cost of the check
+   sequence, the yieldpoint sequence, and ordinary instructions.
+
+   The check cost follows the paper's naive implementation: "each check
+   performs a memory load, compare, branch, decrement, and store" (5).
+   A yieldpoint is a load, compare and branch (4), so the yieldpoint
+   optimization of section 4.5 replaces a 4-cycle sequence with a 5-cycle
+   one - an almost-free check, as the paper reports. *)
+
+type t = {
+  alu : int;
+  move : int;
+  mem : int; (* field/static/array load or store *)
+  branch : int;
+  switch : int;
+  call_base : int;
+  call_per_arg : int;
+  ret : int;
+  alloc_base : int;
+  alloc_per_slot : int;
+  yieldpoint : int;
+  check : int;
+  intrinsic : int;
+  icache_miss : int;
+  sample_jump : int; (* extra cost of diverting into cold duplicated code *)
+}
+
+let default =
+  {
+    alu = 1;
+    move = 1;
+    mem = 2;
+    branch = 1;
+    switch = 2;
+    call_base = 14;
+    call_per_arg = 1;
+    ret = 6;
+    alloc_base = 10;
+    alloc_per_slot = 1;
+    yieldpoint = 4;
+    check = 5;
+    intrinsic = 10;
+    icache_miss = 12;
+    sample_jump = 4;
+  }
+
+(* A PowerPC-style decrement-and-check single-instruction variant
+   (the paper, section 2.2, notes the powerPC "decrement-and-check"
+   instruction would collapse the check to one instruction). *)
+let hardware_count_register = { default with check = 1 }

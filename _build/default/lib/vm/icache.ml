@@ -1,0 +1,28 @@
+type t = {
+  tags : int array;
+  line_words : int;
+  mutable miss_count : int;
+  mutable access_count : int;
+}
+
+let create ?(lines = 1024) ?(line_words = 8) () =
+  { tags = Array.make lines (-1); line_words; miss_count = 0; access_count = 0 }
+
+let access t addr =
+  t.access_count <- t.access_count + 1;
+  let line_no = addr / t.line_words in
+  let idx = line_no mod Array.length t.tags in
+  if t.tags.(idx) = line_no then false
+  else begin
+    t.tags.(idx) <- line_no;
+    t.miss_count <- t.miss_count + 1;
+    true
+  end
+
+let misses t = t.miss_count
+let accesses t = t.access_count
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  t.miss_count <- 0;
+  t.access_count <- 0

@@ -1,0 +1,20 @@
+(** Direct-mapped instruction-cache model.
+
+    Models the indirect cost of code duplication the paper discusses in
+    section 3 ("the increase in code size could increase the number of
+    instruction cache misses") and the cost of jumping into cold duplicated
+    code when a sample is taken. *)
+
+type t
+
+val create : ?lines:int -> ?line_words:int -> unit -> t
+(** Default geometry: 1024 lines of 8 instructions (8K-instruction cache,
+    roughly a 32KB L1i with 4-byte instructions). *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the line holding instruction address [addr];
+    returns [true] on a miss. *)
+
+val misses : t -> int
+val accesses : t -> int
+val reset : t -> unit

@@ -1,0 +1,77 @@
+(** Deterministic LIR interpreter with a cycle-cost model.
+
+    Executes a linked {!Program.t} under green threads with
+    yieldpoint-driven scheduling and a simulated timer device, counting
+    cycles per the {!Costs} model (plus i-cache misses when enabled).
+
+    Instrumentation is dispatched through {!hooks}: the VM never interprets
+    instrumentation payloads itself, keeping this library independent of
+    the sampling framework (the [core] library supplies the hooks). *)
+
+type counters = {
+  mutable entries : int; (* method invocations + thread entries *)
+  mutable backedge_yps : int; (* backedge yieldpoints executed *)
+  mutable entry_yps : int; (* entry yieldpoints executed *)
+  mutable checks : int; (* sampling checks executed (incl. guarded ops) *)
+  mutable samples : int; (* checks whose sample condition fired *)
+  mutable thread_switches : int;
+  mutable instrument_ops : int; (* instrumentation operations executed *)
+}
+
+(** Context handed to the instrumentation hook. *)
+type ctx = {
+  cur : Ir.Lir.method_ref; (* method containing the op *)
+  caller : (Ir.Lir.method_ref * int) option; (* caller and its call site *)
+  eval : Ir.Lir.operand -> int; (* evaluate an operand in the frame *)
+  frame_id : int; (* unique id of the activation (per-frame profile state) *)
+  class_of : int -> string option;
+      (* runtime class of a reference value ([None] for null/arrays) *)
+  stack : unit -> (Ir.Lir.method_ref * int) list;
+      (* the current calling context, innermost first: each entry is a
+         method and the call site in ITS caller (-1 for thread roots);
+         used by stack-walking instrumentation such as calling-context
+         trees *)
+}
+
+type hooks = {
+  fire : int -> bool;
+      (* [fire tid]: the sample condition of the paper's check (Figure 3).
+         Called once per executed check; a [true] result diverts execution
+         into the duplicated code / runs the guarded op. *)
+  on_timer_tick : unit -> unit;
+      (* called on every timer interrupt (time-based trigger support) *)
+  on_instrument : ctx -> Ir.Lir.instrument_op -> unit;
+  instr_cost : Ir.Lir.instrument_op -> int;
+}
+
+val null_hooks : hooks
+(** Never samples, ignores instrumentation (cost 0). *)
+
+exception Runtime_error of string
+
+type result = {
+  return_value : int option; (* of the initial thread's entry method *)
+  cycles : int;
+  instructions : int;
+  counters : counters;
+  icache_misses : int;
+  dcache_misses : int;
+  output : string; (* everything printed, for semantic comparisons *)
+}
+
+val run :
+  ?fuel:int ->
+  ?use_icache:bool ->
+  ?use_dcache:bool ->
+  ?costs:Costs.t ->
+  ?timer_period:int ->
+  ?seed:int ->
+  Program.t ->
+  entry:Ir.Lir.method_ref ->
+  args:int list ->
+  hooks ->
+  result
+(** [fuel] bounds executed cycles (default 4e9; exceeding it raises
+    {!Runtime_error}).  [timer_period] is the simulated timer-interrupt
+    period in cycles (default 100_000 — "10ms" at the DESIGN.md scale of
+    10k cycles/ms).  [seed] seeds the deterministic [rand] intrinsic. *)

@@ -1,0 +1,56 @@
+(** Linked program: symbolic references resolved to dense ids, virtual
+    dispatch tables built, code addresses assigned.
+
+    Linking takes the class metadata plus the (possibly optimized and/or
+    instrumented) LIR bodies, so the same classes can be linked against
+    different transformed code — exactly how the experiments compare
+    baseline vs. instrumented executions of one program. *)
+
+type meth = {
+  id : int;
+  mref : Ir.Lir.method_ref;
+  func : Ir.Lir.func;
+  n_args : int; (* receiver included for virtual methods *)
+  code_addr : int array; (* per-label start address; -1 for dead blocks *)
+}
+
+type cls = {
+  cid : int;
+  cls_name : string;
+  super : int option;
+  n_fields : int;
+  vtable : (string, int) Hashtbl.t; (* method name -> method id *)
+}
+
+type t = {
+  classes : cls array;
+  methods : meth array;
+  class_id_of_name : (string, int) Hashtbl.t;
+  static_method : (string, int) Hashtbl.t; (* "C.m" -> method id *)
+  field_offset : (string, int) Hashtbl.t; (* "C.f" -> object slot *)
+  static_offset : (string, int) Hashtbl.t; (* "C.f" -> globals slot *)
+  n_statics : int;
+  total_code_words : int; (* code size after layout, in instruction words *)
+}
+
+exception Link_error of string
+
+val link :
+  ?layout_override:(string * string list) list ->
+  Bytecode.Classfile.program ->
+  funcs:Ir.Lir.func list ->
+  t
+(** Raises {!Link_error} on unresolved references or missing bodies.
+
+    [layout_override] reorders the instance fields a class itself declares
+    (e.g. hot-first, from a sampled field-access profile): fields listed
+    come first in the given order, the rest keep their declaration order.
+    Subclass layouts stay consistent because each class only permutes its
+    own segment. *)
+
+val method_by_ref : t -> Ir.Lir.method_ref -> meth
+(** Static lookup ("C.m"); raises {!Link_error} when absent. *)
+
+val code_size_words : Ir.Lir.func -> int
+(** Size in instruction words of a single function (live blocks only,
+    terminator counted as one word). *)

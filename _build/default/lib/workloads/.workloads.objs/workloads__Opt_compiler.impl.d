@@ -1,0 +1,1 @@
+lib/workloads/opt_compiler.ml:

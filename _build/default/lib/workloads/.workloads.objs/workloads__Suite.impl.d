@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Compress Db Hashtbl Ir Jack Jasm Javac Jess List Mpegaudio Mtrt Opt_compiler Pbob Volano

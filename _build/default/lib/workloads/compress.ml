@@ -1,0 +1,126 @@
+(* _201_compress analog: LZW-style compression kernel.
+
+   Character (per the paper's tables): execution dominated by a tight
+   per-byte loop full of hash-table field/array accesses (highest
+   field-access instrumentation overhead in Table 1, highest backedge
+   check overhead in Table 2), with a small method call per byte. *)
+
+let name = "compress"
+
+let source =
+  {|
+class Input {
+  var data: int[];
+  var pos: int;
+  var limit: int;
+  fun reset(n: int) { this.pos = 0; this.limit = n; }
+  fun more(): bool { return this.pos < this.limit; }
+  fun next(): int {
+    var b: int = this.data[this.pos];
+    this.pos = this.pos + 1;
+    return b;
+  }
+}
+
+class Output {
+  var written: int;
+  var checksum: int;
+  fun emit(code: int) {
+    this.written = this.written + 1;
+    this.checksum = ((this.checksum * 31) + code) & 16777215;
+  }
+}
+
+class Compressor {
+  var htab: int[];
+  var codetab: int[];
+  var freeEnt: int;
+  var clears: int;
+  var collisions: int;
+  var lookups: int;
+
+  fun init(size: int) {
+    this.htab = new int[size];
+    this.codetab = new int[size];
+    var i: int = 0;
+    while (i < size) { this.htab[i] = 0 - 1; i = i + 1; }
+    this.freeEnt = 257;
+  }
+
+  fun enter(h: int, fcode: int, c: int) {
+    if (this.freeEnt < 4096) {
+      this.codetab[h] = this.freeEnt;
+      this.htab[h] = fcode;
+      this.freeEnt = this.freeEnt + 1;
+    } else {
+      this.clears = this.clears + 1;
+      this.freeEnt = 257;
+    }
+  }
+
+  fun compress(src: Input, out: Output) {
+    var ent: int = src.next();
+    while (src.more()) {
+      var c: int = src.next();
+      this.lookups = this.lookups + 1;
+      var fcode: int = (c << 12) + ent;
+      var h: int = ((c << 4) ^ ent) & (this.htab.length - 1);
+      if (this.htab[h] == fcode) {
+        ent = this.codetab[h];
+      } else {
+        if (this.htab[h] >= 0) {
+          var found: bool = false;
+          var probes: int = 0;
+          while (!found && this.htab[h] >= 0 && probes < 8) {
+            this.collisions = this.collisions + 1;
+            h = h - 1;
+            if (h < 0) { h = h + this.htab.length; }
+            if (this.htab[h] == fcode) {
+              ent = this.codetab[h];
+              found = true;
+            }
+            probes = probes + 1;
+          }
+          if (!found) {
+            out.emit(ent);
+            if (this.htab[h] < 0) { this.enter(h, fcode, c); }
+            ent = c;
+          }
+        } else {
+          out.emit(ent);
+          this.enter(h, fcode, c);
+          ent = c;
+        }
+      }
+    }
+    out.emit(ent);
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var n: int = 3000 * scale;
+    var src: Input = new Input;
+    src.data = new int[n];
+    var seed: int = 12345;
+    var i: int = 0;
+    while (i < n) {
+      seed = ((seed * 1103515245) + 12345) & 1073741823;
+      // skewed byte distribution so the dictionary actually hits
+      src.data[i] = (seed >> 8) & 15;
+      i = i + 1;
+    }
+    var comp: Compressor = new Compressor;
+    comp.init(8192);
+    var out: Output = new Output;
+    var iter: int = 0;
+    while (iter < 2) {
+      src.reset(n);
+      comp.compress(src, out);
+      iter = iter + 1;
+    }
+    print(out.checksum);
+    return out.checksum;
+  }
+}
+|}

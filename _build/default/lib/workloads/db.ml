@@ -1,0 +1,118 @@
+(* _209_db analog: in-memory index operations.
+
+   Character: the lowest overheads in the paper's tables across the board
+   — large straight-line blocks of address arithmetic per loop iteration,
+   few calls, few object-field accesses (data lives in local arrays), and
+   few backedges per cycle (the probe sequence is unrolled). *)
+
+let name = "db"
+
+let source =
+  {|
+class Database {
+  var keys: int[];
+  var vals: int[];
+  var mask: int;
+  var hits: int;
+
+  fun build(n: int) {
+    // n must be a power of two
+    this.keys = new int[n];
+    this.vals = new int[n];
+    this.mask = n - 1;
+    var i: int = 0;
+    while (i < n) {
+      this.keys[i] = 0 - 1;
+      i = i + 1;
+    }
+    var k: int = 0;
+    while (k < (n >> 1)) {
+      var key: int = k * 7;
+      var h: int = (key * 2654435761) & this.mask;
+      // unrolled linear probe, depth 3
+      if (this.keys[h] < 0) {
+        this.keys[h] = key;
+        this.vals[h] = k * k;
+      } else {
+        var h1: int = (h + 1) & this.mask;
+        if (this.keys[h1] < 0) {
+          this.keys[h1] = key;
+          this.vals[h1] = k * k;
+        } else {
+          var h2: int = (h + 2) & this.mask;
+          if (this.keys[h2] < 0) {
+            this.keys[h2] = key;
+            this.vals[h2] = k * k;
+          }
+        }
+      }
+      k = k + 1;
+    }
+  }
+
+  // hash lookup with an unrolled probe sequence: no inner loop
+  fun lookup(key: int): int {
+    var ks: int[] = this.keys;
+    var m: int = this.mask;
+    var h: int = (key * 2654435761) & m;
+    if (ks[h] == key) { return this.vals[h]; }
+    var h1: int = (h + 1) & m;
+    if (ks[h1] == key) { return this.vals[h1]; }
+    var h2: int = (h + 2) & m;
+    if (ks[h2] == key) { return this.vals[h2]; }
+    return 0 - 1;
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var db: Database = new Database;
+    db.build(8192);
+    var ops: int = 6000 * scale;
+    var acc: int = 7;
+    var q: int = 0;
+    while (q < ops) {
+      var key: int = (q * 31) % 28672;
+      var v: int = db.lookup(key);
+      if (v >= 0) { db.hits = db.hits + 1; } else { v = key; }
+      // three rounds of inline record mixing (straight-line, no calls)
+      var a: int = acc + v;
+      var b: int = (a << 3) ^ (a >> 2);
+      var c: int = (b * 37) + 11;
+      var d: int = (c ^ (c >> 7)) + (b << 1);
+      var e: int = (d * 13) ^ (d >> 3);
+      var f: int = e + ((e << 5) ^ (d >> 1));
+      var g: int = (f * 29) + (c ^ b);
+      var h: int = g ^ ((g >> 11) + (f << 2));
+      var i: int = (h * 17) + (g >> 5);
+      var j: int = i ^ ((i << 7) + (h >> 2));
+      var k: int = (j * 41) + (i ^ h);
+      var l: int = k ^ ((k >> 9) + (j << 3));
+      var m: int = (l * 23) + (k >> 1);
+      var n: int = m ^ ((m << 2) + (l >> 6));
+      var o: int = (n * 53) + (m ^ l);
+      var p: int = o ^ ((o >> 4) + (n << 5));
+      var a2: int = p + q;
+      var b2: int = (a2 << 3) ^ (a2 >> 2);
+      var c2: int = (b2 * 37) + 11;
+      var d2: int = (c2 ^ (c2 >> 7)) + (b2 << 1);
+      var e2: int = (d2 * 13) ^ (d2 >> 3);
+      var f2: int = e2 + ((e2 << 5) ^ (d2 >> 1));
+      var g2: int = (f2 * 29) + (c2 ^ b2);
+      var h2: int = g2 ^ ((g2 >> 11) + (f2 << 2));
+      var i2: int = (h2 * 17) + (g2 >> 5);
+      var j2: int = i2 ^ ((i2 << 7) + (h2 >> 2));
+      var k2: int = (j2 * 41) + (i2 ^ h2);
+      var l2: int = k2 ^ ((k2 >> 9) + (j2 << 3));
+      var m2: int = (l2 * 23) + (k2 >> 1);
+      var n2: int = m2 ^ ((m2 << 2) + (l2 >> 6));
+      var o2: int = (n2 * 53) + (m2 ^ l2);
+      var p2: int = o2 ^ ((o2 >> 4) + (n2 << 5));
+      acc = p2 & 1073741823;
+      q = q + 1;
+    }
+    print(acc);
+    return acc;
+  }
+}
+|}

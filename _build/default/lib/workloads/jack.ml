@@ -1,0 +1,125 @@
+(* _228_jack analog: tokenizer + printer loop (parser-generator style).
+
+   Character: switch-dominated scanning with frequent small writes to
+   output-buffer object fields — the field-access-write-heavy row of
+   Table 1 (writes dominate), with moderate call overhead. *)
+
+let name = "jack"
+
+let source =
+  {|
+class Out {
+  var buf: int[];
+  var pos: int;
+  var col: int;
+  var line: int;
+  var checksum: int;
+
+  fun put(c: int) {
+    this.buf[this.pos] = c;
+    this.pos = this.pos + 1;
+    if (this.pos >= this.buf.length) { this.pos = 0; }
+    this.col = this.col + 1;
+    this.checksum = (this.checksum + (c * 131)) & 16777215;
+    if (this.col > 72) {
+      this.line = this.line + 1;
+      this.col = 0;
+    }
+  }
+
+  fun putWord(c: int, times: int) {
+    var i: int = 0;
+    while (i < times) {
+      this.put(c + i);
+      i = i + 1;
+    }
+  }
+}
+
+class Scanner {
+  var input: int[];
+  var pos: int;
+  var idents: int;
+  var numbers: int;
+  var puncts: int;
+
+  // character classes: 0 space, 1 letter, 2 digit, 3 punct
+  fun classify(c: int): int {
+    if (c < 10) { return 0; }
+    if (c < 150) { return 1; }
+    if (c < 200) { return 2; }
+    return 3;
+  }
+
+  fun scan(out: Out): int {
+    var toks: int = 0;
+    var n: int = this.input.length;
+    this.pos = 0;
+    while (this.pos < n) {
+      var c: int = this.input[this.pos];
+      var k: int = this.classify(c);
+      switch (k) {
+        case 0: {
+          this.pos = this.pos + 1;
+        }
+        case 1: {
+          // identifier: consume the run of letters, echo it
+          var start: int = this.pos;
+          while (this.pos < n && this.classify(this.input[this.pos]) == 1) {
+            out.put(this.input[this.pos]);
+            this.pos = this.pos + 1;
+          }
+          out.put(32);
+          this.idents = this.idents + 1;
+          toks = toks + 1;
+        }
+        case 2: {
+          var v: int = 0;
+          while (this.pos < n && this.classify(this.input[this.pos]) == 2) {
+            v = ((v * 10) + this.input[this.pos]) & 16777215;
+            this.pos = this.pos + 1;
+          }
+          out.putWord(48, 3);
+          this.numbers = this.numbers + 1;
+          toks = toks + 1;
+        }
+        default: {
+          out.put(c);
+          out.put(10);
+          this.puncts = this.puncts + 1;
+          this.pos = this.pos + 1;
+          toks = toks + 1;
+        }
+      }
+    }
+    return toks;
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var n: int = 9000 * scale;
+    var input: int[] = new int[n];
+    var seed: int = 31337;
+    var i: int = 0;
+    while (i < n) {
+      seed = ((seed * 1103515245) + 12345) & 1073741823;
+      input[i] = (seed >> 9) & 255;
+      i = i + 1;
+    }
+    var sc: Scanner = new Scanner;
+    sc.input = input;
+    var out: Out = new Out;
+    out.buf = new int[4096];
+    var toks: int = 0;
+    var round: int = 0;
+    while (round < 2) {
+      toks = toks + sc.scan(out);
+      round = round + 1;
+    }
+    print(toks);
+    print(out.checksum);
+    return out.checksum + toks;
+  }
+}
+|}

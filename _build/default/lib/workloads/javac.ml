@@ -1,0 +1,313 @@
+(* _213_javac analog: recursive-descent parser over a synthetic token
+   stream.
+
+   Character: many distinct call edges with a skewed frequency
+   distribution (parseExpr/parseTerm/parseFactor call next/peek/expect
+   from many distinct call sites) — this is the benchmark behind the
+   paper's Figure 7 call-edge accuracy plot — plus switch-heavy dispatch.
+
+   The token generator mirrors the grammar, so the parser always accepts;
+   its choices come from a deterministic LCG. *)
+
+let name = "javac"
+
+let source =
+  {|
+// token kinds
+//  0 EOF   1 CLASS 2 ID    3 LBRACE 4 RBRACE 5 VAR   6 SEMI
+//  7 FUN   8 LPAREN 9 RPAREN 10 IF  11 WHILE 12 RETURN
+// 13 ASSIGN 14 PLUS 15 MINUS 16 STAR 17 NUM
+
+class Stream {
+  var toks: int[];
+  var n: int;
+  fun put(t: int) {
+    this.toks[this.n] = t;
+    this.n = this.n + 1;
+  }
+}
+
+class Gen {
+  var s: Stream;
+  var seed: int;
+  var budget: int;
+
+  fun roll(bound: int): int {
+    this.seed = ((this.seed * 1103515245) + 12345) & 1073741823;
+    return (this.seed >> 7) % bound;
+  }
+
+  fun unit(classes: int) {
+    var i: int = 0;
+    while (i < classes) {
+      this.klass();
+      i = i + 1;
+    }
+    this.s.put(0);
+  }
+
+  fun klass() {
+    this.s.put(1);
+    this.s.put(2);
+    this.s.put(3);
+    var members: int = 2 + this.roll(4);
+    var i: int = 0;
+    while (i < members) {
+      this.member();
+      i = i + 1;
+    }
+    this.s.put(4);
+  }
+
+  fun member() {
+    if (this.roll(3) == 0) {
+      this.s.put(5);
+      this.s.put(2);
+      this.s.put(6);
+    } else {
+      this.s.put(7);
+      this.s.put(2);
+      this.s.put(8);
+      this.s.put(9);
+      this.block(2);
+    }
+  }
+
+  fun block(depth: int) {
+    this.s.put(3);
+    var stmts: int = 1 + this.roll(4);
+    var i: int = 0;
+    while (i < stmts) {
+      this.stmt(depth);
+      i = i + 1;
+    }
+    this.s.put(4);
+  }
+
+  fun stmt(depth: int) {
+    var c: int = this.roll(8);
+    if (c < 4 || depth <= 0) {
+      this.s.put(2);
+      this.s.put(13);
+      this.expr(2);
+      this.s.put(6);
+    } else {
+      if (c < 6) {
+        this.s.put(10);
+        this.s.put(8);
+        this.expr(1);
+        this.s.put(9);
+        this.block(depth - 1);
+      } else {
+        if (c == 6) {
+          this.s.put(11);
+          this.s.put(8);
+          this.expr(1);
+          this.s.put(9);
+          this.block(depth - 1);
+        } else {
+          this.s.put(12);
+          this.expr(2);
+          this.s.put(6);
+        }
+      }
+    }
+  }
+
+  fun expr(depth: int) {
+    this.term(depth);
+    var ops: int = this.roll(3);
+    var i: int = 0;
+    while (i < ops) {
+      if (this.roll(2) == 0) { this.s.put(14); } else { this.s.put(15); }
+      this.term(depth);
+      i = i + 1;
+    }
+  }
+
+  fun term(depth: int) {
+    this.factor(depth);
+    if (this.roll(3) == 0) {
+      this.s.put(16);
+      this.factor(depth);
+    }
+  }
+
+  fun factor(depth: int) {
+    var c: int = this.roll(4);
+    if (c == 0 && depth > 0) {
+      this.s.put(8);
+      this.expr(depth - 1);
+      this.s.put(9);
+    } else {
+      if (c == 1) { this.s.put(2); } else { this.s.put(17); }
+    }
+  }
+}
+
+class Parser {
+  var toks: int[];
+  var pos: int;
+  var nodes: int;
+  var errors: int;
+
+  fun peek(): int { return this.toks[this.pos]; }
+
+  fun next(): int {
+    var t: int = this.toks[this.pos];
+    this.pos = this.pos + 1;
+    return t;
+  }
+
+  fun expect(kind: int) {
+    var t: int = this.next();
+    if (t != kind) { this.errors = this.errors + 1; }
+  }
+
+  fun node(): int {
+    this.nodes = this.nodes + 1;
+    return this.nodes;
+  }
+
+  fun parseUnit(): int {
+    var count: int = 0;
+    while (this.peek() == 1) {
+      count = count + this.parseClass();
+    }
+    this.expect(0);
+    return count;
+  }
+
+  fun parseClass(): int {
+    this.expect(1);
+    this.expect(2);
+    this.expect(3);
+    var members: int = 0;
+    while (this.peek() == 5 || this.peek() == 7) {
+      members = members + this.parseMember();
+    }
+    this.expect(4);
+    return this.node() + members;
+  }
+
+  fun parseMember(): int {
+    if (this.peek() == 5) {
+      this.expect(5);
+      this.expect(2);
+      this.expect(6);
+      return this.node();
+    }
+    this.expect(7);
+    this.expect(2);
+    this.expect(8);
+    this.expect(9);
+    this.parseBlock();
+    return this.node();
+  }
+
+  fun parseBlock() {
+    this.expect(3);
+    var go: bool = true;
+    while (go) {
+      var t: int = this.peek();
+      switch (t) {
+        case 2: { this.parseAssign(); }
+        case 10: { this.parseIf(); }
+        case 11: { this.parseWhile(); }
+        case 12: { this.parseReturn(); }
+        default: { go = false; }
+      }
+    }
+    this.expect(4);
+  }
+
+  fun parseAssign() {
+    this.expect(2);
+    this.expect(13);
+    this.parseExpr();
+    this.expect(6);
+    var unused: int = this.node();
+  }
+
+  fun parseIf() {
+    this.expect(10);
+    this.expect(8);
+    this.parseExpr();
+    this.expect(9);
+    this.parseBlock();
+    var unused: int = this.node();
+  }
+
+  fun parseWhile() {
+    this.expect(11);
+    this.expect(8);
+    this.parseExpr();
+    this.expect(9);
+    this.parseBlock();
+    var unused: int = this.node();
+  }
+
+  fun parseReturn() {
+    this.expect(12);
+    this.parseExpr();
+    this.expect(6);
+    var unused: int = this.node();
+  }
+
+  fun parseExpr() {
+    this.parseTerm();
+    var t: int = this.peek();
+    while (t == 14 || t == 15) {
+      var op: int = this.next();
+      this.parseTerm();
+      var unused: int = this.node();
+      t = this.peek();
+    }
+  }
+
+  fun parseTerm() {
+    this.parseFactor();
+    while (this.peek() == 16) {
+      this.expect(16);
+      this.parseFactor();
+      var unused: int = this.node();
+    }
+  }
+
+  fun parseFactor() {
+    var t: int = this.peek();
+    if (t == 8) {
+      this.expect(8);
+      this.parseExpr();
+      this.expect(9);
+    } else {
+      if (t == 2) { this.expect(2); } else { this.expect(17); }
+    }
+    var unused: int = this.node();
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var s: Stream = new Stream;
+    s.toks = new int[400000];
+    var g: Gen = new Gen;
+    g.s = s;
+    g.seed = 987654321;
+    g.unit(30 * scale);
+
+    var p: Parser = new Parser;
+    p.toks = s.toks;
+    var total: int = 0;
+    var round: int = 0;
+    while (round < 3) {
+      p.pos = 0;
+      total = total + p.parseUnit();
+      round = round + 1;
+    }
+    print(total);
+    print(p.errors);
+    return total + (p.errors * 1000000);
+  }
+}
+|}

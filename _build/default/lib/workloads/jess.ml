@@ -1,0 +1,101 @@
+(* _202_jess analog: forward-chaining rule engine kernel.
+
+   Character: cascades of very small method calls per fact (rule
+   evaluation), so call-edge instrumentation overhead is the table's
+   highest class, while field access is moderate. *)
+
+let name = "jess"
+
+let source =
+  {|
+class Fact {
+  var slot0: int;
+  var slot1: int;
+  var slot2: int;
+  fun get(i: int): int {
+    if (i == 0) { return this.slot0; }
+    if (i == 1) { return this.slot1; }
+    return this.slot2;
+  }
+}
+
+class Test {
+  var slot: int;
+  var op: int;
+  var value: int;
+  fun matches(f: Fact): bool {
+    var v: int = f.get(this.slot);
+    if (this.op == 0) { return v == this.value; }
+    if (this.op == 1) { return v < this.value; }
+    if (this.op == 2) { return v > this.value; }
+    return v != this.value;
+  }
+}
+
+class Rule {
+  var t0: Test;
+  var t1: Test;
+  var fired: int;
+  fun evaluate(f: Fact): bool {
+    if (this.t0.matches(f)) {
+      if (this.t1.matches(f)) {
+        this.fire();
+        return true;
+      }
+    }
+    return false;
+  }
+  fun fire() { this.fired = this.fired + 1; }
+}
+
+class Engine {
+  var rules: Rule[];
+  var nrules: int;
+  var activations: int;
+  fun run(f: Fact) {
+    var i: int = 0;
+    while (i < this.nrules) {
+      if (this.rules[i].evaluate(f)) {
+        this.activations = this.activations + 1;
+      }
+      i = i + 1;
+    }
+  }
+}
+
+class Main {
+  static fun makeTest(slot: int, op: int, value: int): Test {
+    var t: Test = new Test;
+    t.slot = slot;
+    t.op = op;
+    t.value = value;
+    return t;
+  }
+
+  static fun main(scale: int): int {
+    var eng: Engine = new Engine;
+    eng.nrules = 40;
+    eng.rules = new Rule[40];
+    var i: int = 0;
+    while (i < 40) {
+      var r: Rule = new Rule;
+      r.t0 = Main.makeTest(i % 3, i % 4, (i * 7) % 50);
+      r.t1 = Main.makeTest((i + 1) % 3, (i + 2) % 4, (i * 13) % 50);
+      eng.rules[i] = r;
+      i = i + 1;
+    }
+    var facts: int = 700 * scale;
+    var f: Fact = new Fact;
+    var k: int = 0;
+    while (k < facts) {
+      f.slot0 = k % 50;
+      f.slot1 = (k * 3) % 50;
+      f.slot2 = (k * 11) % 50;
+      eng.run(f);
+      k = k + 1;
+    }
+    print(eng.activations);
+    return eng.activations;
+  }
+}
+|}

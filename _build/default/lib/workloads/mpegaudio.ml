@@ -1,0 +1,117 @@
+(* _222_mpegaudio analog: fixed-point subband-synthesis filter bank.
+
+   Character: tight numeric inner loops over coefficient tables held in
+   object fields (high field-access overhead), one filter-step call per
+   sample (high call-edge overhead), loop-dominated (high backedge check
+   cost in Table 2). *)
+
+let name = "mpegaudio"
+
+let source =
+  {|
+class Filter {
+  var coeffs: int[];
+  var state: int[];
+  var taps: int;
+  var pos: int;
+  var vol: int;
+
+  fun gain(v: int): int { return (v * this.vol) >> 8; }
+
+  fun init(taps: int) {
+    this.vol = 300;
+    this.taps = taps;
+    this.coeffs = new int[taps];
+    this.state = new int[taps];
+    var i: int = 0;
+    while (i < taps) {
+      this.coeffs[i] = ((i * 2896) % 4096) - 2048;
+      i = i + 1;
+    }
+  }
+
+  // one output sample: multiply-accumulate over the ring buffer, reading
+  // the tables through 'this' each tap (as the real decoder's inner loop
+  // reads its windowed coefficients)
+  fun step(x: int): int {
+    var p: int = this.pos;
+    this.state[p] = x;
+    var acc: int = 0;
+    var t: int = 0;
+    while (t < this.taps) {
+      var idx: int = p - t;
+      if (idx < 0) { idx = idx + this.taps; }
+      acc = acc + ((this.coeffs[t] * this.state[idx]) >> 12);
+      t = t + 1;
+    }
+    // data-dependent smoothing pass over a varying prefix of the state
+    // (keeps the backedge pattern irregular, like the real decoder's
+    // per-frame windowing)
+    if ((x & 3) == 0) {
+      var j: int = 0;
+      var lim: int = (x >> 2) & 7;
+      while (j < lim) {
+        acc = acc + (this.state[j] >> 4);
+        j = j + 1;
+      }
+    }
+    this.pos = p + 1;
+    if (this.pos >= this.taps) { this.pos = 0; }
+    return this.gain(acc);
+  }
+}
+
+class Decoder {
+  var low: Filter;
+  var high: Filter;
+  var out: int;
+
+  fun clip(v: int): int {
+    if (v > 32767) { return 32767; }
+    if (v < (0 - 32768)) { return 0 - 32768; }
+    return v;
+  }
+
+  fun decodeFrame(samples: int[], from: int, len: int): int {
+    var acc: int = 0;
+    var i: int = 0;
+    while (i < len) {
+      var x: int = samples[from + i];
+      var l: int = this.low.step(x);
+      var h: int = this.high.step(x - l);
+      acc = (acc + this.clip(l + h)) & 16777215;
+      i = i + 1;
+    }
+    this.out = acc;
+    return acc;
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var n: int = 2688 * scale;
+    var samples: int[] = new int[n];
+    var seed: int = 424242;
+    var i: int = 0;
+    while (i < n) {
+      seed = ((seed * 69069) + 1) & 1073741823;
+      samples[i] = (seed >> 10) & 1023;
+      i = i + 1;
+    }
+    var d: Decoder = new Decoder;
+    d.low = new Filter;
+    d.low.init(8);
+    d.high = new Filter;
+    d.high.init(8);
+    var frames: int = n / 384;
+    var acc: int = 0;
+    var f: int = 0;
+    while (f < frames) {
+      acc = (acc + d.decodeFrame(samples, f * 384, 384)) & 16777215;
+      f = f + 1;
+    }
+    print(acc);
+    return acc;
+  }
+}
+|}

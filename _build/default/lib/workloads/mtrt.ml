@@ -1,0 +1,82 @@
+(* _227_mtrt analog: integer ray caster over a bounding-volume tree.
+
+   Character: recursive traversal of an object tree with virtual dispatch
+   (Inner vs Leaf nodes override [hit]), object-field reads throughout —
+   call-heavy with moderate field access. *)
+
+let name = "mtrt"
+
+let source =
+  {|
+class Node {
+  // bounding interval on the ray parameter axis
+  var lo: int;
+  var hi: int;
+  fun hit(t0: int, t1: int, dir: int): int { return 0; }
+}
+
+class Inner extends Node {
+  var left: Node;
+  var right: Node;
+  fun hit(t0: int, t1: int, dir: int): int {
+    if (t1 < this.lo || this.hi < t0) { return 0; }
+    var a: int = this.left.hit(t0, t1, dir);
+    var b: int = this.right.hit(t0, t1, dir);
+    return a + b;
+  }
+}
+
+class Leaf extends Node {
+  var material: int;
+  fun hit(t0: int, t1: int, dir: int): int {
+    if (t1 < this.lo || this.hi < t0) { return 0; }
+    // shade: a little integer math per hit
+    var d: int = dir ^ this.material;
+    var s: int = (d * 73) + ((this.lo + this.hi) >> 1);
+    return (s & 255) + 1;
+  }
+}
+
+class Scene {
+  var root: Node;
+  var count: int;
+
+  fun build(lo: int, hi: int, depth: int): Node {
+    this.count = this.count + 1;
+    if (depth == 0 || (hi - lo) < 4) {
+      var leaf: Leaf = new Leaf;
+      leaf.lo = lo;
+      leaf.hi = hi;
+      leaf.material = (lo * 31) ^ hi;
+      return leaf;
+    }
+    var mid: int = (lo + hi) >> 1;
+    var inner: Inner = new Inner;
+    inner.lo = lo;
+    inner.hi = hi;
+    // overlapping children so rays visit both subtrees sometimes
+    inner.left = this.build(lo, mid + 2, depth - 1);
+    inner.right = this.build(mid - 2, hi, depth - 1);
+    return inner;
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var scene: Scene = new Scene;
+    scene.root = scene.build(0, 1024, 8);
+    var rays: int = 2500 * scale;
+    var acc: int = 0;
+    var r: int = 0;
+    while (r < rays) {
+      var t0: int = (r * 37) % 900;
+      var t1: int = t0 + 40 + (r % 60);
+      acc = (acc + scene.root.hit(t0, t1, r)) & 1073741823;
+      r = r + 1;
+    }
+    print(acc);
+    print(scene.count);
+    return acc;
+  }
+}
+|}

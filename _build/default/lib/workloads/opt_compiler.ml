@@ -1,0 +1,131 @@
+(* opt-compiler analog (the paper runs Jalapeno's optimizing compiler on a
+   subset of itself): expression-tree construction, constant folding,
+   strength reduction and evaluation through many tiny mutually-calling
+   methods.
+
+   Character: the most call-dominated benchmark of the suite (the paper
+   reports 189% exhaustive call-edge overhead, the suite's highest) with
+   modest field access. *)
+
+let name = "opt_compiler"
+
+let source =
+  {|
+// op codes: 0 const, 1 add, 2 sub, 3 mul, 4 shl
+class Node {
+  var op: int;
+  var value: int;
+  var left: Node;
+  var right: Node;
+}
+
+class Builder {
+  var seed: int;
+  var built: int;
+
+  fun roll(bound: int): int {
+    this.seed = ((this.seed * 1103515245) + 12345) & 1073741823;
+    return (this.seed >> 11) % bound;
+  }
+
+  fun leaf(v: int): Node {
+    var n: Node = new Node;
+    n.op = 0;
+    n.value = v;
+    this.built = this.built + 1;
+    return n;
+  }
+
+  fun mk(op: int, l: Node, r: Node): Node {
+    var n: Node = new Node;
+    n.op = op;
+    n.left = l;
+    n.right = r;
+    this.built = this.built + 1;
+    return n;
+  }
+
+  fun tree(depth: int): Node {
+    if (depth == 0) {
+      if (this.roll(3) == 0) { return this.leaf(this.roll(64)); }
+      return this.leaf(0 - this.roll(16));
+    }
+    var op: int = 1 + this.roll(4);
+    return this.mk(op, this.tree(depth - 1), this.tree(depth - 1));
+  }
+}
+
+class Compiler {
+  var folded: int;
+  var reduced: int;
+
+  fun isConst(n: Node): bool { return n.op == 0; }
+
+  fun constValue(n: Node): int { return n.value; }
+
+  fun evalOp(op: int, a: int, b: int): int {
+    if (op == 1) { return a + b; }
+    if (op == 2) { return a - b; }
+    if (op == 3) { return a * b; }
+    return a << (b & 15);
+  }
+
+  // constant folding: bottom-up, rebuilding via tiny helper calls
+  fun fold(b: Builder, n: Node): Node {
+    if (this.isConst(n)) { return n; }
+    var l: Node = this.fold(b, n.left);
+    var r: Node = this.fold(b, n.right);
+    if (this.isConst(l) && this.isConst(r)) {
+      this.folded = this.folded + 1;
+      return b.leaf(this.evalOp(n.op, this.constValue(l), this.constValue(r)) & 16777215);
+    }
+    return this.strength(b, n.op, l, r);
+  }
+
+  // strength reduction: x * 2^k -> x << k
+  fun strength(b: Builder, op: int, l: Node, r: Node): Node {
+    if (op == 3 && this.isConst(r)) {
+      var v: int = this.constValue(r);
+      if (v == 2 || v == 4 || v == 8) {
+        this.reduced = this.reduced + 1;
+        var k: int = 1;
+        if (v == 4) { k = 2; }
+        if (v == 8) { k = 3; }
+        return b.mk(4, l, b.leaf(k));
+      }
+    }
+    return b.mk(op, l, r);
+  }
+
+  fun eval(n: Node): int {
+    if (this.isConst(n)) { return this.constValue(n); }
+    return this.evalOp(n.op, this.eval(n.left), this.eval(n.right)) & 16777215;
+  }
+
+  fun size(n: Node): int {
+    if (this.isConst(n)) { return 1; }
+    return 1 + this.size(n.left) + this.size(n.right);
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var b: Builder = new Builder;
+    b.seed = 555555;
+    var c: Compiler = new Compiler;
+    var acc: int = 0;
+    var units: int = 120 * scale;
+    var u: int = 0;
+    while (u < units) {
+      var t: Node = b.tree(6);
+      var opt: Node = c.fold(b, t);
+      acc = (acc + c.eval(opt) + c.size(opt)) & 16777215;
+      u = u + 1;
+    }
+    print(acc);
+    print(c.folded);
+    print(c.reduced);
+    return acc;
+  }
+}
+|}

@@ -1,0 +1,94 @@
+(* pBOB analog (IBM's portable Business Object Benchmark): multithreaded
+   warehouse transactions.
+
+   Character: several worker threads executing order transactions against
+   per-thread warehouses — mixed calls and field updates under thread
+   scheduling (exercises yieldpoints and per-thread sampling). *)
+
+let name = "pbob"
+
+let source =
+  {|
+class Shared {
+  static var done_count: int;
+  static var total: int;
+}
+
+class Warehouse {
+  var stock: int[];
+  var orders: int;
+  var revenue: int;
+
+  fun init(items: int) {
+    this.stock = new int[items];
+    var i: int = 0;
+    while (i < items) {
+      this.stock[i] = 100;
+      i = i + 1;
+    }
+  }
+
+  fun newOrder(item: int, qty: int): int {
+    var have: int = this.stock[item];
+    if (have < qty) {
+      this.restock(item);
+      have = this.stock[item];
+    }
+    this.stock[item] = have - qty;
+    this.orders = this.orders + 1;
+    var price: int = 10 + (item % 17);
+    var amount: int = price * qty;
+    this.revenue = (this.revenue + amount) & 1073741823;
+    return amount;
+  }
+
+  fun restock(item: int) {
+    this.stock[item] = this.stock[item] + 200;
+  }
+
+  fun payment(amount: int) {
+    this.revenue = (this.revenue + amount) & 1073741823;
+  }
+}
+
+class Worker {
+  static fun run(id: int, txns: int) {
+    var w: Warehouse = new Warehouse;
+    w.init(256);
+    var seed: int = 7777 + (id * 131);
+    var t: int = 0;
+    while (t < txns) {
+      seed = ((seed * 1103515245) + 12345) & 1073741823;
+      var item: int = (seed >> 6) % 256;
+      var qty: int = 1 + ((seed >> 16) % 5);
+      var kind: int = (seed >> 3) % 10;
+      if (kind < 7) {
+        var amount: int = w.newOrder(item, qty);
+        w.payment(amount & 255);
+      } else {
+        w.payment(item + qty);
+      }
+      t = t + 1;
+    }
+    Shared.total = (Shared.total + w.revenue) & 1073741823;
+    Shared.done_count = Shared.done_count + 1;
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var workers: int = 3;
+    var txns: int = 4000 * scale;
+    var i: int = 0;
+    while (i < workers) {
+      spawn Worker.run(i, txns);
+      i = i + 1;
+    }
+    while (Shared.done_count < workers) {
+      yield();
+    }
+    print(Shared.total);
+    return Shared.total;
+  }
+}
+|}

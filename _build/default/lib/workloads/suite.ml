@@ -1,0 +1,97 @@
+type benchmark = {
+  bname : string;
+  description : string;
+  source : string;
+  default_scale : int;
+  threaded : bool;
+}
+
+let all =
+  [
+    {
+      bname = "compress";
+      description = "LZW kernel: tight field/array loop (_201_compress)";
+      source = Compress.source;
+      default_scale = 1;
+      threaded = false;
+    };
+    {
+      bname = "jess";
+      description = "rule engine: cascaded tiny calls (_202_jess)";
+      source = Jess.source;
+      default_scale = 1;
+      threaded = false;
+    };
+    {
+      bname = "db";
+      description = "index ops: big blocks, low overheads (_209_db)";
+      source = Db.source;
+      default_scale = 1;
+      threaded = false;
+    };
+    {
+      bname = "javac";
+      description = "recursive-descent parser: rich call-edge mix (_213_javac)";
+      source = Javac.source;
+      default_scale = 1;
+      threaded = false;
+    };
+    {
+      bname = "mpegaudio";
+      description = "fixed-point filter bank: numeric loops (_222_mpegaudio)";
+      source = Mpegaudio.source;
+      default_scale = 1;
+      threaded = false;
+    };
+    {
+      bname = "mtrt";
+      description = "ray caster: virtual dispatch over a BVH (_227_mtrt)";
+      source = Mtrt.source;
+      default_scale = 1;
+      threaded = false;
+    };
+    {
+      bname = "jack";
+      description = "tokenizer/printer: write-heavy fields (_228_jack)";
+      source = Jack.source;
+      default_scale = 1;
+      threaded = false;
+    };
+    {
+      bname = "opt_compiler";
+      description = "expression-tree optimizer: most call-dominated (opt-compiler)";
+      source = Opt_compiler.source;
+      default_scale = 1;
+      threaded = false;
+    };
+    {
+      bname = "pbob";
+      description = "warehouse transactions across worker threads (pBOB)";
+      source = Pbob.source;
+      default_scale = 1;
+      threaded = true;
+    };
+    {
+      bname = "volano";
+      description = "chat-room message passing between threads (VolanoMark)";
+      source = Volano.source;
+      default_scale = 1;
+      threaded = true;
+    };
+  ]
+
+let find name = List.find (fun b -> b.bname = name) all
+
+let names = List.map (fun b -> b.bname) all
+
+let compiled = Hashtbl.create 16
+
+let compile b =
+  match Hashtbl.find_opt compiled b.bname with
+  | Some p -> p
+  | None ->
+      let p = Jasm.Compile.compile_string ~file:b.bname b.source in
+      Hashtbl.add compiled b.bname p;
+      p
+
+let entry = { Ir.Lir.mclass = "Main"; mname = "main" }

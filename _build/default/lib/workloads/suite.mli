@@ -1,0 +1,28 @@
+(** The benchmark suite: ten jasm programs mirroring the character of the
+    paper's SPECjvm98 + opt-compiler + pBOB + Volano suite (DESIGN.md
+    explains each correspondence).
+
+    Every program defines [Main.main(scale: int): int]; the returned int
+    is a deterministic checksum used by semantic-preservation tests. *)
+
+type benchmark = {
+  bname : string;
+  description : string;
+  source : string;
+  default_scale : int;
+  threaded : bool;
+}
+
+val all : benchmark list
+(** In the order of the paper's tables. *)
+
+val find : string -> benchmark
+(** Raises [Not_found]. *)
+
+val names : string list
+
+val compile : benchmark -> Bytecode.Classfile.program
+(** Compile the benchmark's jasm source (memoized). *)
+
+val entry : Ir.Lir.method_ref
+(** [Main.main]. *)

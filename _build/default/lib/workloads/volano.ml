@@ -1,0 +1,98 @@
+(* VolanoMark analog: chat-room message passing between client threads
+   and a server thread over bounded ring buffers.
+
+   Character: thread switching, queue polling (spin + yield), modest call
+   and field rates — the low-overhead threaded row of the paper's
+   tables. *)
+
+let name = "volano"
+
+let source =
+  {|
+class Queue {
+  var buf: int[];
+  var head: int;
+  var tail: int;
+  var count: int;
+
+  fun init(cap: int) { this.buf = new int[cap]; }
+
+  fun full(): bool { return this.count >= this.buf.length; }
+  fun empty(): bool { return this.count <= 0; }
+
+  fun push(v: int) {
+    this.buf[this.tail] = v;
+    this.tail = this.tail + 1;
+    if (this.tail >= this.buf.length) { this.tail = 0; }
+    this.count = this.count + 1;
+  }
+
+  fun pop(): int {
+    var v: int = this.buf[this.head];
+    this.head = this.head + 1;
+    if (this.head >= this.buf.length) { this.head = 0; }
+    this.count = this.count - 1;
+    return v;
+  }
+}
+
+class Room {
+  static var inbox: Queue;
+  static var delivered: int;
+  static var checksum: int;
+  static var clients_done: int;
+}
+
+class Client {
+  static fun run(id: int, messages: int) {
+    var q: Queue = Room.inbox;
+    var seed: int = 1000 + (id * 37);
+    var m: int = 0;
+    while (m < messages) {
+      seed = ((seed * 69069) + 5) & 1073741823;
+      var msg: int = ((id << 20) | (m & 1048575)) ^ (seed & 255);
+      while (q.full()) { yield(); }
+      q.push(msg);
+      m = m + 1;
+      if ((m & 7) == 0) { yield(); }
+    }
+    Room.clients_done = Room.clients_done + 1;
+  }
+}
+
+class Server {
+  static fun run(clients: int, messages: int) {
+    var expected: int = clients * messages;
+    var q: Queue = Room.inbox;
+    var got: int = 0;
+    while (got < expected) {
+      while (q.empty()) { yield(); }
+      var msg: int = q.pop();
+      Room.checksum = (Room.checksum + (msg * 31)) & 16777215;
+      Room.delivered = Room.delivered + 1;
+      got = got + 1;
+    }
+  }
+}
+
+class Main {
+  static fun main(scale: int): int {
+    var clients: int = 4;
+    var messages: int = 2500 * scale;
+    Room.inbox = new Queue;
+    Room.inbox.init(64);
+    spawn Server.run(clients, messages);
+    var i: int = 0;
+    while (i < clients) {
+      spawn Client.run(i, messages);
+      i = i + 1;
+    }
+    while (Room.delivered < (clients * messages)) {
+      yield();
+    }
+    print(Room.delivered);
+    print(Room.checksum);
+    return Room.checksum;
+  }
+}
+|}

@@ -1,0 +1,1 @@
+test/gen_jasm.ml: List Printf QCheck String

@@ -1,0 +1,1 @@
+test/helpers.ml: Bytecode Core Ir Jasm List Opt Profiles Vm

@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Array Bytecode Ir List Option Result Vm

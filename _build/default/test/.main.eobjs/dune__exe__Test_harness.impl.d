@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Core Float Harness List Printf Profiles String Workloads

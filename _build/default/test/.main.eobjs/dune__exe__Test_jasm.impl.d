@@ -1,0 +1,1 @@
+test/test_jasm.ml: Alcotest Helpers Jasm List Option Printf Vm

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Bytecode Helpers Ir List Opt Option Printf Vm Workloads

@@ -1,0 +1,1 @@
+test/test_paths.ml: Alcotest Core Helpers Ir List Printf Profiles Vm

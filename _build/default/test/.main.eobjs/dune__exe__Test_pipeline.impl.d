@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Core Helpers List Option Printf Profiles Vm

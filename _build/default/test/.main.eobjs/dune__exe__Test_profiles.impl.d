@@ -1,0 +1,1 @@
+test/test_profiles.ml: Alcotest Float Ir List Printf Profiles Vm

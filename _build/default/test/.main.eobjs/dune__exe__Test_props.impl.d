@@ -1,0 +1,1 @@
+test/test_props.ml: Array Bytecode Core Float Fun Gen_jasm Ir Jasm List Opt Printf Profiles QCheck QCheck_alcotest String Vm

@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Array Bytecode Core Helpers Ir List Opt Printf Profiles Vm Workloads

@@ -1,0 +1,1 @@
+test/test_validate.ml: Alcotest Array Core Helpers Ir List Option Profiles String

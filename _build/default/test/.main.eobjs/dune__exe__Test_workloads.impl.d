@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytecode Ir List Opt Printf Vm Workloads

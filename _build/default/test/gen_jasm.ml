@@ -1,0 +1,143 @@
+(* Random well-typed jasm program generator for property-based tests.
+
+   Programs are guaranteed to terminate (loops are bounded counters, the
+   static call graph is acyclic) and to be deterministic, so any two
+   executions — baseline vs optimized, baseline vs instrumented — must
+   print the same output and return the same checksum.
+
+   Division is always by a non-zero constant, so no run traps. *)
+
+open QCheck.Gen
+
+type ctx = { vars : string list; funcs : int (* callable f0..f(n-1) *) }
+
+let int_lit = map string_of_int (int_range (-99) 99)
+
+let var ctx = oneofl ctx.vars
+
+let rec expr ctx depth =
+  if depth = 0 then oneof [ int_lit; var ctx ]
+  else
+    frequency
+      [
+        (2, int_lit);
+        (3, var ctx);
+        ( 4,
+          let* op = oneofl [ "+"; "-"; "*"; "&"; "^"; "|" ] in
+          let* a = expr ctx (depth - 1) in
+          let* b = expr ctx (depth - 1) in
+          (* keep multiplication small to avoid overflow weirdness *)
+          if op = "*" then
+            return (Printf.sprintf "(((%s) %% 97) * ((%s) %% 97))" a b)
+          else return (Printf.sprintf "((%s) %s (%s))" a op b) );
+        ( 2,
+          let* a = expr ctx (depth - 1) in
+          let* k = int_range 1 9 in
+          return (Printf.sprintf "((%s) / %d)" a k) );
+        ( 2,
+          let* a = expr ctx (depth - 1) in
+          let* k = int_range 1 9 in
+          return (Printf.sprintf "((%s) %% %d)" a k) );
+        ( 2,
+          if ctx.funcs = 0 then var ctx
+          else
+            let* f = int_range 0 (ctx.funcs - 1) in
+            let* a = expr ctx (depth - 1) in
+            let* b = expr ctx (depth - 1) in
+            return (Printf.sprintf "Main.f%d((%s), (%s))" f a b) );
+      ]
+
+let cond ctx depth =
+  let* op = oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+  let* a = expr ctx depth in
+  let* b = expr ctx depth in
+  return (Printf.sprintf "(%s) %s (%s)" a op b)
+
+(* statements write only to locals; fresh loop counters guarantee
+   termination *)
+let rec stmts ctx ~fresh ~depth ~budget =
+  if budget <= 0 then return []
+  else
+    let* s, fresh' = stmt ctx ~fresh ~depth in
+    let* rest = stmts ctx ~fresh:fresh' ~depth ~budget:(budget - 1) in
+    return (s :: rest)
+
+and stmt ctx ~fresh ~depth =
+  frequency
+    [
+      ( 4,
+        let* v = var ctx in
+        let* e = expr ctx 2 in
+        return (Printf.sprintf "%s = (%s) & 1048575;" v e, fresh) );
+      ( 2,
+        let* c = cond ctx 1 in
+        let* then_ = stmts ctx ~fresh:(fresh + 100) ~depth:(depth - 1) ~budget:2 in
+        let* else_ = stmts ctx ~fresh:(fresh + 200) ~depth:(depth - 1) ~budget:2 in
+        if depth <= 0 then
+          let* v = var ctx in
+          return (Printf.sprintf "%s = %s + 1;" v v, fresh)
+        else
+          return
+            ( Printf.sprintf "if (%s) { %s } else { %s }" c
+                (String.concat " " then_) (String.concat " " else_),
+              fresh ) );
+      ( 2,
+        if depth <= 0 then
+          let* v = var ctx in
+          return (Printf.sprintf "%s = %s ^ 3;" v v, fresh)
+        else
+          let i = Printf.sprintf "i%d" fresh in
+          let* bound = int_range 1 6 in
+          let* body =
+            stmts ctx ~fresh:(fresh + 1) ~depth:(depth - 1) ~budget:2
+          in
+          return
+            ( Printf.sprintf
+                "var %s: int = 0; while (%s < %d) { %s %s = %s + 1; }" i i
+                bound (String.concat " " body) i i,
+              fresh + 1 ) );
+      ( 1,
+        let* e = expr ctx 1 in
+        return (Printf.sprintf "print((%s) & 255);" e, fresh) );
+    ]
+
+let func_src idx n_callable =
+  (* f_idx may call f0 .. f_{idx-1}: the call graph is acyclic *)
+  let ctx = { vars = [ "a"; "b"; "t" ]; funcs = min idx n_callable } in
+  let* body = stmts ctx ~fresh:0 ~depth:2 ~budget:3 in
+  let* ret = expr ctx 2 in
+  return
+    (Printf.sprintf
+       "static fun f%d(a: int, b: int): int { var t: int = (a ^ b) & 65535; %s return (%s) & 1048575; }"
+       idx (String.concat " " body) ret)
+
+let program =
+  let* n_funcs = int_range 1 4 in
+  let* funcs =
+    flatten_l (List.init n_funcs (fun i -> func_src i n_funcs))
+  in
+  (* "k" is main's loop counter: random statements must never write
+     it, so it is not exposed as a variable at all *)
+  let main_ctx = { vars = [ "acc" ]; funcs = n_funcs } in
+  let* main_body = stmts main_ctx ~fresh:1000 ~depth:2 ~budget:4 in
+  return
+    (Printf.sprintf
+       {|class Main {
+  %s
+  static fun main(n: int): int {
+    var acc: int = n;
+    var k: int = 0;
+    while (k < 8) {
+      %s
+      acc = (acc + Main.f0(acc, k)) & 1048575;
+      k = k + 1;
+    }
+    print(acc);
+    return acc;
+  }
+}|}
+       (String.concat "\n  " funcs)
+       (String.concat " " main_body))
+
+let arbitrary_program =
+  QCheck.make ~print:(fun s -> s) program

@@ -1,0 +1,78 @@
+(* Shared helpers for the test suites. *)
+
+module Lir = Ir.Lir
+
+let compile src = Jasm.Compile.compile_string src
+
+(* Full baseline pipeline: compile, optimize, insert yieldpoints, link. *)
+let build ?(inline = false) src =
+  let classes = compile src in
+  let funcs = Bytecode.To_lir.program_to_funcs classes in
+  let funcs = Opt.Pipeline.front ~inline funcs in
+  (classes, funcs)
+
+let link classes funcs = Vm.Program.link classes ~funcs
+
+let run_main ?fuel ?seed prog args =
+  Vm.Interp.run ?fuel ?seed prog
+    ~entry:{ Lir.mclass = "Main"; mname = "main" }
+    ~args Vm.Interp.null_hooks
+
+(* Compile + run a source whose entry is Main.main(int): return result. *)
+let exec ?fuel ?seed src args =
+  let classes, funcs = build src in
+  run_main ?fuel ?seed (link classes funcs) args
+
+(* Run a transformed variant with a collector and sampler. *)
+let exec_transformed ?fuel ?seed ~transform ~trigger src args =
+  let classes, funcs = build src in
+  let funcs' =
+    List.map (fun f -> (transform f : Core.Transform.result).Core.Transform.func) funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler = Core.Sampler.create trigger in
+  let hooks = Profiles.Collector.hooks collector sampler in
+  let prog = link classes funcs' in
+  let res =
+    Vm.Interp.run ?fuel ?seed prog
+      ~entry:{ Lir.mclass = "Main"; mname = "main" }
+      ~args hooks
+  in
+  (res, collector)
+
+let fib_src =
+  {|
+  class Main {
+    static fun main(n: int): int {
+      var r: int = Main.fib(n);
+      print(r);
+      return r;
+    }
+    static fun fib(n: int): int {
+      if (n < 2) { return n; }
+      return Main.fib(n - 1) + Main.fib(n - 2);
+    }
+  }
+|}
+
+let loop_src =
+  {|
+  class Counter {
+    var total: int;
+    fun bump(k: int) {
+      this.total = this.total + k;
+    }
+  }
+  class Main {
+    static fun main(n: int): int {
+      var c: Counter = new Counter;
+      var i: int = 0;
+      while (i < n) {
+        c.bump(i);
+        i = i + 1;
+      }
+      print(c.total);
+      return c.total;
+    }
+  }
+|}

@@ -1,0 +1,7 @@
+let () =
+  Alcotest.run "instr_sampling"
+    (Test_pipeline.suite @ Test_ir.suite @ Test_bytecode.suite
+   @ Test_jasm.suite @ Test_opt.suite @ Test_vm.suite @ Test_transform.suite
+   @ Test_sampler.suite @ Test_profiles.suite @ Test_props.suite
+   @ Test_workloads.suite @ Test_paths.suite @ Test_validate.suite
+   @ Test_harness.suite)

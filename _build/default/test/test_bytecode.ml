@@ -1,0 +1,299 @@
+(* Bytecode layer: classfile model, verifier, and the stack-to-register
+   translation. *)
+
+module Bc = Bytecode.Bc
+module Classfile = Bytecode.Classfile
+module Bverify = Bytecode.Bverify
+module To_lir = Bytecode.To_lir
+module Lir = Ir.Lir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let meth ?(static = true) ?(n_args = 0) ?(returns = false) ?(max_locals = 4)
+    code =
+  {
+    Classfile.mname = "m";
+    static;
+    n_args;
+    returns;
+    max_locals;
+    code = Array.of_list code;
+  }
+
+(* -------- verifier -------- *)
+
+let verify_ok () =
+  let m =
+    meth ~returns:true [ Bc.Const 1; Bc.Const 2; Bc.Binop Lir.Add; Bc.Return_value ]
+  in
+  check_int "max stack" 2 (Bverify.max_stack m)
+
+let verify_underflow () =
+  let m = meth [ Bc.Pop; Bc.Return ] in
+  check_bool "underflow rejected" true (Result.is_error (Bverify.check_method m))
+
+let verify_falls_off () =
+  let m = meth [ Bc.Const 1; Bc.Pop ] in
+  check_bool "fall off end rejected" true
+    (Result.is_error (Bverify.check_method m))
+
+let verify_merge_mismatch () =
+  (* branch pushes on one path only, then merges *)
+  let m =
+    meth ~returns:true
+      [
+        Bc.Const 0;
+        Bc.If (Bc.Ceq, 3);
+        Bc.Const 1;
+        (* index 3: reached with depth 0 from the branch, 1 by fall-through *)
+        Bc.Const 2;
+        Bc.Return_value;
+      ]
+  in
+  check_bool "inconsistent merge rejected" true
+    (Result.is_error (Bverify.check_method m))
+
+let verify_bad_target () =
+  let m = meth [ Bc.Goto 99 ] in
+  check_bool "jump out of range" true (Result.is_error (Bverify.check_method m))
+
+let verify_bad_local () =
+  let m = meth ~max_locals:2 [ Bc.Load 5; Bc.Pop; Bc.Return ] in
+  check_bool "local out of range" true
+    (Result.is_error (Bverify.check_method m))
+
+let verify_wrong_return () =
+  let m = meth ~returns:true [ Bc.Return ] in
+  check_bool "void return in value method" true
+    (Result.is_error (Bverify.check_method m));
+  let m2 = meth ~returns:false [ Bc.Const 1; Bc.Return_value ] in
+  check_bool "value return in void method" true
+    (Result.is_error (Bverify.check_method m2))
+
+let verify_loop_ok () =
+  (* local 0 = counter; loop until 0 *)
+  let m =
+    meth ~n_args:1 ~max_locals:1
+      [
+        Bc.Load 0;
+        Bc.If (Bc.Ceq, 6);
+        Bc.Load 0;
+        Bc.Const 1;
+        Bc.Binop Lir.Sub;
+        Bc.Store 0;
+        (* 6 *)
+        Bc.Return;
+      ]
+  in
+  (* note: no backward jump here; now one with a backward jump *)
+  check_bool "ok" true (Result.is_ok (Bverify.check_method m));
+  let looping =
+    meth ~n_args:1 ~max_locals:1
+      [
+        (* 0 *) Bc.Load 0;
+        (* 1 *) Bc.If (Bc.Ceq, 7);
+        (* 2 *) Bc.Load 0;
+        (* 3 *) Bc.Const 1;
+        (* 4 *) Bc.Binop Lir.Sub;
+        (* 5 *) Bc.Store 0;
+        (* 6 *) Bc.Goto 0;
+        (* 7 *) Bc.Return;
+      ]
+  in
+  check_bool "loop verifies" true (Result.is_ok (Bverify.check_method looping))
+
+(* -------- stack effects -------- *)
+
+let stack_effects () =
+  check_bool "const" true (Bc.stack_effect (Bc.Const 3) = (0, 1));
+  check_bool "binop" true (Bc.stack_effect (Bc.Binop Lir.Add) = (2, 1));
+  check_bool "array store" true (Bc.stack_effect Bc.Array_store = (3, 0));
+  check_bool "invoke virtual pops receiver" true
+    (Bc.stack_effect
+       (Bc.Invoke_virtual ({ Lir.mclass = "C"; mname = "m" }, 2, true))
+    = (3, 1))
+
+(* -------- classfile model -------- *)
+
+let prog_with_inheritance =
+  [
+    {
+      Classfile.cname = "A";
+      super = None;
+      fields = [ "x"; "y" ];
+      static_fields = [ "g" ];
+      methods = [ meth ~static:false [ Bc.Return ] ];
+    };
+    {
+      Classfile.cname = "B";
+      super = Some "A";
+      fields = [ "z" ];
+      static_fields = [];
+      methods = [];
+    };
+  ]
+
+let classfile_model () =
+  let b = Option.get (Classfile.find_class prog_with_inheritance "B") in
+  Alcotest.(check (list (pair string string)))
+    "layout base-first"
+    [ ("A", "x"); ("A", "y"); ("B", "z") ]
+    (Classfile.instance_layout prog_with_inheritance b);
+  check_bool "resolve inherited method" true
+    (Classfile.resolve_method prog_with_inheritance ~cls:"B" ~name:"m" <> None);
+  check_bool "unknown method" true
+    (Classfile.resolve_method prog_with_inheritance ~cls:"B" ~name:"nope" = None)
+
+(* -------- translation -------- *)
+
+let translate_and_run code ~args ~returns =
+  let m = meth ~n_args:(List.length args) ~returns ~max_locals:4 code in
+  let cls =
+    {
+      Classfile.cname = "T";
+      super = None;
+      fields = [];
+      static_fields = [];
+      methods = [ m ];
+    }
+  in
+  let funcs = To_lir.program_to_funcs [ cls ] in
+  List.iter Ir.Verify.check_exn funcs;
+  let prog = Vm.Program.link [ cls ] ~funcs in
+  Vm.Interp.run prog ~entry:{ Lir.mclass = "T"; mname = "m" } ~args
+    Vm.Interp.null_hooks
+
+let tolir_arith () =
+  let res =
+    translate_and_run ~args:[ 20; 22 ] ~returns:true
+      [ Bc.Load 0; Bc.Load 1; Bc.Binop Lir.Add; Bc.Return_value ]
+  in
+  check_int "20+22" 42 (Option.get res.Vm.Interp.return_value)
+
+let tolir_branch () =
+  let code =
+    [
+      Bc.Load 0;
+      Bc.Load 1;
+      Bc.If_cmp (Bc.Clt, 5);
+      (* not less: return 0 *)
+      Bc.Const 0;
+      Bc.Return_value;
+      (* 5: less: return 1 *)
+      Bc.Const 1;
+      Bc.Return_value;
+    ]
+  in
+  let r1 = translate_and_run ~args:[ 1; 2 ] ~returns:true code in
+  check_int "1 < 2" 1 (Option.get r1.Vm.Interp.return_value);
+  let r2 = translate_and_run ~args:[ 3; 2 ] ~returns:true code in
+  check_int "3 < 2" 0 (Option.get r2.Vm.Interp.return_value)
+
+let tolir_swap_dup () =
+  let res =
+    translate_and_run ~args:[ 5; 9 ] ~returns:true
+      [ Bc.Load 0; Bc.Load 1; Bc.Swap; Bc.Binop Lir.Sub; Bc.Return_value ]
+  in
+  (* swap makes it 9 - 5 *)
+  check_int "swap then sub" 4 (Option.get res.Vm.Interp.return_value);
+  let res2 =
+    translate_and_run ~args:[ 6 ] ~returns:true
+      [ Bc.Load 0; Bc.Dup; Bc.Binop Lir.Mul; Bc.Return_value ]
+  in
+  check_int "dup then mul" 36 (Option.get res2.Vm.Interp.return_value)
+
+let tolir_switch () =
+  let code =
+    [
+      Bc.Load 0;
+      Bc.Switch ([ (1, 3); (2, 5) ], 7);
+      Bc.Return;
+      (* unreachable pad *)
+      (* 3 *) Bc.Const 10;
+      Bc.Return_value;
+      (* 5 *) Bc.Const 20;
+      Bc.Return_value;
+      (* 7 *) Bc.Const 30;
+      Bc.Return_value;
+    ]
+  in
+  let run v =
+    Option.get
+      (translate_and_run ~args:[ v ] ~returns:true code).Vm.Interp.return_value
+  in
+  check_int "case 1" 10 (run 1);
+  check_int "case 2" 20 (run 2);
+  check_int "default" 30 (run 99)
+
+let tolir_unreachable_skipped () =
+  (* dead code after an unconditional return translates fine *)
+  let res =
+    translate_and_run ~args:[] ~returns:true
+      [ Bc.Const 7; Bc.Return_value; Bc.Const 8; Bc.Return_value ]
+  in
+  check_int "first return wins" 7 (Option.get res.Vm.Interp.return_value)
+
+let tolir_call_sites () =
+  (* invoke instruction index is recorded as the LIR call site *)
+  let callee = meth ~returns:true [ Bc.Const 9; Bc.Return_value ] in
+  let caller =
+    meth ~returns:true
+      [
+        Bc.Invoke_static ({ Lir.mclass = "T"; mname = "callee" }, 0, true);
+        Bc.Return_value;
+      ]
+  in
+  let cls =
+    {
+      Classfile.cname = "T";
+      super = None;
+      fields = [];
+      static_fields = [];
+      methods =
+        [ { caller with Classfile.mname = "m" };
+          { callee with Classfile.mname = "callee" } ];
+    }
+  in
+  let funcs = To_lir.program_to_funcs [ cls ] in
+  let caller_f =
+    List.find (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "m") funcs
+  in
+  let sites = ref [] in
+  Ir.Vec.iter
+    (fun (b : Lir.block) ->
+      Array.iter
+        (function Lir.Call { site; _ } -> sites := site :: !sites | _ -> ())
+        b.Lir.instrs)
+    caller_f.Lir.blocks;
+  Alcotest.(check (list int)) "site is bytecode index" [ 0 ] !sites
+
+let suite =
+  [
+    ( "bytecode.verify",
+      [
+        Alcotest.test_case "accepts straight-line" `Quick verify_ok;
+        Alcotest.test_case "stack underflow" `Quick verify_underflow;
+        Alcotest.test_case "fall off end" `Quick verify_falls_off;
+        Alcotest.test_case "merge mismatch" `Quick verify_merge_mismatch;
+        Alcotest.test_case "bad jump target" `Quick verify_bad_target;
+        Alcotest.test_case "bad local slot" `Quick verify_bad_local;
+        Alcotest.test_case "wrong return kind" `Quick verify_wrong_return;
+        Alcotest.test_case "loops verify" `Quick verify_loop_ok;
+      ] );
+    ( "bytecode.model",
+      [
+        Alcotest.test_case "stack effects" `Quick stack_effects;
+        Alcotest.test_case "layout and resolution" `Quick classfile_model;
+      ] );
+    ( "bytecode.to_lir",
+      [
+        Alcotest.test_case "arithmetic" `Quick tolir_arith;
+        Alcotest.test_case "branches" `Quick tolir_branch;
+        Alcotest.test_case "swap and dup" `Quick tolir_swap_dup;
+        Alcotest.test_case "switch" `Quick tolir_switch;
+        Alcotest.test_case "unreachable code skipped" `Quick
+          tolir_unreachable_skipped;
+        Alcotest.test_case "call sites recorded" `Quick tolir_call_sites;
+      ] );
+  ]

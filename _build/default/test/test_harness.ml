@@ -1,0 +1,158 @@
+(* Experiment harness: the qualitative claims of the paper's tables must
+   hold for the reproduced measurements.  Full tables are exercised via
+   bench/main.exe; here we verify the claims on a fast subset. *)
+
+module Measure = Harness.Measure
+
+let check_bool = Alcotest.(check bool)
+
+let spec = Harness.Common.both_specs
+
+let bench name = Measure.prepare (Workloads.Suite.find name)
+
+(* overhead ordering on one benchmark: exhaustive > no-dup checking >
+   full-dup framework > yieldpoint-optimized framework > 0 *)
+let overhead_ordering () =
+  let build = bench "jess" in
+  let base = Measure.run_baseline build in
+  let pct transform =
+    Measure.overhead_pct ~base (Measure.run_transformed ~transform build)
+  in
+  let exhaustive = pct (Core.Transform.exhaustive spec) in
+  let full = pct (Core.Transform.full_dup spec) in
+  let ypopt = pct (Core.Transform.full_dup_yieldpoint_opt spec) in
+  check_bool
+    (Printf.sprintf "exhaustive %.1f > full-dup framework %.1f" exhaustive full)
+    true (exhaustive > full);
+  check_bool
+    (Printf.sprintf "full-dup %.1f > yieldpoint-opt %.1f" full ypopt)
+    true (full > ypopt);
+  check_bool "yieldpoint-opt still costs something" true (ypopt > -1.0)
+
+(* accuracy rises as the interval falls (on matched sample counts it
+   converges to 100 at interval 1) *)
+let accuracy_convergence () =
+  let build = bench "jess" in
+  let perfect_ce, _ = Harness.Common.perfect_profiles build in
+  let acc interval =
+    let m =
+      Measure.run_transformed
+        ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+        ~transform:(Core.Transform.full_dup spec)
+        build
+    in
+    Profiles.Overlap.percent perfect_ce
+      (Profiles.Call_edge.to_keyed
+         m.Measure.collector.Profiles.Collector.call_edges)
+  in
+  let a1 = acc 1 and a100 = acc 100 and a100k = acc 100_000 in
+  check_bool (Printf.sprintf "interval 1 is perfect (%.1f)" a1) true
+    (a1 > 99.9);
+  check_bool (Printf.sprintf "interval 100 accurate (%.1f)" a100) true
+    (a100 > 85.0);
+  check_bool
+    (Printf.sprintf "interval 100000 collapses (%.1f < %.1f)" a100k a100)
+    true (a100k < a100)
+
+(* sampled-instrumentation overhead above the framework's own vanishes as
+   the interval grows (Table 4's "Sampled Instrum." column) *)
+let sampling_overhead_vanishes () =
+  let build = bench "mtrt" in
+  let base = Measure.run_baseline build in
+  let transform = Core.Transform.full_dup spec in
+  let fw = Measure.overhead_pct ~base (Measure.run_transformed ~transform build) in
+  let total interval =
+    Measure.overhead_pct ~base
+      (Measure.run_transformed
+         ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+         ~transform build)
+  in
+  check_bool "interval 10000 ~ framework only" true
+    (total 10_000 -. fw < 1.0);
+  check_bool "interval 1 is much more expensive" true (total 1 > fw +. 20.0)
+
+(* Table 2's breakdown: backedge-only + entry-only roughly add up to the
+   full framework overhead (paper: "the sum ... is roughly equivalent") *)
+let breakdown_adds_up () =
+  let build = bench "compress" in
+  let base = Measure.run_baseline build in
+  let pct transform =
+    Measure.overhead_pct ~base (Measure.run_transformed ~transform build)
+  in
+  let total = pct (Core.Transform.full_dup spec) in
+  let be = pct (Core.Transform.checks_only ~entries:false ~backedges:true) in
+  let en = pct (Core.Transform.checks_only ~entries:true ~backedges:false) in
+  check_bool
+    (Printf.sprintf "sum %.1f within 4 points of total %.1f" (be +. en) total)
+    true
+    (Float.abs (be +. en -. total) < 4.0)
+
+(* timer trigger is less accurate than a matched counter (Table 5) on the
+   benchmark with the most skewed block sizes *)
+let timer_less_accurate () =
+  let rows = Harness.Table5.run ~scale:2 () in
+  let avg f = Harness.Common.mean (List.map f rows) in
+  let t = avg (fun (r : Harness.Table5.row) -> r.Harness.Table5.time_based) in
+  let c = avg (fun (r : Harness.Table5.row) -> r.Harness.Table5.counter_based) in
+  check_bool (Printf.sprintf "counter %.1f > timer %.1f on average" c t) true
+    (c > t)
+
+(* space roughly doubles under Full-Duplication *)
+let space_doubles () =
+  let build = bench "javac" in
+  let base = Measure.run_baseline build in
+  let full =
+    Measure.run_transformed ~transform:(Core.Transform.full_dup spec) build
+  in
+  let ratio =
+    float_of_int full.Measure.code_words /. float_of_int base.Measure.code_words
+  in
+  check_bool (Printf.sprintf "code ratio %.2f in [1.9, 2.6]" ratio) true
+    (ratio >= 1.9 && ratio <= 2.6);
+  (* partial duplication with sparse instrumentation stays well below *)
+  let part =
+    Measure.run_transformed
+      ~transform:(Core.Transform.partial_dup Core.Spec.call_edge)
+      build
+  in
+  check_bool "partial-dup is smaller" true
+    (part.Measure.code_words < full.Measure.code_words)
+
+let experiment_registry () =
+  List.iter
+    (fun w ->
+      Alcotest.(check string)
+        "of_name . name = id"
+        (Harness.Experiments.name w)
+        (Harness.Experiments.name
+           (Harness.Experiments.of_name (Harness.Experiments.name w))))
+    Harness.Experiments.all;
+  check_bool "numeric aliases" true
+    (Harness.Experiments.of_name "4" = Harness.Experiments.T4)
+
+let table_rendering () =
+  let s =
+    Harness.Text_table.render
+      ~header:[ "name"; "x" ]
+      [ [ "row1"; "1.0" ]; [ "longer-row"; "23.5" ] ]
+  in
+  check_bool "columns aligned" true
+    (String.length s > 0
+    && List.length (String.split_on_char '\n' (String.trim s)) = 4)
+
+let suite =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "overhead ordering" `Quick overhead_ordering;
+        Alcotest.test_case "accuracy convergence" `Quick accuracy_convergence;
+        Alcotest.test_case "sampling overhead vanishes" `Quick
+          sampling_overhead_vanishes;
+        Alcotest.test_case "table2 breakdown adds up" `Quick breakdown_adds_up;
+        Alcotest.test_case "timer less accurate (slow)" `Slow
+          timer_less_accurate;
+        Alcotest.test_case "space doubles" `Quick space_doubles;
+        Alcotest.test_case "experiment registry" `Quick experiment_registry;
+        Alcotest.test_case "table rendering" `Quick table_rendering;
+      ] );
+  ]

@@ -1,0 +1,259 @@
+(* Unit tests for the ir library: Vec, CFG queries, dominators, loop
+   analysis, structural editing, and the verifier. *)
+
+module Lir = Ir.Lir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* -------- Vec -------- *)
+
+let vec_basics () =
+  let v = Ir.Vec.create () in
+  check_int "empty" 0 (Ir.Vec.length v);
+  for i = 0 to 99 do
+    check_int "push index" i (Ir.Vec.push v (i * 2))
+  done;
+  check_int "length" 100 (Ir.Vec.length v);
+  check_int "get" 84 (Ir.Vec.get v 42);
+  Ir.Vec.set v 42 7;
+  check_int "set" 7 (Ir.Vec.get v 42);
+  check_int "fold = list fold"
+    (List.fold_left ( + ) 0 (Ir.Vec.to_list v))
+    (Ir.Vec.fold_left ( + ) 0 v);
+  let c = Ir.Vec.copy v in
+  Ir.Vec.set c 0 999;
+  check_int "copy is independent" 0 (Ir.Vec.get v 0)
+
+let vec_bounds () =
+  let v = Ir.Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.check_raises "get out of bounds"
+    (Invalid_argument "Vec: index 3 out of bounds (len 3)") (fun () ->
+      ignore (Ir.Vec.get v 3));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Vec: index -1 out of bounds (len 3)") (fun () ->
+      ignore (Ir.Vec.get v (-1)))
+
+(* -------- small CFG fixtures -------- *)
+
+(* diamond:  0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3 -> ret *)
+let diamond () =
+  let b = Ir.Build.create ~name:{ Lir.mclass = "T"; mname = "d" } ~n_params:1 () in
+  let l0 = Ir.Build.new_block b in
+  let l1 = Ir.Build.new_block b in
+  let l2 = Ir.Build.new_block b in
+  let l3 = Ir.Build.new_block b in
+  Ir.Build.set_term b l0
+    (Lir.If { cond = Lir.Reg 0; if_true = l1; if_false = l2 });
+  Ir.Build.set_term b l1 (Lir.Goto l3);
+  Ir.Build.set_term b l2 (Lir.Goto l3);
+  Ir.Build.set_term b l3 (Lir.Return None);
+  Ir.Build.finish b ~entry:l0
+
+(* loop: 0 -> 1 ; 1 -> 2,3 ; 2 -> 1 (backedge) ; 3 -> ret *)
+let loop () =
+  let b = Ir.Build.create ~name:{ Lir.mclass = "T"; mname = "l" } ~n_params:1 () in
+  let l0 = Ir.Build.new_block b in
+  let l1 = Ir.Build.new_block b in
+  let l2 = Ir.Build.new_block b in
+  let l3 = Ir.Build.new_block b in
+  Ir.Build.set_term b l0 (Lir.Goto l1);
+  Ir.Build.set_term b l1
+    (Lir.If { cond = Lir.Reg 0; if_true = l2; if_false = l3 });
+  Ir.Build.set_term b l2 (Lir.Goto l1);
+  Ir.Build.set_term b l3 (Lir.Return None);
+  Ir.Build.finish b ~entry:l0
+
+let cfg_queries () =
+  let f = diamond () in
+  Alcotest.(check (list int)) "succs of entry" [ 1; 2 ] (Ir.Cfg.succs f 0);
+  let preds = Ir.Cfg.predecessors f in
+  Alcotest.(check (list int)) "preds of join" [ 1; 2 ] preds.(3);
+  check_int "rpo covers all" 4 (List.length (Ir.Cfg.reverse_postorder f));
+  check_bool "rpo starts at entry" true
+    (List.hd (Ir.Cfg.reverse_postorder f) = 0);
+  check_int "edges" 4 (List.length (Ir.Cfg.edges f))
+
+let rpo_respects_order () =
+  let f = loop () in
+  let rpo = Ir.Cfg.reverse_postorder f in
+  let pos l =
+    let rec go i = function
+      | [] -> failwith "missing"
+      | x :: rest -> if x = l then i else go (i + 1) rest
+    in
+    go 0 rpo
+  in
+  check_bool "entry before header" true (pos 0 < pos 1);
+  check_bool "header before exit" true (pos 1 < pos 3)
+
+let dominators () =
+  let f = diamond () in
+  let dom = Ir.Dom.compute f in
+  check_bool "entry dominates all" true
+    (List.for_all (fun l -> Ir.Dom.dominates dom 0 l) [ 0; 1; 2; 3 ]);
+  check_bool "branch does not dominate join" false (Ir.Dom.dominates dom 1 3);
+  Alcotest.(check (option int)) "idom of join" (Some 0) (Ir.Dom.idom dom 3);
+  Alcotest.(check (option int)) "entry has no idom" None (Ir.Dom.idom dom 0)
+
+let loop_analysis () =
+  let f = loop () in
+  Alcotest.(check (list (pair int int)))
+    "retreating edges" [ (2, 1) ] (Ir.Loops.retreating_edges f);
+  Alcotest.(check (list (pair int int)))
+    "natural backedges" [ (2, 1) ]
+    (Ir.Loops.natural_backedges f);
+  check_bool "reducible" true (Ir.Loops.is_reducible f);
+  Alcotest.(check (list int)) "headers" [ 1 ] (Ir.Loops.loop_headers f);
+  let d = diamond () in
+  Alcotest.(check (list (pair int int)))
+    "diamond has no backedges" []
+    (Ir.Loops.retreating_edges d)
+
+let self_loop_detected () =
+  let b = Ir.Build.create ~name:{ Lir.mclass = "T"; mname = "s" } ~n_params:1 () in
+  let l0 = Ir.Build.new_block b in
+  let l1 = Ir.Build.new_block b in
+  let l2 = Ir.Build.new_block b in
+  Ir.Build.set_term b l0 (Lir.Goto l1);
+  Ir.Build.set_term b l1
+    (Lir.If { cond = Lir.Reg 0; if_true = l1; if_false = l2 });
+  Ir.Build.set_term b l2 (Lir.Return None);
+  let f = Ir.Build.finish b ~entry:l0 in
+  Alcotest.(check (list (pair int int)))
+    "self loop" [ (1, 1) ] (Ir.Loops.retreating_edges f)
+
+let irreducible_flagged () =
+  (* 0 -> 1,2 ; 1 -> 2,3 ; 2 -> 1,3 — classic irreducible pair *)
+  let b = Ir.Build.create ~name:{ Lir.mclass = "T"; mname = "i" } ~n_params:1 () in
+  let l0 = Ir.Build.new_block b in
+  let l1 = Ir.Build.new_block b in
+  let l2 = Ir.Build.new_block b in
+  let l3 = Ir.Build.new_block b in
+  Ir.Build.set_term b l0
+    (Lir.If { cond = Lir.Reg 0; if_true = l1; if_false = l2 });
+  Ir.Build.set_term b l1
+    (Lir.If { cond = Lir.Reg 0; if_true = l2; if_false = l3 });
+  Ir.Build.set_term b l2
+    (Lir.If { cond = Lir.Reg 0; if_true = l1; if_false = l3 });
+  Ir.Build.set_term b l3 (Lir.Return None);
+  let f = Ir.Build.finish b ~entry:l0 in
+  check_bool "irreducible" false (Ir.Loops.is_reducible f)
+
+let edge_split () =
+  let f = loop () in
+  let n_before = Lir.num_blocks f in
+  let fresh =
+    Ir.Edit.split_edge f ~src:2 ~dst:1 ~role:Lir.Check_block ~instrs:[]
+  in
+  check_int "one new block" (n_before + 1) (Lir.num_blocks f);
+  Alcotest.(check (list int)) "src now targets fresh" [ fresh ] (Ir.Cfg.succs f 2);
+  Alcotest.(check (list int)) "fresh targets dst" [ 1 ] (Ir.Cfg.succs f fresh);
+  Ir.Verify.check_exn f;
+  Alcotest.check_raises "missing edge rejected"
+    (Invalid_argument "Edit.split_edge: no edge 0 -> 3") (fun () ->
+      ignore (Ir.Edit.split_edge f ~src:0 ~dst:3 ~role:Lir.Orig ~instrs:[]))
+
+let insert_and_filter () =
+  let f = loop () in
+  Ir.Edit.prepend f 1 [ Lir.Yieldpoint Lir.Yp_entry ];
+  Ir.Edit.insert_before f 1 1 [ Lir.Move (0, Lir.Imm 5) ];
+  check_int "two instrs" 2 (Array.length (Lir.block f 1).Lir.instrs);
+  Ir.Edit.filter_instrs f 1 (function Lir.Yieldpoint _ -> false | _ -> true);
+  check_int "yieldpoint removed" 1 (Array.length (Lir.block f 1).Lir.instrs)
+
+let clone_blocks () =
+  let f = loop () in
+  let mapping = Ir.Edit.clone_blocks f ~role:Lir.Dup (fun _ -> true) in
+  check_int "four clones" 4 (List.length mapping);
+  let dup_of l = List.assoc l mapping in
+  Alcotest.(check (list int))
+    "clone of header branches to clones"
+    [ dup_of 2; dup_of 3 ]
+    (Ir.Cfg.succs f (dup_of 1));
+  check_bool "clones unreachable from entry" false
+    (Ir.Cfg.reachable f).(dup_of 0)
+
+let remove_unreachable () =
+  let f = loop () in
+  ignore (Ir.Edit.clone_blocks f ~role:Lir.Dup (fun _ -> true));
+  let removed = Ir.Cfg.remove_unreachable f in
+  check_int "clones removed" 4 removed;
+  Ir.Verify.check_exn f
+
+let verifier_catches () =
+  let mk term =
+    let b = Ir.Build.create ~name:{ Lir.mclass = "T"; mname = "v" } ~n_params:1 () in
+    let l0 = Ir.Build.new_block b in
+    Ir.Build.set_term b l0 term;
+    Ir.Build.finish b ~entry:l0
+  in
+  let bad = mk (Lir.Goto 7) in
+  check_bool "bad successor" false (Ir.Verify.check bad = []);
+  let ok = mk (Lir.Return None) in
+  check_bool "fine" true (Ir.Verify.check ok = []);
+  let bad_reg = mk (Lir.Return (Some (Lir.Reg 99))) in
+  check_bool "register out of range" false (Ir.Verify.check bad_reg = [])
+
+let verifier_rejects_check_in_dup () =
+  let f = loop () in
+  let b1 = Lir.block f 2 in
+  Lir.set_block f 2
+    { b1 with Lir.role = Lir.Dup; term = Lir.Check { on_sample = 1; fall = 1 } };
+  check_bool "check inside dup rejected" false (Ir.Verify.check f = [])
+
+let reach_directions () =
+  let f = diamond () in
+  let from1 = Ir.Cfg.reachable_from f [ 1 ] in
+  check_bool "1 reaches 3" true from1.(3);
+  check_bool "1 does not reach 2" false from1.(2);
+  let to3 = Ir.Cfg.reaching_to f [ 3 ] in
+  check_bool "everything reaches 3" true (to3.(0) && to3.(1) && to3.(2))
+
+let printer_smoke () =
+  let f = loop () in
+  let s = Ir.Pp.func_to_string f in
+  check_bool "mentions func name" true (contains s "T.l");
+  check_bool "mentions goto" true (contains s "goto");
+  check_bool "mentions return" true (contains s "return")
+
+let suite =
+  [
+    ( "ir.vec",
+      [
+        Alcotest.test_case "basics" `Quick vec_basics;
+        Alcotest.test_case "bounds" `Quick vec_bounds;
+      ] );
+    ( "ir.cfg",
+      [
+        Alcotest.test_case "queries" `Quick cfg_queries;
+        Alcotest.test_case "rpo order" `Quick rpo_respects_order;
+        Alcotest.test_case "reachability" `Quick reach_directions;
+        Alcotest.test_case "remove unreachable" `Quick remove_unreachable;
+      ] );
+    ("ir.dom", [ Alcotest.test_case "dominators on diamond" `Quick dominators ]);
+    ( "ir.loops",
+      [
+        Alcotest.test_case "loop backedges" `Quick loop_analysis;
+        Alcotest.test_case "self loop" `Quick self_loop_detected;
+        Alcotest.test_case "irreducible" `Quick irreducible_flagged;
+      ] );
+    ( "ir.edit",
+      [
+        Alcotest.test_case "split edge" `Quick edge_split;
+        Alcotest.test_case "insert/filter" `Quick insert_and_filter;
+        Alcotest.test_case "clone blocks" `Quick clone_blocks;
+      ] );
+    ( "ir.verify",
+      [
+        Alcotest.test_case "catches structural errors" `Quick verifier_catches;
+        Alcotest.test_case "check in dup rejected" `Quick
+          verifier_rejects_check_in_dup;
+      ] );
+    ("ir.pp", [ Alcotest.test_case "printer smoke" `Quick printer_smoke ]);
+  ]

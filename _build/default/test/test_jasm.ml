@@ -1,0 +1,375 @@
+(* jasm frontend: lexer, parser, semantic analysis and codegen, exercised
+   mostly end-to-end (compile + run on the VM and check results). *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let result src args =
+  let res = Helpers.exec src args in
+  Option.get res.Vm.Interp.return_value
+
+let output src args = (Helpers.exec src args).Vm.Interp.output
+
+(* wrap an int expression into a program returning it *)
+let expr_prog e =
+  Printf.sprintf
+    "class Main { static fun main(n: int): int { return %s; } }" e
+
+let expr_result ?(n = 0) e = result (expr_prog e) [ n ]
+
+(* -------- lexer -------- *)
+
+let lexer_tokens () =
+  let toks = Jasm.Lexer.tokenize "while (x <= 10) { x = x << 2; } // end" in
+  let kinds = List.map fst toks in
+  check_bool "has while" true (List.mem Jasm.Token.KW_while kinds);
+  check_bool "has <=" true (List.mem Jasm.Token.LE kinds);
+  check_bool "has <<" true (List.mem Jasm.Token.SHL kinds);
+  check_bool "comment dropped" true
+    (not (List.exists (function Jasm.Token.IDENT "end" -> true | _ -> false) kinds));
+  check_bool "ends with eof" true (List.mem Jasm.Token.EOF kinds)
+
+let lexer_comments () =
+  let toks = Jasm.Lexer.tokenize "/* a /* nested-ish */ 42" in
+  check_bool "block comment skipped" true
+    (List.exists (function Jasm.Token.INT 42, _ -> true | _ -> false)
+       (List.map (fun (t, p) -> (t, p)) toks))
+
+let lexer_errors () =
+  check_bool "bad char raises" true
+    (try
+       ignore (Jasm.Lexer.tokenize "a ? b");
+       false
+     with Jasm.Loc.Error _ -> true);
+  check_bool "unterminated comment raises" true
+    (try
+       ignore (Jasm.Lexer.tokenize "/* never closed");
+       false
+     with Jasm.Loc.Error _ -> true)
+
+let lexer_positions () =
+  let toks = Jasm.Lexer.tokenize "a\n  b" in
+  match toks with
+  | (_, p1) :: (_, p2) :: _ ->
+      check_int "line 1" 1 p1.Jasm.Loc.line;
+      check_int "line 2" 2 p2.Jasm.Loc.line;
+      check_int "col 3" 3 p2.Jasm.Loc.col
+  | _ -> Alcotest.fail "expected two tokens"
+
+(* -------- parser (via evaluation) -------- *)
+
+let precedence () =
+  check_int "mul before add" 14 (expr_result "2 + 3 * 4");
+  check_int "parens" 20 (expr_result "(2 + 3) * 4");
+  check_int "shift vs add" 65536 (expr_result "1 << 2 + 2 * 7");
+  (* shift binds looser than additive, as in Java: 1 << (2 + 14) *)
+  check_int "unary minus" (-6) (expr_result "-2 * 3");
+  check_int "remainder" 2 (expr_result "17 % 5");
+  check_int "bitops" 6 (expr_result "7 & 14");
+  check_int "xor" 5 (expr_result "6 ^ 3")
+
+let parser_errors () =
+  let bad = [ "class { }"; "class A extends { }"; "class A { fun f( { } }" ] in
+  List.iter
+    (fun src ->
+      check_bool ("rejects: " ^ src) true
+        (try
+           ignore (Jasm.Parser.parse_program src);
+           false
+         with Jasm.Loc.Error _ -> true))
+    bad
+
+let if_else_chain () =
+  let src =
+    {|
+    class Main {
+      static fun classify(x: int): int {
+        if (x < 0) { return 0 - 1; }
+        else if (x == 0) { return 0; }
+        else { return 1; }
+      }
+      static fun main(n: int): int {
+        return (Main.classify(0 - 5) * 100) + (Main.classify(0) * 10) + Main.classify(7);
+      }
+    }
+  |}
+  in
+  check_int "chain" (-99) (result src [ 0 ])
+
+let short_circuit () =
+  (* the right operand of && must not run when the left is false:
+     division by zero would trap *)
+  let src =
+    {|
+    class Main {
+      static fun main(n: int): int {
+        var x: int = 0;
+        if (n > 0 && (10 / n) > 1) { x = 1; }
+        if (n > 0 || (10 / (n + 1)) > 100) { x = x + 2; }
+        return x;
+      }
+    }
+  |}
+  in
+  check_int "n=0 avoids both divisions" 0 (result src [ 0 ]);
+  check_int "n=4 takes both" 3 (result src [ 4 ])
+
+let for_loop () =
+  let src =
+    {|
+    class Main {
+      static fun main(n: int): int {
+        var s: int = 0;
+        for (var i: int = 0; i < n; i = i + 1) { s = s + i; }
+        return s;
+      }
+    }
+  |}
+  in
+  check_int "sum" 45 (result src [ 10 ])
+
+let switch_stmt () =
+  let src =
+    {|
+    class Main {
+      static fun pick(x: int): int {
+        var r: int = 0;
+        switch (x) {
+          case 1: { r = 10; }
+          case 2: { r = 20; }
+          case 7: { r = 70; }
+          default: { r = 0 - 1; }
+        }
+        return r;
+      }
+      static fun main(n: int): int {
+        return Main.pick(1) + Main.pick(2) + Main.pick(7) + Main.pick(5);
+      }
+    }
+  |}
+  in
+  check_int "switch" 99 (result src [ 0 ])
+
+let inheritance_dispatch () =
+  let src =
+    {|
+    class Shape {
+      fun area(): int { return 0; }
+      fun describe(): int { return this.area() * 10; }
+    }
+    class Square extends Shape {
+      var side: int;
+      fun area(): int { return this.side * this.side; }
+    }
+    class Main {
+      static fun main(n: int): int {
+        var s: Square = new Square;
+        s.side = 4;
+        var sh: Shape = s;       // upcast
+        return sh.describe();    // must dispatch to Square.area
+      }
+    }
+  |}
+  in
+  check_int "virtual dispatch through base pointer" 160 (result src [ 0 ])
+
+let inherited_fields () =
+  let src =
+    {|
+    class Base { var a: int; }
+    class Derived extends Base { var b: int; }
+    class Main {
+      static fun main(n: int): int {
+        var d: Derived = new Derived;
+        d.a = 7;
+        d.b = 35;
+        return d.a + d.b;
+      }
+    }
+  |}
+  in
+  check_int "inherited field" 42 (result src [ 0 ])
+
+let static_fields () =
+  let src =
+    {|
+    class Counter {
+      static var total: int;
+      static fun bump(k: int) { Counter.total = Counter.total + k; }
+    }
+    class Main {
+      static fun main(n: int): int {
+        var i: int = 0;
+        while (i < n) { Counter.bump(i); i = i + 1; }
+        return Counter.total;
+      }
+    }
+  |}
+  in
+  check_int "static accumulation" 4950 (result src [ 100 ])
+
+let unqualified_field_access () =
+  let src =
+    {|
+    class Main {
+      var x: int;
+      static var g: int;
+      fun set(v: int) { x = v; g = g + v; }   // unqualified field names
+      static fun main(n: int): int {
+        var m: Main = new Main;
+        m.set(20);
+        m.set(2);
+        return m.x + Main.g;
+      }
+    }
+  |}
+  in
+  check_int "unqualified access" 24 (result src [ 0 ])
+
+let arrays_2d () =
+  let src =
+    {|
+    class Main {
+      static fun main(n: int): int {
+        var grid: int[][] = new int[n][];
+        var i: int = 0;
+        while (i < n) {
+          grid[i] = new int[n];
+          var j: int = 0;
+          while (j < n) { grid[i][j] = i * j; j = j + 1; }
+          i = i + 1;
+        }
+        return grid[3][4] + grid.length + grid[0].length;
+      }
+    }
+  |}
+  in
+  check_int "2-D arrays" 22 (result src [ 5 ])
+
+let null_compare () =
+  let src =
+    {|
+    class Box { var v: int; }
+    class Main {
+      static fun main(n: int): int {
+        var b: Box = null;
+        if (b == null) { b = new Box; b.v = 9; }
+        if (b != null) { return b.v; }
+        return 0 - 1;
+      }
+    }
+  |}
+  in
+  check_int "null handling" 9 (result src [ 0 ])
+
+let recursion_and_print () =
+  check_int "fib" 144 (result Helpers.fib_src [ 12 ]);
+  Alcotest.(check string) "print output" "144\n" (output Helpers.fib_src [ 12 ])
+
+let bool_ops () =
+  let src =
+    {|
+    class Main {
+      static fun main(n: int): int {
+        var t: bool = true;
+        var f: bool = !t;
+        var c: bool = (n > 2) == t;
+        if (c && !f) { return 1; }
+        return 0;
+      }
+    }
+  |}
+  in
+  check_int "bool algebra" 1 (result src [ 5 ])
+
+(* -------- sema errors -------- *)
+
+let rejects msg src =
+  Alcotest.test_case msg `Quick (fun () ->
+      check_bool msg true
+        (try
+           ignore (Jasm.Compile.compile_string src);
+           false
+         with Failure _ -> true))
+
+let sema_error_cases =
+  [
+    rejects "unknown variable" "class Main { static fun main(n: int) { x = 1; } }";
+    rejects "type mismatch assign"
+      "class Main { static fun main(n: int) { var b: bool = 3; } }";
+    rejects "int condition"
+      "class Main { static fun main(n: int) { if (n) { } } }";
+    rejects "unknown class"
+      "class Main { static fun main(n: int) { var x: Foo = null; } }";
+    rejects "duplicate class" "class A { } class A { }";
+    rejects "inheritance cycle" "class A extends B { } class B extends A { }";
+    rejects "missing return"
+      "class Main { static fun f(n: int): int { if (n > 0) { return 1; } } static fun main(n: int) { } }";
+    rejects "void returns value"
+      "class Main { static fun main(n: int) { return 3; } }";
+    rejects "this in static"
+      "class Main { var x: int; static fun main(n: int) { this.x = 1; } }";
+    rejects "arity mismatch"
+      "class Main { static fun f(a: int, b: int): int { return a; } static fun main(n: int) { var x: int = Main.f(1); } }";
+    rejects "calling instance method statically"
+      "class A { fun m(): int { return 1; } } class Main { static fun main(n: int) { var x: int = A.m(); } }";
+    rejects "override signature mismatch"
+      "class A { fun m(): int { return 1; } } class B extends A { fun m(x: int): int { return x; } }";
+    rejects "duplicate local"
+      "class Main { static fun main(n: int) { var a: int = 1; var a: int = 2; } }";
+    rejects "duplicate case"
+      "class Main { static fun main(n: int) { switch (n) { case 1: { } case 1: { } default: { } } } }";
+    rejects "expression statement must be a call"
+      "class Main { static fun main(n: int) { n + 1; } }";
+    rejects "spawn of instance method"
+      "class A { fun m() { } } class Main { static fun main(n: int) { spawn A.m(); } }";
+    rejects "array length as lvalue is not a field"
+      "class Main { static fun main(n: int) { var a: int[] = new int[3]; a.length = 4; } }";
+  ]
+
+let shadowing_ok () =
+  let src =
+    {|
+    class Main {
+      static fun main(n: int): int {
+        var a: int = 1;
+        {
+          var a: int = 2;
+          n = n + a;
+        }
+        return n + a;
+      }
+    }
+  |}
+  in
+  check_int "inner scope shadows" 13 (result src [ 10 ])
+
+let suite =
+  [
+    ( "jasm.lexer",
+      [
+        Alcotest.test_case "token kinds" `Quick lexer_tokens;
+        Alcotest.test_case "comments" `Quick lexer_comments;
+        Alcotest.test_case "errors" `Quick lexer_errors;
+        Alcotest.test_case "positions" `Quick lexer_positions;
+      ] );
+    ( "jasm.language",
+      [
+        Alcotest.test_case "operator precedence" `Quick precedence;
+        Alcotest.test_case "parser errors" `Quick parser_errors;
+        Alcotest.test_case "if-else chain" `Quick if_else_chain;
+        Alcotest.test_case "short circuit" `Quick short_circuit;
+        Alcotest.test_case "for loop" `Quick for_loop;
+        Alcotest.test_case "switch" `Quick switch_stmt;
+        Alcotest.test_case "virtual dispatch" `Quick inheritance_dispatch;
+        Alcotest.test_case "inherited fields" `Quick inherited_fields;
+        Alcotest.test_case "static fields" `Quick static_fields;
+        Alcotest.test_case "unqualified fields" `Quick unqualified_field_access;
+        Alcotest.test_case "2-D arrays" `Quick arrays_2d;
+        Alcotest.test_case "null" `Quick null_compare;
+        Alcotest.test_case "recursion + print" `Quick recursion_and_print;
+        Alcotest.test_case "bool ops" `Quick bool_ops;
+        Alcotest.test_case "scoped shadowing" `Quick shadowing_ok;
+      ] );
+    ("jasm.sema-errors", sema_error_cases);
+  ]

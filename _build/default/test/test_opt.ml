@@ -1,0 +1,374 @@
+(* Optimizer passes: local correctness checks plus semantic preservation
+   on the benchmark programs. *)
+
+module Lir = Ir.Lir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* run a source program with a custom pass pipeline applied after the
+   standard frontend *)
+let run_with_passes passes src args =
+  let classes = Helpers.compile src in
+  let funcs = Bytecode.To_lir.program_to_funcs classes in
+  let funcs = List.map (Opt.Pass.run_all passes) funcs in
+  let prog = Helpers.link classes funcs in
+  Helpers.run_main prog args
+
+let count_instrs (f : Lir.func) p =
+  let n = ref 0 in
+  Ir.Vec.iter
+    (fun (b : Lir.block) ->
+      if b.Lir.role <> Lir.Dead then
+        Array.iter (fun i -> if p i then incr n) b.Lir.instrs)
+    f.Lir.blocks;
+  !n
+
+let func_of src name =
+  let funcs = Bytecode.To_lir.program_to_funcs (Helpers.compile src) in
+  List.find
+    (fun (f : Lir.func) -> Lir.string_of_method_ref f.Lir.fname = name)
+    funcs
+
+(* -------- constant folding -------- *)
+
+let constfold_folds () =
+  let src =
+    "class Main { static fun main(n: int): int { var a: int = 3 * 4; var b: \
+     int = a + 5; return b; } }"
+  in
+  let f =
+    Opt.Pass.run_all
+      [ Opt.Constfold.pass; Opt.Copyprop.pass; Opt.Constfold.pass; Opt.Dce.pass ]
+      (func_of src "Main.main")
+  in
+  (* after folding + dce the function should contain no Binop at all *)
+  let binops = count_instrs f (function Lir.Binop _ -> true | _ -> false) in
+  check_int "all arithmetic folded" 0 binops
+
+let constfold_keeps_trap () =
+  let src =
+    "class Main { static fun main(n: int): int { var z: int = 0; return 10 / \
+     z; } }"
+  in
+  let f =
+    Opt.Pass.run_all [ Opt.Constfold.pass; Opt.Dce.pass ] (func_of src "Main.main")
+  in
+  (* the division by a known zero must NOT be folded away or removed *)
+  let divs =
+    count_instrs f (function Lir.Binop (_, Lir.Div, _, _) -> true | _ -> false)
+  in
+  check_int "trap preserved" 1 divs
+
+let constfold_branch () =
+  let src =
+    "class Main { static fun main(n: int): int { if (1 < 2) { return 7; } \
+     return 8; } }"
+  in
+  let f = Opt.Pass.run_all [ Opt.Constfold.pass ] (func_of src "Main.main") in
+  (* the constant condition becomes a goto; block 8 becomes unreachable *)
+  let has_if =
+    Ir.Vec.exists
+      (fun (b : Lir.block) ->
+        b.Lir.role <> Lir.Dead
+        && match b.Lir.term with Lir.If _ -> true | _ -> false)
+      f.Lir.blocks
+  in
+  check_bool "constant branch eliminated" false has_if
+
+(* -------- DCE -------- *)
+
+let dce_removes_dead () =
+  let src =
+    "class Main { static fun main(n: int): int { var dead: int = n * 977; \
+     var live: int = n + 1; return live; } }"
+  in
+  let before = func_of src "Main.main" in
+  let muls =
+    count_instrs before (function
+      | Lir.Binop (_, Lir.Mul, _, _) -> true
+      | _ -> false)
+  in
+  check_int "dead multiply present before" 1 muls;
+  let f = Opt.Pass.run_all [ Opt.Copyprop.pass; Opt.Dce.pass ] before in
+  let muls2 =
+    count_instrs f (function
+      | Lir.Binop (_, Lir.Mul, _, _) -> true
+      | _ -> false)
+  in
+  check_int "dead multiply removed" 0 muls2
+
+let dce_keeps_effects () =
+  let src =
+    "class B { var v: int; } class Main { static fun main(n: int): int { var \
+     b: B = new B; b.v = 5; return 0; } }"
+  in
+  let f =
+    Opt.Pass.run_all [ Opt.Copyprop.pass; Opt.Dce.pass ] (func_of src "Main.main")
+  in
+  check_int "store kept" 1
+    (count_instrs f (function Lir.Put_field _ -> true | _ -> false));
+  check_int "allocation kept" 1
+    (count_instrs f (function Lir.New_object _ -> true | _ -> false))
+
+(* -------- semantic preservation over the whole suite -------- *)
+
+let passes_preserve (b : Workloads.Suite.benchmark) () =
+  let classes = Workloads.Suite.compile b in
+  let raw = Bytecode.To_lir.program_to_funcs classes in
+  let baseline =
+    Vm.Interp.run (Helpers.link classes raw) ~entry:Workloads.Suite.entry
+      ~args:[ 1 ] Vm.Interp.null_hooks
+  in
+  let optimized =
+    List.map
+      (Opt.Pass.run_all (Opt.Pipeline.front_passes @ Opt.Pipeline.back_passes))
+      raw
+  in
+  let res =
+    Vm.Interp.run
+      (Helpers.link classes optimized)
+      ~entry:Workloads.Suite.entry ~args:[ 1 ] Vm.Interp.null_hooks
+  in
+  Alcotest.(check string) "output" baseline.Vm.Interp.output res.Vm.Interp.output;
+  check_bool "optimizer did not slow the program down" true
+    (res.Vm.Interp.instructions <= baseline.Vm.Interp.instructions)
+
+(* -------- inlining -------- *)
+
+let inline_correct () =
+  let src =
+    {|
+    class Main {
+      static fun add3(x: int): int { return x + 3; }
+      static fun main(n: int): int { return Main.add3(n) * Main.add3(n + 1); }
+    }
+  |}
+  in
+  let classes = Helpers.compile src in
+  let funcs = Bytecode.To_lir.program_to_funcs classes in
+  let inlined = Opt.Inline.run_heuristic funcs in
+  let main_f =
+    List.find
+      (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "main")
+      inlined
+  in
+  check_int "no calls remain" 0
+    (count_instrs main_f (function Lir.Call _ -> true | _ -> false));
+  let res = Helpers.run_main (Helpers.link classes inlined) [ 5 ] in
+  check_int "value preserved" 72 (Option.get res.Vm.Interp.return_value)
+
+let inline_respects_recursion () =
+  let funcs = Bytecode.To_lir.program_to_funcs (Helpers.compile Helpers.fib_src) in
+  let inlined = Opt.Inline.run_heuristic funcs in
+  let fib =
+    List.find (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "fib") inlined
+  in
+  check_bool "recursive callee untouched inside itself" true
+    (count_instrs fib (function Lir.Call _ -> true | _ -> false) >= 2)
+
+(* -------- regalloc & scheduling -------- *)
+
+let regalloc_sound () =
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      let funcs = Bytecode.To_lir.program_to_funcs (Workloads.Suite.compile b) in
+      List.iter
+        (fun f ->
+          let a = Opt.Regalloc.allocate f in
+          check_bool
+            (Printf.sprintf "no interference in %s"
+               (Lir.string_of_method_ref f.Lir.fname))
+            true
+            (Opt.Regalloc.interference_free f a))
+        funcs)
+    [ Workloads.Suite.find "jess"; Workloads.Suite.find "javac" ]
+
+let regalloc_spills_when_tight () =
+  let f =
+    func_of
+      {|class Main { static fun main(n: int): int {
+        var a: int = n + 1; var b: int = n + 2; var c: int = n + 3;
+        var d: int = n + 4; var e: int = n + 5; var f: int = n + 6;
+        return ((a * b) + (c * d)) + ((e * f) + (a * c)) + (b * d) + (e * a); } }|}
+      "Main.main"
+  in
+  let a = Opt.Regalloc.allocate ~n_phys:3 f in
+  check_bool "spills happen with 3 registers" true (a.Opt.Regalloc.n_spills > 0);
+  check_bool "still interference free" true (Opt.Regalloc.interference_free f a)
+
+let schedule_preserves () =
+  let src = Helpers.loop_src in
+  let plain = Helpers.exec src [ 321 ] in
+  let scheduled = run_with_passes [ Opt.Schedule.pass ] src [ 321 ] in
+  Alcotest.(check string)
+    "scheduling preserves output" plain.Vm.Interp.output
+    scheduled.Vm.Interp.output
+
+(* -------- yieldpoints -------- *)
+
+let yieldpoints_placed () =
+  let f = func_of Helpers.loop_src "Main.main" in
+  let g = Opt.Yieldpoints.run f in
+  let entry_yps =
+    count_instrs g (function Lir.Yieldpoint Lir.Yp_entry -> true | _ -> false)
+  in
+  let backedge_yps =
+    count_instrs g (function
+      | Lir.Yieldpoint Lir.Yp_backedge -> true
+      | _ -> false)
+  in
+  check_int "one entry yieldpoint" 1 entry_yps;
+  check_int "one per backedge" (List.length (Ir.Loops.retreating_edges f))
+    backedge_yps;
+  let stripped = Opt.Yieldpoints.strip g in
+  check_int "strip removes all" 0
+    (count_instrs stripped (function Lir.Yieldpoint _ -> true | _ -> false))
+
+
+(* -------- devirtualization -------- *)
+
+let poly_src =
+  {|
+  class A { fun f(x: int): int { return x + 1; } }
+  class B extends A { fun f(x: int): int { return x * 2; } }
+  class Main {
+    static fun main(n: int): int {
+      var a: A = new A;
+      var b: A = new B;
+      var acc: int = 0;
+      var i: int = 0;
+      while (i < n) {
+        var o: A = a;
+        if ((i & 3) == 0) { o = b; }
+        acc = (acc + o.f(i)) & 65535;
+        i = i + 1;
+      }
+      print(acc);
+      return acc;
+    }
+  }
+|}
+
+let find_virtual_site (f : Lir.func) =
+  let at = ref None in
+  for l = 0 to Lir.num_blocks f - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead then
+      Array.iteri
+        (fun i instr ->
+          match instr with
+          | Lir.Call { kind = Lir.Virtual; _ } -> at := Some (l, i)
+          | _ -> ())
+        b.Lir.instrs
+  done;
+  Option.get !at
+
+let devirt_preserves () =
+  let classes = Helpers.compile poly_src in
+  let funcs = Bytecode.To_lir.program_to_funcs classes in
+  let baseline = Helpers.run_main (Helpers.link classes funcs) [ 200 ] in
+  let main_f =
+    List.find (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "main") funcs
+  in
+  let callee =
+    List.find
+      (fun (f : Lir.func) ->
+        Lir.string_of_method_ref f.Lir.fname = "A.f")
+      funcs
+  in
+  (* predict the MAJORITY class (A, 75%) and inline its implementation *)
+  let main' =
+    Opt.Devirt.guarded_inline main_f ~at:(find_virtual_site main_f)
+      ~predicted:"A" ~callee
+  in
+  let funcs' =
+    List.map
+      (fun (f : Lir.func) -> if f.Lir.fname.Lir.mname = "main" then main' else f)
+      funcs
+  in
+  let res = Helpers.run_main (Helpers.link classes funcs') [ 200 ] in
+  Alcotest.(check string)
+    "semantics preserved (B receivers take the slow path)"
+    baseline.Vm.Interp.output res.Vm.Interp.output;
+  check_bool "instance test executed" true
+    (res.Vm.Interp.instructions > 0)
+
+let devirt_guard_only () =
+  let classes = Helpers.compile poly_src in
+  let funcs = Bytecode.To_lir.program_to_funcs classes in
+  let baseline = Helpers.run_main (Helpers.link classes funcs) [ 64 ] in
+  let main_f =
+    List.find (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "main") funcs
+  in
+  (* predicting the WRONG dominant class must still be correct: every call
+     takes the slow virtual path *)
+  let main' =
+    Opt.Devirt.guard_call main_f ~at:(find_virtual_site main_f) ~predicted:"B"
+      ~impl:"B" ()
+  in
+  let funcs' =
+    List.map
+      (fun (f : Lir.func) -> if f.Lir.fname.Lir.mname = "main" then main' else f)
+      funcs
+  in
+  let res = Helpers.run_main (Helpers.link classes funcs') [ 64 ] in
+  Alcotest.(check string)
+    "guard with minority prediction still correct" baseline.Vm.Interp.output
+    res.Vm.Interp.output
+
+let devirt_rejects_static () =
+  let funcs = Bytecode.To_lir.program_to_funcs (Helpers.compile Helpers.fib_src) in
+  let main_f =
+    List.find (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "main") funcs
+  in
+  let at = ref None in
+  for l = 0 to Lir.num_blocks main_f - 1 do
+    let b = Lir.block main_f l in
+    Array.iteri
+      (fun i instr ->
+        match instr with Lir.Call _ -> at := Some (l, i) | _ -> ())
+      b.Lir.instrs
+  done;
+  check_bool "static call rejected" true
+    (try
+       ignore
+         (Opt.Devirt.guard_call main_f ~at:(Option.get !at) ~predicted:"Main" ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    ( "opt.constfold",
+      [
+        Alcotest.test_case "folds arithmetic" `Quick constfold_folds;
+        Alcotest.test_case "keeps trapping division" `Quick constfold_keeps_trap;
+        Alcotest.test_case "folds constant branches" `Quick constfold_branch;
+      ] );
+    ( "opt.dce",
+      [
+        Alcotest.test_case "removes dead code" `Quick dce_removes_dead;
+        Alcotest.test_case "keeps side effects" `Quick dce_keeps_effects;
+      ] );
+    ( "opt.preservation",
+      List.map
+        (fun (b : Workloads.Suite.benchmark) ->
+          Alcotest.test_case b.Workloads.Suite.bname `Quick (passes_preserve b))
+        Workloads.Suite.all );
+    ( "opt.inline",
+      [
+        Alcotest.test_case "inlines and preserves" `Quick inline_correct;
+        Alcotest.test_case "recursion untouched" `Quick inline_respects_recursion;
+      ] );
+    ( "opt.backend",
+      [
+        Alcotest.test_case "regalloc sound" `Quick regalloc_sound;
+        Alcotest.test_case "devirt preserves semantics" `Quick devirt_preserves;
+        Alcotest.test_case "devirt guard-only correct" `Quick devirt_guard_only;
+        Alcotest.test_case "devirt rejects static calls" `Quick
+          devirt_rejects_static;
+        Alcotest.test_case "regalloc spills" `Quick regalloc_spills_when_tight;
+        Alcotest.test_case "schedule preserves" `Quick schedule_preserves;
+        Alcotest.test_case "yieldpoints placed" `Quick yieldpoints_placed;
+      ] );
+  ]

@@ -1,0 +1,351 @@
+(* Ball-Larus path profiling, receiver-class profiling, and the
+   convergence controller. *)
+
+module Lir = Ir.Lir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* -------- numbering on known shapes -------- *)
+
+(* diamond with two return-terminated arms joined:
+   0 -> 1,2 ; 1 -> 3 ; 2 -> 3 ; 3 ret: exactly 2 paths from entry *)
+let diamond_paths () =
+  let b = Ir.Build.create ~name:{ Lir.mclass = "T"; mname = "d" } ~n_params:1 () in
+  let l0 = Ir.Build.new_block b in
+  let l1 = Ir.Build.new_block b in
+  let l2 = Ir.Build.new_block b in
+  let l3 = Ir.Build.new_block b in
+  Ir.Build.set_term b l0
+    (Lir.If { cond = Lir.Reg 0; if_true = l1; if_false = l2 });
+  Ir.Build.set_term b l1 (Lir.Goto l3);
+  Ir.Build.set_term b l2 (Lir.Goto l3);
+  Ir.Build.set_term b l3 (Lir.Return None);
+  let f = Ir.Build.finish b ~entry:l0 in
+  let bl = Profiles.Ball_larus.number f in
+  check_int "two paths" 2 (Profiles.Ball_larus.num_paths_from bl l0);
+  (* the two paths decode to the two distinct arms *)
+  let p0 = Profiles.Ball_larus.decode bl ~start:l0 0 in
+  let p1 = Profiles.Ball_larus.decode bl ~start:l0 1 in
+  check_bool "distinct paths" true (p0 <> p1);
+  List.iter
+    (fun p ->
+      check_bool "starts at entry" true (List.hd p = l0);
+      check_bool "ends at exit" true (List.nth p (List.length p - 1) = l3))
+    [ p0; p1 ];
+  check_bool "out of range rejected" true
+    (try
+       ignore (Profiles.Ball_larus.decode bl ~start:l0 2);
+       false
+     with Invalid_argument _ -> true)
+
+(* loop: 0 -> 1 ; 1 -> 2,3 ; 2 -> 1 (backedge) ; 3 ret.
+   From the header (a start point), two acyclic paths: take the backedge
+   (finish at 2) or exit through 3. *)
+let loop_paths () =
+  let b = Ir.Build.create ~name:{ Lir.mclass = "T"; mname = "l" } ~n_params:1 () in
+  let l0 = Ir.Build.new_block b in
+  let l1 = Ir.Build.new_block b in
+  let l2 = Ir.Build.new_block b in
+  let l3 = Ir.Build.new_block b in
+  Ir.Build.set_term b l0 (Lir.Goto l1);
+  Ir.Build.set_term b l1
+    (Lir.If { cond = Lir.Reg 0; if_true = l2; if_false = l3 });
+  Ir.Build.set_term b l2 (Lir.Goto l1);
+  Ir.Build.set_term b l3 (Lir.Return None);
+  let f = Ir.Build.finish b ~entry:l0 in
+  let bl = Profiles.Ball_larus.number f in
+  check_int "paths from header" 2 (Profiles.Ball_larus.num_paths_from bl l1);
+  Alcotest.(check (list int))
+    "start points = entry + header" [ l0; l1 ]
+    (List.sort compare (Profiles.Ball_larus.start_points bl))
+
+(* -------- end-to-end path profile -------- *)
+
+let branchy_src =
+  {|
+  class Main {
+    static fun main(n: int): int {
+      var evens: int = 0;
+      var odds: int = 0;
+      var i: int = 0;
+      while (i < n) {
+        if ((i & 1) == 0) { evens = evens + 1; } else { odds = odds + 1; }
+        i = i + 1;
+      }
+      print(evens);
+      print(odds);
+      return evens - odds;
+    }
+  }
+|}
+
+let exhaustive_paths () =
+  let n = 40 in
+  let _, collector =
+    Helpers.exec_transformed
+      ~transform:(Core.Transform.exhaustive Profiles.Specs.path_profile)
+      ~trigger:Core.Sampler.Never branchy_src [ n ]
+  in
+  let paths = collector.Profiles.Collector.paths in
+  (* each loop iteration flushes one path at the backedge, plus the final
+     path through the exit: n + 1 + (header->exit check path) *)
+  check_bool
+    (Printf.sprintf "total paths %d >= iterations" (Profiles.Path_profile.total paths))
+    true
+    (Profiles.Path_profile.total paths >= n);
+  (* the even and odd iteration paths are distinct and roughly balanced *)
+  let by_count = Profiles.Path_profile.to_alist paths in
+  match by_count with
+  | ((_, _, _), c1) :: ((_, _, _), c2) :: _ ->
+      check_bool "two hot paths" true (c1 = n / 2 && c2 = n / 2)
+  | _ -> Alcotest.fail "expected at least two paths"
+
+let decoded_paths_are_real () =
+  (* every recorded path must decode to a valid block sequence of the
+     function it was recorded in *)
+  let _, collector =
+    Helpers.exec_transformed
+      ~transform:(Core.Transform.exhaustive Profiles.Specs.path_profile)
+      ~trigger:Core.Sampler.Never branchy_src [ 17 ]
+  in
+  let classes, funcs = Helpers.build branchy_src in
+  ignore classes;
+  let numberings =
+    List.map
+      (fun (f : Lir.func) ->
+        (Lir.string_of_method_ref f.Lir.fname, (f, Profiles.Ball_larus.number f)))
+      funcs
+  in
+  List.iter
+    (fun ((meth, start, path), _) ->
+      let f, bl = List.assoc meth numberings in
+      let blocks = Profiles.Ball_larus.decode bl ~start path in
+      check_bool "path starts at its start point" true (List.hd blocks = start);
+      (* consecutive blocks are connected in the CFG *)
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            List.mem b (Ir.Cfg.succs f a) && ok rest
+        | _ -> true
+      in
+      check_bool "decoded path follows CFG edges" true (ok blocks))
+    (Profiles.Path_profile.to_alist collector.Profiles.Collector.paths)
+
+let sampled_paths_subset () =
+  (* sampled path profile only contains paths the exhaustive one has *)
+  let run trigger transform =
+    let _, c =
+      Helpers.exec_transformed ~transform ~trigger branchy_src [ 60 ]
+    in
+    Profiles.Path_profile.to_alist c.Profiles.Collector.paths
+  in
+  let exhaustive =
+    run Core.Sampler.Never
+      (Core.Transform.exhaustive Profiles.Specs.path_profile)
+  in
+  let sampled =
+    run
+      (Core.Sampler.Counter { interval = 9; jitter = 0 })
+      (Core.Transform.full_dup Profiles.Specs.path_profile)
+  in
+  check_bool "some paths sampled" true (List.length sampled > 0);
+  List.iter
+    (fun (key, c) ->
+      match List.assoc_opt key exhaustive with
+      | Some ec ->
+          check_bool "sampled count <= exhaustive count" true (c <= ec)
+      | None -> Alcotest.failf "sampled a nonexistent path")
+    sampled
+
+(* -------- receiver profile -------- *)
+
+let polymorphic_src =
+  {|
+  class Shape { fun area(): int { return 0; } }
+  class Square extends Shape {
+    var s: int;
+    fun area(): int { return this.s * this.s; }
+  }
+  class Circle extends Shape {
+    var r: int;
+    fun area(): int { return (this.r * this.r * 355) / 113; }
+  }
+  class Main {
+    static fun main(n: int): int {
+      var sq: Square = new Square;
+      sq.s = 3;
+      var ci: Circle = new Circle;
+      ci.r = 2;
+      var acc: int = 0;
+      var i: int = 0;
+      while (i < n) {
+        var sh: Shape = null;
+        if ((i % 10) < 9) { sh = sq; } else { sh = ci; }
+        acc = (acc + sh.area()) & 65535;   // 90% Square receiver
+        acc = (acc + sq.area()) & 65535;   // always Square
+        i = i + 1;
+      }
+      print(acc);
+      return acc;
+    }
+  }
+|}
+
+let receiver_profiling () =
+  let _, collector =
+    Helpers.exec_transformed
+      ~transform:(Core.Transform.exhaustive Profiles.Specs.receiver_profile)
+      ~trigger:Core.Sampler.Never polymorphic_src [ 100 ]
+  in
+  let r = collector.Profiles.Collector.receivers in
+  check_bool "sites found" true (Profiles.Receiver_profile.n_sites r >= 2);
+  (* exactly one of the area() sites is monomorphic *)
+  let mono = Profiles.Receiver_profile.monomorphic_sites r in
+  check_int "one monomorphic area site" 1
+    (List.length
+       (List.filter (fun (m, _, _) -> m = "Main.main") mono));
+  (* the polymorphic site is dominated by Square at ~90% *)
+  let poly =
+    List.filter
+      (fun (m, s) ->
+        m = "Main.main" && not (List.exists (fun (m', s', _) -> m' = m && s' = s) mono))
+      (Profiles.Receiver_profile.sites r)
+  in
+  match poly with
+  | [ (m, s) ] -> (
+      match Profiles.Receiver_profile.dominant r ~meth:m ~site:s with
+      | Some (cls, frac) ->
+          Alcotest.(check string) "dominant class" "Square" cls;
+          check_bool (Printf.sprintf "fraction %.2f ~ 0.9" frac) true
+            (frac > 0.85 && frac < 0.95)
+      | None -> Alcotest.fail "expected a dominant class")
+  | _ -> Alcotest.fail "expected exactly one polymorphic site in main"
+
+(* -------- convergence controller -------- *)
+
+let convergence_disables () =
+  let classes, funcs = Helpers.build Helpers.loop_src in
+  let funcs' =
+    List.map
+      (fun f ->
+        (Core.Transform.full_dup Core.Spec.call_edge f).Core.Transform.func)
+      funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler =
+    Core.Sampler.create (Core.Sampler.Counter { interval = 10; jitter = 0 })
+  in
+  let ctl =
+    Profiles.Convergence.create ~window:100 ~threshold:95.0 ~patience:2
+      ~snapshot:(fun () ->
+        Profiles.Call_edge.to_keyed collector.Profiles.Collector.call_edges)
+      sampler
+  in
+  let hooks =
+    Profiles.Convergence.wrap ctl (Profiles.Collector.hooks collector sampler)
+  in
+  let res =
+    Vm.Interp.run
+      (Vm.Program.link classes ~funcs:funcs')
+      ~entry:{ Lir.mclass = "Main"; mname = "main" }
+      ~args:[ 30_000 ] hooks
+  in
+  check_bool "converged" true (Profiles.Convergence.converged ctl);
+  (* sampling stopped well before the end of the run *)
+  check_bool
+    (Printf.sprintf "samples capped (%d)" res.Vm.Interp.counters.Vm.Interp.samples)
+    true
+    (res.Vm.Interp.counters.Vm.Interp.samples < 1_000);
+  check_bool "saw a few windows" true (Profiles.Convergence.windows_seen ctl >= 3)
+
+let convergence_not_premature () =
+  (* a snapshot that never stabilizes must never disable the sampler *)
+  let sampler = Core.Sampler.create (Core.Sampler.Counter { interval = 1; jitter = 0 }) in
+  let tick = ref 0 in
+  let ctl =
+    Profiles.Convergence.create ~window:10 ~threshold:99.0 ~patience:2
+      ~snapshot:(fun () ->
+        incr tick;
+        [ (Printf.sprintf "k%d" !tick, 1) ])
+      sampler
+  in
+  let wrapped =
+    Profiles.Convergence.wrap ctl
+      {
+        Vm.Interp.null_hooks with
+        Vm.Interp.fire = (fun tid -> Core.Sampler.fire sampler tid);
+      }
+  in
+  for _ = 1 to 500 do
+    ignore (wrapped.Vm.Interp.fire 0)
+  done;
+  check_bool "saw several windows" true (Profiles.Convergence.windows_seen ctl > 5);
+  check_bool "never converges on drifting profile" false
+    (Profiles.Convergence.converged ctl)
+
+
+(* -------- calling-context tree -------- *)
+
+let cct_unit () =
+  let t = Profiles.Cct.create () in
+  Profiles.Cct.record t [ ("main", -1); ("f", 3); ("g", 7) ];
+  Profiles.Cct.record t [ ("main", -1); ("f", 3); ("g", 7) ];
+  Profiles.Cct.record t [ ("main", -1); ("f", 3) ];
+  Profiles.Cct.record t [ ("main", -1); ("h", 9); ("g", 2) ];
+  check_int "walks" 4 (Profiles.Cct.total_walks t);
+  check_int "nodes" 5 (Profiles.Cct.n_nodes t);
+  check_int "depth" 3 (Profiles.Cct.max_depth t);
+  (match Profiles.Cct.hot_contexts ~n:1 t with
+  | [ (path, 2) ] ->
+      Alcotest.(check (list string)) "hot path" [ "main"; "f"; "g" ] path
+  | _ -> Alcotest.fail "expected main>f>g with 2 walks");
+  (* the same methods through different call sites are distinct contexts *)
+  Profiles.Cct.record t [ ("main", -1); ("f", 4) ];
+  check_int "site-sensitive" 6 (Profiles.Cct.n_nodes t)
+
+let cct_sampled () =
+  (* fib gives a deep recursive context tree *)
+  let _, collector =
+    Helpers.exec_transformed
+      ~transform:(Core.Transform.full_dup Profiles.Specs.cct_profile)
+      ~trigger:(Core.Sampler.Counter { interval = 10; jitter = 0 })
+      Helpers.fib_src [ 15 ]
+  in
+  let cct = collector.Profiles.Collector.cct in
+  check_bool "walks recorded" true (Profiles.Cct.total_walks cct > 10);
+  check_bool "recursion visible (depth > 4)" true
+    (Profiles.Cct.max_depth cct > 4);
+  (* every hot context is rooted at the program entry *)
+  List.iter
+    (fun (path, _) ->
+      Alcotest.(check string) "rooted at main" "Main.main" (List.hd path))
+    (Profiles.Cct.hot_contexts ~n:5 cct)
+
+let suite =
+  [
+    ( "paths.numbering",
+      [
+        Alcotest.test_case "diamond" `Quick diamond_paths;
+        Alcotest.test_case "loop starts" `Quick loop_paths;
+      ] );
+    ( "paths.profile",
+      [
+        Alcotest.test_case "exhaustive histogram" `Quick exhaustive_paths;
+        Alcotest.test_case "decoded paths are real" `Quick decoded_paths_are_real;
+        Alcotest.test_case "sampled subset" `Quick sampled_paths_subset;
+      ] );
+    ( "receivers",
+      [ Alcotest.test_case "polymorphic site profile" `Quick receiver_profiling ] );
+    ( "cct",
+      [
+        Alcotest.test_case "tree operations" `Quick cct_unit;
+        Alcotest.test_case "sampled stack walks" `Quick cct_sampled;
+      ] );
+    ( "convergence",
+      [
+        Alcotest.test_case "disables on stable profile" `Quick
+          convergence_disables;
+        Alcotest.test_case "keeps sampling while drifting" `Quick
+          convergence_not_premature;
+      ] );
+  ]

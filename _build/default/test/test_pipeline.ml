@@ -1,0 +1,95 @@
+(* End-to-end smoke tests: jasm source -> bytecode -> LIR -> optimizer ->
+   (transform) -> VM, checking output and profile sanity. *)
+
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let baseline_fib () =
+  let res = Helpers.exec Helpers.fib_src [ 12 ] in
+  check_int "fib 12" 144 (Option.get res.Vm.Interp.return_value);
+  check_string "printed" "144\n" res.Vm.Interp.output
+
+let baseline_loop () =
+  let res = Helpers.exec Helpers.loop_src [ 100 ] in
+  check_int "sum 0..99" 4950 (Option.get res.Vm.Interp.return_value)
+
+let spec = Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
+
+let same_output transform () =
+  let base = Helpers.exec Helpers.loop_src [ 200 ] in
+  let res, _ =
+    Helpers.exec_transformed ~transform
+      ~trigger:(Core.Sampler.Counter { interval = 10; jitter = 0 })
+      Helpers.loop_src [ 200 ]
+  in
+  check_string "same output" base.Vm.Interp.output res.Vm.Interp.output;
+  check_int "same result"
+    (Option.get base.Vm.Interp.return_value)
+    (Option.get res.Vm.Interp.return_value)
+
+let perfect_profile_counts () =
+  (* interval 1: all execution in duplicated code; the call-edge profile is
+     exhaustive, so Main.main -> Counter.bump must be counted exactly n
+     times *)
+  let n = 50 in
+  let _, collector =
+    Helpers.exec_transformed ~transform:(Core.Transform.full_dup spec)
+      ~trigger:Core.Sampler.Always Helpers.loop_src [ n ]
+  in
+  let edges = Profiles.Call_edge.to_alist collector.Profiles.Collector.call_edges in
+  let bump_count =
+    List.fold_left
+      (fun acc ((e : Profiles.Call_edge.edge), c) ->
+        if e.Profiles.Call_edge.callee = "Counter.bump" then acc + c else acc)
+      0 edges
+  in
+  check_int "bump edges" n bump_count;
+  (* field accesses: bump does one read + one write of Counter.total per
+     iteration, and main reads it twice (print and return) *)
+  check_int "field accesses"
+    ((2 * n) + 2)
+    (Profiles.Field_access.total collector.Profiles.Collector.fields)
+
+let framework_overhead_small () =
+  (* with the trigger disabled, Full-Duplication should cost only the
+     checks: a few percent, never tens of percent *)
+  let base = Helpers.exec Helpers.loop_src [ 2000 ] in
+  let res, _ =
+    Helpers.exec_transformed ~transform:(Core.Transform.full_dup spec)
+      ~trigger:Core.Sampler.Never Helpers.loop_src [ 2000 ]
+  in
+  let overhead =
+    float_of_int (res.Vm.Interp.cycles - base.Vm.Interp.cycles)
+    /. float_of_int base.Vm.Interp.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %.3f in (0, 0.30)" overhead)
+    true
+    (overhead > 0.0 && overhead < 0.30);
+  check_int "no samples" 0 res.Vm.Interp.counters.Vm.Interp.samples;
+  Alcotest.(check bool)
+    "checks executed" true
+    (res.Vm.Interp.counters.Vm.Interp.checks > 0)
+
+let suite =
+  [
+    ( "pipeline",
+      [
+        Alcotest.test_case "baseline fib" `Quick baseline_fib;
+        Alcotest.test_case "baseline loop" `Quick baseline_loop;
+        Alcotest.test_case "full-dup preserves semantics" `Quick
+          (same_output (Core.Transform.full_dup spec));
+        Alcotest.test_case "no-dup preserves semantics" `Quick
+          (same_output (Core.Transform.no_dup spec));
+        Alcotest.test_case "partial-dup preserves semantics" `Quick
+          (same_output (Core.Transform.partial_dup spec));
+        Alcotest.test_case "yieldpoint-opt preserves semantics" `Quick
+          (same_output (Core.Transform.full_dup_yieldpoint_opt spec));
+        Alcotest.test_case "exhaustive preserves semantics" `Quick
+          (same_output (Core.Transform.exhaustive spec));
+        Alcotest.test_case "perfect profile is exhaustive" `Quick
+          perfect_profile_counts;
+        Alcotest.test_case "framework overhead is small" `Quick
+          framework_overhead_small;
+      ] );
+  ]

@@ -1,0 +1,180 @@
+(* Profile data structures and the overlap-percentage accuracy metric. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let close ?(eps = 1e-6) msg expected got =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: |%f - %f| < %f" msg expected got eps)
+    true
+    (Float.abs (expected -. got) < eps)
+
+(* -------- overlap metric -------- *)
+
+let overlap_identical () =
+  let p = [ ("a", 10); ("b", 30); ("c", 60) ] in
+  close "identical profiles" 100.0 (Profiles.Overlap.percent p p);
+  (* scaling either profile changes nothing: percentages are normalized *)
+  let p2 = List.map (fun (k, c) -> (k, c * 7)) p in
+  close "scaled profile" 100.0 (Profiles.Overlap.percent p p2)
+
+let overlap_disjoint () =
+  close "disjoint" 0.0
+    (Profiles.Overlap.percent [ ("a", 5) ] [ ("b", 5) ])
+
+let overlap_partial () =
+  (* perfect: a=50%, b=50%; sampled: a=100% -> overlap = min(50,100) = 50 *)
+  close "half" 50.0
+    (Profiles.Overlap.percent [ ("a", 1); ("b", 1) ] [ ("a", 42) ])
+
+let overlap_empty () =
+  close "both empty" 100.0 (Profiles.Overlap.percent [] []);
+  close "one empty" 0.0 (Profiles.Overlap.percent [ ("a", 1) ] [])
+
+let overlap_is_symmetric () =
+  let p1 = [ ("a", 3); ("b", 9); ("c", 2) ] in
+  let p2 = [ ("b", 1); ("c", 8); ("d", 4) ] in
+  close "symmetric"
+    (Profiles.Overlap.percent p1 p2)
+    (Profiles.Overlap.percent p2 p1)
+
+let overlap_duplicate_keys () =
+  (* duplicated keys accumulate before comparison *)
+  close "dup keys" 100.0
+    (Profiles.Overlap.percent
+       [ ("a", 1); ("a", 1) ]
+       [ ("a", 5) ])
+
+let sample_percentages () =
+  let pcts = Profiles.Overlap.sample_percentages [ ("a", 1); ("b", 3) ] in
+  close "b is 75%" 75.0 (List.assoc "b" pcts);
+  check_bool "sorted descending" true (fst (List.hd pcts) = "b")
+
+(* -------- call-edge profile -------- *)
+
+let call_edges () =
+  let t = Profiles.Call_edge.create () in
+  Profiles.Call_edge.record t ~caller:"A.m" ~site:3 ~callee:"B.n";
+  Profiles.Call_edge.record t ~caller:"A.m" ~site:3 ~callee:"B.n";
+  Profiles.Call_edge.record t ~caller:"A.m" ~site:9 ~callee:"B.n";
+  check_int "distinct edges" 2 (Profiles.Call_edge.distinct_edges t);
+  check_int "total" 3 (Profiles.Call_edge.total t);
+  check_int "per-edge count" 2
+    (Profiles.Call_edge.count t
+       { Profiles.Call_edge.caller = "A.m"; site = 3; callee = "B.n" });
+  match Profiles.Call_edge.to_alist t with
+  | (top, 2) :: _ ->
+      Alcotest.(check string)
+        "edge name" "A.m@3->B.n"
+        (Profiles.Call_edge.edge_name top)
+  | _ -> Alcotest.fail "expected the hot edge first"
+
+(* -------- field profile -------- *)
+
+let field_profile () =
+  let t = Profiles.Field_access.create () in
+  Profiles.Field_access.record t ~field:"C.x" ~is_write:false;
+  Profiles.Field_access.record t ~field:"C.x" ~is_write:true;
+  Profiles.Field_access.record t ~field:"C.y" ~is_write:false;
+  check_int "total" 3 (Profiles.Field_access.total t);
+  check_int "reads" 2 (Profiles.Field_access.reads t);
+  check_int "writes" 1 (Profiles.Field_access.writes t);
+  check_int "per field" 2 (Profiles.Field_access.count t "C.x");
+  check_int "distinct" 2 (Profiles.Field_access.distinct_fields t)
+
+(* -------- edge profile -------- *)
+
+let edge_profile () =
+  let t = Profiles.Edge_profile.create () in
+  Profiles.Edge_profile.record t ~meth:"A.m" ~src:0 ~dst:1;
+  Profiles.Edge_profile.record t ~meth:"A.m" ~src:0 ~dst:1;
+  Profiles.Edge_profile.record t ~meth:"A.m" ~src:1 ~dst:0;
+  check_int "count" 2 (Profiles.Edge_profile.count t ~meth:"A.m" ~src:0 ~dst:1);
+  check_int "total" 3 (Profiles.Edge_profile.total t)
+
+(* -------- value profile -------- *)
+
+let value_profile_basic () =
+  let t = Profiles.Value_profile.create () in
+  for _ = 1 to 90 do
+    Profiles.Value_profile.record t ~meth:"A.m" ~site:1 ~value:42
+  done;
+  for _ = 1 to 10 do
+    Profiles.Value_profile.record t ~meth:"A.m" ~site:1 ~value:7
+  done;
+  (match Profiles.Value_profile.top_value t ~meth:"A.m" ~site:1 with
+  | Some (v, _) -> check_int "top value" 42 v
+  | None -> Alcotest.fail "expected a top value");
+  match Profiles.Value_profile.invariance t ~meth:"A.m" ~site:1 with
+  | Some inv -> close ~eps:0.01 "90% invariant" 0.9 inv
+  | None -> Alcotest.fail "expected invariance"
+
+let value_profile_eviction () =
+  (* hammer one value, then stream many distinct ones: the heavy hitter
+     must survive the halving eviction *)
+  let t = Profiles.Value_profile.create () in
+  for _ = 1 to 1000 do
+    Profiles.Value_profile.record t ~meth:"A.m" ~site:0 ~value:5
+  done;
+  for v = 100 to 200 do
+    Profiles.Value_profile.record t ~meth:"A.m" ~site:0 ~value:v
+  done;
+  match Profiles.Value_profile.top_value t ~meth:"A.m" ~site:0 with
+  | Some (v, _) -> check_int "heavy hitter survives" 5 v
+  | None -> Alcotest.fail "expected a top value"
+
+(* -------- collector dispatch -------- *)
+
+let collector_unknown_hook () =
+  let t = Profiles.Collector.create () in
+  let hooks = Profiles.Collector.null_sampler_hooks t in
+  let ctx =
+    {
+      Vm.Interp.cur = { Ir.Lir.mclass = "A"; mname = "m" };
+      caller = None;
+      eval = (fun _ -> 0);
+      frame_id = 0;
+      class_of = (fun _ -> None);
+      stack = (fun () -> []);
+    }
+  in
+  check_bool "unknown hook raises" true
+    (try
+       hooks.Vm.Interp.on_instrument ctx
+         { Ir.Lir.hook = "bogus"; payload = Ir.Lir.P_unit };
+       false
+     with Vm.Interp.Runtime_error _ -> true)
+
+let op_costs_sane () =
+  let cost h = Profiles.Collector.op_cost { Ir.Lir.hook = h; payload = Ir.Lir.P_unit } in
+  check_bool "call edge is the expensive one" true
+    (cost "call_edge" > cost "field_access");
+  check_bool "field op costs about a check" true
+    (abs (cost "field_access" - Vm.Costs.default.Vm.Costs.check) <= 2)
+
+let suite =
+  [
+    ( "profiles.overlap",
+      [
+        Alcotest.test_case "identical" `Quick overlap_identical;
+        Alcotest.test_case "disjoint" `Quick overlap_disjoint;
+        Alcotest.test_case "partial" `Quick overlap_partial;
+        Alcotest.test_case "empty" `Quick overlap_empty;
+        Alcotest.test_case "symmetric" `Quick overlap_is_symmetric;
+        Alcotest.test_case "duplicate keys" `Quick overlap_duplicate_keys;
+        Alcotest.test_case "sample percentages" `Quick sample_percentages;
+      ] );
+    ( "profiles.tables",
+      [
+        Alcotest.test_case "call edges" `Quick call_edges;
+        Alcotest.test_case "field accesses" `Quick field_profile;
+        Alcotest.test_case "cfg edges" `Quick edge_profile;
+        Alcotest.test_case "value tables" `Quick value_profile_basic;
+        Alcotest.test_case "value eviction" `Quick value_profile_eviction;
+      ] );
+    ( "profiles.collector",
+      [
+        Alcotest.test_case "unknown hook" `Quick collector_unknown_hook;
+        Alcotest.test_case "op costs" `Quick op_costs_sane;
+      ] );
+  ]

@@ -1,0 +1,243 @@
+(* Property-based tests (QCheck, registered as alcotest cases).
+
+   The central properties:
+   - every transformation of the framework preserves program semantics on
+     random well-typed programs, under several triggers;
+   - Property 1 (checks <= entries + backedges) holds dynamically for
+     Full- and Partial-Duplication on random programs;
+   - the optimizer pipeline preserves semantics;
+   - dominator/loop analyses satisfy their defining properties on the
+     CFGs of random programs;
+   - the overlap metric is bounded, symmetric and 100 only on equal
+     normalized profiles;
+   - the bytecode verifier never crashes on arbitrary instruction
+     sequences (it accepts or rejects, but never throws). *)
+
+module Lir = Ir.Lir
+
+let spec = Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
+
+let run_program src =
+  let classes = Jasm.Compile.compile_string src in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  let prog = Vm.Program.link classes ~funcs in
+  let res =
+    Vm.Interp.run ~fuel:200_000_000 prog
+      ~entry:{ Lir.mclass = "Main"; mname = "main" }
+      ~args:[ 5 ] Vm.Interp.null_hooks
+  in
+  (classes, funcs, res)
+
+let run_transformed ?(validate = true) classes funcs transform trigger =
+  let funcs' =
+    List.map
+      (fun f ->
+        let g = (transform f).Core.Transform.func in
+        (* the exhaustive transform intentionally leaves unguarded ops in
+           the original code, so its callers skip the sampling validator *)
+        if validate then Core.Validate.check_exn g;
+        g)
+      funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler = Core.Sampler.create trigger in
+  Vm.Interp.run ~fuel:200_000_000
+    (Vm.Program.link classes ~funcs:funcs')
+    ~entry:{ Lir.mclass = "Main"; mname = "main" }
+    ~args:[ 5 ]
+    (Profiles.Collector.hooks collector sampler)
+
+let count = 40
+
+let transform_preserves_semantics ?validate name transform trigger =
+  QCheck.Test.make ~count
+    ~name:(Printf.sprintf "%s preserves semantics of random programs" name)
+    Gen_jasm.arbitrary_program
+    (fun src ->
+      let classes, funcs, base = run_program src in
+      let res = run_transformed ?validate classes funcs transform trigger in
+      String.equal base.Vm.Interp.output res.Vm.Interp.output
+      && base.Vm.Interp.return_value = res.Vm.Interp.return_value)
+
+let property_one_random =
+  QCheck.Test.make ~count ~name:"Property 1 on random programs"
+    Gen_jasm.arbitrary_program
+    (fun src ->
+      let classes, funcs, _ = run_program src in
+      List.for_all
+        (fun transform ->
+          let res =
+            run_transformed classes funcs transform
+              (Core.Sampler.Counter { interval = 3; jitter = 0 })
+          in
+          let c = res.Vm.Interp.counters in
+          c.Vm.Interp.checks
+          <= c.Vm.Interp.entries + c.Vm.Interp.backedge_yps)
+        [ Core.Transform.full_dup spec; Core.Transform.partial_dup spec ])
+
+let optimizer_preserves =
+  QCheck.Test.make ~count ~name:"optimizer pipeline preserves semantics"
+    Gen_jasm.arbitrary_program
+    (fun src ->
+      let classes = Jasm.Compile.compile_string src in
+      let raw = Bytecode.To_lir.program_to_funcs classes in
+      let run funcs =
+        Vm.Interp.run ~fuel:200_000_000
+          (Vm.Program.link classes ~funcs)
+          ~entry:{ Lir.mclass = "Main"; mname = "main" }
+          ~args:[ 5 ] Vm.Interp.null_hooks
+      in
+      let base = run raw in
+      let optimized =
+        Opt.Pipeline.front ~inline:true ~yieldpoints:false raw
+        |> List.map Opt.Pipeline.back
+      in
+      let res = run optimized in
+      String.equal base.Vm.Interp.output res.Vm.Interp.output
+      && base.Vm.Interp.return_value = res.Vm.Interp.return_value)
+
+let analyses_sound =
+  QCheck.Test.make ~count ~name:"dominators and loops on random CFGs"
+    Gen_jasm.arbitrary_program
+    (fun src ->
+      let classes = Jasm.Compile.compile_string src in
+      let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+      List.for_all
+        (fun (f : Lir.func) ->
+          let dom = Ir.Dom.compute f in
+          let reach = Ir.Cfg.reachable f in
+          let entry_dominates =
+            Array.for_all Fun.id
+              (Array.mapi
+                 (fun l r -> (not r) || Ir.Dom.dominates dom f.Lir.entry l)
+                 reach)
+          in
+          (* jasm frontends only emit reducible CFGs, where retreating
+             edges and natural backedges coincide *)
+          let reducible = Ir.Loops.is_reducible f in
+          let nat = Ir.Loops.natural_backedges f in
+          let retreating_are_natural =
+            List.for_all
+              (fun e -> List.mem e nat)
+              (Ir.Loops.retreating_edges f)
+          in
+          entry_dominates && reducible && retreating_are_natural)
+        funcs)
+
+let sampled_profile_is_subset =
+  QCheck.Test.make ~count:25
+    ~name:"sampled call edges are a subset of the perfect profile"
+    Gen_jasm.arbitrary_program
+    (fun src ->
+      let classes, funcs, _ = run_program src in
+      let profile trigger =
+        let funcs' =
+          List.map
+            (fun f -> (Core.Transform.full_dup spec f).Core.Transform.func)
+            funcs
+        in
+        let collector = Profiles.Collector.create () in
+        let sampler = Core.Sampler.create trigger in
+        ignore
+          (Vm.Interp.run ~fuel:200_000_000
+             (Vm.Program.link classes ~funcs:funcs')
+             ~entry:{ Lir.mclass = "Main"; mname = "main" }
+             ~args:[ 5 ]
+             (Profiles.Collector.hooks collector sampler));
+        Profiles.Call_edge.to_keyed collector.Profiles.Collector.call_edges
+      in
+      let perfect = profile Core.Sampler.Always in
+      let sampled = profile (Core.Sampler.Counter { interval = 5; jitter = 1 }) in
+      List.for_all
+        (fun (k, c) ->
+          match List.assoc_opt k perfect with
+          | Some pc -> c <= pc
+          | None -> false)
+        sampled)
+
+let overlap_bounded =
+  let profile_gen =
+    QCheck.Gen.(
+      list_size (int_range 0 8)
+        (pair (map (Printf.sprintf "k%d") (int_range 0 5)) (int_range 1 100)))
+  in
+  QCheck.Test.make ~count:200 ~name:"overlap metric bounded and symmetric"
+    (QCheck.make (QCheck.Gen.pair profile_gen profile_gen))
+    (fun (p1, p2) ->
+      let o12 = Profiles.Overlap.percent p1 p2 in
+      let o21 = Profiles.Overlap.percent p2 p1 in
+      o12 >= -1e-9
+      && o12 <= 100.0 +. 1e-9
+      && Float.abs (o12 -. o21) < 1e-6
+      && Float.abs (Profiles.Overlap.percent p1 p1 -. 100.0) < 1e-6)
+
+let verifier_total =
+  let instr_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (fun n -> Bytecode.Bc.Const n) (int_range (-5) 5));
+          (2, map (fun s -> Bytecode.Bc.Load s) (int_range 0 3));
+          (2, map (fun s -> Bytecode.Bc.Store s) (int_range 0 3));
+          (1, return Bytecode.Bc.Dup);
+          (1, return Bytecode.Bc.Pop);
+          (1, return Bytecode.Bc.Swap);
+          (1, return (Bytecode.Bc.Binop Lir.Add));
+          (2, map (fun t -> Bytecode.Bc.Goto t) (int_range 0 12));
+          (2, map (fun t -> Bytecode.Bc.If (Bytecode.Bc.Ceq, t)) (int_range 0 12));
+          (1, return Bytecode.Bc.Return);
+          (1, return Bytecode.Bc.Return_value);
+        ])
+  in
+  QCheck.Test.make ~count:500 ~name:"bytecode verifier never crashes"
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 12) instr_gen))
+    (fun code ->
+      let m =
+        {
+          Bytecode.Classfile.mname = "m";
+          static = true;
+          n_args = 0;
+          returns = false;
+          max_locals = 4;
+          code = Array.of_list code;
+        }
+      in
+      match Bytecode.Bverify.check_method m with
+      | Ok _ | Error _ -> true)
+
+let vec_model =
+  QCheck.Test.make ~count:300 ~name:"Vec behaves like a list"
+    (QCheck.make QCheck.Gen.(small_list small_int))
+    (fun xs ->
+      let v = Ir.Vec.create () in
+      List.iter (fun x -> ignore (Ir.Vec.push v x)) xs;
+      Ir.Vec.to_list v = xs
+      && Ir.Vec.length v = List.length xs
+      && List.for_all
+           (fun i -> Ir.Vec.get v i = List.nth xs i)
+           (List.init (List.length xs) Fun.id))
+
+let qtests =
+  [
+    transform_preserves_semantics "full-dup" (Core.Transform.full_dup spec)
+      (Core.Sampler.Counter { interval = 7; jitter = 0 });
+    transform_preserves_semantics "partial-dup" (Core.Transform.partial_dup spec)
+      (Core.Sampler.Counter { interval = 3; jitter = 2 });
+    transform_preserves_semantics "no-dup" (Core.Transform.no_dup spec)
+      (Core.Sampler.Counter { interval = 5; jitter = 0 });
+    transform_preserves_semantics "yp-opt"
+      (Core.Transform.full_dup_yieldpoint_opt spec)
+      Core.Sampler.Always;
+    transform_preserves_semantics ~validate:false "exhaustive"
+      (Core.Transform.exhaustive spec) Core.Sampler.Never;
+    property_one_random;
+    optimizer_preserves;
+    analyses_sound;
+    sampled_profile_is_subset;
+    overlap_bounded;
+    verifier_total;
+    vec_model;
+  ]
+
+let suite =
+  [ ("properties", List.map (QCheck_alcotest.to_alcotest ~long:false) qtests) ]

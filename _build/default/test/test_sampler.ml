@@ -1,0 +1,125 @@
+(* Trigger mechanisms (core/sampler.ml): counter semantics per the paper's
+   Figure 3, per-thread counters, the timer bit, jitter, and runtime
+   control. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fires_of t n =
+  List.init n (fun _ -> Core.Sampler.fire t 0)
+
+let count l = List.length (List.filter Fun.id l)
+
+let counter_interval () =
+  let t = Core.Sampler.create (Core.Sampler.Counter { interval = 10; jitter = 0 }) in
+  let fires = fires_of t 1000 in
+  (* roughly one sample per interval checks *)
+  check_int "about 100 samples" 99 (count fires);
+  (* the gap between consecutive samples is exactly the interval *)
+  let positions =
+    List.mapi (fun i f -> (i, f)) fires
+    |> List.filter (fun (_, f) -> f)
+    |> List.map fst
+  in
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  List.iter (fun g -> check_int "gap = interval" 10 g) (gaps positions)
+
+let counter_always_never () =
+  let a = Core.Sampler.create Core.Sampler.Always in
+  check_int "always fires" 50 (count (fires_of a 50));
+  let n = Core.Sampler.create Core.Sampler.Never in
+  check_int "never fires" 0 (count (fires_of n 50))
+
+let interval_one_behaves_like_always () =
+  let t = Core.Sampler.create (Core.Sampler.Counter { interval = 1; jitter = 0 }) in
+  (* after the initial countdown, every check samples *)
+  let fires = fires_of t 100 in
+  check_bool "at least 99 of 100" true (count fires >= 99)
+
+let per_thread_counters () =
+  let t = Core.Sampler.create (Core.Sampler.Counter_per_thread { interval = 5 }) in
+  (* interleave two threads; each gets its own countdown *)
+  let fired_a = ref 0 and fired_b = ref 0 in
+  for _ = 1 to 50 do
+    if Core.Sampler.fire t 1 then incr fired_a;
+    if Core.Sampler.fire t 2 then incr fired_b
+  done;
+  check_int "thread 1 rate" 9 !fired_a;
+  check_int "thread 2 rate" 9 !fired_b
+
+let timer_bit () =
+  let t = Core.Sampler.create Core.Sampler.Timer_bit in
+  check_bool "no tick, no sample" false (Core.Sampler.fire t 0);
+  Core.Sampler.on_timer_tick t;
+  check_bool "tick then sample" true (Core.Sampler.fire t 0);
+  check_bool "bit clears after sample" false (Core.Sampler.fire t 0)
+
+let timer_tick_ignored_by_counter () =
+  let t = Core.Sampler.create (Core.Sampler.Counter { interval = 1000; jitter = 0 }) in
+  Core.Sampler.on_timer_tick t;
+  check_bool "counter ignores timer" false (Core.Sampler.fire t 0)
+
+let runtime_retuning () =
+  let t = Core.Sampler.create (Core.Sampler.Counter { interval = 1000; jitter = 0 }) in
+  Core.Sampler.set_interval t 2;
+  let fires = fires_of t 100 in
+  check_bool "faster after retune" true (count fires >= 45);
+  Core.Sampler.disable t;
+  check_int "disabled = permanently false" 0 (count (fires_of t 100));
+  Core.Sampler.enable t;
+  check_bool "re-enabled fires again" true (count (fires_of t 10) > 0)
+
+let jitter_properties () =
+  let t = Core.Sampler.create (Core.Sampler.Counter { interval = 20; jitter = 5 }) in
+  let fires = fires_of t 10_000 in
+  let n = count fires in
+  (* mean interval stays near 20: between 400 and 600 samples *)
+  check_bool (Printf.sprintf "sample count %d in [400,600]" n) true
+    (n >= 400 && n <= 600);
+  (* gaps vary (that is the point of the jitter) *)
+  let positions =
+    List.mapi (fun i f -> (i, f)) fires
+    |> List.filter (fun (_, f) -> f)
+    |> List.map fst
+  in
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b - a) :: gaps rest
+    | _ -> []
+  in
+  let gs = gaps positions in
+  check_bool "gaps not all equal" true
+    (List.exists (fun g -> g <> List.hd gs) gs);
+  check_bool "gaps within interval +- jitter" true
+    (List.for_all (fun g -> g >= 15 && g <= 25) gs)
+
+let jitter_deterministic () =
+  let mk () = Core.Sampler.create (Core.Sampler.Counter { interval = 20; jitter = 5 }) in
+  Alcotest.(check (list bool))
+    "same jittered stream" (fires_of (mk ()) 500) (fires_of (mk ()) 500)
+
+let samples_fired_counts () =
+  let t = Core.Sampler.create (Core.Sampler.Counter { interval = 10; jitter = 0 }) in
+  ignore (fires_of t 100);
+  check_int "fired counter" 9 (Core.Sampler.samples_fired t)
+
+let suite =
+  [
+    ( "sampler",
+      [
+        Alcotest.test_case "counter interval" `Quick counter_interval;
+        Alcotest.test_case "always/never" `Quick counter_always_never;
+        Alcotest.test_case "interval 1 ~ always" `Quick
+          interval_one_behaves_like_always;
+        Alcotest.test_case "per-thread counters" `Quick per_thread_counters;
+        Alcotest.test_case "timer bit" `Quick timer_bit;
+        Alcotest.test_case "counter ignores timer" `Quick
+          timer_tick_ignored_by_counter;
+        Alcotest.test_case "runtime retuning" `Quick runtime_retuning;
+        Alcotest.test_case "jitter properties" `Quick jitter_properties;
+        Alcotest.test_case "jitter determinism" `Quick jitter_deterministic;
+        Alcotest.test_case "samples_fired" `Quick samples_fired_counts;
+      ] );
+  ]

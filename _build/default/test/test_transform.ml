@@ -1,0 +1,338 @@
+(* The core contribution: structural and dynamic properties of the five
+   transformations (sections 2, 3 and 4.5 of the paper). *)
+
+module Lir = Ir.Lir
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let spec = Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
+
+(* a function with a loop, a call and field traffic, post-frontend *)
+let sample_func () =
+  let _, funcs = Helpers.build Helpers.loop_src in
+  List.find (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "bump") funcs
+
+let main_func () =
+  let _, funcs = Helpers.build Helpers.loop_src in
+  List.find (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "main") funcs
+
+let live_blocks f =
+  let n = ref 0 in
+  Ir.Vec.iter
+    (fun (b : Lir.block) -> if b.Lir.role <> Lir.Dead then incr n)
+    f.Lir.blocks;
+  !n
+
+let count_in_role f role p =
+  let n = ref 0 in
+  Ir.Vec.iter
+    (fun (b : Lir.block) ->
+      if b.Lir.role = role then
+        Array.iter (fun i -> if p i then incr n) b.Lir.instrs)
+    f.Lir.blocks;
+  !n
+
+let is_instrument = function Lir.Instrument _ -> true | _ -> false
+let is_guarded = function Lir.Guarded_instrument _ -> true | _ -> false
+let is_yieldpoint = function Lir.Yieldpoint _ -> true | _ -> false
+
+(* -------- Full-Duplication structure -------- *)
+
+let full_dup_structure () =
+  let f = main_func () in
+  let n_orig = live_blocks f in
+  let backedges = List.length (Ir.Loops.retreating_edges f) in
+  let r = Core.Transform.full_dup spec f in
+  let g = r.Core.Transform.func in
+  Ir.Verify.check_exn g;
+  check_int "static checks = entry + backedges" (1 + backedges)
+    r.Core.Transform.static_checks;
+  check_bool "duplicated at least all original blocks" true
+    (r.Core.Transform.duplicated_blocks >= n_orig);
+  (* instrumentation only in the duplicated code *)
+  check_int "no ops in checking code" 0 (count_in_role g Lir.Orig is_instrument);
+  check_int "no ops in check blocks" 0
+    (count_in_role g Lir.Check_block is_instrument);
+  check_bool "ops present in dup code" true
+    (count_in_role g Lir.Dup is_instrument > 0);
+  (* entry is a check block targeting the dup entry *)
+  (match (Lir.block g g.Lir.entry).Lir.term with
+  | Lir.Check { on_sample; fall } ->
+      check_bool "sample target is dup" true
+        ((Lir.block g on_sample).Lir.role = Lir.Dup);
+      check_bool "fall is checking code" true
+        ((Lir.block g fall).Lir.role = Lir.Orig)
+  | _ -> Alcotest.fail "entry must be a check");
+  (* the duplicated subgraph must be acyclic: all backedges return to the
+     checking code (bounded time per sample, section 2) *)
+  let dup_cycle = ref false in
+  let n = Lir.num_blocks g in
+  let color = Array.make n 0 in
+  let rec dfs u =
+    color.(u) <- 1;
+    List.iter
+      (fun v ->
+        if (Lir.block g v).Lir.role = Lir.Dup then begin
+          if color.(v) = 1 then dup_cycle := true
+          else if color.(v) = 0 then dfs v
+        end)
+      (Ir.Cfg.succs g u);
+    color.(u) <- 2
+  in
+  for l = 0 to n - 1 do
+    if (Lir.block g l).Lir.role = Lir.Dup && color.(l) = 0 then dfs l
+  done;
+  check_bool "duplicated code is a DAG" false !dup_cycle
+
+(* Property 1, dynamically: executed checks never exceed executed method
+   entries plus executed backedges. *)
+let property_one trigger () =
+  let res, _ =
+    Helpers.exec_transformed ~transform:(Core.Transform.full_dup spec) ~trigger
+      Helpers.loop_src [ 300 ]
+  in
+  let c = res.Vm.Interp.counters in
+  check_bool
+    (Printf.sprintf "checks %d <= entries %d + backedges %d"
+       c.Vm.Interp.checks c.Vm.Interp.entries c.Vm.Interp.backedge_yps)
+    true
+    (c.Vm.Interp.checks <= c.Vm.Interp.entries + c.Vm.Interp.backedge_yps)
+
+let property_one_partial () =
+  (* Partial-Duplication also respects Property 1.  Compared to
+     Full-Duplication it can execute at most one extra check per sample
+     taken: a bottom-node boundary returns control to the checking code
+     mid-iteration, whose backedge check then runs, whereas a full
+     duplicated iteration bypasses it (its backedge transfers directly).
+     The paper's "less than or equal" claim holds up to that term, which
+     vanishes at realistic sample intervals. *)
+  let full, _ =
+    Helpers.exec_transformed ~transform:(Core.Transform.full_dup spec)
+      ~trigger:(Core.Sampler.Counter { interval = 13; jitter = 0 })
+      Helpers.loop_src [ 300 ]
+  in
+  let part, _ =
+    Helpers.exec_transformed ~transform:(Core.Transform.partial_dup spec)
+      ~trigger:(Core.Sampler.Counter { interval = 13; jitter = 0 })
+      Helpers.loop_src [ 300 ]
+  in
+  let pc = part.Vm.Interp.counters and fc = full.Vm.Interp.counters in
+  check_bool "at most one extra check per sample" true
+    (pc.Vm.Interp.checks
+    <= fc.Vm.Interp.checks + pc.Vm.Interp.samples);
+  (* and Property 1 itself *)
+  check_bool "Property 1" true
+    (pc.Vm.Interp.checks <= pc.Vm.Interp.entries + pc.Vm.Interp.backedge_yps)
+
+(* -------- No-Duplication -------- *)
+
+let no_dup_structure () =
+  let f = sample_func () in
+  let plan = Core.Spec.plan_for spec f in
+  let r = Core.Transform.no_dup spec f in
+  check_int "no duplicated blocks" 0 r.Core.Transform.duplicated_blocks;
+  check_int "one check per op" (List.length plan) r.Core.Transform.static_checks;
+  let g = r.Core.Transform.func in
+  check_int "all ops guarded"
+    (List.length plan)
+    (count_in_role g Lir.Orig is_guarded)
+
+(* -------- checks-only -------- *)
+
+let checks_only_structure () =
+  let f = main_func () in
+  let backedges = List.length (Ir.Loops.retreating_edges f) in
+  let r = Core.Transform.checks_only ~entries:false ~backedges:true f in
+  check_int "backedge checks" backedges r.Core.Transform.static_checks;
+  check_int "nothing duplicated" 0 r.Core.Transform.duplicated_blocks;
+  (* both branches of the check go to the same place *)
+  Ir.Vec.iter
+    (fun (b : Lir.block) ->
+      match b.Lir.term with
+      | Lir.Check { on_sample; fall } ->
+          check_int "check is a no-op branch" on_sample fall
+      | _ -> ())
+    r.Core.Transform.func.Lir.blocks
+
+(* -------- yieldpoint optimization -------- *)
+
+let yieldpoint_opt_structure () =
+  let f = main_func () in
+  let r = Core.Transform.full_dup_yieldpoint_opt spec f in
+  let g = r.Core.Transform.func in
+  check_int "no yieldpoints in checking code" 0
+    (count_in_role g Lir.Orig is_yieldpoint
+    + count_in_role g Lir.Check_block is_yieldpoint);
+  check_bool "yieldpoints survive in dup code" true
+    (count_in_role g Lir.Dup is_yieldpoint > 0)
+
+let yieldpoint_opt_still_schedules () =
+  (* threads must still get preempted — via the yieldpoints that now live
+     in the duplicated code, reached whenever samples fire *)
+  let b = Workloads.Suite.find "pbob" in
+  let classes = Workloads.Suite.compile b in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  let funcs =
+    List.map
+      (fun f ->
+        (Core.Transform.full_dup_yieldpoint_opt spec f).Core.Transform.func)
+      funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler =
+    Core.Sampler.create (Core.Sampler.Counter { interval = 100; jitter = 0 })
+  in
+  let res =
+    Vm.Interp.run
+      (Vm.Program.link classes ~funcs)
+      ~entry:Workloads.Suite.entry ~args:[ 1 ]
+      (Profiles.Collector.hooks collector sampler)
+  in
+  check_bool "threads still switch" true
+    (res.Vm.Interp.counters.Vm.Interp.thread_switches > 0)
+
+(* -------- Partial-Duplication -------- *)
+
+let partial_smaller_than_full () =
+  (* with sparse instrumentation (call-edge only: one op at entry),
+     partial duplication must drop blocks *)
+  let f = main_func () in
+  let full = Core.Transform.full_dup Core.Spec.call_edge f in
+  let part = Core.Transform.partial_dup Core.Spec.call_edge f in
+  check_bool
+    (Printf.sprintf "fewer dup blocks (%d < %d)"
+       part.Core.Transform.duplicated_blocks full.Core.Transform.duplicated_blocks)
+    true
+    (part.Core.Transform.duplicated_blocks < full.Core.Transform.duplicated_blocks)
+
+let partial_identical_profiles () =
+  (* "Instrumentation is performed identically to Full-Duplication":
+     at sample interval 1 both must produce the same profile *)
+  let run transform =
+    let _, collector =
+      Helpers.exec_transformed ~transform ~trigger:Core.Sampler.Always
+        Helpers.loop_src [ 120 ]
+    in
+    ( Profiles.Call_edge.to_keyed collector.Profiles.Collector.call_edges,
+      Profiles.Field_access.to_keyed collector.Profiles.Collector.fields )
+  in
+  let ce_full, fa_full = run (Core.Transform.full_dup spec) in
+  let ce_part, fa_part = run (Core.Transform.partial_dup spec) in
+  let sort = List.sort compare in
+  Alcotest.(check (list (pair string int)))
+    "same call edges" (sort ce_full) (sort ce_part);
+  Alcotest.(check (list (pair string int)))
+    "same field profile" (sort fa_full) (sort fa_part)
+
+let partial_removes_useless_checks () =
+  (* a method whose only instrumentation sits at entry: every backedge
+     check in the checking code would divert to a bottom node, so
+     partial duplication must remove them all *)
+  let f = main_func () in
+  let part = Core.Transform.partial_dup Core.Spec.call_edge f in
+  (* only the entry check remains *)
+  check_int "only the entry check survives" 1 part.Core.Transform.static_checks
+
+(* -------- exhaustive -------- *)
+
+let exhaustive_counts () =
+  let n = 77 in
+  let _, collector =
+    Helpers.exec_transformed ~transform:(Core.Transform.exhaustive spec)
+      ~trigger:Core.Sampler.Never Helpers.loop_src [ n ]
+  in
+  (* identical to the perfect (interval 1) profile *)
+  let _, perfect =
+    Helpers.exec_transformed ~transform:(Core.Transform.full_dup spec)
+      ~trigger:Core.Sampler.Always Helpers.loop_src [ n ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "exhaustive = perfect profile"
+    (List.sort compare
+       (Profiles.Call_edge.to_keyed perfect.Profiles.Collector.call_edges))
+    (List.sort compare
+       (Profiles.Call_edge.to_keyed collector.Profiles.Collector.call_edges))
+
+(* -------- all transforms on all benchmarks preserve semantics -------- *)
+
+let transform_preserves name transform (b : Workloads.Suite.benchmark) () =
+  ignore name;
+  let classes = Workloads.Suite.compile b in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  let baseline =
+    Vm.Interp.run (Helpers.link classes funcs) ~entry:Workloads.Suite.entry
+      ~args:[ 1 ] Vm.Interp.null_hooks
+  in
+  let funcs' =
+    List.map
+      (fun f ->
+        let g = (transform f).Core.Transform.func in
+        Core.Validate.check_exn g;
+        g)
+      funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler =
+    Core.Sampler.create (Core.Sampler.Counter { interval = 37; jitter = 5 })
+  in
+  let res =
+    Vm.Interp.run (Helpers.link classes funcs') ~entry:Workloads.Suite.entry
+      ~args:[ 1 ]
+      (Profiles.Collector.hooks collector sampler)
+  in
+  Alcotest.(check string)
+    "output unchanged" baseline.Vm.Interp.output res.Vm.Interp.output
+
+let preservation_cases =
+  List.concat_map
+    (fun (name, transform) ->
+      List.map
+        (fun (b : Workloads.Suite.benchmark) ->
+          Alcotest.test_case
+            (name ^ ":" ^ b.Workloads.Suite.bname)
+            `Quick
+            (transform_preserves name transform b))
+        Workloads.Suite.all)
+    [
+      ("full-dup", Core.Transform.full_dup spec);
+      ("partial-dup", Core.Transform.partial_dup spec);
+      ("no-dup", Core.Transform.no_dup spec);
+      ("yp-opt", Core.Transform.full_dup_yieldpoint_opt spec);
+    ]
+
+let suite =
+  [
+    ( "transform.full-dup",
+      [
+        Alcotest.test_case "structure" `Quick full_dup_structure;
+        Alcotest.test_case "Property 1 (never fires)" `Quick
+          (property_one Core.Sampler.Never);
+        Alcotest.test_case "Property 1 (always fires)" `Quick
+          (property_one Core.Sampler.Always);
+        Alcotest.test_case "Property 1 (interval 7)" `Quick
+          (property_one (Core.Sampler.Counter { interval = 7; jitter = 0 }));
+      ] );
+    ( "transform.no-dup",
+      [ Alcotest.test_case "structure" `Quick no_dup_structure ] );
+    ( "transform.checks-only",
+      [ Alcotest.test_case "structure" `Quick checks_only_structure ] );
+    ( "transform.yieldpoint-opt",
+      [
+        Alcotest.test_case "structure" `Quick yieldpoint_opt_structure;
+        Alcotest.test_case "still schedules threads" `Quick
+          yieldpoint_opt_still_schedules;
+      ] );
+    ( "transform.partial-dup",
+      [
+        Alcotest.test_case "smaller than full" `Quick partial_smaller_than_full;
+        Alcotest.test_case "identical instrumentation" `Quick
+          partial_identical_profiles;
+        Alcotest.test_case "removes useless checks" `Quick
+          partial_removes_useless_checks;
+        Alcotest.test_case "Property 1 preserved" `Quick property_one_partial;
+      ] );
+    ( "transform.exhaustive",
+      [ Alcotest.test_case "equals perfect profile" `Quick exhaustive_counts ] );
+    ("transform.preservation", preservation_cases);
+  ]

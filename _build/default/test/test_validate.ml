@@ -1,0 +1,109 @@
+(* Core.Validate: the sampling-transform validator must accept every
+   transform's output (covered by the transform/property suites) and
+   reject corrupted ones. *)
+
+module Lir = Ir.Lir
+
+let check_bool = Alcotest.(check bool)
+
+let spec = Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
+
+let transformed () =
+  let _, funcs = Helpers.build Helpers.loop_src in
+  let f = List.find (fun (f : Lir.func) -> f.Lir.fname.Lir.mname = "main") funcs in
+  (Core.Transform.full_dup spec f).Core.Transform.func
+
+let find_block g p =
+  let found = ref None in
+  for l = 0 to Lir.num_blocks g - 1 do
+    if !found = None && p l (Lir.block g l) then found := Some l
+  done;
+  Option.get !found
+
+let accepts_valid () =
+  let g = transformed () in
+  Alcotest.(check (list string))
+    "no errors" []
+    (List.map
+       (fun (e : Core.Validate.error) -> e.Core.Validate.what)
+       (Core.Validate.check g))
+
+let rejects_op_in_checking_code () =
+  let g = transformed () in
+  let l = find_block g (fun _ b -> b.Lir.role = Lir.Orig) in
+  Ir.Edit.prepend g l
+    [ Lir.Instrument { Lir.hook = "call_edge"; payload = Lir.P_unit } ];
+  check_bool "caught" true (Core.Validate.check g <> [])
+
+let rejects_divergent_copy () =
+  let g = transformed () in
+  (* tamper with a duplicated block's computation *)
+  let l =
+    find_block g (fun _ b ->
+        b.Lir.role = Lir.Dup && Array.length b.Lir.instrs > 0)
+  in
+  Ir.Edit.prepend g l [ Lir.Move (0, Lir.Imm 4242) ];
+  check_bool "caught" true (Core.Validate.check g <> [])
+
+let rejects_dup_cycle () =
+  let g = transformed () in
+  (* find a dup block and point it at itself *)
+  let l = find_block g (fun _ b -> b.Lir.role = Lir.Dup) in
+  let b = Lir.block g l in
+  Lir.set_block g l { b with Lir.term = Lir.Goto l };
+  check_bool "caught" true
+    (List.exists
+       (fun (e : Core.Validate.error) ->
+         e.Core.Validate.what = "cycle within duplicated code")
+       (Core.Validate.check g))
+
+let rejects_check_into_checking_code () =
+  let g = transformed () in
+  let entry = g.Lir.entry in
+  let b = Lir.block g entry in
+  (match b.Lir.term with
+  | Lir.Check { fall; _ } ->
+      (* retarget the sample branch into the checking code *)
+      Lir.set_block g entry
+        { b with Lir.term = Lir.Check { on_sample = fall; fall } }
+  | _ -> Alcotest.fail "entry should be a check");
+  (* on_sample = fall is the checks-only configuration: allowed *)
+  Alcotest.(check (list string))
+    "degenerate check allowed" []
+    (List.map (fun (e : Core.Validate.error) -> e.Core.Validate.what)
+       (Core.Validate.check g))
+
+let report_rendering () =
+  let _, collector =
+    Helpers.exec_transformed ~transform:(Core.Transform.full_dup spec)
+      ~trigger:Core.Sampler.Always Helpers.loop_src [ 25 ]
+  in
+  let s = Profiles.Report.summary collector in
+  check_bool "summary mentions call_edge" true
+    (String.length s > 0
+    && List.exists
+         (fun line -> String.length line > 9 && String.sub line 0 9 = "call_edge")
+         (String.split_on_char '\n' s));
+  let csvs = Profiles.Report.to_csv collector in
+  check_bool "csv for two kinds" true (List.length csvs >= 2);
+  List.iter
+    (fun (_, text) ->
+      check_bool "has header" true
+        (String.length text >= 10 && String.sub text 0 10 = "key,count\n"))
+    csvs
+
+let suite =
+  [
+    ( "validate",
+      [
+        Alcotest.test_case "accepts valid transform" `Quick accepts_valid;
+        Alcotest.test_case "rejects op in checking code" `Quick
+          rejects_op_in_checking_code;
+        Alcotest.test_case "rejects divergent copy" `Quick
+          rejects_divergent_copy;
+        Alcotest.test_case "rejects dup cycle" `Quick rejects_dup_cycle;
+        Alcotest.test_case "allows degenerate check" `Quick
+          rejects_check_into_checking_code;
+      ] );
+    ("report", [ Alcotest.test_case "rendering" `Quick report_rendering ]);
+  ]

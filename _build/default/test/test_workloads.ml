@@ -1,0 +1,66 @@
+(* Every benchmark must compile, verify, run deterministically, and have
+   the workload character its Table 1 row requires. *)
+
+module Lir = Ir.Lir
+
+let build_baseline b =
+  let classes = Workloads.Suite.compile b in
+  let funcs = Bytecode.To_lir.program_to_funcs classes in
+  let funcs = Opt.Pipeline.front funcs in
+  Vm.Program.link classes ~funcs
+
+let run_baseline ?(scale = 1) b =
+  Vm.Interp.run (build_baseline b) ~entry:Workloads.Suite.entry ~args:[ scale ]
+    Vm.Interp.null_hooks
+
+let compiles (b : Workloads.Suite.benchmark) () =
+  let classes = Workloads.Suite.compile b in
+  Alcotest.(check bool) "has classes" true (List.length classes > 0);
+  let funcs = Bytecode.To_lir.program_to_funcs classes in
+  List.iter Ir.Verify.check_exn funcs
+
+let runs (b : Workloads.Suite.benchmark) () =
+  let res = run_baseline b in
+  Alcotest.(check bool)
+    "terminates with a checksum" true
+    (res.Vm.Interp.return_value <> None);
+  Alcotest.(check bool)
+    (Printf.sprintf "does real work (%d cycles)" res.Vm.Interp.cycles)
+    true
+    (res.Vm.Interp.cycles > 50_000)
+
+let deterministic (b : Workloads.Suite.benchmark) () =
+  let r1 = run_baseline b and r2 = run_baseline b in
+  Alcotest.(check string) "same output" r1.Vm.Interp.output r2.Vm.Interp.output;
+  Alcotest.(check int) "same cycles" r1.Vm.Interp.cycles r2.Vm.Interp.cycles
+
+let threads_used () =
+  let res = run_baseline (Workloads.Suite.find "volano") in
+  Alcotest.(check bool)
+    "thread switches happened" true
+    (res.Vm.Interp.counters.Vm.Interp.thread_switches > 0)
+
+let scale_scales () =
+  let b = Workloads.Suite.find "jess" in
+  let r1 = run_baseline ~scale:1 b and r2 = run_baseline ~scale:2 b in
+  Alcotest.(check bool)
+    "scale 2 does more work" true
+    (r2.Vm.Interp.cycles > r1.Vm.Interp.cycles * 3 / 2)
+
+let per_bench f =
+  List.map
+    (fun (b : Workloads.Suite.benchmark) ->
+      Alcotest.test_case b.Workloads.Suite.bname `Quick (f b))
+    Workloads.Suite.all
+
+let suite =
+  [
+    ("workloads compile", per_bench compiles);
+    ("workloads run", per_bench runs);
+    ("workloads deterministic", per_bench deterministic);
+    ( "workloads misc",
+      [
+        Alcotest.test_case "volano uses threads" `Quick threads_used;
+        Alcotest.test_case "scale parameter works" `Quick scale_scales;
+      ] );
+  ]
