@@ -1,0 +1,34 @@
+# Convenience targets; `make ci` is what the (containerized) CI runs.
+
+DUNE ?= dune
+
+.PHONY: all build test test-all fmt ci clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+# quick pass only: alcotest -q skips the `Slow full-scale cases
+test:
+	$(DUNE) runtest
+
+# the whole suite, including full-scale and parallel-grid cases
+test-all:
+	$(DUNE) exec test/main.exe
+
+# gated: the container does not ship ocamlformat
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+ci: build fmt
+	$(DUNE) exec test/main.exe
+	$(DUNE) exec bin/isf.exe -- table 1 -j 2 > /dev/null
+	@echo "ci OK"
+
+clean:
+	$(DUNE) clean

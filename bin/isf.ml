@@ -71,6 +71,22 @@ let csv_arg =
   let doc = "Directory to write one CSV per collected profile kind." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Run experiment cells on $(docv) domains (default: \\$ISF_JOBS, else one \
+     per core minus one).  Output is byte-identical for every N."
+  in
+  Arg.(
+    value
+    & opt int (Harness.Pool.default_jobs ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let trace_arg =
+  let doc = "Print a progress line (cells done/total, cycles) to stderr." in
+  Arg.(value & flag & info [ "trace" ] ~doc)
+
+let set_trace t = if t then Harness.Pool.trace := true
+
 (* ---- commands ---- *)
 
 let list_cmd =
@@ -225,29 +241,38 @@ let exec_cmd =
       $ jitter_arg $ top_arg)
 
 let table_cmd =
-  let run which scale = Harness.Experiments.run_one ?scale (Harness.Experiments.of_name which) in
+  let run which scale jobs trace =
+    set_trace trace;
+    Harness.Experiments.run_one ?scale ~jobs (Harness.Experiments.of_name which)
+  in
   let which_arg =
     let doc = "Experiment: 1-5 (tables), 7 or 8 (figures), or tableN/figureN." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WHICH" ~doc)
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ which_arg $ scale_arg)
+    Term.(const run $ which_arg $ scale_arg $ jobs_arg $ trace_arg)
 
 let all_cmd =
-  let run scale = Harness.Experiments.run_all ?scale () in
+  let run scale jobs trace =
+    set_trace trace;
+    Harness.Experiments.run_all ?scale ~jobs ()
+  in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure of the paper")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ trace_arg)
 
 let ablation_cmd =
-  let run scale = Harness.Ablation.run_all ?scale () in
+  let run scale jobs trace =
+    set_trace trace;
+    Harness.Ablation.run_all ?scale ~jobs ()
+  in
   Cmd.v
     (Cmd.info "ablation"
        ~doc:
          "Run the ablation studies (trigger determinism, check cost, \
           duplication strategy, per-thread counters)")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ trace_arg)
 
 let main =
   let doc =

@@ -187,33 +187,19 @@ let full_dup_core spec f0 =
         (Ir.Edit.split_edge f ~src:dup_of.(u) ~dst:dup_of.(v) ~role:Lir.Dup
            ~instrs:[ Lir.Instrument op ]))
     normal_edge_ops;
-  (* redirect duplicated-code backedges to the checking code, attaching
-     backedge-associated ops to the transfer edge (section 2: "the
-     instrumentation can be attached to the edge transferring control from
-     the duplicated code to the checking code") *)
+  (* every backedge — in the checking code AND in the duplicated code —
+     routes through one shared check: on a sample the next iteration runs
+     in the duplicated code, otherwise in the checking code.  Routing the
+     duplicated-code backedge through the check too means sample interval
+     1 keeps execution in instrumented code permanently, so the Always
+     trigger reproduces the perfect profile exactly.  Backedge-associated
+     ops are attached to the transfer edge out of the duplicated code
+     (section 2: "the instrumentation can be attached to the edge
+     transferring control from the duplicated code to the checking
+     code"). *)
   List.iter
     (fun (u, v) ->
       let du = dup_of.(u) and dv = dup_of.(v) in
-      let ops =
-        List.filter_map
-          (fun (e, op) -> if e = (u, v) then Some (Lir.Instrument op) else None)
-          backedge_ops
-      in
-      let target =
-        if ops = [] then v
-        else
-          Lir.add_block f { Lir.instrs = Array.of_list ops; term = Lir.Goto v; role = Lir.Dup }
-      in
-      let bdu = Lir.block f du in
-      Lir.set_block f du
-        {
-          bdu with
-          Lir.term = Ir.Edit.retarget_term bdu.Lir.term ~from_:dv ~to_:target;
-        })
-    bedges;
-  (* checks on the backedges of the checking code *)
-  List.iter
-    (fun (u, v) ->
       let c =
         Lir.add_block f
           {
@@ -224,7 +210,24 @@ let full_dup_core spec f0 =
       in
       let bu = Lir.block f u in
       Lir.set_block f u
-        { bu with Lir.term = Ir.Edit.retarget_term bu.Lir.term ~from_:v ~to_:c })
+        { bu with Lir.term = Ir.Edit.retarget_term bu.Lir.term ~from_:v ~to_:c };
+      let ops =
+        List.filter_map
+          (fun (e, op) -> if e = (u, v) then Some (Lir.Instrument op) else None)
+          backedge_ops
+      in
+      let target =
+        if ops = [] then c
+        else
+          Lir.add_block f
+            { Lir.instrs = Array.of_list ops; term = Lir.Goto c; role = Lir.Dup }
+      in
+      let bdu = Lir.block f du in
+      Lir.set_block f du
+        {
+          bdu with
+          Lir.term = Ir.Edit.retarget_term bdu.Lir.term ~from_:dv ~to_:target;
+        })
     bedges;
   (* check on method entry *)
   let e =

@@ -28,32 +28,34 @@ type a1_row = {
   jit_acc : float;
 }
 
-let run_a1 ?scale () =
-  List.concat_map
-    (fun bname ->
+let run_a1 ?scale ?jobs () =
+  let cells =
+    List.concat_map
+      (fun bname -> List.map (fun i -> (bname, i)) [ 10; 100; 1000 ])
+      [ "mpegaudio"; "compress"; "jess"; "javac" ]
+  in
+  Pool.map ?jobs
+    (fun (bname, interval) ->
       let build = Measure.prepare ?scale (Workloads.Suite.find bname) in
       let perfect_ce, _ = Common.perfect_profiles build in
-      List.map
-        (fun interval ->
-          let acc jitter =
-            let m =
-              Measure.run_transformed
-                ~trigger:(Core.Sampler.Counter { interval; jitter })
-                ~transform:(Core.Transform.full_dup both)
-                build
-            in
-            Profiles.Overlap.percent perfect_ce
-              (Profiles.Call_edge.to_keyed
-                 m.Measure.collector.Profiles.Collector.call_edges)
-          in
-          {
-            a1_bench = bname;
-            interval;
-            det_acc = acc 0;
-            jit_acc = acc (max 1 (interval / 4));
-          })
-        [ 10; 100; 1000 ])
-    [ "mpegaudio"; "compress"; "jess"; "javac" ]
+      let acc jitter =
+        let m =
+          Measure.run_transformed
+            ~trigger:(Core.Sampler.Counter { interval; jitter })
+            ~transform:(Core.Transform.full_dup both)
+            build
+        in
+        Profiles.Overlap.percent perfect_ce
+          (Profiles.Call_edge.to_keyed
+             m.Measure.collector.Profiles.Collector.call_edges)
+      in
+      {
+        a1_bench = bname;
+        interval;
+        det_acc = acc 0;
+        jit_acc = acc (max 1 (interval / 4));
+      })
+    cells
 
 let a1_to_string rows =
   "Ablation A1: deterministic vs randomized sample interval (call-edge \
@@ -92,8 +94,8 @@ let framework_overhead_with costs build =
   *. float_of_int (instr.Vm.Interp.cycles - base.Vm.Interp.cycles)
   /. float_of_int base.Vm.Interp.cycles
 
-let run_a2 ?scale () =
-  List.map
+let run_a2 ?scale ?jobs () =
+  Pool.map ?jobs
     (fun bench ->
       let build = Measure.prepare ?scale bench in
       {
@@ -138,37 +140,42 @@ type a3_row = {
   sampled_1000 : float; (* total overhead at interval 1000 *)
 }
 
-let run_a3 ?scale () =
+let run_a3 ?scale ?jobs () =
   let build = Measure.prepare ?scale (Workloads.Suite.find "javac") in
   let base = Measure.run_baseline build in
-  List.concat_map
-    (fun (density, spec) ->
-      List.map
-        (fun (variant, transform) ->
-          let fw = Measure.run_transformed ~transform build in
-          let sampled =
-            Measure.run_transformed
-              ~trigger:(Core.Sampler.Counter { interval = 1_000; jitter = 0 })
-              ~transform build
-          in
-          {
-            density;
-            variant;
-            space_ratio =
-              float_of_int fw.Measure.code_words
-              /. float_of_int base.Measure.code_words;
-            framework = Measure.overhead_pct ~base fw;
-            sampled_1000 = Measure.overhead_pct ~base sampled;
-          })
-        [
-          ("full-dup", Core.Transform.full_dup spec);
-          ("partial-dup", Core.Transform.partial_dup spec);
-          ("no-dup", Core.Transform.no_dup spec);
-        ])
-    [
-      ("sparse (call-edge)", Core.Spec.call_edge);
-      ("dense (call-edge+field)", both);
-    ]
+  let cells =
+    List.concat_map
+      (fun (density, spec) ->
+        List.map
+          (fun (variant, transform) -> (density, variant, transform))
+          [
+            ("full-dup", Core.Transform.full_dup spec);
+            ("partial-dup", Core.Transform.partial_dup spec);
+            ("no-dup", Core.Transform.no_dup spec);
+          ])
+      [
+        ("sparse (call-edge)", Core.Spec.call_edge);
+        ("dense (call-edge+field)", both);
+      ]
+  in
+  Pool.map ?jobs
+    (fun (density, variant, transform) ->
+      let fw = Measure.run_transformed ~transform build in
+      let sampled =
+        Measure.run_transformed
+          ~trigger:(Core.Sampler.Counter { interval = 1_000; jitter = 0 })
+          ~transform build
+      in
+      {
+        density;
+        variant;
+        space_ratio =
+          float_of_int fw.Measure.code_words
+          /. float_of_int base.Measure.code_words;
+        framework = Measure.overhead_pct ~base fw;
+        sampled_1000 = Measure.overhead_pct ~base sampled;
+      })
+    cells
 
 let a3_to_string rows =
   "Ablation A3: duplication strategy vs instrumentation density (javac)\n"
@@ -198,8 +205,8 @@ type a4_row = {
   per_thread_samples : int;
 }
 
-let run_a4 ?scale () =
-  List.map
+let run_a4 ?scale ?jobs () =
+  Pool.map ?jobs
     (fun bname ->
       let build = Measure.prepare ?scale (Workloads.Suite.find bname) in
       let perfect_ce, _ = Common.perfect_profiles build in
@@ -248,11 +255,11 @@ let a4_to_string rows =
            ])
          rows)
 
-let run_all ?scale () =
-  print_string (a1_to_string (run_a1 ?scale ()));
+let run_all ?scale ?jobs () =
+  print_string (a1_to_string (run_a1 ?scale ?jobs ()));
   print_newline ();
-  print_string (a2_to_string (run_a2 ?scale ()));
+  print_string (a2_to_string (run_a2 ?scale ?jobs ()));
   print_newline ();
-  print_string (a3_to_string (run_a3 ?scale ()));
+  print_string (a3_to_string (run_a3 ?scale ?jobs ()));
   print_newline ();
-  print_string (a4_to_string (run_a4 ?scale ()))
+  print_string (a4_to_string (run_a4 ?scale ?jobs ()))

@@ -23,26 +23,26 @@ let of_name = function
   | "figure8" | "8" -> F8
   | s -> invalid_arg ("unknown experiment: " ^ s)
 
-let run_one ?scale which =
+let run_one ?scale ?jobs which =
   match which with
-  | T1 -> Table1.print (Table1.run ?scale ())
-  | T2 -> Table2.print (Table2.run ?scale ())
-  | T3 -> Table3.print (Table3.run ?scale ())
-  | T4 -> Table4.print (Table4.run ?scale ())
+  | T1 -> Table1.print (Table1.run ?scale ?jobs ())
+  | T2 -> Table2.print (Table2.run ?scale ?jobs ())
+  | T3 -> Table3.print (Table3.run ?scale ?jobs ())
+  | T4 -> Table4.print (Table4.run ?scale ?jobs ())
   | T5 ->
       (* more samples are needed for stable trigger-accuracy comparisons *)
       let scale = match scale with None -> Some 4 | s -> s in
-      Table5.print (Table5.run ?scale ())
+      Table5.print (Table5.run ?scale ?jobs ())
   | F7 ->
       (* scale/interval chosen so the sample count matches the paper's
          run length (~10^3-10^4 samples); see EXPERIMENTS.md *)
       let scale = match scale with None -> Some 4 | s -> s in
-      Figure7.print (Figure7.run ?scale ~interval:100 ())
-  | F8 -> Figure8.print (Figure8.run ?scale ())
+      Figure7.print (Figure7.run ?scale ?jobs ~interval:100 ())
+  | F8 -> Figure8.print (Figure8.run ?scale ?jobs ())
 
-let run_all ?scale () =
+let run_all ?scale ?jobs () =
   List.iter
     (fun w ->
-      run_one ?scale w;
+      run_one ?scale ?jobs w;
       print_newline ())
     all

@@ -12,14 +12,25 @@ type data = { points : point list; overlap : float; n_samples : int }
 
 let paper_overlap = 93.8
 
-let run ?scale ?(interval = 1_000) ?(top = 50) () =
+let run ?scale ?jobs ?(interval = 1_000) ?(top = 50) () =
   let build = Measure.prepare ?scale (Workloads.Suite.find "javac") in
-  let perfect_ce, _ = Common.perfect_profiles build in
-  let m =
-    Measure.run_transformed
-      ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
-      ~transform:(Core.Transform.full_dup Common.both_specs)
-      build
+  (* a 2-cell grid: the perfect profile and the sampled run are
+     independent computations *)
+  let cells =
+    [
+      (fun () -> `Perfect (Common.perfect_profiles build));
+      (fun () ->
+        `Sampled
+          (Measure.run_transformed
+             ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+             ~transform:(Core.Transform.full_dup Common.both_specs)
+             build));
+    ]
+  in
+  let perfect_ce, m =
+    match Pool.map ?jobs (fun cell -> cell ()) cells with
+    | [ `Perfect (ce, _); `Sampled m ] -> (ce, m)
+    | _ -> assert false
   in
   let sampled_ce =
     Profiles.Call_edge.to_keyed m.Measure.collector.Profiles.Collector.call_edges

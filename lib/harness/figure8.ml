@@ -38,37 +38,55 @@ let paper_b =
 
 let transform = Core.Transform.full_dup_yieldpoint_opt Common.both_specs
 
-let run ?scale () =
+let run ?scale ?jobs ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  let nb = List.length benches in
+  let ni = List.length Common.sample_intervals in
+  let progress =
+    Pool.Progress.create ~label:"figure8" ~total:(nb + (ni * nb)) ()
+  in
   let a =
-    List.map
+    Pool.map ?jobs
       (fun bench ->
         let build = Measure.prepare ?scale bench in
         let base = Measure.run_baseline build in
         let fw = Measure.run_transformed ~transform build in
         Measure.check_output ~base fw;
+        Pool.Progress.step ~cycles:fw.Measure.cycles progress;
         {
           bench = bench.Workloads.Suite.bname;
           framework = Measure.overhead_pct ~base fw;
         })
-      (Common.benchmarks ())
+      benches
   in
-  let b =
-    List.map
-      (fun interval ->
-        let totals =
-          List.map
-            (fun bench ->
-              let build = Measure.prepare ?scale bench in
-              let base = Measure.run_baseline build in
-              let m =
-                Measure.run_transformed
-                  ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
-                  ~transform build
-              in
-              Measure.overhead_pct ~base m)
-            (Common.benchmarks ())
+  (* one cell per (interval, benchmark) *)
+  let cells =
+    List.concat_map
+      (fun interval -> List.map (fun b -> (interval, b)) benches)
+      Common.sample_intervals
+  in
+  let totals =
+    Pool.map ?jobs
+      (fun (interval, bench) ->
+        let build = Measure.prepare ?scale bench in
+        let base = Measure.run_baseline build in
+        let m =
+          Measure.run_transformed
+            ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+            ~transform build
         in
-        { interval; total = Common.mean totals })
+        Pool.Progress.step ~cycles:m.Measure.cycles progress;
+        Measure.overhead_pct ~base m)
+      cells
+  in
+  Pool.Progress.finish progress;
+  let b =
+    List.mapi
+      (fun i interval ->
+        let mine = List.filteri (fun j _ -> j / nb = i) totals in
+        { interval; total = Common.mean mine })
       Common.sample_intervals
   in
   { a; b }

@@ -7,21 +7,21 @@ type build = {
   base_funcs : Lir.func list;
 }
 
-let build_cache : (string * int, build) Hashtbl.t = Hashtbl.create 16
+(* Both caches are keyed per-key-locked (Sync.Memo): when experiment cells
+   run on a domain pool, the first cell to need a (benchmark, scale) build
+   compiles it while the others block, and every later cell reads the
+   published, immutable value.  No build is ever compiled twice. *)
+let build_cache : (string * int, build) Sync.Memo.t = Sync.Memo.create ()
 
 let prepare ?(scale = 0) (bench : Workloads.Suite.benchmark) =
   let scale = if scale = 0 then bench.Workloads.Suite.default_scale else scale in
   let key = (bench.Workloads.Suite.bname, scale) in
-  match Hashtbl.find_opt build_cache key with
-  | Some b -> b
-  | None ->
+  Sync.Memo.get build_cache key (fun () ->
       let classes = Workloads.Suite.compile bench in
       let base_funcs =
         Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes)
       in
-      let b = { bench; scale; classes; base_funcs } in
-      Hashtbl.add build_cache key b;
-      b
+      { bench; scale; classes; base_funcs })
 
 type metrics = {
   cycles : int;
@@ -58,19 +58,13 @@ let execute ?timer_period build funcs hooks collector =
   in
   metrics_of prog res collector
 
-let baseline_cache : (string * int, metrics) Hashtbl.t = Hashtbl.create 16
+let baseline_cache : (string * int, metrics) Sync.Memo.t = Sync.Memo.create ()
 
 let run_baseline build =
   let key = (build.bench.Workloads.Suite.bname, build.scale) in
-  match Hashtbl.find_opt baseline_cache key with
-  | Some m -> m
-  | None ->
+  Sync.Memo.get baseline_cache key (fun () ->
       let collector = Profiles.Collector.create () in
-      let m =
-        execute build build.base_funcs Vm.Interp.null_hooks collector
-      in
-      Hashtbl.add baseline_cache key m;
-      m
+      execute build build.base_funcs Vm.Interp.null_hooks collector)
 
 let run_transformed ?(trigger = Core.Sampler.Never) ?timer_period ~transform
     build =

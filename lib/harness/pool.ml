@@ -1,0 +1,127 @@
+(* Work-stealing pool over Domain with per-worker mutex-guarded deques.
+
+   All tasks are enqueued before the workers start, so termination is
+   simple: a worker exits once its own deque and every victim's deque are
+   empty.  Workers take from the front of their own deque and steal from
+   the front of a victim's — FIFO order keeps early (often expensive,
+   cache-seeding) cells running first. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "ISF_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
+
+type deque = { mu : Mutex.t; tasks : (unit -> unit) Queue.t }
+
+let take_from d =
+  Mutex.lock d.mu;
+  let r = Queue.take_opt d.tasks in
+  Mutex.unlock d.mu;
+  r
+
+let run_tasks ~jobs (tasks : (unit -> unit) array) =
+  let n = Array.length tasks in
+  if jobs <= 1 || n <= 1 then Array.iter (fun t -> t ()) tasks
+  else begin
+    let nworkers = min jobs n in
+    let deques =
+      Array.init nworkers (fun _ ->
+          { mu = Mutex.create (); tasks = Queue.create () })
+    in
+    Array.iteri (fun i t -> Queue.push t deques.(i mod nworkers).tasks) tasks;
+    let failed : (exn * Printexc.raw_backtrace) option Atomic.t =
+      Atomic.make None
+    in
+    let worker w () =
+      let rec next k =
+        (* k = 0 is our own deque; k > 0 are steal victims *)
+        if k = nworkers then None
+        else
+          match take_from deques.((w + k) mod nworkers) with
+          | Some t -> Some t
+          | None -> next (k + 1)
+      in
+      let rec loop () =
+        if Atomic.get failed = None then
+          match next 0 with
+          | Some task ->
+              (try task ()
+               with e ->
+                 let bt = Printexc.get_raw_backtrace () in
+                 ignore (Atomic.compare_and_set failed None (Some (e, bt))));
+              loop ()
+          | None -> ()
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (nworkers - 1) (fun i -> Domain.spawn (worker (i + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join domains;
+    match Atomic.get failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+let run ?(jobs = 1) thunks = run_tasks ~jobs (Array.of_list thunks)
+
+let map ?(jobs = 1) f xs =
+  let input = Array.of_list xs in
+  let out = Array.make (Array.length input) None in
+  run_tasks ~jobs
+    (Array.mapi (fun i x () -> out.(i) <- Some (f x)) input);
+  Array.to_list
+    (Array.map
+       (function Some v -> v | None -> invalid_arg "Pool.map: task skipped")
+       out)
+
+let trace =
+  ref
+    (match Sys.getenv_opt "ISF_TRACE" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+module Progress = struct
+  type t = {
+    mu : Mutex.t;
+    label : string;
+    total : int;
+    enabled : bool;
+    mutable cells_done : int;
+    mutable cycles : int;
+    mutable drawn : bool;
+  }
+
+  let create ?enabled ~label ~total () =
+    let enabled = match enabled with Some e -> e | None -> !trace in
+    {
+      mu = Mutex.create ();
+      label;
+      total;
+      enabled;
+      cells_done = 0;
+      cycles = 0;
+      drawn = false;
+    }
+
+  let step ?(cycles = 0) t =
+    Mutex.lock t.mu;
+    t.cells_done <- t.cells_done + 1;
+    t.cycles <- t.cycles + cycles;
+    if t.enabled then begin
+      t.drawn <- true;
+      Printf.eprintf "\r[%s] %d/%d cells, %#d cycles%!" t.label t.cells_done
+        t.total t.cycles
+    end;
+    Mutex.unlock t.mu
+
+  let finish t =
+    Mutex.lock t.mu;
+    if t.drawn then prerr_newline ();
+    t.drawn <- false;
+    Mutex.unlock t.mu
+end

@@ -1,0 +1,56 @@
+(** Work-stealing domain pool for experiment grids.
+
+    Experiment drivers decompose their benchmark × configuration matrix
+    into independent cells and run them here.  Tasks are dealt
+    round-robin onto per-worker deques; a worker that drains its own
+    deque steals from the others, so an expensive cell (a benchmark that
+    compiles slowly, a sweep at interval 1) never leaves the remaining
+    workers idle.  The calling domain participates as worker 0 and
+    [jobs - 1] further domains are spawned per call — experiment grids
+    are seconds-to-minutes of work, so domain startup is noise.
+
+    {b Determinism.}  Results are assembled by submission index, so
+    [map] returns exactly what [List.map] would, whatever order cells
+    finish in.  Cells must not depend on shared mutable state beyond the
+    domain-safe memo caches ({!Measure.prepare}, {!Measure.run_baseline},
+    {!Common.perfect_profiles}) — under that discipline a parallel table
+    is byte-identical to a sequential one (enforced by
+    [test/test_pool.ml]).
+
+    {b Exceptions.}  The first task exception cancels the remaining
+    queued tasks (running ones finish) and is re-raised, with its
+    backtrace, on the caller's domain after every worker has joined. *)
+
+val default_jobs : unit -> int
+(** The [ISF_JOBS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count () - 1] (at least 1). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element, running up to [jobs]
+    cells concurrently, and returns the results in input order.
+    [jobs <= 1] (the default) degenerates to a plain in-domain
+    [List.map]: no domain is spawned, tasks run in submission order. *)
+
+val run : ?jobs:int -> (unit -> unit) list -> unit
+(** Same scheduling for effect-only tasks. *)
+
+(** Progress line for long sweeps, written to [stderr] so table output on
+    [stdout] stays byte-identical.  Thread-safe; disabled unless
+    {!trace} is set (CLI [--trace] or the [ISF_TRACE] environment
+    variable). *)
+module Progress : sig
+  type t
+
+  val create : ?enabled:bool -> label:string -> total:int -> unit -> t
+  (** [enabled] defaults to {!trace}'s value. *)
+
+  val step : ?cycles:int -> t -> unit
+  (** Record one finished cell ([cycles]: simulated cycles it spent) and
+      redraw the line: [\[label\] cells done/total, cycles]. *)
+
+  val finish : t -> unit
+  (** Terminate the line (newline on [stderr]) if anything was drawn. *)
+end
+
+val trace : bool ref
+(** Default for {!Progress.create}; initialized from [ISF_TRACE]. *)

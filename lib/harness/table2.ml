@@ -34,9 +34,16 @@ let paper =
 
 let words_to_kb w = float_of_int (w * 4) /. 1024.0
 
-let run ?scale () =
-  List.map
-    (fun bench ->
+let run ?scale ?jobs ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  let progress =
+    Pool.Progress.create ~label:"table2" ~total:(List.length benches) ()
+  in
+  let rows =
+    Pool.map ?jobs
+      (fun bench ->
       let build = Measure.prepare ?scale bench in
       let base = Measure.run_baseline build in
       let full =
@@ -68,6 +75,7 @@ let run ?scale () =
         if tot base_compile <= 0.0 then 0.0
         else 100.0 *. (tot instr_compile -. tot base_compile) /. tot base_compile
       in
+      Pool.Progress.step ~cycles:full.Measure.cycles progress;
       {
         bench = bench.Workloads.Suite.bname;
         total = Measure.overhead_pct ~base full;
@@ -77,7 +85,10 @@ let run ?scale () =
           words_to_kb (full.Measure.code_words - base.Measure.code_words);
         compile_increase;
       })
-    (Common.benchmarks ())
+      benches
+  in
+  Pool.Progress.finish progress;
+  rows
 
 let average rows =
   ( Common.mean (List.map (fun r -> r.total) rows),

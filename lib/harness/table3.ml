@@ -23,29 +23,46 @@ let paper =
     ("volano", 1.0, 10.4);
   ]
 
-let run ?scale () =
-  List.map
-    (fun bench ->
-      let build = Measure.prepare ?scale bench in
-      let base = Measure.run_baseline build in
-      let ce =
-        Measure.run_transformed
-          ~transform:(Core.Transform.no_dup Core.Spec.call_edge)
-          build
-      in
-      Measure.check_output ~base ce;
-      let fa =
-        Measure.run_transformed
-          ~transform:(Core.Transform.no_dup Core.Spec.field_access)
-          build
-      in
-      Measure.check_output ~base fa;
-      {
-        bench = bench.Workloads.Suite.bname;
-        call_edge = Measure.overhead_pct ~base ce;
-        field_access = Measure.overhead_pct ~base fa;
-      })
-    (Common.benchmarks ())
+let run ?scale ?jobs ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  let cells =
+    List.concat_map
+      (fun bench ->
+        [ (bench, Core.Spec.call_edge); (bench, Core.Spec.field_access) ])
+      benches
+  in
+  let progress =
+    Pool.Progress.create ~label:"table3" ~total:(List.length cells) ()
+  in
+  let pcts =
+    Pool.map ?jobs
+      (fun (bench, spec) ->
+        let build = Measure.prepare ?scale bench in
+        let base = Measure.run_baseline build in
+        let m =
+          Measure.run_transformed ~transform:(Core.Transform.no_dup spec) build
+        in
+        Measure.check_output ~base m;
+        Pool.Progress.step ~cycles:m.Measure.cycles progress;
+        Measure.overhead_pct ~base m)
+      cells
+  in
+  Pool.Progress.finish progress;
+  let rec rows benches pcts =
+    match (benches, pcts) with
+    | [], [] -> []
+    | bench :: bt, ce :: fa :: pt ->
+        {
+          bench = bench.Workloads.Suite.bname;
+          call_edge = ce;
+          field_access = fa;
+        }
+        :: rows bt pt
+    | _ -> assert false
+  in
+  rows benches pcts
 
 let average rows =
   ( Common.mean (List.map (fun r -> r.call_edge) rows),

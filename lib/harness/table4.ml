@@ -45,48 +45,57 @@ let variant_of_name = function
   | `Full -> Core.Transform.full_dup Common.both_specs
   | `No -> Core.Transform.no_dup Common.both_specs
 
-let sweep ?scale variant =
+let sweep ?scale ?jobs ~progress benches variant =
   let transform = variant_of_name variant in
-  let benches = Common.benchmarks () in
   (* per-benchmark framework overhead of this variant (trigger Never) *)
   let framework =
-    List.map
+    Pool.map ?jobs
       (fun bench ->
         let build = Measure.prepare ?scale bench in
         let base = Measure.run_baseline build in
         let fw = Measure.run_transformed ~transform build in
+        Pool.Progress.step ~cycles:fw.Measure.cycles progress;
         (bench, base, Measure.overhead_pct ~base fw))
       benches
   in
-  List.map
-    (fun interval ->
-      let per_bench =
-        List.map
-          (fun (bench, base, fw_pct) ->
-            let build = Measure.prepare ?scale bench in
-            let m =
-              Measure.run_transformed
-                ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
-                ~transform build
-            in
-            Measure.check_output ~base m;
-            let perfect_ce, perfect_fa = Common.perfect_profiles build in
-            let sampled_ce =
-              Profiles.Call_edge.to_keyed
-                m.Measure.collector.Profiles.Collector.call_edges
-            in
-            let sampled_fa =
-              Profiles.Field_access.to_keyed
-                m.Measure.collector.Profiles.Collector.fields
-            in
-            let total = Measure.overhead_pct ~base m in
-            ( float_of_int m.Measure.samples,
-              total -. fw_pct,
-              total,
-              Profiles.Overlap.percent perfect_ce sampled_ce,
-              Profiles.Overlap.percent perfect_fa sampled_fa ))
-          framework
-      in
+  (* one cell per (interval, benchmark), regrouped by interval below *)
+  let cells =
+    List.concat_map
+      (fun interval -> List.map (fun fw -> (interval, fw)) framework)
+      Common.sample_intervals
+  in
+  let per_cell =
+    Pool.map ?jobs
+      (fun (interval, (bench, base, fw_pct)) ->
+        let build = Measure.prepare ?scale bench in
+        let m =
+          Measure.run_transformed
+            ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+            ~transform build
+        in
+        Measure.check_output ~base m;
+        let perfect_ce, perfect_fa = Common.perfect_profiles build in
+        let sampled_ce =
+          Profiles.Call_edge.to_keyed
+            m.Measure.collector.Profiles.Collector.call_edges
+        in
+        let sampled_fa =
+          Profiles.Field_access.to_keyed
+            m.Measure.collector.Profiles.Collector.fields
+        in
+        let total = Measure.overhead_pct ~base m in
+        Pool.Progress.step ~cycles:m.Measure.cycles progress;
+        ( float_of_int m.Measure.samples,
+          total -. fw_pct,
+          total,
+          Profiles.Overlap.percent perfect_ce sampled_ce,
+          Profiles.Overlap.percent perfect_fa sampled_fa ))
+      cells
+  in
+  let nb = List.length benches in
+  List.mapi
+    (fun i interval ->
+      let per_bench = List.filteri (fun j _ -> j / nb = i) per_cell in
       let nth f = Common.mean (List.map f per_bench) in
       {
         interval;
@@ -98,8 +107,20 @@ let sweep ?scale variant =
       })
     Common.sample_intervals
 
-let run ?scale () =
-  { full_dup = sweep ?scale `Full; no_dup = sweep ?scale `No }
+let run ?scale ?jobs ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  let cells_per_variant =
+    List.length benches * (1 + List.length Common.sample_intervals)
+  in
+  let progress =
+    Pool.Progress.create ~label:"table4" ~total:(2 * cells_per_variant) ()
+  in
+  let full_dup = sweep ?scale ?jobs ~progress benches `Full in
+  let no_dup = sweep ?scale ?jobs ~progress benches `No in
+  Pool.Progress.finish progress;
+  { full_dup; no_dup }
 
 let cells_to_string title cells =
   title ^ "\n"

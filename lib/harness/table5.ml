@@ -29,9 +29,16 @@ let paper =
 
 let transform = Core.Transform.full_dup Core.Spec.field_access
 
-let run ?scale () =
-  List.map
-    (fun bench ->
+let run ?scale ?jobs ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  let progress =
+    Pool.Progress.create ~label:"table5" ~total:(List.length benches) ()
+  in
+  let rows =
+    Pool.map ?jobs
+      (fun bench ->
       let build = Measure.prepare ?scale bench in
       let base = Measure.run_baseline build in
       let perfect_fa =
@@ -70,13 +77,17 @@ let run ?scale () =
           (Profiles.Field_access.to_keyed
              counter.Measure.collector.Profiles.Collector.fields)
       in
+      Pool.Progress.step ~cycles:counter.Measure.cycles progress;
       {
         bench = bench.Workloads.Suite.bname;
         time_based = timer_acc;
         counter_based = counter_acc;
         matched_interval = interval;
       })
-    (Common.benchmarks ())
+      benches
+  in
+  Pool.Progress.finish progress;
+  rows
 
 let average rows =
   ( Common.mean (List.map (fun r -> r.time_based) rows),

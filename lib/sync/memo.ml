@@ -1,0 +1,57 @@
+type 'v state = Computing | Done of 'v
+
+type ('k, 'v) t = {
+  mu : Mutex.t;
+  published : Condition.t;
+  tbl : ('k, 'v state) Hashtbl.t;
+}
+
+let create ?(size = 16) () =
+  { mu = Mutex.create (); published = Condition.create (); tbl = Hashtbl.create size }
+
+let get t k f =
+  Mutex.lock t.mu;
+  let rec await () =
+    match Hashtbl.find_opt t.tbl k with
+    | Some (Done v) ->
+        Mutex.unlock t.mu;
+        v
+    | Some Computing ->
+        Condition.wait t.published t.mu;
+        await ()
+    | None -> (
+        Hashtbl.replace t.tbl k Computing;
+        Mutex.unlock t.mu;
+        match f () with
+        | v ->
+            Mutex.lock t.mu;
+            Hashtbl.replace t.tbl k (Done v);
+            Condition.broadcast t.published;
+            Mutex.unlock t.mu;
+            v
+        | exception e ->
+            (* un-publish so a later caller can retry; wake waiters so they
+               race for the Computing slot instead of sleeping forever *)
+            Mutex.lock t.mu;
+            (match Hashtbl.find_opt t.tbl k with
+            | Some Computing -> Hashtbl.remove t.tbl k
+            | _ -> ());
+            Condition.broadcast t.published;
+            Mutex.unlock t.mu;
+            raise e)
+  in
+  await ()
+
+let find_opt t k =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.tbl k with Some (Done v) -> Some v | _ -> None
+  in
+  Mutex.unlock t.mu;
+  r
+
+let clear t =
+  Mutex.lock t.mu;
+  Hashtbl.reset t.tbl;
+  Condition.broadcast t.published;
+  Mutex.unlock t.mu

@@ -1,0 +1,28 @@
+(** Domain-safe, per-key memoization.
+
+    [get t k f] returns the cached value for [k], computing it with [f]
+    exactly once even when several domains ask for the same key
+    concurrently: the first caller computes while later callers block on
+    a condition variable until the value is published.  Distinct keys
+    compute in parallel — the table lock is held only for state
+    transitions, never during [f].
+
+    A computation that raises publishes nothing: the exception
+    propagates to the computing caller, waiters are woken, and the next
+    caller retries [f].  Values are never recomputed after a successful
+    publish, so callers may treat the result as immutable shared data. *)
+
+type ('k, 'v) t
+
+val create : ?size:int -> unit -> ('k, 'v) t
+(** [size] is the initial hash-table capacity (default 16). *)
+
+val get : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Peek without computing; [None] also while a computation is in
+    flight. *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every published value.  In-flight computations still publish
+    (into the cleared table) when they finish. *)

@@ -84,14 +84,13 @@ let find name = List.find (fun b -> b.bname = name) all
 
 let names = List.map (fun b -> b.bname) all
 
-let compiled = Hashtbl.create 16
+(* domain-safe: experiment cells running on a pool may ask for the same
+   benchmark concurrently; the memo compiles it exactly once *)
+let compiled : (string, Bytecode.Classfile.program) Sync.Memo.t =
+  Sync.Memo.create ()
 
 let compile b =
-  match Hashtbl.find_opt compiled b.bname with
-  | Some p -> p
-  | None ->
-      let p = Jasm.Compile.compile_string ~file:b.bname b.source in
-      Hashtbl.add compiled b.bname p;
-      p
+  Sync.Memo.get compiled b.bname (fun () ->
+      Jasm.Compile.compile_string ~file:b.bname b.source)
 
 let entry = { Ir.Lir.mclass = "Main"; mname = "main" }

@@ -1,15 +1,34 @@
 (* Random well-typed jasm program generator for property-based tests.
 
-   Programs are guaranteed to terminate (loops are bounded counters, the
-   static call graph is acyclic) and to be deterministic, so any two
-   executions — baseline vs optimized, baseline vs instrumented — must
-   print the same output and return the same checksum.
+   Programs are guaranteed to terminate (loops are bounded counters with
+   fresh names that random statements can never write, the static call
+   graph is acyclic) and to be deterministic, so any two executions —
+   baseline vs optimized, baseline vs instrumented — must print the same
+   output and return the same checksum.
 
-   Division is always by a non-zero constant, so no run traps. *)
+   The generated surface covers every instrumentation point of the
+   framework: method entries and (nested) loop backedges carry checks;
+   instance-field, static-field and array reads/writes are field-access
+   instrumentation sites; static and virtual calls are call-edge sites;
+   conditionals, switches and for-loops exercise CFG shapes (join
+   points, multi-way branches) that duplication must get right.
+
+   Safety invariants, maintained syntactically:
+   - division/remainder is always by a non-zero constant;
+   - array indices are masked with [& 7] against fixed-size-8 arrays;
+   - object locals are initialized at declaration and never reassigned,
+     so no null dereference;
+   - every stored value is masked to 20 bits, so checksums stay small. *)
 
 open QCheck.Gen
 
-type ctx = { vars : string list; funcs : int (* callable f0..f(n-1) *) }
+type ctx = {
+  vars : string list; (* int locals *)
+  arrays : string list; (* int[] locals, all of length 8 *)
+  cells : string list; (* Cell locals, never null *)
+  statics : string list; (* qualified static int fields *)
+  funcs : int; (* callable Main.f0 .. Main.f(n-1) *)
+}
 
 let int_lit = map string_of_int (int_range (-99) 99)
 
@@ -22,6 +41,30 @@ let rec expr ctx depth =
       [
         (2, int_lit);
         (3, var ctx);
+        ( 2,
+          match ctx.arrays with
+          | [] -> var ctx
+          | arrays ->
+              let* a = oneofl arrays in
+              let* i = expr ctx (depth - 1) in
+              return (Printf.sprintf "%s[(%s) & 7]" a i) );
+        ( 1,
+          match ctx.arrays with
+          | [] -> int_lit
+          | arrays ->
+              let* a = oneofl arrays in
+              return (a ^ ".length") );
+        ( 2,
+          match ctx.cells with
+          | [] -> var ctx
+          | cells ->
+              let* c = oneofl cells in
+              let* access = oneofl [ ".v"; ".w"; ".get()"; ".mix()" ] in
+              return (c ^ access) );
+        ( 1,
+          match ctx.statics with
+          | [] -> int_lit
+          | statics -> oneofl statics );
         ( 4,
           let* op = oneofl [ "+"; "-"; "*"; "&"; "^"; "|" ] in
           let* a = expr ctx (depth - 1) in
@@ -38,6 +81,11 @@ let rec expr ctx depth =
           let* a = expr ctx (depth - 1) in
           let* k = int_range 1 9 in
           return (Printf.sprintf "((%s) %% %d)" a k) );
+        ( 1,
+          let* a = expr ctx (depth - 1) in
+          let* k = int_range 0 4 in
+          let* op = oneofl [ "<<"; ">>" ] in
+          return (Printf.sprintf "((%s) %s %d)" a op k) );
         ( 2,
           if ctx.funcs = 0 then var ctx
           else
@@ -47,13 +95,30 @@ let rec expr ctx depth =
             return (Printf.sprintf "Main.f%d((%s), (%s))" f a b) );
       ]
 
-let cond ctx depth =
-  let* op = oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
-  let* a = expr ctx depth in
-  let* b = expr ctx depth in
-  return (Printf.sprintf "(%s) %s (%s)" a op b)
+let rec cond ctx depth =
+  frequency
+    [
+      ( 5,
+        let* op = oneofl [ "<"; "<="; ">"; ">="; "=="; "!=" ] in
+        let* a = expr ctx depth in
+        let* b = expr ctx depth in
+        return (Printf.sprintf "(%s) %s (%s)" a op b) );
+      ( 1,
+        if depth <= 0 then return "0 == 0"
+        else
+          let* op = oneofl [ "&&"; "||" ] in
+          let* a = cond ctx (depth - 1) in
+          let* b = cond ctx (depth - 1) in
+          return (Printf.sprintf "(%s) %s (%s)" a op b) );
+      ( 1,
+        if depth <= 0 then return "1 != 0"
+        else
+          let* a = cond ctx (depth - 1) in
+          return (Printf.sprintf "!(%s)" a) );
+    ]
 
-(* statements write only to locals; fresh loop counters guarantee
+(* statements write only to int locals, arrays, fields and static fields;
+   fresh loop counters (never exposed in [ctx.vars]) guarantee
    termination *)
 let rec stmts ctx ~fresh ~depth ~budget =
   if budget <= 0 then return []
@@ -61,6 +126,10 @@ let rec stmts ctx ~fresh ~depth ~budget =
     let* s, fresh' = stmt ctx ~fresh ~depth in
     let* rest = stmts ctx ~fresh:fresh' ~depth ~budget:(budget - 1) in
     return (s :: rest)
+
+and block ctx ~fresh ~depth ~budget =
+  let* body = stmts ctx ~fresh ~depth ~budget in
+  return (String.concat " " body)
 
 and stmt ctx ~fresh ~depth =
   frequency
@@ -70,18 +139,54 @@ and stmt ctx ~fresh ~depth =
         let* e = expr ctx 2 in
         return (Printf.sprintf "%s = (%s) & 1048575;" v e, fresh) );
       ( 2,
+        match ctx.arrays with
+        | [] ->
+            let* v = var ctx in
+            return (Printf.sprintf "%s = %s + 1;" v v, fresh)
+        | arrays ->
+            let* a = oneofl arrays in
+            let* i = expr ctx 1 in
+            let* e = expr ctx 2 in
+            return
+              (Printf.sprintf "%s[(%s) & 7] = (%s) & 1048575;" a i e, fresh) );
+      ( 2,
+        match ctx.cells with
+        | [] ->
+            let* v = var ctx in
+            return (Printf.sprintf "%s = %s ^ 5;" v v, fresh)
+        | cells ->
+            let* c = oneofl cells in
+            let* e = expr ctx 1 in
+            let* f =
+              oneofl
+                [
+                  Printf.sprintf "%s.v = (%s) & 1048575;";
+                  Printf.sprintf "%s.w = (%s) & 1048575;";
+                  Printf.sprintf "%s.bump((%s) & 255);";
+                ]
+            in
+            return (f c e, fresh) );
+      ( 1,
+        match ctx.statics with
+        | [] ->
+            let* v = var ctx in
+            return (Printf.sprintf "%s = %s | 2;" v v, fresh)
+        | statics ->
+            let* s = oneofl statics in
+            let* e = expr ctx 1 in
+            return (Printf.sprintf "%s = (%s) & 1048575;" s e, fresh) );
+      ( 2,
         let* c = cond ctx 1 in
-        let* then_ = stmts ctx ~fresh:(fresh + 100) ~depth:(depth - 1) ~budget:2 in
-        let* else_ = stmts ctx ~fresh:(fresh + 200) ~depth:(depth - 1) ~budget:2 in
         if depth <= 0 then
           let* v = var ctx in
-          return (Printf.sprintf "%s = %s + 1;" v v, fresh)
+          return (Printf.sprintf "if (%s) { %s = %s + 1; }" c v v, fresh)
         else
-          return
-            ( Printf.sprintf "if (%s) { %s } else { %s }" c
-                (String.concat " " then_) (String.concat " " else_),
-              fresh ) );
+          let* then_ = block ctx ~fresh:(fresh + 100) ~depth:(depth - 1) ~budget:2 in
+          let* else_ = block ctx ~fresh:(fresh + 200) ~depth:(depth - 1) ~budget:2 in
+          return (Printf.sprintf "if (%s) { %s } else { %s }" c then_ else_, fresh) );
       ( 2,
+        (* while loop on a fresh bounded counter: a (possibly nested)
+           backedge with checks under the duplicating transforms *)
         if depth <= 0 then
           let* v = var ctx in
           return (Printf.sprintf "%s = %s ^ 3;" v v, fresh)
@@ -89,27 +194,92 @@ and stmt ctx ~fresh ~depth =
           let i = Printf.sprintf "i%d" fresh in
           let* bound = int_range 1 6 in
           let* body =
-            stmts ctx ~fresh:(fresh + 1) ~depth:(depth - 1) ~budget:2
+            block ctx ~fresh:(fresh + 1) ~depth:(depth - 1) ~budget:2
           in
           return
             ( Printf.sprintf
                 "var %s: int = 0; while (%s < %d) { %s %s = %s + 1; }" i i
-                bound (String.concat " " body) i i,
+                bound body i i,
               fresh + 1 ) );
+      ( 1,
+        (* for loop: same backedge shape, different frontend path *)
+        if depth <= 0 then
+          let* v = var ctx in
+          return (Printf.sprintf "%s = %s + 2;" v v, fresh)
+        else
+          let i = Printf.sprintf "i%d" fresh in
+          let* bound = int_range 1 5 in
+          let* body =
+            block ctx ~fresh:(fresh + 1) ~depth:(depth - 1) ~budget:2
+          in
+          return
+            ( Printf.sprintf
+                "for (var %s: int = 0; %s < %d; %s = %s + 1) { %s }" i i bound
+                i i body,
+              fresh + 1 ) );
+      ( 1,
+        (* switch: multi-way branch, no fallthrough *)
+        if depth <= 0 then
+          let* v = var ctx in
+          return (Printf.sprintf "%s = %s - 1;" v v, fresh)
+        else
+          let* e = expr ctx 1 in
+          let* c0 = block ctx ~fresh:(fresh + 300) ~depth:0 ~budget:1 in
+          let* c1 = block ctx ~fresh:(fresh + 400) ~depth:0 ~budget:1 in
+          let* d = block ctx ~fresh:(fresh + 500) ~depth:0 ~budget:1 in
+          return
+            ( Printf.sprintf
+                "switch ((%s) & 3) { case 0: { %s } case 1: { %s } default: { \
+                 %s } }"
+                e c0 c1 d,
+              fresh ) );
       ( 1,
         let* e = expr ctx 1 in
         return (Printf.sprintf "print((%s) & 255);" e, fresh) );
     ]
 
+(* Cell instances are the virtual-dispatch and instance-field sites; a
+   generated program may allocate a SubCell into a Cell local, making
+   [get] a genuinely polymorphic call. *)
+let helper_classes =
+  {|class Cell {
+  var v: int;
+  var w: int;
+  fun bump(d: int) { this.v = (this.v + d) & 1048575; }
+  fun mix(): int { this.w = (this.w ^ ((this.v % 97) * 3)) & 1048575; return this.w; }
+  fun get(): int { return (this.v + this.w) & 1048575; }
+}
+class SubCell extends Cell {
+  fun get(): int { return (this.v ^ (this.w << 1)) & 1048575; }
+}
+class Gs {
+  static var s0: int;
+  static var s1: int;
+}|}
+
+let statics = [ "Gs.s0"; "Gs.s1" ]
+
 let func_src idx n_callable =
   (* f_idx may call f0 .. f_{idx-1}: the call graph is acyclic *)
-  let ctx = { vars = [ "a"; "b"; "t" ]; funcs = min idx n_callable } in
-  let* body = stmts ctx ~fresh:0 ~depth:2 ~budget:3 in
+  let ctx =
+    {
+      vars = [ "a"; "b"; "t" ];
+      arrays = [ "arr" ];
+      cells = [ "c" ];
+      statics;
+      funcs = min idx n_callable;
+    }
+  in
+  let* cell_class = oneofl [ "Cell"; "SubCell" ] in
+  let* body = stmts ctx ~fresh:0 ~depth:3 ~budget:4 in
   let* ret = expr ctx 2 in
   return
     (Printf.sprintf
-       "static fun f%d(a: int, b: int): int { var t: int = (a ^ b) & 65535; %s return (%s) & 1048575; }"
-       idx (String.concat " " body) ret)
+       "static fun f%d(a: int, b: int): int { var t: int = (a ^ b) & 65535; \
+        var arr: int[] = new int[8]; var c: Cell = new %s; arr[0] = a & \
+        1048575; arr[1] = b & 1048575; c.v = b & 255; %s return (%s) & \
+        1048575; }"
+       idx cell_class (String.concat " " body) ret)
 
 let program =
   let* n_funcs = int_range 1 4 in
@@ -118,24 +288,38 @@ let program =
   in
   (* "k" is main's loop counter: random statements must never write
      it, so it is not exposed as a variable at all *)
-  let main_ctx = { vars = [ "acc" ]; funcs = n_funcs } in
-  let* main_body = stmts main_ctx ~fresh:1000 ~depth:2 ~budget:4 in
+  let main_ctx =
+    {
+      vars = [ "acc" ];
+      arrays = [ "marr" ];
+      cells = [ "mc" ];
+      statics;
+      funcs = n_funcs;
+    }
+  in
+  let* main_body = stmts main_ctx ~fresh:1000 ~depth:3 ~budget:5 in
   return
     (Printf.sprintf
-       {|class Main {
+       {|%s
+class Main {
   %s
   static fun main(n: int): int {
     var acc: int = n;
+    var marr: int[] = new int[8];
+    var mc: Cell = new SubCell;
     var k: int = 0;
     while (k < 8) {
       %s
       acc = (acc + Main.f0(acc, k)) & 1048575;
+      marr[k & 7] = acc;
       k = k + 1;
     }
+    acc = (acc + mc.get() + marr[3] + Gs.s0 + Gs.s1) & 1048575;
     print(acc);
     return acc;
   }
 }|}
+       helper_classes
        (String.concat "\n  " funcs)
        (String.concat " " main_body))
 

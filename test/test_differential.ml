@@ -1,0 +1,160 @@
+(* Differential testing of the sampling framework on random programs.
+
+   Each test compiles >= 100 random well-typed jasm programs (the
+   generator in [Gen_jasm] covers nested backedges, static and virtual
+   calls, conditionals, switches, field/array/static accesses) and
+   compares an instrumented execution against the uninstrumented
+   baseline:
+
+   - every duplication strategy must preserve output and return value
+     under EVERY trigger — Always, Never, deterministic and jittered
+     counters, per-thread counters, and the timer bit;
+   - Property 1 of the paper (dynamic checks <= method entries +
+     backedge yieldpoints) must hold for the duplicating transforms;
+   - the Always trigger ("sample interval 1") must reproduce the
+     perfect profile: its call-edge and field counts equal those of
+     the exhaustively instrumented program, exactly. *)
+
+module Lir = Ir.Lir
+
+let spec = Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
+
+let triggers =
+  [
+    ("always", Core.Sampler.Always);
+    ("never", Core.Sampler.Never);
+    ("counter-3", Core.Sampler.Counter { interval = 3; jitter = 0 });
+    ("counter-7j2", Core.Sampler.Counter { interval = 7; jitter = 2 });
+    ("per-thread-5", Core.Sampler.Counter_per_thread { interval = 5 });
+    ("timer", Core.Sampler.Timer_bit);
+  ]
+
+let compile src =
+  let classes = Jasm.Compile.compile_string src in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  (classes, funcs)
+
+let run_funcs classes funcs hooks =
+  Vm.Interp.run ~fuel:200_000_000
+    (Vm.Program.link classes ~funcs)
+    ~entry:{ Lir.mclass = "Main"; mname = "main" }
+    ~args:[ 5 ] hooks
+
+let run_instrumented ?(validate = true) classes funcs transform trigger =
+  let funcs' =
+    List.map
+      (fun f ->
+        let g = (transform f).Core.Transform.func in
+        if validate then Core.Validate.check_exn g;
+        g)
+      funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler = Core.Sampler.create trigger in
+  let res =
+    run_funcs classes funcs' (Profiles.Collector.hooks collector sampler)
+  in
+  (res, collector)
+
+let count = 100
+
+(* (a) semantics preservation: one test per transform, every trigger
+   exercised on every generated program *)
+let preserves name transform =
+  QCheck.Test.make ~count
+    ~name:(Printf.sprintf "differential: %s == baseline under all triggers" name)
+    Gen_jasm.arbitrary_program
+    (fun src ->
+      let classes, funcs = compile src in
+      let base = run_funcs classes funcs Vm.Interp.null_hooks in
+      List.for_all
+        (fun (tname, trigger) ->
+          let res, _ = run_instrumented classes funcs transform trigger in
+          let same =
+            String.equal base.Vm.Interp.output res.Vm.Interp.output
+            && base.Vm.Interp.return_value = res.Vm.Interp.return_value
+          in
+          if not same then
+            QCheck.Test.fail_reportf
+              "%s diverged from baseline under trigger %s" name tname
+          else same)
+        triggers)
+
+(* (b) Property 1, dynamically: the duplicating transforms insert checks
+   only at method entries and loop backedges *)
+let property_one =
+  QCheck.Test.make ~count
+    ~name:"differential: Property 1 (checks <= entries + backedge yps)"
+    Gen_jasm.arbitrary_program
+    (fun src ->
+      let classes, funcs = compile src in
+      List.for_all
+        (fun (name, transform) ->
+          List.for_all
+            (fun trigger ->
+              let res, _ = run_instrumented classes funcs transform trigger in
+              let c = res.Vm.Interp.counters in
+              let ok =
+                c.Vm.Interp.checks
+                <= c.Vm.Interp.entries + c.Vm.Interp.backedge_yps
+              in
+              if not ok then
+                QCheck.Test.fail_reportf
+                  "%s: %d checks > %d entries + %d backedge yps" name
+                  c.Vm.Interp.checks c.Vm.Interp.entries
+                  c.Vm.Interp.backedge_yps
+              else ok)
+            [
+              Core.Sampler.Always;
+              Core.Sampler.Counter { interval = 3; jitter = 0 };
+            ])
+        [
+          ("full-dup", Core.Transform.full_dup spec);
+          ("partial-dup", Core.Transform.partial_dup spec);
+        ])
+
+(* (c) the Always trigger reproduces the perfect profile: identical
+   call-edge and field-access counts to exhaustive instrumentation *)
+let sorted_keyed l = List.sort compare l
+
+let always_is_perfect =
+  QCheck.Test.make ~count
+    ~name:"differential: Always trigger == exhaustive (perfect) profile"
+    Gen_jasm.arbitrary_program
+    (fun src ->
+      let classes, funcs = compile src in
+      let keyed (_, col) =
+        ( sorted_keyed
+            (Profiles.Call_edge.to_keyed col.Profiles.Collector.call_edges),
+          sorted_keyed
+            (Profiles.Field_access.to_keyed col.Profiles.Collector.fields) )
+      in
+      let sampled =
+        keyed
+          (run_instrumented classes funcs
+             (Core.Transform.full_dup spec)
+             Core.Sampler.Always)
+      in
+      let perfect =
+        keyed
+          (run_instrumented ~validate:false classes funcs
+             (Core.Transform.exhaustive spec)
+             Core.Sampler.Never)
+      in
+      sampled = perfect)
+
+let qtests =
+  [
+    preserves "full-dup" (Core.Transform.full_dup spec);
+    preserves "partial-dup" (Core.Transform.partial_dup spec);
+    preserves "no-dup" (Core.Transform.no_dup spec);
+    preserves "yp-opt" (Core.Transform.full_dup_yieldpoint_opt spec);
+    property_one;
+    always_is_perfect;
+  ]
+
+let suite =
+  [
+    ( "differential",
+      List.map (QCheck_alcotest.to_alcotest ~long:false) qtests );
+  ]

@@ -1,0 +1,154 @@
+(* Tests for the domain pool ([Harness.Pool]) and the domain-safe
+   memoization ([Sync.Memo]) behind the shared build cache.
+
+   The load-bearing property is determinism: running an experiment grid
+   on N domains must produce byte-identical output to running it
+   sequentially, because every cell is an independent pure measurement
+   assembled by submission index. *)
+
+let check = Alcotest.check
+
+(* ---- Pool.map semantics ---- *)
+
+let test_map_order () =
+  let xs = List.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      check
+        (Alcotest.list Alcotest.int)
+        (Printf.sprintf "map preserves order at -j %d" jobs)
+        (List.map (fun x -> x * x) xs)
+        (Harness.Pool.map ~jobs (fun x -> x * x) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_map_empty () =
+  check (Alcotest.list Alcotest.int) "empty input" []
+    (Harness.Pool.map ~jobs:4 (fun x -> x) []);
+  check (Alcotest.list Alcotest.int) "more workers than tasks" [ 42 ]
+    (Harness.Pool.map ~jobs:8 (fun x -> x) [ 42 ])
+
+let test_sequential_degenerate () =
+  (* -j 1 must run every task in the caller's domain, in submission
+     order: no spawned domains, no interleaving *)
+  let self = Domain.self () in
+  let order = ref [] in
+  let result =
+    Harness.Pool.map ~jobs:1
+      (fun x ->
+        check Alcotest.bool "runs in caller's domain" true
+          (Domain.self () = self);
+        order := x :: !order;
+        x)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  check (Alcotest.list Alcotest.int) "submission order" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order);
+  check (Alcotest.list Alcotest.int) "results" [ 1; 2; 3; 4; 5 ] result
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match
+        Harness.Pool.map ~jobs
+          (fun x -> if x = 13 then failwith "boom" else x)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.failf "-j %d swallowed the exception" jobs
+      | exception Failure msg ->
+          check Alcotest.string
+            (Printf.sprintf "-j %d re-raises" jobs)
+            "boom" msg)
+    [ 1; 4 ]
+
+let test_run () =
+  let hits = Atomic.make 0 in
+  Harness.Pool.run ~jobs:3
+    (List.init 10 (fun _ () -> Atomic.incr hits));
+  check Alcotest.int "all thunks ran" 10 (Atomic.get hits)
+
+(* ---- Sync.Memo: compute-once under contention ---- *)
+
+let test_memo_compute_once () =
+  let memo : (int, int) Sync.Memo.t = Sync.Memo.create () in
+  let computes = Atomic.make 0 in
+  let results =
+    Harness.Pool.map ~jobs:4
+      (fun i ->
+        Sync.Memo.get memo (i mod 3) (fun () ->
+            Atomic.incr computes;
+            (* widen the race window so contending domains hit Computing *)
+            ignore (Sys.opaque_identity (List.init 1000 Fun.id));
+            (i mod 3) * 10))
+      (List.init 64 Fun.id)
+  in
+  check Alcotest.int "each key computed exactly once" 3 (Atomic.get computes);
+  List.iteri
+    (fun i v -> check Alcotest.int "memoized value" (i mod 3 * 10) v)
+    results
+
+let test_memo_retry_after_failure () =
+  let memo : (string, int) Sync.Memo.t = Sync.Memo.create () in
+  let attempts = ref 0 in
+  (try
+     ignore
+       (Sync.Memo.get memo "k" (fun () ->
+            incr attempts;
+            failwith "first try fails"))
+   with Failure _ -> ());
+  check Alcotest.int "failed compute is not cached" 7
+    (Sync.Memo.get memo "k" (fun () ->
+         incr attempts;
+         7));
+  check Alcotest.int "computed twice (fail, then success)" 2 !attempts;
+  check (Alcotest.option Alcotest.int) "now cached" (Some 7)
+    (Sync.Memo.find_opt memo "k")
+
+(* ---- determinism on a real experiment grid ---- *)
+
+let grid_benches () =
+  [ Workloads.Suite.find "jess"; Workloads.Suite.find "db" ]
+
+(* Table 1 on a 2-benchmark grid; all columns are simulated cycle
+   counts, so parallel and sequential runs must render byte-identically
+   (table 2's compile-time column is the one wall-clock — hence
+   nondeterministic — measurement, so it is not used here). *)
+let test_parallel_matches_sequential () =
+  let table jobs =
+    Harness.Table1.to_string
+      (Harness.Table1.run ~scale:1 ~jobs ~benches:(grid_benches ()) ())
+  in
+  let seq = table 1 in
+  check Alcotest.string "-j 4 byte-identical to -j 1" seq (table 4);
+  check Alcotest.string "-j 2 byte-identical to -j 1" seq (table 2)
+
+let test_figure8_parallel_matches_sequential () =
+  let fig jobs =
+    Harness.Figure8.to_string
+      (Harness.Figure8.run ~scale:1 ~jobs ~benches:(grid_benches ()) ())
+  in
+  check Alcotest.string "figure 8: -j 3 byte-identical to -j 1" (fig 1) (fig 3)
+
+let test_default_jobs () =
+  check Alcotest.bool "default_jobs >= 1" true (Harness.Pool.default_jobs () >= 1)
+
+let suite =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "map preserves order" `Quick test_map_order;
+        Alcotest.test_case "map edge cases" `Quick test_map_empty;
+        Alcotest.test_case "-j 1 is sequential" `Quick
+          test_sequential_degenerate;
+        Alcotest.test_case "exceptions propagate" `Quick
+          test_exception_propagates;
+        Alcotest.test_case "run executes all thunks" `Quick test_run;
+        Alcotest.test_case "memo computes once" `Quick test_memo_compute_once;
+        Alcotest.test_case "memo retries after failure" `Quick
+          test_memo_retry_after_failure;
+        Alcotest.test_case "default jobs sane" `Quick test_default_jobs;
+        Alcotest.test_case "table1 parallel == sequential" `Quick
+          test_parallel_matches_sequential;
+        Alcotest.test_case "figure8 parallel == sequential" `Slow
+          test_figure8_parallel_matches_sequential;
+      ] );
+  ]

@@ -47,10 +47,23 @@ let scale_scales () =
     "scale 2 does more work" true
     (r2.Vm.Interp.cycles > r1.Vm.Interp.cycles * 3 / 2)
 
-let per_bench f =
+(* full-scale runs of every benchmark: slower, so excluded from the
+   default quick pass (alcotest -q); `make ci` runs them *)
+let runs_full (b : Workloads.Suite.benchmark) () =
+  let res = run_baseline ~scale:2 b in
+  Alcotest.(check bool)
+    "terminates with a checksum" true
+    (res.Vm.Interp.return_value <> None)
+
+let deterministic_full (b : Workloads.Suite.benchmark) () =
+  let r1 = run_baseline ~scale:2 b and r2 = run_baseline ~scale:2 b in
+  Alcotest.(check string) "same output" r1.Vm.Interp.output r2.Vm.Interp.output;
+  Alcotest.(check int) "same cycles" r1.Vm.Interp.cycles r2.Vm.Interp.cycles
+
+let per_bench ?(speed = `Quick) f =
   List.map
     (fun (b : Workloads.Suite.benchmark) ->
-      Alcotest.test_case b.Workloads.Suite.bname `Quick (f b))
+      Alcotest.test_case b.Workloads.Suite.bname speed (f b))
     Workloads.Suite.all
 
 let suite =
@@ -58,6 +71,9 @@ let suite =
     ("workloads compile", per_bench compiles);
     ("workloads run", per_bench runs);
     ("workloads deterministic", per_bench deterministic);
+    ("workloads run (full scale)", per_bench ~speed:`Slow runs_full);
+    ( "workloads deterministic (full scale)",
+      per_bench ~speed:`Slow deterministic_full );
     ( "workloads misc",
       [
         Alcotest.test_case "volano uses threads" `Quick threads_used;
