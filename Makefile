@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test test-all fmt ci clean
+.PHONY: all build test test-all fmt bench-smoke ci clean
 
 all: build
 
@@ -17,6 +17,12 @@ test:
 test-all:
 	$(DUNE) exec test/main.exe
 
+# engine-vs-engine wall-clock benchmark at the smallest scale, plus
+# validation that BENCH_interp.json parses and covers both engines for
+# all ten workloads
+bench-smoke:
+	$(DUNE) exec bench/main.exe -- smoke
+
 # gated: the container does not ship ocamlformat
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -28,6 +34,7 @@ fmt:
 ci: build fmt
 	$(DUNE) exec test/main.exe
 	$(DUNE) exec bin/isf.exe -- table 1 -j 2 > /dev/null
+	$(MAKE) bench-smoke
 	@echo "ci OK"
 
 clean:

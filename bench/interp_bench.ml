@@ -1,0 +1,308 @@
+(* Engine-vs-engine wall-clock benchmark.
+
+   For every workload, links the baseline (uninstrumented) program once
+   and runs it to completion under both VM engines — the reference
+   interpreter and the closure-compiled engine — timing wall-clock per
+   run and normalizing to nanoseconds per simulated instruction.  Before
+   timing, the two engines' results are asserted identical (return
+   value, output, cycles, instructions, event counters): the benchmark
+   refuses to compare engines that disagree.
+
+   Results go to BENCH_interp.json (hand-written JSON; the repo has no
+   JSON dependency).  [smoke] reruns the same thing at scale 1 with a
+   tiny time budget and then validates the JSON: it must parse and must
+   contain both engines' numbers for all ten workloads. *)
+
+module M = Harness.Measure
+
+let out_file = "BENCH_interp.json"
+
+type row = {
+  name : string;
+  scale : int;
+  cycles : int;
+  instructions : int;
+  ref_ns : float; (* ns per simulated instruction *)
+  fast_ns : float;
+}
+
+let speedup r = r.ref_ns /. r.fast_ns
+
+(* ---- measurement ---- *)
+
+let assert_identical name (a : Vm.Interp.result) (b : Vm.Interp.result) =
+  let fail what = failwith (Printf.sprintf "%s: engines disagree on %s" name what) in
+  if a.Vm.Interp.return_value <> b.Vm.Interp.return_value then fail "return value";
+  if not (String.equal a.Vm.Interp.output b.Vm.Interp.output) then fail "output";
+  if a.Vm.Interp.cycles <> b.Vm.Interp.cycles then fail "cycles";
+  if a.Vm.Interp.instructions <> b.Vm.Interp.instructions then fail "instructions";
+  if a.Vm.Interp.counters <> b.Vm.Interp.counters then fail "event counters"
+
+let probe run =
+  let t0 = Unix.gettimeofday () in
+  ignore (run ());
+  Unix.gettimeofday () -. t0
+
+(* Interleaved batches, best batch wins: the minimum is robust against
+   the scheduling noise a single long average soaks up, and alternating
+   the engines keeps slow drift from biasing either side. *)
+let batches = 5
+
+let time_pair ~budget run_a run_b =
+  let per_batch = budget /. float_of_int batches in
+  let reps run =
+    max 1 (int_of_float (per_batch /. Float.max 1e-6 (probe run)))
+  in
+  let reps_a = reps run_a and reps_b = reps run_b in
+  let batch run n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (run ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  let best_a = ref infinity and best_b = ref infinity in
+  for _ = 1 to batches do
+    best_a := Float.min !best_a (batch run_a reps_a);
+    best_b := Float.min !best_b (batch run_b reps_b)
+  done;
+  (!best_a, !best_b)
+
+let bench_workload ~scale ~budget (b : Workloads.Suite.benchmark) =
+  let build = M.prepare ?scale b in
+  let prog = Vm.Program.link build.M.classes ~funcs:build.M.base_funcs in
+  let args = [ build.M.scale ] in
+  let run engine () =
+    Vm.Interp.run ~engine prog ~entry:Workloads.Suite.entry ~args
+      Vm.Interp.null_hooks
+  in
+  (* warm runs: differential check, plus the Fast warm run compiles the
+     program so compilation cost stays out of the timed loop (it is
+     cached on the linked program afterwards) *)
+  let r_ref = run `Ref () and r_fast = run `Fast () in
+  assert_identical b.Workloads.Suite.bname r_ref r_fast;
+  let instr = float_of_int r_ref.Vm.Interp.instructions in
+  let per_ref, per_fast = time_pair ~budget (run `Ref) (run `Fast) in
+  let row =
+    {
+      name = b.Workloads.Suite.bname;
+      scale = build.M.scale;
+      cycles = r_ref.Vm.Interp.cycles;
+      instructions = r_ref.Vm.Interp.instructions;
+      ref_ns = per_ref *. 1e9 /. instr;
+      fast_ns = per_fast *. 1e9 /. instr;
+    }
+  in
+  Printf.printf "  %-14s ref %7.2f ns/instr   fast %7.2f ns/instr   %4.2fx\n%!"
+    row.name row.ref_ns row.fast_ns (speedup row);
+  row
+
+(* ---- JSON out ---- *)
+
+let json_of_rows rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": %S, \"scale\": %d, \"cycles\": %d, \
+            \"instructions\": %d, \"ref_ns_per_instr\": %.3f, \
+            \"fast_ns_per_instr\": %.3f, \"speedup\": %.3f }%s\n"
+           r.name r.scale r.cycles r.instructions r.ref_ns r.fast_ns
+           (speedup r)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+(* ---- JSON in (validation only; no JSON library in the repo) ---- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+  in
+  let literal word v =
+    String.iter (fun c -> expect c) word;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some c ->
+              advance ();
+              Buffer.add_char b
+                (match c with 'n' -> '\n' | 't' -> '\t' | c -> c)
+          | None -> raise (Bad "eof in escape"));
+          go ()
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          go ()
+      | None -> raise (Bad "eof in string")
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> num_char c | None -> false) do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "bad number at %d" start))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> raise (Bad "expected , or } in object")
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elems (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> raise (Bad "expected , or ] in array")
+          in
+          elems []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> raise (Bad "eof")
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad (Printf.sprintf "trailing input at %d" !pos));
+  v
+
+let validate_json text =
+  let v = try parse_json text with Bad m -> failwith (out_file ^ ": " ^ m) in
+  let rows =
+    match v with
+    | Obj [ ("benchmarks", Arr rows) ] -> rows
+    | _ -> failwith (out_file ^ ": expected { \"benchmarks\": [...] }")
+  in
+  let num obj k =
+    match List.assoc_opt k obj with
+    | Some (Num f) -> f
+    | _ -> failwith (Printf.sprintf "%s: missing number %S" out_file k)
+  in
+  let names =
+    List.map
+      (fun r ->
+        match r with
+        | Obj o ->
+            let rn = num o "ref_ns_per_instr" and fn = num o "fast_ns_per_instr" in
+            if not (rn > 0.0 && fn > 0.0) then
+              failwith (out_file ^ ": non-positive ns/instr");
+            (match List.assoc_opt "name" o with
+            | Some (Str s) -> s
+            | _ -> failwith (out_file ^ ": row without a name"))
+        | _ -> failwith (out_file ^ ": non-object row"))
+      rows
+  in
+  List.iter
+    (fun (b : Workloads.Suite.benchmark) ->
+      if not (List.mem b.Workloads.Suite.bname names) then
+        failwith
+          (Printf.sprintf "%s: missing workload %S" out_file
+             b.Workloads.Suite.bname))
+    Workloads.Suite.all;
+  List.length names
+
+(* ---- entry points ---- *)
+
+let run_rows ~scale ~budget =
+  Printf.printf
+    "Engine benchmark: reference interpreter vs closure-compiled engine\n";
+  let rows = List.map (bench_workload ~scale ~budget) Workloads.Suite.all in
+  let oc = open_out out_file in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  let n = List.length rows in
+  let twice = List.length (List.filter (fun r -> speedup r >= 2.0) rows) in
+  let gmean =
+    exp
+      (List.fold_left (fun a r -> a +. log (speedup r)) 0.0 rows
+      /. float_of_int n)
+  in
+  Printf.printf "  geometric-mean speedup %.2fx; >= 2x on %d/%d workloads\n"
+    gmean twice n;
+  Printf.printf "  wrote %s\n" out_file;
+  rows
+
+let run () = ignore (run_rows ~scale:None ~budget:0.3)
+
+let smoke () =
+  let rows = run_rows ~scale:(Some 1) ~budget:0.02 in
+  let text = In_channel.with_open_text out_file In_channel.input_all in
+  let n = validate_json text in
+  if n <> List.length rows then
+    failwith (out_file ^ ": row count does not match the suite");
+  Printf.printf "bench-smoke OK: %s parses, both engines present for all %d workloads\n"
+    out_file n

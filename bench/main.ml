@@ -1,12 +1,21 @@
-(* Benchmark harness.
+(* Benchmark harness.  Modes (first argv word):
 
-   Part 1 — Bechamel micro-benchmarks: one [Test.make] per paper
-   table/figure, each timing the measurement kernel of that experiment on
-   a small workload (wall-clock of the reproduction machinery itself).
+   (default) — Part 1: Bechamel micro-benchmarks, one [Test.make] per
+   paper table/figure, each timing the measurement kernel of that
+   experiment on a small workload (wall-clock of the reproduction
+   machinery itself).  Part 2: the full reproduction — regenerates every
+   table and figure of the paper, prints them (the output recorded in
+   bench_output.txt and compared in EXPERIMENTS.md), checks every
+   reproduced table against its recorded EXPERIMENTS.md shape
+   (Harness.Shapes) and EXITS NON-ZERO if any diverged, then runs the
+   ablation studies.
 
-   Part 2 — the full reproduction: regenerates every table and figure of
-   the paper and prints them (this is the output recorded in
-   bench_output.txt and compared in EXPERIMENTS.md). *)
+   interp — wall-clock engine-vs-engine benchmark (reference interpreter
+   vs closure-compiled engine) over all ten workloads; writes
+   BENCH_interp.json.
+
+   smoke — the interp benchmark at the smallest scale plus validation of
+   the JSON it wrote; the `make bench-smoke` CI target. *)
 
 open Bechamel
 open Toolkit
@@ -88,7 +97,7 @@ let run_bechamel () =
     (List.sort compare rows);
   print_newline ()
 
-let () =
+let run_full () =
   run_bechamel ();
   print_endline
     "================================================================";
@@ -97,7 +106,7 @@ let () =
   print_endline
     "================================================================";
   print_newline ();
-  Harness.Experiments.run_all ();
+  let shapes_ok = Harness.Experiments.run_gated ~measure_compile:true () in
   print_newline ();
   print_endline
     "================================================================";
@@ -105,4 +114,19 @@ let () =
   print_endline
     "================================================================";
   print_newline ();
-  Harness.Ablation.run_all ()
+  Harness.Ablation.run_all ();
+  (* exit non-zero on shape divergence so this binary works as a CI gate *)
+  if not shapes_ok then begin
+    prerr_endline "bench: reproduced tables diverged from EXPERIMENTS.md shapes";
+    exit 1
+  end
+
+let () =
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "full" with
+  | "full" -> run_full ()
+  | "interp" -> Interp_bench.run ()
+  | "smoke" -> Interp_bench.smoke ()
+  | m ->
+      Printf.eprintf "usage: %s [full|interp|smoke] (unknown mode %S)\n"
+        Sys.argv.(0) m;
+      exit 2

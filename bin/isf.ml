@@ -85,7 +85,20 @@ let trace_arg =
   let doc = "Print a progress line (cells done/total, cycles) to stderr." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
+let engine_arg =
+  let doc =
+    "VM execution engine: $(b,fast) (closure-compiled, default) or \
+     $(b,ref) (reference interpreter).  The engines are bit-identical, \
+     so every number is engine-invariant; $(b,ref) exists as the \
+     differential oracle."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("ref", `Ref); ("fast", `Fast) ]) `Fast
+    & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let set_trace t = if t then Harness.Pool.trace := true
+let set_engine e = Measure.set_engine e
 
 (* ---- commands ---- *)
 
@@ -101,7 +114,8 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run bench scale =
+  let run bench scale engine =
+    set_engine engine;
     let b = Workloads.Suite.find bench in
     let build = Measure.prepare ?scale b in
     let m = Measure.run_baseline build in
@@ -112,10 +126,11 @@ let run_cmd =
     print_string m.Measure.output
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a benchmark without instrumentation")
-    Term.(const run $ bench_arg $ scale_arg)
+    Term.(const run $ bench_arg $ scale_arg $ engine_arg)
 
 let profile_cmd =
-  let run bench scale variant instr interval jitter timer top csv =
+  let run bench scale variant instr interval jitter timer top csv engine =
+    set_engine engine;
     let b = Workloads.Suite.find bench in
     let build = Measure.prepare ?scale b in
     let base = Measure.run_baseline build in
@@ -153,7 +168,8 @@ let profile_cmd =
     (Cmd.info "profile" ~doc:"Run a benchmark under sampled instrumentation")
     Term.(
       const run $ bench_arg $ scale_arg $ variant_arg $ instr_arg
-      $ interval_arg $ jitter_arg $ timer_arg $ top_arg $ csv_arg)
+      $ interval_arg $ jitter_arg $ timer_arg $ top_arg $ csv_arg
+      $ engine_arg)
 
 let dump_cmd =
   let run bench variant instr meth =
@@ -181,13 +197,14 @@ let dump_cmd =
 
 (* run or profile a user-provided .jasm file *)
 let exec_cmd =
-  let run file args variant instr interval jitter top =
+  let run file args variant instr interval jitter top engine =
+    set_engine engine;
     let src = In_channel.with_open_text file In_channel.input_all in
     let classes = Jasm.Compile.compile_string ~file src in
     let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
     let entry = { Ir.Lir.mclass = "Main"; mname = "main" } in
     let baseline =
-      Vm.Interp.run ~use_icache:true
+      Vm.Interp.run ~engine ~use_icache:true
         (Vm.Program.link classes ~funcs)
         ~entry ~args Vm.Interp.null_hooks
     in
@@ -208,7 +225,7 @@ let exec_cmd =
         Core.Sampler.create (Core.Sampler.Counter { interval; jitter })
       in
       let res =
-        Vm.Interp.run ~use_icache:true
+        Vm.Interp.run ~engine ~use_icache:true
           (Vm.Program.link classes ~funcs:transformed)
           ~entry ~args
           (Profiles.Collector.hooks collector sampler)
@@ -238,33 +255,48 @@ let exec_cmd =
           instrumentation)")
     Term.(
       const run $ file_arg $ args_arg $ variant_arg $ instr_arg $ interval_arg
-      $ jitter_arg $ top_arg)
+      $ jitter_arg $ top_arg $ engine_arg)
 
 let table_cmd =
-  let run which scale jobs trace =
+  let run which scale jobs trace engine =
     set_trace trace;
-    Harness.Experiments.run_one ?scale ~jobs (Harness.Experiments.of_name which)
+    set_engine engine;
+    match which with
+    | "all" ->
+        (* Deterministic run-everything mode: skips the one wall-clock
+           measurement (Table 2 compile column, printed "-") so the
+           output is byte-identical across runs and across engines, and
+           gates the result on the shapes recorded in EXPERIMENTS.md. *)
+        if not (Harness.Experiments.run_gated ?scale ~jobs ()) then exit 1
+    | which ->
+        Harness.Experiments.run_one ?scale ~jobs
+          (Harness.Experiments.of_name which)
   in
   let which_arg =
-    let doc = "Experiment: 1-5 (tables), 7 or 8 (figures), or tableN/figureN." in
+    let doc =
+      "Experiment: 1-5 (tables), 7 or 8 (figures), tableN/figureN, or \
+       $(b,all) (every table/figure, fully deterministic, shape-gated)."
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"WHICH" ~doc)
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ which_arg $ scale_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ which_arg $ scale_arg $ jobs_arg $ trace_arg $ engine_arg)
 
 let all_cmd =
-  let run scale jobs trace =
+  let run scale jobs trace engine =
     set_trace trace;
+    set_engine engine;
     Harness.Experiments.run_all ?scale ~jobs ()
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure of the paper")
-    Term.(const run $ scale_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg)
 
 let ablation_cmd =
-  let run scale jobs trace =
+  let run scale jobs trace engine =
     set_trace trace;
+    set_engine engine;
     Harness.Ablation.run_all ?scale ~jobs ()
   in
   Cmd.v
@@ -272,7 +304,7 @@ let ablation_cmd =
        ~doc:
          "Run the ablation studies (trigger determinism, check cost, \
           duplication strategy, per-thread counters)")
-    Term.(const run $ scale_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg)
 
 let main =
   let doc =

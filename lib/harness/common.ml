@@ -7,14 +7,20 @@ let sample_intervals = [ 1; 10; 100; 1_000; 10_000; 100_000 ]
 let benchmarks () = Workloads.Suite.all
 
 (* Perfect profiles (sample interval 1 — all execution in duplicated code),
-   cached per (benchmark, scale) with per-key locking so pooled cells
-   compute each at most once. *)
+   cached per (benchmark, scale, engine) with per-key locking so pooled
+   cells compute each at most once. *)
 let perfect_cache :
-    (string * int, (string * int) list * (string * int) list) Sync.Memo.t =
+    ( string * int * [ `Ref | `Fast ],
+      (string * int) list * (string * int) list )
+    Sync.Memo.t =
   Sync.Memo.create ()
 
 let perfect_profiles (build : Measure.build) =
-  let key = (build.Measure.bench.Workloads.Suite.bname, build.Measure.scale) in
+  let key =
+    ( build.Measure.bench.Workloads.Suite.bname,
+      build.Measure.scale,
+      Measure.current_engine () )
+  in
   Sync.Memo.get perfect_cache key (fun () ->
       let m =
         Measure.run_transformed ~trigger:Core.Sampler.Always

@@ -23,10 +23,10 @@ let of_name = function
   | "figure8" | "8" -> F8
   | s -> invalid_arg ("unknown experiment: " ^ s)
 
-let run_one ?scale ?jobs which =
+let run_one ?scale ?jobs ?measure_compile which =
   match which with
   | T1 -> Table1.print (Table1.run ?scale ?jobs ())
-  | T2 -> Table2.print (Table2.run ?scale ?jobs ())
+  | T2 -> Table2.print (Table2.run ?scale ?jobs ?measure_compile ())
   | T3 -> Table3.print (Table3.run ?scale ?jobs ())
   | T4 -> Table4.print (Table4.run ?scale ?jobs ())
   | T5 ->
@@ -40,9 +40,45 @@ let run_one ?scale ?jobs which =
       Figure7.print (Figure7.run ?scale ?jobs ~interval:100 ())
   | F8 -> Figure8.print (Figure8.run ?scale ?jobs ())
 
-let run_all ?scale ?jobs () =
+let run_all ?scale ?jobs ?measure_compile () =
   List.iter
     (fun w ->
-      run_one ?scale ?jobs w;
+      run_one ?scale ?jobs ?measure_compile w;
       print_newline ())
     all
+
+(* Run every experiment, keep the data, and check it against the shapes
+   recorded in EXPERIMENTS.md (see Shapes).  Returns [true] when every
+   shape reproduces.  [measure_compile] defaults to [false] here so the
+   full output is deterministic — byte-identical across runs and across
+   VM engines — and therefore diffable; only the Table 2 compile column
+   is affected (printed "-"). *)
+let run_gated ?scale ?jobs ?(measure_compile = false) () =
+  let show print tbl =
+    print tbl;
+    print_newline ();
+    tbl
+  in
+  let t1 = show Table1.print (Table1.run ?scale ?jobs ()) in
+  let t2 = show Table2.print (Table2.run ?scale ?jobs ~measure_compile ()) in
+  let t3 = show Table3.print (Table3.run ?scale ?jobs ()) in
+  let t4 = show Table4.print (Table4.run ?scale ?jobs ()) in
+  let scale45 = match scale with None -> Some 4 | s -> s in
+  let t5 = show Table5.print (Table5.run ?scale:scale45 ?jobs ()) in
+  let f7 =
+    show Figure7.print (Figure7.run ?scale:scale45 ?jobs ~interval:100 ())
+  in
+  let f8 = show Figure8.print (Figure8.run ?scale ?jobs ()) in
+  let groups =
+    [
+      ("table1", Shapes.table1 t1);
+      ("table2", Shapes.table2 t2);
+      ("table3", Shapes.table3 ~t1 ~t2 t3);
+      ("table4", Shapes.table4 t4);
+      ("table5", Shapes.table5 t5);
+      ("figure7", Shapes.figure7 f7);
+      ("figure8", Shapes.figure8 ~t2 f8);
+    ]
+  in
+  print_string (Shapes.render groups);
+  Shapes.all_pass groups

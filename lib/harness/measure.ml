@@ -23,6 +23,16 @@ let prepare ?(scale = 0) (bench : Workloads.Suite.benchmark) =
       in
       { bench; scale; classes; base_funcs })
 
+(* The execution engine every experiment runs on, settable once from the
+   CLI (isf --engine).  The engines are bit-identical, so this can never
+   change a number — EXPERIMENTS.md results are engine-invariant — but
+   caches are still keyed by it so mixed-engine comparisons (bench, the
+   differential suite) never alias. *)
+let default_engine : [ `Ref | `Fast ] Atomic.t = Atomic.make `Fast
+
+let set_engine e = Atomic.set default_engine e
+let current_engine () = Atomic.get default_engine
+
 type metrics = {
   cycles : int;
   instructions : int;
@@ -50,24 +60,31 @@ let metrics_of prog (res : Vm.Interp.result) collector =
     collector;
   }
 
-let execute ?timer_period build funcs hooks collector =
+let execute ?engine ?timer_period build funcs hooks collector =
+  let engine =
+    match engine with Some e -> e | None -> Atomic.get default_engine
+  in
   let prog = Vm.Program.link build.classes ~funcs in
   let res =
-    Vm.Interp.run ~use_icache:true ?timer_period prog
+    Vm.Interp.run ~engine ~use_icache:true ?timer_period prog
       ~entry:Workloads.Suite.entry ~args:[ build.scale ] hooks
   in
   metrics_of prog res collector
 
-let baseline_cache : (string * int, metrics) Sync.Memo.t = Sync.Memo.create ()
+let baseline_cache : (string * int * [ `Ref | `Fast ], metrics) Sync.Memo.t =
+  Sync.Memo.create ()
 
-let run_baseline build =
-  let key = (build.bench.Workloads.Suite.bname, build.scale) in
+let run_baseline ?engine build =
+  let engine =
+    match engine with Some e -> e | None -> Atomic.get default_engine
+  in
+  let key = (build.bench.Workloads.Suite.bname, build.scale, engine) in
   Sync.Memo.get baseline_cache key (fun () ->
       let collector = Profiles.Collector.create () in
-      execute build build.base_funcs Vm.Interp.null_hooks collector)
+      execute ~engine build build.base_funcs Vm.Interp.null_hooks collector)
 
-let run_transformed ?(trigger = Core.Sampler.Never) ?timer_period ~transform
-    build =
+let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
+    ~transform build =
   let funcs =
     List.map
       (fun f -> (transform f).Core.Transform.func)
@@ -76,7 +93,7 @@ let run_transformed ?(trigger = Core.Sampler.Never) ?timer_period ~transform
   let collector = Profiles.Collector.create () in
   let sampler = Core.Sampler.create trigger in
   let hooks = Profiles.Collector.hooks collector sampler in
-  execute ?timer_period build funcs hooks collector
+  execute ?engine ?timer_period build funcs hooks collector
 
 let overhead_pct ~base m =
   100.0 *. float_of_int (m.cycles - base.cycles) /. float_of_int base.cycles

@@ -17,6 +17,14 @@ type build = {
 val prepare : ?scale:int -> Workloads.Suite.benchmark -> build
 (** Memoized per (benchmark, scale). *)
 
+val set_engine : [ `Ref | `Fast ] -> unit
+(** Select the VM execution engine every subsequent measurement runs on
+    (default [`Fast]).  The engines are bit-identical (see {!Vm.Engine}),
+    so results are engine-invariant; caches are still keyed by the engine
+    so explicit per-call overrides never alias. *)
+
+val current_engine : unit -> [ `Ref | `Fast ]
+
 type metrics = {
   cycles : int;
   instructions : int;
@@ -30,10 +38,12 @@ type metrics = {
   collector : Profiles.Collector.t;
 }
 
-val run_baseline : build -> metrics
-(** Memoized; the denominator of every overhead figure. *)
+val run_baseline : ?engine:[ `Ref | `Fast ] -> build -> metrics
+(** Memoized per (benchmark, scale, engine); the denominator of every
+    overhead figure.  [engine] defaults to {!current_engine}. *)
 
 val run_transformed :
+  ?engine:[ `Ref | `Fast ] ->
   ?trigger:Core.Sampler.trigger ->
   ?timer_period:int ->
   transform:(Ir.Lir.func -> Core.Transform.result) ->

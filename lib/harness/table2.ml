@@ -34,7 +34,7 @@ let paper =
 
 let words_to_kb w = float_of_int (w * 4) /. 1024.0
 
-let run ?scale ?jobs ?benches () =
+let run ?scale ?jobs ?benches ?(measure_compile = true) () =
   let benches =
     match benches with Some l -> l | None -> Common.benchmarks ()
   in
@@ -62,18 +62,24 @@ let run ?scale ?jobs ?benches () =
           ~transform:(Core.Transform.checks_only ~entries:true ~backedges:false)
           build
       in
-      let base_compile, instr_compile =
-        Measure.compile_stats
-          ~transform:(Core.Transform.full_dup Common.both_specs)
-          build
-      in
-      let tot (s : Opt.Pipeline.compile_stats) =
-        s.Opt.Pipeline.seconds_front +. s.Opt.Pipeline.seconds_transform
-        +. s.Opt.Pipeline.seconds_back
-      in
       let compile_increase =
-        if tot base_compile <= 0.0 then 0.0
-        else 100.0 *. (tot instr_compile -. tot base_compile) /. tot base_compile
+        (* the only wall-clock (nondeterministic) measurement anywhere;
+           skipped (NaN, printed "-") in fully-deterministic mode *)
+        if not measure_compile then Float.nan
+        else begin
+          let base_compile, instr_compile =
+            Measure.compile_stats
+              ~transform:(Core.Transform.full_dup Common.both_specs)
+              build
+          in
+          let tot (s : Opt.Pipeline.compile_stats) =
+            s.Opt.Pipeline.seconds_front +. s.Opt.Pipeline.seconds_transform
+            +. s.Opt.Pipeline.seconds_back
+          in
+          if tot base_compile <= 0.0 then 0.0
+          else
+            100.0 *. (tot instr_compile -. tot base_compile) /. tot base_compile
+        end
       in
       Pool.Progress.step ~cycles:full.Measure.cycles progress;
       {
@@ -97,6 +103,8 @@ let average rows =
     Common.mean (List.map (fun r -> r.space_increase_kb) rows),
     Common.mean (List.map (fun r -> r.compile_increase) rows) )
 
+let opt_pct v = if Float.is_nan v then "-" else Text_table.pct v
+
 let to_string rows =
   let t, b, e, s, c = average rows in
   Text_table.render
@@ -117,7 +125,7 @@ let to_string rows =
            Text_table.pct r.backedge_only;
            Text_table.pct r.entry_only;
            Text_table.pct r.space_increase_kb;
-           Text_table.pct r.compile_increase;
+           opt_pct r.compile_increase;
          ])
        rows
     @ [
@@ -127,7 +135,7 @@ let to_string rows =
           Text_table.pct b;
           Text_table.pct e;
           Text_table.pct s;
-          Text_table.pct c;
+          opt_pct c;
         ];
       ])
 

@@ -14,6 +14,8 @@ let get v i =
   check v i;
   v.data.(i)
 
+let unsafe_get v i = Array.unsafe_get v.data i
+
 let set v i x =
   check v i;
   v.data.(i) <- x

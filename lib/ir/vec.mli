@@ -15,6 +15,10 @@ val length : 'a t -> int
 val get : 'a t -> int -> 'a
 (** Raises [Invalid_argument] when out of bounds. *)
 
+val unsafe_get : 'a t -> int -> 'a
+(** No bounds check: only for hot paths that have already validated the
+    index against {!length} (the VM heap does). *)
+
 val set : 'a t -> int -> 'a -> unit
 (** Raises [Invalid_argument] when out of bounds. *)
 

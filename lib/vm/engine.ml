@@ -1,0 +1,1006 @@
+(* Closure-compiled execution engine.
+
+   Each method is translated once into flat arrays of preallocated
+   closures: operands are resolved to register indices or immediates,
+   field/static offsets, class ids, call targets, switch tables and the
+   cost table's cycle charges are looked up at compile time, and
+   straight-line instruction runs are fused so that one dispatch executes
+   the whole run.  Closures are unary ([state -> unit], the cheapest
+   indirect call OCaml native code can make — no caml_apply arity check);
+   the running thread and frame travel in the [cur_th]/[cur_fr] scratch
+   fields of the state, written by the dispatcher.  The dispatch loop
+   itself is a mirror image of [Interp.step]: per executed instruction it
+   performs exactly the same fuel check, instruction count, i-cache
+   access, timer check and cycle charges, in the same order, so results
+   are bit-identical to the reference interpreter (the differential
+   suite in test/test_engine.ml holds it to that).
+
+   Unresolvable references (an unknown field, class or call target) are
+   compiled into closures that reproduce the reference interpreter's
+   error — same exception, same message, raised after the same observable
+   effects — rather than failing at compile time, because the reference
+   only faults when the instruction is actually executed.
+
+   Compiled code is cached on the program itself (Program.engine_cache)
+   behind a per-method Sync.Memo, so the domain-parallel harness compiles
+   each method exactly once no matter how many domains run it. *)
+
+module Lir = Ir.Lir
+open Machine
+
+type k = state -> unit
+
+(* [code] has one entry per instruction plus a final entry for the
+   terminator; [code.(i)] executes the block from instruction [i] to the
+   next suspension point, with per-instruction accounting fused in, and
+   chains through intra-method control flow by tail call. *)
+type cblock = { code : k array }
+type cmeth = cblock array
+
+(* Per-method activation template: everything [Machine.new_frame] derives
+   from the callee, precomputed once. *)
+type tmpl = {
+  t_meth : Program.meth;
+  t_params : int array;
+  t_nregs : int;
+  t_entry_blk : int;
+  t_entry_instrs : Lir.instr array;
+  t_entry_term : Lir.terminator;
+  t_entry_base : int;
+  t_name : string;
+}
+
+type cprog = {
+  memo : (int, cmeth) Sync.Memo.t;
+  templates : tmpl array;
+  by_id : cmeth Atomic.t array;
+      (* resolved compiled code per method id ([empty_cmeth] until first
+         touch): one atomic load on the hot path, the memo behind it
+         keeps compilation once-per-method across domains *)
+  c_costs : Costs.t;
+      (* cost table the closures were specialized against: every cycle
+         charge is baked in as an immediate, so a state running a
+         different table (e.g. the hardware-count-register ablation)
+         forces a recompile rather than a wrong charge *)
+}
+
+type Program.cache_slot += Compiled of cprog
+
+let empty_cmeth : cmeth = [||]
+
+(* ------------------------------------------------------------------ *)
+(* Operand and instruction compilation                                 *)
+(* ------------------------------------------------------------------ *)
+
+let cop = function
+  | Lir.Reg r -> fun (fr : frame) -> fr.regs.(r)
+  | Lir.Imm n -> fun (_ : frame) -> n
+
+let binop_fn = function
+  | Lir.Add -> ( + )
+  | Lir.Sub -> ( - )
+  | Lir.Mul -> ( * )
+  | Lir.Div -> fun a b -> if b = 0 then rt_err "division by zero" else a / b
+  | Lir.Rem -> fun a b -> if b = 0 then rt_err "division by zero" else a mod b
+  | Lir.And -> ( land )
+  | Lir.Or -> ( lor )
+  | Lir.Xor -> ( lxor )
+  | Lir.Shl -> fun a b -> a lsl (b land 31)
+  | Lir.Shr -> fun a b -> a asr (b land 31)
+  | Lir.Lt -> fun a b -> if a < b then 1 else 0
+  | Lir.Le -> fun a b -> if a <= b then 1 else 0
+  | Lir.Gt -> fun a b -> if a > b then 1 else 0
+  | Lir.Ge -> fun a b -> if a >= b then 1 else 0
+  | Lir.Eq -> fun a b -> if a = b then 1 else 0
+  | Lir.Ne -> fun a b -> if a <> b then 1 else 0
+
+(* Build the callee frame from a template and push it; the counterpart
+   of [Machine.new_frame] + the tail of [Machine.invoke], with the
+   argument registers filled from precompiled evaluators. *)
+let push_frame st th fr (t : tmpl) regs ~ret_dst ~from_meth ~from_site =
+  let fid = st.next_frame_id in
+  st.next_frame_id <- fid + 1;
+  let callee =
+    {
+      m = t.t_meth;
+      regs;
+      blk = t.t_entry_blk;
+      idx = 0;
+      instrs = t.t_entry_instrs;
+      term = t.t_entry_term;
+      base_addr = t.t_entry_base;
+      ret_dst;
+      from_meth;
+      from_site;
+      fid;
+    }
+  in
+  st.counters.entries <- st.counters.entries + 1;
+  th.parents <- fr :: th.parents;
+  th.top <- Some callee;
+  callee
+
+(* Compile one instruction into its complete dispatch step.  [nxt] is the
+   already-compiled remainder of the block; straight-line instructions
+   run their own body, perform the dispatcher's preamble for the next
+   word ([naddr]) and tail-call [nxt], so a chain of instructions costs
+   one indirect call each.  Instructions that can suspend or reschedule
+   the current frame (calls, intrinsics that yield or spawn) first store
+   the resume index [ni] — exactly where the reference leaves idx — and
+   return to the dispatcher when done.  Yieldpoints only do so when a
+   switch actually happens. *)
+let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
+    ~(nxt : k) ~(naddr : int) ~(ni : int) (ins : Lir.instr) : k =
+  let cont st =
+    fuel_check st;
+    st.instructions <- st.instructions + 1;
+    icache_access st naddr;
+    nxt st
+  in
+  let costs = cp.c_costs in
+  let cc_mem = costs.Costs.mem in
+  let cc_move = costs.Costs.move in
+  let cc_alu = costs.Costs.alu in
+  let c_mem st = charge st cc_mem in
+  match ins with
+  | Lir.Move (r, Lir.Imm n) ->
+      fun st ->
+        charge st cc_move;
+        st.cur_fr.regs.(r) <- n;
+        cont st
+  | Lir.Move (r, Lir.Reg s) ->
+      fun st ->
+        charge st cc_move;
+        let regs = st.cur_fr.regs in
+        regs.(r) <- regs.(s);
+        cont st
+  | Lir.Unop (r, op, a) -> (
+      match (op, a) with
+      | Lir.Neg, Lir.Reg s ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- -regs.(s);
+            cont st
+      | Lir.Not, Lir.Reg s ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(s) = 0 then 1 else 0);
+            cont st
+      | Lir.Neg, Lir.Imm n ->
+          let v = -n in
+          fun st ->
+            charge st cc_alu;
+            st.cur_fr.regs.(r) <- v;
+            cont st
+      | Lir.Not, Lir.Imm n ->
+          let v = if n = 0 then 1 else 0 in
+          fun st ->
+            charge st cc_alu;
+            st.cur_fr.regs.(r) <- v;
+            cont st)
+  | Lir.Binop (r, op, a, b) -> (
+      match (op, a, b) with
+      (* hand-specialized hot operators: without flambda a shared
+         [binop_fn] closure costs an indirect call per ALU op *)
+      | Lir.Add, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) + regs.(y);
+            cont st
+      | Lir.Add, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) + n;
+            cont st
+      | Lir.Sub, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) - regs.(y);
+            cont st
+      | Lir.Sub, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) - n;
+            cont st
+      | Lir.Mul, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) * regs.(y);
+            cont st
+      | Lir.Mul, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) * n;
+            cont st
+      | Lir.And, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) land regs.(y);
+            cont st
+      | Lir.And, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) land n;
+            cont st
+      | Lir.Or, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) lor regs.(y);
+            cont st
+      | Lir.Or, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) lor n;
+            cont st
+      | Lir.Xor, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) lxor regs.(y);
+            cont st
+      | Lir.Xor, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- regs.(x) lxor n;
+            cont st
+      | Lir.Lt, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) < regs.(y) then 1 else 0);
+            cont st
+      | Lir.Lt, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) < n then 1 else 0);
+            cont st
+      | Lir.Le, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) <= regs.(y) then 1 else 0);
+            cont st
+      | Lir.Le, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) <= n then 1 else 0);
+            cont st
+      | Lir.Gt, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) > regs.(y) then 1 else 0);
+            cont st
+      | Lir.Gt, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) > n then 1 else 0);
+            cont st
+      | Lir.Ge, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) >= regs.(y) then 1 else 0);
+            cont st
+      | Lir.Ge, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) >= n then 1 else 0);
+            cont st
+      | Lir.Eq, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) = regs.(y) then 1 else 0);
+            cont st
+      | Lir.Eq, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) = n then 1 else 0);
+            cont st
+      | Lir.Ne, Lir.Reg x, Lir.Reg y ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) <> regs.(y) then 1 else 0);
+            cont st
+      | Lir.Ne, Lir.Reg x, Lir.Imm n ->
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- (if regs.(x) <> n then 1 else 0);
+            cont st
+      (* the rest (shifts, division, Imm-first shapes) through the
+         shared operator table *)
+      | _, Lir.Reg x, Lir.Reg y ->
+          let f = binop_fn op in
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- f regs.(x) regs.(y);
+            cont st
+      | _, Lir.Reg x, Lir.Imm n ->
+          let f = binop_fn op in
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- f regs.(x) n;
+            cont st
+      | _, Lir.Imm n, Lir.Reg y ->
+          let f = binop_fn op in
+          fun st ->
+            charge st cc_alu;
+            let regs = st.cur_fr.regs in
+            regs.(r) <- f n regs.(y);
+            cont st
+      | _, Lir.Imm n, Lir.Imm p ->
+          let f = binop_fn op in
+          fun st ->
+            charge st cc_alu;
+            st.cur_fr.regs.(r) <- f n p;
+            cont st)
+  | Lir.Get_field (r, o, fld) -> (
+      match
+        Hashtbl.find_opt prog.Program.field_offset (Lir.string_of_field_ref fld)
+      with
+      | Some off -> (
+          match o with
+          | Lir.Reg ro ->
+              fun st ->
+                c_mem st;
+                let regs = st.cur_fr.regs in
+                let obj = regs.(ro) in
+                let fields = obj_fields st obj in
+                data_access st (cell_addr st obj + off);
+                regs.(r) <- fields.(off);
+                cont st
+          | Lir.Imm _ as o ->
+              let eo = cop o in
+              fun st ->
+                c_mem st;
+                let fr = st.cur_fr in
+                let obj = eo fr in
+                let fields = obj_fields st obj in
+                data_access st (cell_addr st obj + off);
+                fr.regs.(r) <- fields.(off);
+                cont st)
+      | None ->
+          let eo = cop o in
+          let fstr = Lir.string_of_field_ref fld in
+          fun st ->
+            c_mem st;
+            ignore (obj_fields st (eo st.cur_fr) : int array);
+            rt_err "unresolved field %s" fstr)
+  | Lir.Put_field (o, fld, v) -> (
+      let eo = cop o in
+      match
+        Hashtbl.find_opt prog.Program.field_offset (Lir.string_of_field_ref fld)
+      with
+      | Some off -> (
+          match (o, v) with
+          | Lir.Reg ro, Lir.Reg rv ->
+              fun st ->
+                c_mem st;
+                let regs = st.cur_fr.regs in
+                let obj = regs.(ro) in
+                let fields = obj_fields st obj in
+                data_access st (cell_addr st obj + off);
+                fields.(off) <- regs.(rv);
+                cont st
+          | _ ->
+              let ev = cop v in
+              fun st ->
+                c_mem st;
+                let fr = st.cur_fr in
+                let obj = eo fr in
+                let fields = obj_fields st obj in
+                data_access st (cell_addr st obj + off);
+                fields.(off) <- ev fr;
+                cont st)
+      | None ->
+          let fstr = Lir.string_of_field_ref fld in
+          fun st ->
+            c_mem st;
+            ignore (obj_fields st (eo st.cur_fr) : int array);
+            rt_err "unresolved field %s" fstr)
+  | Lir.Get_static (r, fld) -> (
+      match
+        Hashtbl.find_opt prog.Program.static_offset
+          (Lir.string_of_field_ref fld)
+      with
+      | Some off ->
+          fun st ->
+            c_mem st;
+            data_access st off;
+            st.cur_fr.regs.(r) <- st.globals.(off);
+            cont st
+      | None ->
+          let fstr = Lir.string_of_field_ref fld in
+          fun st ->
+            c_mem st;
+            rt_err "unresolved static field %s" fstr)
+  | Lir.Put_static (fld, v) -> (
+      let ev = cop v in
+      match
+        Hashtbl.find_opt prog.Program.static_offset
+          (Lir.string_of_field_ref fld)
+      with
+      | Some off ->
+          fun st ->
+            c_mem st;
+            data_access st off;
+            st.globals.(off) <- ev st.cur_fr;
+            cont st
+      | None ->
+          let fstr = Lir.string_of_field_ref fld in
+          fun st ->
+            c_mem st;
+            rt_err "unresolved static field %s" fstr)
+  | Lir.New_object (r, cname) -> (
+      match Hashtbl.find_opt prog.Program.class_id_of_name cname with
+      | Some cid ->
+          let n = prog.Program.classes.(cid).Program.n_fields in
+          let slots = max n 1 in
+          let cc_alloc =
+            costs.Costs.alloc_base + (costs.Costs.alloc_per_slot * n)
+          in
+          fun st ->
+            charge st cc_alloc;
+            st.cur_fr.regs.(r) <-
+              alloc st (Obj { cls = cid; fields = Array.make slots 0 });
+            cont st
+      | None -> fun _ -> rt_err "unknown class %s" cname)
+  | Lir.New_array (r, len) ->
+      let el = cop len in
+      let cc_base = costs.Costs.alloc_base in
+      let cc_slot = costs.Costs.alloc_per_slot in
+      fun st ->
+        let fr = st.cur_fr in
+        let n = el fr in
+        if n < 0 then rt_err "negative array length %d" n;
+        charge st (cc_base + (cc_slot * n));
+        fr.regs.(r) <- alloc st (Arr (Array.make (max n 1) 0));
+        cont st
+  | Lir.Array_load (r, a, i) -> (
+      let mstr = Lir.string_of_method_ref m.Program.mref in
+      match (a, i) with
+      | Lir.Reg ra, Lir.Reg ri ->
+          fun st ->
+            c_mem st;
+            let regs = st.cur_fr.regs in
+            let arr = regs.(ra) in
+            let cells = arr_cells st arr in
+            let i = regs.(ri) in
+            if i < 0 || i >= Array.length cells then
+              rt_err "array index %d out of bounds (%s)" i mstr;
+            data_access st (cell_addr st arr + i);
+            regs.(r) <- cells.(i);
+            cont st
+      | _ ->
+          let ea = cop a in
+          let ei = cop i in
+          fun st ->
+            c_mem st;
+            let fr = st.cur_fr in
+            let arr = ea fr in
+            let cells = arr_cells st arr in
+            let i = ei fr in
+            if i < 0 || i >= Array.length cells then
+              rt_err "array index %d out of bounds (%s)" i mstr;
+            data_access st (cell_addr st arr + i);
+            fr.regs.(r) <- cells.(i);
+            cont st)
+  | Lir.Array_store (a, i, v) -> (
+      let mstr = Lir.string_of_method_ref m.Program.mref in
+      match (a, i, v) with
+      | Lir.Reg ra, Lir.Reg ri, Lir.Reg rv ->
+          fun st ->
+            c_mem st;
+            let regs = st.cur_fr.regs in
+            let arr = regs.(ra) in
+            let cells = arr_cells st arr in
+            let i = regs.(ri) in
+            if i < 0 || i >= Array.length cells then
+              rt_err "array index %d out of bounds (%s)" i mstr;
+            data_access st (cell_addr st arr + i);
+            cells.(i) <- regs.(rv);
+            cont st
+      | _ ->
+          let ea = cop a in
+          let ei = cop i in
+          let ev = cop v in
+          fun st ->
+            c_mem st;
+            let fr = st.cur_fr in
+            let arr = ea fr in
+            let cells = arr_cells st arr in
+            let i = ei fr in
+            if i < 0 || i >= Array.length cells then
+              rt_err "array index %d out of bounds (%s)" i mstr;
+            data_access st (cell_addr st arr + i);
+            cells.(i) <- ev fr;
+            cont st)
+  | Lir.Array_length (r, a) ->
+      let ea = cop a in
+      fun st ->
+        c_mem st;
+        let fr = st.cur_fr in
+        fr.regs.(r) <- Array.length (arr_cells st (ea fr));
+        cont st
+  | Lir.Instance_test (r, o, cname) ->
+      let eo = cop o in
+      let cid =
+        match Hashtbl.find_opt prog.Program.class_id_of_name cname with
+        | Some cid -> cid
+        | None -> -1 (* never matches: class names in the heap are linked *)
+      in
+      let cc_test = cc_mem + cc_alu in
+      fun st ->
+        charge st cc_test;
+        let fr = st.cur_fr in
+        let v = eo fr in
+        fr.regs.(r) <-
+          (if v <= 0 || v > Ir.Vec.length st.heap then 0
+           else
+             match Ir.Vec.unsafe_get st.heap (v - 1) with
+             | Obj obj -> if obj.cls = cid then 1 else 0
+             | Arr _ -> 0);
+        cont st
+  | Lir.Call { dst; kind; target; args; site } -> (
+      let nargs = List.length args in
+      let aev = Array.of_list (List.map cop args) in
+      let ret_dst = match dst with Some r -> r | None -> -1 in
+      let from_meth = m.Program.id in
+      let cc_call =
+        costs.Costs.call_base + (costs.Costs.call_per_arg * nargs)
+      in
+      let slow st =
+        let fr = st.cur_fr in
+        fr.idx <- ni;
+        invoke st st.cur_th fr dst kind target args site
+      in
+      match kind with
+      | Lir.Static -> (
+          match
+            Hashtbl.find_opt prog.Program.static_method
+              (Lir.string_of_method_ref target)
+          with
+          | Some id ->
+              let t = cp.templates.(id) in
+              if nargs > Array.length t.t_params then
+                fun st ->
+                  st.cur_fr.idx <- ni;
+                  charge st cc_call;
+                  rt_err "too many arguments to %s" t.t_name
+              else
+                let eb = t.t_entry_blk in
+                let ebase = t.t_entry_base in
+                fun st ->
+                  let fr = st.cur_fr in
+                  fr.idx <- ni;
+                  charge st cc_call;
+                  let regs = Array.make t.t_nregs 0 in
+                  for k = 0 to nargs - 1 do
+                    regs.(t.t_params.(k)) <- aev.(k) fr
+                  done;
+                  let callee =
+                    push_frame st st.cur_th fr t regs ~ret_dst ~from_meth
+                      ~from_site:site
+                  in
+                  (* chain straight into the callee: the same preamble
+                     the dispatcher would run for its first instruction *)
+                  st.cur_fr <- callee;
+                  fuel_check st;
+                  st.instructions <- st.instructions + 1;
+                  icache_access st ebase;
+                  (fetch cp prog id).(eb).code.(0) st
+          | None ->
+              (* unresolved: the shared slow path raises the identical
+                 Link_error at the identical execution point *)
+              slow)
+      | Lir.Virtual ->
+          if nargs = 0 then slow
+          else
+            let mname = target.Lir.mname in
+            (* per-site dispatch table, indexed by class id *)
+            let vtab =
+              Array.map
+                (fun (c : Program.cls) ->
+                  match Hashtbl.find_opt c.Program.vtable mname with
+                  | Some id -> id
+                  | None -> -1)
+                prog.Program.classes
+            in
+            fun st ->
+              let fr = st.cur_fr in
+              fr.idx <- ni;
+              charge st cc_call;
+              let vals = Array.make nargs 0 in
+              for k = 0 to nargs - 1 do
+                vals.(k) <- aev.(k) fr
+              done;
+              let recv = vals.(0) in
+              if recv = 0 then rt_err "null receiver for %s" mname;
+              let cls =
+                match heap_get st recv with
+                | Obj o -> o.cls
+                | Arr _ -> rt_err "virtual call on array"
+              in
+              let id = vtab.(cls) in
+              if id < 0 then
+                rt_err "class %s has no method %s"
+                  st.prog.Program.classes.(cls).Program.cls_name mname;
+              let t = cp.templates.(id) in
+              let np = Array.length t.t_params in
+              if nargs > np then rt_err "too many arguments to %s" t.t_name;
+              let regs = Array.make t.t_nregs 0 in
+              for k = 0 to nargs - 1 do
+                regs.(t.t_params.(k)) <- vals.(k)
+              done;
+              let callee =
+                push_frame st st.cur_th fr t regs ~ret_dst ~from_meth
+                  ~from_site:site
+              in
+              st.cur_fr <- callee;
+              fuel_check st;
+              st.instructions <- st.instructions + 1;
+              icache_access st t.t_entry_base;
+              (fetch cp prog id).(t.t_entry_blk).code.(0) st)
+  | Lir.Intrinsic { dst; name; args } -> (
+      let nargs = List.length args in
+      let cc_intr = costs.Costs.intrinsic in
+      match (name, nargs) with
+      | "print", 1 ->
+          let e = cop (List.hd args) in
+          fun st ->
+            charge st cc_intr;
+            Buffer.add_string st.out (string_of_int (e st.cur_fr));
+            Buffer.add_char st.out '\n';
+            cont st
+      | "rand", 1 -> (
+          match (List.hd args, dst) with
+          | Lir.Reg s, Some r ->
+              fun st ->
+                charge st cc_intr;
+                let fr = st.cur_fr in
+                fr.regs.(r) <- next_rand st fr.regs.(s);
+                cont st
+          | a, Some r ->
+              let e = cop a in
+              fun st ->
+                charge st cc_intr;
+                let fr = st.cur_fr in
+                fr.regs.(r) <- next_rand st (e fr);
+                cont st
+          | a, None ->
+              (* the reference advances the RNG even with no destination *)
+              let e = cop a in
+              fun st ->
+                charge st cc_intr;
+                ignore (next_rand st (e st.cur_fr) : int);
+                cont st)
+      | "yield", 0 ->
+          fun st ->
+            st.cur_fr.idx <- ni;
+            charge st cc_intr;
+            rotate_thread st
+      | _ ->
+          (* spawn/malformed/unknown: rare, shared slow path keeps both
+             the late link-error behaviour and the thread bookkeeping *)
+          fun st ->
+            let fr = st.cur_fr in
+            fr.idx <- ni;
+            intrinsic st st.cur_th fr dst name args)
+  | Lir.Yieldpoint yp -> (
+      (* conditional break: only an actual thread switch returns to the
+         dispatcher; the common (no-switch) case keeps going.  The
+         counter bump is inlined per kind (an indirect call otherwise). *)
+      let cc_yp = costs.Costs.yieldpoint in
+      match yp with
+      | Lir.Yp_entry ->
+          fun st ->
+            charge st cc_yp;
+            st.counters.entry_yps <- st.counters.entry_yps + 1;
+            if st.switch_bit then begin
+              st.cur_fr.idx <- ni;
+              st.switch_bit <- false;
+              rotate_thread st
+            end
+            else cont st
+      | Lir.Yp_backedge ->
+          fun st ->
+            charge st cc_yp;
+            st.counters.backedge_yps <- st.counters.backedge_yps + 1;
+            if st.switch_bit then begin
+              st.cur_fr.idx <- ni;
+              st.switch_bit <- false;
+              rotate_thread st
+            end
+            else cont st)
+  | Lir.Instrument op ->
+      fun st ->
+        run_instrument st st.cur_th st.cur_fr op;
+        cont st
+  | Lir.Guarded_instrument op ->
+      let cc_check = costs.Costs.check in
+      fun st ->
+        st.counters.checks <- st.counters.checks + 1;
+        charge st cc_check;
+        if st.hooks.fire st.cur_th.tid then begin
+          st.counters.samples <- st.counters.samples + 1;
+          run_instrument st st.cur_th st.cur_fr op
+        end;
+        cont st
+
+(* ------------------------------------------------------------------ *)
+(* Terminator and block compilation                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* [jump st fr l] transfers control to block [l] of the same method
+   and keeps executing: it performs the dispatcher's step preamble (fuel,
+   instruction count, i-cache) for the first word of the target block and
+   tail-calls into its compiled chain, so intra-method control flow never
+   returns to the dispatch loop.  It is local to [compile_term] (direct
+   call — passing it in would make every taken branch a caml_apply).
+   Returns likewise pop the frame exactly like [Machine.do_return] and
+   chain into the caller's resume point; only a thread death falls back
+   to the dispatcher. *)
+and compile_term (cp : cprog) (prog : Program.t)
+    ~(binstrs : Lir.instr array array) ~(bterm : Lir.terminator array)
+    ~(baddr : int array) ~(codes : k array array) (t : Lir.terminator) : k =
+  let costs = cp.c_costs in
+  let cc_branch = costs.Costs.branch in
+  let jump st (fr : frame) l =
+    fr.blk <- l;
+    fr.idx <- 0;
+    fr.instrs <- binstrs.(l);
+    fr.term <- bterm.(l);
+    fr.base_addr <- baddr.(l);
+    fuel_check st;
+    st.instructions <- st.instructions + 1;
+    icache_access st baddr.(l);
+    codes.(l).(0) st
+  in
+  match t with
+  | Lir.Goto l ->
+      fun st ->
+        charge st cc_branch;
+        jump st st.cur_fr l
+  | Lir.If { cond; if_true; if_false } -> (
+      match cond with
+      | Lir.Reg rc ->
+          fun st ->
+            charge st cc_branch;
+            let fr = st.cur_fr in
+            jump st fr (if fr.regs.(rc) <> 0 then if_true else if_false)
+      | Lir.Imm n ->
+          let l = if n <> 0 then if_true else if_false in
+          fun st ->
+            charge st cc_branch;
+            jump st st.cur_fr l)
+  | Lir.Switch { scrut; cases; default } -> (
+      let cc_switch = costs.Costs.switch in
+      let tbl = Hashtbl.create (max 4 (2 * List.length cases)) in
+      (* first binding wins, like List.assoc_opt in the reference *)
+      List.iter
+        (fun (v, l) -> if not (Hashtbl.mem tbl v) then Hashtbl.add tbl v l)
+        cases;
+      let sel st (fr : frame) v =
+        let target =
+          match Hashtbl.find_opt tbl v with Some l -> l | None -> default
+        in
+        jump st fr target
+      in
+      match scrut with
+      | Lir.Reg rs ->
+          fun st ->
+            charge st cc_switch;
+            let fr = st.cur_fr in
+            sel st fr fr.regs.(rs)
+      | Lir.Imm n ->
+          fun st ->
+            charge st cc_switch;
+            sel st st.cur_fr n)
+  | Lir.Return None ->
+      let cc_ret = costs.Costs.ret in
+      fun st -> (
+        let th = st.cur_th in
+        charge st cc_ret;
+        match th.parents with
+        | [] ->
+            th.top <- None;
+            st.alive <- st.alive - 1;
+            if th.tid = 0 then st.main_result <- None;
+            if st.alive > 0 then rotate_thread st
+        | parent :: rest ->
+            th.parents <- rest;
+            th.top <- Some parent;
+            st.cur_fr <- parent;
+            fuel_check st;
+            st.instructions <- st.instructions + 1;
+            icache_access st (parent.base_addr + parent.idx);
+            (fetch cp prog parent.m.Program.id).(parent.blk).code.(parent.idx)
+              st)
+  | Lir.Return (Some op) -> (
+      let cc_ret = costs.Costs.ret in
+      let finish st x =
+        let th = st.cur_th in
+        charge st cc_ret;
+        match th.parents with
+        | [] ->
+            th.top <- None;
+            st.alive <- st.alive - 1;
+            if th.tid = 0 then st.main_result <- Some x;
+            if st.alive > 0 then rotate_thread st
+        | parent :: rest ->
+            let dst = st.cur_fr.ret_dst in
+            th.parents <- rest;
+            th.top <- Some parent;
+            if dst >= 0 then parent.regs.(dst) <- x;
+            st.cur_fr <- parent;
+            fuel_check st;
+            st.instructions <- st.instructions + 1;
+            icache_access st (parent.base_addr + parent.idx);
+            (fetch cp prog parent.m.Program.id).(parent.blk).code.(parent.idx)
+              st
+      in
+      match op with
+      | Lir.Reg r -> fun st -> finish st st.cur_fr.regs.(r)
+      | Lir.Imm n -> fun st -> finish st n)
+  | Lir.Check { on_sample; fall } ->
+      let cc_check = costs.Costs.check in
+      let cc_sample = costs.Costs.sample_jump in
+      fun st ->
+        st.counters.checks <- st.counters.checks + 1;
+        charge st cc_check;
+        if st.hooks.fire st.cur_th.tid then begin
+          st.counters.samples <- st.counters.samples + 1;
+          charge st cc_sample;
+          jump st st.cur_fr on_sample
+        end
+        else jump st st.cur_fr fall
+
+and compile_method (cp : cprog) (prog : Program.t) (m : Program.meth) : cmeth =
+  let f = m.Program.func in
+  let n = Lir.num_blocks f in
+  let binstrs = Array.init n (fun l -> (Lir.block f l).Lir.instrs) in
+  let bterm = Array.init n (fun l -> (Lir.block f l).Lir.term) in
+  let baddr = m.Program.code_addr in
+  (* per-block chains, filled below; the terminators' [jump] dereferences
+     [codes] at run time, by which point every block of the method is
+     compiled *)
+  let codes : k array array = Array.make n [||] in
+  let compile_block l =
+    let instrs = binstrs.(l) in
+    let len = Array.length instrs in
+    let base = baddr.(l) in
+    let tk = compile_term cp prog ~binstrs ~bterm ~baddr ~codes bterm.(l) in
+    (* ks.(i) runs the block from instruction i; ks.(len) is the
+       terminator step (the timer is only consulted there, like the
+       reference).  Built back to front so each closure captures its
+       already-final successor: straight-line execution is a chain of
+       tail calls with the per-word fuel/instruction/i-cache accounting
+       the dispatcher would have performed fused in. *)
+    let ks =
+      Array.make (len + 1) (fun st ->
+          timer_check st;
+          tk st)
+    in
+    for i = len - 1 downto 0 do
+      let ni = i + 1 in
+      ks.(i) <-
+        compile_instr cp prog m ~nxt:ks.(ni) ~naddr:(base + ni) ~ni instrs.(i)
+    done;
+    codes.(l) <- ks;
+    { code = ks }
+  in
+  Array.init n compile_block
+
+(* Resolved compiled code for method [id]: one atomic load once the
+   method has been touched, with the cross-domain memo (compile exactly
+   once) behind it.  Run-time only — never called while compiling, so
+   call-graph cycles cannot recurse. *)
+and fetch (cp : cprog) (prog : Program.t) (id : int) : cmeth =
+  let slot = cp.by_id.(id) in
+  let cm = Atomic.get slot in
+  if cm != empty_cmeth then cm
+  else begin
+    let cm =
+      Sync.Memo.get cp.memo id (fun () ->
+          compile_method cp prog prog.Program.methods.(id))
+    in
+    Atomic.set slot cm;
+    cm
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Program cache and dispatch loop                                     *)
+(* ------------------------------------------------------------------ *)
+
+let mk_templates (prog : Program.t) =
+  Array.map
+    (fun (m : Program.meth) ->
+      let f = m.Program.func in
+      let entry = f.Lir.entry in
+      let b = Lir.block f entry in
+      {
+        t_meth = m;
+        t_params = Array.of_list f.Lir.params;
+        t_nregs = max f.Lir.next_reg 1;
+        t_entry_blk = entry;
+        t_entry_instrs = b.Lir.instrs;
+        t_entry_term = b.Lir.term;
+        t_entry_base = m.Program.code_addr.(entry);
+        t_name = Lir.string_of_method_ref m.Program.mref;
+      })
+    prog.Program.methods
+
+let install_mutex = Mutex.create ()
+
+(* One compiled image per (program, cost table).  The slot holds a single
+   image; a run under a different cost table (the ablations swap tables,
+   and the harness links a fresh program per measurement) recompiles and
+   replaces it.  Cost tables are plain int records, so structural
+   equality is the right cache key. *)
+let cprog_of (prog : Program.t) (costs : Costs.t) =
+  match prog.Program.engine_cache with
+  | Some (Compiled cp) when cp.c_costs = costs -> cp
+  | _ ->
+      Mutex.lock install_mutex;
+      let cp =
+        match prog.Program.engine_cache with
+        | Some (Compiled cp) when cp.c_costs = costs -> cp
+        | _ ->
+            let cp =
+              {
+                memo = Sync.Memo.create ();
+                templates = mk_templates prog;
+                by_id =
+                  Array.init
+                    (Array.length prog.Program.methods)
+                    (fun _ -> Atomic.make empty_cmeth);
+                c_costs = costs;
+              }
+            in
+            prog.Program.engine_cache <- Some (Compiled cp);
+            cp
+      in
+      Mutex.unlock install_mutex;
+      cp
+
+let exec st =
+  let prog = st.prog in
+  let cp = cprog_of prog st.costs in
+  while st.alive > 0 do
+    fuel_check st;
+    let th = st.threads.(st.current) in
+    match th.top with
+    | None -> rotate_thread st
+    | Some fr ->
+        st.instructions <- st.instructions + 1;
+        icache_access st (fr.base_addr + fr.idx);
+        let cm = fetch cp prog fr.m.Program.id in
+        st.cur_th <- th;
+        st.cur_fr <- fr;
+        (* code.(len) is the terminator step, so a frame suspended at any
+           idx in [0, len] resumes with a single indexed dispatch *)
+        cm.(fr.blk).code.(fr.idx) st
+  done

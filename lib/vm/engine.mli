@@ -1,0 +1,23 @@
+(** Closure-compiled execution engine.
+
+    Translates each {!Program.meth} once into flat arrays of preallocated
+    closures — operands resolved to register indices/immediates, field and
+    static offsets, class ids, call targets and switch tables looked up at
+    compile time, straight-line runs fused into a single dispatch — and
+    runs the same {!Machine.state} as the reference interpreter.
+
+    The engine is observationally {e bit-identical} to [Interp.step]'s
+    loop: same return value, cycles, instruction count, event counters,
+    i-/d-cache misses, instrumentation-hook call sequence, and the same
+    errors at the same points (see DESIGN.md §5 and test/test_engine.ml
+    for the equivalence argument and its differential enforcement).
+
+    Compiled code is cached on the program ({!Program.engine_cache})
+    behind a per-method {!Sync.Memo}, so concurrent domains compile each
+    method exactly once and runs after the first reuse it. *)
+
+val exec : Machine.state -> unit
+(** Run the machine to completion ([st.alive = 0]), exactly like the
+    reference interpreter's driver loop.  Raises {!Machine.Runtime_error}
+    on the same faults (including fuel exhaustion) with identical
+    messages. *)

@@ -1,6 +1,14 @@
-module Lir = Ir.Lir
+(* Reference interpreter: re-matches each LIR instruction on every
+   dynamic execution.  The shared machine (state, heap, threads,
+   semantic helpers) lives in Machine; the closure-compiled engine in
+   Engine executes the same machine and must stay bit-identical to the
+   [step] below — it is the oracle the differential suite tests the
+   fast engine against. *)
 
-type counters = {
+module Lir = Ir.Lir
+open Machine
+
+type counters = Machine.counters = {
   mutable entries : int;
   mutable backedge_yps : int;
   mutable entry_yps : int;
@@ -10,7 +18,7 @@ type counters = {
   mutable instrument_ops : int;
 }
 
-type ctx = {
+type ctx = Machine.ctx = {
   cur : Lir.method_ref;
   caller : (Lir.method_ref * int) option;
   eval : Lir.operand -> int;
@@ -19,26 +27,18 @@ type ctx = {
   stack : unit -> (Lir.method_ref * int) list;
 }
 
-type hooks = {
+type hooks = Machine.hooks = {
   fire : int -> bool;
   on_timer_tick : unit -> unit;
   on_instrument : ctx -> Lir.instrument_op -> unit;
   instr_cost : Lir.instrument_op -> int;
 }
 
-let null_hooks =
-  {
-    fire = (fun _ -> false);
-    on_timer_tick = ignore;
-    on_instrument = (fun _ _ -> ());
-    instr_cost = (fun _ -> 0);
-  }
+let null_hooks = Machine.null_hooks
 
-exception Runtime_error of string
+exception Runtime_error = Machine.Runtime_error
 
-let rt_err fmt = Printf.ksprintf (fun m -> raise (Runtime_error m)) fmt
-
-type result = {
+type result = Machine.result = {
   return_value : int option;
   cycles : int;
   instructions : int;
@@ -47,306 +47,6 @@ type result = {
   dcache_misses : int;
   output : string;
 }
-
-(* Heap cells.  Values are plain ints: references are heap indices >= 1,
-   null is 0 (the typechecker keeps ints and references apart). *)
-type cell = Obj of { cls : int; fields : int array } | Arr of int array
-
-type frame = {
-  m : Program.meth;
-  regs : int array;
-  mutable blk : int;
-  mutable idx : int;
-  mutable instrs : Lir.instr array; (* cache of current block's body *)
-  mutable term : Lir.terminator;
-  mutable base_addr : int; (* code address of current block *)
-  ret_dst : int; (* caller register for the result; -1 = none *)
-  from_meth : int; (* caller method id; -1 for thread entries *)
-  from_site : int; (* call site in the caller; -1 for thread entries *)
-  fid : int; (* unique activation id *)
-}
-
-type thread = {
-  tid : int;
-  mutable parents : frame list; (* suspended caller frames *)
-  mutable top : frame option; (* running frame; None = dead *)
-}
-
-type state = {
-  prog : Program.t;
-  costs : Costs.t;
-  hooks : hooks;
-  counters : counters;
-  heap : cell Ir.Vec.t;
-  heap_addrs : int Ir.Vec.t; (* base data address of each cell *)
-  mutable heap_words : int; (* bump allocator for data addresses *)
-  globals : int array;
-  mutable threads : thread array;
-  mutable current : int;
-  mutable alive : int;
-  mutable cycles : int;
-  mutable instructions : int;
-  mutable switch_bit : bool;
-  timer_period : int;
-  mutable next_timer : int;
-  mutable rng : int;
-  icache : Icache.t option;
-  dcache : Icache.t option;
-  out : Buffer.t;
-  fuel : int;
-  mutable main_result : int option;
-  mutable next_frame_id : int;
-}
-
-let charge st c = st.cycles <- st.cycles + c
-
-let set_block st (fr : frame) l =
-  let b = Lir.block fr.m.Program.func l in
-  fr.blk <- l;
-  fr.idx <- 0;
-  fr.instrs <- b.Lir.instrs;
-  fr.term <- b.Lir.term;
-  fr.base_addr <- fr.m.Program.code_addr.(l);
-  ignore st
-
-let new_frame st (m : Program.meth) ~args ~ret_dst ~from_meth ~from_site =
-  let regs = Array.make (max m.Program.func.Lir.next_reg 1) 0 in
-  let rec fill i = function
-    | [] -> ()
-    | a :: rest ->
-        (match List.nth_opt m.Program.func.Lir.params i with
-        | Some r -> regs.(r) <- a
-        | None -> rt_err "too many arguments to %s"
-                    (Lir.string_of_method_ref m.Program.mref));
-        fill (i + 1) rest
-  in
-  fill 0 args;
-  let fid = st.next_frame_id in
-  st.next_frame_id <- fid + 1;
-  let fr =
-    {
-      m;
-      regs;
-      blk = 0;
-      idx = 0;
-      instrs = [||];
-      term = Lir.Return None;
-      base_addr = 0;
-      ret_dst;
-      from_meth;
-      from_site;
-      fid;
-    }
-  in
-  set_block st fr m.Program.func.Lir.entry;
-  st.counters.entries <- st.counters.entries + 1;
-  fr
-
-let spawn_thread st (m : Program.meth) args =
-  let fr = new_frame st m ~args ~ret_dst:(-1) ~from_meth:(-1) ~from_site:(-1) in
-  let th =
-    { tid = Array.length st.threads; parents = []; top = Some fr }
-  in
-  st.threads <- Array.append st.threads [| th |];
-  st.alive <- st.alive + 1;
-  th
-
-let heap_get st r =
-  if r <= 0 then rt_err "null dereference"
-  else if r > Ir.Vec.length st.heap then rt_err "dangling reference %d" r
-  else Ir.Vec.get st.heap (r - 1)
-
-let data_access st addr =
-  match st.dcache with
-  | Some dc -> if Icache.access dc addr then charge st st.costs.Costs.icache_miss
-  | None -> ()
-
-let alloc st cell =
-  let slots =
-    match cell with Obj o -> Array.length o.fields | Arr a -> Array.length a
-  in
-  ignore (Ir.Vec.push st.heap_addrs st.heap_words);
-  st.heap_words <- st.heap_words + max slots 1;
-  Ir.Vec.push st.heap cell + 1
-
-let cell_addr st r = Ir.Vec.get st.heap_addrs (r - 1)
-
-let next_rand st bound =
-  (* SplitMix-style deterministic generator on OCaml's 63-bit ints *)
-  st.rng <- (st.rng + 0x1E3779B97F4A7C15) land max_int;
-  let z = st.rng in
-  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
-  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
-  let z = z lxor (z lsr 31) in
-  if bound <= 0 then 0 else z mod bound
-
-let eval (fr : frame) = function Lir.Reg r -> fr.regs.(r) | Lir.Imm n -> n
-
-let exec_binop op a b =
-  match op with
-  | Lir.Add -> a + b
-  | Lir.Sub -> a - b
-  | Lir.Mul -> a * b
-  | Lir.Div -> if b = 0 then rt_err "division by zero" else a / b
-  | Lir.Rem -> if b = 0 then rt_err "division by zero" else a mod b
-  | Lir.And -> a land b
-  | Lir.Or -> a lor b
-  | Lir.Xor -> a lxor b
-  | Lir.Shl -> a lsl (b land 31)
-  | Lir.Shr -> a asr (b land 31)
-  | Lir.Lt -> if a < b then 1 else 0
-  | Lir.Le -> if a <= b then 1 else 0
-  | Lir.Gt -> if a > b then 1 else 0
-  | Lir.Ge -> if a >= b then 1 else 0
-  | Lir.Eq -> if a = b then 1 else 0
-  | Lir.Ne -> if a <> b then 1 else 0
-
-let field_off st (fld : Lir.field_ref) =
-  match Hashtbl.find_opt st.prog.Program.field_offset (Lir.string_of_field_ref fld) with
-  | Some off -> off
-  | None -> rt_err "unresolved field %s" (Lir.string_of_field_ref fld)
-
-let static_off st (fld : Lir.field_ref) =
-  match
-    Hashtbl.find_opt st.prog.Program.static_offset (Lir.string_of_field_ref fld)
-  with
-  | Some off -> off
-  | None -> rt_err "unresolved static field %s" (Lir.string_of_field_ref fld)
-
-let obj_fields st r =
-  match heap_get st r with
-  | Obj o -> o.fields
-  | Arr _ -> rt_err "expected object, found array"
-
-let arr_cells st r =
-  match heap_get st r with
-  | Arr a -> a
-  | Obj _ -> rt_err "expected array, found object"
-
-let rotate_thread st =
-  let n = Array.length st.threads in
-  if st.alive > 0 then begin
-    let rec next i =
-      let i = (i + 1) mod n in
-      match st.threads.(i).top with Some _ -> i | None -> next i
-    in
-    let nxt = next st.current in
-    if nxt <> st.current then begin
-      st.counters.thread_switches <- st.counters.thread_switches + 1;
-      st.current <- nxt
-    end
-  end
-
-let make_ctx st th (fr : frame) =
-  let caller =
-    if fr.from_meth >= 0 then
-      Some (st.prog.Program.methods.(fr.from_meth).Program.mref, fr.from_site)
-    else None
-  in
-  let class_of r =
-    if r <= 0 || r > Ir.Vec.length st.heap then None
-    else
-      match Ir.Vec.get st.heap (r - 1) with
-      | Obj o -> Some st.prog.Program.classes.(o.cls).Program.cls_name
-      | Arr _ -> None
-  in
-  let stack () =
-    let entry (g : frame) = (g.m.Program.mref, g.from_site) in
-    entry fr :: List.map entry th.parents
-  in
-  {
-    cur = fr.m.Program.mref;
-    caller;
-    eval = eval fr;
-    frame_id = fr.fid;
-    class_of;
-    stack;
-  }
-
-let run_instrument st th fr op =
-  st.counters.instrument_ops <- st.counters.instrument_ops + 1;
-  charge st (st.hooks.instr_cost op);
-  st.hooks.on_instrument (make_ctx st th fr) op
-
-let do_return st th v =
-  (match th.top with
-  | None -> ()
-  | Some fr ->
-      charge st st.costs.Costs.ret;
-      (match th.parents with
-      | [] ->
-          th.top <- None;
-          st.alive <- st.alive - 1;
-          if th.tid = 0 then st.main_result <- v;
-          if st.alive > 0 then rotate_thread st
-      | parent :: rest ->
-          th.parents <- rest;
-          th.top <- Some parent;
-          (match (v, fr.ret_dst) with
-          | Some x, dst when dst >= 0 -> parent.regs.(dst) <- x
-          | _ -> ())));
-  ()
-
-let invoke st th (fr : frame) dst kind target args site =
-  charge st
-    (st.costs.Costs.call_base + (st.costs.Costs.call_per_arg * List.length args));
-  let vals = List.map (eval fr) args in
-  let m =
-    match kind with
-    | Lir.Static -> Program.method_by_ref st.prog target
-    | Lir.Virtual -> (
-        match vals with
-        | recv :: _ -> (
-            if recv = 0 then rt_err "null receiver for %s" target.Lir.mname;
-            let cls =
-              match heap_get st recv with
-              | Obj o -> o.cls
-              | Arr _ -> rt_err "virtual call on array"
-            in
-            match
-              Hashtbl.find_opt st.prog.Program.classes.(cls).Program.vtable
-                target.Lir.mname
-            with
-            | Some id -> st.prog.Program.methods.(id)
-            | None ->
-                rt_err "class %s has no method %s"
-                  st.prog.Program.classes.(cls).Program.cls_name
-                  target.Lir.mname)
-        | [] -> rt_err "virtual call with no receiver")
-  in
-  let dst_reg = match dst with Some r -> r | None -> -1 in
-  let callee =
-    new_frame st m ~args:vals ~ret_dst:dst_reg ~from_meth:fr.m.Program.id
-      ~from_site:site
-  in
-  th.parents <- fr :: th.parents;
-  th.top <- Some callee
-
-let intrinsic st th (fr : frame) dst name args =
-  charge st st.costs.Costs.intrinsic;
-  let vals = List.map (eval fr) args in
-  let set v = match dst with Some r -> fr.regs.(r) <- v | None -> () in
-  match (name, vals) with
-  | "print", [ v ] ->
-      Buffer.add_string st.out (string_of_int v);
-      Buffer.add_char st.out '\n'
-  | "rand", [ bound ] -> set (next_rand st bound)
-  | "yield", [] -> rotate_thread st
-  | _ when String.length name > 6 && String.sub name 0 6 = "spawn:" -> (
-      let full = String.sub name 6 (String.length name - 6) in
-      match String.index_opt full '.' with
-      | Some i ->
-          let mref =
-            {
-              Lir.mclass = String.sub full 0 i;
-              mname = String.sub full (i + 1) (String.length full - i - 1);
-            }
-          in
-          let m = Program.method_by_ref st.prog mref in
-          ignore (spawn_thread st m vals);
-          ignore th
-      | None -> rt_err "malformed spawn intrinsic %s" name)
-  | _ -> rt_err "unknown intrinsic %s/%d" name (List.length vals)
 
 (* Execute one instruction or terminator of the current thread. *)
 let step st =
@@ -477,11 +177,7 @@ let step st =
       end
       else begin
         (* terminator *)
-        (if st.cycles >= st.next_timer then begin
-           st.next_timer <- st.next_timer + st.timer_period;
-           st.switch_bit <- true;
-           st.hooks.on_timer_tick ()
-         end);
+        timer_check st;
         let c = st.costs in
         match fr.term with
         | Lir.Goto l ->
@@ -509,63 +205,19 @@ let step st =
             else set_block st fr fall
       end
 
-let run ?(fuel = 4_000_000_000) ?(use_icache = false) ?(use_dcache = false)
-    ?(costs = Costs.default) ?(timer_period = 100_000) ?(seed = 0x5EED) prog
-    ~entry ~args hooks =
-  let counters =
-    {
-      entries = 0;
-      backedge_yps = 0;
-      entry_yps = 0;
-      checks = 0;
-      samples = 0;
-      thread_switches = 0;
-      instrument_ops = 0;
-    }
-  in
+let run ?(engine = `Fast) ?fuel ?use_icache ?use_dcache ?costs ?timer_period
+    ?seed prog ~entry ~args hooks =
   let st =
-    {
-      prog;
-      costs;
-      hooks;
-      counters;
-      heap = Ir.Vec.create ();
-      heap_addrs = Ir.Vec.create ();
-      (* data addresses: statics first, then the heap *)
-      heap_words = prog.Program.n_statics + 64;
-      globals = Array.make (max prog.Program.n_statics 1) 0;
-      threads = [||];
-      current = 0;
-      alive = 0;
-      cycles = 0;
-      instructions = 0;
-      switch_bit = false;
-      timer_period;
-      next_timer = timer_period;
-      rng = seed;
-      icache = (if use_icache then Some (Icache.create ()) else None);
-      dcache =
-        (if use_dcache then Some (Icache.create ~lines:512 ~line_words:8 ())
-         else None);
-      out = Buffer.create 256;
-      fuel;
-      main_result = None;
-      next_frame_id = 0;
-    }
+    Machine.init_state ?fuel ?use_icache ?use_dcache ?costs ?timer_period
+      ?seed prog hooks
   in
   let m = Program.method_by_ref prog entry in
   ignore (spawn_thread st m args);
-  while st.alive > 0 do
-    if st.cycles > st.fuel then
-      rt_err "out of fuel after %d cycles (likely non-termination)" st.cycles;
-    step st
-  done;
-  {
-    return_value = st.main_result;
-    cycles = st.cycles;
-    instructions = st.instructions;
-    counters = st.counters;
-    icache_misses = (match st.icache with Some ic -> Icache.misses ic | None -> 0);
-    dcache_misses = (match st.dcache with Some dc -> Icache.misses dc | None -> 0);
-    output = Buffer.contents st.out;
-  }
+  (match engine with
+  | `Ref ->
+      while st.alive > 0 do
+        fuel_check st;
+        step st
+      done
+  | `Fast -> Engine.exec st);
+  Machine.result_of st

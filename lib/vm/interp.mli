@@ -6,9 +6,16 @@
 
     Instrumentation is dispatched through {!hooks}: the VM never interprets
     instrumentation payloads itself, keeping this library independent of
-    the sampling framework (the [core] library supplies the hooks). *)
+    the sampling framework (the [core] library supplies the hooks).
 
-type counters = {
+    Two execution engines share one machine ({!Machine}): [`Ref], the
+    reference interpreter (this module's [step]), and [`Fast], the
+    closure-compiled engine ({!Engine}).  They are observationally
+    bit-identical — same results, counters, cache misses, hook call
+    sequence and errors — which test/test_engine.ml enforces
+    differentially; [`Fast] is the default. *)
+
+type counters = Machine.counters = {
   mutable entries : int; (* method invocations + thread entries *)
   mutable backedge_yps : int; (* backedge yieldpoints executed *)
   mutable entry_yps : int; (* entry yieldpoints executed *)
@@ -19,7 +26,7 @@ type counters = {
 }
 
 (** Context handed to the instrumentation hook. *)
-type ctx = {
+type ctx = Machine.ctx = {
   cur : Ir.Lir.method_ref; (* method containing the op *)
   caller : (Ir.Lir.method_ref * int) option; (* caller and its call site *)
   eval : Ir.Lir.operand -> int; (* evaluate an operand in the frame *)
@@ -33,7 +40,7 @@ type ctx = {
          trees *)
 }
 
-type hooks = {
+type hooks = Machine.hooks = {
   fire : int -> bool;
       (* [fire tid]: the sample condition of the paper's check (Figure 3).
          Called once per executed check; a [true] result diverts execution
@@ -49,7 +56,7 @@ val null_hooks : hooks
 
 exception Runtime_error of string
 
-type result = {
+type result = Machine.result = {
   return_value : int option; (* of the initial thread's entry method *)
   cycles : int;
   instructions : int;
@@ -60,6 +67,7 @@ type result = {
 }
 
 val run :
+  ?engine:[ `Ref | `Fast ] ->
   ?fuel:int ->
   ?use_icache:bool ->
   ?use_dcache:bool ->
@@ -71,7 +79,10 @@ val run :
   args:int list ->
   hooks ->
   result
-(** [fuel] bounds executed cycles (default 4e9; exceeding it raises
+(** [engine] selects the execution engine (default [`Fast], the
+    closure-compiled {!Engine}; [`Ref] is the reference interpreter kept
+    as the differential oracle — both produce bit-identical results).
+    [fuel] bounds executed cycles (default 4e9; exceeding it raises
     {!Runtime_error}).  [timer_period] is the simulated timer-interrupt
     period in cycles (default 100_000 — "10ms" at the DESIGN.md scale of
     10k cycles/ms).  [seed] seeds the deterministic [rand] intrinsic. *)

@@ -17,6 +17,11 @@ type cls = {
   vtable : (string, int) Hashtbl.t;
 }
 
+(* Extension point for per-program caches (the compiled-code cache of
+   the closure engine lives here, so its lifetime is tied to the linked
+   program rather than a global table). *)
+type cache_slot = ..
+
 type t = {
   classes : cls array;
   methods : meth array;
@@ -26,6 +31,7 @@ type t = {
   static_offset : (string, int) Hashtbl.t;
   n_statics : int;
   total_code_words : int;
+  mutable engine_cache : cache_slot option;
 }
 
 exception Link_error of string
@@ -200,6 +206,7 @@ let link ?(layout_override = []) (cf : Classfile.program) ~funcs =
     static_offset;
     n_statics = !n_statics;
     total_code_words = !cursor;
+    engine_cache = None;
   }
 
 let method_by_ref t (mref : Lir.method_ref) =

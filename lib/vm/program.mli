@@ -22,6 +22,10 @@ type cls = {
   vtable : (string, int) Hashtbl.t; (* method name -> method id *)
 }
 
+type cache_slot = ..
+(** Extension point for per-program derived data; {!Vm.Engine} hangs its
+    compiled-code cache here so it is dropped with the program. *)
+
 type t = {
   classes : cls array;
   methods : meth array;
@@ -31,6 +35,7 @@ type t = {
   static_offset : (string, int) Hashtbl.t; (* "C.f" -> globals slot *)
   n_statics : int;
   total_code_words : int; (* code size after layout, in instruction words *)
+  mutable engine_cache : cache_slot option; (* see {!cache_slot} *)
 }
 
 exception Link_error of string

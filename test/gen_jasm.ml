@@ -3,8 +3,9 @@
    Programs are guaranteed to terminate (loops are bounded counters with
    fresh names that random statements can never write, the static call
    graph is acyclic) and to be deterministic, so any two executions —
-   baseline vs optimized, baseline vs instrumented — must print the same
-   output and return the same checksum.
+   baseline vs optimized, baseline vs instrumented, reference engine vs
+   compiled engine — must print the same output and return the same
+   checksum.
 
    The generated surface covers every instrumentation point of the
    framework: method entries and (nested) loop backedges carry checks;
@@ -18,9 +19,116 @@
    - array indices are masked with [& 7] against fixed-size-8 arrays;
    - object locals are initialized at declaration and never reassigned,
      so no null dereference;
-   - every stored value is masked to 20 bits, so checksums stay small. *)
+   - every stored value is masked to 20 bits, so checksums stay small.
+
+   Programs are generated as a small statement AST rather than flat
+   strings so that counterexamples can be SHRUNK: the shrinker drops
+   statements at any depth, hoists a nested block's statement over its
+   wrapper, and removes whole helper methods once nothing references
+   them.  Loop counters live in the wrapper text ([parts]), never in the
+   shrinkable bodies, so every shrunk program still terminates. *)
 
 open QCheck.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Program AST (the unit of shrinking)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* [Compound] is any statement wrapping sub-blocks: rendering interleaves
+   [parts] and [bodies] ([parts] has one more element than [bodies]).
+   Everything needed for termination — loop headers, counter increments —
+   lives in [parts], so bodies can shrink to empty safely. *)
+type stmt =
+  | Atom of string
+  | Compound of { parts : string array; bodies : stmt list array }
+
+type func_decl = {
+  f_idx : int; (* Main.f<idx> *)
+  f_cell : string; (* class of the local cell: "Cell" or "SubCell" *)
+  f_body : stmt list;
+  f_ret : string; (* return expression *)
+}
+
+type prog = { funcs : func_decl list; main_body : stmt list }
+
+let rec render_stmt buf = function
+  | Atom s -> Buffer.add_string buf s
+  | Compound { parts; bodies } ->
+      Array.iteri
+        (fun i body ->
+          Buffer.add_string buf parts.(i);
+          render_body buf body)
+        bodies;
+      Buffer.add_string buf parts.(Array.length bodies)
+
+and render_body buf body =
+  List.iter
+    (fun s ->
+      render_stmt buf s;
+      Buffer.add_char buf ' ')
+    body
+
+(* Cell instances are the virtual-dispatch and instance-field sites; a
+   generated program may allocate a SubCell into a Cell local, making
+   [get] a genuinely polymorphic call. *)
+let helper_classes =
+  {|class Cell {
+  var v: int;
+  var w: int;
+  fun bump(d: int) { this.v = (this.v + d) & 1048575; }
+  fun mix(): int { this.w = (this.w ^ ((this.v % 97) * 3)) & 1048575; return this.w; }
+  fun get(): int { return (this.v + this.w) & 1048575; }
+}
+class SubCell extends Cell {
+  fun get(): int { return (this.v ^ (this.w << 1)) & 1048575; }
+}
+class Gs {
+  static var s0: int;
+  static var s1: int;
+}|}
+
+let render_func fd =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "static fun f%d(a: int, b: int): int { var t: int = (a ^ b) & 65535; \
+        var arr: int[] = new int[8]; var c: Cell = new %s; arr[0] = a & \
+        1048575; arr[1] = b & 1048575; c.v = b & 255; "
+       fd.f_idx fd.f_cell);
+  render_body buf fd.f_body;
+  Buffer.add_string buf (Printf.sprintf "return (%s) & 1048575; }" fd.f_ret);
+  Buffer.contents buf
+
+let render (p : prog) =
+  let main = Buffer.create 512 in
+  render_body main p.main_body;
+  Printf.sprintf
+    {|%s
+class Main {
+  %s
+  static fun main(n: int): int {
+    var acc: int = n;
+    var marr: int[] = new int[8];
+    var mc: Cell = new SubCell;
+    var k: int = 0;
+    while (k < 8) {
+      %s
+      acc = (acc + Main.f0(acc, k)) & 1048575;
+      marr[k & 7] = acc;
+      k = k + 1;
+    }
+    acc = (acc + mc.get() + marr[3] + Gs.s0 + Gs.s1) & 1048575;
+    print(acc);
+    return acc;
+  }
+}|}
+    helper_classes
+    (String.concat "\n  " (List.map render_func p.funcs))
+    (Buffer.contents main)
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
 
 type ctx = {
   vars : string list; (* int locals *)
@@ -118,7 +226,8 @@ let rec cond ctx depth =
     ]
 
 (* statements write only to int locals, arrays, fields and static fields;
-   fresh loop counters (never exposed in [ctx.vars]) guarantee
+   fresh loop counters (never exposed in [ctx.vars], and living in the
+   wrapper text rather than the shrinkable bodies) guarantee
    termination *)
 let rec stmts ctx ~fresh ~depth ~budget =
   if budget <= 0 then return []
@@ -127,33 +236,31 @@ let rec stmts ctx ~fresh ~depth ~budget =
     let* rest = stmts ctx ~fresh:fresh' ~depth ~budget:(budget - 1) in
     return (s :: rest)
 
-and block ctx ~fresh ~depth ~budget =
-  let* body = stmts ctx ~fresh ~depth ~budget in
-  return (String.concat " " body)
-
 and stmt ctx ~fresh ~depth =
   frequency
     [
       ( 4,
         let* v = var ctx in
         let* e = expr ctx 2 in
-        return (Printf.sprintf "%s = (%s) & 1048575;" v e, fresh) );
+        return (Atom (Printf.sprintf "%s = (%s) & 1048575;" v e), fresh) );
       ( 2,
         match ctx.arrays with
         | [] ->
             let* v = var ctx in
-            return (Printf.sprintf "%s = %s + 1;" v v, fresh)
+            return (Atom (Printf.sprintf "%s = %s + 1;" v v), fresh)
         | arrays ->
             let* a = oneofl arrays in
             let* i = expr ctx 1 in
             let* e = expr ctx 2 in
             return
-              (Printf.sprintf "%s[(%s) & 7] = (%s) & 1048575;" a i e, fresh) );
+              ( Atom
+                  (Printf.sprintf "%s[(%s) & 7] = (%s) & 1048575;" a i e),
+                fresh ) );
       ( 2,
         match ctx.cells with
         | [] ->
             let* v = var ctx in
-            return (Printf.sprintf "%s = %s ^ 5;" v v, fresh)
+            return (Atom (Printf.sprintf "%s = %s ^ 5;" v v), fresh)
         | cells ->
             let* c = oneofl cells in
             let* e = expr ctx 1 in
@@ -165,101 +272,116 @@ and stmt ctx ~fresh ~depth =
                   Printf.sprintf "%s.bump((%s) & 255);";
                 ]
             in
-            return (f c e, fresh) );
+            return (Atom (f c e), fresh) );
       ( 1,
         match ctx.statics with
         | [] ->
             let* v = var ctx in
-            return (Printf.sprintf "%s = %s | 2;" v v, fresh)
+            return (Atom (Printf.sprintf "%s = %s | 2;" v v), fresh)
         | statics ->
             let* s = oneofl statics in
             let* e = expr ctx 1 in
-            return (Printf.sprintf "%s = (%s) & 1048575;" s e, fresh) );
+            return (Atom (Printf.sprintf "%s = (%s) & 1048575;" s e), fresh) );
       ( 2,
         let* c = cond ctx 1 in
         if depth <= 0 then
           let* v = var ctx in
-          return (Printf.sprintf "if (%s) { %s = %s + 1; }" c v v, fresh)
+          return
+            (Atom (Printf.sprintf "if (%s) { %s = %s + 1; }" c v v), fresh)
         else
-          let* then_ = block ctx ~fresh:(fresh + 100) ~depth:(depth - 1) ~budget:2 in
-          let* else_ = block ctx ~fresh:(fresh + 200) ~depth:(depth - 1) ~budget:2 in
-          return (Printf.sprintf "if (%s) { %s } else { %s }" c then_ else_, fresh) );
+          let* then_ =
+            stmts ctx ~fresh:(fresh + 100) ~depth:(depth - 1) ~budget:2
+          in
+          let* else_ =
+            stmts ctx ~fresh:(fresh + 200) ~depth:(depth - 1) ~budget:2
+          in
+          return
+            ( Compound
+                {
+                  parts =
+                    [| Printf.sprintf "if (%s) { " c; " } else { "; " }" |];
+                  bodies = [| then_; else_ |];
+                },
+              fresh ) );
       ( 2,
         (* while loop on a fresh bounded counter: a (possibly nested)
            backedge with checks under the duplicating transforms *)
         if depth <= 0 then
           let* v = var ctx in
-          return (Printf.sprintf "%s = %s ^ 3;" v v, fresh)
+          return (Atom (Printf.sprintf "%s = %s ^ 3;" v v), fresh)
         else
           let i = Printf.sprintf "i%d" fresh in
           let* bound = int_range 1 6 in
           let* body =
-            block ctx ~fresh:(fresh + 1) ~depth:(depth - 1) ~budget:2
+            stmts ctx ~fresh:(fresh + 1) ~depth:(depth - 1) ~budget:2
           in
           return
-            ( Printf.sprintf
-                "var %s: int = 0; while (%s < %d) { %s %s = %s + 1; }" i i
-                bound body i i,
+            ( Compound
+                {
+                  parts =
+                    [|
+                      Printf.sprintf "var %s: int = 0; while (%s < %d) { " i i
+                        bound;
+                      Printf.sprintf "%s = %s + 1; }" i i;
+                    |];
+                  bodies = [| body |];
+                },
               fresh + 1 ) );
       ( 1,
         (* for loop: same backedge shape, different frontend path *)
         if depth <= 0 then
           let* v = var ctx in
-          return (Printf.sprintf "%s = %s + 2;" v v, fresh)
+          return (Atom (Printf.sprintf "%s = %s + 2;" v v), fresh)
         else
           let i = Printf.sprintf "i%d" fresh in
           let* bound = int_range 1 5 in
           let* body =
-            block ctx ~fresh:(fresh + 1) ~depth:(depth - 1) ~budget:2
+            stmts ctx ~fresh:(fresh + 1) ~depth:(depth - 1) ~budget:2
           in
           return
-            ( Printf.sprintf
-                "for (var %s: int = 0; %s < %d; %s = %s + 1) { %s }" i i bound
-                i i body,
+            ( Compound
+                {
+                  parts =
+                    [|
+                      Printf.sprintf
+                        "for (var %s: int = 0; %s < %d; %s = %s + 1) { " i i
+                        bound i i;
+                      "}";
+                    |];
+                  bodies = [| body |];
+                },
               fresh + 1 ) );
       ( 1,
         (* switch: multi-way branch, no fallthrough *)
         if depth <= 0 then
           let* v = var ctx in
-          return (Printf.sprintf "%s = %s - 1;" v v, fresh)
+          return (Atom (Printf.sprintf "%s = %s - 1;" v v), fresh)
         else
           let* e = expr ctx 1 in
-          let* c0 = block ctx ~fresh:(fresh + 300) ~depth:0 ~budget:1 in
-          let* c1 = block ctx ~fresh:(fresh + 400) ~depth:0 ~budget:1 in
-          let* d = block ctx ~fresh:(fresh + 500) ~depth:0 ~budget:1 in
+          let* c0 = stmts ctx ~fresh:(fresh + 300) ~depth:0 ~budget:1 in
+          let* c1 = stmts ctx ~fresh:(fresh + 400) ~depth:0 ~budget:1 in
+          let* d = stmts ctx ~fresh:(fresh + 500) ~depth:0 ~budget:1 in
           return
-            ( Printf.sprintf
-                "switch ((%s) & 3) { case 0: { %s } case 1: { %s } default: { \
-                 %s } }"
-                e c0 c1 d,
+            ( Compound
+                {
+                  parts =
+                    [|
+                      Printf.sprintf "switch ((%s) & 3) { case 0: { " e;
+                      " } case 1: { ";
+                      " } default: { ";
+                      " } }";
+                    |];
+                  bodies = [| c0; c1; d |];
+                },
               fresh ) );
       ( 1,
         let* e = expr ctx 1 in
-        return (Printf.sprintf "print((%s) & 255);" e, fresh) );
+        return (Atom (Printf.sprintf "print((%s) & 255);" e), fresh) );
     ]
-
-(* Cell instances are the virtual-dispatch and instance-field sites; a
-   generated program may allocate a SubCell into a Cell local, making
-   [get] a genuinely polymorphic call. *)
-let helper_classes =
-  {|class Cell {
-  var v: int;
-  var w: int;
-  fun bump(d: int) { this.v = (this.v + d) & 1048575; }
-  fun mix(): int { this.w = (this.w ^ ((this.v % 97) * 3)) & 1048575; return this.w; }
-  fun get(): int { return (this.v + this.w) & 1048575; }
-}
-class SubCell extends Cell {
-  fun get(): int { return (this.v ^ (this.w << 1)) & 1048575; }
-}
-class Gs {
-  static var s0: int;
-  static var s1: int;
-}|}
 
 let statics = [ "Gs.s0"; "Gs.s1" ]
 
-let func_src idx n_callable =
+let func_decl idx n_callable =
   (* f_idx may call f0 .. f_{idx-1}: the call graph is acyclic *)
   let ctx =
     {
@@ -273,19 +395,11 @@ let func_src idx n_callable =
   let* cell_class = oneofl [ "Cell"; "SubCell" ] in
   let* body = stmts ctx ~fresh:0 ~depth:3 ~budget:4 in
   let* ret = expr ctx 2 in
-  return
-    (Printf.sprintf
-       "static fun f%d(a: int, b: int): int { var t: int = (a ^ b) & 65535; \
-        var arr: int[] = new int[8]; var c: Cell = new %s; arr[0] = a & \
-        1048575; arr[1] = b & 1048575; c.v = b & 255; %s return (%s) & \
-        1048575; }"
-       idx cell_class (String.concat " " body) ret)
+  return { f_idx = idx; f_cell = cell_class; f_body = body; f_ret = ret }
 
 let program =
   let* n_funcs = int_range 1 4 in
-  let* funcs =
-    flatten_l (List.init n_funcs (fun i -> func_src i n_funcs))
-  in
+  let* funcs = flatten_l (List.init n_funcs (fun i -> func_decl i n_funcs)) in
   (* "k" is main's loop counter: random statements must never write
      it, so it is not exposed as a variable at all *)
   let main_ctx =
@@ -298,30 +412,73 @@ let program =
     }
   in
   let* main_body = stmts main_ctx ~fresh:1000 ~depth:3 ~budget:5 in
-  return
-    (Printf.sprintf
-       {|%s
-class Main {
-  %s
-  static fun main(n: int): int {
-    var acc: int = n;
-    var marr: int[] = new int[8];
-    var mc: Cell = new SubCell;
-    var k: int = 0;
-    while (k < 8) {
-      %s
-      acc = (acc + Main.f0(acc, k)) & 1048575;
-      marr[k & 7] = acc;
-      k = k + 1;
-    }
-    acc = (acc + mc.get() + marr[3] + Gs.s0 + Gs.s1) & 1048575;
-    print(acc);
-    return acc;
-  }
-}|}
-       helper_classes
-       (String.concat "\n  " funcs)
-       (String.concat " " main_body))
+  return { funcs; main_body }
 
-let arbitrary_program =
-  QCheck.make ~print:(fun s -> s) program
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Candidates for one statement: hoist any nested statement over the
+   wrapper, or keep the wrapper with one of its bodies shrunk. *)
+let rec shrink_stmt s yield =
+  match s with
+  | Atom _ -> ()
+  | Compound { parts; bodies } ->
+      Array.iter (fun body -> List.iter yield body) bodies;
+      Array.iteri
+        (fun i body ->
+          shrink_body body (fun body' ->
+              let bodies' = Array.copy bodies in
+              bodies'.(i) <- body';
+              yield (Compound { parts; bodies = bodies' })))
+        bodies
+
+(* Candidates for a statement list: drop any one element, or shrink any
+   one element in place. *)
+and shrink_body l yield =
+  let rec go pre = function
+    | [] -> ()
+    | x :: rest ->
+        yield (List.rev_append pre rest);
+        shrink_stmt x (fun x' -> yield (List.rev_append pre (x' :: rest)));
+        go (x :: pre) rest
+  in
+  go [] l
+
+let replace_func (p : prog) fd' =
+  {
+    p with
+    funcs =
+      List.map (fun g -> if g.f_idx = fd'.f_idx then fd' else g) p.funcs;
+  }
+
+(* Whole-program candidates, most aggressive first: drop an unreferenced
+   helper method entirely (main always calls f0, so only f1.. qualify —
+   checked against the rendered remainder, which covers calls from other
+   helpers' bodies and return expressions), then statement-level
+   shrinking of main and of each helper, then collapsing a helper's
+   return expression. *)
+let shrink_prog (p : prog) yield =
+  List.iter
+    (fun fd ->
+      if fd.f_idx > 0 then begin
+        let p' =
+          { p with funcs = List.filter (fun g -> g.f_idx <> fd.f_idx) p.funcs }
+        in
+        if not (contains (render p') (Printf.sprintf "Main.f%d(" fd.f_idx))
+        then yield p'
+      end)
+    p.funcs;
+  shrink_body p.main_body (fun mb -> yield { p with main_body = mb });
+  List.iter
+    (fun fd ->
+      shrink_body fd.f_body (fun b -> yield (replace_func p { fd with f_body = b }));
+      if fd.f_ret <> "0" then yield (replace_func p { fd with f_ret = "0" }))
+    p.funcs
+
+let arbitrary_program = QCheck.make ~print:render ~shrink:shrink_prog program

@@ -1,0 +1,103 @@
+(* Cache-model regression test.
+
+   Pins the EXACT i-cache and d-cache miss counts (and cycles) of a
+   small fixed workload, under both execution engines.  The cache
+   simulation is part of the deterministic cost model the paper's
+   tables are reproduced on (duplicated code stresses the i-cache —
+   DESIGN.md section 4), so a silent change to set indexing, line size,
+   eviction order, or to WHERE the engines issue cache accesses would
+   skew every experiment while all purely semantic tests stay green.
+   These constants were produced by the reference interpreter at the
+   time the compiled engine was introduced; both engines must
+   reproduce them forever.
+
+   The workload mixes the behaviors the model distinguishes: a strided
+   array sweep (d-cache locality), deep recursion (i-cache pressure
+   from frame churn), and an instrumented variant whose duplicated
+   code doubles the method bodies' footprint. *)
+
+module Lir = Ir.Lir
+
+let src =
+  {|class Main {
+  static fun fib(n: int): int {
+    if (n < 2) { return n; }
+    return (Main.fib(n - 1) + Main.fib(n - 2)) & 1048575;
+  }
+  static fun main(n: int): int {
+    var acc: int = n;
+    var arr: int[] = new int[64];
+    var i: int = 0;
+    while (i < 64) { arr[i & 63] = (i * 7) & 1023; i = i + 1; }
+    var j: int = 0;
+    while (j < 32) {
+      acc = (acc + arr[(j * 5) & 63] + Main.fib(10)) & 1048575;
+      j = j + 1;
+    }
+    print(acc);
+    return acc;
+  }
+}|}
+
+let spec = Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
+
+let run ~engine ~instrumented =
+  let classes = Jasm.Compile.compile_string src in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  let funcs =
+    if instrumented then
+      List.map
+        (fun f -> (Core.Transform.full_dup spec f).Core.Transform.func)
+        funcs
+    else funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler =
+    Core.Sampler.create (Core.Sampler.Counter { interval = 3; jitter = 0 })
+  in
+  Vm.Interp.run ~engine ~use_icache:true ~use_dcache:true
+    (Vm.Program.link classes ~funcs)
+    ~entry:{ Lir.mclass = "Main"; mname = "main" }
+    ~args:[ 5 ]
+    (Profiles.Collector.hooks collector sampler)
+
+(* (cycles, instructions, icache misses, dcache misses) *)
+let expected_baseline = (171774, 46512, 7, 8)
+(* the duplicated bodies exactly double the workload's i-cache misses
+   (7 -> 14) while its data footprint is untouched (8 d-cache misses in
+   both) — the effect Table 3 attributes instrumentation dilation to *)
+let expected_instrumented = (312183, 54161, 14, 8)
+
+let check_pinned name expected ~instrumented =
+  List.iter
+    (fun (ename, engine) ->
+      let r = run ~engine ~instrumented in
+      let got =
+        ( r.Vm.Interp.cycles,
+          r.Vm.Interp.instructions,
+          r.Vm.Interp.icache_misses,
+          r.Vm.Interp.dcache_misses )
+      in
+      let show (c, n, i, d) =
+        Printf.sprintf "(cycles %d, instrs %d, icache %d, dcache %d)" c n i d
+      in
+      if got <> expected then
+        Alcotest.failf "%s under %s engine: pinned %s, got %s" name ename
+          (show expected) (show got))
+    [ ("ref", `Ref); ("fast", `Fast) ]
+
+let baseline_pinned () =
+  check_pinned "baseline" expected_baseline ~instrumented:false
+
+let instrumented_pinned () =
+  check_pinned "full-dup counter-3" expected_instrumented ~instrumented:true
+
+let suite =
+  [
+    ( "cache-model",
+      [
+        Alcotest.test_case "baseline misses pinned" `Quick baseline_pinned;
+        Alcotest.test_case "instrumented misses pinned" `Quick
+          instrumented_pinned;
+      ] );
+  ]

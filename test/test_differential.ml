@@ -64,7 +64,8 @@ let preserves name transform =
   QCheck.Test.make ~count
     ~name:(Printf.sprintf "differential: %s == baseline under all triggers" name)
     Gen_jasm.arbitrary_program
-    (fun src ->
+    (fun p ->
+      let src = Gen_jasm.render p in
       let classes, funcs = compile src in
       let base = run_funcs classes funcs Vm.Interp.null_hooks in
       List.for_all
@@ -86,7 +87,8 @@ let property_one =
   QCheck.Test.make ~count
     ~name:"differential: Property 1 (checks <= entries + backedge yps)"
     Gen_jasm.arbitrary_program
-    (fun src ->
+    (fun p ->
+      let src = Gen_jasm.render p in
       let classes, funcs = compile src in
       List.for_all
         (fun (name, transform) ->
@@ -121,7 +123,8 @@ let always_is_perfect =
   QCheck.Test.make ~count
     ~name:"differential: Always trigger == exhaustive (perfect) profile"
     Gen_jasm.arbitrary_program
-    (fun src ->
+    (fun p ->
+      let src = Gen_jasm.render p in
       let classes, funcs = compile src in
       let keyed (_, col) =
         ( sorted_keyed

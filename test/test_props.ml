@@ -53,7 +53,8 @@ let transform_preserves_semantics ?validate name transform trigger =
   QCheck.Test.make ~count
     ~name:(Printf.sprintf "%s preserves semantics of random programs" name)
     Gen_jasm.arbitrary_program
-    (fun src ->
+    (fun p ->
+      let src = Gen_jasm.render p in
       let classes, funcs, base = run_program src in
       let res = run_transformed ?validate classes funcs transform trigger in
       String.equal base.Vm.Interp.output res.Vm.Interp.output
@@ -62,7 +63,8 @@ let transform_preserves_semantics ?validate name transform trigger =
 let property_one_random =
   QCheck.Test.make ~count ~name:"Property 1 on random programs"
     Gen_jasm.arbitrary_program
-    (fun src ->
+    (fun p ->
+      let src = Gen_jasm.render p in
       let classes, funcs, _ = run_program src in
       List.for_all
         (fun transform ->
@@ -78,7 +80,8 @@ let property_one_random =
 let optimizer_preserves =
   QCheck.Test.make ~count ~name:"optimizer pipeline preserves semantics"
     Gen_jasm.arbitrary_program
-    (fun src ->
+    (fun p ->
+      let src = Gen_jasm.render p in
       let classes = Jasm.Compile.compile_string src in
       let raw = Bytecode.To_lir.program_to_funcs classes in
       let run funcs =
@@ -99,7 +102,8 @@ let optimizer_preserves =
 let analyses_sound =
   QCheck.Test.make ~count ~name:"dominators and loops on random CFGs"
     Gen_jasm.arbitrary_program
-    (fun src ->
+    (fun p ->
+      let src = Gen_jasm.render p in
       let classes = Jasm.Compile.compile_string src in
       let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
       List.for_all
@@ -128,7 +132,8 @@ let sampled_profile_is_subset =
   QCheck.Test.make ~count:25
     ~name:"sampled call edges are a subset of the perfect profile"
     Gen_jasm.arbitrary_program
-    (fun src ->
+    (fun p ->
+      let src = Gen_jasm.render p in
       let classes, funcs, _ = run_program src in
       let profile trigger =
         let funcs' =

@@ -1,0 +1,109 @@
+(* Tests of the [Gen_jasm] shrinker.
+
+   The generator produces a statement AST precisely so that QCheck can
+   shrink counterexamples; these tests pin the properties that make the
+   shrinker trustworthy:
+
+   - soundness: every shrink candidate is still a well-formed,
+     terminating program (loop counters live in the un-shrinkable
+     wrapper text, so dropping body statements cannot unbound a loop);
+   - progress: under an always-failing predicate, greedy minimization
+     reaches the syntactic floor — empty bodies, a single helper,
+     literal returns — so real counterexamples come back small;
+   - predicate preservation: minimizing against a seeded known-bad
+     predicate (here: "the program contains a while loop") keeps the
+     predicate true at no larger a size. *)
+
+module Lir = Ir.Lir
+
+let render = Gen_jasm.render
+let size p = String.length (render p)
+
+let run_prog p =
+  let classes = Jasm.Compile.compile_string (render p) in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  Vm.Interp.run ~fuel:200_000_000
+    (Vm.Program.link classes ~funcs)
+    ~entry:{ Lir.mclass = "Main"; mname = "main" }
+    ~args:[ 5 ] Vm.Interp.null_hooks
+
+let seeded n =
+  let rand = Random.State.make [| 0x5817 |] in
+  QCheck.Gen.generate ~n ~rand Gen_jasm.program
+
+(* Greedy fixpoint minimizer: repeatedly accept the first strictly
+   smaller candidate on which the predicate still fails.  Strict size
+   decrease guarantees termination. *)
+exception Found of Gen_jasm.prog
+
+let minimize bad p =
+  let rec go p =
+    match
+      Gen_jasm.shrink_prog p (fun q ->
+          if size q < size p && bad q then raise (Found q))
+    with
+    | () -> p
+    | exception Found q -> go q
+  in
+  go p
+
+(* every candidate the shrinker proposes must itself compile and
+   terminate — otherwise shrinking a counterexample could turn a real
+   bug into a generator artifact *)
+let candidates_well_formed () =
+  List.iter
+    (fun p ->
+      Gen_jasm.shrink_prog p (fun q ->
+          match run_prog q with
+          | (_ : Vm.Interp.result) -> ()
+          | exception e ->
+              Alcotest.failf "shrink candidate broken (%s):\n%s"
+                (Printexc.to_string e) (render q)))
+    (seeded 3)
+
+(* under an always-failing predicate the minimizer must strip a program
+   to the scaffold: no statements anywhere, one helper, literal return *)
+let minimizes_to_floor () =
+  List.iter
+    (fun p ->
+      let m = minimize (fun _ -> true) p in
+      Alcotest.(check int) "main body emptied" 0 (List.length m.Gen_jasm.main_body);
+      Alcotest.(check int) "unreferenced helpers dropped" 1
+        (List.length m.Gen_jasm.funcs);
+      List.iter
+        (fun (fd : Gen_jasm.func_decl) ->
+          Alcotest.(check int) "helper body emptied" 0
+            (List.length fd.Gen_jasm.f_body);
+          Alcotest.(check int) "return collapsed to a literal" 1
+            (String.length fd.Gen_jasm.f_ret))
+        m.Gen_jasm.funcs;
+      (* the floor is still a valid program *)
+      ignore (run_prog m))
+    (seeded 5)
+
+(* seeded known-bad predicate: minimize while preserving it *)
+let preserves_predicate () =
+  let bad p = Gen_jasm.contains (render p) "while (" in
+  let victim =
+    match List.find_opt bad (seeded 50) with
+    | Some p -> p
+    | None -> Alcotest.fail "seed produced no program with a while loop"
+  in
+  let m = minimize bad victim in
+  Alcotest.(check bool) "predicate survives minimization" true (bad m);
+  Alcotest.(check bool) "minimized is no larger" true (size m <= size victim);
+  (* the minimized counterexample still runs *)
+  ignore (run_prog m)
+
+let suite =
+  [
+    ( "shrink",
+      [
+        Alcotest.test_case "candidates stay well-formed" `Quick
+          candidates_well_formed;
+        Alcotest.test_case "always-bad minimizes to the floor" `Quick
+          minimizes_to_floor;
+        Alcotest.test_case "known-bad predicate is preserved" `Quick
+          preserves_predicate;
+      ] );
+  ]
