@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test test-all fmt bench-smoke ci clean
+.PHONY: all build test test-all fmt bench-smoke crash-smoke ci clean
 
 all: build
 
@@ -31,9 +31,15 @@ fmt:
 	  echo "ocamlformat not installed; skipping format check"; \
 	fi
 
+# kill `isf table --checkpoint` mid-run, resume, diff against an
+# uninterrupted run
+crash-smoke: build
+	sh scripts/crash_recovery.sh
+
 ci: build fmt
 	$(DUNE) exec test/main.exe
 	$(DUNE) exec bin/isf.exe -- table 1 -j 2 > /dev/null
+	$(MAKE) crash-smoke
 	$(MAKE) bench-smoke
 	@echo "ci OK"
 

@@ -6,28 +6,49 @@ open Cmdliner
 
 module Measure = Harness.Measure
 
-let spec_of_names names =
-  let one = function
-    | "call-edge" -> Core.Spec.call_edge
-    | "field-access" -> Core.Spec.field_access
-    | "edge" -> Core.Spec.edge_profile
-    | "value" -> Core.Spec.value_profile
-    | "path" -> Profiles.Specs.path_profile
-    | "receiver" -> Profiles.Specs.receiver_profile
-    | "cct" -> Profiles.Specs.cct_profile
-    | s -> invalid_arg ("unknown instrumentation: " ^ s)
+(* Known instrumentations and variants, by CLI name.  The argument
+   parsers below validate against these lists, so a typo is a cmdliner
+   usage error (non-zero exit, valid choices listed) instead of an
+   uncaught Invalid_argument. *)
+let instr_kinds =
+  [
+    ("call-edge", Core.Spec.call_edge);
+    ("field-access", Core.Spec.field_access);
+    ("edge", Core.Spec.edge_profile);
+    ("value", Core.Spec.value_profile);
+    ("path", Profiles.Specs.path_profile);
+    ("receiver", Profiles.Specs.receiver_profile);
+    ("cct", Profiles.Specs.cct_profile);
+  ]
+
+let variants =
+  [
+    ("full-dup", Core.Transform.full_dup);
+    ("no-dup", Core.Transform.no_dup);
+    ("partial-dup", Core.Transform.partial_dup);
+    ("yp-opt", Core.Transform.full_dup_yieldpoint_opt);
+    ("exhaustive", Core.Transform.exhaustive);
+  ]
+
+(* enum over the names rather than the values: specs and transforms hold
+   closures, which cmdliner's enum printer cannot compare *)
+let name_conv what names =
+  let parse s =
+    if List.mem s names then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown %s %s (expected one of %s)" what s
+             (String.concat ", " names)))
   in
+  Arg.conv (parse, Format.pp_print_string)
+
+let spec_of_names names =
   match names with
   | [] -> Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
-  | l -> Core.Spec.combine (List.map one l)
+  | l -> Core.Spec.combine (List.map (fun n -> List.assoc n instr_kinds) l)
 
-let transform_of_variant spec = function
-  | "full-dup" -> Core.Transform.full_dup spec
-  | "no-dup" -> Core.Transform.no_dup spec
-  | "partial-dup" -> Core.Transform.partial_dup spec
-  | "yp-opt" -> Core.Transform.full_dup_yieldpoint_opt spec
-  | "exhaustive" -> Core.Transform.exhaustive spec
-  | s -> invalid_arg ("unknown variant: " ^ s)
+let transform_of_variant spec v = (List.assoc v variants) spec
 
 (* ---- arguments ---- *)
 
@@ -43,13 +64,19 @@ let variant_arg =
   let doc =
     "Transformation: full-dup, partial-dup, no-dup, yp-opt, exhaustive."
   in
-  Arg.(value & opt string "full-dup" & info [ "variant"; "v" ] ~docv:"V" ~doc)
+  Arg.(
+    value
+    & opt (name_conv "variant" (List.map fst variants)) "full-dup"
+    & info [ "variant"; "v" ] ~docv:"V" ~doc)
 
 let instr_arg =
   let doc =
     "Instrumentations (comma separated): call-edge, field-access, edge, value, path, receiver, cct."
   in
-  Arg.(value & opt (list string) [] & info [ "instr"; "i" ] ~docv:"I,.." ~doc)
+  Arg.(
+    value
+    & opt (list (name_conv "instrumentation" (List.map fst instr_kinds))) []
+    & info [ "instr"; "i" ] ~docv:"I,.." ~doc)
 
 let interval_arg =
   let doc = "Counter-based sample interval." in
@@ -82,7 +109,7 @@ let jobs_arg =
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let trace_arg =
-  let doc = "Print a progress line (cells done/total, cycles) to stderr." in
+  let doc = "Print a progress line (cells done/total) to stderr." in
   Arg.(value & flag & info [ "trace" ] ~doc)
 
 let engine_arg =
@@ -97,8 +124,55 @@ let engine_arg =
     & opt (enum [ ("ref", `Ref); ("fast", `Fast) ]) `Fast
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let chaos_arg =
+  let doc =
+    "Chaos mode: derive a deterministic fault plan from $(docv) for every \
+     experiment cell (spurious timer interrupts, cache flushes, sample \
+     counter corruption, traps, simulated compile failures).  Failing \
+     cells render as ERR and exit non-zero; the same seed reproduces the \
+     same faults."
+  in
+  Arg.(value & opt (some int) None & info [ "chaos" ] ~docv:"SEED" ~doc)
+
+let watchdog_arg =
+  let doc =
+    "Wall-clock budget per experiment cell, in seconds ($(docv) <= 0 \
+     disables the watchdog).  A cell over budget becomes an ERR cell; its \
+     siblings are unaffected."
+  in
+  Arg.(value & opt float 600.0 & info [ "watchdog" ] ~docv:"SECS" ~doc)
+
+let checkpoint_arg =
+  let doc =
+    "Persist each completed experiment cell to $(docv) (append-only, \
+     crash-safe) and, when re-run after an interruption, resume from the \
+     completed cells instead of recomputing them.  The file records the \
+     run configuration and refuses to resume a mismatched run."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
 let set_trace t = if t then Harness.Pool.trace := true
 let set_engine e = Measure.set_engine e
+
+let set_robustness ?(chaos = None) ?(watchdog = 600.0) () =
+  Measure.set_chaos chaos;
+  Measure.set_watchdog watchdog
+
+(* open the checkpoint file, tagged with everything that changes cell
+   values, so resuming under a different configuration is an error
+   rather than a silently wrong table *)
+let set_checkpoint ~which ~scale ~engine ~chaos checkpoint =
+  let meta =
+    Printf.sprintf "which=%s scale=%s engine=%s chaos=%s" which
+      (match scale with Some s -> string_of_int s | None -> "default")
+      (match engine with `Ref -> "ref" | `Fast -> "fast")
+      (match chaos with Some s -> string_of_int s | None -> "off")
+  in
+  try Harness.Robust.set_checkpoint ~meta checkpoint
+  with Failure m ->
+    prerr_endline ("isf: " ^ m);
+    exit 2
 
 (* ---- commands ---- *)
 
@@ -129,8 +203,10 @@ let run_cmd =
     Term.(const run $ bench_arg $ scale_arg $ engine_arg)
 
 let profile_cmd =
-  let run bench scale variant instr interval jitter timer top csv engine =
+  let run bench scale variant instr interval jitter timer top csv engine chaos
+      =
     set_engine engine;
+    set_robustness ~chaos ();
     let b = Workloads.Suite.find bench in
     let build = Measure.prepare ?scale b in
     let base = Measure.run_baseline build in
@@ -169,7 +245,7 @@ let profile_cmd =
     Term.(
       const run $ bench_arg $ scale_arg $ variant_arg $ instr_arg
       $ interval_arg $ jitter_arg $ timer_arg $ top_arg $ csv_arg
-      $ engine_arg)
+      $ engine_arg $ chaos_arg)
 
 let dump_cmd =
   let run bench variant instr meth =
@@ -258,40 +334,70 @@ let exec_cmd =
       $ jitter_arg $ top_arg $ engine_arg)
 
 let table_cmd =
-  let run which scale jobs trace engine =
+  let run which scale jobs trace engine chaos watchdog checkpoint =
     set_trace trace;
     set_engine engine;
+    set_robustness ~chaos ~watchdog ();
+    let name =
+      match which with `All -> "all" | `One w -> Harness.Experiments.name w
+    in
+    set_checkpoint ~which:name ~scale ~engine ~chaos checkpoint;
     match which with
-    | "all" ->
+    | `All ->
         (* Deterministic run-everything mode: skips the one wall-clock
            measurement (Table 2 compile column, printed "-") so the
            output is byte-identical across runs and across engines, and
            gates the result on the shapes recorded in EXPERIMENTS.md. *)
         if not (Harness.Experiments.run_gated ?scale ~jobs ()) then exit 1
-    | which ->
-        Harness.Experiments.run_one ?scale ~jobs
-          (Harness.Experiments.of_name which)
+    | `One w ->
+        if Harness.Experiments.run_one ?scale ~jobs w <> [] then exit 2
+  in
+  let which_conv =
+    let parse s =
+      if String.equal s "all" then Ok `All
+      else
+        match Harness.Experiments.of_name s with
+        | w -> Ok (`One w)
+        | exception Invalid_argument _ ->
+            Error
+              (`Msg
+                (Printf.sprintf
+                   "unknown experiment %s (expected all, 1-5, 7, 8, tableN or \
+                    figureN)"
+                   s))
+    in
+    let print ppf = function
+      | `All -> Format.pp_print_string ppf "all"
+      | `One w -> Format.pp_print_string ppf (Harness.Experiments.name w)
+    in
+    Arg.conv (parse, print)
   in
   let which_arg =
     let doc =
       "Experiment: 1-5 (tables), 7 or 8 (figures), tableN/figureN, or \
        $(b,all) (every table/figure, fully deterministic, shape-gated)."
     in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"WHICH" ~doc)
+    Arg.(required & pos 0 (some which_conv) None & info [] ~docv:"WHICH" ~doc)
   in
   Cmd.v
     (Cmd.info "table" ~doc:"Reproduce one of the paper's tables/figures")
-    Term.(const run $ which_arg $ scale_arg $ jobs_arg $ trace_arg $ engine_arg)
+    Term.(
+      const run $ which_arg $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
+      $ chaos_arg $ watchdog_arg $ checkpoint_arg)
 
 let all_cmd =
-  let run scale jobs trace engine =
+  let run scale jobs trace engine chaos watchdog checkpoint =
     set_trace trace;
     set_engine engine;
-    Harness.Experiments.run_all ?scale ~jobs ()
+    set_robustness ~chaos ~watchdog ();
+    set_checkpoint ~which:"everything" ~scale ~engine ~chaos checkpoint;
+    if Harness.Experiments.run_all ?scale ~jobs () <> [] then exit 2
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure of the paper")
-    Term.(const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg)
+    Term.(
+      const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg $ chaos_arg
+      $ watchdog_arg $ checkpoint_arg)
 
 let ablation_cmd =
   let run scale jobs trace engine =

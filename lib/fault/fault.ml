@@ -1,0 +1,100 @@
+(* Deterministic fault plans.
+
+   A plan is pure data: a seed, a sorted schedule of cycle-triggered
+   events, and a description of which methods the fast engine must
+   pretend it cannot compile.  The VM threads a plan through execution
+   (Machine.fuel_check applies due events), so the same plan produces
+   the same faults at the same cycle counts on every run and on both
+   execution engines — fault injection is as reproducible as the
+   simulator itself.  Nothing here touches the VM: this library is
+   leaf-level data so the VM, the harness and the tests can all speak
+   the same plan type. *)
+
+type action =
+  | Trap  (** abort the run with a Runtime_error *)
+  | Spurious_timer  (** a timer interrupt the timer device never scheduled *)
+  | Corrupt_sample_counter of int  (** skew the sample counter by a delta *)
+  | Flush_icache  (** invalidate every i-cache line (tags only) *)
+  | Flush_dcache  (** invalidate every d-cache line (tags only) *)
+
+type event = { at_cycle : int; action : action }
+
+type plan = {
+  seed : int;
+  events : event array; (* sorted by at_cycle, applied in order *)
+  compile_failures : string list; (* exact method names that must not compile *)
+  compile_fail_pct : int; (* plus this percentage of all methods, by hash *)
+}
+
+let none = { seed = 0; events = [||]; compile_failures = []; compile_fail_pct = 0 }
+
+let is_none p =
+  Array.length p.events = 0 && p.compile_failures = [] && p.compile_fail_pct = 0
+
+let sort_events evs =
+  Array.sort (fun a b -> compare (a.at_cycle, a.action) (b.at_cycle, b.action)) evs
+
+let make ?(seed = 0) ?(compile_failures = []) ?(compile_fail_pct = 0) events =
+  let events = Array.of_list events in
+  sort_events events;
+  { seed; events; compile_failures; compile_fail_pct }
+
+(* SplitMix-style mixer on OCaml's 63-bit ints (same construction as the
+   VM's [rand] intrinsic): full avalanche, so nearby seeds produce
+   unrelated plans. *)
+let mix z =
+  let z = (z + 0x1E3779B97F4A7C15) land max_int in
+  let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+  let z = (z lxor (z lsr 27)) * 0x14D049BB133111EB land max_int in
+  z lxor (z lsr 31)
+
+let of_seed ?(budget = 10_000_000) ?(n_events = 6) ?(trap_pct = 15)
+    ?(compile_fail_pct = 0) seed =
+  let state = ref (mix (seed lxor 0x5EEDFA11)) in
+  let next bound =
+    state := mix !state;
+    if bound <= 0 then 0 else !state mod bound
+  in
+  let events =
+    Array.init n_events (fun _ ->
+        let at_cycle = 1 + next budget in
+        let r = next 100 in
+        let action =
+          if r < trap_pct then Trap
+          else if r < trap_pct + 25 then Spurious_timer
+          else if r < trap_pct + 45 then Corrupt_sample_counter (1 + next 5)
+          else if r < trap_pct + 75 then Flush_icache
+          else Flush_dcache
+        in
+        { at_cycle; action })
+  in
+  sort_events events;
+  { seed; events; compile_failures = []; compile_fail_pct }
+
+(* [Hashtbl.hash] on strings is deterministic (fixed seed), so the set of
+   failing methods depends only on (plan seed, method name). *)
+let fail_compile p name =
+  List.mem name p.compile_failures
+  || (p.compile_fail_pct > 0
+     && mix (p.seed lxor Hashtbl.hash name) mod 100 < p.compile_fail_pct)
+
+let string_of_action = function
+  | Trap -> "trap"
+  | Spurious_timer -> "spurious-timer"
+  | Corrupt_sample_counter d -> Printf.sprintf "corrupt-samples%+d" d
+  | Flush_icache -> "flush-icache"
+  | Flush_dcache -> "flush-dcache"
+
+let to_string p =
+  if is_none p then "no faults"
+  else
+    Printf.sprintf "seed %d: [%s]%s" p.seed
+      (String.concat "; "
+         (Array.to_list
+            (Array.map
+               (fun e -> Printf.sprintf "%s@%d" (string_of_action e.action) e.at_cycle)
+               p.events)))
+      (match (p.compile_failures, p.compile_fail_pct) with
+      | [], 0 -> ""
+      | fs, pct ->
+          Printf.sprintf " compile-failures=%s+%d%%" (String.concat "," fs) pct)

@@ -1,0 +1,51 @@
+(** Deterministic fault plans for robustness testing.
+
+    A plan is pure data — a seed, a schedule of cycle-triggered events,
+    and a set of methods the fast engine must pretend it cannot compile.
+    The VM applies due events at its fuel-check points, which both
+    execution engines reach at identical cycle counts, so a plan
+    produces the same faults at the same places on [`Ref] and [`Fast]
+    (test/test_fault.ml enforces this differentially). *)
+
+type action =
+  | Trap  (** abort the run with a [Machine.Runtime_error] *)
+  | Spurious_timer  (** a timer interrupt the timer device never scheduled *)
+  | Corrupt_sample_counter of int  (** skew the sample counter by a delta *)
+  | Flush_icache  (** invalidate every i-cache line (tags only) *)
+  | Flush_dcache  (** invalidate every d-cache line (tags only) *)
+
+type event = { at_cycle : int; action : action }
+
+type plan = {
+  seed : int;
+  events : event array;  (** sorted by [at_cycle], applied in order *)
+  compile_failures : string list;
+      (** exact method names (["Cls.meth"]) that must fail engine compilation *)
+  compile_fail_pct : int;
+      (** additionally fail this percentage of all methods, chosen by a
+          deterministic hash of (seed, method name) *)
+}
+
+val none : plan
+(** The empty plan: running under it is indistinguishable from not
+    injecting faults at all. *)
+
+val is_none : plan -> bool
+
+val make :
+  ?seed:int -> ?compile_failures:string list -> ?compile_fail_pct:int ->
+  event list -> plan
+(** Explicit plan for tests; events are sorted by cycle. *)
+
+val of_seed :
+  ?budget:int -> ?n_events:int -> ?trap_pct:int -> ?compile_fail_pct:int ->
+  int -> plan
+(** Derive a pseudo-random plan from a seed: [n_events] (default 6)
+    events uniformly over [1, budget] (default 1e7) cycles, [trap_pct]%
+    (default 15) of them traps and the rest split over the non-fatal
+    actions.  Same seed, same plan — byte for byte. *)
+
+val fail_compile : plan -> string -> bool
+(** Must the fast engine simulate a compile failure for this method? *)
+
+val to_string : plan -> string

@@ -23,36 +23,61 @@ let of_name = function
   | "figure8" | "8" -> F8
   | s -> invalid_arg ("unknown experiment: " ^ s)
 
+(* Print one experiment; the returned failures are the cells that
+   rendered ERR (empty on a healthy run), so callers can exit non-zero
+   without parsing output. *)
 let run_one ?scale ?jobs ?measure_compile which =
   match which with
-  | T1 -> Table1.print (Table1.run ?scale ?jobs ())
-  | T2 -> Table2.print (Table2.run ?scale ?jobs ?measure_compile ())
-  | T3 -> Table3.print (Table3.run ?scale ?jobs ())
-  | T4 -> Table4.print (Table4.run ?scale ?jobs ())
+  | T1 ->
+      let r = Table1.run ?scale ?jobs () in
+      Table1.print r;
+      Table1.failures r
+  | T2 ->
+      let r = Table2.run ?scale ?jobs ?measure_compile () in
+      Table2.print r;
+      Table2.failures r
+  | T3 ->
+      let r = Table3.run ?scale ?jobs () in
+      Table3.print r;
+      Table3.failures r
+  | T4 ->
+      let r = Table4.run ?scale ?jobs () in
+      Table4.print r;
+      r.Table4.failures
   | T5 ->
       (* more samples are needed for stable trigger-accuracy comparisons *)
       let scale = match scale with None -> Some 4 | s -> s in
-      Table5.print (Table5.run ?scale ?jobs ())
+      let r = Table5.run ?scale ?jobs () in
+      Table5.print r;
+      Table5.failures r
   | F7 ->
       (* scale/interval chosen so the sample count matches the paper's
          run length (~10^3-10^4 samples); see EXPERIMENTS.md *)
       let scale = match scale with None -> Some 4 | s -> s in
-      Figure7.print (Figure7.run ?scale ?jobs ~interval:100 ())
-  | F8 -> Figure8.print (Figure8.run ?scale ?jobs ())
+      let d = Figure7.run ?scale ?jobs ~interval:100 () in
+      Figure7.print d;
+      d.Figure7.failures
+  | F8 ->
+      let d = Figure8.run ?scale ?jobs () in
+      Figure8.print d;
+      d.Figure8.failures
 
 let run_all ?scale ?jobs ?measure_compile () =
-  List.iter
+  List.concat_map
     (fun w ->
-      run_one ?scale ?jobs ?measure_compile w;
-      print_newline ())
+      let fails = run_one ?scale ?jobs ?measure_compile w in
+      print_newline ();
+      fails)
     all
 
 (* Run every experiment, keep the data, and check it against the shapes
    recorded in EXPERIMENTS.md (see Shapes).  Returns [true] when every
-   shape reproduces.  [measure_compile] defaults to [false] here so the
-   full output is deterministic — byte-identical across runs and across
-   VM engines — and therefore diffable; only the Table 2 compile column
-   is affected (printed "-"). *)
+   shape reproduces AND no cell failed — an ERR cell poisons its shape
+   inputs to NaN, but an injected fault must fail the gate even when the
+   surviving cells happen to satisfy every claim.  [measure_compile]
+   defaults to [false] here so the full output is deterministic —
+   byte-identical across runs and across VM engines — and therefore
+   diffable; only the Table 2 compile column is affected (printed "-"). *)
 let run_gated ?scale ?jobs ?(measure_compile = false) () =
   let show print tbl =
     print tbl;
@@ -81,4 +106,12 @@ let run_gated ?scale ?jobs ?(measure_compile = false) () =
     ]
   in
   print_string (Shapes.render groups);
-  Shapes.all_pass groups
+  let failures =
+    Table1.failures t1 @ Table2.failures t2 @ Table3.failures t3
+    @ t4.Table4.failures @ Table5.failures t5 @ f7.Figure7.failures
+    @ f8.Figure8.failures
+  in
+  if failures <> [] then
+    Printf.printf "%d experiment cell(s) failed (see reports above)\n"
+      (List.length failures);
+  Shapes.all_pass groups && failures = []

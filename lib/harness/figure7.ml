@@ -8,48 +8,74 @@
 
 type point = { edge : string; perfect_pct : float; sampled_pct : float }
 
-type data = { points : point list; overlap : float; n_samples : int }
+type data = {
+  points : point list;
+  overlap : float;
+  n_samples : int;
+  failures : Robust.failure list;
+}
 
 let paper_overlap = 93.8
 
 let run ?scale ?jobs ?(interval = 1_000) ?(top = 50) () =
-  let build = Measure.prepare ?scale (Workloads.Suite.find "javac") in
+  let bench = Workloads.Suite.find "javac" in
   (* a 2-cell grid: the perfect profile and the sampled run are
-     independent computations *)
+     independent computations; only keyed profiles (marshal-safe) are
+     checkpointed, never metrics *)
   let cells =
     [
-      (fun () -> `Perfect (Common.perfect_profiles build));
+      (fun () ->
+        `Perfect
+          (Robust.cell ~key:"figure7/perfect" (fun () ->
+               fst (Common.perfect_profiles (Measure.prepare ?scale bench)))));
       (fun () ->
         `Sampled
-          (Measure.run_transformed
-             ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
-             ~transform:(Core.Transform.full_dup Common.both_specs)
-             build));
+          (Robust.cell
+             ~key:(Printf.sprintf "figure7/sampled@%d" interval)
+             (fun () ->
+               let build = Measure.prepare ?scale bench in
+               let m =
+                 Measure.run_transformed
+                   ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+                   ~transform:(Core.Transform.full_dup Common.both_specs)
+                   build
+               in
+               ( Profiles.Call_edge.to_keyed
+                   m.Measure.collector.Profiles.Collector.call_edges,
+                 m.Measure.samples ))));
     ]
   in
-  let perfect_ce, m =
+  let perfect_o, sampled_o =
     match Pool.map ?jobs (fun cell -> cell ()) cells with
-    | [ `Perfect (ce, _); `Sampled m ] -> (ce, m)
+    | [ `Perfect p; `Sampled s ] -> (p, s)
     | _ -> assert false
   in
-  let sampled_ce =
-    Profiles.Call_edge.to_keyed m.Measure.collector.Profiles.Collector.call_edges
-  in
-  let perfect_pcts = Profiles.Overlap.sample_percentages perfect_ce in
-  let sampled_pcts = Profiles.Overlap.sample_percentages sampled_ce in
-  let sampled_of e =
-    Option.value ~default:0.0 (List.assoc_opt e sampled_pcts)
-  in
-  let points =
-    List.filteri (fun i _ -> i < top) perfect_pcts
-    |> List.map (fun (e, p) ->
-           { edge = e; perfect_pct = p; sampled_pct = sampled_of e })
-  in
-  {
-    points;
-    overlap = Profiles.Overlap.percent perfect_ce sampled_ce;
-    n_samples = m.Measure.samples;
-  }
+  match (perfect_o, sampled_o) with
+  | Ok perfect_ce, Ok (sampled_ce, n_samples) ->
+      let perfect_pcts = Profiles.Overlap.sample_percentages perfect_ce in
+      let sampled_pcts = Profiles.Overlap.sample_percentages sampled_ce in
+      let sampled_of e =
+        Option.value ~default:0.0 (List.assoc_opt e sampled_pcts)
+      in
+      let points =
+        List.filteri (fun i _ -> i < top) perfect_pcts
+        |> List.map (fun (e, p) ->
+               { edge = e; perfect_pct = p; sampled_pct = sampled_of e })
+      in
+      {
+        points;
+        overlap = Profiles.Overlap.percent perfect_ce sampled_ce;
+        n_samples;
+        failures = [];
+      }
+  | _ ->
+      let fail = function Error f -> [ f ] | Ok _ -> [] in
+      {
+        points = [];
+        overlap = Float.nan;
+        n_samples = 0;
+        failures = fail perfect_o @ fail sampled_o;
+      }
 
 let to_string d =
   Printf.sprintf "javac call-edge profile, overlap = %.1f%% (%d samples)\n"
@@ -75,4 +101,5 @@ let to_csv d =
 
 let print d =
   print_string "Figure 7: javac call-edge profile, perfect vs sampled\n";
-  print_string (to_string d)
+  print_string (to_string d);
+  match d.failures with [] -> () | fs -> print_string (Robust.report fs)

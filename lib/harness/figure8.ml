@@ -6,11 +6,11 @@
    (B) total sampling overhead (both instrumentations) vs sample
        interval, converging to ~1.5% instead of ~5%. *)
 
-type row_a = { bench : string; framework : float }
+type row_a = { bench : string; framework : float Robust.outcome }
 
 type row_b = { interval : int; total : float }
 
-type data = { a : row_a list; b : row_b list }
+type data = { a : row_a list; b : row_b list; failures : Robust.failure list }
 
 let paper_a =
   [
@@ -50,15 +50,18 @@ let run ?scale ?jobs ?benches () =
   let a =
     Pool.map ?jobs
       (fun bench ->
-        let build = Measure.prepare ?scale bench in
-        let base = Measure.run_baseline build in
-        let fw = Measure.run_transformed ~transform build in
-        Measure.check_output ~base fw;
-        Pool.Progress.step ~cycles:fw.Measure.cycles progress;
-        {
-          bench = bench.Workloads.Suite.bname;
-          framework = Measure.overhead_pct ~base fw;
-        })
+        let framework =
+          Robust.cell
+            ~key:(Printf.sprintf "figure8/a/%s" bench.Workloads.Suite.bname)
+            (fun () ->
+              let build = Measure.prepare ?scale bench in
+              let base = Measure.run_baseline build in
+              let fw = Measure.run_transformed ~transform build in
+              Measure.check_output ~base fw;
+              Measure.overhead_pct ~base fw)
+        in
+        Pool.Progress.step progress;
+        { bench = bench.Workloads.Suite.bname; framework })
       benches
   in
   (* one cell per (interval, benchmark) *)
@@ -70,15 +73,23 @@ let run ?scale ?jobs ?benches () =
   let totals =
     Pool.map ?jobs
       (fun (interval, bench) ->
-        let build = Measure.prepare ?scale bench in
-        let base = Measure.run_baseline build in
-        let m =
-          Measure.run_transformed
-            ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
-            ~transform build
+        let r =
+          Robust.cell
+            ~key:
+              (Printf.sprintf "figure8/b/%d/%s" interval
+                 bench.Workloads.Suite.bname)
+            (fun () ->
+              let build = Measure.prepare ?scale bench in
+              let base = Measure.run_baseline build in
+              let m =
+                Measure.run_transformed
+                  ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+                  ~transform build
+              in
+              Measure.overhead_pct ~base m)
         in
-        Pool.Progress.step ~cycles:m.Measure.cycles progress;
-        Measure.overhead_pct ~base m)
+        Pool.Progress.step progress;
+        r)
       cells
   in
   Pool.Progress.finish progress;
@@ -86,20 +97,30 @@ let run ?scale ?jobs ?benches () =
     List.mapi
       (fun i interval ->
         let mine = List.filteri (fun j _ -> j / nb = i) totals in
-        { interval; total = Common.mean mine })
+        { interval; total = Common.mean (Robust.oks mine) })
       Common.sample_intervals
   in
-  { a; b }
+  {
+    a;
+    b;
+    failures =
+      Robust.errors (List.map (fun r -> r.framework) a)
+      @ Robust.errors totals;
+  }
 
 let to_string d =
   "Figure 8 (A): framework overhead with the yieldpoint optimization\n"
   ^ Text_table.render
       ~header:[ "Benchmark"; "Framework (%)" ]
-      (List.map (fun r -> [ r.bench; Text_table.pct r.framework ]) d.a
+      (List.map
+         (fun r -> [ r.bench; Robust.cell_str Text_table.pct r.framework ])
+         d.a
       @ [
           [
             "Average";
-            Text_table.pct (Common.mean (List.map (fun r -> r.framework) d.a));
+            Text_table.pct
+              (Common.mean
+                 (Robust.oks (List.map (fun r -> r.framework) d.a)));
           ];
         ])
   ^ "\nFigure 8 (B): total sampling overhead vs interval (avg over benchmarks)\n"
@@ -111,4 +132,5 @@ let to_string d =
 
 let print d =
   print_string "Figure 8: Jalapeno-specific yieldpoint optimization\n";
-  print_string (to_string d)
+  print_string (to_string d);
+  match d.failures with [] -> () | fs -> print_string (Robust.report fs)

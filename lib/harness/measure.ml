@@ -33,6 +33,29 @@ let default_engine : [ `Ref | `Fast ] Atomic.t = Atomic.make `Fast
 let set_engine e = Atomic.set default_engine e
 let current_engine () = Atomic.get default_engine
 
+(* Chaos mode (isf --chaos SEED): every measurement runs under a fault
+   plan derived from the session seed and the cell's (benchmark, scale)
+   — deliberately NOT from which table or worker asks, so concurrent
+   cells measuring the same build inject the same faults and results
+   stay independent of -j and of execution order. *)
+let chaos : int option Atomic.t = Atomic.make None
+
+let set_chaos s = Atomic.set chaos s
+
+(* Per-cell wall-clock budget in seconds (isf --watchdog); <= 0 disables
+   the deadline entirely (the clock is then never read). *)
+let watchdog : float Atomic.t = Atomic.make 600.0
+
+let set_watchdog s = Atomic.set watchdog s
+
+let fault_plan build =
+  match Atomic.get chaos with
+  | None -> Fault.none
+  | Some seed ->
+      Fault.of_seed ~compile_fail_pct:25
+        (seed
+        lxor Hashtbl.hash (build.bench.Workloads.Suite.bname, build.scale))
+
 type metrics = {
   cycles : int;
   instructions : int;
@@ -44,6 +67,7 @@ type metrics = {
   output : string;
   code_words : int;
   collector : Profiles.Collector.t;
+  fallbacks : (string * string) list;
 }
 
 let metrics_of prog (res : Vm.Interp.result) collector =
@@ -58,6 +82,7 @@ let metrics_of prog (res : Vm.Interp.result) collector =
     output = res.Vm.Interp.output;
     code_words = prog.Vm.Program.total_code_words;
     collector;
+    fallbacks = res.Vm.Interp.fallbacks;
   }
 
 let execute ?engine ?timer_period build funcs hooks collector =
@@ -65,9 +90,21 @@ let execute ?engine ?timer_period build funcs hooks collector =
     match engine with Some e -> e | None -> Atomic.get default_engine
   in
   let prog = Vm.Program.link build.classes ~funcs in
+  let faults = fault_plan build in
+  let label =
+    let ctx = Robust.context () in
+    if not (String.equal ctx "") then ctx
+    else
+      Printf.sprintf "%s (scale %d)" build.bench.Workloads.Suite.bname
+        build.scale
+  in
+  let deadline =
+    let w = Atomic.get watchdog in
+    if w <= 0.0 then None else Some (Unix.gettimeofday () +. w)
+  in
   let res =
-    Vm.Interp.run ~engine ~use_icache:true ?timer_period prog
-      ~entry:Workloads.Suite.entry ~args:[ build.scale ] hooks
+    Vm.Interp.run ~engine ~use_icache:true ?timer_period ~faults ~label
+      ?deadline prog ~entry:Workloads.Suite.entry ~args:[ build.scale ] hooks
   in
   metrics_of prog res collector
 

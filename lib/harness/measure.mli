@@ -25,6 +25,20 @@ val set_engine : [ `Ref | `Fast ] -> unit
 
 val current_engine : unit -> [ `Ref | `Fast ]
 
+val set_chaos : int option -> unit
+(** Arm ([Some seed]) or disarm ([None], the default) chaos mode: every
+    subsequent measurement runs under a deterministic {!Fault.plan}
+    derived from the seed and the cell's (benchmark, scale) — and only
+    those, so results are independent of worker count and execution
+    order.  With chaos off, runs are bit-identical to a build without
+    fault injection at all. *)
+
+val set_watchdog : float -> unit
+(** Per-measurement wall-clock budget in seconds (default 600).  A cell
+    exceeding it aborts with a watchdog {!Vm.Interp.Runtime_error}
+    (classified ["timeout"] by {!Robust}).  [<= 0] disables the watchdog
+    and the VM never reads the clock. *)
+
 type metrics = {
   cycles : int;
   instructions : int;
@@ -36,6 +50,10 @@ type metrics = {
   output : string;
   code_words : int; (* linked code size, in instruction words *)
   collector : Profiles.Collector.t;
+  fallbacks : (string * string) list;
+      (* methods the engine degraded to the interpreter for (see
+         {!Vm.Engine}); [] unless compilation failed or was
+         fault-injected to fail *)
 }
 
 val run_baseline : ?engine:[ `Ref | `Fast ] -> build -> metrics

@@ -14,7 +14,27 @@ let default_jobs () =
       | _ -> 1)
   | None -> max 1 (Domain.recommended_domain_count () - 1)
 
-type deque = { mu : Mutex.t; tasks : (unit -> unit) Queue.t }
+exception Failures of (int * exn * string) list
+
+let () =
+  Printexc.register_printer (function
+    | Failures l ->
+        Some
+          (Printf.sprintf "Pool.Failures: %d task(s) failed\n%s"
+             (List.length l)
+             (String.concat "\n"
+                (List.map
+                   (fun (i, e, bt) ->
+                     Printf.sprintf "  task %d: %s%s" i (Printexc.to_string e)
+                       (if String.equal bt "" then ""
+                        else
+                          "\n    "
+                          ^ String.concat "\n    "
+                              (String.split_on_char '\n' (String.trim bt))))
+                   l)))
+    | _ -> None)
+
+type deque = { mu : Mutex.t; tasks : (int * (unit -> unit)) Queue.t }
 
 let take_from d =
   Mutex.lock d.mu;
@@ -22,19 +42,40 @@ let take_from d =
   Mutex.unlock d.mu;
   r
 
+(* every task runs to completion even after a failure elsewhere, and every
+   failure is kept: a chaos run that breaks several cells reports them
+   all, not just whichever worker lost the race *)
+let raise_failures failures =
+  match List.sort (fun (i, _, _, _) (j, _, _, _) -> compare i j) failures with
+  | [] -> ()
+  | [ (_, e, _, bt) ] -> Printexc.raise_with_backtrace e bt
+  | many -> raise (Failures (List.map (fun (i, e, s, _) -> (i, e, s)) many))
+
 let run_tasks ~jobs (tasks : (unit -> unit) array) =
   let n = Array.length tasks in
-  if jobs <= 1 || n <= 1 then Array.iter (fun t -> t ()) tasks
+  if jobs <= 1 || n <= 1 then begin
+    let failures = ref [] in
+    Array.iteri
+      (fun i t ->
+        try t ()
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          failures :=
+            (i, e, Printexc.raw_backtrace_to_string bt, bt) :: !failures)
+      tasks;
+    raise_failures !failures
+  end
   else begin
     let nworkers = min jobs n in
     let deques =
       Array.init nworkers (fun _ ->
           { mu = Mutex.create (); tasks = Queue.create () })
     in
-    Array.iteri (fun i t -> Queue.push t deques.(i mod nworkers).tasks) tasks;
-    let failed : (exn * Printexc.raw_backtrace) option Atomic.t =
-      Atomic.make None
-    in
+    Array.iteri
+      (fun i t -> Queue.push (i, t) deques.(i mod nworkers).tasks)
+      tasks;
+    let failed_mu = Mutex.create () in
+    let failures = ref [] in
     let worker w () =
       let rec next k =
         (* k = 0 is our own deque; k > 0 are steal victims *)
@@ -45,15 +86,17 @@ let run_tasks ~jobs (tasks : (unit -> unit) array) =
           | None -> next (k + 1)
       in
       let rec loop () =
-        if Atomic.get failed = None then
-          match next 0 with
-          | Some task ->
-              (try task ()
-               with e ->
-                 let bt = Printexc.get_raw_backtrace () in
-                 ignore (Atomic.compare_and_set failed None (Some (e, bt))));
-              loop ()
-          | None -> ()
+        match next 0 with
+        | Some (i, task) ->
+            (try task ()
+             with e ->
+               let bt = Printexc.get_raw_backtrace () in
+               let s = Printexc.raw_backtrace_to_string bt in
+               Mutex.lock failed_mu;
+               failures := (i, e, s, bt) :: !failures;
+               Mutex.unlock failed_mu);
+            loop ()
+        | None -> ()
       in
       loop ()
     in
@@ -62,9 +105,7 @@ let run_tasks ~jobs (tasks : (unit -> unit) array) =
     in
     worker 0 ();
     Array.iter Domain.join domains;
-    match Atomic.get failed with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
+    raise_failures !failures
   end
 
 let run ?(jobs = 1) thunks = run_tasks ~jobs (Array.of_list thunks)
@@ -92,7 +133,6 @@ module Progress = struct
     total : int;
     enabled : bool;
     mutable cells_done : int;
-    mutable cycles : int;
     mutable drawn : bool;
   }
 
@@ -104,18 +144,15 @@ module Progress = struct
       total;
       enabled;
       cells_done = 0;
-      cycles = 0;
       drawn = false;
     }
 
-  let step ?(cycles = 0) t =
+  let step t =
     Mutex.lock t.mu;
     t.cells_done <- t.cells_done + 1;
-    t.cycles <- t.cycles + cycles;
     if t.enabled then begin
       t.drawn <- true;
-      Printf.eprintf "\r[%s] %d/%d cells, %#d cycles%!" t.label t.cells_done
-        t.total t.cycles
+      Printf.eprintf "\r[%s] %d/%d cells%!" t.label t.cells_done t.total
     end;
     Mutex.unlock t.mu
 

@@ -17,9 +17,17 @@
     is byte-identical to a sequential one (enforced by
     [test/test_pool.ml]).
 
-    {b Exceptions.}  The first task exception cancels the remaining
-    queued tasks (running ones finish) and is re-raised, with its
-    backtrace, on the caller's domain after every worker has joined. *)
+    {b Exceptions.}  Every task runs to completion even when another
+    task has already failed, and every failure is collected.  After all
+    workers have joined: a single failure is re-raised with its original
+    backtrace; two or more are raised together as {!Failures}, ordered
+    by submission index, so a run that breaks several cells reports them
+    all instead of whichever failure won the race. *)
+
+exception Failures of (int * exn * string) list
+(** Two or more tasks failed: [(submission index, exception, backtrace)]
+    for each, in submission order.  A registered printer renders the
+    full listing. *)
 
 val default_jobs : unit -> int
 (** The [ISF_JOBS] environment variable when set to a positive integer,
@@ -44,9 +52,9 @@ module Progress : sig
   val create : ?enabled:bool -> label:string -> total:int -> unit -> t
   (** [enabled] defaults to {!trace}'s value. *)
 
-  val step : ?cycles:int -> t -> unit
-  (** Record one finished cell ([cycles]: simulated cycles it spent) and
-      redraw the line: [\[label\] cells done/total, cycles]. *)
+  val step : t -> unit
+  (** Record one finished cell and redraw the line:
+      [\[label\] cells done/total]. *)
 
   val finish : t -> unit
   (** Terminate the line (newline on [stderr]) if anything was drawn. *)

@@ -1,0 +1,68 @@
+(** Crash tolerance for experiment cells.
+
+    Each (benchmark, configuration) measurement runs inside {!cell},
+    which converts exceptions into structured {!failure} values — a
+    failing cell renders as [ERR] and lands in the error report instead
+    of tearing down the whole table — retries transient failures with
+    bounded exponential backoff, and, when a checkpoint file is armed
+    via {!set_checkpoint}, persists every completed cell so a killed run
+    resumes exactly where it stopped (ISSUE 3).
+
+    The checkpoint file is an append-only sequence of marshaled
+    [(key, payload)] records: a kill can at worst truncate the record
+    being written, and the loader tolerates that truncated tail, so all
+    fully completed cells survive any crash.  Only successful cells are
+    persisted; failed cells are re-attempted on resume. *)
+
+type failure = {
+  key : string;  (** the cell's stable identity, e.g. ["table1/raytrace/call-edge"] *)
+  classification : string;
+      (** ["fault"] (injected), ["fuel"], ["timeout"] (watchdog),
+          ["transient"]-exhausted stays its final class, ["bug"]
+          (anything else), ["dependency"] (an upstream cell failed) *)
+  attempts : int;  (** how many times the cell body ran *)
+  message : string;
+  backtrace : string;  (** raw backtrace of the last attempt; may be empty *)
+}
+
+type 'a outcome = ('a, failure) result
+
+exception Transient of string
+(** Raise from a cell body to request a retry (classified transient,
+    like [Sys_error] and [Out_of_memory]). *)
+
+val context : unit -> string
+(** Key of the cell currently executing on this domain ([""] outside any
+    cell).  {!Measure.execute} uses it to label VM error messages with
+    the benchmark/config they belong to. *)
+
+val classify : exn -> string
+(** The [classification] {!cell} would assign this exception. *)
+
+val set_checkpoint : ?meta:string -> string option -> unit
+(** Arm ([Some path]) or disarm ([None]) the checkpoint store.  Arming
+    loads every complete record already in the file (tolerating a
+    truncated tail) and appends subsequent completed cells to it.
+    [meta] fingerprints the run configuration; arming a file written
+    under a different [meta] raises [Failure] rather than resuming into
+    inconsistent results. *)
+
+val cell : ?retries:int -> key:string -> (unit -> 'a) -> 'a outcome
+(** Run one experiment cell.  If the checkpoint holds [key], the cached
+    payload is returned without running [f].  Otherwise [f] runs with
+    {!context} set to [key]; transient failures are retried up to
+    [retries] (default 2) more times with exponential backoff (50ms,
+    100ms, ...); any final exception becomes [Error failure].  A
+    successful value is marshaled into the checkpoint, so it must be
+    closure-free (floats, strings, lists/tuples/records of those). *)
+
+val oks : 'a outcome list -> 'a list
+val errors : 'a outcome list -> failure list
+
+val get_or : default:'a -> 'a outcome -> 'a
+
+val cell_str : ('a -> string) -> 'a outcome -> string
+(** Render a table cell: the value through [f], or ["ERR"]. *)
+
+val report : failure list -> string
+(** The error-report appendix: one block per failure, sorted by key. *)

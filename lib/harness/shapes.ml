@@ -31,9 +31,13 @@ let argmax f rows =
 
 (* -------------------- Table 1: exhaustive instrumentation ----------- *)
 
+(* An ERR cell becomes NaN here, and NaN fails every comparison below —
+   a table with failed cells can never pass its shapes. *)
+let nan_or o = Robust.get_or ~default:Float.nan o
+
 let table1 (rows : Table1.row list) =
-  let ce = List.map (fun (r : Table1.row) -> (r.Table1.bench, r.Table1.call_edge)) rows in
-  let fa = List.map (fun (r : Table1.row) -> (r.Table1.bench, r.Table1.field_access)) rows in
+  let ce = List.map (fun (r : Table1.row) -> (r.Table1.bench, nan_or r.Table1.call_edge)) rows in
+  let fa = List.map (fun (r : Table1.row) -> (r.Table1.bench, nan_or r.Table1.field_access)) rows in
   let avg l = Common.mean (List.map snd l) in
   let lowest l =
     match argmax (fun (_, v) -> -.v) l with Some (b, _) -> b | None -> "?"
@@ -61,10 +65,12 @@ let table1 (rows : Table1.row list) =
 (* -------------------- Table 2: Full-Duplication framework ----------- *)
 
 let table2 (rows : Table2.row list) =
-  let get f = List.map (fun (r : Table2.row) -> (r.Table2.bench, f r)) rows in
-  let tot = get (fun r -> r.Table2.total) in
-  let be = get (fun r -> r.Table2.backedge_only) in
-  let en = get (fun r -> r.Table2.entry_only) in
+  let get f =
+    List.map (fun (r : Table2.row) -> (r.Table2.bench, Table2.get f r)) rows
+  in
+  let tot = get (fun m -> m.Table2.total) in
+  let be = get (fun m -> m.Table2.backedge_only) in
+  let en = get (fun m -> m.Table2.entry_only) in
   let avg l = Common.mean (List.map snd l) in
   let be_dom b = find_row be b > find_row en b in
   [
@@ -81,7 +87,8 @@ let table2 (rows : Table2.row list) =
       (Float.abs (avg be +. avg en -. avg tot) < (0.2 *. avg tot) +. 0.5)
       (f1 (avg be) ^ "+" ^ f1 (avg en) ^ " vs " ^ f1 (avg tot));
     ck "duplication costs space on every benchmark"
-      (List.for_all (fun (_, v) -> v > 0.0) (get (fun r -> r.Table2.space_increase_kb)))
+      (List.for_all (fun (_, v) -> v > 0.0)
+         (get (fun m -> m.Table2.space_increase_kb)))
       "all rows > 0 KB";
   ]
 
@@ -90,8 +97,9 @@ let table2 (rows : Table2.row list) =
 let table3 ~(t1 : Table1.row list) ~(t2 : Table2.row list)
     (rows : Table3.row list) =
   let entry_of b =
-    (List.find (fun (r : Table2.row) -> String.equal r.Table2.bench b) t2)
-      .Table2.entry_only
+    Table2.get
+      (fun m -> m.Table2.entry_only)
+      (List.find (fun (r : Table2.row) -> String.equal r.Table2.bench b) t2)
   in
   (* identical check placement, so identical up to i-cache layout: the
      guarded ops occupy different code addresses than bare entry checks,
@@ -99,12 +107,12 @@ let table3 ~(t1 : Table1.row list) ~(t2 : Table2.row list)
   let identity =
     List.for_all
       (fun (r : Table3.row) ->
-        Float.abs (r.Table3.call_edge -. entry_of r.Table3.bench) < 0.01)
+        Float.abs (nan_or r.Table3.call_edge -. entry_of r.Table3.bench) < 0.01)
       rows
   in
   let avg f l = Common.mean (List.map f l) in
-  let fa3 = avg (fun (r : Table3.row) -> r.Table3.field_access) rows in
-  let fa1 = avg (fun (r : Table1.row) -> r.Table1.field_access) t1 in
+  let fa3 = avg (fun (r : Table3.row) -> nan_or r.Table3.field_access) rows in
+  let fa1 = avg (fun (r : Table1.row) -> nan_or r.Table1.field_access) t1 in
   let ratio = fa3 /. fa1 in
   [
     ck "call-edge checking cost = Table 2 entry column (within 0.01 points)"
@@ -114,7 +122,7 @@ let table3 ~(t1 : Table1.row list) ~(t2 : Table2.row list)
          String.concat ", "
            (List.filter_map
               (fun (r : Table3.row) ->
-                let d = r.Table3.call_edge -. entry_of r.Table3.bench in
+                let d = nan_or r.Table3.call_edge -. entry_of r.Table3.bench in
                 if Float.abs d < 0.01 then None
                 else Some (Printf.sprintf "%s %+.6f" r.Table3.bench d))
               rows));
@@ -175,12 +183,12 @@ let table4 (r : Table4.rows) =
 
 let table5 (rows : Table5.row list) =
   let avg f = Common.mean (List.map f rows) in
-  let t = avg (fun (r : Table5.row) -> r.Table5.time_based) in
-  let c = avg (fun (r : Table5.row) -> r.Table5.counter_based) in
+  let t = avg Table5.time_based in
+  let c = avg Table5.counter_based in
   let wins =
     List.length
       (List.filter
-         (fun (r : Table5.row) -> r.Table5.counter_based > r.Table5.time_based)
+         (fun (r : Table5.row) -> Table5.counter_based r > Table5.time_based r)
          rows)
   in
   [
@@ -207,10 +215,12 @@ let figure7 (d : Figure7.data) =
 
 let figure8 ~(t2 : Table2.row list) (d : Figure8.data) =
   let t2avg =
-    Common.mean (List.map (fun (r : Table2.row) -> r.Table2.total) t2)
+    Common.mean
+      (List.map (fun r -> Table2.get (fun m -> m.Table2.total) r) t2)
   in
   let f8avg =
-    Common.mean (List.map (fun (r : Figure8.row_a) -> r.Figure8.framework) d.Figure8.a)
+    Common.mean
+      (List.map (fun (r : Figure8.row_a) -> nan_or r.Figure8.framework) d.Figure8.a)
   in
   let last_total =
     match List.rev d.Figure8.b with

@@ -9,14 +9,20 @@
    instruction selection / scheduling / register allocation see 2x
    code). *)
 
-type row = {
-  bench : string;
+type meas = {
   total : float; (* full framework (duplication + all checks), no samples *)
   backedge_only : float; (* checks on backedges only, no duplication *)
   entry_only : float; (* checks on entries only, no duplication *)
   space_increase_kb : float;
   compile_increase : float; (* percent *)
 }
+
+type row = { bench : string; meas : meas Robust.outcome }
+
+(* Field of a row for shape checks and downstream tables; NaN when the
+   row's cell failed, which poisons any comparison into a shape FAIL
+   rather than silently passing. *)
+let get f r = match r.meas with Ok m -> f m | Error _ -> Float.nan
 
 let paper =
   [
@@ -44,64 +50,79 @@ let run ?scale ?jobs ?benches ?(measure_compile = true) () =
   let rows =
     Pool.map ?jobs
       (fun bench ->
-      let build = Measure.prepare ?scale bench in
-      let base = Measure.run_baseline build in
-      let full =
-        Measure.run_transformed
-          ~transform:(Core.Transform.full_dup Common.both_specs)
-          build
-      in
-      Measure.check_output ~base full;
-      let be =
-        Measure.run_transformed
-          ~transform:(Core.Transform.checks_only ~entries:false ~backedges:true)
-          build
-      in
-      let en =
-        Measure.run_transformed
-          ~transform:(Core.Transform.checks_only ~entries:true ~backedges:false)
-          build
-      in
-      let compile_increase =
-        (* the only wall-clock (nondeterministic) measurement anywhere;
-           skipped (NaN, printed "-") in fully-deterministic mode *)
-        if not measure_compile then Float.nan
-        else begin
-          let base_compile, instr_compile =
-            Measure.compile_stats
-              ~transform:(Core.Transform.full_dup Common.both_specs)
-              build
-          in
-          let tot (s : Opt.Pipeline.compile_stats) =
-            s.Opt.Pipeline.seconds_front +. s.Opt.Pipeline.seconds_transform
-            +. s.Opt.Pipeline.seconds_back
-          in
-          if tot base_compile <= 0.0 then 0.0
-          else
-            100.0 *. (tot instr_compile -. tot base_compile) /. tot base_compile
-        end
-      in
-      Pool.Progress.step ~cycles:full.Measure.cycles progress;
-      {
-        bench = bench.Workloads.Suite.bname;
-        total = Measure.overhead_pct ~base full;
-        backedge_only = Measure.overhead_pct ~base be;
-        entry_only = Measure.overhead_pct ~base en;
-        space_increase_kb =
-          words_to_kb (full.Measure.code_words - base.Measure.code_words);
-        compile_increase;
-      })
+        let meas =
+          Robust.cell
+            ~key:(Printf.sprintf "table2/%s" bench.Workloads.Suite.bname)
+            (fun () ->
+              let build = Measure.prepare ?scale bench in
+              let base = Measure.run_baseline build in
+              let full =
+                Measure.run_transformed
+                  ~transform:(Core.Transform.full_dup Common.both_specs)
+                  build
+              in
+              Measure.check_output ~base full;
+              let be =
+                Measure.run_transformed
+                  ~transform:
+                    (Core.Transform.checks_only ~entries:false ~backedges:true)
+                  build
+              in
+              let en =
+                Measure.run_transformed
+                  ~transform:
+                    (Core.Transform.checks_only ~entries:true ~backedges:false)
+                  build
+              in
+              let compile_increase =
+                (* the only wall-clock (nondeterministic) measurement
+                   anywhere; skipped (NaN, printed "-") in
+                   fully-deterministic mode *)
+                if not measure_compile then Float.nan
+                else begin
+                  let base_compile, instr_compile =
+                    Measure.compile_stats
+                      ~transform:(Core.Transform.full_dup Common.both_specs)
+                      build
+                  in
+                  let tot (s : Opt.Pipeline.compile_stats) =
+                    s.Opt.Pipeline.seconds_front
+                    +. s.Opt.Pipeline.seconds_transform
+                    +. s.Opt.Pipeline.seconds_back
+                  in
+                  if tot base_compile <= 0.0 then 0.0
+                  else
+                    100.0
+                    *. (tot instr_compile -. tot base_compile)
+                    /. tot base_compile
+                end
+              in
+              {
+                total = Measure.overhead_pct ~base full;
+                backedge_only = Measure.overhead_pct ~base be;
+                entry_only = Measure.overhead_pct ~base en;
+                space_increase_kb =
+                  words_to_kb
+                    (full.Measure.code_words - base.Measure.code_words);
+                compile_increase;
+              })
+        in
+        Pool.Progress.step progress;
+        { bench = bench.Workloads.Suite.bname; meas })
       benches
   in
   Pool.Progress.finish progress;
   rows
 
+let failures rows = Robust.errors (List.map (fun r -> r.meas) rows)
+
 let average rows =
-  ( Common.mean (List.map (fun r -> r.total) rows),
-    Common.mean (List.map (fun r -> r.backedge_only) rows),
-    Common.mean (List.map (fun r -> r.entry_only) rows),
-    Common.mean (List.map (fun r -> r.space_increase_kb) rows),
-    Common.mean (List.map (fun r -> r.compile_increase) rows) )
+  let ms = Robust.oks (List.map (fun r -> r.meas) rows) in
+  ( Common.mean (List.map (fun m -> m.total) ms),
+    Common.mean (List.map (fun m -> m.backedge_only) ms),
+    Common.mean (List.map (fun m -> m.entry_only) ms),
+    Common.mean (List.map (fun m -> m.space_increase_kb) ms),
+    Common.mean (List.map (fun m -> m.compile_increase) ms) )
 
 let opt_pct v = if Float.is_nan v then "-" else Text_table.pct v
 
@@ -119,14 +140,18 @@ let to_string rows =
       ]
     (List.map
        (fun r ->
-         [
-           r.bench;
-           Text_table.pct r.total;
-           Text_table.pct r.backedge_only;
-           Text_table.pct r.entry_only;
-           Text_table.pct r.space_increase_kb;
-           opt_pct r.compile_increase;
-         ])
+         r.bench
+         ::
+         (match r.meas with
+         | Ok m ->
+             [
+               Text_table.pct m.total;
+               Text_table.pct m.backedge_only;
+               Text_table.pct m.entry_only;
+               Text_table.pct m.space_increase_kb;
+               opt_pct m.compile_increase;
+             ]
+         | Error _ -> [ "ERR"; "ERR"; "ERR"; "ERR"; "ERR" ]))
        rows
     @ [
         [
@@ -142,4 +167,7 @@ let to_string rows =
 let print rows =
   print_string
     "Table 2: Full-Duplication framework overhead (no samples taken)\n";
-  print_string (to_string rows)
+  print_string (to_string rows);
+  match failures rows with
+  | [] -> ()
+  | fs -> print_string (Robust.report fs)

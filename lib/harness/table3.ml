@@ -7,7 +7,11 @@
    as the field-access op it guards — "making the insertion of checks
    completely ineffective". *)
 
-type row = { bench : string; call_edge : float; field_access : float }
+type row = {
+  bench : string;
+  call_edge : float Robust.outcome;
+  field_access : float Robust.outcome;
+}
 
 let paper =
   [
@@ -30,7 +34,10 @@ let run ?scale ?jobs ?benches () =
   let cells =
     List.concat_map
       (fun bench ->
-        [ (bench, Core.Spec.call_edge); (bench, Core.Spec.field_access) ])
+        [
+          (bench, "call-edge", Core.Spec.call_edge);
+          (bench, "field-access", Core.Spec.field_access);
+        ])
       benches
   in
   let progress =
@@ -38,15 +45,23 @@ let run ?scale ?jobs ?benches () =
   in
   let pcts =
     Pool.map ?jobs
-      (fun (bench, spec) ->
-        let build = Measure.prepare ?scale bench in
-        let base = Measure.run_baseline build in
-        let m =
-          Measure.run_transformed ~transform:(Core.Transform.no_dup spec) build
+      (fun (bench, slug, spec) ->
+        let r =
+          Robust.cell
+            ~key:
+              (Printf.sprintf "table3/%s/%s" bench.Workloads.Suite.bname slug)
+            (fun () ->
+              let build = Measure.prepare ?scale bench in
+              let base = Measure.run_baseline build in
+              let m =
+                Measure.run_transformed ~transform:(Core.Transform.no_dup spec)
+                  build
+              in
+              Measure.check_output ~base m;
+              Measure.overhead_pct ~base m)
         in
-        Measure.check_output ~base m;
-        Pool.Progress.step ~cycles:m.Measure.cycles progress;
-        Measure.overhead_pct ~base m)
+        Pool.Progress.step progress;
+        r)
       cells
   in
   Pool.Progress.finish progress;
@@ -64,9 +79,13 @@ let run ?scale ?jobs ?benches () =
   in
   rows benches pcts
 
+let failures rows =
+  Robust.errors
+    (List.concat_map (fun r -> [ r.call_edge; r.field_access ]) rows)
+
 let average rows =
-  ( Common.mean (List.map (fun r -> r.call_edge) rows),
-    Common.mean (List.map (fun r -> r.field_access) rows) )
+  ( Common.mean (Robust.oks (List.map (fun r -> r.call_edge) rows)),
+    Common.mean (Robust.oks (List.map (fun r -> r.field_access) rows)) )
 
 let to_string rows =
   let avg_ce, avg_fa = average rows in
@@ -74,11 +93,18 @@ let to_string rows =
     ~header:[ "Benchmark"; "Call-edge (%)"; "Field-access (%)" ]
     (List.map
        (fun r ->
-         [ r.bench; Text_table.pct r.call_edge; Text_table.pct r.field_access ])
+         [
+           r.bench;
+           Robust.cell_str Text_table.pct r.call_edge;
+           Robust.cell_str Text_table.pct r.field_access;
+         ])
        rows
     @ [ [ "Average"; Text_table.pct avg_ce; Text_table.pct avg_fa ] ])
 
 let print rows =
   print_string
     "Table 3: No-Duplication checking overhead (no samples taken)\n";
-  print_string (to_string rows)
+  print_string (to_string rows);
+  match failures rows with
+  | [] -> ()
+  | fs -> print_string (Robust.report fs)

@@ -17,7 +17,11 @@ type cell = {
   acc_field : float;
 }
 
-type rows = { full_dup : cell list; no_dup : cell list }
+type rows = {
+  full_dup : cell list;
+  no_dup : cell list;
+  failures : Robust.failure list;
+}
 
 (* Paper's averaged figures (sample interval, samples, sampled-instr %,
    total %, call-edge accuracy %, field-access accuracy %). *)
@@ -45,17 +49,30 @@ let variant_of_name = function
   | `Full -> Core.Transform.full_dup Common.both_specs
   | `No -> Core.Transform.no_dup Common.both_specs
 
+let variant_slug = function `Full -> "full" | `No -> "no"
+
 let sweep ?scale ?jobs ~progress benches variant =
   let transform = variant_of_name variant in
-  (* per-benchmark framework overhead of this variant (trigger Never) *)
+  let slug = variant_slug variant in
+  (* per-benchmark framework overhead of this variant (trigger Never);
+     only the float is checkpointed — metrics hold closures — and the
+     per-interval cells re-derive build/baseline through the memo caches *)
   let framework =
     Pool.map ?jobs
       (fun bench ->
-        let build = Measure.prepare ?scale bench in
-        let base = Measure.run_baseline build in
-        let fw = Measure.run_transformed ~transform build in
-        Pool.Progress.step ~cycles:fw.Measure.cycles progress;
-        (bench, base, Measure.overhead_pct ~base fw))
+        let r =
+          Robust.cell
+            ~key:
+              (Printf.sprintf "table4/%s/framework/%s" slug
+                 bench.Workloads.Suite.bname)
+            (fun () ->
+              let build = Measure.prepare ?scale bench in
+              let base = Measure.run_baseline build in
+              let fw = Measure.run_transformed ~transform build in
+              Measure.overhead_pct ~base fw)
+        in
+        Pool.Progress.step progress;
+        (bench, r))
       benches
   in
   (* one cell per (interval, benchmark), regrouped by interval below *)
@@ -66,46 +83,73 @@ let sweep ?scale ?jobs ~progress benches variant =
   in
   let per_cell =
     Pool.map ?jobs
-      (fun (interval, (bench, base, fw_pct)) ->
-        let build = Measure.prepare ?scale bench in
-        let m =
-          Measure.run_transformed
-            ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
-            ~transform build
+      (fun (interval, (bench, fw_outcome)) ->
+        let key =
+          Printf.sprintf "table4/%s/%d/%s" slug interval
+            bench.Workloads.Suite.bname
         in
-        Measure.check_output ~base m;
-        let perfect_ce, perfect_fa = Common.perfect_profiles build in
-        let sampled_ce =
-          Profiles.Call_edge.to_keyed
-            m.Measure.collector.Profiles.Collector.call_edges
+        let r =
+          match fw_outcome with
+          | Error f ->
+              (* the sampled-instr column needs the framework number;
+                 don't run (or checkpoint) a cell whose input is missing,
+                 report the dependency instead *)
+              Error
+                {
+                  Robust.key;
+                  classification = "dependency";
+                  attempts = 0;
+                  message = "framework cell failed: " ^ f.Robust.message;
+                  backtrace = "";
+                }
+          | Ok fw_pct ->
+              Robust.cell ~key (fun () ->
+                  let build = Measure.prepare ?scale bench in
+                  let base = Measure.run_baseline build in
+                  let m =
+                    Measure.run_transformed
+                      ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+                      ~transform build
+                  in
+                  Measure.check_output ~base m;
+                  let perfect_ce, perfect_fa = Common.perfect_profiles build in
+                  let sampled_ce =
+                    Profiles.Call_edge.to_keyed
+                      m.Measure.collector.Profiles.Collector.call_edges
+                  in
+                  let sampled_fa =
+                    Profiles.Field_access.to_keyed
+                      m.Measure.collector.Profiles.Collector.fields
+                  in
+                  let total = Measure.overhead_pct ~base m in
+                  ( float_of_int m.Measure.samples,
+                    total -. fw_pct,
+                    total,
+                    Profiles.Overlap.percent perfect_ce sampled_ce,
+                    Profiles.Overlap.percent perfect_fa sampled_fa ))
         in
-        let sampled_fa =
-          Profiles.Field_access.to_keyed
-            m.Measure.collector.Profiles.Collector.fields
-        in
-        let total = Measure.overhead_pct ~base m in
-        Pool.Progress.step ~cycles:m.Measure.cycles progress;
-        ( float_of_int m.Measure.samples,
-          total -. fw_pct,
-          total,
-          Profiles.Overlap.percent perfect_ce sampled_ce,
-          Profiles.Overlap.percent perfect_fa sampled_fa ))
+        Pool.Progress.step progress;
+        r)
       cells
   in
   let nb = List.length benches in
-  List.mapi
-    (fun i interval ->
-      let per_bench = List.filteri (fun j _ -> j / nb = i) per_cell in
-      let nth f = Common.mean (List.map f per_bench) in
-      {
-        interval;
-        num_samples = nth (fun (s, _, _, _, _) -> s);
-        sampled_instr = nth (fun (_, si, _, _, _) -> si);
-        total = nth (fun (_, _, t, _, _) -> t);
-        acc_call_edge = nth (fun (_, _, _, a, _) -> a);
-        acc_field = nth (fun (_, _, _, _, a) -> a);
-      })
-    Common.sample_intervals
+  let aggregated =
+    List.mapi
+      (fun i interval ->
+        let per_bench = List.filteri (fun j _ -> j / nb = i) per_cell in
+        let vals = Robust.oks per_bench in
+        let nth f = Common.mean (List.map f vals) in
+        {
+          interval;
+          num_samples = nth (fun (s, _, _, _, _) -> s);
+          sampled_instr = nth (fun (_, si, _, _, _) -> si);
+          total = nth (fun (_, _, t, _, _) -> t);
+          acc_call_edge = nth (fun (_, _, _, a, _) -> a);
+          acc_field = nth (fun (_, _, _, _, a) -> a);
+        })
+      Common.sample_intervals
+  in
+  (aggregated, Robust.errors (List.map snd framework) @ Robust.errors per_cell)
 
 let run ?scale ?jobs ?benches () =
   let benches =
@@ -117,10 +161,10 @@ let run ?scale ?jobs ?benches () =
   let progress =
     Pool.Progress.create ~label:"table4" ~total:(2 * cells_per_variant) ()
   in
-  let full_dup = sweep ?scale ?jobs ~progress benches `Full in
-  let no_dup = sweep ?scale ?jobs ~progress benches `No in
+  let full_dup, full_fails = sweep ?scale ?jobs ~progress benches `Full in
+  let no_dup, no_fails = sweep ?scale ?jobs ~progress benches `No in
   Pool.Progress.finish progress;
-  { full_dup; no_dup }
+  { full_dup; no_dup; failures = full_fails @ no_fails }
 
 let cells_to_string title cells =
   title ^ "\n"
@@ -155,4 +199,5 @@ let print r =
   print_string
     "Table 4: sampled instrumentation overhead and accuracy (averaged over \
      all benchmarks)\n";
-  print_string (to_string r)
+  print_string (to_string r);
+  match r.failures with [] -> () | fs -> print_string (Robust.report fs)

@@ -6,12 +6,18 @@
    timer-set bit is observed at the *next* check, mis-attributing samples
    to whatever follows long instruction sequences (section 2.1). *)
 
-type row = {
-  bench : string;
+type meas = {
   time_based : float;
   counter_based : float;
   matched_interval : int; (* counter interval chosen to match sample counts *)
 }
+
+type row = { bench : string; meas : meas Robust.outcome }
+
+let time_based r = match r.meas with Ok m -> m.time_based | Error _ -> Float.nan
+
+let counter_based r =
+  match r.meas with Ok m -> m.counter_based | Error _ -> Float.nan
 
 let paper =
   [
@@ -39,59 +45,69 @@ let run ?scale ?jobs ?benches () =
   let rows =
     Pool.map ?jobs
       (fun bench ->
-      let build = Measure.prepare ?scale bench in
-      let base = Measure.run_baseline build in
-      let perfect_fa =
-        let m =
-          Measure.run_transformed ~trigger:Core.Sampler.Always ~transform build
+        let meas =
+          Robust.cell
+            ~key:(Printf.sprintf "table5/%s" bench.Workloads.Suite.bname)
+            (fun () ->
+              let build = Measure.prepare ?scale bench in
+              let base = Measure.run_baseline build in
+              let perfect_fa =
+                let m =
+                  Measure.run_transformed ~trigger:Core.Sampler.Always
+                    ~transform build
+                in
+                Profiles.Field_access.to_keyed
+                  m.Measure.collector.Profiles.Collector.fields
+              in
+              (* the paper's 10 ms timer on 1-5 s runs yields hundreds of
+                 samples; our runs are shorter, so the simulated timer
+                 period is scaled to 25k cycles ("2.5 ms") to keep the
+                 sample counts comparable *)
+              let timer =
+                Measure.run_transformed ~trigger:Core.Sampler.Timer_bit
+                  ~timer_period:25_000 ~transform build
+              in
+              Measure.check_output ~base timer;
+              let timer_acc =
+                Profiles.Overlap.percent perfect_fa
+                  (Profiles.Field_access.to_keyed
+                     timer.Measure.collector.Profiles.Collector.fields)
+              in
+              (* match the counter's sample count to the timer's, as the
+                 paper does ("a sample interval of 30,000 ... resulted in
+                 approximately the same number of samples") *)
+              let interval =
+                max 1 (timer.Measure.checks / max 1 timer.Measure.samples)
+              in
+              let counter =
+                Measure.run_transformed
+                  ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+                  ~transform build
+              in
+              let counter_acc =
+                Profiles.Overlap.percent perfect_fa
+                  (Profiles.Field_access.to_keyed
+                     counter.Measure.collector.Profiles.Collector.fields)
+              in
+              {
+                time_based = timer_acc;
+                counter_based = counter_acc;
+                matched_interval = interval;
+              })
         in
-        Profiles.Field_access.to_keyed
-          m.Measure.collector.Profiles.Collector.fields
-      in
-      (* the paper's 10 ms timer on 1-5 s runs yields hundreds of samples;
-         our runs are shorter, so the simulated timer period is scaled to
-         25k cycles ("2.5 ms") to keep the sample counts comparable *)
-      let timer =
-        Measure.run_transformed ~trigger:Core.Sampler.Timer_bit
-          ~timer_period:25_000 ~transform build
-      in
-      Measure.check_output ~base timer;
-      let timer_acc =
-        Profiles.Overlap.percent perfect_fa
-          (Profiles.Field_access.to_keyed
-             timer.Measure.collector.Profiles.Collector.fields)
-      in
-      (* match the counter's sample count to the timer's, as the paper
-         does ("a sample interval of 30,000 ... resulted in approximately
-         the same number of samples") *)
-      let interval =
-        max 1 (timer.Measure.checks / max 1 timer.Measure.samples)
-      in
-      let counter =
-        Measure.run_transformed
-          ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
-          ~transform build
-      in
-      let counter_acc =
-        Profiles.Overlap.percent perfect_fa
-          (Profiles.Field_access.to_keyed
-             counter.Measure.collector.Profiles.Collector.fields)
-      in
-      Pool.Progress.step ~cycles:counter.Measure.cycles progress;
-      {
-        bench = bench.Workloads.Suite.bname;
-        time_based = timer_acc;
-        counter_based = counter_acc;
-        matched_interval = interval;
-      })
+        Pool.Progress.step progress;
+        { bench = bench.Workloads.Suite.bname; meas })
       benches
   in
   Pool.Progress.finish progress;
   rows
 
+let failures rows = Robust.errors (List.map (fun r -> r.meas) rows)
+
 let average rows =
-  ( Common.mean (List.map (fun r -> r.time_based) rows),
-    Common.mean (List.map (fun r -> r.counter_based) rows) )
+  let ms = Robust.oks (List.map (fun r -> r.meas) rows) in
+  ( Common.mean (List.map (fun m -> m.time_based) ms),
+    Common.mean (List.map (fun m -> m.counter_based) ms) )
 
 let to_string rows =
   let t, c = average rows in
@@ -100,16 +116,23 @@ let to_string rows =
       [ "Benchmark"; "Time-based (%)"; "Counter-based (%)"; "Interval used" ]
     (List.map
        (fun r ->
-         [
-           r.bench;
-           Text_table.pct r.time_based;
-           Text_table.pct r.counter_based;
-           string_of_int r.matched_interval;
-         ])
+         r.bench
+         ::
+         (match r.meas with
+         | Ok m ->
+             [
+               Text_table.pct m.time_based;
+               Text_table.pct m.counter_based;
+               string_of_int m.matched_interval;
+             ]
+         | Error _ -> [ "ERR"; "ERR"; "ERR" ]))
        rows
     @ [ [ "Average"; Text_table.pct t; Text_table.pct c; "" ] ])
 
 let print rows =
   print_string
     "Table 5: trigger-mechanism accuracy, field-access profile overlap\n";
-  print_string (to_string rows)
+  print_string (to_string rows);
+  match failures rows with
+  | [] -> ()
+  | fs -> print_string (Robust.report fs)

@@ -605,13 +605,20 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
                     push_frame st st.cur_th fr t regs ~ret_dst ~from_meth
                       ~from_site:site
                   in
-                  (* chain straight into the callee: the same preamble
-                     the dispatcher would run for its first instruction *)
-                  st.cur_fr <- callee;
-                  fuel_check st;
-                  st.instructions <- st.instructions + 1;
-                  icache_access st ebase;
-                  (fetch cp prog id).(eb).code.(0) st
+                  let cm = fetch_or_fallback st cp prog id in
+                  if cm == empty_cmeth then ()
+                    (* fallback callee: return to the dispatcher, which
+                       interprets the pushed frame (Machine.step performs
+                       the same per-word preamble itself) *)
+                  else begin
+                    (* chain straight into the callee: the same preamble
+                       the dispatcher would run for its first instruction *)
+                    st.cur_fr <- callee;
+                    fuel_check st;
+                    st.instructions <- st.instructions + 1;
+                    icache_access st ebase;
+                    cm.(eb).code.(0) st
+                  end
           | None ->
               (* unresolved: the shared slow path raises the identical
                  Link_error at the identical execution point *)
@@ -659,11 +666,15 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
                 push_frame st st.cur_th fr t regs ~ret_dst ~from_meth
                   ~from_site:site
               in
-              st.cur_fr <- callee;
-              fuel_check st;
-              st.instructions <- st.instructions + 1;
-              icache_access st t.t_entry_base;
-              (fetch cp prog id).(t.t_entry_blk).code.(0) st)
+              let cm = fetch_or_fallback st cp prog id in
+              if cm == empty_cmeth then ()
+              else begin
+                st.cur_fr <- callee;
+                fuel_check st;
+                st.instructions <- st.instructions + 1;
+                icache_access st t.t_entry_base;
+                cm.(t.t_entry_blk).code.(0) st
+              end)
   | Lir.Intrinsic { dst; name; args } -> (
       let nargs = List.length args in
       let cc_intr = costs.Costs.intrinsic in
@@ -833,12 +844,15 @@ and compile_term (cp : cprog) (prog : Program.t)
         | parent :: rest ->
             th.parents <- rest;
             th.top <- Some parent;
-            st.cur_fr <- parent;
-            fuel_check st;
-            st.instructions <- st.instructions + 1;
-            icache_access st (parent.base_addr + parent.idx);
-            (fetch cp prog parent.m.Program.id).(parent.blk).code.(parent.idx)
-              st)
+            let cm = fetch_or_fallback st cp prog parent.m.Program.id in
+            if cm == empty_cmeth then ()
+            else begin
+              st.cur_fr <- parent;
+              fuel_check st;
+              st.instructions <- st.instructions + 1;
+              icache_access st (parent.base_addr + parent.idx);
+              cm.(parent.blk).code.(parent.idx) st
+            end)
   | Lir.Return (Some op) -> (
       let cc_ret = costs.Costs.ret in
       let finish st x =
@@ -855,12 +869,15 @@ and compile_term (cp : cprog) (prog : Program.t)
             th.parents <- rest;
             th.top <- Some parent;
             if dst >= 0 then parent.regs.(dst) <- x;
-            st.cur_fr <- parent;
-            fuel_check st;
-            st.instructions <- st.instructions + 1;
-            icache_access st (parent.base_addr + parent.idx);
-            (fetch cp prog parent.m.Program.id).(parent.blk).code.(parent.idx)
-              st
+            let cm = fetch_or_fallback st cp prog parent.m.Program.id in
+            if cm == empty_cmeth then ()
+            else begin
+              st.cur_fr <- parent;
+              fuel_check st;
+              st.instructions <- st.instructions + 1;
+              icache_access st (parent.base_addr + parent.idx);
+              cm.(parent.blk).code.(parent.idx) st
+            end
       in
       match op with
       | Lir.Reg r -> fun st -> finish st st.cur_fr.regs.(r)
@@ -931,6 +948,26 @@ and fetch (cp : cprog) (prog : Program.t) (id : int) : cmeth =
     cm
   end
 
+(* Like [fetch], but degrading gracefully: a method the fault plan fails
+   compilation for, or whose compilation genuinely raises, is marked for
+   per-method fallback to [Machine.step] and yields [empty_cmeth] (the
+   physical-equality sentinel — real methods always have at least one
+   block).  The fallback event is recorded once, at the first use, so
+   [`Ref] runs — which never fetch — report no fallbacks. *)
+and fetch_or_fallback st (cp : cprog) (prog : Program.t) (id : int) : cmeth =
+  match fallback_state st id with
+  | 0 -> (
+      match fetch cp prog id with
+      | cm -> cm
+      | exception e ->
+          record_fallback st id
+            ("engine compilation failed: " ^ Printexc.to_string e);
+          empty_cmeth)
+  | 1 ->
+      record_fallback st id "fault-injected compile failure";
+      empty_cmeth
+  | _ -> empty_cmeth
+
 (* ------------------------------------------------------------------ *)
 (* Program cache and dispatch loop                                     *)
 (* ------------------------------------------------------------------ *)
@@ -995,12 +1032,18 @@ let exec st =
     match th.top with
     | None -> rotate_thread st
     | Some fr ->
-        st.instructions <- st.instructions + 1;
-        icache_access st (fr.base_addr + fr.idx);
-        let cm = fetch cp prog fr.m.Program.id in
-        st.cur_th <- th;
-        st.cur_fr <- fr;
-        (* code.(len) is the terminator step, so a frame suspended at any
-           idx in [0, len] resumes with a single indexed dispatch *)
-        cm.(fr.blk).code.(fr.idx) st
+        let cm = fetch_or_fallback st cp prog fr.m.Program.id in
+        if cm == empty_cmeth then
+          (* degraded method: one reference step, which performs the
+             instruction-count/i-cache preamble itself *)
+          Machine.step st
+        else begin
+          st.instructions <- st.instructions + 1;
+          icache_access st (fr.base_addr + fr.idx);
+          st.cur_th <- th;
+          st.cur_fr <- fr;
+          (* code.(len) is the terminator step, so a frame suspended at
+             any idx in [0, len] resumes with a single indexed dispatch *)
+          cm.(fr.blk).code.(fr.idx) st
+        end
   done

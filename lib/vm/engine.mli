@@ -14,7 +14,12 @@
 
     Compiled code is cached on the program ({!Program.engine_cache})
     behind a per-method {!Sync.Memo}, so concurrent domains compile each
-    method exactly once and runs after the first reuse it. *)
+    method exactly once and runs after the first reuse it.
+
+    Degradation: a method whose compilation raises — or that the run's
+    {!Fault.plan} says must fail to compile — falls back {e per method}
+    to the reference [Machine.step], preserving bit-identical results;
+    each degraded method is recorded once in the result's [fallbacks]. *)
 
 val exec : Machine.state -> unit
 (** Run the machine to completion ([st.alive = 0]), exactly like the

@@ -53,3 +53,8 @@ let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   t.miss_count <- 0;
   t.access_count <- 0
+
+(* Invalidate without rewriting history: every line becomes cold again
+   but the miss/access counts stand, so an injected flush perturbs only
+   the future of a run. *)
+let flush t = Array.fill t.tags 0 (Array.length t.tags) (-1)

@@ -17,4 +17,10 @@ val access : t -> int -> bool
 
 val misses : t -> int
 val accesses : t -> int
+
 val reset : t -> unit
+(** Cold caches and zeroed counts. *)
+
+val flush : t -> unit
+(** Invalidate every line but keep the miss/access counts — the effect of
+    a fault-injected cache flush mid-run. *)

@@ -1,9 +1,10 @@
-(* Reference interpreter: re-matches each LIR instruction on every
-   dynamic execution.  The shared machine (state, heap, threads,
-   semantic helpers) lives in Machine; the closure-compiled engine in
-   Engine executes the same machine and must stay bit-identical to the
-   [step] below — it is the oracle the differential suite tests the
-   fast engine against. *)
+(* Public entry point of the VM.  The machine itself — state, heap,
+   threads, semantic helpers and the reference [step] — lives in
+   Machine; the closure-compiled engine in Engine executes the same
+   machine and must stay bit-identical to [Machine.step], which is the
+   oracle the differential suite tests the fast engine against (and the
+   per-method fallback the fast engine degrades to when compilation
+   fails). *)
 
 module Lir = Ir.Lir
 open Machine
@@ -46,170 +47,16 @@ type result = Machine.result = {
   icache_misses : int;
   dcache_misses : int;
   output : string;
+  fallbacks : (string * string) list;
 }
 
-(* Execute one instruction or terminator of the current thread. *)
-let step st =
-  let th = st.threads.(st.current) in
-  match th.top with
-  | None -> rotate_thread st
-  | Some fr ->
-      st.instructions <- st.instructions + 1;
-      (match st.icache with
-      | Some ic ->
-          if Icache.access ic (fr.base_addr + fr.idx) then
-            charge st st.costs.Costs.icache_miss
-      | None -> ());
-      if fr.idx < Array.length fr.instrs then begin
-        let i = fr.instrs.(fr.idx) in
-        fr.idx <- fr.idx + 1;
-        let c = st.costs in
-        match i with
-        | Lir.Move (r, a) ->
-            charge st c.Costs.move;
-            fr.regs.(r) <- eval fr a
-        | Lir.Unop (r, op, a) ->
-            charge st c.Costs.alu;
-            let v = eval fr a in
-            fr.regs.(r) <- (match op with Lir.Neg -> -v | Lir.Not -> (if v = 0 then 1 else 0))
-        | Lir.Binop (r, op, a, b) ->
-            charge st c.Costs.alu;
-            fr.regs.(r) <- exec_binop op (eval fr a) (eval fr b)
-        | Lir.Get_field (r, o, fld) ->
-            charge st c.Costs.mem;
-            let obj = eval fr o in
-            let fields = obj_fields st obj (* null check first *) in
-            let off = field_off st fld in
-            data_access st (cell_addr st obj + off);
-            fr.regs.(r) <- fields.(off)
-        | Lir.Put_field (o, fld, v) ->
-            charge st c.Costs.mem;
-            let obj = eval fr o in
-            let fields = obj_fields st obj in
-            let off = field_off st fld in
-            data_access st (cell_addr st obj + off);
-            fields.(off) <- eval fr v
-        | Lir.Get_static (r, fld) ->
-            charge st c.Costs.mem;
-            let off = static_off st fld in
-            data_access st off;
-            fr.regs.(r) <- st.globals.(off)
-        | Lir.Put_static (fld, v) ->
-            charge st c.Costs.mem;
-            let off = static_off st fld in
-            data_access st off;
-            st.globals.(off) <- eval fr v
-        | Lir.New_object (r, cname) ->
-            let cid =
-              match Hashtbl.find_opt st.prog.Program.class_id_of_name cname with
-              | Some id -> id
-              | None -> rt_err "unknown class %s" cname
-            in
-            let n = st.prog.Program.classes.(cid).Program.n_fields in
-            charge st (c.Costs.alloc_base + (c.Costs.alloc_per_slot * n));
-            fr.regs.(r) <- alloc st (Obj { cls = cid; fields = Array.make (max n 1) 0 })
-        | Lir.New_array (r, len) ->
-            let n = eval fr len in
-            if n < 0 then rt_err "negative array length %d" n;
-            charge st (c.Costs.alloc_base + (c.Costs.alloc_per_slot * n));
-            fr.regs.(r) <- alloc st (Arr (Array.make (max n 1) 0))
-        | Lir.Array_load (r, a, i) ->
-            charge st c.Costs.mem;
-            let arr = eval fr a in
-            let cells = arr_cells st arr in
-            let i = eval fr i in
-            if i < 0 || i >= Array.length cells then
-              rt_err "array index %d out of bounds (%s)" i
-                (Lir.string_of_method_ref fr.m.Program.mref);
-            data_access st (cell_addr st arr + i);
-            fr.regs.(r) <- cells.(i)
-        | Lir.Array_store (a, i, v) ->
-            charge st c.Costs.mem;
-            let arr = eval fr a in
-            let cells = arr_cells st arr in
-            let i = eval fr i in
-            if i < 0 || i >= Array.length cells then
-              rt_err "array index %d out of bounds (%s)" i
-                (Lir.string_of_method_ref fr.m.Program.mref);
-            data_access st (cell_addr st arr + i);
-            cells.(i) <- eval fr v
-        | Lir.Array_length (r, a) ->
-            charge st c.Costs.mem;
-            fr.regs.(r) <- Array.length (arr_cells st (eval fr a))
-        | Lir.Instance_test (r, o, cname) ->
-            charge st (c.Costs.mem + c.Costs.alu);
-            let v = eval fr o in
-            fr.regs.(r) <-
-              (if v <= 0 || v > Ir.Vec.length st.heap then 0
-               else
-                 match Ir.Vec.get st.heap (v - 1) with
-                 | Obj obj ->
-                     if
-                       String.equal
-                         st.prog.Program.classes.(obj.cls).Program.cls_name
-                         cname
-                     then 1
-                     else 0
-                 | Arr _ -> 0)
-        | Lir.Call { dst; kind; target; args; site } ->
-            invoke st th fr dst kind target args site
-        | Lir.Intrinsic { dst; name; args } -> intrinsic st th fr dst name args
-        | Lir.Yieldpoint k ->
-            charge st c.Costs.yieldpoint;
-            (match k with
-            | Lir.Yp_entry ->
-                st.counters.entry_yps <- st.counters.entry_yps + 1
-            | Lir.Yp_backedge ->
-                st.counters.backedge_yps <- st.counters.backedge_yps + 1);
-            if st.switch_bit then begin
-              st.switch_bit <- false;
-              rotate_thread st
-            end
-        | Lir.Instrument op -> run_instrument st th fr op
-        | Lir.Guarded_instrument op ->
-            (* No-Duplication: the check guards this single op *)
-            st.counters.checks <- st.counters.checks + 1;
-            charge st c.Costs.check;
-            if st.hooks.fire th.tid then begin
-              st.counters.samples <- st.counters.samples + 1;
-              run_instrument st th fr op
-            end
-      end
-      else begin
-        (* terminator *)
-        timer_check st;
-        let c = st.costs in
-        match fr.term with
-        | Lir.Goto l ->
-            charge st c.Costs.branch;
-            set_block st fr l
-        | Lir.If { cond; if_true; if_false } ->
-            charge st c.Costs.branch;
-            set_block st fr (if eval fr cond <> 0 then if_true else if_false)
-        | Lir.Switch { scrut; cases; default } ->
-            charge st c.Costs.switch;
-            let v = eval fr scrut in
-            let target =
-              match List.assoc_opt v cases with Some l -> l | None -> default
-            in
-            set_block st fr target
-        | Lir.Return v -> do_return st th (Option.map (eval fr) v)
-        | Lir.Check { on_sample; fall } ->
-            st.counters.checks <- st.counters.checks + 1;
-            charge st c.Costs.check;
-            if st.hooks.fire th.tid then begin
-              st.counters.samples <- st.counters.samples + 1;
-              charge st c.Costs.sample_jump;
-              set_block st fr on_sample
-            end
-            else set_block st fr fall
-      end
+let step = Machine.step
 
 let run ?(engine = `Fast) ?fuel ?use_icache ?use_dcache ?costs ?timer_period
-    ?seed prog ~entry ~args hooks =
+    ?seed ?faults ?label ?deadline ?deadline_poll prog ~entry ~args hooks =
   let st =
-    Machine.init_state ?fuel ?use_icache ?use_dcache ?costs ?timer_period
-      ?seed prog hooks
+    Machine.init_state ?fuel ?use_icache ?use_dcache ?costs ?timer_period ?seed
+      ?faults ?label ?deadline ?deadline_poll prog hooks
   in
   let m = Program.method_by_ref prog entry in
   ignore (spawn_thread st m args);

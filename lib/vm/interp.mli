@@ -64,6 +64,9 @@ type result = Machine.result = {
   icache_misses : int;
   dcache_misses : int;
   output : string; (* everything printed, for semantic comparisons *)
+  fallbacks : (string * string) list;
+      (* methods the fast engine degraded to the interpreter for, with the
+         reason; [] on [`Ref] and whenever every method compiled *)
 }
 
 val run :
@@ -74,6 +77,10 @@ val run :
   ?costs:Costs.t ->
   ?timer_period:int ->
   ?seed:int ->
+  ?faults:Fault.plan ->
+  ?label:string ->
+  ?deadline:float ->
+  ?deadline_poll:int ->
   Program.t ->
   entry:Ir.Lir.method_ref ->
   args:int list ->
@@ -85,4 +92,14 @@ val run :
     [fuel] bounds executed cycles (default 4e9; exceeding it raises
     {!Runtime_error}).  [timer_period] is the simulated timer-interrupt
     period in cycles (default 100_000 — "10ms" at the DESIGN.md scale of
-    10k cycles/ms).  [seed] seeds the deterministic [rand] intrinsic. *)
+    10k cycles/ms).  [seed] seeds the deterministic [rand] intrinsic.
+
+    Robustness knobs: [faults] (default {!Fault.none}) schedules
+    deterministic fault injection — both engines apply plan events at
+    identical cycle counts, and methods the plan fails compilation for
+    make [`Fast] degrade per-method to the interpreter while staying
+    bit-identical.  [label] names the benchmark/config in error
+    messages.  [deadline] is an absolute [Unix.gettimeofday] time after
+    which the run aborts with a watchdog {!Runtime_error}, polled every
+    [deadline_poll] cycles (default 5e7); without [deadline] the clock
+    is never read and runs stay deterministic. *)

@@ -54,6 +54,10 @@ type result = {
   icache_misses : int;
   dcache_misses : int;
   output : string;
+  fallbacks : (string * string) list;
+      (* methods the fast engine degraded to the interpreter for, with
+         the reason, in first-degraded order; [] on the reference engine
+         and whenever every method compiled *)
 }
 
 (* Heap cells.  Values are plain ints: references are heap indices >= 1,
@@ -104,6 +108,22 @@ type state = {
   fuel : int;
   mutable main_result : int option;
   mutable next_frame_id : int;
+  (* Robustness layer.  [guard_gate] is the only value the hot path
+     compares against: the minimum of the fuel limit, the next fault
+     event's trigger cycle and the next wall-clock poll, so runs without
+     faults or watchdog pay exactly the old single-compare fuel check. *)
+  faults : Fault.plan;
+  mutable fault_cursor : int; (* next unapplied event in faults.events *)
+  mutable guard_gate : int;
+  deadline : float; (* absolute Unix time; infinity = no watchdog *)
+  deadline_poll : int; (* cycles between wall-clock polls *)
+  mutable next_poll : int;
+  label : string; (* benchmark/config context for error messages *)
+  mutable engine_fallback : int array;
+      (* per-method engine degradation: 0 = compile normally, 1 = fault
+         plan says compilation must fail (event not yet recorded), 2 =
+         degraded and recorded.  [||] when no plan can fail anything. *)
+  mutable fallbacks : (string * string) list; (* (method, reason), newest first *)
   (* Engine scratch: the closure-compiled engine passes only [state]
      between instruction closures (a unary indirect call is the cheapest
      OCaml can make); the running thread and frame travel here, written
@@ -114,9 +134,75 @@ type state = {
 
 let charge st c = st.cycles <- st.cycles + c
 
-let fuel_check st =
-  if st.cycles > st.fuel then
-    rt_err "out of fuel after %d cycles (likely non-termination)" st.cycles
+let out_of_fuel st =
+  let where =
+    if Array.length st.threads = 0 then ""
+    else
+      match st.threads.(st.current).top with
+      | Some fr ->
+          (* the fast engine only writes [fr.idx] back at suspension
+             points, so the pc is exact on `Ref and approximate on `Fast *)
+          Printf.sprintf " in %s (block %d, pc %d)"
+            (Lir.string_of_method_ref fr.m.Program.mref)
+            fr.blk (fr.base_addr + fr.idx)
+      | None -> ""
+  in
+  let ctx = if st.label = "" then "" else " while running " ^ st.label in
+  rt_err "out of fuel after %d cycles%s%s (likely non-termination)" st.cycles
+    where ctx
+
+let recompute_guard st =
+  let g = st.fuel in
+  let g =
+    if st.fault_cursor < Array.length st.faults.Fault.events then
+      min g (st.faults.Fault.events.(st.fault_cursor).Fault.at_cycle - 1)
+    else g
+  in
+  let g = if st.deadline < infinity then min g st.next_poll else g in
+  st.guard_gate <- g
+
+let apply_fault st (e : Fault.event) =
+  match e.Fault.action with
+  | Fault.Trap ->
+      rt_err "injected fault: trap at cycle %d (plan seed %d)" e.Fault.at_cycle
+        st.faults.Fault.seed
+  | Fault.Spurious_timer ->
+      (* an interrupt the device never scheduled: same observable effects
+         as a real tick, but the device's own schedule is untouched *)
+      st.switch_bit <- true;
+      st.hooks.on_timer_tick ()
+  | Fault.Corrupt_sample_counter d ->
+      st.counters.samples <- st.counters.samples + d
+  | Fault.Flush_icache -> (
+      match st.icache with Some c -> Icache.flush c | None -> ())
+  | Fault.Flush_dcache -> (
+      match st.dcache with Some c -> Icache.flush c | None -> ())
+
+(* Cold path of [fuel_check]: apply every due fault event, poll the
+   wall-clock watchdog, check fuel, then rearm the gate.  Both engines
+   reach fuel checks at identical cycle counts (one per executed word,
+   before its charges), so fault events fire at identical points and
+   their effects are bit-identical across engines. *)
+let guard_trip st =
+  let evs = st.faults.Fault.events in
+  while
+    st.fault_cursor < Array.length evs
+    && st.cycles > evs.(st.fault_cursor).Fault.at_cycle - 1
+  do
+    let e = evs.(st.fault_cursor) in
+    st.fault_cursor <- st.fault_cursor + 1;
+    apply_fault st e
+  done;
+  if st.deadline < infinity && st.cycles > st.next_poll then begin
+    st.next_poll <- st.cycles + st.deadline_poll;
+    if Unix.gettimeofday () > st.deadline then
+      rt_err "wall-clock watchdog expired after %d cycles%s" st.cycles
+        (if st.label = "" then "" else " while running " ^ st.label)
+  end;
+  if st.cycles > st.fuel then out_of_fuel st;
+  recompute_guard st
+
+let fuel_check st = if st.cycles > st.guard_gate then guard_trip st
 
 (* The timer device fires at block boundaries, exactly where the
    reference step consults it (before executing a terminator). *)
@@ -418,7 +504,8 @@ let dummy_thread = { tid = -1; parents = []; top = None }
 
 let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
     ?(use_dcache = false) ?(costs = Costs.default) ?(timer_period = 100_000)
-    ?(seed = 0x5EED) prog hooks =
+    ?(seed = 0x5EED) ?(faults = Fault.none) ?(label = "") ?deadline
+    ?(deadline_poll = 50_000_000) prog hooks =
   let counters =
     {
       entries = 0;
@@ -430,6 +517,20 @@ let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
       instrument_ops = 0;
     }
   in
+  let engine_fallback =
+    if Fault.is_none faults then [||]
+    else
+      let marks =
+        Array.map
+          (fun (m : Program.meth) ->
+            if Fault.fail_compile faults (Lir.string_of_method_ref m.Program.mref)
+            then 1
+            else 0)
+          prog.Program.methods
+      in
+      if Array.exists (fun v -> v > 0) marks then marks else [||]
+  in
+  let st =
   {
     prog;
     costs;
@@ -457,9 +558,35 @@ let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
     fuel;
     main_result = None;
     next_frame_id = 0;
+    faults;
+    fault_cursor = 0;
+    guard_gate = fuel;
+    deadline = (match deadline with Some d -> d | None -> infinity);
+    deadline_poll;
+    next_poll = deadline_poll;
+    label;
+    engine_fallback;
+    fallbacks = [];
     cur_th = dummy_thread;
     cur_fr = dummy_frame;
   }
+  in
+  recompute_guard st;
+  st
+
+(* ---- per-method engine degradation (used by Engine only) ---- *)
+
+let fallback_state st id =
+  if Array.length st.engine_fallback = 0 then 0 else st.engine_fallback.(id)
+
+let record_fallback st id reason =
+  if Array.length st.engine_fallback = 0 then
+    st.engine_fallback <- Array.make (Array.length st.prog.Program.methods) 0;
+  st.engine_fallback.(id) <- 2;
+  st.fallbacks <-
+    ( Lir.string_of_method_ref st.prog.Program.methods.(id).Program.mref,
+      reason )
+    :: st.fallbacks
 
 let result_of st =
   {
@@ -470,4 +597,174 @@ let result_of st =
     icache_misses = (match st.icache with Some ic -> Icache.misses ic | None -> 0);
     dcache_misses = (match st.dcache with Some dc -> Icache.misses dc | None -> 0);
     output = Buffer.contents st.out;
+    fallbacks = List.rev st.fallbacks;
   }
+
+(* ------------------------------------------------------------------ *)
+(* The reference step                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Execute one instruction or terminator of the current thread,
+   re-matching the LIR on every dynamic execution.  This is the
+   observational oracle both engines answer to: Interp's driver loop is
+   [fuel_check; step] until no thread is alive, and Engine reproduces
+   the exact effect sequence below in compiled form — and falls back to
+   this very function, word by word, for any method it could not (or
+   was fault-injected not to) compile.  Living in Machine rather than
+   Interp keeps that fallback a direct call instead of a forward
+   reference. *)
+let step st =
+  let th = st.threads.(st.current) in
+  match th.top with
+  | None -> rotate_thread st
+  | Some fr ->
+      st.instructions <- st.instructions + 1;
+      (match st.icache with
+      | Some ic ->
+          if Icache.access ic (fr.base_addr + fr.idx) then
+            charge st st.costs.Costs.icache_miss
+      | None -> ());
+      if fr.idx < Array.length fr.instrs then begin
+        let i = fr.instrs.(fr.idx) in
+        fr.idx <- fr.idx + 1;
+        let c = st.costs in
+        match i with
+        | Lir.Move (r, a) ->
+            charge st c.Costs.move;
+            fr.regs.(r) <- eval fr a
+        | Lir.Unop (r, op, a) ->
+            charge st c.Costs.alu;
+            let v = eval fr a in
+            fr.regs.(r) <- (match op with Lir.Neg -> -v | Lir.Not -> (if v = 0 then 1 else 0))
+        | Lir.Binop (r, op, a, b) ->
+            charge st c.Costs.alu;
+            fr.regs.(r) <- exec_binop op (eval fr a) (eval fr b)
+        | Lir.Get_field (r, o, fld) ->
+            charge st c.Costs.mem;
+            let obj = eval fr o in
+            let fields = obj_fields st obj (* null check first *) in
+            let off = field_off st fld in
+            data_access st (cell_addr st obj + off);
+            fr.regs.(r) <- fields.(off)
+        | Lir.Put_field (o, fld, v) ->
+            charge st c.Costs.mem;
+            let obj = eval fr o in
+            let fields = obj_fields st obj in
+            let off = field_off st fld in
+            data_access st (cell_addr st obj + off);
+            fields.(off) <- eval fr v
+        | Lir.Get_static (r, fld) ->
+            charge st c.Costs.mem;
+            let off = static_off st fld in
+            data_access st off;
+            fr.regs.(r) <- st.globals.(off)
+        | Lir.Put_static (fld, v) ->
+            charge st c.Costs.mem;
+            let off = static_off st fld in
+            data_access st off;
+            st.globals.(off) <- eval fr v
+        | Lir.New_object (r, cname) ->
+            let cid =
+              match Hashtbl.find_opt st.prog.Program.class_id_of_name cname with
+              | Some id -> id
+              | None -> rt_err "unknown class %s" cname
+            in
+            let n = st.prog.Program.classes.(cid).Program.n_fields in
+            charge st (c.Costs.alloc_base + (c.Costs.alloc_per_slot * n));
+            fr.regs.(r) <- alloc st (Obj { cls = cid; fields = Array.make (max n 1) 0 })
+        | Lir.New_array (r, len) ->
+            let n = eval fr len in
+            if n < 0 then rt_err "negative array length %d" n;
+            charge st (c.Costs.alloc_base + (c.Costs.alloc_per_slot * n));
+            fr.regs.(r) <- alloc st (Arr (Array.make (max n 1) 0))
+        | Lir.Array_load (r, a, i) ->
+            charge st c.Costs.mem;
+            let arr = eval fr a in
+            let cells = arr_cells st arr in
+            let i = eval fr i in
+            if i < 0 || i >= Array.length cells then
+              rt_err "array index %d out of bounds (%s)" i
+                (Lir.string_of_method_ref fr.m.Program.mref);
+            data_access st (cell_addr st arr + i);
+            fr.regs.(r) <- cells.(i)
+        | Lir.Array_store (a, i, v) ->
+            charge st c.Costs.mem;
+            let arr = eval fr a in
+            let cells = arr_cells st arr in
+            let i = eval fr i in
+            if i < 0 || i >= Array.length cells then
+              rt_err "array index %d out of bounds (%s)" i
+                (Lir.string_of_method_ref fr.m.Program.mref);
+            data_access st (cell_addr st arr + i);
+            cells.(i) <- eval fr v
+        | Lir.Array_length (r, a) ->
+            charge st c.Costs.mem;
+            fr.regs.(r) <- Array.length (arr_cells st (eval fr a))
+        | Lir.Instance_test (r, o, cname) ->
+            charge st (c.Costs.mem + c.Costs.alu);
+            let v = eval fr o in
+            fr.regs.(r) <-
+              (if v <= 0 || v > Ir.Vec.length st.heap then 0
+               else
+                 match Ir.Vec.get st.heap (v - 1) with
+                 | Obj obj ->
+                     if
+                       String.equal
+                         st.prog.Program.classes.(obj.cls).Program.cls_name
+                         cname
+                     then 1
+                     else 0
+                 | Arr _ -> 0)
+        | Lir.Call { dst; kind; target; args; site } ->
+            invoke st th fr dst kind target args site
+        | Lir.Intrinsic { dst; name; args } -> intrinsic st th fr dst name args
+        | Lir.Yieldpoint k ->
+            charge st c.Costs.yieldpoint;
+            (match k with
+            | Lir.Yp_entry ->
+                st.counters.entry_yps <- st.counters.entry_yps + 1
+            | Lir.Yp_backedge ->
+                st.counters.backedge_yps <- st.counters.backedge_yps + 1);
+            if st.switch_bit then begin
+              st.switch_bit <- false;
+              rotate_thread st
+            end
+        | Lir.Instrument op -> run_instrument st th fr op
+        | Lir.Guarded_instrument op ->
+            (* No-Duplication: the check guards this single op *)
+            st.counters.checks <- st.counters.checks + 1;
+            charge st c.Costs.check;
+            if st.hooks.fire th.tid then begin
+              st.counters.samples <- st.counters.samples + 1;
+              run_instrument st th fr op
+            end
+      end
+      else begin
+        (* terminator *)
+        timer_check st;
+        let c = st.costs in
+        match fr.term with
+        | Lir.Goto l ->
+            charge st c.Costs.branch;
+            set_block st fr l
+        | Lir.If { cond; if_true; if_false } ->
+            charge st c.Costs.branch;
+            set_block st fr (if eval fr cond <> 0 then if_true else if_false)
+        | Lir.Switch { scrut; cases; default } ->
+            charge st c.Costs.switch;
+            let v = eval fr scrut in
+            let target =
+              match List.assoc_opt v cases with Some l -> l | None -> default
+            in
+            set_block st fr target
+        | Lir.Return v -> do_return st th (Option.map (eval fr) v)
+        | Lir.Check { on_sample; fall } ->
+            st.counters.checks <- st.counters.checks + 1;
+            charge st c.Costs.check;
+            if st.hooks.fire th.tid then begin
+              st.counters.samples <- st.counters.samples + 1;
+              charge st c.Costs.sample_jump;
+              set_block st fr on_sample
+            end
+            else set_block st fr fall
+      end

@@ -1,0 +1,252 @@
+(* Fault injection ([Fault] + the VM's guard gate).
+
+   The load-bearing properties: a plan is a pure function of its seed
+   (same seed, same plan, byte for byte); both execution engines apply
+   plan events at identical cycle counts, so a faulted run is
+   bit-identical on [`Ref] and [`Fast]; and a simulated compile failure
+   degrades [`Fast] per-method to the interpreter without changing a
+   single observable. *)
+
+module Lir = Ir.Lir
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- plan derivation ---- *)
+
+let test_plan_deterministic () =
+  let p1 = Fault.of_seed 42 and p2 = Fault.of_seed 42 in
+  check_bool "same seed, same plan" true (p1 = p2);
+  check Alcotest.string "same seed, same rendering" (Fault.to_string p1)
+    (Fault.to_string p2);
+  check_bool "different seed, different events" true
+    (Fault.of_seed 42 <> Fault.of_seed 43);
+  let evs = Array.to_list p1.Fault.events in
+  check_bool "events sorted by cycle" true
+    (List.sort (fun a b -> compare a.Fault.at_cycle b.Fault.at_cycle) evs
+    = evs)
+
+let test_fail_compile_deterministic () =
+  let p = Fault.make ~seed:7 ~compile_fail_pct:50 [] in
+  let names = List.init 40 (Printf.sprintf "Cls.m%d") in
+  let picks = List.map (Fault.fail_compile p) names in
+  check_bool "same plan, same picks" true
+    (picks = List.map (Fault.fail_compile p) names);
+  check_bool "50% picks some but not all" true
+    (List.mem true picks && List.mem false picks);
+  check_bool "pct 0 picks none" true
+    (not
+       (List.exists
+          (Fault.fail_compile (Fault.make ~seed:7 ~compile_fail_pct:0 []))
+          names));
+  check_bool "explicit list always fails" true
+    (Fault.fail_compile (Fault.make ~compile_failures:[ "A.b" ] []) "A.b")
+
+(* ---- differential runs under faults ---- *)
+
+(* full-dup + counter trigger so checks, samples and instrumentation all
+   execute; the observation tuple pins every counter the fault actions
+   can perturb *)
+let observe ?faults ?(args = [ 400 ]) ~engine src =
+  let classes, funcs = Helpers.build src in
+  let transform =
+    Core.Transform.full_dup
+      (Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ])
+  in
+  let funcs' =
+    List.map (fun f -> (transform f).Core.Transform.func) funcs
+  in
+  let collector = Profiles.Collector.create () in
+  let sampler =
+    Core.Sampler.create (Core.Sampler.Counter { interval = 13; jitter = 0 })
+  in
+  let res =
+    Vm.Interp.run ~engine ?faults ~use_icache:true ~use_dcache:true
+      (Vm.Program.link classes ~funcs:funcs')
+      ~entry:{ Lir.mclass = "Main"; mname = "main" }
+      ~args (Profiles.Collector.hooks collector sampler)
+  in
+  let c = res.Vm.Interp.counters in
+  ( res,
+    ( ( res.Vm.Interp.return_value,
+        res.Vm.Interp.output,
+        res.Vm.Interp.cycles,
+        res.Vm.Interp.instructions ),
+      ( c.Vm.Interp.entries,
+        c.Vm.Interp.checks,
+        c.Vm.Interp.samples,
+        c.Vm.Interp.thread_switches,
+        c.Vm.Interp.instrument_ops ),
+      (res.Vm.Interp.icache_misses, res.Vm.Interp.dcache_misses),
+      List.sort compare
+        (Profiles.Call_edge.to_keyed collector.Profiles.Collector.call_edges)
+    ) )
+
+(* a plan of every non-fatal action, scheduled inside the run *)
+let nonfatal_plan cycles =
+  Fault.make ~seed:99
+    [
+      { Fault.at_cycle = cycles / 5; action = Fault.Flush_icache };
+      { Fault.at_cycle = cycles / 4; action = Fault.Spurious_timer };
+      { Fault.at_cycle = cycles / 3; action = Fault.Corrupt_sample_counter 7 };
+      { Fault.at_cycle = cycles / 2; action = Fault.Flush_dcache };
+      { Fault.at_cycle = 2 * cycles / 3; action = Fault.Spurious_timer };
+    ]
+
+let test_engines_agree_under_faults () =
+  let r, _ = observe ~engine:`Fast Helpers.loop_src in
+  let plan = nonfatal_plan r.Vm.Interp.cycles in
+  let _, a = observe ~faults:plan ~engine:`Ref Helpers.loop_src in
+  let _, b = observe ~faults:plan ~engine:`Fast Helpers.loop_src in
+  check_bool "faulted run: Fast == Ref" true (a = b);
+  let _, b2 = observe ~faults:plan ~engine:`Fast Helpers.loop_src in
+  check_bool "faulted run is reproducible" true (b = b2)
+
+let test_none_is_invisible () =
+  let _, bare = observe ~engine:`Fast Helpers.loop_src in
+  let _, under_none = observe ~faults:Fault.none ~engine:`Fast Helpers.loop_src in
+  check_bool "empty plan is indistinguishable from no plan" true
+    (bare = under_none)
+
+let test_corrupt_sample_counter () =
+  let r, _ = observe ~engine:`Fast Helpers.loop_src in
+  let plan =
+    Fault.make
+      [
+        {
+          Fault.at_cycle = r.Vm.Interp.cycles / 2;
+          action = Fault.Corrupt_sample_counter 7;
+        };
+      ]
+  in
+  let r', _ = observe ~faults:plan ~engine:`Fast Helpers.loop_src in
+  check_int "sample counter skewed by exactly the delta"
+    (r.Vm.Interp.counters.Vm.Interp.samples + 7)
+    r'.Vm.Interp.counters.Vm.Interp.samples
+
+let test_flush_icache_costs_misses () =
+  let r, _ = observe ~engine:`Fast Helpers.loop_src in
+  let plan =
+    Fault.make
+      [
+        { Fault.at_cycle = r.Vm.Interp.cycles / 2; action = Fault.Flush_icache };
+      ]
+  in
+  let r', _ = observe ~faults:plan ~engine:`Fast Helpers.loop_src in
+  check_bool "a mid-loop flush forces re-misses" true
+    (r'.Vm.Interp.icache_misses > r.Vm.Interp.icache_misses)
+
+let test_trap_identical_on_both_engines () =
+  let r, _ = observe ~engine:`Fast Helpers.loop_src in
+  let plan =
+    Fault.make ~seed:5
+      [ { Fault.at_cycle = r.Vm.Interp.cycles / 2; action = Fault.Trap } ]
+  in
+  let msg engine =
+    try
+      ignore (observe ~faults:plan ~engine Helpers.loop_src);
+      Alcotest.fail "trap did not fire"
+    with Vm.Interp.Runtime_error m -> m
+  in
+  let m_ref = msg `Ref and m_fast = msg `Fast in
+  check Alcotest.string "identical trap message" m_ref m_fast;
+  check_bool "message names the injection" true
+    (String.length m_ref >= 14 && String.sub m_ref 0 14 = "injected fault")
+
+(* ---- graceful degradation ---- *)
+
+let test_compile_failure_degrades_gracefully () =
+  let _, bare = observe ~engine:`Fast Helpers.loop_src in
+  let plan = Fault.make ~compile_failures:[ "Counter.bump" ] [] in
+  let r, degraded = observe ~faults:plan ~engine:`Fast Helpers.loop_src in
+  check_bool "observables identical with Counter.bump interpreted" true
+    (bare = degraded);
+  check_bool "the fallback was recorded" true
+    (List.mem_assoc "Counter.bump" r.Vm.Interp.fallbacks);
+  let r_ref, ref_obs = observe ~faults:plan ~engine:`Ref Helpers.loop_src in
+  check_bool "Ref ignores compile-failure plans" true (bare = ref_obs);
+  check
+    Alcotest.(list (pair string string))
+    "Ref reports no fallbacks" [] r_ref.Vm.Interp.fallbacks
+
+let test_all_methods_degraded () =
+  let args = [ 18 ] in
+  let _, bare = observe ~args ~engine:`Fast Helpers.fib_src in
+  let plan = Fault.make ~seed:3 ~compile_fail_pct:100 [] in
+  let r, degraded = observe ~args ~faults:plan ~engine:`Fast Helpers.fib_src in
+  check_bool "fully interpreted run still bit-identical" true
+    (bare = degraded);
+  check_bool "every executed method fell back" true
+    (List.length r.Vm.Interp.fallbacks >= 2)
+
+(* ---- the VM watchdog ---- *)
+
+let test_watchdog_expires () =
+  check_bool "a past deadline aborts the run" true
+    (try
+       let classes, funcs = Helpers.build Helpers.loop_src in
+       ignore
+         (Vm.Interp.run ~deadline:(Unix.gettimeofday () -. 1.0)
+            ~deadline_poll:1_000 ~label:"watchdog-test"
+            (Vm.Program.link classes ~funcs)
+            ~entry:{ Lir.mclass = "Main"; mname = "main" }
+            ~args:[ 100_000 ] Vm.Interp.null_hooks);
+       false
+     with Vm.Interp.Runtime_error m ->
+       check_bool "message names the watchdog and the label" true
+         (let has sub =
+            let n = String.length sub and h = String.length m in
+            let rec go i = i + n <= h && (String.sub m i n = sub || go (i + 1)) in
+            go 0
+          in
+          has "wall-clock watchdog" && has "watchdog-test");
+       true)
+
+let test_fuel_message_has_context () =
+  check_bool "fuel error names method, pc and label" true
+    (try
+       ignore
+         (let classes, funcs = Helpers.build Helpers.loop_src in
+          Vm.Interp.run ~fuel:10_000 ~label:"fuel-test (scale 1)"
+            (Vm.Program.link classes ~funcs)
+            ~entry:{ Lir.mclass = "Main"; mname = "main" }
+            ~args:[ 1_000_000 ] Vm.Interp.null_hooks);
+       false
+     with Vm.Interp.Runtime_error m ->
+       let has sub =
+         let n = String.length sub and h = String.length m in
+         let rec go i = i + n <= h && (String.sub m i n = sub || go (i + 1)) in
+         go 0
+       in
+       has "out of fuel" && has "block" && has "pc"
+       && has "while running fuel-test (scale 1)"
+       && (has "Main.main" || has "Counter.bump"))
+
+let suite =
+  [
+    ( "fault",
+      [
+        Alcotest.test_case "plans are seed-deterministic" `Quick
+          test_plan_deterministic;
+        Alcotest.test_case "compile-failure picks deterministic" `Quick
+          test_fail_compile_deterministic;
+        Alcotest.test_case "Fast == Ref under a fault plan" `Quick
+          test_engines_agree_under_faults;
+        Alcotest.test_case "empty plan is invisible" `Quick
+          test_none_is_invisible;
+        Alcotest.test_case "sample-counter corruption" `Quick
+          test_corrupt_sample_counter;
+        Alcotest.test_case "i-cache flush costs misses" `Quick
+          test_flush_icache_costs_misses;
+        Alcotest.test_case "trap identical on both engines" `Quick
+          test_trap_identical_on_both_engines;
+        Alcotest.test_case "compile failure degrades per-method" `Quick
+          test_compile_failure_degrades_gracefully;
+        Alcotest.test_case "fully-degraded run bit-identical" `Quick
+          test_all_methods_degraded;
+        Alcotest.test_case "watchdog expires" `Quick test_watchdog_expires;
+        Alcotest.test_case "fuel message has context" `Quick
+          test_fuel_message_has_context;
+      ] );
+  ]

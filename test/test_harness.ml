@@ -93,8 +93,8 @@ let breakdown_adds_up () =
 let timer_less_accurate ?scale ?benches () =
   let rows = Harness.Table5.run ?scale ?benches () in
   let avg f = Harness.Common.mean (List.map f rows) in
-  let t = avg (fun (r : Harness.Table5.row) -> r.Harness.Table5.time_based) in
-  let c = avg (fun (r : Harness.Table5.row) -> r.Harness.Table5.counter_based) in
+  let t = avg Harness.Table5.time_based in
+  let c = avg Harness.Table5.counter_based in
   check_bool (Printf.sprintf "counter %.1f > timer %.1f on average" c t) true
     (c > t)
 

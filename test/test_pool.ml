@@ -60,6 +60,35 @@ let test_exception_propagates () =
             "boom" msg)
     [ 1; 4 ]
 
+let test_multiple_failures_aggregate () =
+  List.iter
+    (fun jobs ->
+      let ran = Atomic.make 0 in
+      match
+        Harness.Pool.map ~jobs
+          (fun x ->
+            Atomic.incr ran;
+            if x mod 7 = 3 then failwith (Printf.sprintf "boom %d" x) else x)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.failf "-j %d swallowed the failures" jobs
+      | exception Harness.Pool.Failures l ->
+          check Alcotest.int
+            (Printf.sprintf "-j %d ran every task despite failures" jobs)
+            20 (Atomic.get ran);
+          check
+            (Alcotest.list Alcotest.int)
+            (Printf.sprintf "-j %d reports every failure, in order" jobs)
+            [ 3; 10; 17 ]
+            (List.map (fun (i, _, _) -> i) l);
+          List.iter
+            (fun (i, e, _) ->
+              check Alcotest.string "original exception kept"
+                (Printf.sprintf "boom %d" i)
+                (match e with Failure m -> m | e -> Printexc.to_string e))
+            l)
+    [ 1; 4 ]
+
 let test_run () =
   let hits = Atomic.make 0 in
   Harness.Pool.run ~jobs:3
@@ -141,6 +170,8 @@ let suite =
           test_sequential_degenerate;
         Alcotest.test_case "exceptions propagate" `Quick
           test_exception_propagates;
+        Alcotest.test_case "multiple failures aggregate" `Quick
+          test_multiple_failures_aggregate;
         Alcotest.test_case "run executes all thunks" `Quick test_run;
         Alcotest.test_case "memo computes once" `Quick test_memo_compute_once;
         Alcotest.test_case "memo retries after failure" `Quick
