@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test test-all fmt bench-smoke crash-smoke ci clean
+.PHONY: all build test test-all fmt bench-smoke bench-profiles crash-smoke ci clean
 
 all: build
 
@@ -23,6 +23,13 @@ test-all:
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- smoke
 
+# recording-path benchmark (legacy collector vs flat slots) at the
+# smallest scale, written to BENCH_profiles.smoke.json and validated;
+# warns (does not fail) on a >10% geomean regression against the
+# committed BENCH_profiles.json
+bench-profiles:
+	$(DUNE) exec bench/main.exe -- profiles-smoke
+
 # gated: the container does not ship ocamlformat
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -41,6 +48,7 @@ ci: build fmt
 	$(DUNE) exec bin/isf.exe -- table 1 -j 2 > /dev/null
 	$(MAKE) crash-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) bench-profiles
 	@echo "ci OK"
 
 clean:

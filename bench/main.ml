@@ -15,7 +15,16 @@
    BENCH_interp.json.
 
    smoke — the interp benchmark at the smallest scale plus validation of
-   the JSON it wrote; the `make bench-smoke` CI target. *)
+   the JSON it wrote; the `make bench-smoke` CI target.
+
+   profiles — wall-clock recording-path benchmark (legacy event-by-event
+   collector vs flat-slot recording) per profile kind on both engines;
+   writes BENCH_profiles.json.
+
+   profiles-smoke — the profiles benchmark at the smallest scale into
+   BENCH_profiles.smoke.json plus validation, warning (not failing) on a
+   >10% geomean regression against the committed BENCH_profiles.json;
+   the `make bench-profiles` CI target. *)
 
 open Bechamel
 open Toolkit
@@ -126,7 +135,11 @@ let () =
   | "full" -> run_full ()
   | "interp" -> Interp_bench.run ()
   | "smoke" -> Interp_bench.smoke ()
+  | "profiles" -> Profile_bench.run ()
+  | "profiles-smoke" -> Profile_bench.smoke ()
   | m ->
-      Printf.eprintf "usage: %s [full|interp|smoke] (unknown mode %S)\n"
+      Printf.eprintf
+        "usage: %s [full|interp|smoke|profiles|profiles-smoke] (unknown mode \
+         %S)\n"
         Sys.argv.(0) m;
       exit 2

@@ -1,0 +1,344 @@
+(* Recording-path benchmark: flat-slot recording vs the legacy
+   event-by-event collector.
+
+   For every profile kind of the paper (call edges, field accesses,
+   basic-block edges, value TNV, Ball–Larus paths, receiver classes,
+   CCT), instruments a workload exhaustively with just that kind and
+   runs it to completion under both recording paths on both engines,
+   timing wall-clock per run and normalizing to nanoseconds per
+   simulated instruction.  The slot-resolution pre-pass and the
+   end-of-run decode are INSIDE the timed region: the speedup reported
+   is for the whole recording pipeline at equal decoded output, not
+   just the hot loop.
+
+   Before timing, the two paths' results are asserted identical —
+   cycles, counters, and every decoded profile table including
+   iteration order — so the benchmark refuses to compare paths that
+   disagree (the same invariant test/test_slots.ml fuzzes).
+
+   Two speedups are reported per configuration.  The whole-run ratio
+   (legacy ns/instr over slots ns/instr) is Amdahl-bounded: most of an
+   instrumented run is executing the program, not recording events, so
+   even a free recorder could not double it.  The headline metric is
+   therefore the RECORDING-PATH speedup — (T_legacy - T_base) /
+   (T_slots - T_base) against an uninstrumented baseline run of the
+   same workload — which isolates the cost of the event path itself,
+   exactly the way every table of the reproduction reports
+   instrumentation overhead relative to the uninstrumented baseline.
+
+   Results go to BENCH_profiles.json (hand-written JSON, same format
+   conventions as BENCH_interp.json).  [smoke] reruns at the smallest
+   scale with a tiny budget into BENCH_profiles.smoke.json, validates
+   that it parses and covers every kind on both engines, and WARNS
+   (does not fail) when its geomean is more than 10% below the
+   committed BENCH_profiles.json — smoke timings at scale 1 are noisy,
+   so the committed full-scale file stays the reference. *)
+
+module M = Harness.Measure
+
+let out_file = "BENCH_profiles.json"
+let smoke_file = "BENCH_profiles.smoke.json"
+
+let kinds =
+  [
+    ("call_edge", Core.Spec.call_edge);
+    ("field_access", Core.Spec.field_access);
+    ("edge", Core.Spec.edge_profile);
+    ("value", Core.Spec.value_profile);
+    ("path", Profiles.Specs.path_profile);
+    ("receiver", Profiles.Specs.receiver_profile);
+    ("cct", Profiles.Specs.cct_profile);
+  ]
+
+let workload = "mtrt"
+
+type row = {
+  kind : string;
+  engine : string;
+  scale : int;
+  instructions : int;
+  instrument_ops : int;
+  legacy_ns : float; (* ns per simulated instruction *)
+  slots_ns : float;
+  legacy_s : float; (* seconds per run *)
+  slots_s : float;
+  base_s : float; (* seconds per uninstrumented baseline run *)
+}
+
+let speedup r = r.legacy_ns /. r.slots_ns
+
+(* recording-path speedup: overhead over the uninstrumented baseline,
+   clamped away from zero so a noisy tiny-budget run cannot divide by a
+   negative overhead *)
+let overhead_speedup r =
+  let l = Float.max 1e-9 (r.legacy_s -. r.base_s)
+  and s = Float.max 1e-9 (r.slots_s -. r.base_s) in
+  l /. s
+
+(* decoded-profile observation, unsorted: iteration order is part of
+   the equality being claimed *)
+let observe (res : Vm.Interp.result) (col : Profiles.Collector.t) =
+  ( res.Vm.Interp.cycles,
+    res.Vm.Interp.instructions,
+    res.Vm.Interp.counters,
+    res.Vm.Interp.output,
+    Profiles.Call_edge.to_alist col.Profiles.Collector.call_edges,
+    Profiles.Field_access.to_alist col.Profiles.Collector.fields,
+    Profiles.Edge_profile.to_alist col.Profiles.Collector.edges,
+    ( Profiles.Value_profile.to_keyed col.Profiles.Collector.values,
+      Profiles.Path_profile.to_alist col.Profiles.Collector.paths,
+      Profiles.Receiver_profile.to_keyed col.Profiles.Collector.receivers,
+      Profiles.Cct.to_keyed col.Profiles.Collector.cct ) )
+
+(* Interleaved min-of-batches over THREE runners (baseline, legacy,
+   slots) — same methodology as Interp_bench.time_pair, extended so the
+   baseline subtraction in [overhead_speedup] sees the same scheduling
+   drift as the runs it is subtracted from.  Timing the baseline in a
+   separate earlier block was measurably biased: a few percent of drift
+   on the baseline swamps the small slots-path overhead. *)
+let batches = 5
+
+let time_triple ~budget run_a run_b run_c =
+  let probe run =
+    let t0 = Unix.gettimeofday () in
+    ignore (run ());
+    Unix.gettimeofday () -. t0
+  in
+  let per_batch = budget /. float_of_int batches in
+  let reps run =
+    max 1 (int_of_float (per_batch /. Float.max 1e-6 (probe run)))
+  in
+  let reps_a = reps run_a and reps_b = reps run_b and reps_c = reps run_c in
+  let batch run n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (run ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  let best_a = ref infinity and best_b = ref infinity and best_c = ref infinity in
+  for _ = 1 to batches do
+    best_a := Float.min !best_a (batch run_a reps_a);
+    best_b := Float.min !best_b (batch run_b reps_b);
+    best_c := Float.min !best_c (batch run_c reps_c)
+  done;
+  (!best_a, !best_b, !best_c)
+
+let bench_kind ~scale ~budget ~engine (kname, spec) =
+  let build = M.prepare ?scale (Workloads.Suite.find workload) in
+  let funcs =
+    List.map
+      (fun f -> (Core.Transform.exhaustive spec f).Core.Transform.func)
+      build.M.base_funcs
+  in
+  let prog = Vm.Program.link build.M.classes ~funcs in
+  let base_prog = Vm.Program.link build.M.classes ~funcs:build.M.base_funcs in
+  let args = [ build.M.scale ] in
+  let eng = match engine with "ref" -> `Ref | _ -> `Fast in
+  let run_base () =
+    Vm.Interp.run ~engine:eng ~use_icache:true base_prog
+      ~entry:Workloads.Suite.entry ~args Vm.Interp.null_hooks
+  in
+  (* one full pipeline pass per timed run: fresh recording state,
+     execute, decode *)
+  let run_legacy () =
+    let c = Profiles.Collector.create () in
+    let res =
+      Vm.Interp.run ~engine:eng ~use_icache:true prog
+        ~entry:Workloads.Suite.entry ~args
+        (Profiles.Collector.null_sampler_hooks c)
+    in
+    (res, c)
+  in
+  let run_slots () =
+    let s = Profiles.Slots.create prog in
+    let res =
+      Vm.Interp.run ~engine:eng ~use_icache:true
+        ~recorder:(Profiles.Slots.recorder s) prog
+        ~entry:Workloads.Suite.entry ~args
+        (Profiles.Slots.null_sampler_hooks s)
+    in
+    (res, Profiles.Slots.decode s)
+  in
+  (* warm runs double as the differential check (and compile the
+     program under the Fast engine so compilation stays out of the
+     timed loop) *)
+  let res_l, col_l = run_legacy () in
+  let res_s, col_s = run_slots () in
+  if observe res_l col_l <> observe res_s col_s then
+    failwith
+      (Printf.sprintf "%s/%s: recording paths disagree, refusing to time"
+         kname engine);
+  ignore (run_base ());
+  let instr = float_of_int res_l.Vm.Interp.instructions in
+  let base_s, per_l, per_s =
+    time_triple ~budget
+      (fun () -> run_base ())
+      (fun () -> run_legacy ())
+      (fun () -> run_slots ())
+  in
+  let row =
+    {
+      kind = kname;
+      engine;
+      scale = build.M.scale;
+      instructions = res_l.Vm.Interp.instructions;
+      instrument_ops =
+        res_l.Vm.Interp.counters.Vm.Interp.instrument_ops;
+      legacy_ns = per_l *. 1e9 /. instr;
+      slots_ns = per_s *. 1e9 /. instr;
+      legacy_s = per_l;
+      slots_s = per_s;
+      base_s;
+    }
+  in
+  Printf.printf
+    "  %-13s %-4s legacy %7.2f ns/instr   slots %7.2f ns/instr   run %4.2fx   \
+     recording %5.2fx\n\
+     %!"
+    row.kind row.engine row.legacy_ns row.slots_ns (speedup row)
+    (overhead_speedup row);
+  row
+
+let geomean f rows =
+  exp
+    (List.fold_left (fun a r -> a +. log (f r)) 0.0 rows
+    /. float_of_int (List.length rows))
+
+let json_of_rows rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"profiles\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"kind\": %S, \"engine\": %S, \"scale\": %d, \
+            \"instructions\": %d, \"instrument_ops\": %d, \
+            \"legacy_ns_per_instr\": %.3f, \"slots_ns_per_instr\": %.3f, \
+            \"baseline_s\": %.6f, \"run_speedup\": %.3f, \
+            \"recording_speedup\": %.3f }%s\n"
+           r.kind r.engine r.scale r.instructions r.instrument_ops r.legacy_ns
+           r.slots_ns r.base_s (speedup r) (overhead_speedup r)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n\
+       \  \"geomean_run_speedup\": %.3f,\n\
+       \  \"geomean_recording_speedup\": %.3f\n\
+        }\n"
+       (geomean speedup rows)
+       (geomean overhead_speedup rows));
+  Buffer.contents buf
+
+(* ---- validation (reuses Interp_bench's JSON parser) ---- *)
+
+let validate_json ~file text =
+  let v =
+    try Interp_bench.parse_json text
+    with Interp_bench.Bad m -> failwith (file ^ ": " ^ m)
+  in
+  let rows, gm =
+    match v with
+    | Interp_bench.Obj
+        [
+          ("profiles", Interp_bench.Arr rows);
+          ("geomean_run_speedup", Interp_bench.Num _);
+          ("geomean_recording_speedup", Interp_bench.Num gm);
+        ] ->
+        (rows, gm)
+    | _ ->
+        failwith
+          (file
+         ^ ": expected { \"profiles\": [...], \"geomean_run_speedup\": n, \
+            \"geomean_recording_speedup\": n }")
+  in
+  let keys =
+    List.map
+      (fun r ->
+        match r with
+        | Interp_bench.Obj o ->
+            let str k =
+              match List.assoc_opt k o with
+              | Some (Interp_bench.Str s) -> s
+              | _ -> failwith (Printf.sprintf "%s: missing string %S" file k)
+            in
+            let num k =
+              match List.assoc_opt k o with
+              | Some (Interp_bench.Num f) -> f
+              | _ -> failwith (Printf.sprintf "%s: missing number %S" file k)
+            in
+            if
+              not
+                (num "legacy_ns_per_instr" > 0.0
+                && num "slots_ns_per_instr" > 0.0)
+            then failwith (file ^ ": non-positive ns/instr");
+            (str "kind", str "engine")
+        | _ -> failwith (file ^ ": non-object row"))
+      rows
+  in
+  List.iter
+    (fun (kname, _) ->
+      List.iter
+        (fun engine ->
+          if not (List.mem (kname, engine) keys) then
+            failwith
+              (Printf.sprintf "%s: missing kind %S for engine %s" file kname
+                 engine))
+        [ "ref"; "fast" ])
+    kinds;
+  gm
+
+let committed_geomean () =
+  match
+    try Some (In_channel.with_open_text out_file In_channel.input_all)
+    with Sys_error _ -> None
+  with
+  | None -> None
+  | Some text -> Some (validate_json ~file:out_file text)
+
+(* ---- entry points ---- *)
+
+let run_rows ~file ~scale ~budget =
+  Printf.printf
+    "Recording benchmark: legacy event-by-event vs flat-slot (workload %s)\n"
+    workload;
+  let rows =
+    List.concat_map
+      (fun engine -> List.map (bench_kind ~scale ~budget ~engine) kinds)
+      [ "ref"; "fast" ]
+  in
+  let oc = open_out file in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Printf.printf
+    "  geometric-mean: whole-run %.2fx, recording path %.2fx over %d \
+     configurations\n"
+    (geomean speedup rows)
+    (geomean overhead_speedup rows)
+    (List.length rows);
+  Printf.printf "  wrote %s\n" file;
+  rows
+
+let run () = ignore (run_rows ~file:out_file ~scale:None ~budget:0.6)
+
+let smoke () =
+  let rows = run_rows ~file:smoke_file ~scale:(Some 1) ~budget:0.02 in
+  let text = In_channel.with_open_text smoke_file In_channel.input_all in
+  let gm = validate_json ~file:smoke_file text in
+  if List.length rows <> 2 * List.length kinds then
+    failwith (smoke_file ^ ": row count does not match the kind x engine grid");
+  (match committed_geomean () with
+  | None ->
+      Printf.printf "  (no committed %s to compare against)\n" out_file
+  | Some committed ->
+      if gm < 0.9 *. committed then
+        Printf.printf
+          "WARNING: smoke geomean %.2fx is >10%% below committed %.2fx (%s)\n"
+          gm committed out_file
+      else
+        Printf.printf "  smoke geomean %.2fx vs committed %.2fx: OK\n" gm
+          committed);
+  Printf.printf
+    "bench-profiles OK: %s parses, both engines cover all %d profile kinds\n"
+    smoke_file (List.length kinds)

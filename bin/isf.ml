@@ -124,6 +124,19 @@ let engine_arg =
     & opt (enum [ ("ref", `Ref); ("fast", `Fast) ]) `Fast
     & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let recording_arg =
+  let doc =
+    "Profile recording path: $(b,slots) (flat-slot recording, default: \
+     compile-time event resolution into preallocated buffers, decoded at \
+     end of run) or $(b,legacy) (event-by-event hook dispatch, kept as \
+     the differential oracle).  The paths are bit-identical, so every \
+     number is recording-invariant."
+  in
+  Arg.(
+    value
+    & opt (enum [ ("slots", `Slots); ("legacy", `Legacy) ]) `Slots
+    & info [ "recording" ] ~docv:"PATH" ~doc)
+
 let chaos_arg =
   let doc =
     "Chaos mode: derive a deterministic fault plan from $(docv) for every \
@@ -154,6 +167,7 @@ let checkpoint_arg =
 
 let set_trace t = if t then Harness.Pool.trace := true
 let set_engine e = Measure.set_engine e
+let set_recording r = Measure.set_recording r
 
 let set_robustness ?(chaos = None) ?(watchdog = 600.0) () =
   Measure.set_chaos chaos;
@@ -203,9 +217,10 @@ let run_cmd =
     Term.(const run $ bench_arg $ scale_arg $ engine_arg)
 
 let profile_cmd =
-  let run bench scale variant instr interval jitter timer top csv engine chaos
-      =
+  let run bench scale variant instr interval jitter timer top csv engine
+      recording chaos =
     set_engine engine;
+    set_recording recording;
     set_robustness ~chaos ();
     let b = Workloads.Suite.find bench in
     let build = Measure.prepare ?scale b in
@@ -245,7 +260,7 @@ let profile_cmd =
     Term.(
       const run $ bench_arg $ scale_arg $ variant_arg $ instr_arg
       $ interval_arg $ jitter_arg $ timer_arg $ top_arg $ csv_arg
-      $ engine_arg $ chaos_arg)
+      $ engine_arg $ recording_arg $ chaos_arg)
 
 let dump_cmd =
   let run bench variant instr meth =
@@ -334,9 +349,10 @@ let exec_cmd =
       $ jitter_arg $ top_arg $ engine_arg)
 
 let table_cmd =
-  let run which scale jobs trace engine chaos watchdog checkpoint =
+  let run which scale jobs trace engine recording chaos watchdog checkpoint =
     set_trace trace;
     set_engine engine;
+    set_recording recording;
     set_robustness ~chaos ~watchdog ();
     let name =
       match which with `All -> "all" | `One w -> Harness.Experiments.name w
@@ -383,12 +399,13 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Reproduce one of the paper's tables/figures")
     Term.(
       const run $ which_arg $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
-      $ chaos_arg $ watchdog_arg $ checkpoint_arg)
+      $ recording_arg $ chaos_arg $ watchdog_arg $ checkpoint_arg)
 
 let all_cmd =
-  let run scale jobs trace engine chaos watchdog checkpoint =
+  let run scale jobs trace engine recording chaos watchdog checkpoint =
     set_trace trace;
     set_engine engine;
+    set_recording recording;
     set_robustness ~chaos ~watchdog ();
     set_checkpoint ~which:"everything" ~scale ~engine ~chaos checkpoint;
     if Harness.Experiments.run_all ?scale ~jobs () <> [] then exit 2
@@ -396,13 +413,14 @@ let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure of the paper")
     Term.(
-      const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg $ chaos_arg
-      $ watchdog_arg $ checkpoint_arg)
+      const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
+      $ recording_arg $ chaos_arg $ watchdog_arg $ checkpoint_arg)
 
 let ablation_cmd =
-  let run scale jobs trace engine =
+  let run scale jobs trace engine recording =
     set_trace trace;
     set_engine engine;
+    set_recording recording;
     Harness.Ablation.run_all ?scale ~jobs ()
   in
   Cmd.v
@@ -410,7 +428,9 @@ let ablation_cmd =
        ~doc:
          "Run the ablation studies (trigger determinism, check cost, \
           duplication strategy, per-thread counters)")
-    Term.(const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg)
+    Term.(
+      const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
+      $ recording_arg)
 
 let main =
   let doc =

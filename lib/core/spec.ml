@@ -14,7 +14,7 @@ let call_edge =
     spec_name = "call-edge";
     plan =
       (fun _f ->
-        [ { site = At_entry; op = { Lir.hook = "call_edge"; payload = Lir.P_unit } } ]);
+        [ { site = At_entry; op = Lir.mk_op "call_edge" Lir.P_unit } ]);
   }
 
 let field_access =
@@ -33,16 +33,14 @@ let field_access =
                     acc :=
                       {
                         site = Before_instr (l, i);
-                        op =
-                          { Lir.hook = "field_access"; payload = Lir.P_field (fld, false) };
+                        op = Lir.mk_op "field_access" (Lir.P_field (fld, false));
                       }
                       :: !acc
                 | Lir.Put_field (_, fld, _) ->
                     acc :=
                       {
                         site = Before_instr (l, i);
-                        op =
-                          { Lir.hook = "field_access"; payload = Lir.P_field (fld, true) };
+                        op = Lir.mk_op "field_access" (Lir.P_field (fld, true));
                       }
                       :: !acc
                 | _ -> ())
@@ -60,7 +58,7 @@ let edge_profile =
           (fun (u, v) ->
             {
               site = On_edge (u, v);
-              op = { Lir.hook = "edge"; payload = Lir.P_edge (u, v) };
+              op = Lir.mk_op "edge" (Lir.P_edge (u, v));
             })
           (Ir.Cfg.edges f));
   }
@@ -81,7 +79,7 @@ let value_profile =
                     acc :=
                       {
                         site = Before_instr (l, i);
-                        op = { Lir.hook = "value"; payload = Lir.P_value (a0, s) };
+                        op = Lir.mk_op "value" (Lir.P_value (a0, s));
                       }
                       :: !acc
                 | _ -> ())

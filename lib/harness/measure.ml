@@ -33,6 +33,19 @@ let default_engine : [ `Ref | `Fast ] Atomic.t = Atomic.make `Fast
 let set_engine e = Atomic.set default_engine e
 let current_engine () = Atomic.get default_engine
 
+(* The profile recording path (isf --recording).  [`Slots] (default)
+   resolves every instrument op to a flat slot after linking and records
+   through preallocated buffers (Profiles.Slots), decoding into the
+   legacy collector structures at end of run; [`Legacy] is the original
+   event-by-event hook dispatch, kept as the differential oracle.  The
+   two are bit-identical — cycles, counters and every decoded profile
+   table including iteration order — so results are recording-invariant
+   (test/test_slots.ml enforces this differentially). *)
+let recording : [ `Slots | `Legacy ] Atomic.t = Atomic.make `Slots
+
+let set_recording r = Atomic.set recording r
+let current_recording () = Atomic.get recording
+
 (* Chaos mode (isf --chaos SEED): every measurement runs under a fault
    plan derived from the session seed and the cell's (benchmark, scale)
    — deliberately NOT from which table or worker asks, so concurrent
@@ -85,11 +98,29 @@ let metrics_of prog (res : Vm.Interp.result) collector =
     fallbacks = res.Vm.Interp.fallbacks;
   }
 
-let execute ?engine ?timer_period build funcs hooks collector =
+(* How one run records its profile events: hooks (+ recorder for the
+   flat path) built against the linked program, and a decode producing
+   the collector afterwards.  [mk] runs after linking because slot
+   resolution needs the resolved method ids. *)
+type recording_instance = {
+  r_hooks : Vm.Interp.hooks;
+  r_recorder : Vm.Machine.flat_recorder option;
+  r_decode : unit -> Profiles.Collector.t;
+}
+
+let no_recording (_ : Vm.Program.t) =
+  {
+    r_hooks = Vm.Interp.null_hooks;
+    r_recorder = None;
+    r_decode = Profiles.Collector.create;
+  }
+
+let execute ?engine ?timer_period build funcs mk =
   let engine =
     match engine with Some e -> e | None -> Atomic.get default_engine
   in
   let prog = Vm.Program.link build.classes ~funcs in
+  let recording = mk prog in
   let faults = fault_plan build in
   let label =
     let ctx = Robust.context () in
@@ -104,9 +135,10 @@ let execute ?engine ?timer_period build funcs hooks collector =
   in
   let res =
     Vm.Interp.run ~engine ~use_icache:true ?timer_period ~faults ~label
-      ?deadline prog ~entry:Workloads.Suite.entry ~args:[ build.scale ] hooks
+      ?deadline ?recorder:recording.r_recorder prog
+      ~entry:Workloads.Suite.entry ~args:[ build.scale ] recording.r_hooks
   in
-  metrics_of prog res collector
+  metrics_of prog res (recording.r_decode ())
 
 let baseline_cache : (string * int * [ `Ref | `Fast ], metrics) Sync.Memo.t =
   Sync.Memo.create ()
@@ -117,8 +149,7 @@ let run_baseline ?engine build =
   in
   let key = (build.bench.Workloads.Suite.bname, build.scale, engine) in
   Sync.Memo.get baseline_cache key (fun () ->
-      let collector = Profiles.Collector.create () in
-      execute ~engine build build.base_funcs Vm.Interp.null_hooks collector)
+      execute ~engine build build.base_funcs no_recording)
 
 let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
     ~transform build =
@@ -127,10 +158,25 @@ let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
       (fun f -> (transform f).Core.Transform.func)
       build.base_funcs
   in
-  let collector = Profiles.Collector.create () in
-  let sampler = Core.Sampler.create trigger in
-  let hooks = Profiles.Collector.hooks collector sampler in
-  execute ?engine ?timer_period build funcs hooks collector
+  let mk prog =
+    let sampler = Core.Sampler.create trigger in
+    match Atomic.get recording with
+    | `Legacy ->
+        let collector = Profiles.Collector.create () in
+        {
+          r_hooks = Profiles.Collector.hooks collector sampler;
+          r_recorder = None;
+          r_decode = (fun () -> collector);
+        }
+    | `Slots ->
+        let slots = Profiles.Slots.create prog in
+        {
+          r_hooks = Profiles.Slots.hooks slots sampler;
+          r_recorder = Some (Profiles.Slots.recorder slots);
+          r_decode = (fun () -> Profiles.Slots.decode slots);
+        }
+  in
+  execute ?engine ?timer_period build funcs mk
 
 let overhead_pct ~base m =
   100.0 *. float_of_int (m.cycles - base.cycles) /. float_of_int base.cycles

@@ -25,6 +25,16 @@ val set_engine : [ `Ref | `Fast ] -> unit
 
 val current_engine : unit -> [ `Ref | `Fast ]
 
+val set_recording : [ `Slots | `Legacy ] -> unit
+(** Select the profile recording path (default [`Slots]): flat-slot
+    recording ({!Profiles.Slots} — compile-time event resolution,
+    preallocated buffers, end-of-run decode) or the legacy
+    event-by-event hook dispatch kept as the differential oracle.  The
+    paths are bit-identical — cycles, counters and every decoded profile
+    table — so every published number is recording-invariant. *)
+
+val current_recording : unit -> [ `Slots | `Legacy ]
+
 val set_chaos : int option -> unit
 (** Arm ([Some seed]) or disarm ([None], the default) chaos mode: every
     subsequent measurement runs under a deterministic {!Fault.plan}

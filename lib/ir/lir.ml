@@ -53,7 +53,16 @@ type payload =
   | P_value of operand * int (* observed operand + profiling site id *)
   | P_site of int
 
-type instrument_op = { hook : string; payload : payload }
+type instrument_op = {
+  hook : string;
+  payload : payload;
+  mutable slot : int;
+      (* dense event id assigned by the slot-resolution pre-pass
+         (Profiles.Slots) on the linked program; -1 = unresolved, in which
+         case the VM falls back to the event-by-event hook dispatch *)
+}
+
+let mk_op hook payload = { hook; payload; slot = -1 }
 
 type instr =
   | Move of reg * operand
@@ -148,10 +157,10 @@ let map_term_labels g = function
 
 (* Rewrite label payloads inside instrumentation ops (used when cloning). *)
 let map_instr_labels g = function
-  | Instrument { hook; payload = P_edge (a, b) } ->
-      Instrument { hook; payload = P_edge (g a, g b) }
-  | Guarded_instrument { hook; payload = P_edge (a, b) } ->
-      Guarded_instrument { hook; payload = P_edge (g a, g b) }
+  | Instrument ({ payload = P_edge (a, b); _ } as op) ->
+      Instrument { op with payload = P_edge (g a, g b); slot = -1 }
+  | Guarded_instrument ({ payload = P_edge (a, b); _ } as op) ->
+      Guarded_instrument { op with payload = P_edge (g a, g b); slot = -1 }
   | i -> i
 
 let is_instrumented_block b =

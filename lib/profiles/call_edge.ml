@@ -16,6 +16,17 @@ let record t ~caller ~site ~callee =
   | Some c -> incr c
   | None -> Hashtbl.add t.table e (ref 1)
 
+(* Decode path (Profiles.Slots): add [n] at once, inserting if absent.
+   Called once per distinct edge in first-event order, which reproduces
+   the exact hashtable layout the event-by-event [record] sequence would
+   have built (insertion order is observable through fold order and the
+   stable sort's tie-breaking in [to_alist]). *)
+let bump t ~caller ~site ~callee ~n =
+  let e = { caller; site; callee } in
+  match Hashtbl.find_opt t.table e with
+  | Some c -> c := !c + n
+  | None -> Hashtbl.add t.table e (ref n)
+
 let count t e = match Hashtbl.find_opt t.table e with Some c -> !c | None -> 0
 
 let total t = Hashtbl.fold (fun _ c acc -> acc + !c) t.table 0

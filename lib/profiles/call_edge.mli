@@ -10,6 +10,12 @@ type t
 
 val create : unit -> t
 val record : t -> caller:string -> site:int -> callee:string -> unit
+
+val bump : t -> caller:string -> site:int -> callee:string -> n:int -> unit
+(** Decode path: add [n] at once, inserting the edge if absent.  Must be
+    called in first-event order per distinct edge so the table layout
+    matches what [record] would have built. *)
+
 val count : t -> edge -> int
 val total : t -> int
 

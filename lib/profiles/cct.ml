@@ -24,6 +24,23 @@ let record t stack =
   in
   node.count <- node.count + 1
 
+(* Decode path (Profiles.Slots): rebuild the tree from an abstract node
+   representation.  Children are added in list order, which must be the
+   first-walk order so the per-node hashtables end up with the same
+   layout the event-by-event [record] sequence would have produced. *)
+let import t ~walks ~root ~children ~count =
+  t.walks <- walks;
+  let rec graft node n =
+    node.count <- count n;
+    List.iter
+      (fun (key, cn) ->
+        let child = mk_node () in
+        Hashtbl.add node.children key child;
+        graft child cn)
+      (children n)
+  in
+  graft t.root root
+
 let total_walks t = t.walks
 
 let rec fold_nodes f acc path node =
@@ -35,9 +52,16 @@ let rec fold_nodes f acc path node =
 let n_nodes t =
   fold_nodes (fun acc _ _ -> acc + 1) (-1) [] t.root (* root not counted *)
 
+(* Depth of the deepest node that is either counted (some walk ended
+   there) or a leaf.  Interior nodes exist only as prefixes of such nodes,
+   so they never determine the depth; skipping them keeps the metric
+   "deepest sampled context" rather than "deepest tree spine". *)
 let max_depth t =
   fold_nodes
-    (fun acc path node -> if node.count > 0 || Hashtbl.length node.children = 0 then max acc (List.length path) else max acc (List.length path))
+    (fun acc path node ->
+      if node.count > 0 || Hashtbl.length node.children = 0 then
+        max acc (List.length path)
+      else acc)
     0 [] t.root
 
 let hot_contexts ?(n = 10) t =

@@ -12,9 +12,23 @@ val create : unit -> t
 val record : t -> (string * int) list -> unit
 (** One stack walk, outermost first: (method, call site in its caller). *)
 
+val import :
+  t ->
+  walks:int ->
+  root:'n ->
+  children:('n -> ((string * int) * 'n) list) ->
+  count:('n -> int) ->
+  unit
+(** Decode path: rebuild the tree from an abstract node representation
+    (children in first-walk order, so the layout matches what [record]
+    would have built). *)
+
 val total_walks : t -> int
 val n_nodes : t -> int
+
 val max_depth : t -> int
+(** Depth of the deepest counted-or-leaf node (interior nodes are only
+    prefixes of such nodes and never determine the depth). *)
 
 val hot_contexts : ?n:int -> t -> (string list * int) list
 (** The [n] most frequently sampled full contexts (outermost first) with

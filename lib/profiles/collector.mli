@@ -20,6 +20,11 @@ type t = {
 val create : unit -> t
 
 val op_cost : Ir.Lir.instrument_op -> int
+(** Cycle charge for one op, a string match on the hook name.  Only the
+    legacy event-by-event path pays this per event: flat-slot recording
+    ({!Slots}) resolves it once per op at slot-resolution time and
+    charges the preresolved value, which must match this function
+    exactly (asserted differentially in test/test_slots.ml). *)
 
 val hooks : t -> Core.Sampler.t -> Vm.Interp.hooks
 (** Checks fire through the sampler; ops dispatch on their hook name. *)

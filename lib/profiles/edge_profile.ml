@@ -12,6 +12,13 @@ let record t ~meth ~src ~dst =
   | Some c -> incr c
   | None -> Hashtbl.add t.table key (ref 1)
 
+(* Decode path: see Call_edge.bump. *)
+let bump t ~meth ~src ~dst ~n =
+  let key = (meth, src, dst) in
+  match Hashtbl.find_opt t.table key with
+  | Some c -> c := !c + n
+  | None -> Hashtbl.add t.table key (ref n)
+
 let count t ~meth ~src ~dst =
   match Hashtbl.find_opt t.table (meth, src, dst) with
   | Some c -> !c

@@ -6,6 +6,11 @@ type t
 
 val create : unit -> t
 val record : t -> meth:string -> src:int -> dst:int -> unit
+
+val bump : t -> meth:string -> src:int -> dst:int -> n:int -> unit
+(** Decode path: add [n] at once, inserting if absent (first-event
+    order). *)
+
 val count : t -> meth:string -> src:int -> dst:int -> int
 val total : t -> int
 val to_alist : t -> ((string * int * int) * int) list

@@ -16,6 +16,13 @@ let record t ~field ~is_write =
   | Some c -> incr c
   | None -> Hashtbl.add t.table field (ref 1)
 
+(* Decode path: [n] same-direction accesses at once. *)
+let bump t ~field ~is_write ~n =
+  if is_write then t.writes <- t.writes + n else t.reads <- t.reads + n;
+  match Hashtbl.find_opt t.table field with
+  | Some c -> c := !c + n
+  | None -> Hashtbl.add t.table field (ref n)
+
 let count t field =
   match Hashtbl.find_opt t.table field with Some c -> !c | None -> 0
 

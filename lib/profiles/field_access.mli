@@ -6,6 +6,11 @@ type t
 
 val create : unit -> t
 val record : t -> field:string -> is_write:bool -> unit
+
+val bump : t -> field:string -> is_write:bool -> n:int -> unit
+(** Decode path: [n] same-direction accesses at once, inserting if
+    absent (first-event order). *)
+
 val count : t -> string -> int
 val total : t -> int
 val reads : t -> int

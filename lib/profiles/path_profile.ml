@@ -43,6 +43,18 @@ let flush t ~frame =
       Hashtbl.remove t.active frame
   | None -> ()
 
+(* Decode path: add [n] completions of one path at once. *)
+let bump t ~meth ~start ~path ~n =
+  let key = (meth, start, path) in
+  match Hashtbl.find_opt t.table key with
+  | Some c -> c := !c + n
+  | None -> Hashtbl.add t.table key (ref n)
+
+(* Decode path: re-open a region left active at end of run (its frame
+   never flushed), so post-decode state matches the legacy collector. *)
+let restore_active t ~frame ~meth ~start ~sum =
+  Hashtbl.replace t.active frame { meth; start; sum }
+
 let count t ~meth ~start ~path =
   match Hashtbl.find_opt t.table (meth, start, path) with
   | Some c -> !c

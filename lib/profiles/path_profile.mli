@@ -12,6 +12,13 @@ val reset : t -> frame:int -> meth:string -> start:int -> unit
 val add : t -> frame:int -> inc:int -> unit
 val flush : t -> frame:int -> unit
 
+val bump : t -> meth:string -> start:int -> path:int -> n:int -> unit
+(** Decode path: add [n] completions at once, inserting if absent
+    (first-event order). *)
+
+val restore_active : t -> frame:int -> meth:string -> start:int -> sum:int -> unit
+(** Decode path: re-open a region that was still active at end of run. *)
+
 val count : t -> meth:string -> start:int -> path:int -> int
 val total : t -> int
 

@@ -27,6 +27,11 @@ let record t ~meth ~site ~cls =
     | Some c -> (cls, c + 1) :: List.remove_assoc cls st.classes
     | None -> (cls, 1) :: st.classes)
 
+(* Decode path: install a site's final class histogram wholesale, in the
+   order [record] would have left it (most recently bumped first). *)
+let set_site t ~meth ~site ~classes ~total =
+  Hashtbl.add t.sites (meth, site) { classes; site_total = total }
+
 let dominant t ~meth ~site =
   match Hashtbl.find_opt t.sites (meth, site) with
   | None -> None

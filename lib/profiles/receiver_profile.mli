@@ -8,6 +8,17 @@ type t
 val create : unit -> t
 val record : t -> meth:string -> site:int -> cls:string -> unit
 
+val set_site :
+  t ->
+  meth:string ->
+  site:int ->
+  classes:(string * int) list ->
+  total:int ->
+  unit
+(** Decode path: install a site's final class histogram wholesale,
+    [classes] in the order [record] would have left them (most recently
+    bumped first).  Sites must be installed in first-event order. *)
+
 val dominant : t -> meth:string -> site:int -> (string * float) option
 (** Most frequent receiver class and its fraction of the site's calls. *)
 

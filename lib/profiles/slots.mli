@@ -1,0 +1,43 @@
+(** Slot-resolution layer: compile-time event resolution for the
+    instrumentation recording path.
+
+    [create] runs a pre-pass over a linked program that interns method
+    refs, field refs and per-site keys into dense integer ids and
+    assigns every instrument op a slot (written into [op.Lir.slot]):
+    statically-keyed events (edge, field_access) become indices into a
+    preallocated counter array, dynamically-keyed ones (call_edge, value
+    TNV, Ball–Larus path sums, receiver class, CCT) get closures over
+    int-keyed open-addressing tables.  The VM's hot path is then an
+    array increment — no ctx allocation, no hook-name dispatch, no
+    string building — on both engines.
+
+    [decode] rebuilds the exact {!Collector.t} the legacy event-by-event
+    path would have produced, bit-identical including hashtable
+    iteration order (first-touch logs replay the legacy key-insertion
+    order).  Cycle charges are resolved once per op from
+    {!Collector.op_cost}, so cycle counts match the legacy path too. *)
+
+type t
+
+val create : Vm.Program.t -> t
+(** Resolve every instrument op of the linked program.  Deterministic
+    and idempotent: resolving the same program again assigns identical
+    slots. *)
+
+val recorder : t -> Vm.Machine.flat_recorder
+(** Pass to {!Vm.Interp.run}'s [?recorder] to activate flat recording. *)
+
+val n_events : t -> int
+(** Number of instrument ops resolved (one event id each). *)
+
+val decode : t -> Collector.t
+(** Rebuild the legacy collector structures from the flat buffers.
+    Raises [Failure] if method-ref interning failed to preserve the
+    number of distinct call edges. *)
+
+val hooks : t -> Core.Sampler.t -> Vm.Interp.hooks
+(** Checks fire through the sampler; any op that escaped slot
+    resolution raises rather than being silently dropped. *)
+
+val null_sampler_hooks : t -> Vm.Interp.hooks
+(** Exhaustive instrumentation: no sampler involved. *)

@@ -13,7 +13,7 @@ let path_profile =
                 Core.Spec.site =
                   (if start = f.Lir.entry then Core.Spec.At_entry
                    else Core.Spec.Before_instr (start, 0));
-                op = { Lir.hook = "path_reset"; payload = Lir.P_site start };
+                op = Lir.mk_op "path_reset" (Lir.P_site start);
               })
             (Ball_larus.start_points bl)
         in
@@ -22,7 +22,7 @@ let path_profile =
             (fun ((u, v), inc) ->
               {
                 Core.Spec.site = Core.Spec.On_edge (u, v);
-                op = { Lir.hook = "path_add"; payload = Lir.P_site inc };
+                op = Lir.mk_op "path_add" (Lir.P_site inc);
               })
             (Ball_larus.nonzero_increments bl)
         in
@@ -38,7 +38,7 @@ let path_profile =
                     {
                       Core.Spec.site =
                         Core.Spec.Before_instr (l, Array.length b.Lir.instrs);
-                      op = { Lir.hook = "path_flush"; payload = Lir.P_unit };
+                      op = Lir.mk_op "path_flush" Lir.P_unit;
                     }
                     :: !acc
               | _ -> ()
@@ -50,7 +50,7 @@ let path_profile =
               acc :=
                 {
                   Core.Spec.site = Core.Spec.On_edge (u, v);
-                  op = { Lir.hook = "path_flush"; payload = Lir.P_unit };
+                  op = Lir.mk_op "path_flush" Lir.P_unit;
                 }
                 :: !acc)
             (Ir.Loops.retreating_edges f);
@@ -67,7 +67,7 @@ let cct_profile =
         [
           {
             Core.Spec.site = Core.Spec.At_entry;
-            op = { Lir.hook = "cct"; payload = Lir.P_unit };
+            op = Lir.mk_op "cct" Lir.P_unit;
           };
         ]);
   }
@@ -88,11 +88,7 @@ let receiver_profile =
                     acc :=
                       {
                         Core.Spec.site = Core.Spec.Before_instr (l, i);
-                        op =
-                          {
-                            Lir.hook = "receiver";
-                            payload = Lir.P_value (recv, site);
-                          };
+                        op = Lir.mk_op "receiver" (Lir.P_value (recv, site));
                       }
                       :: !acc
                 | _ -> ())

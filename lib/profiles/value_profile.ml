@@ -39,6 +39,12 @@ let record t ~meth ~site ~value =
             (fun (v, c) -> if c > 1 then Some (v, c - 1) else None)
             st.entries
 
+(* Decode path: install a site's final TNV table wholesale.  [entries]
+   must be in the same order [record] would have left them (most recently
+   bumped first); the site must not already exist. *)
+let set_site t ~meth ~site ~entries ~total =
+  Hashtbl.add t.sites (meth, site) { entries; site_total = total }
+
 let top_value t ~meth ~site =
   match Hashtbl.find_opt t.sites (meth, site) with
   | None -> None

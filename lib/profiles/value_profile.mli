@@ -8,6 +8,12 @@ type t
 val create : unit -> t
 val record : t -> meth:string -> site:int -> value:int -> unit
 
+val set_site :
+  t -> meth:string -> site:int -> entries:(int * int) list -> total:int -> unit
+(** Decode path: install a site's final TNV table wholesale, [entries]
+    in the order [record] would have left them (most recently bumped
+    first).  Sites must be installed in first-event order. *)
+
 val top_value : t -> meth:string -> site:int -> (int * int) option
 (** Most frequent value and its (approximate) count. *)
 

@@ -747,8 +747,19 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
             end
             else cont st)
   | Lir.Instrument op ->
+      (* Flat-slot recording compiles to a direct buffer bump (the
+         [record_flat] body): no ctx allocation, no hook-name match, no
+         string building.  [op.slot] is read at run time, not captured,
+         because the compiled method cache can outlive slot assignment;
+         assignment is deterministic per program (Profiles.Slots). *)
       fun st ->
-        run_instrument st st.cur_th st.cur_fr op;
+        st.counters.instrument_ops <- st.counters.instrument_ops + 1;
+        (match st.recorder with
+        | Some r when op.Lir.slot >= 0 ->
+            record_flat st st.cur_th st.cur_fr r op.Lir.slot
+        | _ ->
+            charge st (st.hooks.instr_cost op);
+            st.hooks.on_instrument (make_ctx st st.cur_th st.cur_fr) op);
         cont st
   | Lir.Guarded_instrument op ->
       let cc_check = costs.Costs.check in

@@ -53,10 +53,11 @@ type result = Machine.result = {
 let step = Machine.step
 
 let run ?(engine = `Fast) ?fuel ?use_icache ?use_dcache ?costs ?timer_period
-    ?seed ?faults ?label ?deadline ?deadline_poll prog ~entry ~args hooks =
+    ?seed ?faults ?label ?deadline ?deadline_poll ?recorder prog ~entry ~args
+    hooks =
   let st =
     Machine.init_state ?fuel ?use_icache ?use_dcache ?costs ?timer_period ?seed
-      ?faults ?label ?deadline ?deadline_poll prog hooks
+      ?faults ?label ?deadline ?deadline_poll ?recorder prog hooks
   in
   let m = Program.method_by_ref prog entry in
   ignore (spawn_thread st m args);

@@ -81,6 +81,7 @@ val run :
   ?label:string ->
   ?deadline:float ->
   ?deadline_poll:int ->
+  ?recorder:Machine.flat_recorder ->
   Program.t ->
   entry:Ir.Lir.method_ref ->
   args:int list ->
@@ -102,4 +103,11 @@ val run :
     messages.  [deadline] is an absolute [Unix.gettimeofday] time after
     which the run aborts with a watchdog {!Runtime_error}, polled every
     [deadline_poll] cycles (default 5e7); without [deadline] the clock
-    is never read and runs stay deterministic. *)
+    is never read and runs stay deterministic.
+
+    [recorder] enables flat-slot recording ({!Machine.flat_recorder},
+    built by [Profiles.Slots]): instrument ops whose [slot] is resolved
+    record through preallocated buffers instead of [hooks.on_instrument];
+    unresolved ops still use the hooks.  Both engines share the recording
+    path, and the decoded profiles are bit-identical to the legacy
+    event-by-event collector. *)

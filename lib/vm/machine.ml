@@ -84,7 +84,27 @@ type thread = {
   mutable top : frame option; (* running frame; None = dead *)
 }
 
-type state = {
+(* Flat-slot recording (Profiles.Slots).  A pre-pass resolves every
+   instrument op of the linked program to a dense event id (stored in
+   [op.Lir.slot]) and builds this recorder: per-event cycle charge and
+   either a counter index into [counts] (statically-keyed events) or a
+   closure over preallocated int-keyed structures (dynamically-keyed
+   events).  The hot path is then an array increment — no [ctx]
+   allocation, no hook-name dispatch, no string building.  [touch] logs
+   counter slots in first-increment order so the end-of-run decoder can
+   rebuild the legacy hashtables with the exact insertion order the
+   event-by-event collector would have produced (hashtable iteration
+   order is observable through report tie-breaking). *)
+type flat_recorder = {
+  ev_cost : int array; (* per event id: resolved cycle charge *)
+  ev_counter : int array; (* per event id: counter index, -1 = dynamic *)
+  counts : int array; (* statically-keyed counters *)
+  touch : int array; (* counter indices in first-touch order *)
+  mutable n_touch : int;
+  dyn : (state -> thread -> frame -> unit) array; (* dynamic events *)
+}
+
+and state = {
   prog : Program.t;
   costs : Costs.t;
   hooks : hooks;
@@ -130,6 +150,8 @@ type state = {
      by its dispatcher.  The reference interpreter never reads them. *)
   mutable cur_th : thread;
   mutable cur_fr : frame;
+  recorder : flat_recorder option;
+      (* flat-slot recording; [None] = legacy event-by-event hooks *)
 }
 
 let charge st c = st.cycles <- st.cycles + c
@@ -384,10 +406,29 @@ let make_ctx st th (fr : frame) =
     stack;
   }
 
+(* Flat-path event: charge the pre-resolved cost, then either bump the
+   event's counter (logging its first touch) or run its dynamic-key
+   closure.  Shared verbatim by both engines. *)
+let[@inline] record_flat st th fr (r : flat_recorder) ev =
+  charge st (Array.unsafe_get r.ev_cost ev);
+  let c = Array.unsafe_get r.ev_counter ev in
+  if c >= 0 then begin
+    let v = Array.unsafe_get r.counts c in
+    Array.unsafe_set r.counts c (v + 1);
+    if v = 0 then begin
+      r.touch.(r.n_touch) <- c;
+      r.n_touch <- r.n_touch + 1
+    end
+  end
+  else (Array.unsafe_get r.dyn ev) st th fr
+
 let run_instrument st th fr op =
   st.counters.instrument_ops <- st.counters.instrument_ops + 1;
-  charge st (st.hooks.instr_cost op);
-  st.hooks.on_instrument (make_ctx st th fr) op
+  match st.recorder with
+  | Some r when op.Lir.slot >= 0 -> record_flat st th fr r op.Lir.slot
+  | _ ->
+      charge st (st.hooks.instr_cost op);
+      st.hooks.on_instrument (make_ctx st th fr) op
 
 let do_return st th v =
   (match th.top with
@@ -505,7 +546,7 @@ let dummy_thread = { tid = -1; parents = []; top = None }
 let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
     ?(use_dcache = false) ?(costs = Costs.default) ?(timer_period = 100_000)
     ?(seed = 0x5EED) ?(faults = Fault.none) ?(label = "") ?deadline
-    ?(deadline_poll = 50_000_000) prog hooks =
+    ?(deadline_poll = 50_000_000) ?recorder prog hooks =
   let counters =
     {
       entries = 0;
@@ -569,6 +610,7 @@ let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
     fallbacks = [];
     cur_th = dummy_thread;
     cur_fr = dummy_frame;
+    recorder;
   }
   in
   recompute_guard st;

@@ -5,5 +5,5 @@ let () =
    @ Test_sampler.suite @ Test_profiles.suite @ Test_props.suite
    @ Test_workloads.suite @ Test_paths.suite @ Test_validate.suite
    @ Test_harness.suite @ Test_differential.suite @ Test_engine.suite
-   @ Test_shrink.suite @ Test_cache_model.suite @ Test_pool.suite
-   @ Test_fault.suite @ Test_robust.suite)
+   @ Test_slots.suite @ Test_shrink.suite @ Test_cache_model.suite
+   @ Test_pool.suite @ Test_fault.suite @ Test_robust.suite)

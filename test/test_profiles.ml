@@ -141,12 +141,12 @@ let collector_unknown_hook () =
   check_bool "unknown hook raises" true
     (try
        hooks.Vm.Interp.on_instrument ctx
-         { Ir.Lir.hook = "bogus"; payload = Ir.Lir.P_unit };
+         (Ir.Lir.mk_op "bogus" Ir.Lir.P_unit);
        false
      with Vm.Interp.Runtime_error _ -> true)
 
 let op_costs_sane () =
-  let cost h = Profiles.Collector.op_cost { Ir.Lir.hook = h; payload = Ir.Lir.P_unit } in
+  let cost h = Profiles.Collector.op_cost (Ir.Lir.mk_op h Ir.Lir.P_unit) in
   check_bool "call edge is the expensive one" true
     (cost "call_edge" > cost "field_access");
   check_bool "field op costs about a check" true

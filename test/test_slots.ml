@@ -1,0 +1,228 @@
+(* Differential testing of the flat-slot recording path (Profiles.Slots)
+   against the legacy event-by-event collector.
+
+   The two recording paths must be BIT-IDENTICAL, not merely
+   semantically equivalent: same return value and printed output, same
+   cycle and instruction counts (the per-op charge is resolved once at
+   slot-resolution time and must equal Collector.op_cost), same event
+   counters, and — the strong claim — the same decoded profiles
+   including hashtable iteration order: every comparison below uses the
+   UNSORTED to_alist / to_keyed / hot_contexts outputs, so a decode
+   that inserted keys in any order other than the legacy first-event
+   order fails the test even when the multiset of counts matches.
+
+   Every random program is run under all seven instrumentations
+   combined (call edges, field accesses, basic-block edges, value TNV,
+   Ball–Larus paths, receiver classes, CCT) crossed with exhaustive and
+   sampled configurations, on both engines, and the full observation
+   tuples are compared with structural equality against the legacy/Ref
+   oracle.
+
+   Quick/Slow split (PR 1 convention): the quick pass replays a few
+   seeded programs; the QCheck property (100 random programs) registers
+   as `Slow and runs under `make ci`. *)
+
+module Lir = Ir.Lir
+
+(* All seven profile kinds, split into two combos because the
+   transforms support at most one edge-site spec at a time (multiple
+   ops on one CFG edge are not grouped): edge_profile and path_profile
+   each get a run, every non-edge spec rides along in both. *)
+let non_edge_specs =
+  [
+    Core.Spec.call_edge;
+    Core.Spec.field_access;
+    Core.Spec.value_profile;
+    Profiles.Specs.cct_profile;
+    Profiles.Specs.receiver_profile;
+  ]
+
+let spec_edges = Core.Spec.combine (Core.Spec.edge_profile :: non_edge_specs)
+let spec_paths = Core.Spec.combine (Profiles.Specs.path_profile :: non_edge_specs)
+
+(* exhaustive = unguarded ops (the bench configuration); full-dup and
+   no-dup cover guarded ops on the duplicated and inline paths *)
+let transforms =
+  List.concat_map
+    (fun (pname, spec) ->
+      [
+        ("exhaustive/" ^ pname, Core.Transform.exhaustive spec);
+        ("full-dup/" ^ pname, Core.Transform.full_dup spec);
+        ("no-dup/" ^ pname, Core.Transform.no_dup spec);
+      ])
+    [ ("edges", spec_edges); ("paths", spec_paths) ]
+
+let triggers =
+  [
+    ("never", Core.Sampler.Never);
+    ("counter-3", Core.Sampler.Counter { interval = 3; jitter = 0 });
+    ("counter-7j2", Core.Sampler.Counter { interval = 7; jitter = 2 });
+  ]
+
+let compile src =
+  let classes = Jasm.Compile.compile_string src in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  (classes, funcs)
+
+let instrument transform funcs =
+  List.map (fun f -> (transform f).Core.Transform.func) funcs
+
+(* Everything observable from one run through one recording path, as
+   one structurally comparable value.  Profile lists are deliberately
+   NOT sorted: iteration order is part of the contract. *)
+let observe ~engine ~recording classes funcs trigger =
+  let prog = Vm.Program.link classes ~funcs in
+  let sampler = Core.Sampler.create trigger in
+  let hooks, recorder, decode =
+    match recording with
+    | `Legacy ->
+        let c = Profiles.Collector.create () in
+        (Profiles.Collector.hooks c sampler, None, fun () -> c)
+    | `Slots ->
+        let s = Profiles.Slots.create prog in
+        ( Profiles.Slots.hooks s sampler,
+          Some (Profiles.Slots.recorder s),
+          fun () -> Profiles.Slots.decode s )
+  in
+  let res =
+    Vm.Interp.run ~engine ~fuel:200_000_000 ~use_icache:true ~use_dcache:true
+      ?recorder prog
+      ~entry:{ Lir.mclass = "Main"; mname = "main" }
+      ~args:[ 5 ] hooks
+  in
+  let col = decode () in
+  let c = res.Vm.Interp.counters in
+  ( ( res.Vm.Interp.return_value,
+      res.Vm.Interp.output,
+      res.Vm.Interp.cycles,
+      res.Vm.Interp.instructions ),
+    ( c.Vm.Interp.entries,
+      c.Vm.Interp.backedge_yps,
+      c.Vm.Interp.entry_yps,
+      c.Vm.Interp.checks,
+      c.Vm.Interp.samples,
+      c.Vm.Interp.thread_switches,
+      c.Vm.Interp.instrument_ops ),
+    ( Profiles.Call_edge.to_alist col.Profiles.Collector.call_edges,
+      Profiles.Field_access.to_alist col.Profiles.Collector.fields,
+      ( Profiles.Field_access.reads col.Profiles.Collector.fields,
+        Profiles.Field_access.writes col.Profiles.Collector.fields ),
+      Profiles.Edge_profile.to_alist col.Profiles.Collector.edges,
+      Profiles.Value_profile.to_keyed col.Profiles.Collector.values,
+      Profiles.Path_profile.to_alist col.Profiles.Collector.paths,
+      Profiles.Receiver_profile.to_keyed col.Profiles.Collector.receivers ),
+    ( Profiles.Cct.to_keyed col.Profiles.Collector.cct,
+      Profiles.Cct.hot_contexts col.Profiles.Collector.cct,
+      Profiles.Cct.n_nodes col.Profiles.Collector.cct,
+      Profiles.Cct.max_depth col.Profiles.Collector.cct,
+      Profiles.Cct.total_walks col.Profiles.Collector.cct ) )
+
+(* Satellite invariant: the per-event charge resolved at
+   slot-resolution time must equal the legacy dispatcher's
+   Collector.op_cost for every op of the program — cycle equality then
+   follows structurally rather than coincidentally. *)
+let check_resolved_charges prog =
+  let s = Profiles.Slots.create prog in
+  let rc = Profiles.Slots.recorder s in
+  Array.iter
+    (fun (m : Vm.Program.meth) ->
+      for l = 0 to Lir.num_blocks m.Vm.Program.func - 1 do
+        let b = Lir.block m.Vm.Program.func l in
+        Array.iter
+          (fun instr ->
+            match instr with
+            | Lir.Instrument op | Lir.Guarded_instrument op ->
+                if op.Lir.slot < 0 then
+                  Alcotest.failf "op %s escaped slot resolution" op.Lir.hook;
+                let resolved = rc.Vm.Machine.ev_cost.(op.Lir.slot) in
+                let legacy = Profiles.Collector.op_cost op in
+                if resolved <> legacy then
+                  Alcotest.failf "hook %s: resolved charge %d <> op_cost %d"
+                    op.Lir.hook resolved legacy
+            | _ -> ())
+          b.Lir.instrs
+      done)
+    prog.Vm.Program.methods
+
+(* [fail]: QCheck's fail_reportf for the property, Alcotest.fail for
+   the quick seeded pass *)
+let check_program ~fail src =
+  let classes, funcs = compile src in
+  List.for_all
+    (fun (tname, transform) ->
+      let funcs' = instrument transform funcs in
+      check_resolved_charges (Vm.Program.link classes ~funcs:funcs');
+      List.for_all
+        (fun (sname, trigger) ->
+          let oracle = observe ~engine:`Ref ~recording:`Legacy classes funcs' trigger in
+          List.for_all
+            (fun (ename, engine, recording, rname) ->
+              let o = observe ~engine ~recording classes funcs' trigger in
+              if o <> oracle then
+                fail
+                  (Printf.sprintf
+                     "recording paths diverge from legacy/Ref: transform %s, \
+                      trigger %s, engine %s, recording %s"
+                     tname sname ename rname)
+              else true)
+            [
+              ("Ref", `Ref, `Slots, "slots");
+              ("Fast", `Fast, `Legacy, "legacy");
+              ("Fast", `Fast, `Slots, "slots");
+            ])
+        triggers)
+    transforms
+
+let recordings_agree =
+  QCheck.Test.make ~count:100
+    ~name:"slots: flat decode == legacy collector (all profiles x both engines)"
+    Gen_jasm.arbitrary_program
+    (fun p ->
+      check_program
+        ~fail:(fun msg -> QCheck.Test.fail_reportf "%s" msg)
+        (Gen_jasm.render p))
+
+(* quick pass: same check on a handful of programs from a pinned seed *)
+let seeded_agree () =
+  let rand = Random.State.make [| 0x510F5 |] in
+  let progs = QCheck.Gen.generate ~n:5 ~rand Gen_jasm.program in
+  List.iter
+    (fun p ->
+      ignore (check_program ~fail:Alcotest.fail (Gen_jasm.render p)))
+    progs
+
+(* Satellite: cct max_depth counts only nodes where a walk ended or
+   leaves — interior uncounted prefixes never determine the depth. *)
+let cct_max_depth () =
+  let t = Profiles.Cct.create () in
+  Alcotest.(check int) "empty" 0 (Profiles.Cct.max_depth t);
+  Profiles.Cct.record t [ ("a", 1); ("b", 2); ("c", 3) ];
+  Alcotest.(check int) "walk of 3" 3 (Profiles.Cct.max_depth t);
+  Profiles.Cct.record t [ ("a", 1) ];
+  Alcotest.(check int) "shorter walk keeps depth" 3 (Profiles.Cct.max_depth t);
+  (* an imported tree can hold an uncounted leaf (no walk ended there):
+     it still counts toward depth, while the uncounted interior node
+     above it does not determine it *)
+  let t2 = Profiles.Cct.create () in
+  Profiles.Cct.import t2 ~walks:1 ~root:0
+    ~children:(fun n ->
+      match n with
+      | 0 -> [ (("a", 1), 1) ]
+      | 1 -> [ (("b", 2), 2) ]
+      | _ -> [])
+    ~count:(fun n -> if n = 0 then 1 else 0);
+  Alcotest.(check int) "uncounted leaf depth" 2 (Profiles.Cct.max_depth t2)
+
+let suite =
+  [
+    ( "slots",
+      [
+        Alcotest.test_case "flat == legacy on seeded programs" `Quick
+          seeded_agree;
+        Alcotest.test_case "cct max_depth: counted-or-leaf" `Quick
+          cct_max_depth;
+      ]
+      @ List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ recordings_agree ] );
+  ]

@@ -32,7 +32,7 @@ let rejects_op_in_checking_code () =
   let g = transformed () in
   let l = find_block g (fun _ b -> b.Lir.role = Lir.Orig) in
   Ir.Edit.prepend g l
-    [ Lir.Instrument { Lir.hook = "call_edge"; payload = Lir.P_unit } ];
+    [ Lir.Instrument (Lir.mk_op "call_edge" Lir.P_unit) ];
   check_bool "caught" true (Core.Validate.check g <> [])
 
 let rejects_divergent_copy () =
