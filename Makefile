@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test test-all fmt bench-smoke bench-profiles crash-smoke ci clean
+.PHONY: all build test test-all fmt bench-smoke bench-profiles bench-harness cache-smoke crash-smoke ci clean
 
 all: build
 
@@ -30,6 +30,18 @@ bench-smoke:
 bench-profiles:
 	$(DUNE) exec bench/main.exe -- profiles-smoke
 
+# scheduler/run-cache benchmark at the smallest scale, written to
+# BENCH_harness.smoke.json and validated (dedup ratio > 1, cache output
+# byte-identical cold vs warm); warns (does not fail) on a >10% geomean
+# regression against the committed BENCH_harness.json
+bench-harness:
+	$(DUNE) exec bench/main.exe -- harness-smoke
+
+# run `isf table 1` uncached, cold-cached and warm-cached; diff the
+# outputs and require the warm run to hit the cache for every cell
+cache-smoke: build
+	sh scripts/cache_smoke.sh
+
 # gated: the container does not ship ocamlformat
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -47,8 +59,10 @@ ci: build fmt
 	$(DUNE) exec test/main.exe
 	$(DUNE) exec bin/isf.exe -- table 1 -j 2 > /dev/null
 	$(MAKE) crash-smoke
+	$(MAKE) cache-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-profiles
+	$(MAKE) bench-harness
 	@echo "ci OK"
 
 clean:

@@ -1,0 +1,240 @@
+(* Harness scheduling/caching benchmark: global deduplicating scheduler
+   plus the content-addressed run cache (ISSUE 5).
+
+   Two sections, each a full driver sweep: "experiments" (every table
+   and figure, via Experiments.run_gated, which is byte-deterministic)
+   and "ablation" (Ablation.run_all).  For each section the benchmark
+   reports the scheduler's dedup ratio (cells the drivers request vs.
+   distinct measurements after Schedule.dedupe) and times two runs
+   against a fresh persistent cache directory:
+
+     cold — empty disk cache, every cell computed once;
+     warm — same disk cache, in-memory tiers reset (Runcache.reset_memory,
+            simulating a new process), every cell loaded from disk.
+
+   The two runs' stdout is captured and asserted byte-identical — the
+   cache must never change what an experiment prints — and the warm/cold
+   ratio is the cache's speedup.  Results go to BENCH_harness.json
+   (hand-written JSON, same conventions as BENCH_interp.json).  [smoke]
+   reruns at the smallest scale into BENCH_harness.smoke.json, validates
+   it, and WARNS (not fails) when its geomean speedup is more than 10%
+   below the committed file's. *)
+
+let out_file = "BENCH_harness.json"
+let smoke_file = "BENCH_harness.smoke.json"
+
+type section = {
+  name : string;
+  requested : int; (* cells the drivers will ask Measure for *)
+  unique : int; (* after Schedule.dedupe *)
+  cold_s : float;
+  warm_s : float;
+}
+
+let dedup_ratio s = float_of_int s.requested /. float_of_int (max 1 s.unique)
+let warm_speedup s = s.cold_s /. Float.max 1e-9 s.warm_s
+
+let geomean f rows =
+  exp
+    (List.fold_left (fun a r -> a +. log (f r)) 0.0 rows
+    /. float_of_int (List.length rows))
+
+(* ---- plumbing ---- *)
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let with_stdout_to path f =
+  flush stdout;
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* ---- one section ---- *)
+
+let bench_section ~scale (name, requests, body) =
+  let reqs = requests ?scale:scale () in
+  let unique = List.length (Harness.Schedule.dedupe reqs) in
+  let dir = temp_dir ("isf-bench-" ^ name) in
+  let cold_out = Filename.concat dir "cold.txt"
+  and warm_out = Filename.concat dir "warm.txt" in
+  Harness.Runcache.set_dir (Some dir);
+  Harness.Runcache.reset_memory ();
+  let cold_s = time (fun () -> with_stdout_to cold_out (fun () -> body ?scale:scale ())) in
+  Harness.Runcache.reset_memory ();
+  let warm_s = time (fun () -> with_stdout_to warm_out (fun () -> body ?scale:scale ())) in
+  Harness.Runcache.set_dir None;
+  Harness.Runcache.reset_memory ();
+  if not (String.equal (read_file cold_out) (read_file warm_out)) then
+    failwith
+      (Printf.sprintf
+         "%s: warm-cache output differs from cold-cache output (%s vs %s)"
+         name cold_out warm_out);
+  let row =
+    { name; requested = List.length reqs; unique; cold_s; warm_s }
+  in
+  Printf.printf
+    "  %-12s %3d cells -> %3d unique (%.2fx dedup)   cold %6.2f s   warm \
+     %6.3f s   %5.1fx\n\
+     %!"
+    row.name row.requested row.unique (dedup_ratio row) row.cold_s row.warm_s
+    (warm_speedup row);
+  row
+
+let sections =
+  [
+    ( "experiments",
+      (fun ?scale () -> Harness.Experiments.requests ?scale ()),
+      fun ?scale () -> ignore (Harness.Experiments.run_gated ?scale ()) );
+    ( "ablation",
+      (fun ?scale () -> Harness.Ablation.requests ?scale ()),
+      fun ?scale () -> Harness.Ablation.run_all ?scale () );
+  ]
+
+(* ---- JSON out ---- *)
+
+let json_of_rows rows =
+  let all_requested = List.fold_left (fun a r -> a + r.requested) 0 rows in
+  let all_unique = List.fold_left (fun a r -> a + r.unique) 0 rows in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"sections\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": %S, \"cells_requested\": %d, \"cells_unique\": \
+            %d, \"dedup_ratio\": %.3f, \"cold_s\": %.3f, \"warm_s\": %.3f, \
+            \"warm_speedup\": %.3f }%s\n"
+           r.name r.requested r.unique (dedup_ratio r) r.cold_s r.warm_s
+           (warm_speedup r)
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n\
+       \  \"cells_total\": %d,\n\
+       \  \"cells_unique\": %d,\n\
+       \  \"dedup_ratio\": %.3f,\n\
+       \  \"geomean_speedup\": %.3f\n\
+        }\n"
+       all_requested all_unique
+       (float_of_int all_requested /. float_of_int (max 1 all_unique))
+       (geomean warm_speedup rows));
+  Buffer.contents buf
+
+(* ---- validation (reuses Interp_bench's JSON parser) ---- *)
+
+let validate_json ~file text =
+  let v =
+    try Interp_bench.parse_json text
+    with Interp_bench.Bad m -> failwith (file ^ ": " ^ m)
+  in
+  let rows, gm =
+    match v with
+    | Interp_bench.Obj
+        [
+          ("sections", Interp_bench.Arr rows);
+          ("cells_total", Interp_bench.Num _);
+          ("cells_unique", Interp_bench.Num _);
+          ("dedup_ratio", Interp_bench.Num ratio);
+          ("geomean_speedup", Interp_bench.Num gm);
+        ] ->
+        if ratio <= 1.0 then
+          failwith (file ^ ": dedup ratio is not > 1.0 — scheduler inactive?");
+        (rows, gm)
+    | _ ->
+        failwith
+          (file
+         ^ ": expected { \"sections\": [...], \"cells_total\": n, \
+            \"cells_unique\": n, \"dedup_ratio\": n, \"geomean_speedup\": n }")
+  in
+  let names =
+    List.map
+      (fun r ->
+        match r with
+        | Interp_bench.Obj o ->
+            let num k =
+              match List.assoc_opt k o with
+              | Some (Interp_bench.Num f) -> f
+              | _ -> failwith (Printf.sprintf "%s: missing number %S" file k)
+            in
+            if not (num "cold_s" > 0.0 && num "warm_s" > 0.0) then
+              failwith (file ^ ": non-positive wall-clock");
+            (match List.assoc_opt "name" o with
+            | Some (Interp_bench.Str s) -> s
+            | _ -> failwith (file ^ ": section without a name"))
+        | _ -> failwith (file ^ ": non-object section"))
+      rows
+  in
+  List.iter
+    (fun (sname, _, _) ->
+      if not (List.mem sname names) then
+        failwith (Printf.sprintf "%s: missing section %S" file sname))
+    sections;
+  gm
+
+let committed_geomean () =
+  match
+    try Some (In_channel.with_open_text out_file In_channel.input_all)
+    with Sys_error _ -> None
+  with
+  | None -> None
+  | Some text -> Some (validate_json ~file:out_file text)
+
+(* ---- entry points ---- *)
+
+let run_rows ~file ~scale =
+  Printf.printf
+    "Harness benchmark: deduplicating scheduler + content-addressed run \
+     cache\n";
+  let rows = List.map (bench_section ~scale) sections in
+  let oc = open_out file in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Printf.printf "  geometric-mean warm/cold speedup %.1fx; dedup %.2fx over \
+                 %d requested cells\n"
+    (geomean warm_speedup rows)
+    (geomean dedup_ratio rows)
+    (List.fold_left (fun a r -> a + r.requested) 0 rows);
+  Printf.printf "  wrote %s\n" file;
+  rows
+
+let run () = ignore (run_rows ~file:out_file ~scale:None)
+
+let smoke () =
+  let rows = run_rows ~file:smoke_file ~scale:(Some 1) in
+  let text = In_channel.with_open_text smoke_file In_channel.input_all in
+  let gm = validate_json ~file:smoke_file text in
+  if List.length rows <> List.length sections then
+    failwith (smoke_file ^ ": section count mismatch");
+  (match committed_geomean () with
+  | None -> Printf.printf "  (no committed %s to compare against)\n" out_file
+  | Some committed ->
+      if gm < 0.9 *. committed then
+        Printf.printf
+          "WARNING: smoke geomean %.1fx is >10%% below committed %.1fx (%s)\n"
+          gm committed out_file
+      else
+        Printf.printf "  smoke geomean %.1fx vs committed %.1fx: OK\n" gm
+          committed);
+  Printf.printf
+    "bench-harness OK: %s parses, cache output byte-identical in all %d \
+     sections\n"
+    smoke_file (List.length rows)

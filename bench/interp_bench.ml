@@ -10,12 +10,16 @@
 
    Results go to BENCH_interp.json (hand-written JSON; the repo has no
    JSON dependency).  [smoke] reruns the same thing at scale 1 with a
-   tiny time budget and then validates the JSON: it must parse and must
-   contain both engines' numbers for all ten workloads. *)
+   tiny time budget into BENCH_interp.smoke.json and then validates the
+   JSON: it must parse, must contain both engines' numbers for all ten
+   workloads, and a geomean speedup more than 10% below the committed
+   BENCH_interp.json produces a WARNING (not a failure — scale-1 smoke
+   timings are noisy; the committed full-scale file is the reference). *)
 
 module M = Harness.Measure
 
 let out_file = "BENCH_interp.json"
+let smoke_file = "BENCH_interp.smoke.json"
 
 type row = {
   name : string;
@@ -99,6 +103,11 @@ let bench_workload ~scale ~budget (b : Workloads.Suite.benchmark) =
 
 (* ---- JSON out ---- *)
 
+let geomean f rows =
+  exp
+    (List.fold_left (fun a r -> a +. log (f r)) 0.0 rows
+    /. float_of_int (List.length rows))
+
 let json_of_rows rows =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n  \"benchmarks\": [\n";
@@ -113,7 +122,9 @@ let json_of_rows rows =
            (speedup r)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  ],\n  \"geomean_speedup\": %.3f\n}\n"
+       (geomean speedup rows));
   Buffer.contents buf
 
 (* ---- JSON in (validation only; no JSON library in the repo) ---- *)
@@ -240,17 +251,21 @@ let parse_json s =
   if !pos <> n then raise (Bad (Printf.sprintf "trailing input at %d" !pos));
   v
 
-let validate_json text =
-  let v = try parse_json text with Bad m -> failwith (out_file ^ ": " ^ m) in
-  let rows =
+let validate_json ~file text =
+  let v = try parse_json text with Bad m -> failwith (file ^ ": " ^ m) in
+  let rows, gm =
     match v with
-    | Obj [ ("benchmarks", Arr rows) ] -> rows
-    | _ -> failwith (out_file ^ ": expected { \"benchmarks\": [...] }")
+    | Obj [ ("benchmarks", Arr rows); ("geomean_speedup", Num gm) ] ->
+        (rows, gm)
+    | _ ->
+        failwith
+          (file
+         ^ ": expected { \"benchmarks\": [...], \"geomean_speedup\": n }")
   in
   let num obj k =
     match List.assoc_opt k obj with
     | Some (Num f) -> f
-    | _ -> failwith (Printf.sprintf "%s: missing number %S" out_file k)
+    | _ -> failwith (Printf.sprintf "%s: missing number %S" file k)
   in
   let names =
     List.map
@@ -259,50 +274,64 @@ let validate_json text =
         | Obj o ->
             let rn = num o "ref_ns_per_instr" and fn = num o "fast_ns_per_instr" in
             if not (rn > 0.0 && fn > 0.0) then
-              failwith (out_file ^ ": non-positive ns/instr");
+              failwith (file ^ ": non-positive ns/instr");
             (match List.assoc_opt "name" o with
             | Some (Str s) -> s
-            | _ -> failwith (out_file ^ ": row without a name"))
-        | _ -> failwith (out_file ^ ": non-object row"))
+            | _ -> failwith (file ^ ": row without a name"))
+        | _ -> failwith (file ^ ": non-object row"))
       rows
   in
   List.iter
     (fun (b : Workloads.Suite.benchmark) ->
       if not (List.mem b.Workloads.Suite.bname names) then
         failwith
-          (Printf.sprintf "%s: missing workload %S" out_file
+          (Printf.sprintf "%s: missing workload %S" file
              b.Workloads.Suite.bname))
     Workloads.Suite.all;
-  List.length names
+  (List.length names, gm)
+
+let committed_geomean () =
+  match
+    try Some (In_channel.with_open_text out_file In_channel.input_all)
+    with Sys_error _ -> None
+  with
+  | None -> None
+  | Some text -> Some (snd (validate_json ~file:out_file text))
 
 (* ---- entry points ---- *)
 
-let run_rows ~scale ~budget =
+let run_rows ~file ~scale ~budget =
   Printf.printf
     "Engine benchmark: reference interpreter vs closure-compiled engine\n";
   let rows = List.map (bench_workload ~scale ~budget) Workloads.Suite.all in
-  let oc = open_out out_file in
+  let oc = open_out file in
   output_string oc (json_of_rows rows);
   close_out oc;
   let n = List.length rows in
   let twice = List.length (List.filter (fun r -> speedup r >= 2.0) rows) in
-  let gmean =
-    exp
-      (List.fold_left (fun a r -> a +. log (speedup r)) 0.0 rows
-      /. float_of_int n)
-  in
   Printf.printf "  geometric-mean speedup %.2fx; >= 2x on %d/%d workloads\n"
-    gmean twice n;
-  Printf.printf "  wrote %s\n" out_file;
+    (geomean speedup rows) twice n;
+  Printf.printf "  wrote %s\n" file;
   rows
 
-let run () = ignore (run_rows ~scale:None ~budget:0.3)
+let run () = ignore (run_rows ~file:out_file ~scale:None ~budget:0.3)
 
 let smoke () =
-  let rows = run_rows ~scale:(Some 1) ~budget:0.02 in
-  let text = In_channel.with_open_text out_file In_channel.input_all in
-  let n = validate_json text in
+  let rows = run_rows ~file:smoke_file ~scale:(Some 1) ~budget:0.02 in
+  let text = In_channel.with_open_text smoke_file In_channel.input_all in
+  let n, gm = validate_json ~file:smoke_file text in
   if n <> List.length rows then
-    failwith (out_file ^ ": row count does not match the suite");
-  Printf.printf "bench-smoke OK: %s parses, both engines present for all %d workloads\n"
-    out_file n
+    failwith (smoke_file ^ ": row count does not match the suite");
+  (match committed_geomean () with
+  | None -> Printf.printf "  (no committed %s to compare against)\n" out_file
+  | Some committed ->
+      if gm < 0.9 *. committed then
+        Printf.printf
+          "WARNING: smoke geomean %.2fx is >10%% below committed %.2fx (%s)\n"
+          gm committed out_file
+      else
+        Printf.printf "  smoke geomean %.2fx vs committed %.2fx: OK\n" gm
+          committed);
+  Printf.printf
+    "bench-smoke OK: %s parses, both engines present for all %d workloads\n"
+    smoke_file n

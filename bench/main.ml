@@ -24,7 +24,15 @@
    profiles-smoke — the profiles benchmark at the smallest scale into
    BENCH_profiles.smoke.json plus validation, warning (not failing) on a
    >10% geomean regression against the committed BENCH_profiles.json;
-   the `make bench-profiles` CI target. *)
+   the `make bench-profiles` CI target.
+
+   harness — scheduler/run-cache benchmark: dedup ratio of the global
+   cell scheduler plus cold-vs-warm persistent-cache wall-clock over the
+   full experiment sweep; writes BENCH_harness.json.
+
+   harness-smoke — the harness benchmark at the smallest scale into
+   BENCH_harness.smoke.json plus validation; the `make bench-harness`
+   CI target. *)
 
 open Bechamel
 open Toolkit
@@ -137,9 +145,12 @@ let () =
   | "smoke" -> Interp_bench.smoke ()
   | "profiles" -> Profile_bench.run ()
   | "profiles-smoke" -> Profile_bench.smoke ()
+  | "harness" -> Harness_bench.run ()
+  | "harness-smoke" -> Harness_bench.smoke ()
   | m ->
       Printf.eprintf
-        "usage: %s [full|interp|smoke|profiles|profiles-smoke] (unknown mode \
-         %S)\n"
+        "usage: %s \
+         [full|interp|smoke|profiles|profiles-smoke|harness|harness-smoke] \
+         (unknown mode %S)\n"
         Sys.argv.(0) m;
       exit 2

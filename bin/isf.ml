@@ -165,6 +165,25 @@ let checkpoint_arg =
   Arg.(
     value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
 
+let cache_arg =
+  let doc =
+    "Persist every measurement to $(docv), content-addressed by its full \
+     run configuration (code digest, engine, recording, trigger, scale, \
+     fault plan), and reuse matching entries across runs and processes.  \
+     Results are byte-identical with and without the cache.  Corrupt or \
+     truncated entries are recomputed; a directory written by an \
+     incompatible version is refused."
+  in
+  let env = Cmd.Env.info "ISF_CACHE" in
+  Arg.(
+    value & opt (some string) None & info [ "cache" ] ~env ~docv:"DIR" ~doc)
+
+let set_cache cache =
+  try Harness.Runcache.set_dir cache
+  with Failure m ->
+    prerr_endline ("isf: " ^ m);
+    exit 2
+
 let set_trace t = if t then Harness.Pool.trace := true
 let set_engine e = Measure.set_engine e
 let set_recording r = Measure.set_recording r
@@ -349,7 +368,8 @@ let exec_cmd =
       $ jitter_arg $ top_arg $ engine_arg)
 
 let table_cmd =
-  let run which scale jobs trace engine recording chaos watchdog checkpoint =
+  let run which scale jobs trace engine recording chaos watchdog checkpoint
+      cache =
     set_trace trace;
     set_engine engine;
     set_recording recording;
@@ -358,6 +378,7 @@ let table_cmd =
       match which with `All -> "all" | `One w -> Harness.Experiments.name w
     in
     set_checkpoint ~which:name ~scale ~engine ~chaos checkpoint;
+    set_cache cache;
     match which with
     | `All ->
         (* Deterministic run-everything mode: skips the one wall-clock
@@ -399,28 +420,32 @@ let table_cmd =
     (Cmd.info "table" ~doc:"Reproduce one of the paper's tables/figures")
     Term.(
       const run $ which_arg $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
-      $ recording_arg $ chaos_arg $ watchdog_arg $ checkpoint_arg)
+      $ recording_arg $ chaos_arg $ watchdog_arg $ checkpoint_arg
+      $ cache_arg)
 
 let all_cmd =
-  let run scale jobs trace engine recording chaos watchdog checkpoint =
+  let run scale jobs trace engine recording chaos watchdog checkpoint cache =
     set_trace trace;
     set_engine engine;
     set_recording recording;
     set_robustness ~chaos ~watchdog ();
     set_checkpoint ~which:"everything" ~scale ~engine ~chaos checkpoint;
+    set_cache cache;
     if Harness.Experiments.run_all ?scale ~jobs () <> [] then exit 2
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Reproduce every table and figure of the paper")
     Term.(
       const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
-      $ recording_arg $ chaos_arg $ watchdog_arg $ checkpoint_arg)
+      $ recording_arg $ chaos_arg $ watchdog_arg $ checkpoint_arg
+      $ cache_arg)
 
 let ablation_cmd =
-  let run scale jobs trace engine recording =
+  let run scale jobs trace engine recording cache =
     set_trace trace;
     set_engine engine;
     set_recording recording;
+    set_cache cache;
     Harness.Ablation.run_all ?scale ~jobs ()
   in
   Cmd.v
@@ -430,7 +455,7 @@ let ablation_cmd =
           duplication strategy, per-thread counters)")
     Term.(
       const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
-      $ recording_arg)
+      $ recording_arg $ cache_arg)
 
 let main =
   let doc =

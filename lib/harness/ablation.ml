@@ -255,7 +255,73 @@ let a4_to_string rows =
            ])
          rows)
 
+(* Pure-data description of the ablations' measurements for Schedule.
+   A2 calls Vm.Interp.run directly with swapped cost tables — it
+   bypasses Measure entirely and is neither cached nor requested. *)
+let requests ?scale () =
+  let both_names = [ "call-edge"; "field-access" ] in
+  let perfect ?scale b =
+    Schedule.instrumented ?scale ~variant:Schedule.Full_dup ~specs:both_names
+      ~trigger:Core.Sampler.Always b
+  in
+  let a1 =
+    List.concat_map
+      (fun bname ->
+        List.concat_map
+          (fun interval ->
+            [
+              perfect ?scale bname;
+              Schedule.instrumented ?scale ~variant:Schedule.Full_dup
+                ~specs:both_names
+                ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+                bname;
+              Schedule.instrumented ?scale ~variant:Schedule.Full_dup
+                ~specs:both_names
+                ~trigger:
+                  (Core.Sampler.Counter
+                     { interval; jitter = max 1 (interval / 4) })
+                bname;
+            ])
+          [ 10; 100; 1000 ])
+      [ "mpegaudio"; "compress"; "jess"; "javac" ]
+  in
+  let a3 =
+    Schedule.baseline ?scale "javac"
+    :: List.concat_map
+         (fun specs ->
+           List.concat_map
+             (fun variant ->
+               [
+                 Schedule.instrumented ?scale ~variant ~specs "javac";
+                 Schedule.instrumented ?scale ~variant ~specs
+                   ~trigger:
+                     (Core.Sampler.Counter { interval = 1_000; jitter = 0 })
+                   "javac";
+               ])
+             [ Schedule.Full_dup; Schedule.Partial_dup; Schedule.No_dup ])
+         [ [ "call-edge" ]; both_names ]
+  in
+  let a4 =
+    List.concat_map
+      (fun bname ->
+        [
+          perfect ?scale bname;
+          Schedule.instrumented ?scale ~variant:Schedule.Full_dup
+            ~specs:both_names
+            ~trigger:(Core.Sampler.Counter { interval = 500; jitter = 0 })
+            bname;
+          Schedule.instrumented ?scale ~variant:Schedule.Full_dup
+            ~specs:both_names
+            ~trigger:(Core.Sampler.Counter_per_thread { interval = 500 })
+            bname;
+        ])
+      [ "pbob"; "volano" ]
+  in
+  a1 @ a3 @ a4
+
 let run_all ?scale ?jobs () =
+  if Robust.checkpointed_cells () = 0 then
+    Schedule.prewarm ?jobs (requests ?scale ());
   print_string (a1_to_string (run_a1 ?scale ?jobs ()));
   print_newline ();
   print_string (a2_to_string (run_a2 ?scale ?jobs ()));

@@ -17,6 +17,18 @@ type data = {
 
 let paper_overlap = 93.8
 
+(* Pure-data description for Schedule; the perfect cell is exactly
+   Common.perfect_profiles' run. *)
+let requests ?scale ?(interval = 1_000) () =
+  let both = [ "call-edge"; "field-access" ] in
+  [
+    Schedule.instrumented ?scale ~variant:Schedule.Full_dup ~specs:both
+      ~trigger:Core.Sampler.Always "javac";
+    Schedule.instrumented ?scale ~variant:Schedule.Full_dup ~specs:both
+      ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+      "javac";
+  ]
+
 let run ?scale ?jobs ?(interval = 1_000) ?(top = 50) () =
   let bench = Workloads.Suite.find "javac" in
   (* a 2-cell grid: the perfect profile and the sampled run are

@@ -38,6 +38,35 @@ let paper_b =
 
 let transform = Core.Transform.full_dup_yieldpoint_opt Common.both_specs
 
+(* Pure-data description for Schedule. *)
+let requests ?scale ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  let both = [ "call-edge"; "field-access" ] in
+  List.concat_map
+    (fun (bench : Workloads.Suite.benchmark) ->
+      let b = bench.Workloads.Suite.bname in
+      [
+        Schedule.baseline ?scale b;
+        Schedule.instrumented ?scale ~variant:Schedule.Yp_opt ~specs:both b;
+      ])
+    benches
+  @ List.concat_map
+      (fun interval ->
+        List.concat_map
+          (fun (bench : Workloads.Suite.benchmark) ->
+            let b = bench.Workloads.Suite.bname in
+            [
+              Schedule.baseline ?scale b;
+              Schedule.instrumented ?scale ~variant:Schedule.Yp_opt
+                ~specs:both
+                ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+                b;
+            ])
+          benches)
+      Common.sample_intervals
+
 let run ?scale ?jobs ?benches () =
   let benches =
     match benches with Some l -> l | None -> Common.benchmarks ()

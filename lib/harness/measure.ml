@@ -140,19 +140,56 @@ let execute ?engine ?timer_period build funcs mk =
   in
   metrics_of prog res (recording.r_decode ())
 
-let baseline_cache : (string * int * [ `Ref | `Fast ], metrics) Sync.Memo.t =
+(* Content-addressed result cache (in-memory always; plus the on-disk
+   tier when [Runcache.set_dir] armed one).  The key is the full
+   canonical run configuration — transformed code digest, engine,
+   recording, trigger, timer period, cost table, fault plan — so two
+   cells that would perform an identical measurement share one run, no
+   matter which table driver or which process asks.  This subsumes the
+   old per-(benchmark, scale, engine) baseline memo: a baseline is just
+   a run of the untransformed code with no recording attached. *)
+module Cache = Runcache.Make (struct
+  type t = metrics
+end)
+
+let base_digest_cache : (string * int, string) Sync.Memo.t =
   Sync.Memo.create ()
+
+let base_funcs_digest build =
+  Sync.Memo.get base_digest_cache
+    (build.bench.Workloads.Suite.bname, build.scale)
+    (fun () -> Digest.funcs build.base_funcs)
+
+let () =
+  Runcache.on_reset (fun () ->
+      Sync.Memo.clear build_cache;
+      Sync.Memo.clear base_digest_cache)
+
+let engine_str = function `Ref -> "ref" | `Fast -> "fast"
+
+let run_key ~kind ~funcs_digest ~engine ~recording ~trigger ~timer_period build
+    =
+  Digest.run_config ~kind ~bench:build.bench.Workloads.Suite.bname
+    ~scale:build.scale ~funcs_digest ~engine:(engine_str engine) ~recording
+    ~trigger ~timer_period ~costs:(Digest.costs Vm.Costs.default)
+    ~faults:(Digest.fault_plan (fault_plan build))
 
 let run_baseline ?engine build =
   let engine =
     match engine with Some e -> e | None -> Atomic.get default_engine
   in
-  let key = (build.bench.Workloads.Suite.bname, build.scale, engine) in
-  Sync.Memo.get baseline_cache key (fun () ->
+  let key =
+    run_key ~kind:"baseline" ~funcs_digest:(base_funcs_digest build) ~engine
+      ~recording:"none" ~trigger:"none" ~timer_period:None build
+  in
+  Cache.find ~key (fun () ->
       execute ~engine build build.base_funcs no_recording)
 
 let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
     ~transform build =
+  let engine =
+    match engine with Some e -> e | None -> Atomic.get default_engine
+  in
   let funcs =
     List.map
       (fun f -> (transform f).Core.Transform.func)
@@ -176,7 +213,15 @@ let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
           r_decode = (fun () -> Profiles.Slots.decode slots);
         }
   in
-  execute ?engine ?timer_period build funcs mk
+  let key =
+    run_key ~kind:"instrumented" ~funcs_digest:(Digest.funcs funcs) ~engine
+      ~recording:
+        (match Atomic.get recording with
+        | `Slots -> "slots"
+        | `Legacy -> "legacy")
+      ~trigger:(Digest.trigger trigger) ~timer_period build
+  in
+  Cache.find ~key (fun () -> execute ~engine ?timer_period build funcs mk)
 
 let overhead_pct ~base m =
   100.0 *. float_of_int (m.cycles - base.cycles) /. float_of_int base.cycles

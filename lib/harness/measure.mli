@@ -67,8 +67,11 @@ type metrics = {
 }
 
 val run_baseline : ?engine:[ `Ref | `Fast ] -> build -> metrics
-(** Memoized per (benchmark, scale, engine); the denominator of every
-    overhead figure.  [engine] defaults to {!current_engine}. *)
+(** The denominator of every overhead figure.  [engine] defaults to
+    {!current_engine}.  Cached through {!Runcache} under the canonical
+    run key ({!Digest.run_config}), so a baseline is measured once per
+    content-identical configuration — across every table driver, every
+    domain, and (with [--cache]) every process. *)
 
 val run_transformed :
   ?engine:[ `Ref | `Fast ] ->
@@ -80,7 +83,11 @@ val run_transformed :
 (** Applies [transform] to every function of the build (backend passes
     afterwards are not re-run: overhead measurement isolates the
     framework), links, and runs with a fresh collector.  Default trigger
-    is [Never] (framework-overhead configurations). *)
+    is [Never] (framework-overhead configurations).  Cached through
+    {!Runcache} keyed by the digest of the transformed code plus the
+    full run configuration, so identical cells requested by different
+    drivers execute once.  Failing runs (chaos faults, watchdog) are
+    never cached. *)
 
 val overhead_pct : base:metrics -> metrics -> float
 (** Percent overhead in cycles relative to [base]. *)

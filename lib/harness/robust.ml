@@ -91,11 +91,18 @@ let load path =
   end;
   tbl
 
+(* Cells resumed from an armed checkpoint file, as opposed to persisted
+   by this process: lets the scheduler skip its prewarm on a resume,
+   where re-measuring the already-finished cells would defeat it. *)
+let resumed = ref 0
+let checkpointed_cells () = locked (fun () -> !resumed)
+
 let set_checkpoint ?(meta = "") path_opt =
   locked (fun () ->
       (match !chan with Some oc -> close_out oc | None -> ());
       chan := None;
       Hashtbl.reset store;
+      resumed := 0;
       match path_opt with
       | None -> ()
       | Some path ->
@@ -112,7 +119,11 @@ let set_checkpoint ?(meta = "") path_opt =
                      path prev meta)
           | None -> ());
           Hashtbl.iter
-            (fun k v -> if k <> meta_key then Hashtbl.replace store k v)
+            (fun k v ->
+              if k <> meta_key then begin
+                Hashtbl.replace store k v;
+                incr resumed
+              end)
             tbl;
           let oc = open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path in
           chan := Some oc;

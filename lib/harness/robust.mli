@@ -47,6 +47,12 @@ val set_checkpoint : ?meta:string -> string option -> unit
     under a different [meta] raises [Failure] rather than resuming into
     inconsistent results. *)
 
+val checkpointed_cells : unit -> int
+(** Number of cells the armed checkpoint resumed from disk (0 when no
+    checkpoint is armed or the file was empty).  {!Experiments} and
+    {!Ablation} skip the scheduler's prewarm when this is non-zero:
+    re-measuring cells the resume already finished would defeat it. *)
+
 val cell : ?retries:int -> key:string -> (unit -> 'a) -> 'a outcome
 (** Run one experiment cell.  If the checkpoint holds [key], the cached
     payload is returned without running [f].  Otherwise [f] runs with

@@ -26,6 +26,24 @@ let paper =
     ("volano", 46.6, 7.6);
   ]
 
+(* The measurements the cells below will ask Measure for, as pure data
+   for Schedule's global deduplication; mirrors [run] exactly. *)
+let requests ?scale ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  List.concat_map
+    (fun (bench : Workloads.Suite.benchmark) ->
+      List.concat_map
+        (fun slug ->
+          [
+            Schedule.baseline ?scale bench.Workloads.Suite.bname;
+            Schedule.instrumented ?scale ~variant:Schedule.Exhaustive
+              ~specs:[ slug ] bench.Workloads.Suite.bname;
+          ])
+        [ "call-edge"; "field-access" ])
+    benches
+
 let run ?scale ?jobs ?benches () =
   let benches =
     match benches with Some l -> l | None -> Common.benchmarks ()

@@ -40,6 +40,28 @@ let paper =
 
 let words_to_kb w = float_of_int (w * 4) /. 1024.0
 
+(* Pure-data description of this table's measurements for Schedule;
+   compile_stats is wall-clock (never cached) and so never requested. *)
+let requests ?scale ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  List.concat_map
+    (fun (bench : Workloads.Suite.benchmark) ->
+      let b = bench.Workloads.Suite.bname in
+      [
+        Schedule.baseline ?scale b;
+        Schedule.instrumented ?scale ~variant:Schedule.Full_dup
+          ~specs:[ "call-edge"; "field-access" ] b;
+        Schedule.instrumented ?scale
+          ~variant:(Schedule.Checks_only { entries = false; backedges = true })
+          ~specs:[] b;
+        Schedule.instrumented ?scale
+          ~variant:(Schedule.Checks_only { entries = true; backedges = false })
+          ~specs:[] b;
+      ])
+    benches
+
 let run ?scale ?jobs ?benches ?(measure_compile = true) () =
   let benches =
     match benches with Some l -> l | None -> Common.benchmarks ()

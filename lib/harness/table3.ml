@@ -27,6 +27,23 @@ let paper =
     ("volano", 1.0, 10.4);
   ]
 
+(* Pure-data description of this table's measurements for Schedule. *)
+let requests ?scale ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  List.concat_map
+    (fun (bench : Workloads.Suite.benchmark) ->
+      List.concat_map
+        (fun slug ->
+          [
+            Schedule.baseline ?scale bench.Workloads.Suite.bname;
+            Schedule.instrumented ?scale ~variant:Schedule.No_dup
+              ~specs:[ slug ] bench.Workloads.Suite.bname;
+          ])
+        [ "call-edge"; "field-access" ])
+    benches
+
 let run ?scale ?jobs ?benches () =
   let benches =
     match benches with Some l -> l | None -> Common.benchmarks ()

@@ -151,6 +151,45 @@ let sweep ?scale ?jobs ~progress benches variant =
   in
   (aggregated, Robust.errors (List.map snd framework) @ Robust.errors per_cell)
 
+(* Pure-data description of the sweep's measurements for Schedule; each
+   per-interval cell also re-derives its baseline and the perfect
+   profile (Common.perfect_profiles), so those are requested per cell
+   and collapse in the global dedupe. *)
+let requests ?scale ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  let both = [ "call-edge"; "field-access" ] in
+  List.concat_map
+    (fun variant ->
+      let v =
+        match variant with `Full -> Schedule.Full_dup | `No -> Schedule.No_dup
+      in
+      List.concat_map
+        (fun (bench : Workloads.Suite.benchmark) ->
+          let b = bench.Workloads.Suite.bname in
+          [
+            Schedule.baseline ?scale b;
+            Schedule.instrumented ?scale ~variant:v ~specs:both b;
+          ])
+        benches
+      @ List.concat_map
+          (fun interval ->
+            List.concat_map
+              (fun (bench : Workloads.Suite.benchmark) ->
+                let b = bench.Workloads.Suite.bname in
+                [
+                  Schedule.baseline ?scale b;
+                  Schedule.instrumented ?scale ~variant:v ~specs:both
+                    ~trigger:(Core.Sampler.Counter { interval; jitter = 0 })
+                    b;
+                  Schedule.instrumented ?scale ~variant:Schedule.Full_dup
+                    ~specs:both ~trigger:Core.Sampler.Always b;
+                ])
+              benches)
+          Common.sample_intervals)
+    [ `Full; `No ]
+
 let run ?scale ?jobs ?benches () =
   let benches =
     match benches with Some l -> l | None -> Common.benchmarks ()

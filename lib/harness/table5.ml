@@ -35,6 +35,26 @@ let paper =
 
 let transform = Core.Transform.full_dup Core.Spec.field_access
 
+(* Pure-data description for Schedule.  The matched-interval counter
+   run depends on the timer run's sample count, so it cannot be
+   described up front; the cell computes it on demand. *)
+let requests ?scale ?benches () =
+  let benches =
+    match benches with Some l -> l | None -> Common.benchmarks ()
+  in
+  List.concat_map
+    (fun (bench : Workloads.Suite.benchmark) ->
+      let b = bench.Workloads.Suite.bname in
+      [
+        Schedule.baseline ?scale b;
+        Schedule.instrumented ?scale ~variant:Schedule.Full_dup
+          ~specs:[ "field-access" ] ~trigger:Core.Sampler.Always b;
+        Schedule.instrumented ?scale ~variant:Schedule.Full_dup
+          ~specs:[ "field-access" ] ~trigger:Core.Sampler.Timer_bit
+          ~timer_period:25_000 b;
+      ])
+    benches
+
 let run ?scale ?jobs ?benches () =
   let benches =
     match benches with Some l -> l | None -> Common.benchmarks ()

@@ -96,29 +96,31 @@ let binop_fn = function
 
 (* Build the callee frame from a template and push it; the counterpart
    of [Machine.new_frame] + the tail of [Machine.invoke], with the
-   argument registers filled from precompiled evaluators. *)
-let push_frame st th fr (t : tmpl) regs ~ret_dst ~from_meth ~from_site =
+   argument registers filled from precompiled evaluators.  Split in two
+   around the argument fill so the frame (and its register array) comes
+   from the state's frame pool instead of a fresh allocation per call:
+   [alloc_frame] takes a pooled frame and stamps the template-derived
+   fields; the call site fills [callee.regs]; [link_frame] assigns the
+   activation id and pushes. *)
+let alloc_frame st (t : tmpl) =
+  let callee = take_frame st t.t_meth t.t_nregs in
+  callee.blk <- t.t_entry_blk;
+  callee.idx <- 0;
+  callee.instrs <- t.t_entry_instrs;
+  callee.term <- t.t_entry_term;
+  callee.base_addr <- t.t_entry_base;
+  callee
+
+let link_frame st th fr callee ~ret_dst ~from_meth ~from_site =
   let fid = st.next_frame_id in
   st.next_frame_id <- fid + 1;
-  let callee =
-    {
-      m = t.t_meth;
-      regs;
-      blk = t.t_entry_blk;
-      idx = 0;
-      instrs = t.t_entry_instrs;
-      term = t.t_entry_term;
-      base_addr = t.t_entry_base;
-      ret_dst;
-      from_meth;
-      from_site;
-      fid;
-    }
-  in
+  callee.ret_dst <- ret_dst;
+  callee.from_meth <- from_meth;
+  callee.from_site <- from_site;
+  callee.fid <- fid;
   st.counters.entries <- st.counters.entries + 1;
   th.parents <- fr :: th.parents;
-  th.top <- Some callee;
-  callee
+  th.top <- Some callee
 
 (* Compile one instruction into its complete dispatch step.  [nxt] is the
    already-compiled remainder of the block; straight-line instructions
@@ -597,14 +599,13 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
                   let fr = st.cur_fr in
                   fr.idx <- ni;
                   charge st cc_call;
-                  let regs = Array.make t.t_nregs 0 in
+                  let callee = alloc_frame st t in
+                  let regs = callee.regs in
                   for k = 0 to nargs - 1 do
                     regs.(t.t_params.(k)) <- aev.(k) fr
                   done;
-                  let callee =
-                    push_frame st st.cur_th fr t regs ~ret_dst ~from_meth
-                      ~from_site:site
-                  in
+                  link_frame st st.cur_th fr callee ~ret_dst ~from_meth
+                    ~from_site:site;
                   let cm = fetch_or_fallback st cp prog id in
                   if cm == empty_cmeth then ()
                     (* fallback callee: return to the dispatcher, which
@@ -658,14 +659,13 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
               let t = cp.templates.(id) in
               let np = Array.length t.t_params in
               if nargs > np then rt_err "too many arguments to %s" t.t_name;
-              let regs = Array.make t.t_nregs 0 in
+              let callee = alloc_frame st t in
+              let regs = callee.regs in
               for k = 0 to nargs - 1 do
                 regs.(t.t_params.(k)) <- vals.(k)
               done;
-              let callee =
-                push_frame st st.cur_th fr t regs ~ret_dst ~from_meth
-                  ~from_site:site
-              in
+              link_frame st st.cur_th fr callee ~ret_dst ~from_meth
+                ~from_site:site;
               let cm = fetch_or_fallback st cp prog id in
               if cm == empty_cmeth then ()
               else begin
@@ -845,16 +845,22 @@ and compile_term (cp : cprog) (prog : Program.t)
       let cc_ret = costs.Costs.ret in
       fun st -> (
         let th = st.cur_th in
+        (* cur_fr is the frame executing this return; once popped it is
+           unreachable and goes back to the pool (the dispatcher always
+           rewrites cur_fr before running any other code) *)
+        let dead = st.cur_fr in
         charge st cc_ret;
         match th.parents with
         | [] ->
             th.top <- None;
             st.alive <- st.alive - 1;
             if th.tid = 0 then st.main_result <- None;
+            release_frame st dead;
             if st.alive > 0 then rotate_thread st
         | parent :: rest ->
             th.parents <- rest;
             th.top <- Some parent;
+            release_frame st dead;
             let cm = fetch_or_fallback st cp prog parent.m.Program.id in
             if cm == empty_cmeth then ()
             else begin
@@ -868,18 +874,21 @@ and compile_term (cp : cprog) (prog : Program.t)
       let cc_ret = costs.Costs.ret in
       let finish st x =
         let th = st.cur_th in
+        let dead = st.cur_fr in
         charge st cc_ret;
         match th.parents with
         | [] ->
             th.top <- None;
             st.alive <- st.alive - 1;
             if th.tid = 0 then st.main_result <- Some x;
+            release_frame st dead;
             if st.alive > 0 then rotate_thread st
         | parent :: rest ->
-            let dst = st.cur_fr.ret_dst in
+            let dst = dead.ret_dst in
             th.parents <- rest;
             th.top <- Some parent;
             if dst >= 0 then parent.regs.(dst) <- x;
+            release_frame st dead;
             let cm = fetch_or_fallback st cp prog parent.m.Program.id in
             if cm == empty_cmeth then ()
             else begin

@@ -64,18 +64,21 @@ type result = {
    null is 0 (the typechecker keeps ints and references apart). *)
 type cell = Obj of { cls : int; fields : int array } | Arr of int array
 
+(* Every field except [regs] is mutable so returning frames can be
+   recycled through the per-size pool (see [take_frame]); [regs] stays
+   immutable because the pool buckets by its exact length. *)
 type frame = {
-  m : Program.meth;
+  mutable m : Program.meth;
   regs : int array;
   mutable blk : int;
   mutable idx : int;
   mutable instrs : Lir.instr array; (* cache of current block's body *)
   mutable term : Lir.terminator;
   mutable base_addr : int; (* code address of current block *)
-  ret_dst : int; (* caller register for the result; -1 = none *)
-  from_meth : int; (* caller method id; -1 for thread entries *)
-  from_site : int; (* call site in the caller; -1 for thread entries *)
-  fid : int; (* unique activation id *)
+  mutable ret_dst : int; (* caller register for the result; -1 = none *)
+  mutable from_meth : int; (* caller method id; -1 for thread entries *)
+  mutable from_site : int; (* call site in the caller; -1 for thread entries *)
+  mutable fid : int; (* unique activation id *)
 }
 
 type thread = {
@@ -128,6 +131,7 @@ and state = {
   fuel : int;
   mutable main_result : int option;
   mutable next_frame_id : int;
+  frame_pool : frame list array; (* returned frames, by Array.length regs *)
   (* Robustness layer.  [guard_gate] is the only value the hot path
      compares against: the minimum of the fuel limit, the next fault
      event's trigger cycle and the next wall-clock poll, so runs without
@@ -250,8 +254,44 @@ let set_block st (fr : frame) l =
   fr.base_addr <- fr.m.Program.code_addr.(l);
   ignore st
 
+(* Frame pool: returning frames are recycled per exact register-array
+   size, so steady-state calls allocate nothing.  Bit-identity is
+   unaffected: a recycled frame is indistinguishable from a fresh one —
+   [regs] is re-zeroed on take, every other field is overwritten before
+   the frame runs, and activation ids keep their original allocation
+   order.  A frame abandoned by an exception simply never re-enters the
+   pool; frames larger than [pool_buckets] registers are never pooled. *)
+let pool_buckets = 512
+
+let take_frame st (m : Program.meth) nregs =
+  match if nregs < pool_buckets then st.frame_pool.(nregs) else [] with
+  | fr :: rest ->
+      st.frame_pool.(nregs) <- rest;
+      Array.fill fr.regs 0 nregs 0;
+      fr.m <- m;
+      fr
+  | [] ->
+      {
+        m;
+        regs = Array.make nregs 0;
+        blk = 0;
+        idx = 0;
+        instrs = [||];
+        term = Lir.Return None;
+        base_addr = 0;
+        ret_dst = -1;
+        from_meth = -1;
+        from_site = -1;
+        fid = -1;
+      }
+
+let release_frame st (fr : frame) =
+  let n = Array.length fr.regs in
+  if n < pool_buckets then st.frame_pool.(n) <- fr :: st.frame_pool.(n)
+
 let new_frame st (m : Program.meth) ~args ~ret_dst ~from_meth ~from_site =
-  let regs = Array.make (max m.Program.func.Lir.next_reg 1) 0 in
+  let fr = take_frame st m (max m.Program.func.Lir.next_reg 1) in
+  let regs = fr.regs in
   let rec fill i = function
     | [] -> ()
     | a :: rest ->
@@ -264,21 +304,10 @@ let new_frame st (m : Program.meth) ~args ~ret_dst ~from_meth ~from_site =
   fill 0 args;
   let fid = st.next_frame_id in
   st.next_frame_id <- fid + 1;
-  let fr =
-    {
-      m;
-      regs;
-      blk = 0;
-      idx = 0;
-      instrs = [||];
-      term = Lir.Return None;
-      base_addr = 0;
-      ret_dst;
-      from_meth;
-      from_site;
-      fid;
-    }
-  in
+  fr.ret_dst <- ret_dst;
+  fr.from_meth <- from_meth;
+  fr.from_site <- from_site;
+  fr.fid <- fid;
   set_block st fr m.Program.func.Lir.entry;
   st.counters.entries <- st.counters.entries + 1;
   fr
@@ -446,7 +475,8 @@ let do_return st th v =
           th.top <- Some parent;
           (match (v, fr.ret_dst) with
           | Some x, dst when dst >= 0 -> parent.regs.(dst) <- x
-          | _ -> ())));
+          | _ -> ()));
+      release_frame st fr);
   ()
 
 let invoke st th (fr : frame) dst kind target args site =
@@ -599,6 +629,7 @@ let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
     fuel;
     main_result = None;
     next_frame_id = 0;
+    frame_pool = Array.make pool_buckets [];
     faults;
     fault_cursor = 0;
     guard_gate = fuel;

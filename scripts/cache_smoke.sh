@@ -1,0 +1,50 @@
+#!/bin/sh
+# Run-cache smoke test: reproduce table 1 three times — plain, cold
+# against a fresh --cache directory, and warm against the same
+# directory — and require all three outputs byte-identical (the cache
+# must never change what an experiment prints).  The warm run's
+# [runcache] stats line (printed at exit under --trace) must show zero
+# misses: every cell was served from the persistent store.
+#
+# Usage: scripts/cache_smoke.sh [path-to-isf]
+set -eu
+
+ISF=${1:-_build/default/bin/isf.exe}
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+CACHE=$DIR/cache
+
+"$ISF" table 1 -j 2 > "$DIR/plain.txt"
+"$ISF" table 1 -j 2 --trace --cache "$CACHE" > "$DIR/cold.txt" 2> "$DIR/cold.err"
+"$ISF" table 1 -j 2 --trace --cache "$CACHE" > "$DIR/warm.txt" 2> "$DIR/warm.err"
+
+for run in cold warm; do
+    if ! cmp -s "$DIR/plain.txt" "$DIR/$run.txt"; then
+        echo "FAIL: $run-cache output differs from the uncached run" >&2
+        diff "$DIR/plain.txt" "$DIR/$run.txt" >&2 || true
+        exit 1
+    fi
+done
+
+grep '^\[runcache\]' "$DIR/cold.err" "$DIR/warm.err" || true
+
+if ! grep -q '^\[runcache\].* misses=0 ' "$DIR/warm.err"; then
+    echo "FAIL: warm run recomputed cells instead of hitting the cache" >&2
+    cat "$DIR/warm.err" >&2
+    exit 1
+fi
+if ! grep -q '^\[runcache\].* stores=[1-9]' "$DIR/cold.err"; then
+    echo "FAIL: cold run stored nothing in the cache" >&2
+    cat "$DIR/cold.err" >&2
+    exit 1
+fi
+
+# a cache directory written by an incompatible version must refuse
+echo "isf-runcache 0 ocaml-0.0.0" > "$CACHE/CACHE_VERSION"
+if "$ISF" table 1 -j 2 --cache "$CACHE" > /dev/null 2>&1; then
+    echo "FAIL: incompatible cache version was accepted" >&2
+    exit 1
+fi
+
+echo "run cache OK"

@@ -6,4 +6,5 @@ let () =
    @ Test_workloads.suite @ Test_paths.suite @ Test_validate.suite
    @ Test_harness.suite @ Test_differential.suite @ Test_engine.suite
    @ Test_slots.suite @ Test_shrink.suite @ Test_cache_model.suite
-   @ Test_pool.suite @ Test_fault.suite @ Test_robust.suite)
+   @ Test_pool.suite @ Test_fault.suite @ Test_robust.suite
+   @ Test_runcache.suite)
