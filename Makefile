@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test test-all fmt bench-smoke bench-profiles bench-harness cache-smoke crash-smoke ci clean
+.PHONY: all build test test-all fmt bench-smoke bench-profiles bench-harness bench-adaptive cache-smoke crash-smoke adaptive-smoke ci clean
 
 all: build
 
@@ -37,10 +37,23 @@ bench-profiles:
 bench-harness:
 	$(DUNE) exec bench/main.exe -- harness-smoke
 
+# adaptive-loop benchmark (FDO loop vs exhaustive instrumentation) on a
+# three-workload subset, written to BENCH_adaptive.smoke.json and
+# validated (loop still wins: geomean >= 1); warns (does not fail) on a
+# >10% geomean regression against the committed BENCH_adaptive.json
+bench-adaptive:
+	$(DUNE) exec bench/main.exe -- adaptive-smoke
+
 # run `isf table 1` uncached, cold-cached and warm-cached; diff the
 # outputs and require the warm run to hit the cache for every cell
 cache-smoke: build
 	sh scripts/cache_smoke.sh
+
+# `isf table all` with the adaptive loop off must stay byte-identical
+# across engines, recording paths and cache cold/warm; the loop on must
+# be engine-invariant
+adaptive-smoke: build
+	sh scripts/adaptive_smoke.sh
 
 # gated: the container does not ship ocamlformat
 fmt:
@@ -60,9 +73,11 @@ ci: build fmt
 	$(DUNE) exec bin/isf.exe -- table 1 -j 2 > /dev/null
 	$(MAKE) crash-smoke
 	$(MAKE) cache-smoke
+	$(MAKE) adaptive-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-profiles
 	$(MAKE) bench-harness
+	$(MAKE) bench-adaptive
 	@echo "ci OK"
 
 clean:

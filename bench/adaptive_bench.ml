@@ -1,0 +1,176 @@
+(* Adaptive-loop benchmark: what closing the FDO loop buys, and what it
+   costs, in simulated cycles.
+
+   Runs the Table_adaptive experiment (baseline / exhaustively
+   instrumented / adaptive with a 10-point overhead budget, per
+   workload) and records per benchmark: the instrumented and adaptive
+   overheads over the uninstrumented baseline, the speedup the loop
+   bought (instrumented cycles / adaptive cycles), the achieved
+   instrumentation overhead (the governor's own metric, to compare
+   against the budget) and the number of adaptive decisions taken.
+
+   Everything here is SIMULATED cycles, so results are deterministic —
+   no timing methodology needed; the measurements also flow through the
+   run cache, so a warm smoke run is cheap.
+
+   Results go to BENCH_adaptive.json.  [smoke] reruns a three-workload
+   subset into BENCH_adaptive.smoke.json, validates that it parses,
+   covers the subset and still shows the loop winning (geomean speedup
+   >= 1), and WARNS (does not fail) when its geomean is more than 10%
+   below the committed BENCH_adaptive.json — the committed full-grid
+   file stays the reference. *)
+
+module TA = Harness.Table_adaptive
+
+let out_file = "BENCH_adaptive.json"
+let smoke_file = "BENCH_adaptive.smoke.json"
+let budget = 10.0
+let smoke_benches = [ "compress"; "db"; "mtrt" ]
+
+let json_of_rows (rows : TA.row list) =
+  let ok r = match r.TA.nums with Ok n -> n | Error _ -> assert false in
+  let g, a = TA.summary rows in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"budget_pts\": %.1f,\n  \"benchmarks\": [\n" budget);
+  List.iteri
+    (fun i r ->
+      let n = ok r in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": %S, \"instr_overhead_pct\": %.1f, \
+            \"adaptive_overhead_pct\": %.1f, \"speedup\": %.3f, \
+            \"achieved_pts\": %.2f, \"decisions\": %d }%s\n"
+           r.TA.bench n.TA.instr_oh n.TA.adaptive_oh n.TA.speedup n.TA.achieved
+           n.TA.ndecisions
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  ],\n\
+       \  \"geomean_speedup\": %.3f,\n\
+       \  \"mean_achieved_pts\": %.2f\n\
+        }\n"
+       g a);
+  Buffer.contents buf
+
+(* ---- validation (reuses Interp_bench's JSON parser) ---- *)
+
+let validate_json ~file ~expect text =
+  let v =
+    try Interp_bench.parse_json text
+    with Interp_bench.Bad m -> failwith (file ^ ": " ^ m)
+  in
+  let rows, gm, achieved =
+    match v with
+    | Interp_bench.Obj
+        [
+          ("budget_pts", Interp_bench.Num _);
+          ("benchmarks", Interp_bench.Arr rows);
+          ("geomean_speedup", Interp_bench.Num gm);
+          ("mean_achieved_pts", Interp_bench.Num a);
+        ] ->
+        (rows, gm, a)
+    | _ ->
+        failwith
+          (file
+         ^ ": expected { \"budget_pts\": n, \"benchmarks\": [...], \
+            \"geomean_speedup\": n, \"mean_achieved_pts\": n }")
+  in
+  let speedups =
+    List.map
+      (fun r ->
+        match r with
+        | Interp_bench.Obj o ->
+            let str k =
+              match List.assoc_opt k o with
+              | Some (Interp_bench.Str s) -> s
+              | _ -> failwith (Printf.sprintf "%s: missing string %S" file k)
+            in
+            let num k =
+              match List.assoc_opt k o with
+              | Some (Interp_bench.Num f) -> f
+              | _ -> failwith (Printf.sprintf "%s: missing number %S" file k)
+            in
+            if num "speedup" <= 0.0 then failwith (file ^ ": bad speedup");
+            if num "achieved_pts" < 0.0 then
+              failwith (file ^ ": negative achieved overhead");
+            (str "name", num "speedup")
+        | _ -> failwith (file ^ ": non-object row"))
+      rows
+  in
+  List.iter
+    (fun b ->
+      if not (List.mem_assoc b speedups) then
+        failwith (Printf.sprintf "%s: missing benchmark %S" file b))
+    expect;
+  (gm, achieved, speedups)
+
+(* geomean the committed full-grid file predicts for the smoke subset —
+   comparing subset-to-subset keeps the regression warning meaningful *)
+let committed_geomean () =
+  match
+    try Some (In_channel.with_open_text out_file In_channel.input_all)
+    with Sys_error _ -> None
+  with
+  | None -> None
+  | Some text ->
+      let all =
+        List.map
+          (fun (b : Workloads.Suite.benchmark) -> b.Workloads.Suite.bname)
+          (Harness.Common.benchmarks ())
+      in
+      let _, _, speedups = validate_json ~file:out_file ~expect:all text in
+      let sub = List.map (fun b -> List.assoc b speedups) smoke_benches in
+      let n = List.length sub in
+      Some
+        (exp (List.fold_left (fun a s -> a +. log s) 0.0 sub /. float_of_int n))
+
+(* ---- entry points ---- *)
+
+let run_rows ~file ~benches =
+  Printf.printf
+    "Adaptive benchmark: FDO loop vs exhaustive instrumentation (budget %.0f \
+     pts)\n"
+    budget;
+  let rows = TA.run ~budget ?benches () in
+  (match TA.failures rows with
+  | [] -> ()
+  | fs ->
+      print_string (Harness.Robust.report fs);
+      failwith "adaptive bench: cells failed, refusing to write results");
+  print_string (TA.to_string rows);
+  let oc = open_out file in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Printf.printf "  wrote %s\n" file;
+  rows
+
+let run () = ignore (run_rows ~file:out_file ~benches:None : TA.row list)
+
+let smoke () =
+  let benches = List.map Workloads.Suite.find smoke_benches in
+  let rows = run_rows ~file:smoke_file ~benches:(Some benches) in
+  let text = In_channel.with_open_text smoke_file In_channel.input_all in
+  let gm, achieved, _ =
+    validate_json ~file:smoke_file ~expect:smoke_benches text
+  in
+  if List.length rows <> List.length smoke_benches then
+    failwith (smoke_file ^ ": row count does not match the workload subset");
+  if gm < 1.0 then
+    failwith
+      (Printf.sprintf "%s: adaptive loop no longer wins (geomean %.2fx)"
+         smoke_file gm);
+  Printf.printf "  smoke: geomean %.2fx, achieved %.1f pts against a %.0f-pt \
+                 budget\n"
+    gm achieved budget;
+  match committed_geomean () with
+  | None -> Printf.printf "  (no committed %s to compare against)\n" out_file
+  | Some committed ->
+      if gm < 0.9 *. committed then
+        Printf.printf
+          "WARNING: smoke geomean %.2fx is >10%% below committed %.2fx (%s)\n"
+          gm committed out_file
+      else
+        Printf.printf "  smoke geomean %.2fx vs committed %.2fx: OK\n" gm
+          committed

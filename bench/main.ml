@@ -147,10 +147,12 @@ let () =
   | "profiles-smoke" -> Profile_bench.smoke ()
   | "harness" -> Harness_bench.run ()
   | "harness-smoke" -> Harness_bench.smoke ()
+  | "adaptive" -> Adaptive_bench.run ()
+  | "adaptive-smoke" -> Adaptive_bench.smoke ()
   | m ->
       Printf.eprintf
         "usage: %s \
-         [full|interp|smoke|profiles|profiles-smoke|harness|harness-smoke] \
-         (unknown mode %S)\n"
+         [full|interp|smoke|profiles|profiles-smoke|harness|harness-smoke|\
+         adaptive|adaptive-smoke] (unknown mode %S)\n"
         Sys.argv.(0) m;
       exit 2

@@ -369,7 +369,7 @@ let exec_cmd =
 
 let table_cmd =
   let run which scale jobs trace engine recording chaos watchdog checkpoint
-      cache =
+      cache adaptive budget =
     set_trace trace;
     set_engine engine;
     set_recording recording;
@@ -379,15 +379,44 @@ let table_cmd =
     in
     set_checkpoint ~which:name ~scale ~engine ~chaos checkpoint;
     set_cache cache;
-    match which with
+    (match which with
     | `All ->
         (* Deterministic run-everything mode: skips the one wall-clock
            measurement (Table 2 compile column, printed "-") so the
            output is byte-identical across runs and across engines, and
-           gates the result on the shapes recorded in EXPERIMENTS.md. *)
+           gates the result on the shapes recorded in EXPERIMENTS.md.
+           The adaptive experiment is NOT part of it (loop-off output
+           stays byte-identical); --adaptive appends it below. *)
         if not (Harness.Experiments.run_gated ?scale ~jobs ()) then exit 1
     | `One w ->
-        if Harness.Experiments.run_one ?scale ~jobs w <> [] then exit 2
+        if Harness.Experiments.run_one ?scale ~jobs ~budget w <> [] then
+          exit 2);
+    (* `--adaptive` appends the adaptive experiment after whatever was
+       selected (a no-op when WHICH was already `adaptive`) *)
+    if adaptive && which <> `One Harness.Experiments.Adaptive then begin
+      print_newline ();
+      if
+        Harness.Experiments.run_one ?scale ~jobs ~budget
+          Harness.Experiments.Adaptive
+        <> []
+      then exit 2
+    end
+  in
+  let adaptive_arg =
+    let doc =
+      "Also run the adaptive experiment (the online FDO loop, DESIGN.md \
+       §9) after the selected tables.  Never changes the selected \
+       tables' output: the loop only runs in the appended experiment."
+    in
+    Arg.(value & flag & info [ "adaptive" ] ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Overhead budget for the adaptive experiment's governor, in points \
+       of instrumentation overhead (only meaningful with $(b,adaptive))."
+    in
+    Arg.(
+      value & opt float 10.0 & info [ "overhead-budget" ] ~docv:"PCT" ~doc)
   in
   let which_conv =
     let parse s =
@@ -411,8 +440,9 @@ let table_cmd =
   in
   let which_arg =
     let doc =
-      "Experiment: 1-5 (tables), 7 or 8 (figures), tableN/figureN, or \
-       $(b,all) (every table/figure, fully deterministic, shape-gated)."
+      "Experiment: 1-5 (tables), 7 or 8 (figures), tableN/figureN, \
+       $(b,adaptive) (the online FDO loop), or $(b,all) (every \
+       table/figure, fully deterministic, shape-gated)."
     in
     Arg.(required & pos 0 (some which_conv) None & info [] ~docv:"WHICH" ~doc)
   in
@@ -421,7 +451,7 @@ let table_cmd =
     Term.(
       const run $ which_arg $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
       $ recording_arg $ chaos_arg $ watchdog_arg $ checkpoint_arg
-      $ cache_arg)
+      $ cache_arg $ adaptive_arg $ budget_arg)
 
 let all_cmd =
   let run scale jobs trace engine recording chaos watchdog checkpoint cache =

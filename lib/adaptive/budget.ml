@@ -1,0 +1,73 @@
+(* Overhead-budget governor: the pure decision core of the adaptive
+   loop (DESIGN.md §9).
+
+   The governor watches one number — the cumulative instrumentation
+   overhead, [100 * icycles / (cycles - icycles)] — and steers it toward
+   a user-supplied budget by pulling two reversible levers:
+
+   - per-method instrumentation on/off ([Strip] / [Restore]): the
+     controller swaps a method between its instrumented lineage and a
+     version with the unconditional [Instrument] ops removed;
+
+   - sampling dilation ([Dilate] / [Narrow]): the simulated timer
+     period and the sampler's counter interval are scaled by a bounded
+     power of two, trading profile freshness for fewer samples.
+
+   What the governor can NEVER do — by construction, the action type
+   has no arm for it — is disable the paper-mandated sampling checks:
+   [Check] terminators, [Guarded_instrument] checks and yieldpoints
+   survive every action, so Property 1 (samples see intact
+   instrumentation) holds at every operating point.
+
+   The policy is a hysteresis band: outside [budget ± hysteresis] it
+   sheds (strip first — the big lever — then dilate) or regains
+   (narrow first — the cheap undo — then restore); inside the band it
+   holds.  Each [step] returns at most one action, so the controller
+   applies one reversible change per poll and the cumulative metric has
+   a chance to respond before the next decision.  Everything here is
+   deterministic: no clocks, no randomness — decisions depend only on
+   the observed (cycles, icycles) trace. *)
+
+type action =
+  | Strip  (** turn instrumentation off for one more (hot) method *)
+  | Restore  (** turn it back on for the most recently stripped one *)
+  | Dilate of int  (** new scale: timer period and sampler interval x scale *)
+  | Narrow of int  (** new (smaller) scale *)
+  | Hold
+
+type t = {
+  budget : float;
+  hysteresis : float;
+  max_scale : int;
+  mutable scale : int;
+}
+
+let create ?(hysteresis = 1.0) ?(max_scale = 8) ~budget_pct () =
+  if budget_pct <= 0.0 then invalid_arg "Budget.create: budget_pct <= 0";
+  if hysteresis < 0.0 then invalid_arg "Budget.create: hysteresis < 0";
+  if max_scale < 1 then invalid_arg "Budget.create: max_scale < 1";
+  { budget = budget_pct; hysteresis; max_scale; scale = 1 }
+
+let overhead ~cycles ~icycles =
+  if icycles <= 0 then 0.0
+  else 100.0 *. float_of_int icycles /. float_of_int (max 1 (cycles - icycles))
+
+let scale t = t.scale
+let budget_pct t = t.budget
+
+let step t ~overhead ~can_strip ~can_restore =
+  if overhead > t.budget +. t.hysteresis then
+    if can_strip then Strip
+    else if t.scale < t.max_scale then begin
+      t.scale <- t.scale * 2;
+      Dilate t.scale
+    end
+    else Hold
+  else if overhead < t.budget -. t.hysteresis then
+    if t.scale > 1 then begin
+      t.scale <- t.scale / 2;
+      Narrow t.scale
+    end
+    else if can_restore then Restore
+    else Hold
+  else Hold

@@ -1,0 +1,47 @@
+(** Overhead-budget governor: the pure decision core of the adaptive
+    loop (DESIGN.md §9).
+
+    Steers the cumulative instrumentation overhead — {!overhead}, the
+    instrumentation cycles as a percentage of application cycles —
+    toward a budget with a hysteresis-band policy over two reversible
+    levers: per-method instrumentation on/off and bounded power-of-two
+    sampling dilation.  The action type has no arm for disabling the
+    sampling checks themselves, so the paper's Property 1 machinery
+    survives every operating point by construction.
+
+    Pure and deterministic: decisions depend only on the observed
+    (cycles, icycles) trace, never on clocks or randomness — the same
+    trace always produces the same action sequence (test/test_budget.ml
+    drives synthetic traces through it). *)
+
+type action =
+  | Strip  (** turn instrumentation off for one more (hot) method *)
+  | Restore  (** turn it back on for the most recently stripped one *)
+  | Dilate of int
+      (** scale the timer period and sampler interval by this (new) factor *)
+  | Narrow of int  (** new, smaller scale *)
+  | Hold
+
+type t
+
+val create : ?hysteresis:float -> ?max_scale:int -> budget_pct:float -> unit -> t
+(** [hysteresis] (default 1.0 point) is the half-width of the dead band
+    around the budget; [max_scale] (default 8) bounds dilation.  Raises
+    [Invalid_argument] on a non-positive budget. *)
+
+val overhead : cycles:int -> icycles:int -> float
+(** [100 * icycles / (cycles - icycles)]: instrumentation cost relative
+    to the application cycles that remain after subtracting it — the
+    quantity the budget is expressed in. *)
+
+val step : t -> overhead:float -> can_strip:bool -> can_restore:bool -> action
+(** One decision.  Above the band: [Strip] while the controller has
+    candidates, then [Dilate] up to [max_scale].  Below the band:
+    [Narrow] back to scale 1 first (the cheap undo), then [Restore].
+    Inside the band: [Hold].  At most one action per call, so the
+    cumulative metric can respond between decisions. *)
+
+val scale : t -> int
+(** Current dilation factor (1 when not dilated). *)
+
+val budget_pct : t -> float

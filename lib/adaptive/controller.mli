@@ -1,0 +1,52 @@
+(** Online adaptive controller (DESIGN.md §9): closes the FDO loop
+    inside the VM.
+
+    Attach to a run with [Vm.Interp.run ~on_init:(Controller.on_init c)]
+    — the controller then wakes at natural safepoints (timer checks and
+    yieldpoints; no on-stack replacement), runs the overhead-budget
+    governor ({!Budget}) and recompiles from the live sampled profile:
+    hot sampled call edges are inlined and hot methods block-reordered
+    through {!Opt.Fdo}, with new versions installed via
+    {!Vm.Engine.hot_swap} at the next safepoint.
+
+    Profile transparency: cloned edge/field ops keep their resolved
+    slots and cloned call-edge ops are re-keyed through
+    {!Profiles.Slots.mint_call_edge}, so with the governor off the
+    decoded profile of an adaptive run is identical to the uninlined
+    run's.  Decisions are deterministic — same (program, seed, config)
+    gives the same decision log and final versions on both engines. *)
+
+type config = {
+  poll_period : int;  (** cycles between adaptive polls *)
+  budget_pct : float option;  (** overhead budget in points; [None] = off *)
+  fdo : bool;  (** inline + reorder from the live profile *)
+  inline_threshold : int;  (** min sampled call-edge count to inline *)
+  max_inline_size : int;  (** max callee size, in instruction words *)
+  reorder_threshold : int;  (** min summed edge count to reorder a method *)
+  hysteresis : float;  (** governor dead-band half-width, in points *)
+}
+
+val default : config
+
+val config_digest : config -> string
+(** Canonical one-line rendering, for run-cache keys. *)
+
+type t
+
+val create : ?config:config -> ?sampler:Core.Sampler.t -> Profiles.Slots.t -> t
+(** The controller reads the live profile from the given slot-resolution
+    instance (the run must record through its {!Profiles.Slots.recorder}).
+    [sampler], when given, lets the governor dilate the sampling
+    interval alongside the timer period. *)
+
+val on_init : t -> Vm.Machine.state -> unit
+(** Pass as [Vm.Interp.run]'s [?on_init].  Arms the machine's adaptive
+    poll; until then (and whenever no controller is attached) the only
+    cost is one always-false compare per safepoint. *)
+
+val decisions : t -> string list
+(** The decision log, oldest first — one rendered line per action
+    (inline/reorder/strip/restore/dilate/narrow).  Equal logs across
+    two runs witness identical adaptive behavior (test_adaptive.ml). *)
+
+val polls : t -> int

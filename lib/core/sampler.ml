@@ -95,7 +95,16 @@ let set_interval t interval =
   | Counter { jitter; _ } -> t.trigger <- Counter { interval; jitter }
   | Counter_per_thread _ -> t.trigger <- Counter_per_thread { interval }
   | _ -> ());
-  t.counter <- min t.counter interval
+  t.counter <- min t.counter interval;
+  (* per-thread countdowns must be clamped too, or a mid-run widening
+     followed by a narrowing leaves stale long countdowns behind and the
+     next sample drifts past the new interval *)
+  Hashtbl.iter (fun _ c -> c := min !c interval) t.thread_counters
+
+let interval t =
+  match t.trigger with
+  | Counter { interval; _ } | Counter_per_thread { interval } -> Some interval
+  | Timer_bit | Always | Never -> None
 
 let disable t = t.enabled <- false
 let enable t = t.enabled <- true

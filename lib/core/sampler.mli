@@ -35,7 +35,13 @@ val on_timer_tick : t -> unit
 
 val set_interval : t -> int -> unit
 (** Runtime tunability ("the tradeoff between overhead and accuracy
-    [can] be adjusted easily at runtime"). *)
+    [can] be adjusted easily at runtime").  Clamps the pending global
+    and per-thread countdowns so the next sample is never further away
+    than the new interval. *)
+
+val interval : t -> int option
+(** Current interval of a counter-based trigger; [None] for the
+    non-counter triggers. *)
 
 val disable : t -> unit
 (** Sets the sample condition permanently false — the paper's way of

@@ -59,21 +59,24 @@ let fault_plan (p : Fault.plan) =
       (Printf.sprintf "compile-fail-pct=%d\n" p.Fault.compile_fail_pct);
     hex (Buffer.contents b)
 
-let run_config ~kind ~bench ~scale ~funcs_digest ~engine ~recording ~trigger
-    ~timer_period ~costs ~faults =
+let run_config ?adaptive ~kind ~bench ~scale ~funcs_digest ~engine ~recording
+    ~trigger ~timer_period ~costs ~faults () =
   String.concat "\n"
-    [
-      "isf-run 1";
-      "kind=" ^ kind;
-      "bench=" ^ bench;
-      Printf.sprintf "scale=%d" scale;
-      "funcs=" ^ funcs_digest;
-      "engine=" ^ engine;
-      "recording=" ^ recording;
-      "trigger=" ^ trigger;
-      (match timer_period with
-      | None -> "timer-period=default"
-      | Some p -> Printf.sprintf "timer-period=%d" p);
-      "costs=" ^ costs;
-      "faults=" ^ faults;
-    ]
+    ([
+       "isf-run 1";
+       "kind=" ^ kind;
+       "bench=" ^ bench;
+       Printf.sprintf "scale=%d" scale;
+       "funcs=" ^ funcs_digest;
+       "engine=" ^ engine;
+       "recording=" ^ recording;
+       "trigger=" ^ trigger;
+       (match timer_period with
+       | None -> "timer-period=default"
+       | Some p -> Printf.sprintf "timer-period=%d" p);
+       "costs=" ^ costs;
+       "faults=" ^ faults;
+     ]
+    (* appended only when the adaptive loop is on, so every legacy key
+       stays byte-identical and warm caches survive this addition *)
+    @ match adaptive with None -> [] | Some a -> [ "adaptive=" ^ a ])

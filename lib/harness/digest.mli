@@ -44,6 +44,7 @@ val fault_plan : Fault.plan -> string
     runs alias only when their whole fault schedule is identical. *)
 
 val run_config :
+  ?adaptive:string ->
   kind:string ->
   bench:string ->
   scale:int ->
@@ -54,7 +55,12 @@ val run_config :
   timer_period:int option ->
   costs:string ->
   faults:string ->
+  unit ->
   string
 (** The full canonical run key: one [field=value] line per component,
     prefixed with a format-version line so a change to the key schema
-    can never be confused with an older one. *)
+    can never be confused with an older one.  [adaptive] (the rendered
+    controller configuration) is appended as an extra line only when
+    the adaptive loop is on — keys of non-adaptive runs are
+    byte-identical to what they were before the adaptive tier existed,
+    so warm on-disk caches stay valid. *)

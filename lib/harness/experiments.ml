@@ -1,7 +1,10 @@
 (* Run-everything driver used by bin/isf and bench/main. *)
 
-type which = T1 | T2 | T3 | T4 | T5 | F7 | F8
+type which = T1 | T2 | T3 | T4 | T5 | F7 | F8 | Adaptive
 
+(* [Adaptive] is deliberately NOT in [all]: `table all` must stay
+   byte-identical to its pre-adaptive output (the loop-off guarantee),
+   and the adaptive experiment is opt-in (`table adaptive`). *)
 let all = [ T1; T2; T3; T4; T5; F7; F8 ]
 
 let name = function
@@ -12,6 +15,7 @@ let name = function
   | T5 -> "table5"
   | F7 -> "figure7"
   | F8 -> "figure8"
+  | Adaptive -> "adaptive"
 
 let of_name = function
   | "table1" | "1" -> T1
@@ -21,12 +25,13 @@ let of_name = function
   | "table5" | "5" -> T5
   | "figure7" | "7" -> F7
   | "figure8" | "8" -> F8
+  | "adaptive" -> Adaptive
   | s -> invalid_arg ("unknown experiment: " ^ s)
 
 (* Print one experiment; the returned failures are the cells that
    rendered ERR (empty on a healthy run), so callers can exit non-zero
    without parsing output. *)
-let run_one ?scale ?jobs ?measure_compile which =
+let run_one ?scale ?jobs ?measure_compile ?budget which =
   match which with
   | T1 ->
       let r = Table1.run ?scale ?jobs () in
@@ -61,6 +66,10 @@ let run_one ?scale ?jobs ?measure_compile which =
       let d = Figure8.run ?scale ?jobs () in
       Figure8.print d;
       d.Figure8.failures
+  | Adaptive ->
+      let r = Table_adaptive.run ?scale ?jobs ?budget () in
+      Table_adaptive.print r;
+      Table_adaptive.failures r
 
 (* Every measurement the drivers above will request, as pure data for
    the global scheduler (Schedule).  T5/F7 get the same scale-4 /

@@ -106,6 +106,8 @@ type recording_instance = {
   r_hooks : Vm.Interp.hooks;
   r_recorder : Vm.Machine.flat_recorder option;
   r_decode : unit -> Profiles.Collector.t;
+  r_on_init : (Vm.Machine.state -> unit) option;
+      (* adaptive runs attach their controller here *)
 }
 
 let no_recording (_ : Vm.Program.t) =
@@ -113,6 +115,7 @@ let no_recording (_ : Vm.Program.t) =
     r_hooks = Vm.Interp.null_hooks;
     r_recorder = None;
     r_decode = Profiles.Collector.create;
+    r_on_init = None;
   }
 
 let execute ?engine ?timer_period build funcs mk =
@@ -135,10 +138,10 @@ let execute ?engine ?timer_period build funcs mk =
   in
   let res =
     Vm.Interp.run ~engine ~use_icache:true ?timer_period ~faults ~label
-      ?deadline ?recorder:recording.r_recorder prog
-      ~entry:Workloads.Suite.entry ~args:[ build.scale ] recording.r_hooks
+      ?deadline ?recorder:recording.r_recorder ?on_init:recording.r_on_init
+      prog ~entry:Workloads.Suite.entry ~args:[ build.scale ] recording.r_hooks
   in
-  metrics_of prog res (recording.r_decode ())
+  (metrics_of prog res (recording.r_decode ()), res)
 
 (* Content-addressed result cache (in-memory always; plus the on-disk
    tier when [Runcache.set_dir] armed one).  The key is the full
@@ -167,12 +170,13 @@ let () =
 
 let engine_str = function `Ref -> "ref" | `Fast -> "fast"
 
-let run_key ~kind ~funcs_digest ~engine ~recording ~trigger ~timer_period build
-    =
-  Digest.run_config ~kind ~bench:build.bench.Workloads.Suite.bname
+let run_key ?adaptive ~kind ~funcs_digest ~engine ~recording ~trigger
+    ~timer_period build =
+  Digest.run_config ?adaptive ~kind ~bench:build.bench.Workloads.Suite.bname
     ~scale:build.scale ~funcs_digest ~engine:(engine_str engine) ~recording
     ~trigger ~timer_period ~costs:(Digest.costs Vm.Costs.default)
     ~faults:(Digest.fault_plan (fault_plan build))
+    ()
 
 let run_baseline ?engine build =
   let engine =
@@ -183,7 +187,7 @@ let run_baseline ?engine build =
       ~recording:"none" ~trigger:"none" ~timer_period:None build
   in
   Cache.find ~key (fun () ->
-      execute ~engine build build.base_funcs no_recording)
+      fst (execute ~engine build build.base_funcs no_recording))
 
 let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
     ~transform build =
@@ -204,6 +208,7 @@ let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
           r_hooks = Profiles.Collector.hooks collector sampler;
           r_recorder = None;
           r_decode = (fun () -> collector);
+          r_on_init = None;
         }
     | `Slots ->
         let slots = Profiles.Slots.create prog in
@@ -211,6 +216,7 @@ let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
           r_hooks = Profiles.Slots.hooks slots sampler;
           r_recorder = Some (Profiles.Slots.recorder slots);
           r_decode = (fun () -> Profiles.Slots.decode slots);
+          r_on_init = None;
         }
   in
   let key =
@@ -221,7 +227,70 @@ let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
         | `Legacy -> "legacy")
       ~trigger:(Digest.trigger trigger) ~timer_period build
   in
-  Cache.find ~key (fun () -> execute ~engine ?timer_period build funcs mk)
+  Cache.find ~key (fun () -> fst (execute ~engine ?timer_period build funcs mk))
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive runs (DESIGN.md §9)                                        *)
+(* ------------------------------------------------------------------ *)
+
+type adaptive_metrics = {
+  am : metrics;
+  instr_cycles : int;
+  achieved_overhead_pct : float;
+  decisions : string list;
+  polls : int;
+}
+
+(* A separate cache instance because the Marshal'd payload differs from
+   [metrics]; keys can't alias Cache's — [kind=adaptive] plus the
+   adaptive= line make them distinct strings. *)
+module Adaptive_cache = Runcache.Make (struct
+  type t = adaptive_metrics
+end)
+
+let run_adaptive ?engine ?(trigger = Core.Sampler.Counter { interval = 64; jitter = 0 })
+    ?timer_period ?(config = Adaptive.Controller.default) ~transform build =
+  let engine =
+    match engine with Some e -> e | None -> Atomic.get default_engine
+  in
+  let funcs =
+    List.map (fun f -> (transform f).Core.Transform.func) build.base_funcs
+  in
+  (* the controller reads the live profile from the flat-slot recorder,
+     so adaptive runs are pinned to [`Slots] recording regardless of the
+     session-wide setting (the loop-off byte-identity guarantees are
+     what both recordings keep) *)
+  let key =
+    run_key
+      ~adaptive:(Adaptive.Controller.config_digest config)
+      ~kind:"adaptive" ~funcs_digest:(Digest.funcs funcs) ~engine
+      ~recording:"slots" ~trigger:(Digest.trigger trigger) ~timer_period build
+  in
+  Adaptive_cache.find ~key (fun () ->
+      let ctl = ref None in
+      let mk prog =
+        let sampler = Core.Sampler.create trigger in
+        let slots = Profiles.Slots.create prog in
+        let c = Adaptive.Controller.create ~config ~sampler slots in
+        ctl := Some c;
+        {
+          r_hooks = Profiles.Slots.hooks slots sampler;
+          r_recorder = Some (Profiles.Slots.recorder slots);
+          r_decode = (fun () -> Profiles.Slots.decode slots);
+          r_on_init = Some (Adaptive.Controller.on_init c);
+        }
+      in
+      let m, res = execute ~engine ?timer_period build funcs mk in
+      let c = Option.get !ctl in
+      {
+        am = m;
+        instr_cycles = res.Vm.Interp.instr_cycles;
+        achieved_overhead_pct =
+          Adaptive.Budget.overhead ~cycles:res.Vm.Interp.cycles
+            ~icycles:res.Vm.Interp.instr_cycles;
+        decisions = Adaptive.Controller.decisions c;
+        polls = Adaptive.Controller.polls c;
+      })
 
 let overhead_pct ~base m =
   100.0 *. float_of_int (m.cycles - base.cycles) /. float_of_int base.cycles

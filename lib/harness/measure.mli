@@ -89,6 +89,33 @@ val run_transformed :
     drivers execute once.  Failing runs (chaos faults, watchdog) are
     never cached. *)
 
+type adaptive_metrics = {
+  am : metrics;  (* the run's ordinary metrics (profile decoded at exit) *)
+  instr_cycles : int;  (* instrumentation cycles, included in am.cycles *)
+  achieved_overhead_pct : float;
+      (* {!Adaptive.Budget.overhead} of the whole run — the quantity the
+         governor steered against its budget *)
+  decisions : string list;  (* controller decision log, oldest first *)
+  polls : int;
+}
+
+val run_adaptive :
+  ?engine:[ `Ref | `Fast ] ->
+  ?trigger:Core.Sampler.trigger ->
+  ?timer_period:int ->
+  ?config:Adaptive.Controller.config ->
+  transform:(Ir.Lir.func -> Core.Transform.result) ->
+  build ->
+  adaptive_metrics
+(** Like {!run_transformed}, but with the adaptive loop armed
+    ({!Adaptive.Controller}): the run records through flat slots
+    (regardless of {!set_recording} — the controller reads the live
+    profile from the recorder), polls the controller at safepoints, and
+    hot-swaps recompiled method versions mid-run.  Default [trigger] is
+    [Counter 64] (the loop needs samples to steer by).  Cached like
+    every other measurement, keyed additionally by the rendered
+    controller config. *)
+
 val overhead_pct : base:metrics -> metrics -> float
 (** Percent overhead in cycles relative to [base]. *)
 

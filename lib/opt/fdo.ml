@@ -1,0 +1,292 @@
+(* Feedback-directed transforms for the adaptive tier (lib/adaptive).
+
+   Three profile-guided rewrites over instrumented LIR, applied mid-run
+   by the adaptive controller and hot-swapped into the method table at a
+   safepoint:
+
+   - [inline_static_call]: splice a (leaf) callee body into a static
+     call site.  Unlike the ahead-of-time [Inline] pass this variant is
+     profile-preserving: cloned blocks keep the callee's block roles
+     (so sampling checks stay out of duplicated code), cloned
+     instrumentation ops keep their resolved slots (edge and field
+     events keep recording into the callee's original counters), and
+     call-edge ops — whose recording key is the frame's caller/site,
+     wrong once the frame is gone — are rewritten through the caller's
+     [mint] callback to a fresh event with the statically-known key.
+
+   - [strip_instrumentation]: remove unconditional [Instrument] ops.
+     The paper-mandated sampling machinery — [Check] terminators,
+     [Guarded_instrument] checks and yieldpoints — is never removed, so
+     the sample/fire sequence (and therefore scheduling and any
+     remaining profile) is untouched; only the per-event recording cost
+     disappears.  This is the overhead-budget governor's big lever.
+
+   - [hot_layout]: a layout-only block reorder from live edge counts —
+     hot blocks first, so the simulated i-cache sees the dense hot
+     path.  Returns a fresh per-label address array; the function body
+     is untouched (observables other than cycles/i-cache cannot move).
+
+   Every rewrite returns a fresh func (callers hold the old version for
+   frames that still run it) and is followed by [Ir.Verify.check_exn]
+   in the controller and the property suite. *)
+
+module Lir = Ir.Lir
+
+let live_iter f g =
+  for l = 0 to Lir.num_blocks f - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role <> Lir.Dead then g l b
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Inline gates                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let is_leaf (f : Lir.func) =
+  let ok = ref true in
+  live_iter f (fun _ b ->
+      Array.iter
+        (function Lir.Call _ -> ok := false | _ -> ())
+        b.Lir.instrs);
+  !ok
+
+(* Ops whose recording survives relocation into another method: edge and
+   field events are statically keyed (the slot already names the method
+   they were resolved in), call-edge events can be re-keyed by minting.
+   Value/path/receiver/CCT events read the frame or a per-site table in
+   ways a splice would corrupt, so their presence rejects the callee. *)
+let relocatable_op (op : Lir.instrument_op) =
+  match (op.Lir.hook, op.Lir.payload) with
+  | "edge", Lir.P_edge _ -> true
+  | "field_access", Lir.P_field _ -> true
+  | "call_edge", Lir.P_unit -> true
+  | _ -> false
+
+let relocatable_only (f : Lir.func) =
+  let ok = ref true in
+  live_iter f (fun _ b ->
+      Array.iter
+        (function
+          | Lir.Instrument op | Lir.Guarded_instrument op ->
+              if not (relocatable_op op) then ok := false
+          | _ -> ())
+        b.Lir.instrs);
+  !ok
+
+let func_size (f : Lir.func) =
+  let n = ref 0 in
+  live_iter f (fun _ b -> n := !n + Array.length b.Lir.instrs + 1);
+  !n
+
+let inlinable ~max_size (callee : Lir.func) =
+  is_leaf callee && func_size callee <= max_size && relocatable_only callee
+
+(* First static call to [target] at bytecode site [site] in a live block
+   of [f], as [(block, index)]. *)
+let find_call_site (f : Lir.func) ~site ~target =
+  let found = ref None in
+  (try
+     live_iter f (fun l b ->
+         Array.iteri
+           (fun i instr ->
+             match instr with
+             | Lir.Call { kind = Lir.Static; target = t; site = s; _ }
+               when s = site && Lir.method_ref_equal t target ->
+                 found := Some (l, i);
+                 raise Exit
+             | _ -> ())
+           b.Lir.instrs)
+   with Exit -> ());
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Profile-preserving inline                                            *)
+(* ------------------------------------------------------------------ *)
+
+let inline_static_call (f : Lir.func) ~(callee : Lir.func) ~at:(bl, idx)
+    ~(mint : Lir.instrument_op -> Lir.instrument_op) =
+  let f = Lir.copy_func f in
+  let b = Lir.block f bl in
+  let dst, args, target =
+    match b.Lir.instrs.(idx) with
+    | Lir.Call { dst; kind = Lir.Static; target; args; _ } -> (dst, args, target)
+    | _ -> invalid_arg "Fdo.inline_static_call: not a static call"
+  in
+  if not (Lir.method_ref_equal target callee.Lir.fname) then
+    invalid_arg "Fdo.inline_static_call: callee mismatch";
+  let reg_base = f.Lir.next_reg in
+  f.Lir.next_reg <- f.Lir.next_reg + callee.Lir.next_reg;
+  let rename_reg r = reg_base + r in
+  let rename_op = function
+    | Lir.Reg r -> Lir.Reg (rename_reg r)
+    | Lir.Imm n -> Lir.Imm n
+  in
+  (* continuation: instructions after the call + the original terminator *)
+  let n = Array.length b.Lir.instrs in
+  let cont_instrs = Array.sub b.Lir.instrs (idx + 1) (n - idx - 1) in
+  let cont =
+    Lir.add_block f { Lir.instrs = cont_instrs; term = b.Lir.term; role = b.Lir.role }
+  in
+  (* clone callee blocks, keeping each block's own role: sampling checks
+     stay in non-duplicated code wherever the call site lives *)
+  let nblocks = Lir.num_blocks callee in
+  let label_map = Array.make nblocks (-1) in
+  for l = 0 to nblocks - 1 do
+    let cb = Lir.block callee l in
+    if cb.Lir.role <> Lir.Dead then label_map.(l) <- Lir.add_block f cb
+  done;
+  let rename_label l =
+    assert (label_map.(l) >= 0);
+    label_map.(l)
+  in
+  let rename_instr i =
+    let mr r = rename_reg r in
+    let mo = rename_op in
+    match i with
+    | Lir.Move (r, a) -> Lir.Move (mr r, mo a)
+    | Lir.Unop (r, op, a) -> Lir.Unop (mr r, op, mo a)
+    | Lir.Binop (r, op, a, c) -> Lir.Binop (mr r, op, mo a, mo c)
+    | Lir.Get_field (r, o, fl) -> Lir.Get_field (mr r, mo o, fl)
+    | Lir.Put_field (o, fl, v) -> Lir.Put_field (mo o, fl, mo v)
+    | Lir.Get_static (r, fl) -> Lir.Get_static (mr r, fl)
+    | Lir.Put_static (fl, v) -> Lir.Put_static (fl, mo v)
+    | Lir.New_object (r, c) -> Lir.New_object (mr r, c)
+    | Lir.New_array (r, nn) -> Lir.New_array (mr r, mo nn)
+    | Lir.Array_load (r, a, ix) -> Lir.Array_load (mr r, mo a, mo ix)
+    | Lir.Array_store (a, ix, v) -> Lir.Array_store (mo a, mo ix, mo v)
+    | Lir.Array_length (r, a) -> Lir.Array_length (mr r, mo a)
+    | Lir.Call { dst; kind; target; args; site } ->
+        Lir.Call
+          { dst = Option.map mr dst; kind; target; args = List.map mo args; site }
+    | Lir.Intrinsic { dst; name; args } ->
+        Lir.Intrinsic { dst = Option.map mr dst; name; args = List.map mo args }
+    | Lir.Instance_test (r, o, c) -> Lir.Instance_test (mr r, mo o, c)
+    | Lir.Yieldpoint k -> Lir.Yieldpoint k
+    | Lir.Instrument op -> (
+        match (op.Lir.hook, op.Lir.payload) with
+        | "call_edge", Lir.P_unit -> Lir.Instrument (mint op)
+        | _, Lir.P_value (v, site) ->
+            (* defensive renaming: the adaptive gate rejects these, but a
+               direct caller of this pass still gets well-formed IR *)
+            Lir.Instrument
+              { op with Lir.payload = Lir.P_value (mo v, site); slot = -1 }
+        | _, Lir.P_operand v ->
+            Lir.Instrument
+              { op with Lir.payload = Lir.P_operand (mo v); slot = -1 }
+        | _ -> Lir.Instrument op (* shared record: slot (and counter) kept *))
+    | Lir.Guarded_instrument op -> (
+        match (op.Lir.hook, op.Lir.payload) with
+        | "call_edge", Lir.P_unit -> Lir.Guarded_instrument (mint op)
+        | _, Lir.P_value (v, site) ->
+            Lir.Guarded_instrument
+              { op with Lir.payload = Lir.P_value (mo v, site); slot = -1 }
+        | _, Lir.P_operand v ->
+            Lir.Guarded_instrument
+              { op with Lir.payload = Lir.P_operand (mo v); slot = -1 }
+        | _ -> Lir.Guarded_instrument op)
+  in
+  for l = 0 to nblocks - 1 do
+    if label_map.(l) >= 0 then begin
+      let orig = Lir.block callee l in
+      let instrs = Array.map rename_instr orig.Lir.instrs in
+      match orig.Lir.term with
+      | Lir.Return v ->
+          let extra =
+            match (v, dst) with
+            | Some v, Some d -> [| Lir.Move (d, rename_op v) |]
+            | _ -> [||]
+          in
+          Lir.set_block f label_map.(l)
+            {
+              Lir.instrs = Array.append instrs extra;
+              term = Lir.Goto cont;
+              role = orig.Lir.role;
+            }
+      | t ->
+          let t =
+            match t with
+            | Lir.If { cond; if_true; if_false } ->
+                Lir.If { cond = rename_op cond; if_true; if_false }
+            | Lir.Switch { scrut; cases; default } ->
+                Lir.Switch { scrut = rename_op scrut; cases; default }
+            | t -> t
+          in
+          Lir.set_block f label_map.(l)
+            {
+              Lir.instrs;
+              term = Lir.map_term_labels rename_label t;
+              role = orig.Lir.role;
+            }
+    end
+  done;
+  (* rewrite the call site: prefix + parameter moves + goto inlined entry *)
+  let param_moves =
+    List.map2 (fun p a -> Lir.Move (rename_reg p, a)) callee.Lir.params args
+  in
+  let prefix = Array.sub b.Lir.instrs 0 idx in
+  Lir.set_block f bl
+    {
+      b with
+      Lir.instrs = Array.append prefix (Array.of_list param_moves);
+      term = Lir.Goto (rename_label callee.Lir.entry);
+    };
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation strip (budget governor)                              *)
+(* ------------------------------------------------------------------ *)
+
+let strip_instrumentation (f : Lir.func) =
+  let f = Lir.copy_func f in
+  live_iter f (fun l b ->
+      if
+        Array.exists
+          (function Lir.Instrument _ -> true | _ -> false)
+          b.Lir.instrs
+      then
+        Lir.set_block f l
+          {
+            b with
+            Lir.instrs =
+              Array.of_list
+                (List.filter
+                   (function Lir.Instrument _ -> false | _ -> true)
+                   (Array.to_list b.Lir.instrs));
+          });
+  f
+
+let has_plain_instrument (f : Lir.func) =
+  let found = ref false in
+  live_iter f (fun _ b ->
+      Array.iter
+        (function Lir.Instrument _ -> found := true | _ -> ())
+        b.Lir.instrs);
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* Profile-guided block layout                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [hot_layout f ~weight base]: per-label code addresses with live
+   blocks placed in descending [weight] order (stable by label, so ties
+   — including a cold all-zero profile — keep a deterministic order),
+   starting at address [base].  Dead blocks get address -1.  Returns the
+   address array and the next free address.  Pure layout: block indices,
+   bodies and terminators are untouched. *)
+let hot_layout (f : Lir.func) ~(weight : int -> int) base =
+  let n = Lir.num_blocks f in
+  let live = ref [] in
+  for l = n - 1 downto 0 do
+    if (Lir.block f l).Lir.role <> Lir.Dead then live := l :: !live
+  done;
+  let order =
+    List.stable_sort (fun a b -> compare (weight b) (weight a)) !live
+  in
+  let addr = Array.make n (-1) in
+  let cursor = ref base in
+  List.iter
+    (fun l ->
+      addr.(l) <- !cursor;
+      cursor := !cursor + Array.length (Lir.block f l).Lir.instrs + 1)
+    order;
+  (addr, !cursor)

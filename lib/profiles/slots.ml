@@ -384,8 +384,11 @@ type t = {
   rlog : rsite Ir.Vec.t; (* receiver sites in first-event order *)
   croot : cnode;
   cwalks : int ref;
-  n_events : int;
+  mutable n_events : int;
+      (* grows when the adaptive tier mints events for inlined sites *)
 }
+
+let nop (_ : Machine.state) (_ : Machine.thread) (_ : Machine.frame) = ()
 
 let table_capacity = 8 (* = Value_profile's TNV capacity *)
 
@@ -425,7 +428,6 @@ let create (prog : Program.t) : t =
       (fun (m : Program.meth) -> Lir.string_of_method_ref m.Program.mref)
       prog.Program.methods
   in
-  let nop (_ : Machine.state) (_ : Machine.thread) (_ : Machine.frame) = () in
   let rc =
     {
       Machine.ev_cost = Array.make (max n_events 1) 0;
@@ -615,6 +617,64 @@ let create (prog : Program.t) : t =
 
 let recorder t = t.rc
 let n_events t = t.n_events
+
+(* ------------------------------------------------------------------ *)
+(* Live read API + event minting (adaptive tier)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Pure reads over the flat buffers: the adaptive controller consults
+   them mid-run without touching any state [decode] depends on. *)
+
+let live_edge_counts t =
+  let r = t.rc in
+  let out = ref [] in
+  for i = r.Machine.n_touch - 1 downto 0 do
+    let c = r.Machine.touch.(i) in
+    match t.cinfo.(c) with
+    | C_edge (mid, src, dst) ->
+        out := (mid, src, dst, r.Machine.counts.(c)) :: !out
+    | C_field _ -> ()
+  done;
+  !out
+
+let live_call_edges t =
+  List.init t.calls.n (fun j ->
+      (t.calls.k1.(j), t.calls.k2.(j), t.calls.k3.(j), t.calls.cnt.(j)))
+
+(* Mint a fresh event id for a cloned call_edge op whose recording key is
+   known statically (the adaptive inliner splices callee bodies into the
+   caller, so [fr.from_meth]/[fr.from_site] would name the wrong edge).
+   The minted closure bumps the same table with the same key triple the
+   original dynamic event would have used, so live reads, decode and the
+   first-touch order are indistinguishable from the uninlined run. *)
+
+let ensure_event_capacity (r : Machine.flat_recorder) n =
+  let cap = Array.length r.Machine.ev_cost in
+  if n >= cap then begin
+    let ncap = max (2 * cap) (n + 1) in
+    let grow a fill =
+      let b = Array.make ncap fill in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    r.Machine.ev_cost <- grow r.Machine.ev_cost 0;
+    r.Machine.ev_counter <- grow r.Machine.ev_counter (-1);
+    r.Machine.dyn <- grow r.Machine.dyn nop
+  end
+
+let mint_call_edge t ~caller ~site ~callee (op : Lir.instrument_op) =
+  (match (op.Lir.hook, op.Lir.payload) with
+  | "call_edge", Lir.P_unit -> ()
+  | _ -> invalid_arg "Slots.mint_call_edge: not a call_edge op");
+  let r = t.rc in
+  let ev = t.n_events in
+  t.n_events <- ev + 1;
+  ensure_event_capacity r ev;
+  op.Lir.slot <- ev;
+  r.Machine.ev_cost.(ev) <- Collector.op_cost op;
+  r.Machine.ev_counter.(ev) <- -1;
+  let calls = t.calls in
+  r.Machine.dyn.(ev) <- (fun _st _th _fr -> itab_bump calls caller site callee)
 
 (* ------------------------------------------------------------------ *)
 (* End-of-run decode                                                    *)

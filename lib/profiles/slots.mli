@@ -30,6 +30,25 @@ val recorder : t -> Vm.Machine.flat_recorder
 val n_events : t -> int
 (** Number of instrument ops resolved (one event id each). *)
 
+val live_edge_counts : t -> (int * int * int * int) list
+(** Mid-run read of the statically-keyed edge counters, in first-touch
+    order: [(method id, src label, dst label, count)] per edge observed
+    so far.  Pure read — does not disturb {!decode}. *)
+
+val live_call_edges : t -> (int * int * int * int) list
+(** Mid-run read of the sampled call-edge table, in first-event order:
+    [(caller method id, call site, callee method id, count)]; the caller
+    id is negative for thread entries.  Pure read. *)
+
+val mint_call_edge :
+  t -> caller:int -> site:int -> callee:int -> Ir.Lir.instrument_op -> unit
+(** Assign a fresh event id to a cloned [call_edge] op whose key is
+    known statically (adaptive inlining splices callee bodies into the
+    caller, where the frame no longer names the edge).  The minted event
+    records into the same table under the same key the original dynamic
+    event would have used, so profiles are indistinguishable from the
+    uninlined run.  Raises [Invalid_argument] for any other op. *)
+
 val decode : t -> Collector.t
 (** Rebuild the legacy collector structures from the flat buffers.
     Raises [Failure] if method-ref interning failed to preserve the

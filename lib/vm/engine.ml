@@ -62,6 +62,12 @@ type cprog = {
          charge is baked in as an immediate, so a state running a
          different table (e.g. the hardware-count-register ablation)
          forces a recompile rather than a wrong charge *)
+  mutable retired : (Program.meth * cmeth) list;
+      (* compiled code of hot-swapped-out method versions, keyed by the
+         exact [meth] record frames pin ([==]): activations alive across
+         an adaptive swap finish on the version they started in.  Only
+         the adaptive tier appends here (single VM, at a safepoint), so
+         no synchronization is needed. *)
 }
 
 type Program.cache_slot += Compiled of cprog
@@ -586,19 +592,22 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
               (Lir.string_of_method_ref target)
           with
           | Some id ->
-              let t = cp.templates.(id) in
-              if nargs > Array.length t.t_params then
+              (* arity and name are version-invariant, so the error
+                 branch can specialize against the link-time template;
+                 the call branch re-reads [cp.templates.(id)] at run
+                 time because the adaptive tier hot-swaps versions *)
+              let t0 = cp.templates.(id) in
+              if nargs > Array.length t0.t_params then
                 fun st ->
                   st.cur_fr.idx <- ni;
                   charge st cc_call;
-                  rt_err "too many arguments to %s" t.t_name
+                  rt_err "too many arguments to %s" t0.t_name
               else
-                let eb = t.t_entry_blk in
-                let ebase = t.t_entry_base in
                 fun st ->
                   let fr = st.cur_fr in
                   fr.idx <- ni;
                   charge st cc_call;
+                  let t = cp.templates.(id) in
                   let callee = alloc_frame st t in
                   let regs = callee.regs in
                   for k = 0 to nargs - 1 do
@@ -617,8 +626,8 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
                     st.cur_fr <- callee;
                     fuel_check st;
                     st.instructions <- st.instructions + 1;
-                    icache_access st ebase;
-                    cm.(eb).code.(0) st
+                    icache_access st t.t_entry_base;
+                    cm.(t.t_entry_blk).code.(0) st
                   end
           | None ->
               (* unresolved: the shared slow path raises the identical
@@ -730,7 +739,18 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
           fun st ->
             charge st cc_yp;
             st.counters.entry_yps <- st.counters.entry_yps + 1;
-            if st.switch_bit then begin
+            adaptive_check st;
+            if st.migration && try_migrate st st.cur_fr ni then begin
+              (* frame re-pinned to the freshly-installed version:
+                 return to the dispatcher, which re-fetches its compiled
+                 code and resumes at the migrated index (same
+                 fuel/preamble sequence the reference performs) *)
+              if st.switch_bit then begin
+                st.switch_bit <- false;
+                rotate_thread st
+              end
+            end
+            else if st.switch_bit then begin
               st.cur_fr.idx <- ni;
               st.switch_bit <- false;
               rotate_thread st
@@ -740,7 +760,14 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
           fun st ->
             charge st cc_yp;
             st.counters.backedge_yps <- st.counters.backedge_yps + 1;
-            if st.switch_bit then begin
+            adaptive_check st;
+            if st.migration && try_migrate st st.cur_fr ni then begin
+              if st.switch_bit then begin
+                st.switch_bit <- false;
+                rotate_thread st
+              end
+            end
+            else if st.switch_bit then begin
               st.cur_fr.idx <- ni;
               st.switch_bit <- false;
               rotate_thread st
@@ -758,14 +785,14 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
         | Some r when op.Lir.slot >= 0 ->
             record_flat st st.cur_th st.cur_fr r op.Lir.slot
         | _ ->
-            charge st (st.hooks.instr_cost op);
+            icharge st (st.hooks.instr_cost op);
             st.hooks.on_instrument (make_ctx st st.cur_th st.cur_fr) op);
         cont st
   | Lir.Guarded_instrument op ->
       let cc_check = costs.Costs.check in
       fun st ->
         st.counters.checks <- st.counters.checks + 1;
-        charge st cc_check;
+        icharge st cc_check;
         if st.hooks.fire st.cur_th.tid then begin
           st.counters.samples <- st.counters.samples + 1;
           run_instrument st st.cur_th st.cur_fr op
@@ -861,7 +888,7 @@ and compile_term (cp : cprog) (prog : Program.t)
             th.parents <- rest;
             th.top <- Some parent;
             release_frame st dead;
-            let cm = fetch_or_fallback st cp prog parent.m.Program.id in
+            let cm = fetch_for_frame st cp prog parent in
             if cm == empty_cmeth then ()
             else begin
               st.cur_fr <- parent;
@@ -889,7 +916,7 @@ and compile_term (cp : cprog) (prog : Program.t)
             th.top <- Some parent;
             if dst >= 0 then parent.regs.(dst) <- x;
             release_frame st dead;
-            let cm = fetch_or_fallback st cp prog parent.m.Program.id in
+            let cm = fetch_for_frame st cp prog parent in
             if cm == empty_cmeth then ()
             else begin
               st.cur_fr <- parent;
@@ -907,10 +934,10 @@ and compile_term (cp : cprog) (prog : Program.t)
       let cc_sample = costs.Costs.sample_jump in
       fun st ->
         st.counters.checks <- st.counters.checks + 1;
-        charge st cc_check;
+        icharge st cc_check;
         if st.hooks.fire st.cur_th.tid then begin
           st.counters.samples <- st.counters.samples + 1;
-          charge st cc_sample;
+          icharge st cc_sample;
           jump st st.cur_fr on_sample
         end
         else jump st st.cur_fr fall
@@ -988,27 +1015,49 @@ and fetch_or_fallback st (cp : cprog) (prog : Program.t) (id : int) : cmeth =
       empty_cmeth
   | _ -> empty_cmeth
 
+(* Compiled code for the exact version frame [fr] is pinned to.  Frames
+   born before an adaptive hot-swap still reference the old [meth]
+   record; their code lives in (or is lazily added to) [cp.retired].
+   The common case — no swap ever happened — is one physical-equality
+   compare on top of [fetch_or_fallback]. *)
+and fetch_for_frame st (cp : cprog) (prog : Program.t) (fr : frame) : cmeth =
+  let m = fr.m in
+  let id = m.Program.id in
+  if m == prog.Program.methods.(id) then fetch_or_fallback st cp prog id
+  else if fallback_state st id <> 0 then empty_cmeth
+  else
+    match List.assq_opt m cp.retired with
+    | Some cm -> cm
+    | None -> (
+        match compile_method cp prog m with
+        | cm ->
+            cp.retired <- (m, cm) :: cp.retired;
+            cm
+        | exception e ->
+            record_fallback st id
+              ("engine compilation failed: " ^ Printexc.to_string e);
+            empty_cmeth)
+
 (* ------------------------------------------------------------------ *)
 (* Program cache and dispatch loop                                     *)
 (* ------------------------------------------------------------------ *)
 
-let mk_templates (prog : Program.t) =
-  Array.map
-    (fun (m : Program.meth) ->
-      let f = m.Program.func in
-      let entry = f.Lir.entry in
-      let b = Lir.block f entry in
-      {
-        t_meth = m;
-        t_params = Array.of_list f.Lir.params;
-        t_nregs = max f.Lir.next_reg 1;
-        t_entry_blk = entry;
-        t_entry_instrs = b.Lir.instrs;
-        t_entry_term = b.Lir.term;
-        t_entry_base = m.Program.code_addr.(entry);
-        t_name = Lir.string_of_method_ref m.Program.mref;
-      })
-    prog.Program.methods
+let tmpl_of_meth (m : Program.meth) =
+  let f = m.Program.func in
+  let entry = f.Lir.entry in
+  let b = Lir.block f entry in
+  {
+    t_meth = m;
+    t_params = Array.of_list f.Lir.params;
+    t_nregs = max f.Lir.next_reg 1;
+    t_entry_blk = entry;
+    t_entry_instrs = b.Lir.instrs;
+    t_entry_term = b.Lir.term;
+    t_entry_base = m.Program.code_addr.(entry);
+    t_name = Lir.string_of_method_ref m.Program.mref;
+  }
+
+let mk_templates (prog : Program.t) = Array.map tmpl_of_meth prog.Program.methods
 
 let install_mutex = Mutex.create ()
 
@@ -1035,6 +1084,7 @@ let cprog_of (prog : Program.t) (costs : Costs.t) =
                     (Array.length prog.Program.methods)
                     (fun _ -> Atomic.make empty_cmeth);
                 c_costs = costs;
+                retired = [];
               }
             in
             prog.Program.engine_cache <- Some (Compiled cp);
@@ -1042,6 +1092,36 @@ let cprog_of (prog : Program.t) (costs : Costs.t) =
       in
       Mutex.unlock install_mutex;
       cp
+
+(* Adaptive hot-swap: install [nm] as the current version of its method
+   id.  Future calls and dispatches run the new version immediately;
+   live activations finish on the version their frame pins (see
+   [fetch_for_frame]).  Must be called from a safepoint — the adaptive
+   poll — never from inside a compiled chain that will re-read the
+   swapped state.  On the reference engine (no compiled image) the
+   method-table write alone is the whole swap. *)
+let hot_swap st (nm : Program.meth) =
+  let prog = st.prog in
+  let id = nm.Program.id in
+  let old = prog.Program.methods.(id) in
+  if old != nm then begin
+    prog.Program.methods.(id) <- nm;
+    match prog.Program.engine_cache with
+    | Some (Compiled cp) -> (
+        let old_cm = Atomic.get cp.by_id.(id) in
+        if old_cm != empty_cmeth && not (List.mem_assq old cp.retired) then
+          cp.retired <- (old, old_cm) :: cp.retired;
+        cp.templates.(id) <- tmpl_of_meth nm;
+        match compile_method cp prog nm with
+        | cm -> Atomic.set cp.by_id.(id) cm
+        | exception e ->
+            (* degrade to the interpreter for the new version rather than
+               aborting the run: same contract as fetch_or_fallback *)
+            record_fallback st id
+              ("engine compilation failed: " ^ Printexc.to_string e);
+            Atomic.set cp.by_id.(id) empty_cmeth)
+    | _ -> ()
+  end
 
 let exec st =
   let prog = st.prog in
@@ -1052,7 +1132,7 @@ let exec st =
     match th.top with
     | None -> rotate_thread st
     | Some fr ->
-        let cm = fetch_or_fallback st cp prog fr.m.Program.id in
+        let cm = fetch_for_frame st cp prog fr in
         if cm == empty_cmeth then
           (* degraded method: one reference step, which performs the
              instruction-count/i-cache preamble itself *)

@@ -26,3 +26,14 @@ val exec : Machine.state -> unit
     reference interpreter's driver loop.  Raises {!Machine.Runtime_error}
     on the same faults (including fuel exhaustion) with identical
     messages. *)
+
+val hot_swap : Machine.state -> Program.meth -> unit
+(** Adaptive hot-swap (DESIGN.md §9): install a recompiled version of a
+    method as the current one.  The new version must keep the old [id],
+    [mref] and [n_args]; only [func] and [code_addr] may differ.  Future
+    calls and dispatches run the new version; activations alive at the
+    swap finish on the version their frame pins (old compiled code is
+    kept in the program's compiled image).  Must be called from a
+    safepoint — the adaptive poll ({!Machine.state.adaptive_poll}) — on
+    a single-domain run.  Works on both engines: with no compiled image
+    (reference engine) the method-table write is the whole swap. *)

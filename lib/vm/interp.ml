@@ -48,19 +48,23 @@ type result = Machine.result = {
   dcache_misses : int;
   output : string;
   fallbacks : (string * string) list;
+  instr_cycles : int;
 }
 
 let step = Machine.step
 
 let run ?(engine = `Fast) ?fuel ?use_icache ?use_dcache ?costs ?timer_period
-    ?seed ?faults ?label ?deadline ?deadline_poll ?recorder prog ~entry ~args
-    hooks =
+    ?seed ?faults ?label ?deadline ?deadline_poll ?recorder ?on_init prog
+    ~entry ~args hooks =
   let st =
     Machine.init_state ?fuel ?use_icache ?use_dcache ?costs ?timer_period ?seed
       ?faults ?label ?deadline ?deadline_poll ?recorder prog hooks
   in
   let m = Program.method_by_ref prog entry in
   ignore (spawn_thread st m args);
+  (* adaptive tier attachment point: lets a controller capture the state
+     and arm [next_adaptive] before the first instruction runs *)
+  (match on_init with Some f -> f st | None -> ());
   (match engine with
   | `Ref ->
       while st.alive > 0 do

@@ -67,6 +67,10 @@ type result = Machine.result = {
   fallbacks : (string * string) list;
       (* methods the fast engine degraded to the interpreter for, with the
          reason; [] on [`Ref] and whenever every method compiled *)
+  instr_cycles : int;
+      (* cycles charged by instrumentation machinery (checks, sample
+         jumps, yieldpoints, instrument ops); included in [cycles].  The
+         adaptive governor steers this against its overhead budget. *)
 }
 
 val run :
@@ -82,6 +86,7 @@ val run :
   ?deadline:float ->
   ?deadline_poll:int ->
   ?recorder:Machine.flat_recorder ->
+  ?on_init:(Machine.state -> unit) ->
   Program.t ->
   entry:Ir.Lir.method_ref ->
   args:int list ->

@@ -58,18 +58,26 @@ type result = {
       (* methods the fast engine degraded to the interpreter for, with
          the reason, in first-degraded order; [] on the reference engine
          and whenever every method compiled *)
+  instr_cycles : int;
+      (* cycles charged by instrumentation machinery (checks, sample
+         jumps, instrument ops) — the overhead the adaptive governor
+         steers; part of [cycles], not in addition to it.  Yieldpoints
+         are excluded: the uninstrumented build pays them too. *)
 }
 
 (* Heap cells.  Values are plain ints: references are heap indices >= 1,
    null is 0 (the typechecker keeps ints and references apart). *)
 type cell = Obj of { cls : int; fields : int array } | Arr of int array
 
-(* Every field except [regs] is mutable so returning frames can be
-   recycled through the per-size pool (see [take_frame]); [regs] stays
-   immutable because the pool buckets by its exact length. *)
+(* Every field is mutable so returning frames can be recycled through
+   the per-size pool (see [take_frame]).  [regs] is only ever replaced
+   by frame migration (see [try_migrate]), which grows it when the
+   target method version needs more registers; the pool buckets by the
+   array's length at release time, so grown frames simply re-enter a
+   larger bucket. *)
 type frame = {
   mutable m : Program.meth;
-  regs : int array;
+  mutable regs : int array;
   mutable blk : int;
   mutable idx : int;
   mutable instrs : Lir.instr array; (* cache of current block's body *)
@@ -99,12 +107,16 @@ type thread = {
    event-by-event collector would have produced (hashtable iteration
    order is observable through report tie-breaking). *)
 type flat_recorder = {
-  ev_cost : int array; (* per event id: resolved cycle charge *)
-  ev_counter : int array; (* per event id: counter index, -1 = dynamic *)
+  mutable ev_cost : int array; (* per event id: resolved cycle charge *)
+  mutable ev_counter : int array;
+      (* per event id: counter index, -1 = dynamic.  The three event
+         arrays are mutable so the adaptive tier can mint additional
+         events mid-run (inlined call edges record under a fresh id);
+         they only ever grow, and existing ids keep their meaning. *)
   counts : int array; (* statically-keyed counters *)
   touch : int array; (* counter indices in first-touch order *)
   mutable n_touch : int;
-  dyn : (state -> thread -> frame -> unit) array; (* dynamic events *)
+  mutable dyn : (state -> thread -> frame -> unit) array; (* dynamic events *)
 }
 
 and state = {
@@ -121,8 +133,10 @@ and state = {
   mutable alive : int;
   mutable cycles : int;
   mutable instructions : int;
+  mutable icycles : int;
+      (* cycles charged through [icharge]: instrumentation overhead *)
   mutable switch_bit : bool;
-  timer_period : int;
+  mutable timer_period : int;
   mutable next_timer : int;
   mutable rng : int;
   icache : Icache.t option;
@@ -156,9 +170,23 @@ and state = {
   mutable cur_fr : frame;
   recorder : flat_recorder option;
       (* flat-slot recording; [None] = legacy event-by-event hooks *)
+  (* Adaptive tier (lib/adaptive).  [next_adaptive] = max_int keeps the
+     poll a single always-false compare when the loop is off, so the
+     byte-identity of non-adaptive runs is untouched. *)
+  mutable next_adaptive : int;
+  mutable adaptive_poll : state -> unit;
+  mutable migration : bool;
+      (* frame migration at yieldpoints armed (see [try_migrate]);
+         false unless the adaptive loop is on *)
 }
 
 let charge st c = st.cycles <- st.cycles + c
+
+(* Instrumentation charge: same cycle accounting as [charge] plus the
+   overhead meter the adaptive governor reads. *)
+let[@inline] icharge st c =
+  st.cycles <- st.cycles + c;
+  st.icycles <- st.icycles + c
 
 let out_of_fuel st =
   let where =
@@ -230,14 +258,35 @@ let guard_trip st =
 
 let fuel_check st = if st.cycles > st.guard_gate then guard_trip st
 
+(* Adaptive safepoint: when armed (next_adaptive < max_int) and due,
+   disarm and hand control to the controller.  The controller re-arms by
+   writing [next_adaptive] itself; with the loop off this is one
+   always-false compare. *)
+let[@inline] adaptive_check st =
+  if st.cycles >= st.next_adaptive then begin
+    st.next_adaptive <- max_int;
+    st.adaptive_poll st
+  end
+
 (* The timer device fires at block boundaries, exactly where the
-   reference step consults it (before executing a terminator). *)
+   reference step consults it (before executing a terminator).  The
+   adaptive poll piggybacks on the same safepoint, so both engines poll
+   at identical cycle counts. *)
 let timer_check st =
   if st.cycles >= st.next_timer then begin
     st.next_timer <- st.next_timer + st.timer_period;
     st.switch_bit <- true;
     st.hooks.on_timer_tick ()
-  end
+  end;
+  adaptive_check st
+
+(* Mid-run timer retune (adaptive governor).  Pulls an already-scheduled
+   far-away tick closer so a shortened period takes effect immediately;
+   a lengthened period lets the pending tick fire first. *)
+let set_timer_period st p =
+  let p = max 1 p in
+  st.timer_period <- p;
+  if st.next_timer - st.cycles > p then st.next_timer <- st.cycles + p
 
 let icache_access st addr =
   match st.icache with
@@ -253,6 +302,88 @@ let set_block st (fr : frame) l =
   fr.term <- b.Lir.term;
   fr.base_addr <- fr.m.Program.code_addr.(l);
   ignore st
+
+(* ------------------------------------------------------------------ *)
+(* On-stack frame migration (adaptive tier)                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-pin a frame suspended at a yieldpoint to the method version
+   currently installed in the method table.  Without this, a
+   long-running activation (a benchmark's main loop) executes its
+   original instrumented code forever no matter what the adaptive
+   controller installs — hot-swap only reaches future calls, and there
+   is no OSR.
+
+   The map is purely structural: the frame has just executed the k-th
+   yieldpoint of block [blk] ([ni] is the resume index right after it);
+   if the new version still has a block [blk] with the same role whose
+   k-th yieldpoint exists and has the same kind, execution resumes right
+   after that yieldpoint.  Every transform the controller applies
+   (strip/restore of plain instrument ops, hot block reordering,
+   call-site inlining) preserves the yieldpoint prefix of every
+   surviving block, so the map succeeds exactly where it is
+   semantically safe and declines the rest — e.g. a frame parked past an
+   inlined-away call site finds no k-th yieldpoint in the rewritten
+   block and simply stays on its pinned version.
+
+   Migration costs zero simulated cycles and both engines attempt it at
+   the same safepoint with the same outcome, so engine bit-identity is
+   preserved; [st.migration] stays false unless the adaptive loop is on,
+   so non-adaptive runs pay one always-false test per yieldpoint and
+   remain byte-identical. *)
+let try_migrate st (fr : frame) ni =
+  let id = fr.m.Program.id in
+  let nm = st.prog.Program.methods.(id) in
+  nm != fr.m
+  &&
+  let f = nm.Program.func in
+  let l = fr.blk in
+  l < Lir.num_blocks f
+  &&
+  let nb = Lir.block f l in
+  let ob = Lir.block fr.m.Program.func l in
+  nb.Lir.role = ob.Lir.role
+  &&
+  match fr.instrs.(ni - 1) with
+  | Lir.Yieldpoint kind -> (
+      (* ordinal of the yieldpoint just executed within its block *)
+      let k = ref 0 in
+      for i = 0 to ni - 1 do
+        match fr.instrs.(i) with Lir.Yieldpoint _ -> incr k | _ -> ()
+      done;
+      let k = !k in
+      (* resume index right after the k-th yieldpoint of the new block,
+         if it exists and the kinds agree *)
+      let ninstrs = nb.Lir.instrs in
+      let n = Array.length ninstrs in
+      let rec find i seen =
+        if i >= n then -1
+        else
+          match ninstrs.(i) with
+          | Lir.Yieldpoint kind' ->
+              if seen + 1 = k then if kind' = kind then i + 1 else -1
+              else find (i + 1) (seen + 1)
+          | _ -> find (i + 1) seen
+      in
+      match find 0 0 with
+      | -1 -> false
+      | p ->
+          (* an inlined version may address registers past the old
+             frame's file; grow it (fresh registers are always written
+             before read — the inliner emits parameter moves first) *)
+          let need = max f.Lir.next_reg 1 in
+          if Array.length fr.regs < need then begin
+            let regs = Array.make need 0 in
+            Array.blit fr.regs 0 regs 0 (Array.length fr.regs);
+            fr.regs <- regs
+          end;
+          fr.m <- nm;
+          fr.instrs <- ninstrs;
+          fr.term <- nb.Lir.term;
+          fr.base_addr <- nm.Program.code_addr.(l);
+          fr.idx <- p;
+          true)
+  | _ -> false
 
 (* Frame pool: returning frames are recycled per exact register-array
    size, so steady-state calls allocate nothing.  Bit-identity is
@@ -439,7 +570,7 @@ let make_ctx st th (fr : frame) =
    event's counter (logging its first touch) or run its dynamic-key
    closure.  Shared verbatim by both engines. *)
 let[@inline] record_flat st th fr (r : flat_recorder) ev =
-  charge st (Array.unsafe_get r.ev_cost ev);
+  icharge st (Array.unsafe_get r.ev_cost ev);
   let c = Array.unsafe_get r.ev_counter ev in
   if c >= 0 then begin
     let v = Array.unsafe_get r.counts c in
@@ -456,7 +587,7 @@ let run_instrument st th fr op =
   match st.recorder with
   | Some r when op.Lir.slot >= 0 -> record_flat st th fr r op.Lir.slot
   | _ ->
-      charge st (st.hooks.instr_cost op);
+      icharge st (st.hooks.instr_cost op);
       st.hooks.on_instrument (make_ctx st th fr) op
 
 let do_return st th v =
@@ -617,6 +748,7 @@ let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
     alive = 0;
     cycles = 0;
     instructions = 0;
+    icycles = 0;
     switch_bit = false;
     timer_period;
     next_timer = timer_period;
@@ -642,6 +774,9 @@ let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
     cur_th = dummy_thread;
     cur_fr = dummy_frame;
     recorder;
+    next_adaptive = max_int;
+    adaptive_poll = ignore;
+    migration = false;
   }
   in
   recompute_guard st;
@@ -671,6 +806,7 @@ let result_of st =
     dcache_misses = (match st.dcache with Some dc -> Icache.misses dc | None -> 0);
     output = Buffer.contents st.out;
     fallbacks = List.rev st.fallbacks;
+    instr_cycles = st.icycles;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -792,12 +928,20 @@ let step st =
             invoke st th fr dst kind target args site
         | Lir.Intrinsic { dst; name; args } -> intrinsic st th fr dst name args
         | Lir.Yieldpoint k ->
+            (* plain charge: yieldpoints are safepoint machinery the
+               uninstrumented build pays too, not a sheddable
+               instrumentation cost, so they stay out of the governor's
+               overhead meter *)
             charge st c.Costs.yieldpoint;
             (match k with
             | Lir.Yp_entry ->
                 st.counters.entry_yps <- st.counters.entry_yps + 1
             | Lir.Yp_backedge ->
                 st.counters.backedge_yps <- st.counters.backedge_yps + 1);
+            adaptive_check st;
+            (* fr.idx is already the resume index after this yieldpoint;
+               a successful migration rewrites it for the new version *)
+            if st.migration then ignore (try_migrate st fr fr.idx : bool);
             if st.switch_bit then begin
               st.switch_bit <- false;
               rotate_thread st
@@ -806,7 +950,7 @@ let step st =
         | Lir.Guarded_instrument op ->
             (* No-Duplication: the check guards this single op *)
             st.counters.checks <- st.counters.checks + 1;
-            charge st c.Costs.check;
+            icharge st c.Costs.check;
             if st.hooks.fire th.tid then begin
               st.counters.samples <- st.counters.samples + 1;
               run_instrument st th fr op
@@ -833,10 +977,10 @@ let step st =
         | Lir.Return v -> do_return st th (Option.map (eval fr) v)
         | Lir.Check { on_sample; fall } ->
             st.counters.checks <- st.counters.checks + 1;
-            charge st c.Costs.check;
+            icharge st c.Costs.check;
             if st.hooks.fire th.tid then begin
               st.counters.samples <- st.counters.samples + 1;
-              charge st c.Costs.sample_jump;
+              icharge st c.Costs.sample_jump;
               set_block st fr on_sample
             end
             else set_block st fr fall

@@ -59,3 +59,10 @@ val method_by_ref : t -> Ir.Lir.method_ref -> meth
 val code_size_words : Ir.Lir.func -> int
 (** Size in instruction words of a single function (live blocks only,
     terminator counted as one word). *)
+
+val layout_func : Ir.Lir.func -> int -> int array * int
+(** [layout_func f base]: assign per-label code addresses starting at
+    [base] — original and check blocks first, duplicated blocks after
+    ("out of the common path"), dead blocks -1.  Returns the address
+    array and the next free address.  Exposed for the adaptive tier,
+    which lays out recompiled method versions at fresh addresses. *)

@@ -1,0 +1,237 @@
+(* Differential testing of the adaptive tier (lib/adaptive) on random
+   well-typed programs.
+
+   Four claims, each checked across transforms x triggers x engines:
+
+   1. Loop transparency: with the governor off, an adaptive run — FDO
+      inlining, hot block reordering and on-stack frame migration all
+      live — returns the same value, prints the same output and decodes
+      the same profile as the loop-off run.  Inlined clones keep their
+      resolved slots (edge/field ops) or are re-keyed through
+      [Profiles.Slots.mint_call_edge] (call-edge ops), so adaptation is
+      invisible to the recorded profile.
+   2. Engine bit-identity UNDER adaptation: `Fast == `Ref on the full
+      observation tuple (cycles, instructions, counters, cache misses,
+      profiles, decision log, final versions) while methods are being
+      hot-swapped and frames migrated mid-run.
+   3. Budget safety: with the governor on, stripping and dilation may
+      change the recorded profile — that is the point of shedding — but
+      never the program's semantics: same return value, same output.
+   4. Determinism: same (program, transform, trigger, config) gives an
+      identical decision log, poll count and final method versions on
+      every run.
+
+   Triggers are deliberately sampler-state-driven (always / never /
+   counter): a timer-bit trigger would couple sampling to cycle counts,
+   which adaptation changes by design, so ON == OFF profile equality
+   only holds for triggers that depend on the check sequence alone.
+
+   Quick/Slow split (PR 1 convention): the quick pass replays a few
+   seeded programs; the QCheck property (100 random programs) registers
+   as `Slow and runs under `make ci`. *)
+
+module Lir = Ir.Lir
+
+(* the three profiles the controller steers by *)
+let spec =
+  Core.Spec.combine
+    [ Core.Spec.call_edge; Core.Spec.field_access; Core.Spec.edge_profile ]
+
+let transforms =
+  [
+    ("exhaustive", Core.Transform.exhaustive spec);
+    ("full-dup", Core.Transform.full_dup spec);
+    ("no-dup", Core.Transform.no_dup spec);
+  ]
+
+let triggers =
+  [
+    ("always", Core.Sampler.Always);
+    ("never", Core.Sampler.Never);
+    ("counter-3", Core.Sampler.Counter { interval = 3; jitter = 0 });
+    ("counter-7j2", Core.Sampler.Counter { interval = 7; jitter = 2 });
+  ]
+
+(* aggressive thresholds so small random programs actually trigger
+   inlining and reordering decisions *)
+let fdo_config =
+  {
+    Adaptive.Controller.default with
+    Adaptive.Controller.poll_period = 500;
+    inline_threshold = 2;
+    reorder_threshold = 4;
+  }
+
+let budget_config =
+  { fdo_config with Adaptive.Controller.budget_pct = Some 5.0 }
+
+let compile src =
+  let classes = Jasm.Compile.compile_string src in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  (classes, funcs)
+
+let instrument transform funcs =
+  List.map (fun f -> (transform f).Core.Transform.func) funcs
+
+(* Digest of the final method table — func bodies and code layout — so
+   two runs can be compared for "same final versions" without keeping
+   the programs alive. *)
+let versions_digest (prog : Vm.Program.t) =
+  let repr =
+    Array.map
+      (fun (m : Vm.Program.meth) -> (m.Vm.Program.func, m.Vm.Program.code_addr))
+      prog.Vm.Program.methods
+  in
+  Stdlib.Digest.to_hex (Stdlib.Digest.string (Marshal.to_string repr []))
+
+(* One run; [adaptive = Some config] attaches a fresh controller.  A
+   fresh link, sampler and slot resolution per run: runs must agree
+   starting from identical cold state. *)
+let observe ~engine ~adaptive classes funcs trigger =
+  let prog = Vm.Program.link classes ~funcs in
+  let sampler = Core.Sampler.create trigger in
+  let slots = Profiles.Slots.create prog in
+  let ctl =
+    Option.map
+      (fun config -> Adaptive.Controller.create ~config ~sampler slots)
+      adaptive
+  in
+  let res =
+    Vm.Interp.run ~engine ~fuel:200_000_000 ~use_icache:true ~use_dcache:true
+      ~recorder:(Profiles.Slots.recorder slots)
+      ?on_init:(Option.map Adaptive.Controller.on_init ctl)
+      prog
+      ~entry:{ Lir.mclass = "Main"; mname = "main" }
+      ~args:[ 5 ]
+      (Profiles.Slots.hooks slots sampler)
+  in
+  let col = Profiles.Slots.decode slots in
+  let c = res.Vm.Interp.counters in
+  let sem = (res.Vm.Interp.return_value, res.Vm.Interp.output) in
+  (* sorted: adaptation may mint call-edge events in a different
+     first-touch order than the dynamic path; content must agree *)
+  let profile =
+    ( List.sort compare
+        (Profiles.Call_edge.to_keyed col.Profiles.Collector.call_edges),
+      List.sort compare
+        (Profiles.Field_access.to_keyed col.Profiles.Collector.fields),
+      List.sort compare
+        (Profiles.Edge_profile.to_alist col.Profiles.Collector.edges) )
+  in
+  let full =
+    ( sem,
+      (res.Vm.Interp.cycles, res.Vm.Interp.instructions),
+      ( c.Vm.Interp.entries,
+        c.Vm.Interp.backedge_yps,
+        c.Vm.Interp.entry_yps,
+        c.Vm.Interp.checks,
+        c.Vm.Interp.samples,
+        c.Vm.Interp.thread_switches,
+        c.Vm.Interp.instrument_ops ),
+      (res.Vm.Interp.icache_misses, res.Vm.Interp.dcache_misses),
+      profile,
+      ( Option.map Adaptive.Controller.decisions ctl,
+        Option.map Adaptive.Controller.polls ctl ),
+      versions_digest prog )
+  in
+  (sem, profile, full)
+
+let check_program ~fail src =
+  let classes, funcs = compile src in
+  List.for_all
+    (fun (tname, transform) ->
+      let funcs' = instrument transform funcs in
+      let ok =
+        List.for_all
+          (fun (sname, trigger) ->
+            let off_sem, off_prof, _ =
+              observe ~engine:`Ref ~adaptive:None classes funcs' trigger
+            in
+            let on_sem, on_prof, on_full =
+              observe ~engine:`Ref ~adaptive:(Some fdo_config) classes funcs'
+                trigger
+            in
+            let _, _, on_full' =
+              observe ~engine:`Fast ~adaptive:(Some fdo_config) classes funcs'
+                trigger
+            in
+            if on_sem <> off_sem then
+              fail
+                (Printf.sprintf
+                   "adaptive changed semantics: %s under %s" tname sname)
+            else if on_prof <> off_prof then
+              fail
+                (Printf.sprintf
+                   "adaptive changed the profile: %s under %s" tname sname)
+            else if on_full <> on_full' then
+              fail
+                (Printf.sprintf
+                   "engines diverge under adaptation: %s under %s" tname sname)
+            else true)
+          triggers
+      in
+      ok
+      &&
+      (* determinism: a second identical run reproduces the decision
+         log, poll count and final versions bit for bit *)
+      let _, _, a =
+        observe ~engine:`Ref ~adaptive:(Some fdo_config) classes funcs'
+          (Core.Sampler.Counter { interval = 3; jitter = 0 })
+      in
+      let _, _, b =
+        observe ~engine:`Ref ~adaptive:(Some fdo_config) classes funcs'
+          (Core.Sampler.Counter { interval = 3; jitter = 0 })
+      in
+      if a <> b then
+        fail (Printf.sprintf "adaptive run not deterministic: %s" tname)
+      else
+        (* governor on: profiles may legitimately change, semantics and
+           engine agreement may not *)
+        let b_sem, _, b_full =
+          observe ~engine:`Ref ~adaptive:(Some budget_config) classes funcs'
+            (Core.Sampler.Counter { interval = 3; jitter = 0 })
+        in
+        let _, _, b_full' =
+          observe ~engine:`Fast ~adaptive:(Some budget_config) classes funcs'
+            (Core.Sampler.Counter { interval = 3; jitter = 0 })
+        in
+        let off_sem, _, _ =
+          observe ~engine:`Ref ~adaptive:None classes funcs'
+            (Core.Sampler.Counter { interval = 3; jitter = 0 })
+        in
+        if b_sem <> off_sem then
+          fail (Printf.sprintf "governor changed semantics: %s" tname)
+        else if b_full <> b_full' then
+          fail
+            (Printf.sprintf "engines diverge under the governor: %s" tname)
+        else true)
+    transforms
+
+let adaptive_invariant =
+  QCheck.Test.make ~count:100
+    ~name:
+      "adaptive: ON == OFF semantics+profile, Fast == Ref, deterministic \
+       (all transforms x triggers)"
+    Gen_jasm.arbitrary_program
+    (fun p ->
+      check_program
+        ~fail:(fun msg -> QCheck.Test.fail_reportf "%s" msg)
+        (Gen_jasm.render p))
+
+(* quick pass: same check on a handful of programs from a pinned seed *)
+let seeded_invariant () =
+  let rand = Random.State.make [| 0xADA9 |] in
+  let progs = QCheck.Gen.generate ~n:5 ~rand Gen_jasm.program in
+  List.iter
+    (fun p ->
+      ignore (check_program ~fail:Alcotest.fail (Gen_jasm.render p) : bool))
+    progs
+
+let suite =
+  [
+    ( "adaptive",
+      Alcotest.test_case "ON == OFF on seeded programs" `Quick seeded_invariant
+      :: List.map
+           (QCheck_alcotest.to_alcotest ~long:false)
+           [ adaptive_invariant ] );
+  ]

@@ -1,0 +1,204 @@
+(* Property tests for the overhead-budget governor (Adaptive.Budget):
+   the pure decision core the adaptive controller drives.
+
+   The governor is exercised two ways:
+
+   - unit properties of a single [step] (band policy, scale bounds,
+     action legality — notably that no action sequence can ever ask for
+     the paper-mandated checks to be disabled: the action type has no
+     arm for it, and every action is reversible);
+
+   - synthetic closed-loop traces: a model system whose overhead
+     responds to strips (removing a unit of instrumentation cost) and
+     dilation (scaling the sampled part down) is driven by the governor
+     from far above and far below the budget, and the distance to the
+     budget must shrink monotonically until the trace enters the
+     hysteresis band and holds there. *)
+
+module Budget = Adaptive.Budget
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- the overhead metric ---- *)
+
+let overhead_metric () =
+  Alcotest.(check (float 1e-9)) "no instrumentation" 0.0
+    (Budget.overhead ~cycles:1000 ~icycles:0);
+  Alcotest.(check (float 1e-9)) "10 points" 10.0
+    (Budget.overhead ~cycles:1100 ~icycles:100);
+  Alcotest.(check (float 1e-9)) "100 points" 100.0
+    (Budget.overhead ~cycles:2000 ~icycles:1000);
+  (* degenerate: all cycles are instrumentation — finite, not a crash *)
+  check_bool "all-instrumentation is finite" true
+    (Float.is_finite (Budget.overhead ~cycles:100 ~icycles:100))
+
+let create_validates () =
+  let raises f = try ignore (f () : Budget.t); false with Invalid_argument _ -> true in
+  check_bool "zero budget rejected" true
+    (raises (fun () -> Budget.create ~budget_pct:0.0 ()));
+  check_bool "negative budget rejected" true
+    (raises (fun () -> Budget.create ~budget_pct:(-3.0) ()));
+  check_bool "negative hysteresis rejected" true
+    (raises (fun () -> Budget.create ~hysteresis:(-1.0) ~budget_pct:10.0 ()));
+  check_bool "zero max_scale rejected" true
+    (raises (fun () -> Budget.create ~max_scale:0 ~budget_pct:10.0 ()))
+
+(* ---- single-step band policy ---- *)
+
+let band_policy () =
+  let g () = Budget.create ~hysteresis:1.0 ~budget_pct:10.0 () in
+  let act t oh = Budget.step t ~overhead:oh ~can_strip:true ~can_restore:true in
+  (* inside the band (including the edges): hold *)
+  List.iter
+    (fun oh ->
+      check_bool
+        (Printf.sprintf "hold at %.1f" oh)
+        true
+        (act (g ()) oh = Budget.Hold))
+    [ 9.0; 9.5; 10.0; 10.5; 11.0 ];
+  (* above: strip first *)
+  check_bool "strip above band" true (act (g ()) 11.1 = Budget.Strip);
+  (* above with nothing to strip: dilate, doubling and bounded *)
+  let t = g () in
+  let dilations =
+    List.init 5 (fun _ ->
+        Budget.step t ~overhead:20.0 ~can_strip:false ~can_restore:false)
+  in
+  Alcotest.(check (list bool))
+    "dilate doubles then holds at max"
+    [ true; true; true; false; false ]
+    (List.map (function Budget.Dilate _ -> true | _ -> false) dilations);
+  check_int "scale capped at max_scale" 8 (Budget.scale t);
+  (* below: narrow back to 1 first, then restore, then hold *)
+  let rec undo acc =
+    match Budget.step t ~overhead:5.0 ~can_strip:false ~can_restore:false with
+    | Budget.Narrow s -> undo (s :: acc)
+    | a -> (List.rev acc, a)
+  in
+  let narrows, final = undo [] in
+  Alcotest.(check (list int)) "narrow halves back down" [ 4; 2; 1 ] narrows;
+  check_bool "hold when nothing to restore" true (final = Budget.Hold);
+  check_int "scale back to 1" 1 (Budget.scale t);
+  check_bool "restore when possible" true
+    (Budget.step t ~overhead:5.0 ~can_strip:false ~can_restore:true
+    = Budget.Restore)
+
+(* ---- scale legality under arbitrary step sequences ---- *)
+
+let scale_always_legal =
+  QCheck.Test.make ~count:500 ~name:"budget: scale stays in [1, max_scale]"
+    QCheck.(list (pair (float_range 0.0 60.0) (pair bool bool)))
+    (fun steps ->
+      let t = Budget.create ~budget_pct:10.0 () in
+      List.for_all
+        (fun (oh, (cs, cr)) ->
+          (match Budget.step t ~overhead:oh ~can_strip:cs ~can_restore:cr with
+          | Budget.Dilate s | Budget.Narrow s ->
+              if s <> Budget.scale t then
+                QCheck.Test.fail_reportf "action scale %d <> state scale" s
+          | _ -> ());
+          Budget.scale t >= 1 && Budget.scale t <= 8)
+        steps)
+
+(* ---- synthetic closed-loop convergence ---- *)
+
+(* Model: K strippable units each contributing [unit_oh] points while
+   active, plus a small guarded floor that dilation divides (sampling
+   checks cannot be stripped, only sampled less often).  The governor
+   sees the model's overhead, the model applies the governor's action:
+   a discrete, monotone plant — exactly the shape the real controller
+   presents (strip lowers overhead, restore raises it, dilation scales
+   the check floor). *)
+let drive ~budget ~units ~unit_oh ~floor_oh =
+  let t = Budget.create ~budget_pct:budget () in
+  let active = ref units in
+  let stripped = ref 0 in
+  let oh () =
+    (float_of_int !active *. unit_oh)
+    +. (floor_oh /. float_of_int (Budget.scale t))
+  in
+  let trace = ref [ oh () ] in
+  let steps = ref 0 in
+  let rec loop () =
+    incr steps;
+    if !steps > 100 then Alcotest.fail "governor did not converge";
+    match
+      Budget.step t ~overhead:(oh ()) ~can_strip:(!active > 0)
+        ~can_restore:(!stripped > 0)
+    with
+    | Budget.Hold -> ()
+    | a ->
+        (match a with
+        | Budget.Strip ->
+            decr active;
+            incr stripped
+        | Budget.Restore ->
+            incr active;
+            decr stripped
+        | Budget.Dilate _ | Budget.Narrow _ | Budget.Hold -> ());
+        trace := oh () :: !trace;
+        loop ()
+  in
+  loop ();
+  (t, List.rev !trace)
+
+let converges_from_above () =
+  (* 12 units x 2.5 points + 4-point floor = 34 points, budget 10;
+     active = 2 lands exactly on the band edge (9.0) and holds *)
+  let t, trace = drive ~budget:10.0 ~units:12 ~unit_oh:2.5 ~floor_oh:4.0 in
+  (* monotone approach: each action moves overhead toward the budget *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        if Float.abs (b -. 10.0) > Float.abs (a -. 10.0) +. 1e-9 then
+          Alcotest.failf "overhead moved away from budget: %.2f -> %.2f" a b;
+        monotone rest
+    | _ -> ()
+  in
+  monotone trace;
+  let final = List.nth trace (List.length trace - 1) in
+  check_bool "lands inside the band" true (Float.abs (final -. 10.0) <= 1.0);
+  check_int "no dilation needed while strips remain" 1 (Budget.scale t)
+
+let converges_from_below () =
+  (* starts at 2 points with everything stripped available to restore:
+     model a warm system that over-shed earlier *)
+  let t = Budget.create ~budget_pct:10.0 () in
+  let active = ref 0 in
+  let oh () = float_of_int !active *. 2.0 in
+  let steps = ref 0 in
+  while
+    Budget.step t ~overhead:(oh ()) ~can_strip:(!active > 5)
+      ~can_restore:(!active < 10)
+    = Budget.Restore
+    && !steps < 100
+  do
+    incr active;
+    incr steps
+  done;
+  check_bool "restored up into the band" true (Float.abs (oh () -. 10.0) <= 2.0)
+
+let dilation_when_unstrippable () =
+  (* nothing strippable: only the check floor, 20 points — dilation must
+     cut it toward the budget and then hold *)
+  let t, trace = drive ~budget:10.0 ~units:0 ~unit_oh:0.0 ~floor_oh:20.0 in
+  let final = List.nth trace (List.length trace - 1) in
+  check_bool "dilated under budget+band" true (final <= 11.0);
+  check_bool "used dilation" true (Budget.scale t > 1)
+
+let suite =
+  [
+    ( "budget",
+      [
+        Alcotest.test_case "overhead metric" `Quick overhead_metric;
+        Alcotest.test_case "create validates" `Quick create_validates;
+        Alcotest.test_case "band policy" `Quick band_policy;
+        Alcotest.test_case "converges from above" `Quick converges_from_above;
+        Alcotest.test_case "converges from below" `Quick converges_from_below;
+        Alcotest.test_case "dilation when unstrippable" `Quick
+          dilation_when_unstrippable;
+      ]
+      @ List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [ scale_always_legal ] );
+  ]

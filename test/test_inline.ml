@@ -1,0 +1,260 @@
+(* Property tests for the adaptive tier's feedback-directed transforms
+   (Opt.Fdo) on random well-typed programs, instrumented by every
+   duplication transform of the paper.
+
+   Invariants the controller's correctness (and the frame-migration
+   map) rests on:
+
+   - every rewrite produces IR the verifier accepts — in particular no
+     sampling check ever lands in duplicated code;
+   - [strip_instrumentation] removes plain [Instrument] ops ONLY: the
+     paper-mandated machinery ([Check] terminators,
+     [Guarded_instrument] checks, yieldpoints) survives per block, so
+     the fire/sample sequence of a stripped method is unchanged;
+   - [inline_static_call] preserves the whole sampling apparatus of
+     caller and callee (check/yieldpoint counts add up), keeps the
+     rewritten block's yieldpoint prefix (what a migrating frame resumes
+     by), and re-keys every cloned call-edge op through [mint];
+   - [hot_layout] is layout-only and well-formed: dead blocks get no
+     address, live ranges are disjoint, hotter blocks come first. *)
+
+module Lir = Ir.Lir
+
+let spec =
+  Core.Spec.combine
+    [ Core.Spec.call_edge; Core.Spec.field_access; Core.Spec.edge_profile ]
+
+let transforms =
+  [
+    ("exhaustive", Core.Transform.exhaustive spec);
+    ("full-dup", Core.Transform.full_dup spec);
+    ("partial-dup", Core.Transform.partial_dup spec);
+    ("no-dup", Core.Transform.no_dup spec);
+  ]
+
+let compile src =
+  let classes = Jasm.Compile.compile_string src in
+  Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes)
+
+(* ---- counting helpers (live blocks only) ---- *)
+
+let live_blocks f =
+  List.filter_map
+    (fun l ->
+      let b = Lir.block f l in
+      if b.Lir.role = Lir.Dead then None else Some (l, b))
+    (List.init (Lir.num_blocks f) Fun.id)
+
+let yps_of (b : Lir.block) =
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter_map
+          (function Lir.Yieldpoint k -> Some k | _ -> None)
+          (Array.to_seq b.Lir.instrs)))
+
+let count_instrs f pred =
+  List.fold_left
+    (fun n (_, b) ->
+      n + Array.fold_left (fun n i -> if pred i then n + 1 else n) 0 b.Lir.instrs)
+    0 (live_blocks f)
+
+let n_checks f =
+  List.length
+    (List.filter
+       (fun (_, b) -> match b.Lir.term with Lir.Check _ -> true | _ -> false)
+       (live_blocks f))
+
+let n_guarded f =
+  count_instrs f (function Lir.Guarded_instrument _ -> true | _ -> false)
+
+let n_yps f = count_instrs f (function Lir.Yieldpoint _ -> true | _ -> false)
+let n_plain f = count_instrs f (function Lir.Instrument _ -> true | _ -> false)
+
+let fail_at ~fail fmt = Printf.ksprintf fail fmt
+
+(* ---- strip ---- *)
+
+let check_strip ~fail tname (f : Lir.func) =
+  let sf = Opt.Fdo.strip_instrumentation f in
+  (try Ir.Verify.check_exn sf
+   with e ->
+     fail_at ~fail "%s: strip broke the verifier: %s" tname
+       (Printexc.to_string e));
+  if Opt.Fdo.has_plain_instrument sf then
+    fail_at ~fail "%s: plain instrument op survived strip" tname;
+  if n_checks sf <> n_checks f then
+    fail_at ~fail "%s: strip changed Check terminator count" tname;
+  if n_guarded sf <> n_guarded f then
+    fail_at ~fail "%s: strip changed guarded-op count" tname;
+  (* the migration map's contract: per surviving block, same label, same
+     role, same yieldpoint sequence, same terminator *)
+  List.iter
+    (fun (l, b) ->
+      let sb = Lir.block sf l in
+      if sb.Lir.role <> b.Lir.role then
+        fail_at ~fail "%s: strip changed role of block %d" tname l;
+      if yps_of sb <> yps_of b then
+        fail_at ~fail "%s: strip changed yieldpoints of block %d" tname l;
+      if sb.Lir.term <> b.Lir.term then
+        fail_at ~fail "%s: strip changed terminator of block %d" tname l)
+    (live_blocks f)
+
+(* ---- inline ---- *)
+
+let static_call_sites (f : Lir.func) =
+  List.concat_map
+    (fun (l, b) ->
+      List.filter_map Fun.id
+        (Array.to_list
+           (Array.mapi
+              (fun i instr ->
+                match instr with
+                | Lir.Call { kind = Lir.Static; target; _ } ->
+                    Some (l, i, target)
+                | _ -> None)
+              b.Lir.instrs)))
+    (live_blocks f)
+
+let check_inline ~fail tname (funcs : Lir.func list) (f : Lir.func) =
+  List.iter
+    (fun (bl, idx, target) ->
+      match
+        List.find_opt (fun g -> Lir.method_ref_equal g.Lir.fname target) funcs
+      with
+      | Some callee
+        when Opt.Fdo.inlinable ~max_size:64 callee
+             && not (Lir.method_ref_equal f.Lir.fname target) ->
+          let minted = ref 0 in
+          let mint op =
+            incr minted;
+            { op with Lir.slot = -1 }
+          in
+          let nf = Opt.Fdo.inline_static_call f ~callee ~at:(bl, idx) ~mint in
+          (try Ir.Verify.check_exn nf
+           with e ->
+             fail_at ~fail "%s: inline broke the verifier: %s" tname
+               (Printexc.to_string e));
+          (* whole sampling apparatus of caller + callee preserved *)
+          if n_checks nf <> n_checks f + n_checks callee then
+            fail_at ~fail "%s: inline lost/added Check terminators" tname;
+          if n_yps nf <> n_yps f + n_yps callee then
+            fail_at ~fail "%s: inline lost/added yieldpoints" tname;
+          if n_guarded nf <> n_guarded f + n_guarded callee then
+            fail_at ~fail "%s: inline lost/added guarded ops" tname;
+          if n_plain nf <> n_plain f + n_plain callee then
+            fail_at ~fail "%s: inline lost/added instrument ops" tname;
+          (* every cloned call-edge op was re-keyed through [mint] *)
+          let callee_call_edges =
+            count_instrs callee (function
+              | Lir.Instrument op | Lir.Guarded_instrument op ->
+                  op.Lir.hook = "call_edge"
+              | _ -> false)
+          in
+          if !minted <> callee_call_edges then
+            fail_at ~fail "%s: minted %d of %d cloned call-edge ops" tname
+              !minted callee_call_edges;
+          (* the rewritten block keeps its yieldpoint prefix: a frame
+             parked at any pre-call yieldpoint can migrate into [nf] *)
+          let old_b = Lir.block f bl in
+          let pre_yps =
+            yps_of
+              {
+                old_b with
+                Lir.instrs = Array.sub old_b.Lir.instrs 0 idx;
+              }
+          in
+          let new_b = Lir.block nf bl in
+          if yps_of new_b <> pre_yps then
+            fail_at ~fail "%s: inline changed block %d's yieldpoint prefix"
+              tname bl
+      | _ -> ())
+    (static_call_sites f)
+
+(* ---- hot layout ---- *)
+
+let check_layout ~fail tname (f : Lir.func) =
+  (* deterministic pseudo-random weights *)
+  let weight l = (l * 2654435761) land 0xFF in
+  let base = 1000 in
+  let addr, next = Opt.Fdo.hot_layout f ~weight base in
+  if Array.length addr <> Lir.num_blocks f then
+    fail_at ~fail "%s: layout array length mismatch" tname;
+  let size (b : Lir.block) = Array.length b.Lir.instrs + 1 in
+  let total = ref 0 in
+  for l = 0 to Lir.num_blocks f - 1 do
+    let b = Lir.block f l in
+    if b.Lir.role = Lir.Dead then begin
+      if addr.(l) <> -1 then
+        fail_at ~fail "%s: dead block %d got an address" tname l
+    end
+    else begin
+      total := !total + size b;
+      if addr.(l) < base then
+        fail_at ~fail "%s: block %d laid out below base" tname l
+    end
+  done;
+  if next <> base + !total then
+    fail_at ~fail "%s: layout cursor %d <> base + live size %d" tname next
+      (base + !total);
+  (* live ranges are disjoint and hotter blocks come first *)
+  let live = live_blocks f in
+  List.iter
+    (fun (l1, b1) ->
+      List.iter
+        (fun (l2, _) ->
+          if l1 <> l2 then begin
+            let s1, e1 = (addr.(l1), addr.(l1) + size b1) in
+            let s2 = addr.(l2) in
+            if s2 >= s1 && s2 < e1 then
+              fail_at ~fail "%s: blocks %d and %d overlap" tname l1 l2;
+            if weight l1 > weight l2 && addr.(l1) > addr.(l2) then
+              fail_at ~fail "%s: hotter block %d laid out after %d" tname l1
+                l2
+          end)
+        live)
+    live
+
+let check_program ~fail src =
+  let funcs = compile src in
+  List.for_all
+    (fun (tname, transform) ->
+      let funcs' =
+        List.map (fun f -> (transform f).Core.Transform.func) funcs
+      in
+      List.iter
+        (fun f ->
+          check_strip ~fail tname f;
+          check_inline ~fail tname funcs' f;
+          check_layout ~fail tname f)
+        funcs';
+      true)
+    transforms
+
+let fdo_invariants =
+  QCheck.Test.make ~count:100
+    ~name:
+      "fdo: strip/inline/layout verified and sampling-preserving (all \
+       transforms)"
+    Gen_jasm.arbitrary_program
+    (fun p ->
+      check_program
+        ~fail:(fun msg -> QCheck.Test.fail_reportf "%s" msg)
+        (Gen_jasm.render p))
+
+let seeded_invariants () =
+  let rand = Random.State.make [| 0xF40 |] in
+  let progs = QCheck.Gen.generate ~n:8 ~rand Gen_jasm.program in
+  List.iter
+    (fun p ->
+      ignore (check_program ~fail:Alcotest.fail (Gen_jasm.render p) : bool))
+    progs
+
+let suite =
+  [
+    ( "fdo",
+      Alcotest.test_case "transform invariants on seeded programs" `Quick
+        seeded_invariants
+      :: List.map
+           (QCheck_alcotest.to_alcotest ~long:false)
+           [ fdo_invariants ] );
+  ]

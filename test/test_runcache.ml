@@ -43,7 +43,7 @@ let mk_key ?(engine = "fast") ?(recording = "slots") ?(trigger = "none")
     ?(faults = "none") ?(bench = "jess") () =
   D.run_config ~kind:"test" ~bench ~scale:1 ~funcs_digest:(D.hex "funcs")
     ~engine ~recording ~trigger ~timer_period:None
-    ~costs:(D.costs Vm.Costs.default) ~faults
+    ~costs:(D.costs Vm.Costs.default) ~faults ()
 
 (* ---- digests ---- *)
 

@@ -105,6 +105,39 @@ let samples_fired_counts () =
   ignore (fires_of t 100);
   check_int "fired counter" 9 (Core.Sampler.samples_fired t)
 
+(* Regression (adaptive governor retuning): a mid-run interval change
+   must also clamp the already-wound per-thread countdowns.  Before the
+   fix, a widen-then-narrow sequence left a thread's counter at the old
+   long value and its next sample drifted arbitrarily far past the new
+   interval. *)
+let per_thread_retune_clamps () =
+  let t =
+    Core.Sampler.create (Core.Sampler.Counter_per_thread { interval = 4 })
+  in
+  ignore (Core.Sampler.fire t 0);
+  (* dilate, then let a fresh thread wind a long countdown *)
+  Core.Sampler.set_interval t 1000;
+  ignore (Core.Sampler.fire t 1);
+  (* narrow back down: every thread — including thread 1, whose counter
+     was wound to ~1000 during the wide phase — must sample within the
+     new interval (+1 for the fire-on-reaching-zero convention) *)
+  Core.Sampler.set_interval t 3;
+  let within_new_interval tid =
+    let fired = ref false in
+    for _ = 1 to 4 do
+      if Core.Sampler.fire t tid then fired := true
+    done;
+    !fired
+  in
+  check_bool "thread 0 samples within the interval" true
+    (within_new_interval 0);
+  check_bool "thread 1 samples within the interval" true
+    (within_new_interval 1);
+  (* and [interval] reports the retuned value *)
+  Alcotest.(check (option int))
+    "interval reports retune" (Some 3)
+    (Core.Sampler.interval t)
+
 let suite =
   [
     ( "sampler",
@@ -121,5 +154,7 @@ let suite =
         Alcotest.test_case "jitter properties" `Quick jitter_properties;
         Alcotest.test_case "jitter determinism" `Quick jitter_deterministic;
         Alcotest.test_case "samples_fired" `Quick samples_fired_counts;
+        Alcotest.test_case "per-thread retune clamps" `Quick
+          per_thread_retune_clamps;
       ] );
   ]
