@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test test-all fmt bench-smoke bench-profiles bench-harness bench-adaptive cache-smoke crash-smoke adaptive-smoke ci clean
+.PHONY: all build test test-all fmt bench-smoke bench-profiles bench-harness bench-adaptive bench-serve cache-smoke crash-smoke adaptive-smoke serve-smoke ci clean
 
 all: build
 
@@ -44,6 +44,20 @@ bench-harness:
 bench-adaptive:
 	$(DUNE) exec bench/main.exe -- adaptive-smoke
 
+# serve-mode daemon benchmark (jobs/sec, latency percentiles, shed
+# rate, journal recovery time) on a small fleet, written to
+# BENCH_serve.smoke.json and validated; warns (does not fail) on a
+# >10% throughput regression against the committed BENCH_serve.json
+bench-serve:
+	$(DUNE) exec bench/main.exe -- serve-smoke
+
+# SIGKILL `isf serve` mid-fleet, restart on the same journal, require
+# zero lost jobs and byte-identity with a sequential run — for both
+# engines and both recording paths; plus socket mode, graceful SIGTERM,
+# a shared cache directory, and a chaos fleet with poison jobs
+serve-smoke: build
+	sh scripts/serve_smoke.sh
+
 # run `isf table 1` uncached, cold-cached and warm-cached; diff the
 # outputs and require the warm run to hit the cache for every cell
 cache-smoke: build
@@ -74,10 +88,12 @@ ci: build fmt
 	$(MAKE) crash-smoke
 	$(MAKE) cache-smoke
 	$(MAKE) adaptive-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-profiles
 	$(MAKE) bench-harness
 	$(MAKE) bench-adaptive
+	$(MAKE) bench-serve
 	@echo "ci OK"
 
 clean:

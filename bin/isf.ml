@@ -1,34 +1,19 @@
 (* isf — instrumentation-sampling-framework CLI.
 
-   Subcommands: list, run, profile, dump, table, figure, all. *)
+   Subcommands: list, run, profile, dump, table, figure, all, serve,
+   fleet. *)
 
 open Cmdliner
 
 module Measure = Harness.Measure
 
-(* Known instrumentations and variants, by CLI name.  The argument
-   parsers below validate against these lists, so a typo is a cmdliner
-   usage error (non-zero exit, valid choices listed) instead of an
-   uncaught Invalid_argument. *)
-let instr_kinds =
-  [
-    ("call-edge", Core.Spec.call_edge);
-    ("field-access", Core.Spec.field_access);
-    ("edge", Core.Spec.edge_profile);
-    ("value", Core.Spec.value_profile);
-    ("path", Profiles.Specs.path_profile);
-    ("receiver", Profiles.Specs.receiver_profile);
-    ("cct", Profiles.Specs.cct_profile);
-  ]
-
-let variants =
-  [
-    ("full-dup", Core.Transform.full_dup);
-    ("no-dup", Core.Transform.no_dup);
-    ("partial-dup", Core.Transform.partial_dup);
-    ("yp-opt", Core.Transform.full_dup_yieldpoint_opt);
-    ("exhaustive", Core.Transform.exhaustive);
-  ]
+(* Known instrumentations and variants, by CLI name — the single source
+   of truth lives in Serve.Job (jobs name the same specs and variants
+   over the wire).  The argument parsers below validate against these
+   lists, so a typo is a cmdliner usage error (non-zero exit, valid
+   choices listed) instead of an uncaught Invalid_argument. *)
+let instr_kinds = Serve.Job.instr_kinds
+let variants = Serve.Job.variants
 
 (* enum over the names rather than the values: specs and transforms hold
    closures, which cmdliner's enum printer cannot compare *)
@@ -43,12 +28,29 @@ let name_conv what names =
   in
   Arg.conv (parse, Format.pp_print_string)
 
-let spec_of_names names =
-  match names with
-  | [] -> Core.Spec.combine [ Core.Spec.call_edge; Core.Spec.field_access ]
-  | l -> Core.Spec.combine (List.map (fun n -> List.assoc n instr_kinds) l)
+let spec_of_names = Serve.Job.spec_of_names
+let transform_of_variant = Serve.Job.transform_of_variant
 
-let transform_of_variant spec v = (List.assoc v variants) spec
+(* Graceful SIGINT/SIGTERM for the one-shot verbs: the checkpoint and
+   the journal are flushed per record and the run cache writes via
+   temp+rename, so nothing buffered can be lost — the handler closes
+   the checkpoint channel (best effort) and exits with the
+   conventional 128+signal code so callers can tell an interrupt from
+   a failure.  [isf serve] overrides these with flag-setting handlers
+   for an orderly daemon shutdown. *)
+let exit_code_of_signal s = if s = Sys.sigterm then 143 else 130
+
+let oneshot_signal s =
+  prerr_endline
+    (Printf.sprintf "isf: interrupted by %s; checkpoint and cache are intact"
+       (if s = Sys.sigterm then "SIGTERM" else "SIGINT"));
+  (try Harness.Robust.set_checkpoint None with _ -> ());
+  exit (exit_code_of_signal s)
+
+let install_oneshot_signals () =
+  List.iter
+    (fun s -> try Sys.set_signal s (Sys.Signal_handle oneshot_signal) with _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
 
 (* ---- arguments ---- *)
 
@@ -487,6 +489,354 @@ let ablation_cmd =
       const run $ scale_arg $ jobs_arg $ trace_arg $ engine_arg
       $ recording_arg $ cache_arg)
 
+(* ---- service mode ---- *)
+
+let journal_arg =
+  let doc =
+    "Append-only job journal: every submission and completion is \
+     recorded (flushed per record, torn-tail tolerant), so a killed \
+     daemon restarted on the same journal replays completed results \
+     verbatim and re-runs exactly the in-flight jobs.  A journal \
+     written under a different serve configuration is refused."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
+let capacity_arg =
+  let doc =
+    "Admission bound: queued jobs beyond $(docv) are shed with an \
+     explicit rejection (never queued unboundedly)."
+  in
+  Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
+
+let retries_arg =
+  let doc = "Transient-failure retries per job (exponential backoff)." in
+  Arg.(value & opt int 2 & info [ "retries" ] ~docv:"N" ~doc)
+
+let quarantine_arg =
+  let doc =
+    "Bug-classified failures (per job digest) before the job is \
+     quarantined: journaled, reported, never run again."
+  in
+  Arg.(value & opt int 3 & info [ "quarantine-after" ] ~docv:"N" ~doc)
+
+let breaker_arg =
+  let doc =
+    "Cache-corruption events before the circuit breaker trips and the \
+     daemon falls back to the in-memory cache tier (one-way, keeps \
+     serving)."
+  in
+  Arg.(value & opt int 3 & info [ "breaker-after" ] ~docv:"N" ~doc)
+
+let serve_config ~workers ~capacity ~retries ~quarantine_after ~breaker_after =
+  { Serve.Daemon.workers; capacity; retries; quarantine_after; breaker_after }
+
+(* journal meta mismatch, malformed job lines: report like set_cache
+   does instead of dumping a backtrace *)
+let or_die f =
+  try f ()
+  with Failure m ->
+    prerr_endline ("isf: " ^ m);
+    exit 2
+
+(* everything that changes result bytes belongs in the journal meta;
+   worker count and capacity deliberately do not (scheduling never
+   changes results), so a crashed 8-worker run may resume with 1 *)
+let serve_meta ~tag ~config ~chaos ~watchdog =
+  Printf.sprintf "%s chaos=%s watchdog=%g retries=%d quarantine-after=%d" tag
+    (match chaos with Some s -> string_of_int s | None -> "off")
+    watchdog config.Serve.Daemon.retries config.Serve.Daemon.quarantine_after
+
+let print_fleet_stats (st : Serve.Fleet.fleet_stats) =
+  Printf.printf
+    "fleet: %d job(s) in %.2fs (%.1f jobs/s), latency p50 %.1fms p99 \
+     %.1fms\n\
+     fleet: %d ok, %d failed (classified), %d quarantined, %d shed, %d \
+     replayed from journal\n"
+    st.Serve.Fleet.jobs st.Serve.Fleet.wall_seconds st.Serve.Fleet.jobs_per_sec
+    st.Serve.Fleet.p50_ms st.Serve.Fleet.p99_ms st.Serve.Fleet.ok
+    st.Serve.Fleet.failed st.Serve.Fleet.quarantined st.Serve.Fleet.shed
+    st.Serve.Fleet.replayed
+
+(* Check the acceptance gates a fleet must pass: every failure carries a
+   known classification and no exception ever escaped a worker. *)
+let gate_fleet ~uncaught results =
+  let bad = Serve.Fleet.unclassified results in
+  if bad <> [] then begin
+    Printf.eprintf "isf fleet: %d unclassified failure(s):\n"
+      (List.length bad);
+    List.iter (fun (_, line) -> Printf.eprintf "  %s\n" line) bad;
+    exit 2
+  end;
+  if uncaught > 0 then begin
+    Printf.eprintf
+      "isf fleet: %d exception(s) escaped a worker's job wrapper\n" uncaught;
+    exit 2
+  end
+
+let serve_cmd =
+  let run socket job_file results_file journal workers capacity retries
+      quarantine_after breaker_after chaos watchdog cache trace =
+    set_trace trace;
+    set_robustness ~chaos ~watchdog ();
+    set_cache cache;
+    let config =
+      serve_config ~workers ~capacity ~retries ~quarantine_after
+        ~breaker_after
+    in
+    (* signal => orderly shutdown: the select loop / drain poll notices
+       the flag, the daemon stops without draining its backlog (those
+       jobs stay journaled as submitted, so a restart resumes exactly
+       them), and we exit 128+signal *)
+    let signalled = Atomic.make 0 in
+    List.iter
+      (fun s ->
+        Sys.set_signal s (Sys.Signal_handle (fun s -> Atomic.set signalled s)))
+      [ Sys.sigint; Sys.sigterm ];
+    match (socket, job_file) with
+    | None, None ->
+        prerr_endline "isf serve: need --socket PATH or --job-file FILE";
+        exit 2
+    | Some _, Some _ ->
+        prerr_endline "isf serve: --socket and --job-file are exclusive";
+        exit 2
+    | Some sock, None ->
+        let srv = Serve.Server.create ~socket:sock in
+        let meta = serve_meta ~tag:"socket" ~config ~chaos ~watchdog in
+        let d =
+          or_die (fun () ->
+              Serve.Daemon.start ~config ?journal ~meta
+                ~on_result:(Serve.Server.on_result srv) ())
+        in
+        Printf.printf
+          "isf serve: listening on %s (%d worker(s), capacity %d)\n%!" sock
+          config.Serve.Daemon.workers config.Serve.Daemon.capacity;
+        Serve.Server.run srv d ~stop:(fun () -> Atomic.get signalled <> 0);
+        Serve.Daemon.stop ~drain:false d;
+        (match Atomic.get signalled with
+        | 0 -> ()
+        | s ->
+            prerr_endline "isf serve: shut down cleanly; journal is intact";
+            exit (exit_code_of_signal s))
+    | None, Some jf ->
+        let out =
+          match results_file with Some o -> o | None -> jf ^ ".results"
+        in
+        let entries = or_die (fun () -> Serve.Fleet.read_job_file jf) in
+        let n = List.length entries in
+        let meta =
+          let file_digest =
+            Harness.Digest.hex
+              (In_channel.with_open_bin jf In_channel.input_all)
+          in
+          serve_meta ~tag:("job-file " ^ file_digest) ~config ~chaos
+            ~watchdog
+        in
+        let d = or_die (fun () -> Serve.Daemon.start ~config ?journal ~meta ()) in
+        (* ids are 1-based line numbers; skip everything the journal
+           already completed or recovery already requeued *)
+        List.iteri
+          (fun i (client, job) ->
+            let id = i + 1 in
+            if
+              Atomic.get signalled = 0
+              && not (Serve.Daemon.is_known d ~id)
+            then Serve.Daemon.submit_pinned d ~id ~client job)
+          entries;
+        (* poll instead of Daemon.drain so a signal interrupts the wait *)
+        let rec wait () =
+          if Atomic.get signalled <> 0 then `Signalled
+          else
+            let st = Serve.Daemon.stats d in
+            if
+              st.Serve.Daemon.completed >= st.Serve.Daemon.accepted
+              && List.length (Serve.Daemon.results d) >= n
+            then `Done
+            else begin
+              Unix.sleepf 0.02;
+              wait ()
+            end
+        in
+        (match wait () with
+        | `Signalled ->
+            let s = Atomic.get signalled in
+            Serve.Daemon.stop ~drain:false d;
+            prerr_endline
+              "isf serve: interrupted; completed jobs are journaled — rerun \
+               with the same --journal to resume";
+            exit (exit_code_of_signal s)
+        | `Done ->
+            let results = Serve.Daemon.results d in
+            let st = Serve.Daemon.stats d in
+            Serve.Daemon.stop d;
+            if List.length results <> n then begin
+              Printf.eprintf "isf serve: %d job(s) but %d result(s)\n" n
+                (List.length results);
+              exit 2
+            end;
+            Serve.Fleet.write_results out results;
+            Printf.printf
+              "isf serve: %d job(s) done (%d replayed from journal, %d \
+               quarantined, %d worker(s)); results in %s\n"
+              n st.Serve.Daemon.replayed st.Serve.Daemon.quarantined
+              (Array.length st.Serve.Daemon.per_worker)
+              out;
+            if st.Serve.Daemon.uncaught > 0 then begin
+              Printf.eprintf
+                "isf serve: %d exception(s) escaped a worker's job wrapper\n"
+                st.Serve.Daemon.uncaught;
+              exit 2
+            end)
+  in
+  let socket_arg =
+    let doc =
+      "Serve jobs over the Unix-domain socket at $(docv) (line protocol: \
+       HELLO, SUBMIT, STATS, PING, QUIT; results push asynchronously)."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let job_file_arg =
+    let doc =
+      "Drain the job file at $(docv) (one \"client job...\" per line; the \
+       line number is the job id) and exit when every job has a result."
+    in
+    Arg.(value & opt (some string) None & info [ "job-file" ] ~docv:"FILE" ~doc)
+  in
+  let results_arg =
+    let doc = "Where to write result lines (default: JOB-FILE.results)." in
+    Arg.(value & opt (some string) None & info [ "results" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the profiling daemon: concurrent workers, bounded fair \
+          admission, quarantine, journaled crash recovery")
+    Term.(
+      const run $ socket_arg $ job_file_arg $ results_arg $ journal_arg
+      $ jobs_arg $ capacity_arg $ retries_arg $ quarantine_arg $ breaker_arg
+      $ chaos_arg $ watchdog_arg $ cache_arg $ trace_arg)
+
+let fleet_cmd =
+  let run n seed clients poison engine recording emit file sequential socket
+      out journal workers capacity retries quarantine_after breaker_after
+      chaos watchdog cache trace =
+    install_oneshot_signals ();
+    set_trace trace;
+    set_robustness ~chaos ~watchdog ();
+    set_cache cache;
+    let entries =
+      match file with
+      | Some f -> or_die (fun () -> Serve.Fleet.read_job_file f)
+      | None ->
+          Serve.Fleet.jobs ~engine ~recording ~poison ~seed ~n ()
+          |> List.mapi (fun i j -> (Serve.Fleet.client_of ~clients i, j))
+    in
+    match emit with
+    | Some f ->
+        Serve.Fleet.write_job_file f entries;
+        Printf.printf "isf fleet: wrote %d job(s) to %s\n"
+          (List.length entries) f
+    | None ->
+        let results, stats =
+          if sequential then
+            ( Serve.Fleet.run_sequential entries,
+              None (* the byte-identity reference: no stats to compare *) )
+          else
+            match socket with
+            | Some sock ->
+                let results, shed =
+                  Serve.Server.client_run ~socket:sock entries
+                in
+                if shed > 0 then
+                  Printf.printf
+                    "isf fleet: %d submission(s) shed and retried\n" shed;
+                (results, None)
+            | None ->
+                let config =
+                  serve_config ~workers ~capacity ~retries ~quarantine_after
+                    ~breaker_after
+                in
+                let meta = serve_meta ~tag:"fleet" ~config ~chaos ~watchdog in
+                let st, results =
+                  or_die (fun () ->
+                      Serve.Fleet.run_daemon ~config ?journal ~meta entries)
+                in
+                (results, Some st)
+        in
+        (match out with
+        | Some f ->
+            Serve.Fleet.write_results f results;
+            Printf.printf "isf fleet: wrote %d result(s) to %s\n"
+              (List.length results) f
+        | None -> List.iter (fun (_, line) -> print_endline line) results);
+        let uncaught =
+          match stats with
+          | Some st ->
+              print_fleet_stats st;
+              st.Serve.Fleet.uncaught
+          | None -> 0
+        in
+        gate_fleet ~uncaught results
+  in
+  let n_arg =
+    let doc = "How many jobs to generate." in
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc =
+      "Generation seed: the fleet is a pure function of it, so the same \
+       seed reproduces the same jobs on every machine."
+    in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let clients_arg =
+    let doc = "Spread submissions over $(docv) round-robin client names." in
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc)
+  in
+  let poison_arg =
+    let doc =
+      "Weave $(docv) deliberately broken jobs through the fleet (each \
+       fails bug-classified and must end quarantined)."
+    in
+    Arg.(value & opt int 0 & info [ "poison" ] ~docv:"N" ~doc)
+  in
+  let emit_arg =
+    let doc = "Write the generated fleet to $(docv) as a job file and exit." in
+    Arg.(value & opt (some string) None & info [ "emit" ] ~docv:"FILE" ~doc)
+  in
+  let file_arg =
+    let doc = "Run the jobs in $(docv) instead of generating them." in
+    Arg.(value & opt (some string) None & info [ "file" ] ~docv:"FILE" ~doc)
+  in
+  let sequential_arg =
+    let doc =
+      "Run with one worker in submission order — the byte-identity \
+       reference every concurrent run must match."
+    in
+    Arg.(value & flag & info [ "sequential" ] ~doc)
+  in
+  let socket_arg =
+    let doc =
+      "Submit to the daemon listening on $(docv) instead of running \
+       in-process."
+    in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let out_arg =
+    let doc = "Write result lines to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Generate and run a deterministic fleet of mixed-scale profiling \
+          jobs against the serve engine")
+    Term.(
+      const run $ n_arg $ seed_arg $ clients_arg $ poison_arg $ engine_arg
+      $ recording_arg $ emit_arg $ file_arg $ sequential_arg $ socket_arg
+      $ out_arg $ journal_arg $ jobs_arg $ capacity_arg $ retries_arg
+      $ quarantine_arg $ breaker_arg $ chaos_arg $ watchdog_arg $ cache_arg
+      $ trace_arg)
+
 let main =
   let doc =
     "Instrumentation sampling framework (Arnold & Ryder, PLDI 2001) — \
@@ -502,6 +852,10 @@ let main =
       table_cmd;
       all_cmd;
       ablation_cmd;
+      serve_cmd;
+      fleet_cmd;
     ]
 
-let () = exit (Cmd.eval main)
+let () =
+  install_oneshot_signals ();
+  exit (Cmd.eval main)

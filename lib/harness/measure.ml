@@ -189,10 +189,13 @@ let run_baseline ?engine build =
   Cache.find ~key (fun () ->
       fst (execute ~engine build build.base_funcs no_recording))
 
-let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
-    ~transform build =
+let run_transformed ?engine ?recording:rec_override
+    ?(trigger = Core.Sampler.Never) ?timer_period ~transform build =
   let engine =
     match engine with Some e -> e | None -> Atomic.get default_engine
+  in
+  let recording_path =
+    match rec_override with Some r -> r | None -> Atomic.get recording
   in
   let funcs =
     List.map
@@ -201,7 +204,7 @@ let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
   in
   let mk prog =
     let sampler = Core.Sampler.create trigger in
-    match Atomic.get recording with
+    match recording_path with
     | `Legacy ->
         let collector = Profiles.Collector.create () in
         {
@@ -222,9 +225,7 @@ let run_transformed ?engine ?(trigger = Core.Sampler.Never) ?timer_period
   let key =
     run_key ~kind:"instrumented" ~funcs_digest:(Digest.funcs funcs) ~engine
       ~recording:
-        (match Atomic.get recording with
-        | `Slots -> "slots"
-        | `Legacy -> "legacy")
+        (match recording_path with `Slots -> "slots" | `Legacy -> "legacy")
       ~trigger:(Digest.trigger trigger) ~timer_period build
   in
   Cache.find ~key (fun () -> fst (execute ~engine ?timer_period build funcs mk))

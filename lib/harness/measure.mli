@@ -75,6 +75,7 @@ val run_baseline : ?engine:[ `Ref | `Fast ] -> build -> metrics
 
 val run_transformed :
   ?engine:[ `Ref | `Fast ] ->
+  ?recording:[ `Slots | `Legacy ] ->
   ?trigger:Core.Sampler.trigger ->
   ?timer_period:int ->
   transform:(Ir.Lir.func -> Core.Transform.result) ->
@@ -83,7 +84,10 @@ val run_transformed :
 (** Applies [transform] to every function of the build (backend passes
     afterwards are not re-run: overhead measurement isolates the
     framework), links, and runs with a fresh collector.  Default trigger
-    is [Never] (framework-overhead configurations).  Cached through
+    is [Never] (framework-overhead configurations).  [recording]
+    overrides {!current_recording} for this run only — service jobs
+    ({!Serve}) carry their own recording path and must not mutate the
+    session-wide setting under concurrent siblings.  Cached through
     {!Runcache} keyed by the digest of the transformed code plus the
     full run configuration, so identical cells requested by different
     drivers execute once.  Failing runs (chaos faults, watchdog) are

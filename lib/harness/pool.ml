@@ -126,6 +126,56 @@ let trace =
     | None | Some "" | Some "0" -> false
     | Some _ -> true)
 
+(* Persistent worker pool for service mode (Serve.Daemon): unlike
+   [run_tasks], work arrives while the workers are already running, so
+   each worker loops on a caller-supplied blocking [next] until it
+   returns [None] (the source is closed and drained).  Per-worker
+   executed-task counters let fairness/starvation tests assert the
+   actual distribution of jobs over domains instead of inferring it
+   from timing. *)
+module Service = struct
+  type t = {
+    domains : unit Domain.t array;
+    executed : int Atomic.t array;
+    uncaught : int Atomic.t;
+  }
+
+  let start ~workers ~next =
+    let workers = max 1 workers in
+    let executed = Array.init workers (fun _ -> Atomic.make 0) in
+    let uncaught = Atomic.make 0 in
+    let worker w () =
+      let rec loop () =
+        match next () with
+        | None -> ()
+        | Some task ->
+            (* a worker must survive anything a task throws — a wedged
+               or dead worker is exactly the failure mode service mode
+               exists to rule out.  Tasks are expected to classify their
+               own failures; anything escaping here is counted so the
+               daemon can report it. *)
+            (try task ()
+             with e ->
+               Atomic.incr uncaught;
+               Printf.eprintf "[pool] worker %d: uncaught %s\n%!" w
+                 (Printexc.to_string e));
+            Atomic.incr executed.(w);
+            loop ()
+      in
+      loop ()
+    in
+    {
+      domains = Array.init workers (fun w -> Domain.spawn (worker w));
+      executed;
+      uncaught;
+    }
+
+  let stats t = Array.map Atomic.get t.executed
+  let uncaught t = Atomic.get t.uncaught
+
+  let join t = Array.iter Domain.join t.domains
+end
+
 module Progress = struct
   type t = {
     mu : Mutex.t;

@@ -42,6 +42,35 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 val run : ?jobs:int -> (unit -> unit) list -> unit
 (** Same scheduling for effect-only tasks. *)
 
+(** Persistent worker pool for service mode ({!Serve.Daemon}).  Where
+    {!run} enqueues everything up front and tears the domains down at
+    the end, a service's work arrives while the workers are already
+    running: each of [workers] domains loops on the caller-supplied
+    [next] — expected to block until work is available — and exits when
+    it returns [None] (source closed and drained).  A task that throws
+    never kills its worker: the exception is counted ({!Service.uncaught})
+    and printed, and the worker moves on — daemons classify failures
+    inside the task and treat a non-zero uncaught count as a bug. *)
+module Service : sig
+  type t
+
+  val start : workers:int -> next:(unit -> (unit -> unit) option) -> t
+  (** Spawn [max 1 workers] domains, each looping on [next].  [next]
+      must be domain-safe and must eventually return [None] in every
+      worker once the work source is closed, or {!join} never returns. *)
+
+  val stats : t -> int array
+  (** Tasks executed per worker domain, index = worker id.  Monotonic;
+      safe to read while the service runs. *)
+
+  val uncaught : t -> int
+  (** Exceptions that escaped tasks (each one is a bug in the caller's
+      task wrapper — the daemon surfaces this in its own stats). *)
+
+  val join : t -> unit
+  (** Wait for every worker to observe [None] and exit. *)
+end
+
 (** Progress line for long sweeps, written to [stderr] so table output on
     [stdout] stays byte-identical.  Thread-safe; disabled unless
     {!trace} is set (CLI [--trace] or the [ISF_TRACE] environment

@@ -3,7 +3,13 @@
    overlap (Marshal payloads, tolerance of torn tails, loud refusal of
    a store written by a different configuration). *)
 
-type stats = { mem_hits : int; disk_hits : int; misses : int; stores : int }
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  stores : int;
+  corrupt : int;
+}
 
 let version = Printf.sprintf "isf-runcache 1 ocaml-%s" Sys.ocaml_version
 let magic = "ISF-RUNCACHE-ENTRY 1\n"
@@ -12,7 +18,7 @@ let version_file = "CACHE_VERSION"
 (* configuration + stats, shared across domains *)
 let lock = Mutex.create ()
 let dir_ref = ref None
-let zero = { mem_hits = 0; disk_hits = 0; misses = 0; stores = 0 }
+let zero = { mem_hits = 0; disk_hits = 0; misses = 0; stores = 0; corrupt = 0 }
 let stats_ref = ref zero
 let locked f =
   Mutex.lock lock;
@@ -28,7 +34,10 @@ let bump which =
         | `Mem -> { s with mem_hits = s.mem_hits + 1 }
         | `Disk -> { s with disk_hits = s.disk_hits + 1 }
         | `Miss -> { s with misses = s.misses + 1 }
-        | `Store -> { s with stores = s.stores + 1 }))
+        | `Store -> { s with stores = s.stores + 1 }
+        | `Corrupt -> { s with corrupt = s.corrupt + 1 }))
+
+let corruptions () = (stats ()).corrupt
 
 (* registered in-memory caches, cleared together by [reset_memory] *)
 let resets : (unit -> unit) list ref = ref []
@@ -72,11 +81,52 @@ let write_atomic ~dir path s =
 
 let trace_stats_registered = ref false
 
+(* A writer that dies between [Filename.temp_file] and [Sys.rename]
+   leaves an orphan isf-*.tmp behind forever.  Sweep them on open, but
+   only once they are old enough that no live process can still be
+   mid-write — another daemon sharing the directory may have created a
+   tmp file moments ago and is about to rename it. *)
+let stale_tmp_age = 900.0 (* seconds *)
+
+let has_suffix suf s =
+  String.length s >= String.length suf
+  && String.sub s (String.length s - String.length suf) (String.length suf)
+     = suf
+
+let has_prefix pre s =
+  String.length s >= String.length pre
+  && String.equal (String.sub s 0 (String.length pre)) pre
+
+let sweep_stale_tmps d =
+  match Sys.readdir d with
+  | exception Sys_error _ -> 0
+  | names ->
+      let now = Unix.gettimeofday () in
+      Array.fold_left
+        (fun n name ->
+          if has_prefix "isf-" name && has_suffix ".tmp" name then begin
+            let path = Filename.concat d name in
+            match Unix.stat path with
+            | exception Unix.Unix_error _ -> n
+            | st ->
+                if now -. st.Unix.st_mtime > stale_tmp_age then (
+                  try
+                    Sys.remove path;
+                    n + 1
+                  with Sys_error _ -> n)
+                else n
+          end
+          else n)
+        0 names
+
 let set_dir d =
   (match d with
   | None -> ()
   | Some d ->
       mkdir_p d;
+      let swept = sweep_stale_tmps d in
+      if swept > 0 && !Pool.trace then
+        Printf.eprintf "[runcache] swept %d stale tmp file(s) in %s\n%!" swept d;
       let vpath = Filename.concat d version_file in
       if Sys.file_exists vpath then begin
         let found = String.trim (read_file vpath) in
@@ -97,17 +147,22 @@ let set_dir d =
             if !Pool.trace then
               let s = stats () in
               Printf.eprintf
-                "[runcache] mem-hits=%d disk-hits=%d misses=%d stores=%d\n%!"
-                s.mem_hits s.disk_hits s.misses s.stores)
+                "[runcache] mem-hits=%d disk-hits=%d misses=%d stores=%d \
+                 corrupt=%d\n\
+                 %!"
+                s.mem_hits s.disk_hits s.misses s.stores s.corrupt)
       end)
 
 let entry_path ~dir ~key = Filename.concat dir (Digest.hex key ^ ".cell")
 
 (* Read one entry file.  Anything short of a fully verified entry —
    absent, foreign magic, torn Marshal, payload/digest mismatch — is a
-   miss and will be recomputed and overwritten.  The single loud case:
-   a verified entry embedding a different key than the one that hashed
-   to this filename is an MD5 collision, which must never be served. *)
+   miss and will be recomputed and overwritten; everything but plain
+   absence additionally counts as a corruption event, which long-running
+   services ({!Serve.Daemon}) watch to circuit-break a rotting disk
+   tier.  The single loud case: a verified entry embedding a different
+   key than the one that hashed to this filename is an MD5 collision,
+   which must never be served. *)
 let read_raw ~key path =
   match open_in_bin path with
   | exception Sys_error _ -> `Miss
@@ -115,25 +170,30 @@ let read_raw ~key path =
       let r =
         try
           let m = really_input_string ic (String.length magic) in
-          if not (String.equal m magic) then `Miss
+          if not (String.equal m magic) then `Corrupt
           else
             let k, dg, payload =
               (Marshal.from_channel ic : string * string * string)
             in
-            if not (String.equal (Stdlib.Digest.string payload) dg) then `Miss
+            if not (String.equal (Stdlib.Digest.string payload) dg) then
+              `Corrupt
             else if String.equal k key then `Hit payload
             else `Collision k
-        with End_of_file | Failure _ -> `Miss
+        with End_of_file | Failure _ -> `Corrupt
       in
       close_in_noerr ic;
       (match r with
       | `Collision k ->
+          bump `Corrupt;
           failwith
             (Printf.sprintf
                "run cache entry %s: digest collision (entry holds a different \
                 run key %s)"
                path
                (String.escaped (String.sub k 0 (min 80 (String.length k)))))
+      | `Corrupt ->
+          bump `Corrupt;
+          `Miss
       | (`Miss | `Hit _) as r -> r)
 
 let write_raw ~dir ~key payload =

@@ -18,7 +18,17 @@
     with [Failure], mirroring {!Robust.set_checkpoint}'s refusal of
     foreign checkpoints ([bin/isf.ml] turns it into exit 2). *)
 
-type stats = { mem_hits : int; disk_hits : int; misses : int; stores : int }
+type stats = {
+  mem_hits : int;
+  disk_hits : int;
+  misses : int;
+  stores : int;
+  corrupt : int;
+      (** disk entries that existed but failed verification (foreign
+          magic, torn payload, digest mismatch, or a collision) — each
+          was recomputed, but a climbing count means the disk tier is
+          rotting.  {!Serve.Daemon} circuit-breaks on it. *)
+}
 
 val version : string
 (** Format version recorded in [DIR/CACHE_VERSION]; includes the OCaml
@@ -29,11 +39,23 @@ val version : string
 val set_dir : string option -> unit
 (** Enable ([Some dir], created if missing) or disable ([None]) the
     persistent tier.  Raises [Failure] if [dir] was written by an
-    incompatible version — delete it or point [--cache] elsewhere. *)
+    incompatible version — delete it or point [--cache] elsewhere.
+    Opening a directory also sweeps [isf-*.tmp] files older than
+    {!stale_tmp_age} — orphans of a writer that crashed between
+    creating its temp file and the atomic rename.  Younger tmp files
+    are left alone: another process sharing the directory may be
+    mid-write. *)
 
 val dir : unit -> string option
 
+val stale_tmp_age : float
+(** Age in seconds past which an [isf-*.tmp] file is considered the
+    debris of a crashed writer and swept by {!set_dir}. *)
+
 val stats : unit -> stats
+
+val corruptions : unit -> int
+(** [ (stats ()).corrupt ] — cheap accessor for circuit breakers. *)
 
 val on_reset : (unit -> unit) -> unit
 (** Register an in-memory cache to be cleared by {!reset_memory}.

@@ -1,0 +1,138 @@
+(* Bounded multi-client fair queue: admission control + round-robin
+   scheduling for the daemon.
+
+   Admission is a single shared bound: once [capacity] items are queued
+   across all clients, further submits are shed with an explicit
+   rejection (the daemon answers SHED) instead of queuing unboundedly.
+   Scheduling is round-robin across client queues in first-seen order —
+   each pop resumes the rotation one past the client served last, so a
+   client flooding thousands of jobs advances the others' queues at the
+   same per-client rate and can never starve them. *)
+
+type 'a t = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  capacity : int;
+  queues : (string, 'a Queue.t) Hashtbl.t;
+  mutable rotation : string array; (* clients in first-seen order *)
+  mutable cursor : int; (* rotation index served last *)
+  mutable occupancy : int;
+  mutable closed : bool;
+  mutable shed : int;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Fairq.create: capacity < 1";
+  {
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    capacity;
+    queues = Hashtbl.create 16;
+    rotation = [||];
+    cursor = -1;
+    occupancy = 0;
+    closed = false;
+    shed = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let enqueue_locked t ~client x =
+  let q =
+    match Hashtbl.find_opt t.queues client with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.add t.queues client q;
+        t.rotation <- Array.append t.rotation [| client |];
+        q
+  in
+  Queue.push x q;
+  t.occupancy <- t.occupancy + 1;
+  Condition.broadcast t.cond
+
+let submit t ~client x =
+  locked t (fun () ->
+      if t.closed then `Closed
+      else if t.occupancy >= t.capacity then begin
+        t.shed <- t.shed + 1;
+        `Shed
+      end
+      else begin
+        enqueue_locked t ~client x;
+        `Accepted
+      end)
+
+(* Blocking submit, for sources that must lose nothing (the job-file
+   reader): waits for a worker to free a slot instead of shedding. *)
+let submit_wait t ~client x =
+  locked t (fun () ->
+      while (not t.closed) && t.occupancy >= t.capacity do
+        Condition.wait t.cond t.mu
+      done;
+      if t.closed then `Closed
+      else begin
+        enqueue_locked t ~client x;
+        `Accepted
+      end)
+
+let pop_locked t =
+  let n = Array.length t.rotation in
+  let rec scan k =
+    if k > n then None
+    else
+      let i = (t.cursor + k) mod n in
+      let q = Hashtbl.find t.queues t.rotation.(i) in
+      match Queue.take_opt q with
+      | Some x ->
+          t.cursor <- i;
+          t.occupancy <- t.occupancy - 1;
+          (* wake submitters blocked on a full queue *)
+          Condition.broadcast t.cond;
+          Some x
+      | None -> scan (k + 1)
+  in
+  if n = 0 || t.occupancy = 0 then None else scan 1
+
+let pop t = locked t (fun () -> pop_locked t)
+
+let pop_wait t =
+  locked t (fun () ->
+      let rec wait () =
+        match pop_locked t with
+        | Some x -> Some x
+        | None ->
+            if t.closed then None
+            else begin
+              Condition.wait t.cond t.mu;
+              wait ()
+            end
+      in
+      wait ())
+
+let close t =
+  locked t (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.cond)
+
+(* Close and drop everything still queued: workers finish only their
+   current job.  Returns the dropped items (the daemon leaves them
+   incomplete in the journal, so a restart resumes exactly them). *)
+let close_now t =
+  locked t (fun () ->
+      t.closed <- true;
+      let dropped = ref [] in
+      Hashtbl.iter
+        (fun _ q ->
+          Queue.iter (fun x -> dropped := x :: !dropped) q;
+          Queue.clear q)
+        t.queues;
+      t.occupancy <- 0;
+      Condition.broadcast t.cond;
+      List.rev !dropped)
+
+let length t = locked t (fun () -> t.occupancy)
+let shed_count t = locked t (fun () -> t.shed)
+let clients t = locked t (fun () -> Array.length t.rotation)

@@ -1,0 +1,48 @@
+(** Bounded multi-client fair queue: the daemon's admission control and
+    per-client scheduler.
+
+    One shared capacity bound across all clients — a submit beyond it
+    is {e shed} with an explicit rejection, never queued unboundedly.
+    Pops are round-robin over client queues in first-seen order,
+    resuming one past the client served last, so a flooding client
+    cannot starve the others: with [k] active clients each is served
+    every [k]-th pop regardless of queue depths.
+
+    Domain-safe; [pop_wait]/[submit_wait] block on a condition
+    variable and are released by {!close}. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val submit : 'a t -> client:string -> 'a -> [ `Accepted | `Shed | `Closed ]
+(** Non-blocking admission: [`Shed] when the queue holds [capacity]
+    items (counted, see {!shed_count}), [`Closed] after {!close}. *)
+
+val submit_wait : 'a t -> client:string -> 'a -> [ `Accepted | `Closed ]
+(** Blocking admission for sources that must lose nothing (the job-file
+    reader): waits for a free slot instead of shedding. *)
+
+val pop : 'a t -> 'a option
+(** Non-blocking round-robin pop; [None] when empty. *)
+
+val pop_wait : 'a t -> 'a option
+(** Blocking pop; [None] only after {!close} with the queue drained —
+    the worker-exit signal. *)
+
+val close : 'a t -> unit
+(** No further admissions; blocked waiters wake.  Already-queued items
+    continue to pop (graceful drain). *)
+
+val close_now : 'a t -> 'a list
+(** {!close}, but drop and return everything still queued — the
+    signal-shutdown path: workers finish only their current job, and
+    the dropped jobs (still journaled as submitted) resume on
+    restart. *)
+
+val length : 'a t -> int
+val shed_count : 'a t -> int
+
+val clients : 'a t -> int
+(** Distinct clients ever admitted. *)

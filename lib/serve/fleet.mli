@@ -1,0 +1,68 @@
+(** Fleet driver: deterministic generation and accounting for large
+    batches of mixed-scale jobs.
+
+    Generation is a pure function of the seed, so the same fleet can be
+    emitted to a job file, run sequentially as the byte-identity
+    reference, run concurrently through the daemon, killed mid-flight
+    and resumed — every path must produce the same sorted result
+    lines. *)
+
+type fleet_stats = {
+  jobs : int;
+  ok : int;
+  failed : int;  (** ERR results (classified: fault/fuel/timeout/transient) *)
+  quarantined : int;
+  shed : int;
+  replayed : int;  (** results served verbatim from the journal *)
+  uncaught : int;  (** exceptions that escaped a worker's job wrapper — must be 0 *)
+  wall_seconds : float;
+  jobs_per_sec : float;
+  p50_ms : float;  (** submit-to-result latency percentiles *)
+  p99_ms : float;
+}
+
+val jobs :
+  ?engine:[ `Ref | `Fast ] ->
+  ?recording:[ `Slots | `Legacy ] ->
+  ?poison:int ->
+  seed:int ->
+  n:int ->
+  unit ->
+  Job.t list
+(** [n] mixed-scale jobs over six benchmarks × three scales × four
+    variants × six spec sets × five triggers, deterministically mixed
+    from [seed]; [poison] extra deliberately-broken jobs are woven
+    through the fleet (distinct digests, each exercising its own
+    quarantine entry). *)
+
+val client_of : clients:int -> int -> string
+(** Round-robin client name for submission index [i]. *)
+
+val write_job_file : string -> (string * Job.t) list -> unit
+(** One ["<client> <canonical job line>"] per line; the 1-based line
+    number is the job id everywhere (daemon, journal, results), which
+    is what makes kill/restart/resume line up. *)
+
+val read_job_file : string -> (string * Job.t) list
+(** Raises [Failure] on a malformed line. *)
+
+val write_results : string -> (int * string) list -> unit
+
+val run_daemon :
+  ?config:Daemon.config ->
+  ?journal:string ->
+  ?meta:string ->
+  (string * Job.t) list ->
+  fleet_stats * (int * string) list
+(** Start a daemon, submit every entry with pinned ids 1..n (skipping
+    ids the journal already completed), drain, and account
+    jobs/sec + latency percentiles.  Returns the sorted result lines. *)
+
+val run_sequential : (string * Job.t) list -> (int * string) list
+(** The byte-identity reference: one worker, submission order. *)
+
+val unclassified : (int * string) list -> (int * string) list
+(** Result lines whose failure carries no known classification — the
+    "no unclassified crashes" acceptance gate requires this empty.
+    (Bug-classified failures never surface as ERR: the quarantine
+    absorbs them.) *)

@@ -1,0 +1,43 @@
+(** Append-only job journal — the daemon's crash-recovery log.
+
+    Same discipline as {!Harness.Robust}'s checkpoints (PR 3): each
+    record is marshaled, appended and flushed individually, so a
+    SIGKILL can at worst truncate the record being written; the loader
+    tolerates that torn tail and every fully written record survives.
+    Opening a journal whose meta fingerprint differs from this
+    daemon's configuration raises [Failure] — resume must be exact or
+    refused.
+
+    Recovery semantics: a job with a [Submitted] record but no
+    [Completed] record was in flight (queued or running) when the
+    daemon died and is re-run on restart; a [Completed] record carries
+    the canonical result line and is replayed verbatim; [Quarantined]
+    records persist the poison list across restarts so a quarantined
+    job is never retried, even by a fresh daemon. *)
+
+type record =
+  | Meta of string
+  | Submitted of { id : int; client : string; line : string }
+  | Completed of { id : int; result : string }
+  | Quarantined of { digest : string; report : string }
+
+type recovered = {
+  pending : (int * string * string) list;
+      (** submitted but not completed — (id, client, job line), by id *)
+  completed : (int * string) list;  (** (id, result line), by id *)
+  quarantined : (string * string) list;  (** (job digest, report) *)
+  next_id : int;  (** 1 + highest id seen *)
+}
+
+type t
+
+val open_ : ?meta:string -> string -> t * recovered
+(** Open (creating if missing) and replay the journal.  Raises
+    [Failure] when the existing journal's meta record differs from
+    [meta]. *)
+
+val append : t -> record -> unit
+(** Marshal, append, flush.  Domain-safe. *)
+
+val close : t -> unit
+val path : t -> string

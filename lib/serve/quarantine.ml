@@ -1,0 +1,66 @@
+(* Poison-job quarantine.
+
+   A job whose failures classify as "bug" (Harness.Robust.classify:
+   not an injected fault, not fuel, not the watchdog, not transient)
+   is given [threshold] attempts in total; at the threshold its digest
+   and error report are quarantined and the job is never run again —
+   resubmissions are answered from the quarantine immediately.  This
+   is what keeps one poison job from wedging a worker forever: the
+   daemon spends a bounded number of attempts on it, then serves its
+   report from memory. *)
+
+type t = {
+  mu : Mutex.t;
+  threshold : int;
+  counts : (string, int) Hashtbl.t; (* bug failures per job digest *)
+  entries : (string, string) Hashtbl.t; (* digest -> report, once quarantined *)
+}
+
+let create ?(threshold = 3) () =
+  if threshold < 1 then invalid_arg "Quarantine.create: threshold < 1";
+  {
+    mu = Mutex.create ();
+    threshold;
+    counts = Hashtbl.create 16;
+    entries = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let threshold t = t.threshold
+
+let find t ~digest = locked t (fun () -> Hashtbl.find_opt t.entries digest)
+
+(* One bug-classified failure of [digest].  Returns [`Retry n] while
+   attempts remain (n = failures so far) or [`Quarantined] exactly once,
+   at the crossing — the caller journals and reports it then. *)
+let record_failure t ~digest ~report =
+  locked t (fun () ->
+      if Hashtbl.mem t.entries digest then `Quarantined
+      else begin
+        let n = (try Hashtbl.find t.counts digest with Not_found -> 0) + 1 in
+        Hashtbl.replace t.counts digest n;
+        if n >= t.threshold then begin
+          Hashtbl.replace t.entries digest report;
+          `Quarantined
+        end
+        else `Retry n
+      end)
+
+(* Reload a persisted quarantine (journal recovery): entries are
+   authoritative, counts start over — a re-run job gets fresh attempts,
+   which is deterministic because poison jobs fail deterministically. *)
+let restore t entries =
+  locked t (fun () ->
+      List.iter
+        (fun (digest, report) -> Hashtbl.replace t.entries digest report)
+        entries)
+
+let entries t =
+  locked t (fun () ->
+      Hashtbl.fold (fun d r acc -> (d, r) :: acc) t.entries []
+      |> List.sort compare)
+
+let size t = locked t (fun () -> Hashtbl.length t.entries)

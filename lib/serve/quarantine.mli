@@ -1,0 +1,34 @@
+(** Poison-job quarantine: bounded patience for bug-classified jobs.
+
+    A job whose failure classifies as ["bug"] ({!Harness.Robust.classify})
+    gets [threshold] attempts in total, counted by job {!Job.digest}
+    across submissions; at the threshold the digest and its error
+    report are quarantined and the job is {e never} run again — the
+    daemon answers resubmissions from the quarantine immediately.
+    Fault/fuel/timeout failures never feed the quarantine (they are
+    environmental, not poison), and the quarantine list persists across
+    daemon restarts via {!Journal.record.Quarantined} records. *)
+
+type t
+
+val create : ?threshold:int -> unit -> t
+(** [threshold] defaults to 3; [< 1] raises [Invalid_argument]. *)
+
+val threshold : t -> int
+
+val find : t -> digest:string -> string option
+(** The quarantine report for [digest], if quarantined. *)
+
+val record_failure :
+  t -> digest:string -> report:string -> [ `Retry of int | `Quarantined ]
+(** Record one bug-classified failure.  [`Retry n] while attempts
+    remain ([n] failures so far); [`Quarantined] at (or after) the
+    threshold. *)
+
+val restore : t -> (string * string) list -> unit
+(** Reload persisted entries on journal recovery. *)
+
+val entries : t -> (string * string) list
+(** [(digest, report)] sorted by digest. *)
+
+val size : t -> int

@@ -1,0 +1,286 @@
+(* Unix-domain socket front-end for the daemon.
+
+   Line protocol (newline-terminated, text):
+     client -> server
+       HELLO <name>          name this connection's client queue
+       SUBMIT <job-line>     canonical Job line
+       STATS                 one-line daemon stats
+       PING
+       QUIT
+     server -> client
+       OK hello <name> | OK accepted <id> | OK pong | OK stats <k=v ...>
+       SHED                  admission queue saturated; try again later
+       ERR <message>         malformed request (job parse errors included)
+       RESULT <result-line>  pushed asynchronously on job completion
+
+   A single select loop owns every fd (listen socket, connections, and
+   a self-pipe the worker domains poke after queueing a RESULT), so
+   reads and accepts never block the daemon and a flooding connection
+   cannot wedge the loop.  Replies to a connection's requests are
+   written in request order; RESULT lines interleave as jobs finish. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  outbox : string Queue.t; (* guarded by the server mutex *)
+  mutable client : string;
+  mutable alive : bool;
+}
+
+type t = {
+  socket_path : string;
+  listen_fd : Unix.file_descr;
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  mu : Mutex.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;
+  routes : (int, conn) Hashtbl.t; (* job id -> submitting connection *)
+  mutable conn_seq : int;
+}
+
+let create ~socket:socket_path =
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
+  Unix.listen listen_fd 64;
+  let pipe_r, pipe_w = Unix.pipe () in
+  {
+    socket_path;
+    listen_fd;
+    pipe_r;
+    pipe_w;
+    mu = Mutex.create ();
+    conns = Hashtbl.create 16;
+    routes = Hashtbl.create 64;
+    conn_seq = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let poke t = ignore (try Unix.write t.pipe_w (Bytes.of_string "x") 0 1 with Unix.Unix_error _ -> 0)
+
+let push t conn line =
+  locked t (fun () -> if conn.alive then Queue.push line conn.outbox)
+
+(* Called from worker domains on every completion: route the result
+   line to whichever connection submitted the job, then wake select. *)
+let on_result t id _client _job line =
+  let conn = locked t (fun () ->
+      match Hashtbl.find_opt t.routes id with
+      | Some c ->
+          Hashtbl.remove t.routes id;
+          if c.alive then Some c else None
+      | None -> None)
+  in
+  match conn with
+  | Some c ->
+      push t c ("RESULT " ^ line);
+      poke t
+  | None -> ()
+
+let stats_line d =
+  let s = Daemon.stats d in
+  Printf.sprintf
+    "OK stats accepted=%d completed=%d shed=%d quarantined=%d replayed=%d \
+     breaker=%s uncaught=%d"
+    s.Daemon.accepted s.Daemon.completed s.Daemon.shed s.Daemon.quarantined
+    s.Daemon.replayed
+    (if s.Daemon.breaker_tripped then "tripped" else "closed")
+    s.Daemon.uncaught
+
+let handle_line t d conn line =
+  let line = String.trim line in
+  let reply = push t conn in
+  if String.equal line "" then ()
+  else if String.equal line "PING" then reply "OK pong"
+  else if String.equal line "QUIT" then conn.alive <- false
+  else if String.equal line "STATS" then reply (stats_line d)
+  else
+    match String.index_opt line ' ' with
+    | Some i when String.equal (String.sub line 0 i) "HELLO" ->
+        let name =
+          String.trim (String.sub line (i + 1) (String.length line - i - 1))
+        in
+        if not (String.equal name "") && not (String.contains name ' ') then begin
+          conn.client <- name;
+          reply ("OK hello " ^ name)
+        end
+        else reply "ERR bad client name"
+    | Some i when String.equal (String.sub line 0 i) "SUBMIT" -> (
+        let body = String.sub line (i + 1) (String.length line - i - 1) in
+        match Job.parse body with
+        | exception Failure m -> reply ("ERR " ^ String.escaped m)
+        | job -> (
+            match Daemon.submit d ~client:conn.client job with
+            | `Accepted id ->
+                locked t (fun () -> Hashtbl.replace t.routes id conn);
+                reply (Printf.sprintf "OK accepted %d" id)
+            | `Shed -> reply "SHED"
+            | `Closed -> reply "ERR daemon is stopping"))
+    | _ -> reply ("ERR unknown request " ^ String.escaped line)
+
+let close_conn t conn =
+  locked t (fun () ->
+      conn.alive <- false;
+      Hashtbl.remove t.conns conn.fd);
+  try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let flush_outboxes t =
+  let pending =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun _ c acc ->
+            if Queue.is_empty c.outbox then acc
+            else begin
+              let lines = List.of_seq (Queue.to_seq c.outbox) in
+              Queue.clear c.outbox;
+              (c, lines) :: acc
+            end)
+          t.conns [])
+  in
+  List.iter
+    (fun (c, lines) ->
+      let s = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let b = Bytes.of_string s in
+      match Unix.write c.fd b 0 (Bytes.length b) with
+      | _ -> ()
+      | exception Unix.Unix_error _ -> close_conn t c)
+    pending
+
+let read_conn t d conn =
+  let buf = Bytes.create 4096 in
+  match Unix.read conn.fd buf 0 4096 with
+  | 0 | (exception Unix.Unix_error _) -> close_conn t conn
+  | n ->
+      Buffer.add_subbytes conn.inbuf buf 0 n;
+      let data = Buffer.contents conn.inbuf in
+      let rec consume start =
+        match String.index_from_opt data start '\n' with
+        | None ->
+            Buffer.clear conn.inbuf;
+            Buffer.add_string conn.inbuf
+              (String.sub data start (String.length data - start))
+        | Some nl ->
+            handle_line t d conn (String.sub data start (nl - start));
+            consume (nl + 1)
+      in
+      consume 0;
+      if not conn.alive then close_conn t conn
+
+let accept_conn t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _ ->
+      let conn =
+        {
+          fd;
+          inbuf = Buffer.create 256;
+          outbox = Queue.create ();
+          client = (locked t (fun () ->
+              t.conn_seq <- t.conn_seq + 1;
+              Printf.sprintf "conn-%d" t.conn_seq));
+          alive = true;
+        }
+      in
+      locked t (fun () -> Hashtbl.replace t.conns fd conn)
+
+(* The main loop: select over listen + conns + self-pipe, poll [stop]
+   between iterations (signal handlers set the flag; EINTR from the
+   signal just restarts the select). *)
+let run t d ~stop =
+  let drain_pipe () =
+    let buf = Bytes.create 64 in
+    ignore (try Unix.read t.pipe_r buf 0 64 with Unix.Unix_error _ -> 0)
+  in
+  while not (stop ()) do
+    flush_outboxes t;
+    let fds =
+      t.listen_fd :: t.pipe_r
+      :: locked t (fun () ->
+             Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [])
+    in
+    match Unix.select fds [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        List.iter
+          (fun fd ->
+            if fd = t.listen_fd then accept_conn t
+            else if fd = t.pipe_r then drain_pipe ()
+            else
+              match locked t (fun () -> Hashtbl.find_opt t.conns fd) with
+              | Some conn -> read_conn t d conn
+              | None -> ())
+          readable
+  done;
+  flush_outboxes t;
+  locked t (fun () -> Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [])
+  |> List.iter (fun c -> close_conn t c);
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink t.socket_path with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Fleet client: submit every entry over one connection (so daemon job
+   ids follow submission order), retrying sheds with a short backoff —
+   client-side backpressure — then wait for the outstanding RESULT
+   lines.  Returns (results sorted by id, sheds observed). *)
+let client_run ~socket:path entries =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let ic = Unix.in_channel_of_descr fd in
+  let send line =
+    let b = Bytes.of_string (line ^ "\n") in
+    ignore (Unix.write fd b 0 (Bytes.length b))
+  in
+  let results = ref [] in
+  let sheds = ref 0 in
+  let outstanding = ref 0 in
+  let read_line_exn () = input_line ic in
+  let rec read_until_reply () =
+    let line = read_line_exn () in
+    match String.split_on_char ' ' line with
+    | "RESULT" :: rest ->
+        let r = String.concat " " rest in
+        (match String.split_on_char ' ' r with
+        | id :: _ -> results := (int_of_string id, r) :: !results
+        | [] -> ());
+        decr outstanding;
+        read_until_reply ()
+    | _ -> line
+  in
+  let submit_one client job =
+    send (Printf.sprintf "HELLO %s" client);
+    (match read_until_reply () with
+    | l when String.length l >= 2 && String.sub l 0 2 = "OK" -> ()
+    | l -> failwith ("fleet client: HELLO rejected: " ^ l));
+    let rec attempt () =
+      send ("SUBMIT " ^ Job.render job);
+      match String.split_on_char ' ' (read_until_reply ()) with
+      | [ "OK"; "accepted"; _id ] -> incr outstanding
+      | [ "SHED" ] ->
+          incr sheds;
+          Unix.sleepf 0.02;
+          attempt ()
+      | l -> failwith ("fleet client: SUBMIT rejected: " ^ String.concat " " l)
+    in
+    attempt ()
+  in
+  List.iter (fun (client, job) -> submit_one client job) entries;
+  while !outstanding > 0 do
+    let line = read_line_exn () in
+    match String.split_on_char ' ' line with
+    | "RESULT" :: rest ->
+        let r = String.concat " " rest in
+        (match String.split_on_char ' ' r with
+        | id :: _ -> results := (int_of_string id, r) :: !results
+        | [] -> ());
+        decr outstanding
+    | _ -> ()
+  done;
+  send "QUIT";
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (List.sort compare !results, !sheds)

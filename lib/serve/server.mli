@@ -1,0 +1,41 @@
+(** Unix-domain socket front-end for {!Daemon}, plus the fleet client.
+
+    Line protocol (newline-terminated):
+    {v
+    client -> server                    server -> client
+      HELLO <name>                       OK hello <name>
+      SUBMIT <canonical job line>        OK accepted <id> | SHED | ERR <msg>
+      STATS                              OK stats accepted=... shed=...
+      PING                               OK pong
+      QUIT
+                                         RESULT <result-line>   (async push)
+    v}
+
+    One select loop owns every fd — the listen socket, the
+    connections, and a self-pipe the worker domains poke after queueing
+    a RESULT — so a flooding or half-dead connection can never wedge
+    the daemon.  [SHED] is the admission-control rejection: explicit
+    backpressure the client retries on, never an unbounded queue. *)
+
+type t
+
+val create : socket:string -> t
+(** Bind and listen on the Unix-domain socket path (an existing stale
+    socket file is replaced). *)
+
+val on_result : t -> int -> string -> Job.t -> string -> unit
+(** Pass to {!Daemon.start} as its [on_result]: routes each completion
+    to the connection that submitted the job (dropped silently if that
+    connection is gone — the journal still has it). *)
+
+val run : t -> Daemon.t -> stop:(unit -> bool) -> unit
+(** The select loop; returns once [stop ()] is true (polled between
+    iterations, so a signal handler setting a flag ends the loop within
+    a quarter second), closing every connection and unlinking the
+    socket.  The caller then stops the daemon gracefully. *)
+
+val client_run :
+  socket:string -> (string * Job.t) list -> (int * string) list * int
+(** Fleet client: submit every [(client, job)] over one connection,
+    retrying [SHED] with a short backoff, then wait for all RESULT
+    lines.  Returns (results sorted by id, shed responses observed). *)

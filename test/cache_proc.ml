@@ -1,0 +1,33 @@
+(* Child process for the shared-cache-directory collision test
+   (test_runcache.ml): write N entries tagged TAG into DIR through the
+   run cache, then exit 0.  A separate process — not a domain — because
+   the property under test is the cross-process atomicity of the
+   cache's temp+rename writes.
+
+   Usage: cache_proc DIR TAG N *)
+
+module R = Harness.Runcache
+
+module C = R.Make (struct
+  type t = string
+end)
+
+let key i =
+  let module D = Harness.Digest in
+  D.run_config ~kind:"test"
+    ~bench:("2p" ^ string_of_int i)
+    ~scale:1 ~funcs_digest:(D.hex "funcs") ~engine:"fast" ~recording:"slots"
+    ~trigger:"none" ~timer_period:None
+    ~costs:(D.costs Vm.Costs.default)
+    ~faults:"none" ()
+
+let () =
+  match Sys.argv with
+  | [| _; dir; tag; n |] ->
+      R.set_dir (Some dir);
+      for i = 0 to int_of_string n - 1 do
+        ignore (C.find ~key:(key i) (fun () -> "payload:" ^ tag))
+      done
+  | _ ->
+      prerr_endline "usage: cache_proc DIR TAG N";
+      exit 2

@@ -262,6 +262,66 @@ let test_checkpoint_and_cache_compose () =
       Sys.remove ckpt2);
   Sys.remove ckpt
 
+(* ---- shared-directory hygiene (ISSUE 8) ---- *)
+
+let test_stale_tmp_sweep () =
+  let dir = tmp_dir "sweep" in
+  (* arming once creates the directory and its version stamp *)
+  with_cache dir (fun () -> ());
+  let stale = Filename.concat dir "isf-dead0.tmp" in
+  let fresh = Filename.concat dir "isf-live1.tmp" in
+  let foreign = Filename.concat dir "not-ours.tmp" in
+  List.iter
+    (fun p -> Out_channel.with_open_bin p (fun oc -> output_string oc "x"))
+    [ stale; fresh; foreign ];
+  (* age the orphan past the threshold; the fresh one could belong to a
+     concurrent daemon about to rename it *)
+  let old = Unix.gettimeofday () -. R.stale_tmp_age -. 60.0 in
+  Unix.utimes stale old old;
+  with_cache dir (fun () ->
+      check_bool "stale orphan swept on open" false (Sys.file_exists stale);
+      check_bool "recent tmp file untouched" true (Sys.file_exists fresh);
+      check_bool "foreign files untouched" true (Sys.file_exists foreign))
+
+(* Two daemons sharing one --cache DIR: racing writers of the same keys
+   must leave a directory where every entry still verifies.  The second
+   writer is a real child process (test/cache_proc.ml) — Unix.fork is
+   unavailable once domains have been spawned, and the property under
+   test is the cross-process atomicity of temp+rename anyway. *)
+let test_two_process_writers_collide_safely () =
+  let dir = tmp_dir "twoproc" in
+  let n = 8 in
+  let keys = List.init n (fun i -> mk_key ~bench:("2p" ^ string_of_int i) ()) in
+  let write_all tag =
+    List.iter
+      (fun key -> ignore (C.find ~key (fun () -> "payload:" ^ tag)))
+      keys
+  in
+  let helper =
+    Filename.concat (Filename.dirname Sys.executable_name) "cache_proc.exe"
+  in
+  check_bool "helper executable present (dune build @all)" true
+    (Sys.file_exists helper);
+  let pid =
+    Unix.create_process helper
+      [| helper; dir; "child"; string_of_int n |]
+      Unix.stdin Unix.stdout Unix.stderr
+  in
+  with_cache dir (fun () -> write_all "parent");
+  let _, status = Unix.waitpid [] pid in
+  check_bool "child wrote its copy cleanly" true (status = Unix.WEXITED 0);
+  (* whoever won each rename, every entry must read back verified *)
+  with_cache dir (fun () ->
+      List.iter
+        (fun key ->
+          let v = C.find ~key (fun () -> Alcotest.fail "should hit disk") in
+          check_bool "entry readable and verified" true
+            (v = "payload:parent" || v = "payload:child"))
+        keys;
+      let s = R.stats () in
+      check_int "no corrupt entries after the race" 0 s.R.corrupt;
+      check_int "every key served from disk" (List.length keys) s.R.disk_hits)
+
 (* ---- scheduler ---- *)
 
 let test_dedupe () =
@@ -313,6 +373,10 @@ let suite =
           test_chaos_never_aliases_clean;
         Alcotest.test_case "checkpoint and cache compose" `Quick
           test_checkpoint_and_cache_compose;
+        Alcotest.test_case "stale tmp files swept on open" `Quick
+          test_stale_tmp_sweep;
+        Alcotest.test_case "two processes share one cache dir safely" `Quick
+          test_two_process_writers_collide_safely;
         Alcotest.test_case "scheduler dedupe" `Quick test_dedupe;
         Alcotest.test_case "prewarm covers a driver's cells" `Quick
           test_prewarm_covers_driver;
