@@ -744,7 +744,8 @@ let fleet_cmd =
             match socket with
             | Some sock ->
                 let results, shed =
-                  Serve.Server.client_run ~socket:sock entries
+                  or_die (fun () ->
+                      Serve.Server.client_run ~socket:sock entries)
                 in
                 if shed > 0 then
                   Printf.printf

@@ -78,6 +78,19 @@ let submit_wait t ~client x =
         `Accepted
       end)
 
+(* Serving a client's last queued item retires its queue and rotation
+   slot: a long-lived daemon sees an unbounded stream of one-shot
+   connection names, and keeping an empty queue per past client
+   forever would leak memory and make every rotation scan O(clients
+   ever seen).  A returning client is re-admitted at the back of the
+   rotation, which keeps the round-robin guarantee. *)
+let retire_locked t i =
+  let n = Array.length t.rotation in
+  Hashtbl.remove t.queues t.rotation.(i);
+  t.rotation <-
+    Array.init (n - 1) (fun k -> t.rotation.(if k < i then k else k + 1));
+  if t.cursor >= i then t.cursor <- t.cursor - 1
+
 let pop_locked t =
   let n = Array.length t.rotation in
   let rec scan k =
@@ -89,6 +102,7 @@ let pop_locked t =
       | Some x ->
           t.cursor <- i;
           t.occupancy <- t.occupancy - 1;
+          if Queue.is_empty q then retire_locked t i;
           (* wake submitters blocked on a full queue *)
           Condition.broadcast t.cond;
           Some x
@@ -124,11 +138,15 @@ let close_now t =
   locked t (fun () ->
       t.closed <- true;
       let dropped = ref [] in
-      Hashtbl.iter
-        (fun _ q ->
-          Queue.iter (fun x -> dropped := x :: !dropped) q;
-          Queue.clear q)
-        t.queues;
+      (* collect in rotation order so the drop report is deterministic *)
+      Array.iter
+        (fun client ->
+          let q = Hashtbl.find t.queues client in
+          Queue.iter (fun x -> dropped := x :: !dropped) q)
+        t.rotation;
+      Hashtbl.reset t.queues;
+      t.rotation <- [||];
+      t.cursor <- -1;
       t.occupancy <- 0;
       Condition.broadcast t.cond;
       List.rev !dropped)

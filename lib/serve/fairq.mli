@@ -45,4 +45,6 @@ val length : 'a t -> int
 val shed_count : 'a t -> int
 
 val clients : 'a t -> int
-(** Distinct clients ever admitted. *)
+(** Distinct clients currently holding queued items.  A client whose
+    queue empties is retired (queue and rotation slot dropped), so a
+    long-lived daemon does not accumulate state per past client. *)

@@ -86,7 +86,17 @@ let open_ ?(meta = "") path =
   | _ :: _ ->
       failwith
         (Printf.sprintf "job journal %s does not start with a meta record" path)
-  | [] -> ());
+  | [] ->
+      (* an empty (or absent) file is a fresh journal, but a non-empty
+         file yielding zero decodable records is some other file
+         entirely — refuse rather than truncate it to nothing *)
+      if Sys.file_exists path && (Unix.stat path).Unix.st_size > 0 then
+        failwith
+          (Printf.sprintf
+             "job journal %s is non-empty but contains no journal records; \
+              refusing to truncate it — delete it or point --journal \
+              elsewhere"
+             path));
   (* drop the torn tail a kill may have left, so appends continue the
      clean record stream *)
   if Sys.file_exists path && (Unix.stat path).Unix.st_size > clean then

@@ -34,7 +34,9 @@ type t
 val open_ : ?meta:string -> string -> t * recovered
 (** Open (creating if missing) and replay the journal.  Raises
     [Failure] when the existing journal's meta record differs from
-    [meta]. *)
+    [meta], and when the file is non-empty but holds no decodable
+    records at all (it is some other file — truncating it to "fix" the
+    tail would destroy it). *)
 
 val append : t -> record -> unit
 (** Marshal, append, flush.  Domain-safe. *)

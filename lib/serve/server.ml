@@ -23,6 +23,7 @@ type conn = {
   fd : Unix.file_descr;
   inbuf : Buffer.t;
   outbox : string Queue.t; (* guarded by the server mutex *)
+  mutable outtail : string; (* written only by the select-loop thread *)
   mutable client : string;
   mutable alive : bool;
 }
@@ -35,14 +36,19 @@ type t = {
   mu : Mutex.t;
   conns : (Unix.file_descr, conn) Hashtbl.t;
   routes : (int, conn) Hashtbl.t; (* job id -> submitting connection *)
+  unrouted : (int, string) Hashtbl.t; (* completions racing registration *)
   mutable conn_seq : int;
 }
 
 let create ~socket:socket_path =
+  (* a client vanishing mid-write must surface as EPIPE on that one
+     connection (closed below), not SIGPIPE-kill the whole daemon *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX socket_path);
   Unix.listen listen_fd 64;
+  Unix.set_nonblock listen_fd;
   let pipe_r, pipe_w = Unix.pipe () in
   {
     socket_path;
@@ -52,6 +58,7 @@ let create ~socket:socket_path =
     mu = Mutex.create ();
     conns = Hashtbl.create 16;
     routes = Hashtbl.create 64;
+    unrouted = Hashtbl.create 16;
     conn_seq = 0;
   }
 
@@ -65,20 +72,25 @@ let push t conn line =
   locked t (fun () -> if conn.alive then Queue.push line conn.outbox)
 
 (* Called from worker domains on every completion: route the result
-   line to whichever connection submitted the job, then wake select. *)
+   line to whichever connection submitted the job, then wake select.
+   A job can finish before the submitting thread has registered the
+   id -> conn route (quarantine answer, warm run cache, poison job
+   failing instantly): such completions are buffered in [unrouted] and
+   flushed by the SUBMIT handler when it registers the route, so the
+   RESULT line is delivered, never dropped. *)
 let on_result t id _client _job line =
-  let conn = locked t (fun () ->
-      match Hashtbl.find_opt t.routes id with
-      | Some c ->
-          Hashtbl.remove t.routes id;
-          if c.alive then Some c else None
-      | None -> None)
+  let routed =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.routes id with
+        | Some c ->
+            Hashtbl.remove t.routes id;
+            if c.alive then Queue.push ("RESULT " ^ line) c.outbox;
+            true
+        | None ->
+            Hashtbl.replace t.unrouted id line;
+            false)
   in
-  match conn with
-  | Some c ->
-      push t c ("RESULT " ^ line);
-      poke t
-  | None -> ()
+  if routed then poke t
 
 let stats_line d =
   let s = Daemon.stats d in
@@ -115,8 +127,20 @@ let handle_line t d conn line =
         | job -> (
             match Daemon.submit d ~client:conn.client job with
             | `Accepted id ->
-                locked t (fun () -> Hashtbl.replace t.routes id conn);
-                reply (Printf.sprintf "OK accepted %d" id)
+                (* register the route and take any completion that beat
+                   us to it in one critical section: the result either
+                   lands in [unrouted] before this block (flushed here)
+                   or finds the route after it — no window drops it *)
+                locked t (fun () ->
+                    if conn.alive then
+                      Queue.push (Printf.sprintf "OK accepted %d" id)
+                        conn.outbox;
+                    match Hashtbl.find_opt t.unrouted id with
+                    | Some line ->
+                        Hashtbl.remove t.unrouted id;
+                        if conn.alive then
+                          Queue.push ("RESULT " ^ line) conn.outbox
+                    | None -> Hashtbl.replace t.routes id conn)
             | `Shed -> reply "SHED"
             | `Closed -> reply "ERR daemon is stopping"))
     | _ -> reply ("ERR unknown request " ^ String.escaped line)
@@ -127,12 +151,18 @@ let close_conn t conn =
       Hashtbl.remove t.conns conn.fd);
   try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
+(* Write as much of each connection's queued output as its socket
+   accepts right now.  Connection fds are non-blocking: a partial
+   write or EAGAIN (slow reader, full send buffer) leaves the
+   remaining bytes in [outtail] — retried when select reports the fd
+   writable — instead of dropping them mid-line or wedging the loop.
+   Only the select-loop thread touches [outtail]. *)
 let flush_outboxes t =
   let pending =
     locked t (fun () ->
         Hashtbl.fold
           (fun _ c acc ->
-            if Queue.is_empty c.outbox then acc
+            if Queue.is_empty c.outbox && String.equal c.outtail "" then acc
             else begin
               let lines = List.of_seq (Queue.to_seq c.outbox) in
               Queue.clear c.outbox;
@@ -142,17 +172,37 @@ let flush_outboxes t =
   in
   List.iter
     (fun (c, lines) ->
-      let s = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let s =
+        c.outtail ^ String.concat "" (List.map (fun l -> l ^ "\n") lines)
+      in
       let b = Bytes.of_string s in
-      match Unix.write c.fd b 0 (Bytes.length b) with
-      | _ -> ()
-      | exception Unix.Unix_error _ -> close_conn t c)
+      let len = Bytes.length b in
+      (* single_write, not write: Unix.write retries internally and can
+         raise EAGAIN after writing part of the buffer, which would
+         make the retry resend bytes the client already received *)
+      let rec write_from off =
+        if off >= len then c.outtail <- ""
+        else
+          match Unix.single_write c.fd b off (len - off) with
+          | n -> write_from (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_from off
+          | exception
+              Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              c.outtail <- Bytes.sub_string b off (len - off)
+          | exception Unix.Unix_error _ -> close_conn t c
+      in
+      write_from 0)
     pending
 
 let read_conn t d conn =
   let buf = Bytes.create 4096 in
   match Unix.read conn.fd buf 0 4096 with
-  | 0 | (exception Unix.Unix_error _) -> close_conn t conn
+  | 0 -> close_conn t conn
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ -> close_conn t conn
   | n ->
       Buffer.add_subbytes conn.inbuf buf 0 n;
       let data = Buffer.contents conn.inbuf in
@@ -173,11 +223,13 @@ let accept_conn t =
   match Unix.accept t.listen_fd with
   | exception Unix.Unix_error _ -> ()
   | fd, _ ->
+      Unix.set_nonblock fd;
       let conn =
         {
           fd;
           inbuf = Buffer.create 256;
           outbox = Queue.create ();
+          outtail = "";
           client = (locked t (fun () ->
               t.conn_seq <- t.conn_seq + 1;
               Printf.sprintf "conn-%d" t.conn_seq));
@@ -196,12 +248,17 @@ let run t d ~stop =
   in
   while not (stop ()) do
     flush_outboxes t;
-    let fds =
-      t.listen_fd :: t.pipe_r
-      :: locked t (fun () ->
-             Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [])
+    let fds, wfds =
+      locked t (fun () ->
+          ( t.listen_fd :: t.pipe_r
+            :: Hashtbl.fold (fun fd _ acc -> fd :: acc) t.conns [],
+            (* unflushed tails wait for writability, not the timeout *)
+            Hashtbl.fold
+              (fun fd c acc ->
+                if String.equal c.outtail "" then acc else fd :: acc)
+              t.conns [] ))
     in
-    match Unix.select fds [] [] 0.25 with
+    match Unix.select fds wfds [] 0.25 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, _, _ ->
         List.iter
@@ -227,21 +284,45 @@ let run t d ~stop =
 (* Fleet client: submit every entry over one connection (so daemon job
    ids follow submission order), retrying sheds with a short backoff —
    client-side backpressure — then wait for the outstanding RESULT
-   lines.  Returns (results sorted by id, sheds observed). *)
-let client_run ~socket:path entries =
+   lines.  Returns (results sorted by id, sheds observed).
+
+   Failure is loud, never a hang: an ERR while results are outstanding
+   (daemon shutting down mid-fleet) and a receive timeout (a RESULT
+   lost to a daemon kill) both raise instead of waiting forever. *)
+let client_run ?(timeout = 120.0) ~socket:path entries =
+  (* a daemon dying mid-fleet must fail this call loudly (EPIPE below),
+     not SIGPIPE-kill the client process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
   let ic = Unix.in_channel_of_descr fd in
-  let send line =
-    let b = Bytes.of_string (line ^ "\n") in
-    ignore (Unix.write fd b 0 (Bytes.length b))
-  in
   let results = ref [] in
   let sheds = ref 0 in
   let outstanding = ref 0 in
-  let read_line_exn () = input_line ic in
+  let send line =
+    let b = Bytes.of_string (line ^ "\n") in
+    match Unix.write fd b 0 (Bytes.length b) with
+    | _ -> ()
+    | exception Unix.Unix_error _ ->
+        failwith
+          (Printf.sprintf
+             "fleet client: connection lost while submitting (%d job(s) \
+              outstanding)"
+             !outstanding)
+  in
+  let read_line_exn ~while_ () =
+    match input_line ic with
+    | line -> line
+    | exception (End_of_file | Sys_error _) ->
+        failwith
+          (Printf.sprintf
+             "fleet client: connection lost or no reply within %.0fs while \
+              %s (%d job(s) outstanding)"
+             timeout while_ !outstanding)
+  in
   let rec read_until_reply () =
-    let line = read_line_exn () in
+    let line = read_line_exn ~while_:"awaiting a reply" () in
     match String.split_on_char ' ' line with
     | "RESULT" :: rest ->
         let r = String.concat " " rest in
@@ -271,7 +352,7 @@ let client_run ~socket:path entries =
   in
   List.iter (fun (client, job) -> submit_one client job) entries;
   while !outstanding > 0 do
-    let line = read_line_exn () in
+    let line = read_line_exn ~while_:"awaiting results" () in
     match String.split_on_char ' ' line with
     | "RESULT" :: rest ->
         let r = String.concat " " rest in
@@ -279,6 +360,10 @@ let client_run ~socket:path entries =
         | id :: _ -> results := (int_of_string id, r) :: !results
         | [] -> ());
         decr outstanding
+    | "ERR" :: rest ->
+        failwith
+          ("fleet client: daemon error with results outstanding: "
+          ^ String.concat " " rest)
     | _ -> ()
   done;
   send "QUIT";

@@ -25,8 +25,11 @@ val create : socket:string -> t
 
 val on_result : t -> int -> string -> Job.t -> string -> unit
 (** Pass to {!Daemon.start} as its [on_result]: routes each completion
-    to the connection that submitted the job (dropped silently if that
-    connection is gone — the journal still has it). *)
+    to the connection that submitted the job.  A completion that beats
+    the route registration (instant quarantine answer, warm run cache)
+    is buffered and delivered when the SUBMIT handler registers the
+    route; only a completion whose connection is gone is dropped — the
+    journal still has it. *)
 
 val run : t -> Daemon.t -> stop:(unit -> bool) -> unit
 (** The select loop; returns once [stop ()] is true (polled between
@@ -35,7 +38,13 @@ val run : t -> Daemon.t -> stop:(unit -> bool) -> unit
     socket.  The caller then stops the daemon gracefully. *)
 
 val client_run :
-  socket:string -> (string * Job.t) list -> (int * string) list * int
+  ?timeout:float ->
+  socket:string ->
+  (string * Job.t) list ->
+  (int * string) list * int
 (** Fleet client: submit every [(client, job)] over one connection,
     retrying [SHED] with a short backoff, then wait for all RESULT
-    lines.  Returns (results sorted by id, shed responses observed). *)
+    lines.  Returns (results sorted by id, shed responses observed).
+    Raises [Failure] instead of hanging when the daemon answers ERR
+    while results are outstanding, the connection drops, or nothing
+    arrives within [timeout] seconds (default 120). *)

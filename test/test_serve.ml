@@ -17,6 +17,7 @@ module Fairq = Serve.Fairq
 module Journal = Serve.Journal
 module Daemon = Serve.Daemon
 module Fleet = Serve.Fleet
+module Server = Serve.Server
 
 let tmp_path name =
   let path = Filename.temp_file ("isf_serve_" ^ name) ".tmp" in
@@ -100,6 +101,7 @@ let test_fairq_round_robin () =
     (fun x -> ignore (Fairq.submit q ~client:"a" x))
     [ "a1"; "a2" ];
   List.iter (fun x -> ignore (Fairq.submit q ~client:"b" x)) [ "b1" ];
+  check_int "three clients queued" 3 (Fairq.clients q);
   let order = ref [] in
   let rec drain () =
     match Fairq.pop q with
@@ -120,7 +122,9 @@ let test_fairq_round_robin () =
       "f9"; "f10";
     ]
     (List.rev !order);
-  check_int "three clients seen" 3 (Fairq.clients q)
+  (* emptied clients are retired — a daemon outliving thousands of
+     one-shot connections must not keep a queue per past client *)
+  check_int "emptied clients retired from the rotation" 0 (Fairq.clients q)
 
 let test_fairq_sheds_at_capacity () =
   let q = Fairq.create ~capacity:3 () in
@@ -381,6 +385,22 @@ let test_journal_meta_mismatch_refused () =
     (List.length r.Journal.pending);
   Sys.remove jpath
 
+let test_journal_garbage_file_refused () =
+  (* pointing --journal at a file that is not a journal at all must
+     refuse loudly, not silently truncate it to an empty journal *)
+  let jpath = tmp_path "garbage" in
+  let content = "#!/bin/sh\necho this is certainly not a job journal\n" in
+  Out_channel.with_open_bin jpath (fun oc ->
+      Out_channel.output_string oc content);
+  check_bool "a non-journal file is refused" true
+    (try
+       ignore (Journal.open_ ~meta:"m" jpath);
+       false
+     with Failure m -> String.length m > 0);
+  check_str "and left byte-for-byte intact" content
+    (In_channel.with_open_bin jpath In_channel.input_all);
+  Sys.remove jpath
+
 let test_quarantine_survives_restart () =
   with_fresh_cache (fun () ->
       let poison =
@@ -426,6 +446,55 @@ let test_quarantine_survives_restart () =
         st2.Daemon.quarantined;
       Sys.remove jpath)
 
+(* ---- socket front-end ---- *)
+
+(* The submission trio per job makes two of every three completions a
+   warm-cache (or quarantine-list) answer that can finish inside
+   [Daemon.submit], before the server registers the id -> conn route:
+   the regression pinned here is that such a RESULT was dropped and
+   the client hung forever. *)
+let test_socket_instant_results_not_dropped () =
+  with_fresh_cache (fun () ->
+      let sock = tmp_path "sock" in
+      let srv = Server.create ~socket:sock in
+      let d = Daemon.start ~on_result:(Server.on_result srv) () in
+      let stop = Atomic.make false in
+      let loop =
+        Domain.spawn (fun () ->
+            Server.run srv d ~stop:(fun () -> Atomic.get stop))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Domain.join loop;
+          Daemon.stop d)
+        (fun () ->
+          let entries =
+            Fleet.jobs ~seed:3 ~n:6 ()
+            |> List.concat_map (fun j -> [ ("x", j); ("y", j); ("z", j) ])
+          in
+          let results, _shed =
+            Server.client_run ~timeout:60.0 ~socket:sock entries
+          in
+          check_int "every submission got its RESULT line"
+            (List.length entries) (List.length results);
+          (* the three submissions of each job agree past the id column *)
+          let strip line =
+            match String.index_opt line ' ' with
+            | Some i -> String.sub line (i + 1) (String.length line - i - 1)
+            | None -> line
+          in
+          let rec trios = function
+            | (_, a) :: (_, b) :: (_, c) :: rest ->
+                check_str "duplicate submissions answer identically"
+                  (strip a) (strip b);
+                check_str "cached answer matches the computed one" (strip a)
+                  (strip c);
+                trios rest
+            | _ -> ()
+          in
+          trios results))
+
 let suite =
   [
     ( "serve",
@@ -458,7 +527,11 @@ let suite =
           test_journal_torn_tail_tolerated;
         Alcotest.test_case "journal refuses a foreign configuration" `Quick
           test_journal_meta_mismatch_refused;
+        Alcotest.test_case "journal refuses a garbage file" `Quick
+          test_journal_garbage_file_refused;
         Alcotest.test_case "quarantine survives a restart" `Quick
           test_quarantine_survives_restart;
+        Alcotest.test_case "socket: instant completions are not dropped"
+          `Quick test_socket_instant_results_not_dropped;
       ] );
   ]
