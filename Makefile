@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test test-all fmt bench-smoke bench-profiles bench-harness bench-adaptive bench-serve cache-smoke crash-smoke adaptive-smoke serve-smoke ci clean
+.PHONY: all build test test-all fmt bench-smoke bench-interp bench-profiles bench-harness bench-adaptive bench-serve cache-smoke crash-smoke adaptive-smoke serve-smoke trace-smoke ci clean
 
 all: build
 
@@ -17,11 +17,17 @@ test:
 test-all:
 	$(DUNE) exec test/main.exe
 
-# engine-vs-engine wall-clock benchmark at the smallest scale, plus
-# validation that BENCH_interp.json parses and covers both engines for
-# all ten workloads
+# engine-vs-engine wall-clock benchmark at the smallest scale (three
+# configurations: reference, compiled engine, trace tier; median-of-5
+# interleaved timing), plus validation that BENCH_interp.smoke.json
+# parses and covers all three for all ten workloads; warns (does not
+# fail) on a >10% geomean regression against the committed
+# BENCH_interp.json and on a traced median >5% behind plain Fast
 bench-smoke:
 	$(DUNE) exec bench/main.exe -- smoke
+
+# alias: the interp smoke is also the trace-tier regression gate
+bench-interp: bench-smoke
 
 # recording-path benchmark (legacy collector vs flat slots) at the
 # smallest scale, written to BENCH_profiles.smoke.json and validated;
@@ -69,6 +75,13 @@ cache-smoke: build
 adaptive-smoke: build
 	sh scripts/adaptive_smoke.sh
 
+# `isf table all --traces on|8` must stay byte-identical to traces off
+# across engines, recording paths, --chaos and cache cold/warm, and
+# the --stats event taxonomy must be non-zero (the identity is not
+# vacuous)
+trace-smoke: build
+	sh scripts/trace_smoke.sh
+
 # gated: the container does not ship ocamlformat
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \
@@ -88,6 +101,7 @@ ci: build fmt
 	$(MAKE) crash-smoke
 	$(MAKE) cache-smoke
 	$(MAKE) adaptive-smoke
+	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-profiles

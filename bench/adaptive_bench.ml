@@ -9,9 +9,16 @@
    instrumentation overhead (the governor's own metric, to compare
    against the budget) and the number of adaptive decisions taken.
 
-   Everything here is SIMULATED cycles, so results are deterministic —
-   no timing methodology needed; the measurements also flow through the
-   run cache, so a warm smoke run is cheap.
+   The overheads and speedups are SIMULATED cycles, so those results
+   are deterministic — no timing methodology needed; the measurements
+   also flow through the run cache, so a warm smoke run is cheap.  On
+   top of that, each row carries the WALL-CLOCK cost of one full
+   adaptive execution (link + instrumented run + controller polls +
+   mid-run recompiles), timed like interp_bench: median-of-5
+   interleaved batches with min/median/max in the JSON, because this
+   container shows ±20-40% per-run variance.  Timing goes through
+   {!Harness.Measure.adaptive_wall} — the cached [run_adaptive] path
+   would time the run cache, not the run.
 
    Results go to BENCH_adaptive.json.  [smoke] reruns a three-workload
    subset into BENCH_adaptive.smoke.json, validates that it parses,
@@ -21,13 +28,53 @@
    file stays the reference. *)
 
 module TA = Harness.Table_adaptive
+module M = Harness.Measure
 
 let out_file = "BENCH_adaptive.json"
 let smoke_file = "BENCH_adaptive.smoke.json"
 let budget = 10.0
 let smoke_benches = [ "compress"; "db"; "mtrt" ]
 
-let json_of_rows (rows : TA.row list) =
+(* ---- wall-clock timing ---- *)
+
+type wall = { w_min : float; w_med : float; w_max : float } (* milliseconds *)
+
+let batches = 5
+
+let summarize samples =
+  let s = List.sort compare samples in
+  {
+    w_min = List.nth s 0;
+    w_med = List.nth s (List.length s / 2);
+    w_max = List.nth s (List.length s - 1);
+  }
+
+(* One honest uncached adaptive execution per sample, [batches] samples
+   per workload, round-robin across workloads so machine drift cannot
+   bias any single row; summarized as min/median/max, same methodology
+   as interp_bench.  Sequential on purpose — Pool workers timing
+   against each other would measure scheduler contention. *)
+let wall_times benches =
+  let transform = Core.Transform.exhaustive TA.spec in
+  let config = TA.config ~budget () in
+  let runs =
+    List.map
+      (fun (b : Workloads.Suite.benchmark) ->
+        let build = M.prepare b in
+        ( b.Workloads.Suite.bname,
+          fun () -> M.adaptive_wall ~config ~transform build ))
+      benches
+  in
+  let samples = List.map (fun _ -> ref []) runs in
+  for _ = 1 to batches do
+    List.iter2 (fun (_, run) acc -> acc := run () :: !acc) runs samples
+  done;
+  List.map2
+    (fun (name, _) acc ->
+      (name, summarize (List.map (fun s -> s *. 1000.0) !acc)))
+    runs samples
+
+let json_of_rows (rows : TA.row list) walls =
   let ok r = match r.TA.nums with Ok n -> n | Error _ -> assert false in
   let g, a = TA.summary rows in
   let buf = Buffer.create 2048 in
@@ -36,22 +83,25 @@ let json_of_rows (rows : TA.row list) =
   List.iteri
     (fun i r ->
       let n = ok r in
+      let w = List.assoc r.TA.bench walls in
       Buffer.add_string buf
         (Printf.sprintf
            "    { \"name\": %S, \"instr_overhead_pct\": %.1f, \
             \"adaptive_overhead_pct\": %.1f, \"speedup\": %.3f, \
-            \"achieved_pts\": %.2f, \"decisions\": %d }%s\n"
+            \"achieved_pts\": %.2f, \"decisions\": %d, \"wall_ms\": %.2f, \
+            \"wall_ms_min\": %.2f, \"wall_ms_max\": %.2f }%s\n"
            r.TA.bench n.TA.instr_oh n.TA.adaptive_oh n.TA.speedup n.TA.achieved
-           n.TA.ndecisions
+           n.TA.ndecisions w.w_med w.w_min w.w_max
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf
     (Printf.sprintf
        "  ],\n\
+       \  \"timing\": \"median-of-%d interleaved batches\",\n\
        \  \"geomean_speedup\": %.3f,\n\
        \  \"mean_achieved_pts\": %.2f\n\
         }\n"
-       g a);
+       batches g a);
   Buffer.contents buf
 
 (* ---- validation (reuses Interp_bench's JSON parser) ---- *)
@@ -67,6 +117,7 @@ let validate_json ~file ~expect text =
         [
           ("budget_pts", Interp_bench.Num _);
           ("benchmarks", Interp_bench.Arr rows);
+          ("timing", Interp_bench.Str _);
           ("geomean_speedup", Interp_bench.Num gm);
           ("mean_achieved_pts", Interp_bench.Num a);
         ] ->
@@ -75,7 +126,7 @@ let validate_json ~file ~expect text =
         failwith
           (file
          ^ ": expected { \"budget_pts\": n, \"benchmarks\": [...], \
-            \"geomean_speedup\": n, \"mean_achieved_pts\": n }")
+            \"timing\": s, \"geomean_speedup\": n, \"mean_achieved_pts\": n }")
   in
   let speedups =
     List.map
@@ -95,6 +146,12 @@ let validate_json ~file ~expect text =
             if num "speedup" <= 0.0 then failwith (file ^ ": bad speedup");
             if num "achieved_pts" < 0.0 then
               failwith (file ^ ": negative achieved overhead");
+            let w = num "wall_ms" in
+            let wmn = num "wall_ms_min" and wmx = num "wall_ms_max" in
+            if not (w > 0.0 && wmn > 0.0 && wmx > 0.0) then
+              failwith (file ^ ": non-positive wall_ms");
+            if wmn > w || w > wmx then
+              failwith (file ^ ": wall_ms min/median/max out of order");
             (str "name", num "speedup")
         | _ -> failwith (file ^ ": non-object row"))
       rows
@@ -140,8 +197,19 @@ let run_rows ~file ~benches =
       print_string (Harness.Robust.report fs);
       failwith "adaptive bench: cells failed, refusing to write results");
   print_string (TA.to_string rows);
+  let bench_list =
+    match benches with Some l -> l | None -> Harness.Common.benchmarks ()
+  in
+  Printf.printf "  timing adaptive wall-clock (median-of-%d interleaved)...\n%!"
+    batches;
+  let walls = wall_times bench_list in
+  List.iter
+    (fun (name, w) ->
+      Printf.printf "  %-14s adaptive %8.2f ms/run (%.2f-%.2f)\n%!" name
+        w.w_med w.w_min w.w_max)
+    walls;
   let oc = open_out file in
-  output_string oc (json_of_rows rows);
+  output_string oc (json_of_rows rows walls);
   close_out oc;
   Printf.printf "  wrote %s\n" file;
   rows

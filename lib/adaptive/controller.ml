@@ -100,6 +100,8 @@ type t = {
   inlined : (int * int * int, unit) Hashtbl.t;  (* (caller, site, callee) *)
   mutable log : string list;  (* decision log, newest first *)
   mutable polls : int;
+  mutable swapped : bool;  (* a hot_swap happened during this poll *)
+  mutable trace_saved : int option;  (* threshold of a paused trace tier *)
 }
 
 let create ?(config = default) ?sampler slots =
@@ -120,6 +122,8 @@ let create ?(config = default) ?sampler slots =
     inlined = Hashtbl.create 16;
     log = [];
     polls = 0;
+    swapped = false;
+    trace_saved = None;
   }
 
 let decisions t = List.rev t.log
@@ -151,6 +155,7 @@ let stripped_version t (ms : mstate) =
 (* Swap in whichever variant the strip state selects. *)
 let activate t st (ms : mstate) =
   let m = if ms.is_stripped then stripped_version t ms else ms.lineage in
+  t.swapped <- true;
   Vm.Engine.hot_swap st m
 
 (* Replace the instrumented lineage (after inlining) and re-install. *)
@@ -340,8 +345,28 @@ let fdo_step t st =
 
 let poll t st =
   t.polls <- t.polls + 1;
+  (* Trace tier as a governor actuation: a poll that installed new code
+     pauses tracing until the next poll — hot_swap already invalidated
+     every trace in the swapped methods (Vm.Trace), so this only stops
+     the tier from re-recording loops the controller is still actively
+     reshaping.  The controller writes the threshold knob and never
+     reads trace state: decisions depend only on the knob's value, which
+     is set identically under both engines (Ref simply never consults
+     it), so decision logs stay engine-invariant. *)
+  (match t.trace_saved with
+  | Some thr ->
+      t.trace_saved <- None;
+      st.Machine.trace_threshold <- thr;
+      logd t "trace-resume thr=%d" thr
+  | None -> ());
+  t.swapped <- false;
   (match t.gov with Some g -> governor_step t st g | None -> ());
   if t.cfg.fdo then fdo_step t st;
+  if t.swapped && st.Machine.trace_threshold < max_int then begin
+    t.trace_saved <- Some st.Machine.trace_threshold;
+    st.Machine.trace_threshold <- max_int;
+    logd t "trace-pause"
+  end;
   st.Machine.next_adaptive <- st.Machine.cycles + t.cfg.poll_period
 
 let on_init t (st : Machine.state) =

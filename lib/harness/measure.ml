@@ -46,6 +46,17 @@ let recording : [ `Slots | `Legacy ] Atomic.t = Atomic.make `Slots
 let set_recording r = Atomic.set recording r
 let current_recording () = Atomic.get recording
 
+(* The trace-recording tier (isf --traces): [Some t] arms hot-loop
+   tracing on the Fast engine with backedge threshold [t].  Traced
+   execution is bit-identical on every observable (test/test_engine.ml
+   enforces this differentially), so results are trace-invariant — but
+   run keys still carry the setting so trace-on and trace-off
+   measurements never alias in the cache.  Ignored by [`Ref]. *)
+let traces : int option Atomic.t = Atomic.make None
+
+let set_traces t = Atomic.set traces t
+let current_traces () = Atomic.get traces
+
 (* Chaos mode (isf --chaos SEED): every measurement runs under a fault
    plan derived from the session seed and the cell's (benchmark, scale)
    — deliberately NOT from which table or worker asks, so concurrent
@@ -138,8 +149,9 @@ let execute ?engine ?timer_period build funcs mk =
   in
   let res =
     Vm.Interp.run ~engine ~use_icache:true ?timer_period ~faults ~label
-      ?deadline ?recorder:recording.r_recorder ?on_init:recording.r_on_init
-      prog ~entry:Workloads.Suite.entry ~args:[ build.scale ] recording.r_hooks
+      ?deadline ?recorder:recording.r_recorder
+      ?trace_threshold:(Atomic.get traces) ?on_init:recording.r_on_init prog
+      ~entry:Workloads.Suite.entry ~args:[ build.scale ] recording.r_hooks
   in
   (metrics_of prog res (recording.r_decode ()), res)
 
@@ -172,9 +184,17 @@ let engine_str = function `Ref -> "ref" | `Fast -> "fast"
 
 let run_key ?adaptive ~kind ~funcs_digest ~engine ~recording ~trigger
     ~timer_period build =
-  Digest.run_config ?adaptive ~kind ~bench:build.bench.Workloads.Suite.bname
-    ~scale:build.scale ~funcs_digest ~engine:(engine_str engine) ~recording
-    ~trigger ~timer_period ~costs:(Digest.costs Vm.Costs.default)
+  let traces =
+    (* only the Fast engine consults the tier, so Ref keys stay stable
+       whatever the session-wide setting *)
+    match (engine, Atomic.get traces) with
+    | `Fast, Some t -> Some (Printf.sprintf "threshold:%d" t)
+    | _ -> None
+  in
+  Digest.run_config ?adaptive ?traces ~kind
+    ~bench:build.bench.Workloads.Suite.bname ~scale:build.scale ~funcs_digest
+    ~engine:(engine_str engine) ~recording ~trigger ~timer_period
+    ~costs:(Digest.costs Vm.Costs.default)
     ~faults:(Digest.fault_plan (fault_plan build))
     ()
 
@@ -292,6 +312,38 @@ let run_adaptive ?engine ?(trigger = Core.Sampler.Counter { interval = 64; jitte
         decisions = Adaptive.Controller.decisions c;
         polls = Adaptive.Controller.polls c;
       })
+
+(* One UNCACHED adaptive execution, timed.  [run_adaptive] results flow
+   through the run cache (by design — tables want cell reuse), which
+   makes wall-clock timing of the cached entry point meaningless; bench
+   drivers time this instead.  Same configuration surface and the same
+   execution path as [run_adaptive], minus the cache and the controller
+   introspection. *)
+let adaptive_wall ?engine
+    ?(trigger = Core.Sampler.Counter { interval = 64; jitter = 0 })
+    ?timer_period ?(config = Adaptive.Controller.default) ~transform build =
+  let engine =
+    match engine with Some e -> e | None -> Atomic.get default_engine
+  in
+  let funcs =
+    List.map (fun f -> (transform f).Core.Transform.func) build.base_funcs
+  in
+  let mk prog =
+    let sampler = Core.Sampler.create trigger in
+    let slots = Profiles.Slots.create prog in
+    let c = Adaptive.Controller.create ~config ~sampler slots in
+    {
+      r_hooks = Profiles.Slots.hooks slots sampler;
+      r_recorder = Some (Profiles.Slots.recorder slots);
+      r_decode = (fun () -> Profiles.Slots.decode slots);
+      r_on_init = Some (Adaptive.Controller.on_init c);
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let (_ : metrics * Vm.Interp.result) =
+    execute ~engine ?timer_period build funcs mk
+  in
+  Unix.gettimeofday () -. t0
 
 let overhead_pct ~base m =
   100.0 *. float_of_int (m.cycles - base.cycles) /. float_of_int base.cycles

@@ -35,6 +35,17 @@ val set_recording : [ `Slots | `Legacy ] -> unit
 
 val current_recording : unit -> [ `Slots | `Legacy ]
 
+val set_traces : int option -> unit
+(** Arm ([Some threshold]) or disarm ([None], the default) the
+    trace-recording tier ({!Vm.Trace}) for every subsequent measurement:
+    on the Fast engine, a loop whose backedge executes [threshold] times
+    is recorded and compiled to a fused superinstruction closure.
+    Traced execution is bit-identical on every observable, so results
+    are trace-invariant; run keys still carry the setting so trace-on
+    and trace-off runs never alias in the cache.  Ignored by [`Ref]. *)
+
+val current_traces : unit -> int option
+
 val set_chaos : int option -> unit
 (** Arm ([Some seed]) or disarm ([None], the default) chaos mode: every
     subsequent measurement runs under a deterministic {!Fault.plan}
@@ -119,6 +130,20 @@ val run_adaptive :
     [Counter 64] (the loop needs samples to steer by).  Cached like
     every other measurement, keyed additionally by the rendered
     controller config. *)
+
+val adaptive_wall :
+  ?engine:[ `Ref | `Fast ] ->
+  ?trigger:Core.Sampler.trigger ->
+  ?timer_period:int ->
+  ?config:Adaptive.Controller.config ->
+  transform:(Ir.Lir.func -> Core.Transform.result) ->
+  build ->
+  float
+(** One {e uncached} adaptive execution, returning its wall-clock
+    seconds (link + run).  {!run_adaptive} flows through the run cache,
+    so timing it measures the cache; bench drivers that want honest
+    wall-clock numbers time this instead.  Simulated observables are
+    identical to {!run_adaptive} with the same configuration. *)
 
 val overhead_pct : base:metrics -> metrics -> float
 (** Percent overhead in cycles relative to [base]. *)

@@ -212,7 +212,13 @@ let report failures =
            f.classification f.attempts
            (if f.attempts = 1 then "" else "s")
            f.message);
-      if f.backtrace <> "" then
+      (* backtraces only for unexpected failures: an expected,
+         classified failure (fault/fuel/timeout/dependency) already
+         carries its full deterministic context in the message, while
+         its backtrace depends on which awaiter of a memoized cell
+         re-raised first — printing it would make the report
+         byte-nondeterministic under -j and across configurations *)
+      if f.backtrace <> "" && String.equal f.classification "bug" then
         List.iter
           (fun line ->
             if not (String.equal line "") then

@@ -71,4 +71,9 @@ val cell_str : ('a -> string) -> 'a outcome -> string
 (** Render a table cell: the value through [f], or ["ERR"]. *)
 
 val report : failure list -> string
-(** The error-report appendix: one block per failure, sorted by key. *)
+(** The error-report appendix: one block per failure, sorted by key.
+    Backtraces are rendered only for ["bug"] failures — an expected,
+    classified failure already carries its deterministic context in the
+    message, while its backtrace depends on which awaiter of a memoized
+    cell re-raised first, which would make the report nondeterministic
+    under [-j] and across configurations. *)

@@ -68,6 +68,11 @@ type cprog = {
          an adaptive swap finish on the version they started in.  Only
          the adaptive tier appends here (single VM, at a safepoint), so
          no synchronization is needed. *)
+  n_sites : int Atomic.t;
+      (* trace-anchor site ids, minted per compiled backedge yieldpoint
+         (atomic: distinct methods may compile concurrently).  Site ids
+         name code locations; the per-run hotness counters and traces
+         they index live in each state's [trace] slot (see Trace). *)
 }
 
 type Program.cache_slot += Compiled of cprog
@@ -757,6 +762,10 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
             end
             else cont st
       | Lir.Yp_backedge ->
+          (* trace-tier anchor: every compiled backedge carries a site
+             id; the gate below is a single always-false compare until
+             a run arms [trace_threshold] *)
+          let site = Atomic.fetch_and_add cp.n_sites 1 in
           fun st ->
             charge st cc_yp;
             st.counters.backedge_yps <- st.counters.backedge_yps + 1;
@@ -772,6 +781,11 @@ let rec compile_instr (cp : cprog) (prog : Program.t) (m : Program.meth)
               st.switch_bit <- false;
               rotate_thread st
             end
+            else if st.trace_threshold < max_int && Trace.backedge st site ni
+            then ()
+              (* a compiled trace ran (or a recording stepped the
+                 machine): back to the dispatcher, which resumes at the
+                 written-back frame position with the standard preamble *)
             else cont st)
   | Lir.Instrument op ->
       (* Flat-slot recording compiles to a direct buffer bump (the
@@ -1085,6 +1099,7 @@ let cprog_of (prog : Program.t) (costs : Costs.t) =
                     (fun _ -> Atomic.make empty_cmeth);
                 c_costs = costs;
                 retired = [];
+                n_sites = Atomic.make 0;
               }
             in
             prog.Program.engine_cache <- Some (Compiled cp);
@@ -1106,6 +1121,10 @@ let hot_swap st (nm : Program.meth) =
   let old = prog.Program.methods.(id) in
   if old != nm then begin
     prog.Program.methods.(id) <- nm;
+    (* traces recorded against the retired version must never run again
+       (their precheck's version guard would reject them anyway; this
+       makes the invalidation prompt and counted) *)
+    Trace.invalidate st id;
     match prog.Program.engine_cache with
     | Some (Compiled cp) -> (
         let old_cm = Atomic.get cp.by_id.(id) in

@@ -86,6 +86,7 @@ val run :
   ?deadline:float ->
   ?deadline_poll:int ->
   ?recorder:Machine.flat_recorder ->
+  ?trace_threshold:int ->
   ?on_init:(Machine.state -> unit) ->
   Program.t ->
   entry:Ir.Lir.method_ref ->
@@ -115,4 +116,10 @@ val run :
     record through preallocated buffers instead of [hooks.on_instrument];
     unresolved ops still use the hooks.  Both engines share the recording
     path, and the decoded profiles are bit-identical to the legacy
-    event-by-event collector. *)
+    event-by-event collector.
+
+    [trace_threshold] arms the trace-recording tier ({!Trace}) on the
+    [`Fast] engine: a loop whose backedge executes that many times is
+    recorded and compiled to a fused superinstruction closure.  Traced
+    execution stays bit-identical on every observable.  Default
+    [max_int] (tier off); ignored by [`Ref]. *)

@@ -178,7 +178,18 @@ and state = {
   mutable migration : bool;
       (* frame migration at yieldpoints armed (see [try_migrate]);
          false unless the adaptive loop is on *)
+  (* Trace tier (lib/vm/trace.ml).  Extensible like [Program.cache_slot]
+     so Machine stays below Trace in the build order; [No_trace] keeps
+     non-trace runs at a single immediate field. *)
+  mutable trace : trace_slot;
+  mutable trace_threshold : int;
+      (* backedge executions before a loop is recorded; max_int = trace
+         tier off (the engine's hot-site counter can never reach it) *)
 }
+
+and trace_slot = ..
+
+type trace_slot += No_trace
 
 let charge st c = st.cycles <- st.cycles + c
 
@@ -777,6 +788,8 @@ let init_state ?(fuel = 4_000_000_000) ?(use_icache = false)
     next_adaptive = max_int;
     adaptive_poll = ignore;
     migration = false;
+    trace = No_trace;
+    trace_threshold = max_int;
   }
   in
   recompute_guard st;

@@ -61,17 +61,33 @@ let instrument transform funcs =
 
 (* Everything observable from one run, as one structurally comparable
    value.  A fresh link, collector and sampler per run: engines must
-   agree starting from identical cold state. *)
-let observe ~engine classes funcs trigger =
-  let collector = Profiles.Collector.create () in
+   agree starting from identical cold state.  [traces] arms the
+   trace-recording tier (Fast only) with a low threshold so the small
+   generated loops actually turn hot; [recording] selects the legacy
+   event-by-event collector or the flat-slot recorder — traced
+   execution must be bit-identical under both. *)
+let observe ~engine ?trace_threshold ?(recording = `Legacy) classes funcs
+    trigger =
+  let prog = Vm.Program.link classes ~funcs in
   let sampler = Core.Sampler.create trigger in
+  let hooks, recorder, decode =
+    match recording with
+    | `Legacy ->
+        let c = Profiles.Collector.create () in
+        (Profiles.Collector.hooks c sampler, None, fun () -> c)
+    | `Slots ->
+        let s = Profiles.Slots.create prog in
+        ( Profiles.Slots.hooks s sampler,
+          Some (Profiles.Slots.recorder s),
+          fun () -> Profiles.Slots.decode s )
+  in
   let res =
     Vm.Interp.run ~engine ~fuel:200_000_000 ~use_icache:true ~use_dcache:true
-      (Vm.Program.link classes ~funcs)
+      ?recorder ?trace_threshold prog
       ~entry:{ Lir.mclass = "Main"; mname = "main" }
-      ~args:[ 5 ]
-      (Profiles.Collector.hooks collector sampler)
+      ~args:[ 5 ] hooks
   in
+  let collector = decode () in
   let c = res.Vm.Interp.counters in
   ( ( res.Vm.Interp.return_value,
       res.Vm.Interp.output,
@@ -101,13 +117,24 @@ let check_program ~fail src =
       let funcs' = instrument transform funcs in
       List.for_all
         (fun (sname, trigger) ->
-          let a = observe ~engine:`Ref classes funcs' trigger in
-          let b = observe ~engine:`Fast classes funcs' trigger in
-          if a <> b then
-            fail
-              (Printf.sprintf
-                 "engines diverge: transform %s under trigger %s" tname sname)
-          else true)
+          let oracle = observe ~engine:`Ref classes funcs' trigger in
+          List.for_all
+            (fun (vname, obs) ->
+              if obs <> oracle then
+                fail
+                  (Printf.sprintf
+                     "engines diverge (%s): transform %s under trigger %s"
+                     vname tname sname)
+              else true)
+            [
+              ("Fast", observe ~engine:`Fast classes funcs' trigger);
+              ( "Fast+traces",
+                observe ~engine:`Fast ~trace_threshold:3 classes funcs'
+                  trigger );
+              ( "Fast+traces/slots",
+                observe ~engine:`Fast ~trace_threshold:3 ~recording:`Slots
+                  classes funcs' trigger );
+            ])
         triggers)
     transforms
 

@@ -1,0 +1,278 @@
+(* Directed tests for the trace-recording tier (lib/vm/trace.ml).
+
+   The differential property in Test_engine already crosses Fast+traces
+   against the reference on random programs; these tests pin the three
+   hand-picked scenarios a random generator rarely lands on precisely:
+
+   - side-exit register restoration: a guard fails mid-trace AFTER the
+     fused body has written registers the continuation reads, so a
+     botched write-back changes the return value, not just the timing;
+   - mid-trace fault injection: deterministic chaos plans fire while a
+     compiled trace is executing — faults must land at identical cycle
+     counts whether the loop runs fused or word-at-a-time;
+   - invalidation under the adaptive loop: hot-swap must tear down every
+     installed trace (EV_INVALIDATE), sites must re-record against the
+     new world, and the whole run must stay bit-identical to the
+     reference under the same controller config.
+
+   Each test also asserts the event taxonomy moved — a trace that never
+   compiled or never ran would make these checks vacuous. *)
+
+module Lir = Ir.Lir
+
+let threshold = 3 (* loops turn hot almost immediately *)
+
+let compile src =
+  let classes = Jasm.Compile.compile_string src in
+  let funcs = Opt.Pipeline.front (Bytecode.To_lir.program_to_funcs classes) in
+  (classes, funcs)
+
+(* Full observation tuple of one cold run (fresh link and collector). *)
+let observe ~engine ?trace_threshold ?faults ?on_init_of classes funcs =
+  let prog = Vm.Program.link classes ~funcs in
+  let sampler = Core.Sampler.create (Core.Sampler.Counter { interval = 3; jitter = 0 }) in
+  let slots = Profiles.Slots.create prog in
+  let on_init = Option.map (fun f -> f sampler slots) on_init_of in
+  let res =
+    Vm.Interp.run ~engine ~fuel:200_000_000 ~use_icache:true ~use_dcache:true
+      ~recorder:(Profiles.Slots.recorder slots)
+      ?trace_threshold ?faults ?on_init prog
+      ~entry:{ Lir.mclass = "Main"; mname = "main" }
+      ~args:[ 5 ]
+      (Profiles.Slots.hooks slots sampler)
+  in
+  let col = Profiles.Slots.decode slots in
+  let c = res.Vm.Interp.counters in
+  ( ( res.Vm.Interp.return_value,
+      res.Vm.Interp.output,
+      res.Vm.Interp.cycles,
+      res.Vm.Interp.instructions ),
+    ( c.Vm.Interp.entries,
+      c.Vm.Interp.backedge_yps,
+      c.Vm.Interp.entry_yps,
+      c.Vm.Interp.checks,
+      c.Vm.Interp.samples,
+      c.Vm.Interp.thread_switches,
+      c.Vm.Interp.instrument_ops ),
+    (res.Vm.Interp.icache_misses, res.Vm.Interp.dcache_misses),
+    ( List.sort compare
+        (Profiles.Call_edge.to_keyed col.Profiles.Collector.call_edges),
+      List.sort compare
+        (Profiles.Field_access.to_keyed col.Profiles.Collector.fields) ) )
+
+let stat name =
+  match List.assoc_opt name (Vm.Trace.stats ()) with
+  | Some n -> n
+  | None -> Alcotest.failf "unknown trace event %S" name
+
+(* run [f] and return (result, per-event stat deltas) *)
+let with_stats f =
+  let before = Vm.Trace.stats () in
+  let r = f () in
+  let deltas =
+    List.map
+      (fun (k, v) -> (k, v - List.assoc k before))
+      (Vm.Trace.stats ())
+  in
+  (r, deltas)
+
+let check_moved deltas what names =
+  List.iter
+    (fun n ->
+      if List.assoc n deltas <= 0 then
+        Alcotest.failf "%s: expected %s > 0 (got %d)" what n
+          (List.assoc n deltas))
+    names
+
+(* ---- 1. side-exit register restoration ---- *)
+
+(* The loop body writes [a] and [b] every iteration; the divergent
+   iteration (i = 97, long after the trace compiled at threshold 3)
+   side-exits at the If guard and the taken path reads [b] — if the
+   guard restored stale or missing register state, [s] and the return
+   value change.  The nested variant exercises exits from a trace whose
+   anchor sits under a call (guards capture call depth). *)
+let flat_src =
+  {|
+  class Main {
+    static fun main(n: int): int {
+      var s: int = 0;
+      var i: int = 0;
+      while (i < 100) {
+        var a: int = i * 3 + n;
+        var b: int = a + s;
+        if (i == 97) { s = s + b * 7; } else { s = s + a; }
+        i = i + 1;
+      }
+      print(s);
+      return s + i;
+    }
+  }
+|}
+
+let nested_src =
+  {|
+  class Main {
+    static fun inner(k: int, lim: int): int {
+      var t: int = 0;
+      var j: int = 0;
+      while (j < lim) {
+        var u: int = j * 2 + k;
+        if (u == 93) { t = t + u * 11; } else { t = t + u; }
+        j = j + 1;
+      }
+      return t;
+    }
+    static fun main(n: int): int {
+      var s: int = 0;
+      var i: int = 0;
+      while (i < 40) {
+        s = s + Main.inner(i, 30 + (i % 3));
+        i = i + 1;
+      }
+      print(s);
+      return s;
+    }
+  }
+|}
+
+let side_exit_registers () =
+  List.iter
+    (fun (name, src) ->
+      let classes, funcs = compile src in
+      let oracle = observe ~engine:`Ref classes funcs in
+      let traced, deltas =
+        with_stats (fun () ->
+            observe ~engine:`Fast ~trace_threshold:threshold classes funcs)
+      in
+      if traced <> oracle then
+        Alcotest.failf "%s: traced run diverges from reference" name;
+      (* the trace must have compiled, run, and side-exited — otherwise
+         the equality above never exercised guard restoration *)
+      check_moved deltas name [ "EV_COMPILE"; "EV_TRACE"; "EV_EXIT" ])
+    [ ("flat loop", flat_src); ("nested loop", nested_src) ]
+
+(* ---- 2. mid-trace fault injection ---- *)
+
+(* Chaos plans fire at absolute cycle counts; with the loop hot and
+   fused, those cycles land mid-trace.  The traced run must observe
+   every fault at the same cycle as the reference — same output, same
+   counters, same everything — or degrade identically (both raise, same
+   message).  Several seeds, so plans land in different trace phases
+   (recording, fused execution, side exits). *)
+let run_outcome ~engine ?trace_threshold ~faults classes funcs =
+  match observe ~engine ?trace_threshold ~faults classes funcs with
+  | obs -> Ok obs
+  | exception Vm.Interp.Runtime_error msg -> Error msg
+
+let mid_trace_faults () =
+  let classes, funcs = compile flat_src in
+  let exercised = ref 0 in
+  List.iter
+    (fun seed ->
+      let faults = Fault.of_seed seed in
+      let oracle = run_outcome ~engine:`Ref ~faults classes funcs in
+      let traced, deltas =
+        with_stats (fun () ->
+            run_outcome ~engine:`Fast ~trace_threshold:threshold ~faults
+              classes funcs)
+      in
+      if traced <> oracle then
+        Alcotest.failf "chaos seed %d: traced run diverges from reference"
+          seed;
+      if List.assoc "EV_TRACE" deltas > 0 then incr exercised)
+    [ 1; 2; 3; 42; 1234 ];
+  (* at least some plans must have left the trace tier running — all
+     plans aborting before the loop turns hot would prove nothing *)
+  if !exercised = 0 then
+    Alcotest.fail "no chaos plan ever reached fused trace execution"
+
+(* ---- 3. invalidation under the adaptive loop ---- *)
+
+(* Aggressive controller thresholds (as in Test_adaptive) so the small
+   program actually inlines and reorders mid-run: every hot_swap must
+   invalidate the installed traces, and re-recording against the new
+   method versions must stay bit-identical to the reference adaptive
+   run under the same config.  The poll period must leave room between
+   adaptive safepoints for the trace entry precheck (a trace only runs
+   when its worst-case iteration fits before the next poll) — at
+   Test_adaptive's 500 cycles an exhaustively-instrumented iteration
+   never fits and traces would compile but never execute. *)
+let fdo_config =
+  {
+    Adaptive.Controller.default with
+    Adaptive.Controller.poll_period = 4000;
+    inline_threshold = 2;
+    reorder_threshold = 4;
+  }
+
+let adaptive_src =
+  {|
+  class W {
+    var acc: int;
+    fun step(k: int): int {
+      this.acc = this.acc + k;
+      return this.acc;
+    }
+  }
+  class Main {
+    static fun hot(w: W, lim: int): int {
+      var j: int = 0;
+      var t: int = 0;
+      while (j < lim) {
+        t = t + w.step(j);
+        j = j + 1;
+      }
+      return t;
+    }
+    static fun main(n: int): int {
+      var w: W = new W;
+      var s: int = 0;
+      var i: int = 0;
+      while (i < 60) {
+        s = s + Main.hot(w, 20 + (i % 5));
+        i = i + 1;
+      }
+      print(s);
+      return s;
+    }
+  }
+|}
+
+let invalidate_under_adaptive () =
+  let classes, funcs = compile adaptive_src in
+  let funcs =
+    List.map
+      (fun f ->
+        (Core.Transform.exhaustive Harness.Table_adaptive.spec f)
+          .Core.Transform.func)
+      funcs
+  in
+  let on_init_of sampler slots =
+    Adaptive.Controller.on_init
+      (Adaptive.Controller.create ~config:fdo_config ~sampler slots)
+  in
+  let oracle = observe ~engine:`Ref ~on_init_of classes funcs in
+  let traced, deltas =
+    with_stats (fun () ->
+        observe ~engine:`Fast ~trace_threshold:threshold ~on_init_of classes
+          funcs)
+  in
+  if traced <> oracle then
+    Alcotest.fail "adaptive traced run diverges from reference";
+  check_moved deltas "adaptive"
+    [ "EV_COMPILE"; "EV_TRACE"; "EV_INVALIDATE" ];
+  ignore (stat "EV_RECORD")
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "side exits restore register state" `Quick
+          side_exit_registers;
+        Alcotest.test_case "chaos faults land mid-trace bit-identically"
+          `Quick mid_trace_faults;
+        Alcotest.test_case "adaptive hot-swap invalidates and re-records"
+          `Quick invalidate_under_adaptive;
+      ] );
+  ]
