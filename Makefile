@@ -2,7 +2,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test test-all fmt bench-smoke bench-interp bench-profiles bench-harness bench-adaptive bench-serve cache-smoke crash-smoke adaptive-smoke serve-smoke trace-smoke ci clean
+.PHONY: all build test test-all fmt bench-smoke bench-interp bench-profiles bench-harness bench-adaptive bench-serve cache-smoke crash-smoke adaptive-smoke serve-smoke trace-smoke merge-smoke ci clean
 
 all: build
 
@@ -64,6 +64,13 @@ bench-serve:
 serve-smoke: build
 	sh scripts/serve_smoke.sh
 
+# cross-shard merge invariance: a sharded fleet merged with `isf merge`
+# must be byte-identical to the sequential fleet's aggregate, for any
+# shard count, merge order or worker count; the merged-aggregate cache
+# cold vs warm must agree; SIGKILL mid-fleet + resume merges losslessly
+merge-smoke: build
+	sh scripts/merge_smoke.sh
+
 # run `isf table 1` uncached, cold-cached and warm-cached; diff the
 # outputs and require the warm run to hit the cache for every cell
 cache-smoke: build
@@ -103,6 +110,7 @@ ci: build fmt
 	$(MAKE) adaptive-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) merge-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) bench-profiles
 	$(MAKE) bench-harness

@@ -12,9 +12,14 @@
      warm — same disk cache, in-memory tiers reset (Runcache.reset_memory,
             simulating a new process), every cell loaded from disk.
 
-   The two runs' stdout is captured and asserted byte-identical — the
-   cache must never change what an experiment prints — and the warm/cold
-   ratio is the cache's speedup.  Results go to BENCH_harness.json
+   Each cold/warm pair is repeated 5 times — every repetition against
+   its own fresh cache directory, so every cold run is genuinely cold —
+   and summarized as min/median/max (the shared Interp_bench
+   median-of-5 convention; this container's wall-clock swings
+   +-20-40% run to run).  The two runs' stdout is captured and asserted
+   byte-identical on every repetition — the cache must never change
+   what an experiment prints — and the warm/cold ratio of medians is
+   the cache's speedup.  Results go to BENCH_harness.json
    (hand-written JSON, same conventions as BENCH_interp.json).  [smoke]
    reruns at the smallest scale into BENCH_harness.smoke.json, validates
    it, and WARNS (not fails) when its geomean speedup is more than 10%
@@ -22,17 +27,24 @@
 
 let out_file = "BENCH_harness.json"
 let smoke_file = "BENCH_harness.smoke.json"
+let reps = Interp_bench.batches
+
+type timing = Interp_bench.timing = {
+  t_min : float;
+  t_med : float;
+  t_max : float;
+}
 
 type section = {
   name : string;
   requested : int; (* cells the drivers will ask Measure for *)
   unique : int; (* after Schedule.dedupe *)
-  cold_s : float;
-  warm_s : float;
+  cold_t : timing;
+  warm_t : timing;
 }
 
 let dedup_ratio s = float_of_int s.requested /. float_of_int (max 1 s.unique)
-let warm_speedup s = s.cold_s /. Float.max 1e-9 s.warm_s
+let warm_speedup s = s.cold_t.t_med /. Float.max 1e-9 s.warm_t.t_med
 
 let geomean f rows =
   exp
@@ -72,30 +84,48 @@ let read_file path = In_channel.with_open_bin path In_channel.input_all
 let bench_section ~scale (name, requests, body) =
   let reqs = requests ?scale:scale () in
   let unique = List.length (Harness.Schedule.dedupe reqs) in
-  let dir = temp_dir ("isf-bench-" ^ name) in
-  let cold_out = Filename.concat dir "cold.txt"
-  and warm_out = Filename.concat dir "warm.txt" in
-  Harness.Runcache.set_dir (Some dir);
-  Harness.Runcache.reset_memory ();
-  let cold_s = time (fun () -> with_stdout_to cold_out (fun () -> body ?scale:scale ())) in
-  Harness.Runcache.reset_memory ();
-  let warm_s = time (fun () -> with_stdout_to warm_out (fun () -> body ?scale:scale ())) in
-  Harness.Runcache.set_dir None;
-  Harness.Runcache.reset_memory ();
-  if not (String.equal (read_file cold_out) (read_file warm_out)) then
-    failwith
-      (Printf.sprintf
-         "%s: warm-cache output differs from cold-cache output (%s vs %s)"
-         name cold_out warm_out);
+  (* one cold/warm pair per repetition, each against its own fresh
+     cache directory so every cold run really is cold *)
+  let pairs =
+    List.init reps (fun i ->
+        let dir = temp_dir (Printf.sprintf "isf-bench-%s-%d" name i) in
+        let cold_out = Filename.concat dir "cold.txt"
+        and warm_out = Filename.concat dir "warm.txt" in
+        Harness.Runcache.set_dir (Some dir);
+        Harness.Runcache.reset_memory ();
+        let cold_s =
+          time (fun () ->
+              with_stdout_to cold_out (fun () -> body ?scale:scale ()))
+        in
+        Harness.Runcache.reset_memory ();
+        let warm_s =
+          time (fun () ->
+              with_stdout_to warm_out (fun () -> body ?scale:scale ()))
+        in
+        Harness.Runcache.set_dir None;
+        Harness.Runcache.reset_memory ();
+        if not (String.equal (read_file cold_out) (read_file warm_out)) then
+          failwith
+            (Printf.sprintf
+               "%s: warm-cache output differs from cold-cache output (%s vs %s)"
+               name cold_out warm_out);
+        (cold_s, warm_s))
+  in
   let row =
-    { name; requested = List.length reqs; unique; cold_s; warm_s }
+    {
+      name;
+      requested = List.length reqs;
+      unique;
+      cold_t = Interp_bench.summarize (List.map fst pairs);
+      warm_t = Interp_bench.summarize (List.map snd pairs);
+    }
   in
   Printf.printf
     "  %-12s %3d cells -> %3d unique (%.2fx dedup)   cold %6.2f s   warm \
      %6.3f s   %5.1fx\n\
      %!"
-    row.name row.requested row.unique (dedup_ratio row) row.cold_s row.warm_s
-    (warm_speedup row);
+    row.name row.requested row.unique (dedup_ratio row) row.cold_t.t_med
+    row.warm_t.t_med (warm_speedup row);
   row
 
 let sections =
@@ -114,15 +144,22 @@ let json_of_rows rows =
   let all_requested = List.fold_left (fun a r -> a + r.requested) 0 rows in
   let all_unique = List.fold_left (fun a r -> a + r.unique) 0 rows in
   let buf = Buffer.create 1024 in
-  Buffer.add_string buf "{\n  \"sections\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"timing\": \"median-of-%d cold/warm pairs\",\n  \"sections\": [\n"
+       reps);
+  let timing k (t : timing) =
+    Printf.sprintf "\"%s_s\": %.3f, \"%s_s_min\": %.3f, \"%s_s_max\": %.3f" k
+      t.t_med k t.t_min k t.t_max
+  in
   List.iteri
     (fun i r ->
       Buffer.add_string buf
         (Printf.sprintf
            "    { \"name\": %S, \"cells_requested\": %d, \"cells_unique\": \
-            %d, \"dedup_ratio\": %.3f, \"cold_s\": %.3f, \"warm_s\": %.3f, \
-            \"warm_speedup\": %.3f }%s\n"
-           r.name r.requested r.unique (dedup_ratio r) r.cold_s r.warm_s
+            %d, \"dedup_ratio\": %.3f, %s, %s, \"warm_speedup\": %.3f }%s\n"
+           r.name r.requested r.unique (dedup_ratio r)
+           (timing "cold" r.cold_t) (timing "warm" r.warm_t)
            (warm_speedup r)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
@@ -150,6 +187,7 @@ let validate_json ~file text =
     match v with
     | Interp_bench.Obj
         [
+          ("timing", Interp_bench.Str _);
           ("sections", Interp_bench.Arr rows);
           ("cells_total", Interp_bench.Num _);
           ("cells_unique", Interp_bench.Num _);
@@ -162,8 +200,9 @@ let validate_json ~file text =
     | _ ->
         failwith
           (file
-         ^ ": expected { \"sections\": [...], \"cells_total\": n, \
-            \"cells_unique\": n, \"dedup_ratio\": n, \"geomean_speedup\": n }")
+         ^ ": expected { \"timing\": s, \"sections\": [...], \"cells_total\": \
+            n, \"cells_unique\": n, \"dedup_ratio\": n, \"geomean_speedup\": \
+            n }")
   in
   let names =
     List.map
@@ -175,8 +214,16 @@ let validate_json ~file text =
               | Some (Interp_bench.Num f) -> f
               | _ -> failwith (Printf.sprintf "%s: missing number %S" file k)
             in
-            if not (num "cold_s" > 0.0 && num "warm_s" > 0.0) then
-              failwith (file ^ ": non-positive wall-clock");
+            List.iter
+              (fun cfg ->
+                let med = num (cfg ^ "_s") in
+                let mn = num (cfg ^ "_s_min") and mx = num (cfg ^ "_s_max") in
+                if not (med > 0.0 && mn > 0.0 && mx > 0.0) then
+                  failwith (file ^ ": non-positive wall-clock for " ^ cfg);
+                if mn > med || med > mx then
+                  failwith
+                    (file ^ ": min/median/max out of order for " ^ cfg))
+              [ "cold"; "warm" ];
             (match List.assoc_opt "name" o with
             | Some (Interp_bench.Str s) -> s
             | _ -> failwith (file ^ ": section without a name"))

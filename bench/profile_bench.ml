@@ -52,27 +52,34 @@ let kinds =
 
 let workload = "mtrt"
 
+type timing = Interp_bench.timing = {
+  t_min : float;
+  t_med : float;
+  t_max : float;
+}
+
 type row = {
   kind : string;
   engine : string;
   scale : int;
   instructions : int;
   instrument_ops : int;
-  legacy_ns : float; (* ns per simulated instruction *)
-  slots_ns : float;
-  legacy_s : float; (* seconds per run *)
-  slots_s : float;
-  base_s : float; (* seconds per uninstrumented baseline run *)
+  legacy_ns : timing; (* ns per simulated instruction *)
+  slots_ns : timing;
+  legacy_t : timing; (* seconds per run *)
+  slots_t : timing;
+  base_t : timing; (* seconds per uninstrumented baseline run *)
 }
 
-let speedup r = r.legacy_ns /. r.slots_ns
+let speedup r = r.legacy_ns.t_med /. r.slots_ns.t_med
 
 (* recording-path speedup: overhead over the uninstrumented baseline,
    clamped away from zero so a noisy tiny-budget run cannot divide by a
-   negative overhead *)
+   negative overhead.  Computed from medians, like every speedup in the
+   median-of-5 benches. *)
 let overhead_speedup r =
-  let l = Float.max 1e-9 (r.legacy_s -. r.base_s)
-  and s = Float.max 1e-9 (r.slots_s -. r.base_s) in
+  let l = Float.max 1e-9 (r.legacy_t.t_med -. r.base_t.t_med)
+  and s = Float.max 1e-9 (r.slots_t.t_med -. r.base_t.t_med) in
   l /. s
 
 (* decoded-profile observation, unsorted: iteration order is part of
@@ -90,13 +97,14 @@ let observe (res : Vm.Interp.result) (col : Profiles.Collector.t) =
       Profiles.Receiver_profile.to_keyed col.Profiles.Collector.receivers,
       Profiles.Cct.to_keyed col.Profiles.Collector.cct ) )
 
-(* Interleaved min-of-batches over THREE runners (baseline, legacy,
-   slots) — same methodology as Interp_bench.time_pair, extended so the
-   baseline subtraction in [overhead_speedup] sees the same scheduling
-   drift as the runs it is subtracted from.  Timing the baseline in a
-   separate earlier block was measurably biased: a few percent of drift
-   on the baseline swamps the small slots-path overhead. *)
-let batches = 5
+(* Median-of-5 interleaved batches over THREE runners (baseline,
+   legacy, slots) — the shared Interp_bench methodology, extended so
+   the baseline subtraction in [overhead_speedup] sees the same
+   scheduling drift as the runs it is subtracted from.  Timing the
+   baseline in a separate earlier block was measurably biased: a few
+   percent of drift on the baseline swamps the small slots-path
+   overhead. *)
+let batches = Interp_bench.batches
 
 let time_triple ~budget run_a run_b run_c =
   let probe run =
@@ -116,13 +124,15 @@ let time_triple ~budget run_a run_b run_c =
     done;
     (Unix.gettimeofday () -. t0) /. float_of_int n
   in
-  let best_a = ref infinity and best_b = ref infinity and best_c = ref infinity in
+  let acc_a = ref [] and acc_b = ref [] and acc_c = ref [] in
   for _ = 1 to batches do
-    best_a := Float.min !best_a (batch run_a reps_a);
-    best_b := Float.min !best_b (batch run_b reps_b);
-    best_c := Float.min !best_c (batch run_c reps_c)
+    acc_a := batch run_a reps_a :: !acc_a;
+    acc_b := batch run_b reps_b :: !acc_b;
+    acc_c := batch run_c reps_c :: !acc_c
   done;
-  (!best_a, !best_b, !best_c)
+  ( Interp_bench.summarize !acc_a,
+    Interp_bench.summarize !acc_b,
+    Interp_bench.summarize !acc_c )
 
 let bench_kind ~scale ~budget ~engine (kname, spec) =
   let build = M.prepare ?scale (Workloads.Suite.find workload) in
@@ -171,11 +181,18 @@ let bench_kind ~scale ~budget ~engine (kname, spec) =
          kname engine);
   ignore (run_base ());
   let instr = float_of_int res_l.Vm.Interp.instructions in
-  let base_s, per_l, per_s =
+  let base_t, legacy_t, slots_t =
     time_triple ~budget
       (fun () -> run_base ())
       (fun () -> run_legacy ())
       (fun () -> run_slots ())
+  in
+  let per_instr t =
+    {
+      t_min = t.t_min *. 1e9 /. instr;
+      t_med = t.t_med *. 1e9 /. instr;
+      t_max = t.t_max *. 1e9 /. instr;
+    }
   in
   let row =
     {
@@ -185,18 +202,18 @@ let bench_kind ~scale ~budget ~engine (kname, spec) =
       instructions = res_l.Vm.Interp.instructions;
       instrument_ops =
         res_l.Vm.Interp.counters.Vm.Interp.instrument_ops;
-      legacy_ns = per_l *. 1e9 /. instr;
-      slots_ns = per_s *. 1e9 /. instr;
-      legacy_s = per_l;
-      slots_s = per_s;
-      base_s;
+      legacy_ns = per_instr legacy_t;
+      slots_ns = per_instr slots_t;
+      legacy_t;
+      slots_t;
+      base_t;
     }
   in
   Printf.printf
     "  %-13s %-4s legacy %7.2f ns/instr   slots %7.2f ns/instr   run %4.2fx   \
      recording %5.2fx\n\
      %!"
-    row.kind row.engine row.legacy_ns row.slots_ns (speedup row)
+    row.kind row.engine row.legacy_ns.t_med row.slots_ns.t_med (speedup row)
     (overhead_speedup row);
   row
 
@@ -205,20 +222,32 @@ let geomean f rows =
     (List.fold_left (fun a r -> a +. log (f r)) 0.0 rows
     /. float_of_int (List.length rows))
 
+(* JSON convention shared with BENCH_interp: bare *_ns_per_instr
+   fields carry the median, with _min/_max siblings, and a top-level
+   "timing" marker names the methodology. *)
 let json_of_rows rows =
   let buf = Buffer.create 2048 in
-  Buffer.add_string buf "{\n  \"profiles\": [\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\n  \"timing\": \"median-of-%d interleaved batches\",\n  \"profiles\": [\n"
+       batches);
+  let timing k (t : timing) =
+    Printf.sprintf
+      "\"%s_ns_per_instr\": %.3f, \"%s_ns_min\": %.3f, \"%s_ns_max\": %.3f" k
+      t.t_med k t.t_min k t.t_max
+  in
   List.iteri
     (fun i r ->
       Buffer.add_string buf
         (Printf.sprintf
            "    { \"kind\": %S, \"engine\": %S, \"scale\": %d, \
-            \"instructions\": %d, \"instrument_ops\": %d, \
-            \"legacy_ns_per_instr\": %.3f, \"slots_ns_per_instr\": %.3f, \
+            \"instructions\": %d, \"instrument_ops\": %d, %s, %s, \
             \"baseline_s\": %.6f, \"run_speedup\": %.3f, \
             \"recording_speedup\": %.3f }%s\n"
-           r.kind r.engine r.scale r.instructions r.instrument_ops r.legacy_ns
-           r.slots_ns r.base_s (speedup r) (overhead_speedup r)
+           r.kind r.engine r.scale r.instructions r.instrument_ops
+           (timing "legacy" r.legacy_ns)
+           (timing "slots" r.slots_ns)
+           r.base_t.t_med (speedup r) (overhead_speedup r)
            (if i = List.length rows - 1 then "" else ",")))
     rows;
   Buffer.add_string buf
@@ -242,6 +271,7 @@ let validate_json ~file text =
     match v with
     | Interp_bench.Obj
         [
+          ("timing", Interp_bench.Str _);
           ("profiles", Interp_bench.Arr rows);
           ("geomean_run_speedup", Interp_bench.Num _);
           ("geomean_recording_speedup", Interp_bench.Num gm);
@@ -250,8 +280,8 @@ let validate_json ~file text =
     | _ ->
         failwith
           (file
-         ^ ": expected { \"profiles\": [...], \"geomean_run_speedup\": n, \
-            \"geomean_recording_speedup\": n }")
+         ^ ": expected { \"timing\": s, \"profiles\": [...], \
+            \"geomean_run_speedup\": n, \"geomean_recording_speedup\": n }")
   in
   let keys =
     List.map
@@ -268,11 +298,17 @@ let validate_json ~file text =
               | Some (Interp_bench.Num f) -> f
               | _ -> failwith (Printf.sprintf "%s: missing number %S" file k)
             in
-            if
-              not
-                (num "legacy_ns_per_instr" > 0.0
-                && num "slots_ns_per_instr" > 0.0)
-            then failwith (file ^ ": non-positive ns/instr");
+            List.iter
+              (fun cfg ->
+                let med = num (cfg ^ "_ns_per_instr") in
+                let mn = num (cfg ^ "_ns_min")
+                and mx = num (cfg ^ "_ns_max") in
+                if not (med > 0.0 && mn > 0.0 && mx > 0.0) then
+                  failwith (file ^ ": non-positive ns/instr for " ^ cfg);
+                if mn > med || med > mx then
+                  failwith
+                    (file ^ ": min/median/max out of order for " ^ cfg))
+              [ "legacy"; "slots" ];
             (str "kind", str "engine")
         | _ -> failwith (file ^ ": non-object row"))
       rows

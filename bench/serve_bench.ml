@@ -1,10 +1,15 @@
-(* Serve-mode benchmark (ISSUE 8): the daemon's operational envelope.
+(* Serve-mode benchmark (ISSUE 8 + 10): the daemon's operational
+   envelope plus the cross-shard merge data plane.
 
-   Three phases, each over a deterministic fleet (Serve.Fleet):
+   Phases, each over a deterministic fleet (Serve.Fleet):
 
-     throughput — run N mixed-scale jobs through the daemon on the
-       default worker count and report sustained jobs/sec plus
-       submit-to-result latency percentiles (p50/p99);
+     throughput — run N mixed-scale jobs through the daemon under a
+       closed-loop submission window (2 x workers outstanding) and
+       report sustained jobs/sec plus latency percentiles.  The window
+       makes p50/p99 true per-job service latency (queue + execute);
+       the open-loop variant used before ISSUE 10 stamped all N submit
+       times upfront, so its percentiles measured backlog age — an
+       artifact of batch start, not of the daemon;
 
      burst — flood a deliberately small daemon (2 workers, capacity 4)
        with the whole fleet at once through the non-blocking admission
@@ -14,38 +19,67 @@
      recovery — forge the journal a daemon killed mid-fleet would have
        left (every job submitted, a prefix completed), restart on it,
        and time recovery-to-completion; the resumed results must be
-       byte-identical to the uninterrupted reference run.
+       byte-identical to the uninterrupted reference run;
 
-   Results go to BENCH_serve.json (hand-written JSON, same conventions
-   as the other BENCH files).  [smoke] reruns a small fleet into
+     merge — parse the fleet's per-job profile payloads, replicate them
+       into a few hundred shards, and time the parallel merge tree
+       (profiles/sec), sharded re-merges at several shard counts (each
+       asserted digest-identical to the unsharded aggregate), and the
+       cold-vs-warm merged-aggregate cache.
+
+   Every timed quantity is median-of-5 repetitions (min/med/max in the
+   JSON, same convention as BENCH_interp/BENCH_adaptive): this
+   container shows +-20-40% per-run wall-clock variance, so a
+   single-run number is untrustworthy.  Byte-identity is asserted on
+   every repetition, not just once.
+
+   Results go to BENCH_serve.json.  [smoke] reruns a small fleet into
    BENCH_serve.smoke.json, validates it, and WARNS (not fails) when its
-   throughput is more than 10% below the committed file's — wall-clock
-   on a noisy container is advisory, correctness gates are the tests. *)
+   median throughput is more than 10% below the committed file's —
+   wall-clock on a noisy container is advisory, correctness gates are
+   the tests. *)
 
 module Fleet = Serve.Fleet
 module Daemon = Serve.Daemon
 module Journal = Serve.Journal
 module Job = Serve.Job
+module Merge = Profiles.Merge
 
 let out_file = "BENCH_serve.json"
 let smoke_file = "BENCH_serve.smoke.json"
 let seed = 41
+let reps = Interp_bench.batches
+
+type timing = Interp_bench.timing = {
+  t_min : float;
+  t_med : float;
+  t_max : float;
+}
+
+let summarize = Interp_bench.summarize
 
 type results = {
   jobs : int;
   workers : int;
-  (* throughput *)
-  jobs_per_sec : float;
-  p50_ms : float;
-  p99_ms : float;
-  wall_s : float;
+  window : int;
+  (* throughput (closed loop) *)
+  jobs_per_sec : timing;
+  p50_ms : timing;
+  p99_ms : timing;
+  wall_s : timing;
   (* burst *)
   burst_submitted : int;
   burst_shed : int;
   (* recovery *)
   recovery_replayed : int;
   recovery_rerun : int;
-  recovery_s : float;
+  recovery_s : timing;
+  (* merge *)
+  merge_profiles : int;
+  merge_pps : timing; (* profiles merged per second, unsharded *)
+  shard_pps : (int * float) list; (* shard count -> median profiles/sec *)
+  cache_cold_s : float;
+  cache_warm_s : float;
 }
 
 let shed_rate r =
@@ -62,22 +96,130 @@ let tmp_journal () =
   Sys.remove p;
   p
 
+let median_of f =
+  (summarize (List.init reps (fun _ -> f ()))).t_med
+
+(* ---- merge phase ---- *)
+
+(* Replicate the fleet's payloads into [target] shards (multiplicity
+   preserved — a job appearing twice keeps double weight), then time
+   the unsharded merge, sharded re-merges, and the aggregate cache. *)
+let run_merge_phase ~workers ~payloads =
+  let base = List.map Merge.parse payloads in
+  if base = [] then failwith "merge phase: fleet produced no profiles";
+  let target = 512 in
+  let repl = max 1 (target / List.length base) in
+  let inputs = List.concat (List.init repl (fun _ -> base)) in
+  let n_inputs = List.length inputs in
+  let reference = Harness.Aggregate.merge_tree ~jobs:workers inputs in
+  let ref_digest = Merge.digest reference in
+  (* unsharded merge throughput, median-of-reps *)
+  let pps =
+    summarize
+      (List.init reps (fun _ ->
+           let t0 = Unix.gettimeofday () in
+           let m = Harness.Aggregate.merge_tree ~jobs:workers inputs in
+           let dt = Unix.gettimeofday () -. t0 in
+           if not (String.equal (Merge.digest m) ref_digest) then
+             failwith "merge phase: repetition diverged";
+           float_of_int n_inputs /. Float.max 1e-9 dt))
+  in
+  Printf.printf
+    "  merge        %d profiles   %.0f/s med (min %.0f, max %.0f)\n%!"
+    n_inputs pps.t_med pps.t_min pps.t_max;
+  (* shard-count scaling: merge each shard, then merge the shard
+     aggregates — the result must be digest-identical to the unsharded
+     aggregate for every shard count *)
+  let shard_pps =
+    List.filter_map
+      (fun k ->
+        if k > n_inputs then None
+        else begin
+          let shards = Array.make k [] in
+          List.iteri (fun i m -> shards.(i mod k) <- m :: shards.(i mod k)) inputs;
+          let med =
+            median_of (fun () ->
+                let t0 = Unix.gettimeofday () in
+                let partials =
+                  Array.to_list
+                    (Array.map
+                       (fun s -> Harness.Aggregate.merge_tree ~jobs:workers s)
+                       shards)
+                in
+                let m = Harness.Aggregate.merge_tree ~jobs:workers partials in
+                let dt = Unix.gettimeofday () -. t0 in
+                if not (String.equal (Merge.digest m) ref_digest) then
+                  failwith
+                    (Printf.sprintf
+                       "merge phase: %d-shard merge not digest-identical" k);
+                float_of_int n_inputs /. Float.max 1e-9 dt)
+          in
+          Printf.printf "  merge shards %4d -> %.0f profiles/s med\n%!" k med;
+          Some (k, med)
+        end)
+      [ 1; 2; 4; 8 ]
+  in
+  (* merged-aggregate cache: cold computes through the tree, warm is a
+     content-addressed lookup under the sorted multiset of digests *)
+  let digests = List.map Merge.digest inputs in
+  fresh ();
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (Unix.gettimeofday () -. t0, v)
+  in
+  let cold_s, cold =
+    time (fun () ->
+        Harness.Aggregate.merge_cached ~jobs:workers ~digests (fun () -> inputs))
+  in
+  let warm_s, warm =
+    time (fun () ->
+        Harness.Aggregate.merge_cached ~jobs:workers ~digests (fun () ->
+            failwith "merge phase: warm lookup recomputed"))
+  in
+  if not (String.equal (Merge.render cold) (Merge.render warm)) then
+    failwith "merge phase: warm cache hit not byte-identical";
+  if not (String.equal (Merge.digest cold) ref_digest) then
+    failwith "merge phase: cached aggregate diverged";
+  Printf.printf "  merge cache  cold %.4f s, warm %.4f s\n%!" cold_s warm_s;
+  (n_inputs, pps, shard_pps, cold_s, warm_s)
+
+(* ---- phases ---- *)
+
 let run_phases ~n =
   let entries = entries ~n in
   let workers = Harness.Pool.default_jobs () in
-  (* reference for the recovery phase's byte-identity assertion *)
+  let window = 2 * workers in
+  (* reference for the byte-identity assertions, and the source of the
+     merge phase's profile payloads *)
   fresh ();
-  let reference = Fleet.run_sequential entries in
+  let reference, ref_profiles = Fleet.run_sequential entries in
 
-  Printf.printf "Serve benchmark: %d jobs, %d worker(s)\n%!" n workers;
-  fresh ();
-  let st, results =
-    Fleet.run_daemon ~config:{ Daemon.default with workers } entries
-  in
-  if results <> reference then failwith "throughput run not byte-identical";
   Printf.printf
-    "  throughput   %6.1f jobs/s   p50 %6.1f ms   p99 %6.1f ms   (%.2f s)\n%!"
-    st.Fleet.jobs_per_sec st.Fleet.p50_ms st.Fleet.p99_ms st.Fleet.wall_seconds;
+    "Serve benchmark: %d jobs, %d worker(s), window %d, median of %d\n%!" n
+    workers window reps;
+  let samples =
+    List.init reps (fun _ ->
+        fresh ();
+        let st, results, _profiles =
+          Fleet.run_daemon ~config:{ Daemon.default with workers } ~window
+            entries
+        in
+        if results <> reference then
+          failwith "throughput run not byte-identical";
+        st)
+  in
+  let field f = summarize (List.map f samples) in
+  let jobs_per_sec = field (fun st -> st.Fleet.jobs_per_sec) in
+  let p50_ms = field (fun st -> st.Fleet.p50_ms) in
+  let p99_ms = field (fun st -> st.Fleet.p99_ms) in
+  let wall_s = field (fun st -> st.Fleet.wall_seconds) in
+  Printf.printf
+    "  throughput   %6.1f jobs/s med (min %.1f, max %.1f)   p50 %6.1f ms   \
+     p99 %6.1f ms\n\
+     %!"
+    jobs_per_sec.t_med jobs_per_sec.t_min jobs_per_sec.t_max p50_ms.t_med
+    p99_ms.t_med;
 
   (* burst: every job thrown at a tiny daemon in one loop; overflow must
      shed explicitly *)
@@ -100,67 +242,112 @@ let run_phases ~n =
 
   (* recovery: journal says every job was submitted and the first third
      completed; restart must replay those and re-run exactly the rest *)
-  let jpath = tmp_journal () in
   let completed_prefix = n / 3 in
-  let j, _ = Journal.open_ ~meta:"bench" jpath in
-  List.iteri
-    (fun i (client, job) ->
-      Journal.append j
-        (Journal.Submitted { id = i + 1; client; line = Job.render job }))
-    entries;
-  List.iteri
-    (fun i (_, result) ->
-      if i < completed_prefix then
-        Journal.append j (Journal.Completed { id = i + 1; result }))
-    reference;
-  Journal.close j;
-  fresh ();
-  let t0 = Unix.gettimeofday () in
-  let rst, resumed =
-    Fleet.run_daemon
-      ~config:{ Daemon.default with workers }
-      ~journal:jpath ~meta:"bench" entries
+  let replayed = ref 0 in
+  let recovery_s =
+    summarize
+      (List.init reps (fun _ ->
+           let jpath = tmp_journal () in
+           let j, _ = Journal.open_ ~meta:"bench" jpath in
+           List.iteri
+             (fun i (client, job) ->
+               Journal.append j
+                 (Journal.Submitted
+                    { id = i + 1; client; line = Job.render job }))
+             entries;
+           List.iteri
+             (fun i (_, result) ->
+               if i < completed_prefix then
+                 Journal.append j (Journal.Completed { id = i + 1; result }))
+             reference;
+           Journal.close j;
+           fresh ();
+           let t0 = Unix.gettimeofday () in
+           let rst, resumed, _ =
+             Fleet.run_daemon
+               ~config:{ Daemon.default with workers }
+               ~journal:jpath ~meta:"bench" entries
+           in
+           let dt = Unix.gettimeofday () -. t0 in
+           Sys.remove jpath;
+           if resumed <> reference then
+             failwith "recovered run not byte-identical";
+           if rst.Fleet.replayed <> completed_prefix then
+             failwith "recovery re-ran journaled results";
+           replayed := rst.Fleet.replayed;
+           dt))
   in
-  let recovery_s = Unix.gettimeofday () -. t0 in
-  Sys.remove jpath;
-  if resumed <> reference then failwith "recovered run not byte-identical";
-  if rst.Fleet.replayed <> completed_prefix then
-    failwith "recovery re-ran journaled results";
   Printf.printf
-    "  recovery     %d replayed + %d re-run in %.2f s, byte-identical\n%!"
-    rst.Fleet.replayed
-    (n - rst.Fleet.replayed)
-    recovery_s;
+    "  recovery     %d replayed + %d re-run in %.2f s med, byte-identical\n%!"
+    !replayed (n - !replayed) recovery_s.t_med;
+
+  let merge_profiles, merge_pps, shard_pps, cache_cold_s, cache_warm_s =
+    run_merge_phase ~workers ~payloads:(List.map snd ref_profiles)
+  in
   {
     jobs = n;
     workers;
-    jobs_per_sec = st.Fleet.jobs_per_sec;
-    p50_ms = st.Fleet.p50_ms;
-    p99_ms = st.Fleet.p99_ms;
-    wall_s = st.Fleet.wall_seconds;
+    window;
+    jobs_per_sec;
+    p50_ms;
+    p99_ms;
+    wall_s;
     burst_submitted = n;
     burst_shed = !shed;
-    recovery_replayed = rst.Fleet.replayed;
-    recovery_rerun = n - rst.Fleet.replayed;
+    recovery_replayed = !replayed;
+    recovery_rerun = n - !replayed;
     recovery_s;
+    merge_profiles;
+    merge_pps;
+    shard_pps;
+    cache_cold_s;
+    cache_warm_s;
   }
 
 (* ---- JSON ---- *)
+
+let json_timing t =
+  Printf.sprintf "{ \"min\": %.3f, \"med\": %.3f, \"max\": %.3f }" t.t_min
+    t.t_med t.t_max
 
 let json_of r =
   Printf.sprintf
     "{\n\
     \  \"jobs\": %d,\n\
     \  \"workers\": %d,\n\
-    \  \"throughput\": { \"jobs_per_sec\": %.3f, \"p50_ms\": %.3f, \
-     \"p99_ms\": %.3f, \"wall_s\": %.3f },\n\
+    \  \"timing\": \"median-of-%d repetitions\",\n\
+    \  \"throughput\": {\n\
+    \    \"window\": %d,\n\
+    \    \"jobs_per_sec\": %s,\n\
+    \    \"p50_ms\": %s,\n\
+    \    \"p99_ms\": %s,\n\
+    \    \"wall_s\": %s\n\
+    \  },\n\
     \  \"burst\": { \"submitted\": %d, \"shed\": %d, \"shed_rate\": %.3f },\n\
-    \  \"recovery\": { \"replayed\": %d, \"rerun\": %d, \"recover_s\": %.3f \
-     }\n\
+    \  \"recovery\": { \"replayed\": %d, \"rerun\": %d, \"recover_s\": %s },\n\
+    \  \"merge\": {\n\
+    \    \"profiles\": %d,\n\
+    \    \"profiles_per_sec\": %s,\n\
+    \    \"shards\": [%s],\n\
+    \    \"cache_cold_s\": %.4f,\n\
+    \    \"cache_warm_s\": %.4f\n\
+    \  }\n\
      }\n"
-    r.jobs r.workers r.jobs_per_sec r.p50_ms r.p99_ms r.wall_s
+    r.jobs r.workers reps r.window
+    (json_timing r.jobs_per_sec)
+    (json_timing r.p50_ms) (json_timing r.p99_ms) (json_timing r.wall_s)
     r.burst_submitted r.burst_shed (shed_rate r) r.recovery_replayed
-    r.recovery_rerun r.recovery_s
+    r.recovery_rerun
+    (json_timing r.recovery_s)
+    r.merge_profiles
+    (json_timing r.merge_pps)
+    (String.concat ", "
+       (List.map
+          (fun (k, pps) ->
+            Printf.sprintf "{ \"shards\": %d, \"profiles_per_sec\": %.1f }" k
+              pps)
+          r.shard_pps))
+    r.cache_cold_s r.cache_warm_s
 
 let validate_json ~file text =
   let v =
@@ -176,6 +363,16 @@ let validate_json ~file text =
     | Some (Interp_bench.Num f) -> f
     | _ -> failwith (Printf.sprintf "%s: missing number %S" file k)
   in
+  let triple o k =
+    match List.assoc_opt k o with
+    | Some t ->
+        let t = obj t in
+        let mn = num t "min" and md = num t "med" and mx = num t "max" in
+        if not (mn <= md && md <= mx) then
+          failwith (Printf.sprintf "%s: %s not min<=med<=max" file k);
+        md
+    | None -> failwith (Printf.sprintf "%s: missing timing %S" file k)
+  in
   let top = obj v in
   let section k =
     match List.assoc_opt k top with
@@ -184,21 +381,38 @@ let validate_json ~file text =
   in
   let thr = section "throughput"
   and burst = section "burst"
-  and rec_ = section "recovery" in
+  and rec_ = section "recovery"
+  and merge = section "merge" in
   if not (num top "jobs" > 0.0) then failwith (file ^ ": no jobs");
-  if not (num thr "jobs_per_sec" > 0.0) then
-    failwith (file ^ ": non-positive throughput");
-  if not (num thr "p99_ms" >= num thr "p50_ms") then
+  let jps = triple thr "jobs_per_sec" in
+  if not (jps > 0.0) then failwith (file ^ ": non-positive throughput");
+  if not (triple thr "p99_ms" >= triple thr "p50_ms") then
     failwith (file ^ ": p99 below p50");
+  ignore (triple thr "wall_s");
   let rate = num burst "shed_rate" in
   if rate < 0.0 || rate > 1.0 then failwith (file ^ ": shed rate not in [0,1]");
   if not (num burst "shed" > 0.0) then
     failwith (file ^ ": burst phase never shed — admission control inactive?");
-  if not (num rec_ "recover_s" > 0.0) then
+  if not (triple rec_ "recover_s" > 0.0) then
     failwith (file ^ ": non-positive recovery time");
   if not (num rec_ "replayed" > 0.0) then
     failwith (file ^ ": recovery replayed nothing");
-  num thr "jobs_per_sec"
+  if not (num merge "profiles" > 0.0) then
+    failwith (file ^ ": merge phase saw no profiles");
+  if not (triple merge "profiles_per_sec" > 0.0) then
+    failwith (file ^ ": non-positive merge throughput");
+  (match List.assoc_opt "shards" merge with
+  | Some (Interp_bench.Arr (_ :: _ as shards)) ->
+      List.iter
+        (fun s ->
+          let s = obj s in
+          if not (num s "shards" > 0.0 && num s "profiles_per_sec" > 0.0) then
+            failwith (file ^ ": bad shard-scaling entry"))
+        shards
+  | _ -> failwith (file ^ ": missing shard-scaling array"));
+  if not (num merge "cache_cold_s" > 0.0 && num merge "cache_warm_s" >= 0.0)
+  then failwith (file ^ ": bad merge cache timings");
+  jps
 
 let committed_throughput () =
   match

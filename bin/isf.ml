@@ -777,10 +777,86 @@ let serve_cmd =
       $ jobs_arg $ capacity_arg $ retries_arg $ quarantine_arg $ breaker_arg
       $ chaos_arg $ watchdog_arg $ cache_arg $ trace_arg)
 
+(* shared by `isf merge` and `isf fleet --merge`: the merged aggregate
+   rendered through the same report tables as a single profiled run *)
+let print_merged ~top merged =
+  let col = Profiles.Merge.to_collector merged in
+  print_string (Profiles.Report.summary col);
+  print_newline ();
+  print_string (Profiles.Report.top ~n:top col)
+
+let write_merged ~verb f merged =
+  Out_channel.with_open_text f (fun oc ->
+      output_string oc (Profiles.Merge.render merged));
+  Printf.printf "isf %s: wrote merged profile to %s\n" verb f
+
+let merge_cmd =
+  let run files out top csv jobs cache =
+    set_cache cache;
+    let renders =
+      List.map
+        (fun f ->
+          try In_channel.with_open_text f In_channel.input_all
+          with Sys_error m ->
+            prerr_endline ("isf merge: " ^ m);
+            exit 2)
+        files
+    in
+    let parsed =
+      List.map2
+        (fun f r ->
+          try Profiles.Merge.parse r
+          with Profiles.Merge.Parse_error m ->
+            Printf.eprintf "isf merge: %s: %s\n" f m;
+            exit 2)
+        files renders
+    in
+    (* digest the canonical re-rendering, so a semantically identical
+       shard hits the same cached aggregate however it was whitespaced *)
+    let digests = List.map Profiles.Merge.digest parsed in
+    let merged =
+      Harness.Aggregate.merge_cached ~jobs ~digests (fun () -> parsed)
+    in
+    (match out with Some f -> write_merged ~verb:"merge" f merged | None -> ());
+    print_merged ~top merged;
+    match csv with
+    | None -> ()
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (kind, text) ->
+            let path = Filename.concat dir (kind ^ ".csv") in
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc;
+            Printf.printf "wrote %s\n" path)
+          (Profiles.Report.to_csv (Profiles.Merge.to_collector merged))
+  in
+  let files_arg =
+    let doc =
+      "Merged-profile shard files: canonical renderings as written by \
+       $(b,isf fleet --merge-out) or this command's $(b,--out)."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Also write the merged aggregate's canonical rendering to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "merge"
+       ~doc:
+         "Merge profile shards (all seven kinds) into one aggregate with \
+          byte-deterministic output, independent of shard count and merge \
+          order")
+    Term.(
+      const run $ files_arg $ out_arg $ top_arg $ csv_arg $ jobs_arg
+      $ cache_arg)
+
 let fleet_cmd =
   let run n seed clients poison engine recording emit file sequential socket
       out journal workers capacity retries quarantine_after breaker_after
-      chaos watchdog cache trace =
+      chaos watchdog cache trace merge merge_out batch window =
     install_oneshot_signals ();
     set_trace trace;
     set_robustness ~chaos ~watchdog ();
@@ -798,32 +874,36 @@ let fleet_cmd =
         Printf.printf "isf fleet: wrote %d job(s) to %s\n"
           (List.length entries) f
     | None ->
-        let results, stats =
+        let want_merge = merge || merge_out <> None in
+        let results, profiles, stats =
           if sequential then
-            ( Serve.Fleet.run_sequential entries,
-              None (* the byte-identity reference: no stats to compare *) )
+            (* the byte-identity reference: no stats to compare *)
+            let results, profiles = Serve.Fleet.run_sequential entries in
+            (results, profiles, None)
           else
             match socket with
             | Some sock ->
-                let results, shed =
+                let results, shed, profiles =
                   or_die (fun () ->
-                      Serve.Server.client_run ~socket:sock entries)
+                      Serve.Server.client_run ~batch ~profiles:want_merge
+                        ~socket:sock entries)
                 in
                 if shed > 0 then
                   Printf.printf
                     "isf fleet: %d submission(s) shed and retried\n" shed;
-                (results, None)
+                (results, profiles, None)
             | None ->
                 let config =
                   serve_config ~workers ~capacity ~retries ~quarantine_after
                     ~breaker_after
                 in
                 let meta = serve_meta ~tag:"fleet" ~config ~chaos ~watchdog in
-                let st, results =
+                let st, results, profiles =
                   or_die (fun () ->
-                      Serve.Fleet.run_daemon ~config ?journal ~meta entries)
+                      Serve.Fleet.run_daemon ~config ?journal ~meta ?window
+                        entries)
                 in
-                (results, Some st)
+                (results, profiles, Some st)
         in
         (match out with
         | Some f ->
@@ -838,7 +918,21 @@ let fleet_cmd =
               st.Serve.Fleet.uncaught
           | None -> 0
         in
-        gate_fleet ~uncaught results
+        gate_fleet ~uncaught results;
+        if want_merge then begin
+          let merged =
+            or_die (fun () ->
+                Serve.Fleet.merge_profiles ~jobs:workers ~entries ~results
+                  profiles)
+          in
+          (match merge_out with
+          | Some f -> write_merged ~verb:"fleet" f merged
+          | None -> ());
+          if merge then begin
+            print_newline ();
+            print_merged ~top:10 merged
+          end
+        end
   in
   let n_arg =
     let doc = "How many jobs to generate." in
@@ -888,6 +982,39 @@ let fleet_cmd =
     let doc = "Write result lines to $(docv) instead of stdout." in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
+  let merge_arg =
+    let doc =
+      "After the run, merge every completed job's profile into one \
+       aggregate (parallel merge tree, cached by input digests) and print \
+       the same report tables as a single profiled run.  The aggregate is \
+       byte-identical however the fleet was sharded or scheduled."
+    in
+    Arg.(value & flag & info [ "merge" ] ~doc)
+  in
+  let merge_out_arg =
+    let doc =
+      "Write the merged aggregate's canonical rendering to $(docv) \
+       (implies the merge; readable by $(b,isf merge))."
+    in
+    Arg.(value & opt (some string) None & info [ "merge-out" ] ~docv:"FILE" ~doc)
+  in
+  let batch_arg =
+    let doc =
+      "Pipelined submission batch size for $(b,--socket) runs: jobs per \
+       SUBMIT* frame."
+    in
+    Arg.(value & opt int 32 & info [ "batch" ] ~docv:"N" ~doc)
+  in
+  let window_arg =
+    let doc =
+      "Closed-loop submission window for in-process runs: keep at most \
+       $(docv) jobs outstanding and submit the next on each completion, \
+       so latency percentiles measure per-job service latency instead of \
+       backlog age.  Results are byte-identical either way.  Default: \
+       open loop (everything submitted upfront)."
+    in
+    Arg.(value & opt (some int) None & info [ "window" ] ~docv:"N" ~doc)
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:
@@ -898,7 +1025,7 @@ let fleet_cmd =
       $ recording_arg $ emit_arg $ file_arg $ sequential_arg $ socket_arg
       $ out_arg $ journal_arg $ jobs_arg $ capacity_arg $ retries_arg
       $ quarantine_arg $ breaker_arg $ chaos_arg $ watchdog_arg $ cache_arg
-      $ trace_arg)
+      $ trace_arg $ merge_arg $ merge_out_arg $ batch_arg $ window_arg)
 
 let main =
   let doc =
@@ -917,6 +1044,7 @@ let main =
       ablation_cmd;
       serve_cmd;
       fleet_cmd;
+      merge_cmd;
     ]
 
 let () =

@@ -1,0 +1,61 @@
+(* Fleet-level profile aggregation: a parallel merge tree over the
+   domain pool plus merge-aware caching in the content-addressed run
+   cache.
+
+   The tree shape is a function of the input list length alone
+   (pairwise rounds, left to right), and Pool.map assembles results in
+   submission index order, so the aggregate is identical whatever
+   worker count ran it — Profiles.Merge's associativity does the rest.
+
+   Cached aggregates are keyed by the sorted list of input run digests:
+   sorting makes the key independent of shard arrival order, and the
+   full multiset (not a deduplicated set) is kept so a job that
+   legitimately appears twice in a fleet keeps double weight. *)
+
+module Merge = Profiles.Merge
+
+(* observability for the daemon's STATS line *)
+let merges = Atomic.make 0
+let inputs = Atomic.make 0
+let merge_count () = Atomic.get merges
+let input_count () = Atomic.get inputs
+
+let merge_pair a b =
+  Atomic.incr merges;
+  Merge.merge a b
+
+let merge_tree ?jobs profiles =
+  Atomic.set inputs (Atomic.get inputs + List.length profiles);
+  let rec round = function
+    | [] -> Merge.empty
+    | [ x ] -> x
+    | l ->
+        let rec pair = function
+          | a :: b :: rest -> (a, Some b) :: pair rest
+          | [ a ] -> [ (a, None) ]
+          | [] -> []
+        in
+        round
+          (Pool.map ?jobs
+             (fun (a, b) ->
+               match b with Some b -> merge_pair a b | None -> a)
+             (pair l))
+  in
+  round profiles
+
+module Cache = Runcache.Make (struct
+  type t = string (* canonical rendering of the aggregate *)
+end)
+
+let merged_key digests =
+  let sorted = List.sort compare digests in
+  "merged-profile:" ^ Stdlib.Digest.to_hex (Stdlib.Digest.string (String.concat "\n" sorted))
+
+let merge_cached ?jobs ~digests compute =
+  let rendered =
+    Cache.find ~key:(merged_key digests) (fun () ->
+        Merge.render (merge_tree ?jobs (compute ())))
+  in
+  Merge.parse rendered
+
+let cached ~digests = Cache.cached ~key:(merged_key digests)

@@ -1,0 +1,31 @@
+(** Fleet-level profile aggregation: {!Profiles.Merge} run as a
+    parallel merge tree on the domain pool, with merged aggregates
+    cached in the content-addressed run cache under the sorted list of
+    input run digests. *)
+
+val merge_tree : ?jobs:int -> Profiles.Merge.t list -> Profiles.Merge.t
+(** Pairwise merge rounds over {!Pool.map}.  The tree shape depends
+    only on the list length and results assemble in submission order,
+    so the output is identical for every worker count (and, by
+    {!Profiles.Merge.merge}'s associativity, equal to the sequential
+    left fold). *)
+
+val merged_key : string list -> string
+(** Cache key for an aggregate: sorted (not deduplicated) input run
+    digests, hashed.  Order-independent; multiplicity-preserving. *)
+
+val merge_cached :
+  ?jobs:int -> digests:string list -> (unit -> Profiles.Merge.t list) ->
+  Profiles.Merge.t
+(** Look up the aggregate under {!merged_key}; on miss, run [compute]
+    through {!merge_tree} and publish the canonical rendering to both
+    cache tiers. *)
+
+val cached : digests:string list -> bool
+(** Available from either tier without computing? *)
+
+val merge_count : unit -> int
+(** Pairwise merges performed by this process (monotonic). *)
+
+val input_count : unit -> int
+(** Profiles fed into {!merge_tree} by this process (monotonic). *)

@@ -41,6 +41,21 @@ let import t ~walks ~root ~children ~count =
   in
   graft t.root root
 
+(* Aggregation path (Profiles.Merge): a concrete copy of the tree with
+   full (method, site) child keys.  Child order is each hashtable's fold
+   order — callers canonicalize. *)
+type view = { vcount : int; vchildren : ((string * int) * view) list }
+
+let export t =
+  let rec copy node =
+    {
+      vcount = node.count;
+      vchildren =
+        Hashtbl.fold (fun key c acc -> (key, copy c) :: acc) node.children [];
+    }
+  in
+  (t.walks, copy t.root)
+
 let total_walks t = t.walks
 
 let rec fold_nodes f acc path node =

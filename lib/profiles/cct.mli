@@ -23,6 +23,13 @@ val import :
     (children in first-walk order, so the layout matches what [record]
     would have built). *)
 
+type view = { vcount : int; vchildren : ((string * int) * view) list }
+(** A concrete tree copy with full (method, call-site) child keys, for
+    aggregation ({!Merge}).  Child order is unspecified. *)
+
+val export : t -> int * view
+(** (total walks, root view). *)
+
 val total_walks : t -> int
 val n_nodes : t -> int
 

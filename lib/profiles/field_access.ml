@@ -23,6 +23,13 @@ let bump t ~field ~is_write ~n =
   | Some c -> c := !c + n
   | None -> Hashtbl.add t.table field (ref n)
 
+(* Aggregation path (Profiles.Merge): [bump ~is_write:false] rebuilds
+   the per-field table but books everything as reads; this installs the
+   true global read/write split afterwards. *)
+let set_totals t ~reads ~writes =
+  t.reads <- reads;
+  t.writes <- writes
+
 let count t field =
   match Hashtbl.find_opt t.table field with Some c -> !c | None -> 0
 

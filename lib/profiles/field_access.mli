@@ -11,6 +11,10 @@ val bump : t -> field:string -> is_write:bool -> n:int -> unit
 (** Decode path: [n] same-direction accesses at once, inserting if
     absent (first-event order). *)
 
+val set_totals : t -> reads:int -> writes:int -> unit
+(** Aggregation path: overwrite the global read/write split after the
+    per-field table was rebuilt via {!bump}. *)
+
 val count : t -> string -> int
 val total : t -> int
 val reads : t -> int

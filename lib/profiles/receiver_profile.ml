@@ -56,6 +56,13 @@ let monomorphic_sites ?(threshold = 0.999) t =
     t.sites []
   |> List.sort compare
 
+(* Aggregation path (Profiles.Merge): full per-site histograms, classes
+   in table order; site order is the fold order — callers canonicalize. *)
+let export_sites t =
+  Hashtbl.fold
+    (fun key st acc -> (key, (st.classes, st.site_total)) :: acc)
+    t.sites []
+
 let sites t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.sites [] |> List.sort compare
 

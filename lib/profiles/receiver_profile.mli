@@ -26,6 +26,10 @@ val monomorphic_sites : ?threshold:float -> t -> (string * int * string) list
 (** Sites whose dominant class reaches [threshold] (default 0.999):
     (method, site, class). *)
 
+val export_sites : t -> ((string * int) * ((string * int) list * int)) list
+(** Aggregation path: every site's (class histogram, total), classes in
+    table order, sites in unspecified order — {!Merge} canonicalizes. *)
+
 val sites : t -> (string * int) list
 val n_sites : t -> int
 val to_keyed : t -> (string * int) list

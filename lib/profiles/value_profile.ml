@@ -63,6 +63,14 @@ let invariance t ~meth ~site =
       Some (float_of_int c /. float_of_int st.site_total)
   | _ -> None
 
+(* Aggregation path (Profiles.Merge): the full per-site state, entries
+   in table order (most recently bumped first).  Site order is the
+   hashtable's fold order — callers canonicalize. *)
+let export_sites t =
+  Hashtbl.fold
+    (fun key st acc -> (key, (st.entries, st.site_total)) :: acc)
+    t.sites []
+
 let sites t = Hashtbl.fold (fun k _ acc -> k :: acc) t.sites []
 let n_sites t = Hashtbl.length t.sites
 

@@ -21,6 +21,11 @@ val invariance : t -> meth:string -> site:int -> float option
 (** Fraction of the site's observations attributed to its top value —
     the "invariance" that value-specialization decisions key on. *)
 
+val export_sites : t -> ((string * int) * ((int * int) list * int)) list
+(** Aggregation path: every site's (entries, total), entries in table
+    order (most recently bumped first), sites in unspecified order —
+    {!Merge} canonicalizes both. *)
+
 val sites : t -> (string * int) list
 val n_sites : t -> int
 val to_keyed : t -> (string * int) list

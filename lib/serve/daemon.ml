@@ -37,6 +37,7 @@ type stats = {
   breaker_tripped : bool;
   per_worker : int array;
   uncaught : int;
+  queue_depth : int;
 }
 
 type t = {
@@ -44,7 +45,7 @@ type t = {
   q : (int * string * Job.t) Fairq.t;
   journal : Journal.t option;
   quarantine : Quarantine.t;
-  on_result : (int -> string -> Job.t -> string -> unit) option;
+  on_result : (int -> string -> Job.t -> string -> string option -> unit) option;
   mutable service : Pool.Service.t option;
   (* id assignment + journal-submit ordering *)
   idm : Mutex.t;
@@ -54,6 +55,7 @@ type t = {
   resm : Mutex.t;
   rescond : Condition.t;
   results : (int, string) Hashtbl.t;
+  profiles : (int, string) Hashtbl.t; (* id -> Profiles.Merge.render *)
   accepted_ids : (int, unit) Hashtbl.t;
   mutable accepted : int;
   mutable completed : int;
@@ -113,18 +115,20 @@ let note_loud_cache_failure t =
 (* The job runner                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* Returns the job's status plus, for a completed job, the canonical
+   rendering of its profile — journaled and kept for the fleet merge. *)
 let run_job t job =
   let dg = Job.digest job in
   match Quarantine.find t.quarantine ~digest:dg with
-  | Some report -> Job.Quarantined { message = report }
+  | Some report -> (Job.Quarantined { message = report }, None)
   | None ->
       (* transient retries are bounded by config.retries; cache-tier
          failures get at most breaker_after extra attempts (by then the
          breaker has tripped and the memory tier serves); bug failures
          are bounded by the quarantine threshold *)
       let rec attempt ~transient_left ~cache_left =
-        match Job.execute job with
-        | s -> Job.Done s
+        match Job.execute_full job with
+        | s, merge -> (Job.Done s, Some (Profiles.Merge.render merge))
         | exception e ->
             let msg = message_of e in
             if has_prefix "run cache" msg && cache_left > 0 then begin
@@ -159,28 +163,39 @@ let run_job t job =
                       Mutex.lock t.resm;
                       t.quarantined_jobs <- t.quarantined_jobs + 1;
                       Mutex.unlock t.resm;
-                      Job.Quarantined { message = report })
-              | classification -> Job.Failed { classification; message = msg }
+                      (Job.Quarantined { message = report }, None))
+              | classification ->
+                  (Job.Failed { classification; message = msg }, None)
             end
       in
       attempt ~transient_left:t.config.retries
         ~cache_left:t.config.breaker_after
 
-let record_result t id client job line =
+let record_result t id client job line payload =
+  (* profile before completion: a kill between the two appends leaves
+     the job incomplete, so the restart re-runs it and writes a fresh
+     pair — a Completed record therefore always has its payload *)
   (match t.journal with
-  | Some j -> Journal.append j (Journal.Completed { id; result = line })
+  | Some j ->
+      (match payload with
+      | Some p -> Journal.append j (Journal.Profile { id; payload = p })
+      | None -> ());
+      Journal.append j (Journal.Completed { id; result = line })
   | None -> ());
   Mutex.lock t.resm;
   Hashtbl.replace t.results id line;
+  (match payload with
+  | Some p -> Hashtbl.replace t.profiles id p
+  | None -> ());
   t.completed <- t.completed + 1;
   Condition.broadcast t.rescond;
   Mutex.unlock t.resm;
-  (match t.on_result with Some f -> f id client job line | None -> ())
+  (match t.on_result with Some f -> f id client job line payload | None -> ())
 
 let process t (id, client, job) =
-  let status = run_job t job in
+  let status, payload = run_job t job in
   check_breaker t;
-  record_result t id client job (Job.result_line ~id job status)
+  record_result t id client job (Job.result_line ~id job status) payload
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
@@ -208,6 +223,7 @@ let start ?(config = default) ?journal:journal_path ?(meta = "") ?on_result ()
       resm = Mutex.create ();
       rescond = Condition.create ();
       results = Hashtbl.create 256;
+      profiles = Hashtbl.create 256;
       accepted_ids = Hashtbl.create 256;
       accepted = 0;
       completed = 0;
@@ -230,6 +246,9 @@ let start ?(config = default) ?journal:journal_path ?(meta = "") ?on_result ()
             Hashtbl.replace t.results id line;
             t.replayed <- t.replayed + 1)
           r.Journal.completed;
+        List.iter
+          (fun (id, p) -> Hashtbl.replace t.profiles id p)
+          r.Journal.profiles;
         t.next_id <- r.Journal.next_id;
         r.Journal.pending
   in
@@ -325,6 +344,18 @@ let results t =
   Mutex.unlock t.resm;
   List.sort compare l
 
+let profiles t =
+  Mutex.lock t.resm;
+  let l = Hashtbl.fold (fun id p acc -> (id, p) :: acc) t.profiles [] in
+  Mutex.unlock t.resm;
+  List.sort compare l
+
+let profile_of t ~id =
+  Mutex.lock t.resm;
+  let p = Hashtbl.find_opt t.profiles id in
+  Mutex.unlock t.resm;
+  p
+
 let stats t =
   Mutex.lock t.resm;
   let accepted = t.accepted
@@ -347,6 +378,7 @@ let stats t =
     breaker_tripped;
     per_worker;
     uncaught;
+    queue_depth = Fairq.length t.q;
   }
 
 let service_stats t =

@@ -54,6 +54,7 @@ type stats = {
   breaker_tripped : bool;
   per_worker : int array;  (** jobs executed per worker domain *)
   uncaught : int;  (** exceptions that escaped a job wrapper — always 0 *)
+  queue_depth : int;  (** jobs admitted but not yet popped by a worker *)
 }
 
 type t
@@ -62,14 +63,15 @@ val start :
   ?config:config ->
   ?journal:string ->
   ?meta:string ->
-  ?on_result:(int -> string -> Job.t -> string -> unit) ->
+  ?on_result:(int -> string -> Job.t -> string -> string option -> unit) ->
   unit ->
   t
 (** Start the workers.  [journal] arms crash recovery ([meta]
     fingerprints the configuration; a mismatched journal raises
-    [Failure]).  [on_result id client job line] fires on every fresh
-    completion (not on replays) from a worker domain — it must be
-    domain-safe. *)
+    [Failure]).  [on_result id client job line payload] fires on every
+    fresh completion (not on replays) from a worker domain — it must be
+    domain-safe.  [payload] is the canonical profile rendering of a
+    completed job ([None] for failures and quarantines). *)
 
 val submit : t -> client:string -> Job.t -> [ `Accepted of int | `Shed | `Closed ]
 (** Non-blocking admission (the socket path). *)
@@ -90,6 +92,13 @@ val is_known : t -> id:int -> bool
 
 val results : t -> (int * string) list
 (** All result lines (replayed + fresh), sorted by id. *)
+
+val profiles : t -> (int * string) list
+(** Canonical profile renderings of every completed job (fresh runs and
+    journal replays alike), sorted by id — the fleet merge's input.
+    Failures and quarantines have no entry. *)
+
+val profile_of : t -> id:int -> string option
 
 val stats : t -> stats
 

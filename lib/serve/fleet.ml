@@ -168,38 +168,114 @@ let count_status results =
     (0, 0, 0) results
 
 (* Submit [entries] (client, job) with pinned ids 1..n, wait for every
-   result, and account latencies from submission to completion. *)
-let run_daemon ?(config = Daemon.default) ?journal ?(meta = "") entries =
+   result, and account latencies from submission to completion.
+
+   [window] switches to closed-loop submission: at most [window] jobs
+   outstanding, the next one submitted from the completion callback.
+   Latency percentiles then measure true per-job service latency
+   (queue wait + execution) instead of the age of the whole backlog,
+   which is what the open-loop default reports when all n submit times
+   are stamped upfront.  The window is clamped to [1 .. capacity]: a
+   submission is then always preceded by more pops than worker
+   submissions, so the fair queue can never be full when a worker
+   domain submits — no submit_wait can wedge the pool. *)
+let run_daemon ?(config = Daemon.default) ?journal ?(meta = "") ?window
+    entries =
   let n = List.length entries in
+  let arr = Array.of_list entries in
   let submit_times = Array.make (n + 1) 0.0 in
-  let latencies_mu = Mutex.create () in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
   let latencies = ref [] in
-  let on_result id _client _job _line =
+  let next = ref 1 in (* next id to consider submitting (windowed mode) *)
+  let outstanding = ref 0 in (* our submissions without a result yet *)
+  let d_cell = Atomic.make None in
+  (* claim the next id the journal doesn't already know; counts it
+     outstanding in the same critical section so the drain condition
+     below never sees a gap between a completion and its follow-on *)
+  let next_id d =
+    Mutex.lock mu;
+    let rec pick () =
+      if !next > n then None
+      else begin
+        let id = !next in
+        incr next;
+        if Daemon.is_known d ~id then pick ()
+        else begin
+          incr outstanding;
+          Some id
+        end
+      end
+    in
+    let r = pick () in
+    (* the generator running dry (possibly by skipping known ids) is
+       itself a wakeup-worthy event for the windowed drain loop *)
+    Condition.broadcast cond;
+    Mutex.unlock mu;
+    r
+  in
+  let submit_id d id =
+    let client, j = arr.(id - 1) in
+    submit_times.(id) <- Unix.gettimeofday ();
+    Daemon.submit_pinned d ~id ~client j
+  in
+  let on_result id _client _job _line _payload =
     (* jobs resubmitted by journal recovery inside Daemon.start complete
        before we stamped a submit time; they carry no latency sample *)
-    if id <= n && submit_times.(id) > 0.0 then begin
+    let mine = id <= n && submit_times.(id) > 0.0 in
+    if mine then begin
       let dt = Unix.gettimeofday () -. submit_times.(id) in
-      Mutex.lock latencies_mu;
+      Mutex.lock mu;
       latencies := dt :: !latencies;
-      Mutex.unlock latencies_mu
-    end
+      decr outstanding;
+      Condition.broadcast cond;
+      Mutex.unlock mu
+    end;
+    if window <> None then
+      match Atomic.get d_cell with
+      | Some d -> (
+          match next_id d with Some id -> submit_id d id | None -> ())
+      | None -> ()
   in
   let t0 = Unix.gettimeofday () in
   let d = Daemon.start ~config ?journal ~meta ~on_result () in
-  (* recovery may have replayed completed results or requeued in-flight
-     jobs; only unknown ids are submitted, mirroring the job-file
-     front-end *)
-  List.iteri
-    (fun i (client, j) ->
-      let id = i + 1 in
-      if not (Daemon.is_known d ~id) then begin
-        submit_times.(id) <- Unix.gettimeofday ();
-        Daemon.submit_pinned d ~id ~client j
-      end)
-    entries;
+  Atomic.set d_cell (Some d);
+  (match window with
+  | None ->
+      (* open loop: everything submitted upfront.  Recovery may have
+         replayed completed results or requeued in-flight jobs; only
+         unknown ids are submitted, mirroring the job-file front-end. *)
+      List.iteri
+        (fun i (client, j) ->
+          let id = i + 1 in
+          if not (Daemon.is_known d ~id) then begin
+            submit_times.(id) <- Unix.gettimeofday ();
+            Daemon.submit_pinned d ~id ~client j
+          end)
+        entries
+  | Some w ->
+      let w = max 1 (min w config.Daemon.capacity) in
+      let rec prime k =
+        if k > 0 then
+          match next_id d with
+          | Some id ->
+              submit_id d id;
+              prime (k - 1)
+          | None -> ()
+      in
+      prime w;
+      (* completions drive the rest; Daemon.drain alone could return in
+         the gap between a completion being counted and its follow-on
+         submission, so wait for the closed loop to empty first *)
+      Mutex.lock mu;
+      while !next <= n || !outstanding > 0 do
+        Condition.wait cond mu
+      done;
+      Mutex.unlock mu);
   Daemon.drain d;
   let wall = Unix.gettimeofday () -. t0 in
   let results = Daemon.results d in
+  let profiles = Daemon.profiles d in
   let dstats = Daemon.stats d in
   Daemon.stop d;
   let ok, failed, quarantined = count_status results in
@@ -221,12 +297,47 @@ let run_daemon ?(config = Daemon.default) ?journal ?(meta = "") entries =
       p50_ms = percentile 50.0 lat;
       p99_ms = percentile 99.0 lat;
     },
-    results )
+    results,
+    profiles )
 
 (* The byte-identity reference: one worker, in submission order. *)
 let run_sequential entries =
   let config = { Daemon.default with workers = 1; capacity = 1 } in
-  snd (run_daemon ~config entries)
+  let _, results, profiles = run_daemon ~config entries in
+  (results, profiles)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard merge                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Merge a fleet's per-job profile payloads into one aggregate, cached
+   under the sorted multiset of payload digests (Harness.Aggregate).
+   An OK result whose payload is missing — a journal written before
+   Profile records existed, or a socket run without PROFILES on — is
+   recomputed through Job.execute_full: the run cache makes that a
+   lookup and determinism makes the payload identical, so the merge is
+   lossless either way. *)
+let merge_profiles ?jobs ~entries ~results profiles =
+  let arr = Array.of_list entries in
+  let tbl = Hashtbl.create (max 16 (List.length profiles)) in
+  List.iter (fun (id, p) -> Hashtbl.replace tbl id p) profiles;
+  let payloads =
+    List.filter_map
+      (fun (id, line) ->
+        match String.split_on_char ' ' line with
+        | _ :: _ :: "OK" :: _ -> (
+            match Hashtbl.find_opt tbl id with
+            | Some p -> Some p
+            | None when id >= 1 && id <= Array.length arr ->
+                let _, j = arr.(id - 1) in
+                Some (Profiles.Merge.render (snd (Job.execute_full j)))
+            | None -> None)
+        | _ -> None)
+      results
+  in
+  let digests = List.map Harness.Digest.hex payloads in
+  Harness.Aggregate.merge_cached ?jobs ~digests (fun () ->
+      List.map Profiles.Merge.parse payloads)
 
 (* Every failure a fleet reports must carry a known classification —
    the "no unclassified crashes" acceptance gate.  Bug-classified

@@ -52,14 +52,43 @@ val run_daemon :
   ?config:Daemon.config ->
   ?journal:string ->
   ?meta:string ->
+  ?window:int ->
   (string * Job.t) list ->
-  fleet_stats * (int * string) list
+  fleet_stats * (int * string) list * (int * string) list
 (** Start a daemon, submit every entry with pinned ids 1..n (skipping
     ids the journal already completed), drain, and account
-    jobs/sec + latency percentiles.  Returns the sorted result lines. *)
+    jobs/sec + latency percentiles.  Returns
+    [(stats, sorted result lines, sorted profile payloads)] — one
+    canonical {!Profiles.Merge} rendering per completed job.
 
-val run_sequential : (string * Job.t) list -> (int * string) list
-(** The byte-identity reference: one worker, submission order. *)
+    [window] switches submission from open loop (all n upfront) to
+    closed loop: at most [window] jobs outstanding, the next submitted
+    on each completion.  The latency percentiles then measure per-job
+    service latency rather than backlog age.  Clamped to
+    [1 .. capacity] so a worker-domain submission can never block on a
+    full queue and wedge the pool.  Result lines and payloads are
+    byte-identical either way — only the timing accounting differs. *)
+
+val run_sequential :
+  (string * Job.t) list -> (int * string) list * (int * string) list
+(** The byte-identity reference: one worker, submission order.
+    Returns [(sorted result lines, sorted profile payloads)]. *)
+
+val merge_profiles :
+  ?jobs:int ->
+  entries:(string * Job.t) list ->
+  results:(int * string) list ->
+  (int * string) list ->
+  Profiles.Merge.t
+(** Merge a fleet's per-job profile payloads into one aggregate via the
+    parallel merge tree, cached by {!Harness.Aggregate} under the
+    sorted multiset of payload digests.  Only OK results contribute.
+    An OK result whose payload is missing (pre-profile journal replay,
+    socket run without PROFILES) is recomputed through
+    {!Job.execute_full} — a run-cache lookup when warm, and
+    deterministic either way — so the merge is always lossless.  The
+    output is byte-identical however the fleet was sharded, ordered or
+    parallelised. *)
 
 val unclassified : (int * string) list -> (int * string) list
 (** Result lines whose failure carries no known classification — the

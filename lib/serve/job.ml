@@ -211,7 +211,12 @@ let profile_md5 collector =
           (fun (kind, text) -> kind ^ "\001" ^ text)
           (Profiles.Report.to_csv collector)))
 
-let execute j =
+(* [execute_full] also returns the canonical aggregate form of the
+   job's profile (Profiles.Merge) — the payload of the daemon's PROFILE
+   frames and the unit the fleet merge combines.  The cached
+   Measure.metrics carry the collector, so a warm run-cache hit still
+   yields the payload without re-running anything. *)
+let execute_full j =
   if j.poison then
     failwith (Printf.sprintf "injected poison job (bench=%s)" j.bench);
   let bench =
@@ -227,14 +232,17 @@ let execute j =
     Harness.Measure.run_transformed ~engine:j.engine ~recording:j.recording
       ~trigger:(sampler_trigger j.trigger) ~transform build
   in
-  {
-    cycles = m.Harness.Measure.cycles;
-    instructions = m.Harness.Measure.instructions;
-    checks = m.Harness.Measure.checks;
-    samples = m.Harness.Measure.samples;
-    output_md5 = Harness.Digest.hex m.Harness.Measure.output;
-    profile_md5 = profile_md5 m.Harness.Measure.collector;
-  }
+  ( {
+      cycles = m.Harness.Measure.cycles;
+      instructions = m.Harness.Measure.instructions;
+      checks = m.Harness.Measure.checks;
+      samples = m.Harness.Measure.samples;
+      output_md5 = Harness.Digest.hex m.Harness.Measure.output;
+      profile_md5 = profile_md5 m.Harness.Measure.collector;
+    },
+    Profiles.Merge.of_collector m.Harness.Measure.collector )
+
+let execute j = fst (execute_full j)
 
 (* ------------------------------------------------------------------ *)
 (* Results                                                             *)

@@ -75,6 +75,12 @@ val execute : t -> summary
 (** Run the job through {!Harness.Measure.run_transformed} (content
     cached).  Raises on failure; {!Harness.Robust.classify} applies. *)
 
+val execute_full : t -> summary * Profiles.Merge.t
+(** {!execute}, plus the canonical aggregate form of the decoded
+    profile — the payload of the daemon's [PROFILE] frames and the
+    unit {!Fleet} merges.  A warm run-cache hit still yields it (the
+    cached metrics carry the collector), so nothing re-runs. *)
+
 type status =
   | Done of summary
   | Failed of { classification : string; message : string }

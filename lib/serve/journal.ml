@@ -12,11 +12,17 @@ type record =
   | Submitted of { id : int; client : string; line : string }
   | Completed of { id : int; result : string }
   | Quarantined of { digest : string; report : string }
+  | Profile of { id : int; payload : string }
+      (* appended after this variant's original constructors so the
+         Marshal tags of old journals still decode: a journal written
+         before profile capture replays fine, its completed jobs just
+         carry no payload *)
 
 type recovered = {
   pending : (int * string * string) list; (* id, client, canonical job line *)
   completed : (int * string) list; (* id, canonical result line *)
   quarantined : (string * string) list; (* job digest, report *)
+  profiles : (int * string) list; (* id, canonical profile rendering *)
   next_id : int;
 }
 
@@ -44,6 +50,7 @@ let load path =
 let recover records =
   let submitted = Hashtbl.create 64 in
   let completed = Hashtbl.create 64 in
+  let profiles = Hashtbl.create 64 in
   let quarantined = ref [] in
   let next_id = ref 1 in
   List.iter
@@ -56,6 +63,7 @@ let recover records =
       | Completed { id; result } ->
           Hashtbl.replace completed id result;
           if id >= !next_id then next_id := id + 1
+      | Profile { id; payload } -> Hashtbl.replace profiles id payload
       | Quarantined { digest; report } ->
           if not (List.mem_assoc digest !quarantined) then
             quarantined := (digest, report) :: !quarantined)
@@ -71,7 +79,24 @@ let recover records =
     Hashtbl.fold (fun id result acc -> (id, result) :: acc) completed []
     |> List.sort compare
   in
-  { pending; completed; quarantined = List.rev !quarantined; next_id = !next_id }
+  (* only payloads whose Completed record made it to disk: a Profile
+     followed by a torn Completed means the job re-runs and appends a
+     fresh pair (execution is deterministic, so the bytes agree) *)
+  let profiles =
+    List.filter_map
+      (fun (id, _) ->
+        match Hashtbl.find_opt profiles id with
+        | Some p -> Some (id, p)
+        | None -> None)
+      completed
+  in
+  {
+    pending;
+    completed;
+    quarantined = List.rev !quarantined;
+    profiles;
+    next_id = !next_id;
+  }
 
 let open_ ?(meta = "") path =
   let records, clean = load path in

@@ -20,12 +20,23 @@ type record =
   | Submitted of { id : int; client : string; line : string }
   | Completed of { id : int; result : string }
   | Quarantined of { digest : string; report : string }
+  | Profile of { id : int; payload : string }
+      (** canonical {!Profiles.Merge.render} of a completed job's
+          profile, written immediately before its [Completed] record so
+          a resumed fleet can still be merged without re-running
+          anything.  Appended last in the variant: journals written
+          before profile capture still decode. *)
 
 type recovered = {
   pending : (int * string * string) list;
       (** submitted but not completed — (id, client, job line), by id *)
   completed : (int * string) list;  (** (id, result line), by id *)
   quarantined : (string * string) list;  (** (job digest, report) *)
+  profiles : (int * string) list;
+      (** (id, profile rendering) for completed ids whose [Profile]
+          record survived — ids completed by a pre-profile journal are
+          absent, and the merge path recomputes them through the run
+          cache *)
   next_id : int;  (** 1 + highest id seen *)
 }
 

@@ -1,35 +1,59 @@
 (** Unix-domain socket front-end for {!Daemon}, plus the fleet client.
 
-    Line protocol (newline-terminated):
+    Line control plane (newline-terminated) with length-prefixed payload
+    frames for profile data:
     {v
     client -> server                    server -> client
       HELLO <name>                       OK hello <name>
       SUBMIT <canonical job line>        OK accepted <id> | SHED | ERR <msg>
+      SUBMIT* <k>                        OK batch <k> <tok ...>
+        (then k lines, each                (one token per line, in order:
+         "<client> <job line>")             accepted id, shed, closed, err)
+      PROFILES on|off                    OK profiles on|off
       STATS                              OK stats accepted=... shed=...
       PING                               OK pong
       QUIT
                                          RESULT <result-line>   (async push)
+                                         RESULT* <k>            (then k
+                                           result lines: completions queued
+                                           together leave in one write)
+                                         PROFILE <id> <len>     (then len
+                                           payload bytes + newline: the
+                                           job's canonical profile
+                                           rendering, when PROFILES on)
     v}
 
     One select loop owns every fd — the listen socket, the
     connections, and a self-pipe the worker domains poke after queueing
     a RESULT — so a flooding or half-dead connection can never wedge
     the daemon.  [SHED] is the admission-control rejection: explicit
-    backpressure the client retries on, never an unbounded queue. *)
+    backpressure the client retries on, never an unbounded queue.
+
+    [SUBMIT*] is the batched data plane: many submissions per syscall
+    and one ack line per batch instead of one round-trip per job.  Each
+    batch line names its own client, so round-robin fairness
+    attribution needs no HELLO interleaving.  On the way back, runs of
+    consecutive completions are corked into [RESULT*] batches at flush
+    time; a singleton stays a plain [RESULT], so pre-batch clients keep
+    working unchanged. *)
 
 type t
+
+val max_batch : int
+(** Upper bound on [SUBMIT*] batch size (larger requests get [ERR]). *)
 
 val create : socket:string -> t
 (** Bind and listen on the Unix-domain socket path (an existing stale
     socket file is replaced). *)
 
-val on_result : t -> int -> string -> Job.t -> string -> unit
+val on_result : t -> int -> string -> Job.t -> string -> string option -> unit
 (** Pass to {!Daemon.start} as its [on_result]: routes each completion
-    to the connection that submitted the job.  A completion that beats
-    the route registration (instant quarantine answer, warm run cache)
-    is buffered and delivered when the SUBMIT handler registers the
-    route; only a completion whose connection is gone is dropped — the
-    journal still has it. *)
+    (result line plus optional profile payload) to the connection that
+    submitted the job.  A completion that beats the route registration
+    (instant quarantine answer, warm run cache) is buffered and
+    delivered when the submit handler registers the route; only a
+    completion whose connection is gone is dropped — the journal still
+    has it. *)
 
 val run : t -> Daemon.t -> stop:(unit -> bool) -> unit
 (** The select loop; returns once [stop ()] is true (polled between
@@ -39,12 +63,21 @@ val run : t -> Daemon.t -> stop:(unit -> bool) -> unit
 
 val client_run :
   ?timeout:float ->
+  ?batch:int ->
+  ?profiles:bool ->
   socket:string ->
   (string * Job.t) list ->
-  (int * string) list * int
-(** Fleet client: submit every [(client, job)] over one connection,
-    retrying [SHED] with a short backoff, then wait for all RESULT
-    lines.  Returns (results sorted by id, shed responses observed).
-    Raises [Failure] instead of hanging when the daemon answers ERR
-    while results are outstanding, the connection drops, or nothing
-    arrives within [timeout] seconds (default 120). *)
+  (int * string) list * int * (int * string) list
+(** Fleet client: pipeline every [(client, job)] over one connection as
+    [SUBMIT*] frames of [batch] lines (default 32, clamped to
+    [1..max_batch]) — all batches are written before any ack is
+    awaited, so submission costs one write per batch rather than one
+    round-trip per job.  Shed lines are resubmitted in fresh batches
+    after a short backoff.  With [profiles] (default false), the daemon
+    streams each completed job's canonical {!Profiles.Merge} rendering
+    as a PROFILE frame.  Returns
+    [(results sorted by id, shed responses observed,
+      profiles sorted by id)].
+    Raises [Failure] instead of hanging when the daemon answers ERR, a
+    batch line is rejected, the connection drops, or nothing arrives
+    within [timeout] seconds (default 120). *)

@@ -48,6 +48,7 @@ let access t addr =
 
 let misses t = t.miss_count
 let accesses t = t.access_count
+let line_words t = t.line_words
 
 let reset t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);

@@ -18,6 +18,11 @@ val access : t -> int -> bool
 val misses : t -> int
 val accesses : t -> int
 
+val line_words : t -> int
+(** Instance geometry — lets compiled code that reasons about line
+    boundaries (engine straight-line fusion) verify its compile-time
+    assumption against the cache it is actually running on. *)
+
 val reset : t -> unit
 (** Cold caches and zeroed counts. *)
 

@@ -203,8 +203,10 @@ let small_fleet () =
 
 let test_concurrent_equals_sequential () =
   let entries = small_fleet () in
-  let reference = with_fresh_cache (fun () -> Fleet.run_sequential entries) in
-  let stats, concurrent =
+  let reference, ref_profiles =
+    with_fresh_cache (fun () -> Fleet.run_sequential entries)
+  in
+  let stats, concurrent, conc_profiles =
     with_fresh_cache (fun () ->
         Fleet.run_daemon
           ~config:{ Daemon.default with workers = 3; capacity = 4 }
@@ -213,6 +215,8 @@ let test_concurrent_equals_sequential () =
   check_int "every job answered" (List.length entries) (List.length concurrent);
   check_bool "concurrent == sequential, byte for byte" true
     (reference = concurrent);
+  check_bool "profile payloads identical across scheduling" true
+    (ref_profiles = conc_profiles);
   check_int "the poison job ended quarantined" 1 stats.Fleet.quarantined;
   check_int "no exception escaped a worker" 0 stats.Fleet.uncaught;
   check_bool "pinned submission never sheds" true (stats.Fleet.shed = 0);
@@ -220,6 +224,39 @@ let test_concurrent_equals_sequential () =
     Alcotest.(list (pair int string))
     "no unclassified failures" []
     (Fleet.unclassified concurrent)
+
+let test_windowed_submission_identical () =
+  let entries = small_fleet () in
+  let reference, ref_profiles =
+    with_fresh_cache (fun () -> Fleet.run_sequential entries)
+  in
+  let stats, windowed, w_profiles =
+    with_fresh_cache (fun () ->
+        Fleet.run_daemon
+          ~config:{ Daemon.default with workers = 2; capacity = 4 }
+          ~window:2 entries)
+  in
+  check_int "every job answered" (List.length entries) (List.length windowed);
+  check_bool "closed-loop == open-loop == sequential, byte for byte" true
+    (reference = windowed);
+  check_bool "profile payloads identical too" true (ref_profiles = w_profiles);
+  check_int "no exception escaped a worker" 0 stats.Fleet.uncaught
+
+let test_merge_profiles_lossless () =
+  let entries = small_fleet () in
+  let results, profiles =
+    with_fresh_cache (fun () -> Fleet.run_sequential entries)
+  in
+  with_fresh_cache (fun () ->
+      let m1 = Fleet.merge_profiles ~jobs:1 ~entries ~results profiles in
+      Harness.Runcache.reset_memory ();
+      (* no payloads at all (a pre-profile journal replay would look like
+         this): every OK job is recomputed through the run cache and the
+         merge must still be byte-identical *)
+      let m2 = Fleet.merge_profiles ~jobs:2 ~entries ~results [] in
+      check_str "payload-less merge is byte-identical (lossless fallback)"
+        (Profiles.Merge.render m1)
+        (Profiles.Merge.render m2))
 
 let test_daemon_sheds_when_saturated () =
   (* one worker wedged on a slow job + capacity 1: the second submit
@@ -305,7 +342,7 @@ let test_poison_job_quarantined_not_retried_forever () =
 
 let test_restart_resumes_byte_identical () =
   let entries = small_fleet () in
-  let reference = with_fresh_cache (fun () -> Fleet.run_sequential entries) in
+  let reference, _ = with_fresh_cache (fun () -> Fleet.run_sequential entries) in
   (* forge the journal a daemon killed mid-fleet would leave: every job
      submitted, the first three completed, the rest in flight *)
   let jpath = tmp_path "resume" in
@@ -320,7 +357,7 @@ let test_restart_resumes_byte_identical () =
       if i < 3 then Journal.append j (Journal.Completed { id = i + 1; result }))
     reference;
   Journal.close j;
-  let stats, resumed =
+  let stats, resumed, _ =
     with_fresh_cache (fun () ->
         Fleet.run_daemon
           ~config:{ Daemon.default with workers = 2 }
@@ -330,7 +367,7 @@ let test_restart_resumes_byte_identical () =
   check_bool "resumed run == uninterrupted run, byte for byte" true
     (reference = resumed);
   (* second restart on the now-complete journal: everything replays *)
-  let stats2, again =
+  let stats2, again, _ =
     with_fresh_cache (fun () ->
         Fleet.run_daemon ~journal:jpath ~meta:"sim" entries)
   in
@@ -363,6 +400,29 @@ let test_journal_torn_tail_tolerated () =
     | [] -> true
     | [ (2, "c", "l2") ] -> true (* the tear landed after record 3 *)
     | _ -> false);
+  Sys.remove jpath
+
+let test_journal_profile_records_recovered () =
+  let jpath = tmp_path "profrec" in
+  let j, _ = Journal.open_ ~meta:"m" jpath in
+  Journal.append j (Journal.Submitted { id = 1; client = "c"; line = "l1" });
+  Journal.append j (Journal.Profile { id = 1; payload = "p1" });
+  Journal.append j (Journal.Completed { id = 1; result = "r1" });
+  Journal.append j (Journal.Submitted { id = 2; client = "c"; line = "l2" });
+  (* a kill between the Profile append and its Completed append: the
+     orphan payload must NOT be recovered — the job re-runs and writes a
+     fresh deterministic pair *)
+  Journal.append j (Journal.Profile { id = 2; payload = "p2" });
+  Journal.close j;
+  let j2, r = Journal.open_ ~meta:"m" jpath in
+  Journal.close j2;
+  check
+    Alcotest.(list (pair int string))
+    "payloads of completed jobs recovered"
+    [ (1, "p1") ]
+    r.Journal.profiles;
+  check_bool "the half-written job is pending again" true
+    (List.exists (fun (id, _, _) -> id = 2) r.Journal.pending);
   Sys.remove jpath
 
 let test_journal_meta_mismatch_refused () =
@@ -473,7 +533,7 @@ let test_socket_instant_results_not_dropped () =
             Fleet.jobs ~seed:3 ~n:6 ()
             |> List.concat_map (fun j -> [ ("x", j); ("y", j); ("z", j) ])
           in
-          let results, _shed =
+          let results, _shed, _profiles =
             Server.client_run ~timeout:60.0 ~socket:sock entries
           in
           check_int "every submission got its RESULT line"
@@ -495,6 +555,110 @@ let test_socket_instant_results_not_dropped () =
           in
           trios results))
 
+(* run [f] against a live socket server on a fresh daemon *)
+let with_socket_server f =
+  with_fresh_cache (fun () ->
+      let sock = tmp_path "sock" in
+      let srv = Server.create ~socket:sock in
+      let d = Daemon.start ~on_result:(Server.on_result srv) () in
+      let stop = Atomic.make false in
+      let loop =
+        Domain.spawn (fun () ->
+            Server.run srv d ~stop:(fun () -> Atomic.get stop))
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          Atomic.set stop true;
+          Domain.join loop;
+          Daemon.stop d)
+        (fun () -> f sock))
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i =
+    i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+  in
+  go 0
+
+(* The batched data plane end to end: SUBMIT* frames of 4, PROFILE
+   payload frames, and byte-identity of the pipelined client against
+   the in-process sequential reference. *)
+let test_socket_pipelined_batches_and_profiles () =
+  with_socket_server (fun sock ->
+      let entries =
+        Fleet.jobs ~seed:5 ~n:6 ()
+        |> List.mapi (fun i j -> (Fleet.client_of ~clients:2 i, j))
+      in
+      let reference, ref_profiles = Fleet.run_sequential entries in
+      Harness.Runcache.reset_memory ();
+      let results, shed, profs =
+        Server.client_run ~timeout:60.0 ~batch:4 ~profiles:true ~socket:sock
+          entries
+      in
+      check_int "nothing shed under capacity" 0 shed;
+      check_bool "pipelined batches == sequential, byte for byte" true
+        (reference = results);
+      let ok_ids =
+        List.filter_map
+          (fun (id, line) ->
+            match String.split_on_char ' ' line with
+            | _ :: _ :: "OK" :: _ -> Some id
+            | _ -> None)
+          results
+      in
+      check
+        Alcotest.(list int)
+        "one PROFILE frame per OK result" ok_ids (List.map fst profs);
+      List.iter (fun (_, p) -> ignore (Profiles.Merge.parse p)) profs;
+      (* the streamed payloads merge to the same aggregate as the
+         sequential fleet's in-process payloads *)
+      let m_sock = Fleet.merge_profiles ~jobs:1 ~entries ~results profs in
+      Harness.Runcache.reset_memory ();
+      let m_seq =
+        Fleet.merge_profiles ~jobs:2 ~entries ~results:reference ref_profiles
+      in
+      check_str "merged aggregate identical over the wire"
+        (Profiles.Merge.render m_seq)
+        (Profiles.Merge.render m_sock))
+
+(* Control-plane corners: PING, PROFILES ack, SUBMIT* bounds, and the
+   extended STATS counters. *)
+let test_socket_protocol_basics () =
+  with_socket_server (fun sock ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX sock);
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 30.0;
+      let ic = Unix.in_channel_of_descr fd in
+      let send s =
+        ignore (Unix.write fd (Bytes.of_string s) 0 (String.length s))
+      in
+      send "PING\n";
+      check_str "pong" "OK pong" (input_line ic);
+      send "PROFILES on\n";
+      check_str "profiles ack" "OK profiles on" (input_line ic);
+      send "PROFILES off\n";
+      check_str "profiles off ack" "OK profiles off" (input_line ic);
+      send "SUBMIT* 0\n";
+      (match String.split_on_char ' ' (input_line ic) with
+      | "ERR" :: _ -> ()
+      | l -> Alcotest.failf "batch size 0 accepted: %s" (String.concat " " l));
+      send (Printf.sprintf "SUBMIT* %d\n" (Server.max_batch + 1));
+      (match String.split_on_char ' ' (input_line ic) with
+      | "ERR" :: _ -> ()
+      | l -> Alcotest.failf "oversized batch accepted: %s" (String.concat " " l));
+      send "STATS\n";
+      let stats = input_line ic in
+      List.iter
+        (fun key ->
+          check_bool (key ^ " reported") true (contains stats (key ^ "=")))
+        [
+          "queue"; "submit_batches"; "submit_batch_max"; "result_batches";
+          "result_batch_max"; "merges"; "merge_inputs"; "cache_mem_hits";
+          "cache_misses";
+        ];
+      send "QUIT\n";
+      try Unix.close fd with Unix.Unix_error _ -> ())
+
 let suite =
   [
     ( "serve",
@@ -515,6 +679,10 @@ let suite =
           `Quick test_service_survives_raising_tasks;
         Alcotest.test_case "concurrent == sequential, byte for byte" `Quick
           test_concurrent_equals_sequential;
+        Alcotest.test_case "closed-loop window == open loop" `Quick
+          test_windowed_submission_identical;
+        Alcotest.test_case "merge_profiles is lossless without payloads"
+          `Quick test_merge_profiles_lossless;
         Alcotest.test_case "saturation sheds instead of queueing" `Quick
           test_daemon_sheds_when_saturated;
         Alcotest.test_case "quarantine trips after N failures" `Quick
@@ -525,6 +693,8 @@ let suite =
           test_restart_resumes_byte_identical;
         Alcotest.test_case "journal tolerates a torn tail" `Quick
           test_journal_torn_tail_tolerated;
+        Alcotest.test_case "journal recovers completed profile payloads"
+          `Quick test_journal_profile_records_recovered;
         Alcotest.test_case "journal refuses a foreign configuration" `Quick
           test_journal_meta_mismatch_refused;
         Alcotest.test_case "journal refuses a garbage file" `Quick
@@ -533,5 +703,9 @@ let suite =
           test_quarantine_survives_restart;
         Alcotest.test_case "socket: instant completions are not dropped"
           `Quick test_socket_instant_results_not_dropped;
+        Alcotest.test_case "socket: pipelined batches + PROFILE frames"
+          `Quick test_socket_pipelined_batches_and_profiles;
+        Alcotest.test_case "socket: protocol corners and STATS counters"
+          `Quick test_socket_protocol_basics;
       ] );
   ]
